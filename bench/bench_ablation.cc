@@ -1,0 +1,234 @@
+// Ablation experiments (E11) for the design choices DESIGN.md calls out:
+//  (a) the InQuery default-belief parameters (alpha, tf and length
+//      normalization) — their effect on ranking quality on a synthetic
+//      collection with known relevant sets;
+//  (b) the individual optimizer stages (logical rewrites, inverted
+//      getBL, MIL CSE/DCE) — how much each contributes to E2's win.
+
+#include <cstdio>
+#include <set>
+
+#include "base/rng.h"
+#include "base/stopwatch.h"
+#include "base/str_util.h"
+#include "base/table_printer.h"
+#include "ir/inference_network.h"
+#include "mirror/mirror_db.h"
+#include "moa/optimizer.h"
+#include "monet/profiler.h"
+
+namespace {
+
+using namespace mirror;  // NOLINT(build/namespaces)
+
+// --------------------------------------------------------------------------
+// (a) Belief parameter ablation. A planted-topic collection: documents of
+// topic t contain topic terms; queries are topic terms; relevant = same
+// topic. Mean P@10 over topics per parameter setting.
+
+struct TopicCollection {
+  ir::ContentIndex index;
+  std::vector<std::vector<int64_t>> topic_terms;  // query terms per topic
+  std::vector<std::set<monet::Oid>> relevant;     // docs per topic
+};
+
+TopicCollection MakeTopicCollection(int docs, int topics, uint64_t seed) {
+  TopicCollection out;
+  base::Rng rng(seed);
+  out.relevant.resize(static_cast<size_t>(topics));
+  // Topic vocabularies overlap: topic t draws from a 3-word window
+  // {shared_{2t}, shared_{2t+1}, shared_{2t+2}} of a circular pool, so
+  // neighbouring topics share a word and single words are ambiguous.
+  for (int d = 0; d < docs; ++d) {
+    int topic = d % topics;
+    std::vector<std::string> terms;
+    for (int t = 0; t < 10; ++t) {
+      double roll = rng.UniformDouble();
+      if (roll < 0.35) {
+        int w = (2 * topic + static_cast<int>(rng.Uniform(3))) %
+                (2 * topics);
+        terms.push_back(base::StrFormat("shared_%d", w));
+      } else if (roll < 0.55) {
+        // Cross-topic leakage: other topics' words appear as noise, so
+        // rankings must weigh evidence rather than match booleanly.
+        int w = static_cast<int>(rng.Uniform(2 * topics));
+        terms.push_back(base::StrFormat("shared_%d", w));
+      } else {
+        terms.push_back(base::StrFormat(
+            "common%llu",
+            static_cast<unsigned long long>(rng.Zipf(40, 1.2))));
+      }
+    }
+    // Skewed document lengths stress the length normalization: half the
+    // relevant documents are padded heavily with background words.
+    int extra = static_cast<int>(rng.Uniform(2)) * 40;
+    for (int e = 0; e < extra; ++e) {
+      terms.push_back(base::StrFormat(
+          "common%llu", static_cast<unsigned long long>(rng.Zipf(40, 1.2))));
+    }
+    out.index.AddDocument(static_cast<monet::Oid>(d), terms);
+    out.relevant[static_cast<size_t>(topic)].insert(
+        static_cast<monet::Oid>(d));
+  }
+  out.index.Finalize();
+  out.topic_terms.resize(static_cast<size_t>(topics));
+  for (int t = 0; t < topics; ++t) {
+    for (int w = 0; w < 3; ++w) {
+      int64_t id = out.index.vocab().Lookup(base::StrFormat(
+          "shared_%d", (2 * t + w) % (2 * topics)));
+      if (id >= 0) out.topic_terms[static_cast<size_t>(t)].push_back(id);
+    }
+  }
+  return out;
+}
+
+double MeanPrecisionAt10(const TopicCollection& collection,
+                         const monet::BeliefParams& params) {
+  ir::InferenceNetwork network(&collection.index, params);
+  double sum = 0;
+  int topics = static_cast<int>(collection.topic_terms.size());
+  for (int t = 0; t < topics; ++t) {
+    auto ranking = network.RankSum(collection.topic_terms[
+        static_cast<size_t>(t)]);
+    int hits = 0;
+    for (size_t i = 0; i < ranking.size() && i < 10; ++i) {
+      if (collection.relevant[static_cast<size_t>(t)].count(
+              ranking[i].doc) > 0) {
+        ++hits;
+      }
+    }
+    sum += hits / 10.0;
+  }
+  return sum / topics;
+}
+
+// --------------------------------------------------------------------------
+// (b) Optimizer stage ablation on the E2 ranking query.
+
+void BuildLibrary(db::MirrorDb* database, int64_t n, uint64_t seed) {
+  auto status = database->Define(
+      "define Lib as SET<TUPLE<Atomic<URL>: source, "
+      "CONTREP<Text>: annotation>>;");
+  MIRROR_CHECK(status.ok()) << status.ToString();
+  base::Rng rng(seed);
+  std::vector<moa::MoaValue> objects;
+  for (int64_t i = 0; i < n; ++i) {
+    std::vector<std::string> terms;
+    for (int t = 0; t < 30; ++t) {
+      terms.push_back(base::StrFormat(
+          "w%llu", static_cast<unsigned long long>(rng.Zipf(1500, 1.1))));
+    }
+    objects.push_back(moa::MoaValue::Tuple(
+        {moa::MoaValue::Str(base::StrFormat(
+             "u%lld", static_cast<long long>(i))),
+         moa::MoaValue::ContRep(terms)}));
+  }
+  status = database->Load("Lib", std::move(objects));
+  MIRROR_CHECK(status.ok()) << status.ToString();
+}
+
+struct StageResult {
+  size_t instructions;
+  uint64_t tuples;
+  double ms;
+};
+
+StageResult MeasureStages(const db::MirrorDb& database,
+                          const moa::QueryContext& ctx, bool inverted,
+                          bool peephole) {
+  const std::string query =
+      "map[sum(THIS)](map[getBL(THIS.annotation, query, stats)](Lib));";
+  auto expr = moa::ParseExpr(query);
+  MIRROR_CHECK(expr.ok());
+  moa::Flattener flattener(&database.logical(), &ctx,
+                           moa::FlattenOptions{.optimize = inverted});
+  auto program = flattener.Compile(expr.value());
+  MIRROR_CHECK(program.ok()) << program.status().ToString();
+  monet::mil::Program prog = program.TakeValue();
+  if (peephole) {
+    moa::OptimizerReport report;
+    moa::OptimizeMil(&prog, &report);
+  }
+  StageResult out{prog.instrs().size(), 0, 1e100};
+  for (int r = 0; r < 3; ++r) {
+    monet::GlobalKernelStats().Reset();
+    base::Stopwatch sw;
+    auto run =
+        monet::mil::Executor(&database.logical().catalog()).Run(prog);
+    MIRROR_CHECK(run.ok()) << run.status().ToString();
+    out.ms = std::min(out.ms, sw.ElapsedMillis());
+    out.tuples = monet::GlobalKernelStats().tuples_in;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E11a: belief-estimator ablation — mean P@10 on a planted-topic\n"
+      "collection (1000 docs, 100 topics with overlapping vocabularies,\ncross-topic leakage, skewed document lengths).\n\n");
+  {
+    TopicCollection collection = MakeTopicCollection(1000, 100, 5);
+    base::TablePrinter table({"alpha", "k_tf", "k_len", "mean P@10"});
+    struct Setting {
+      double alpha, k_tf, k_len;
+    };
+    const Setting settings[] = {
+        {0.4, 0.5, 1.5},  // InQuery defaults
+        {0.0, 0.5, 1.5},  // no default belief
+        {0.8, 0.5, 1.5},  // heavy default belief
+        {0.4, 0.0, 1.5},  // no tf damping
+        {0.4, 0.5, 0.0},  // no length normalization
+        {0.4, 2.0, 4.0},  // aggressive damping
+    };
+    for (const Setting& s : settings) {
+      monet::BeliefParams params;
+      params.alpha = s.alpha;
+      params.k_tf = s.k_tf;
+      params.k_len = s.k_len;
+      table.AddRow({base::StrFormat("%.1f", s.alpha),
+                    base::StrFormat("%.1f", s.k_tf),
+                    base::StrFormat("%.1f", s.k_len),
+                    base::StrFormat("%.3f",
+                                    MeanPrecisionAt10(collection, params))});
+    }
+    table.Print();
+  }
+
+  std::printf(
+      "\nE11b: optimizer stage ablation on the ranking query\n"
+      "(20000 docs): which stage buys what.\n\n");
+  {
+    db::MirrorDb database;
+    BuildLibrary(&database, 20000, 77);
+    moa::QueryContext ctx;
+    ctx.BindTerms("query", {"w5", "w80", "w400"});
+    base::TablePrinter table(
+        {"configuration", "MIL instrs", "tuples in", "time ms"});
+    struct Config {
+      const char* label;
+      bool inverted;
+      bool peephole;
+    };
+    const Config configs[] = {
+        {"naive translation", false, false},
+        {"+ MIL CSE/DCE only", false, true},
+        {"+ inverted getBL only", true, false},
+        {"full optimizer", true, true},
+    };
+    for (const Config& c : configs) {
+      StageResult r = MeasureStages(database, ctx, c.inverted, c.peephole);
+      table.AddRow({c.label, base::StrFormat("%zu", r.instructions),
+                    base::StrFormat("%llu", (unsigned long long)r.tuples),
+                    base::StrFormat("%.2f", r.ms)});
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nExpected shape: the InQuery defaults sit at or near the best\n"
+      "P@10 (length normalization matters most on skewed lengths);\n"
+      "inverted getBL provides the bulk of the E2 win, CSE/DCE trims\n"
+      "the instruction count.\n");
+  return 0;
+}

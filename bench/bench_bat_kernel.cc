@@ -1,0 +1,144 @@
+// Experiment E10: microbenchmarks of the binary relational kernel (the
+// physical substrate of §2) using google-benchmark: selection, joins,
+// grouped aggregation, sorting and the probabilistic belief operator,
+// over a sweep of column sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "base/rng.h"
+#include "monet/bat_ops.h"
+#include "monet/prob_ops.h"
+
+namespace {
+
+using namespace mirror::monet;  // NOLINT(build/namespaces)
+
+Bat RandomInts(int64_t n, int64_t domain, uint64_t seed) {
+  mirror::base::Rng rng(seed);
+  std::vector<int64_t> tails(static_cast<size_t>(n));
+  for (auto& t : tails) t = rng.UniformInt(0, domain - 1);
+  return Bat::DenseInts(std::move(tails));
+}
+
+Bat RandomOidHeads(int64_t n, int64_t domain, uint64_t seed) {
+  mirror::base::Rng rng(seed);
+  std::vector<Oid> heads(static_cast<size_t>(n));
+  std::vector<double> tails(static_cast<size_t>(n));
+  for (size_t i = 0; i < heads.size(); ++i) {
+    heads[i] = rng.Uniform(static_cast<uint64_t>(domain));
+    tails[i] = rng.UniformDouble();
+  }
+  return Bat(Column::MakeOids(std::move(heads)),
+             Column::MakeDbls(std::move(tails)));
+}
+
+void BM_SelectRange(benchmark::State& state) {
+  Bat b = RandomInts(state.range(0), 1000, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SelectRange(b, Value::MakeInt(100), Value::MakeInt(200), true, true));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SelectRange)->Range(1 << 10, 1 << 18);
+
+void BM_HashJoin(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Bat l(Column::MakeOids(std::vector<Oid>(static_cast<size_t>(n), 0)),
+        RandomInts(n, n / 4 + 1, 2).tail());
+  Bat r(RandomInts(n / 4 + 1, n / 4 + 1, 3).tail(),
+        Column::MakeDbls(
+            std::vector<double>(static_cast<size_t>(n / 4 + 1), 1.0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Join(l, r));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HashJoin)->Range(1 << 10, 1 << 17);
+
+void BM_FetchJoin(benchmark::State& state) {
+  int64_t n = state.range(0);
+  mirror::base::Rng rng(4);
+  std::vector<Oid> refs(static_cast<size_t>(n));
+  for (auto& o : refs) o = rng.Uniform(static_cast<uint64_t>(n));
+  Bat l = Bat::DenseOids(std::move(refs));
+  Bat r = RandomInts(n, 100, 5);  // void-headed
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Join(l, r));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FetchJoin)->Range(1 << 10, 1 << 18);
+
+void BM_SemiJoinHead(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Bat l = RandomOidHeads(n, n, 6);
+  Bat r = RandomOidHeads(n / 8 + 1, n, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SemiJoinHead(l, r));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SemiJoinHead)->Range(1 << 10, 1 << 18);
+
+void BM_SumPerHead(benchmark::State& state) {
+  Bat b = RandomOidHeads(state.range(0), state.range(0) / 16 + 1, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SumPerHead(b));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SumPerHead)->Range(1 << 10, 1 << 18);
+
+void BM_SortByTail(benchmark::State& state) {
+  Bat b = RandomInts(state.range(0), 1 << 30, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SortByTail(b, true));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SortByTail)->Range(1 << 10, 1 << 17);
+
+void BM_MultiplexMul(benchmark::State& state) {
+  int64_t n = state.range(0);
+  mirror::base::Rng rng(10);
+  std::vector<double> a(static_cast<size_t>(n));
+  std::vector<double> b(static_cast<size_t>(n));
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.UniformDouble();
+    b[i] = rng.UniformDouble();
+  }
+  Bat l = Bat::DenseDbls(std::move(a));
+  Bat r = Bat::DenseDbls(std::move(b));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MapBinary(l, r, BinOp::kMul));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MultiplexMul)->Range(1 << 10, 1 << 18);
+
+void BM_BeliefTfIdf(benchmark::State& state) {
+  int64_t n = state.range(0);
+  mirror::base::Rng rng(11);
+  std::vector<int64_t> tf(static_cast<size_t>(n));
+  std::vector<int64_t> df(static_cast<size_t>(n));
+  std::vector<int64_t> len(static_cast<size_t>(n));
+  for (size_t i = 0; i < tf.size(); ++i) {
+    tf[i] = rng.UniformInt(1, 8);
+    df[i] = rng.UniformInt(1, 500);
+    len[i] = rng.UniformInt(20, 80);
+  }
+  Bat tf_bat = Bat::DenseInts(std::move(tf));
+  Bat df_bat = Bat::DenseInts(std::move(df));
+  Bat len_bat = Bat::DenseInts(std::move(len));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BeliefTfIdf(tf_bat, df_bat, len_bat, 10000, 50.0, BeliefParams()));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BeliefTfIdf)->Range(1 << 10, 1 << 18);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Experiment E6 (paper §5.1): AutoClass-style Bayesian classification of
+// the feature spaces vs the k-means baseline — model selection (BIC
+// curve), recovery of planted classes (Rand index) and cost.
+
+#include <cstdio>
+
+#include "base/rng.h"
+#include "base/stopwatch.h"
+#include "base/str_util.h"
+#include "base/table_printer.h"
+#include "mm/clustering.h"
+
+namespace {
+
+using namespace mirror;  // NOLINT(build/namespaces)
+using mm::AutoClass;
+using mm::ClusteringResult;
+using mm::KMeans;
+
+std::vector<std::vector<double>> PlantedMixture(int n_per_class, int k,
+                                                int dim, double separation,
+                                                uint64_t seed,
+                                                std::vector<int>* truth) {
+  base::Rng rng(seed);
+  std::vector<std::vector<double>> data;
+  for (int c = 0; c < k; ++c) {
+    for (int i = 0; i < n_per_class; ++i) {
+      std::vector<double> x(static_cast<size_t>(dim));
+      for (int d = 0; d < dim; ++d) {
+        double center = ((c + d) % k) * separation;
+        x[static_cast<size_t>(d)] = center + rng.Gaussian(0.0, 1.0);
+      }
+      data.push_back(std::move(x));
+      truth->push_back(c);
+    }
+  }
+  return data;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E6a: BIC model selection on planted mixtures (300 points, 8 dims,\n"
+      "separation 6 sigma). BIC minimum should sit at the planted K.\n\n");
+  {
+    base::TablePrinter table({"planted K", "selected K", "Rand index",
+                              "BIC at K-1", "BIC at K", "BIC at K+1"});
+    for (int planted_k : {3, 4, 6}) {
+      std::vector<int> truth;
+      auto data = PlantedMixture(300 / planted_k, planted_k, 8, 6.0,
+                                 static_cast<uint64_t>(planted_k), &truth);
+      AutoClass::Options options;
+      options.min_k = 2;
+      options.max_k = 9;
+      std::vector<double> bics;
+      ClusteringResult result = AutoClass(options).Run(data, &bics);
+      auto bic_at = [&](int k) -> std::string {
+        int idx = k - options.min_k;
+        if (idx < 0 || idx >= static_cast<int>(bics.size())) return "-";
+        return base::StrFormat("%.0f", bics[static_cast<size_t>(idx)]);
+      };
+      table.AddRow({base::StrFormat("%d", planted_k),
+                    base::StrFormat("%d", result.k),
+                    base::StrFormat("%.3f",
+                                    mm::RandIndex(result.assignment, truth)),
+                    bic_at(planted_k - 1), bic_at(planted_k),
+                    bic_at(planted_k + 1)});
+    }
+    table.Print();
+  }
+
+  std::printf(
+      "\nE6b: AutoClass (EM, known K) vs k-means on the same mixtures —\n"
+      "quality and cost.\n\n");
+  {
+    base::TablePrinter table({"points", "dims", "AutoClass Rand",
+                              "k-means Rand", "AutoClass ms", "k-means ms"});
+    for (int n : {200, 600, 1200}) {
+      std::vector<int> truth;
+      auto data =
+          PlantedMixture(n / 4, 4, 12, 4.0, static_cast<uint64_t>(n), &truth);
+      base::Stopwatch sw_ac;
+      ClusteringResult ac = AutoClass().RunFixedK(data, 4);
+      double ac_ms = sw_ac.ElapsedMillis();
+      base::Stopwatch sw_km;
+      ClusteringResult km = KMeans().Run(data, 4);
+      double km_ms = sw_km.ElapsedMillis();
+      table.AddRow({base::StrFormat("%d", n), "12",
+                    base::StrFormat("%.3f",
+                                    mm::RandIndex(ac.assignment, truth)),
+                    base::StrFormat("%.3f",
+                                    mm::RandIndex(km.assignment, truth)),
+                    base::StrFormat("%.1f", ac_ms),
+                    base::StrFormat("%.1f", km_ms)});
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nExpected shape: BIC picks the planted K (+-1); EM matches or\n"
+      "beats k-means in Rand index at higher cost per iteration.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Experiment E9 (Figure 1): the open distributed architecture. Metadata
+// extraction runs as independent daemons behind an ORB; this bench
+// reports pipeline throughput and broker traffic as the number of
+// feature daemons grows, plus the event-channel behaviour of ingest.
+
+#include <cstdio>
+
+#include "base/stopwatch.h"
+#include "base/str_util.h"
+#include "base/table_printer.h"
+#include "daemon/pipeline.h"
+#include "mm/synthetic_library.h"
+
+namespace {
+
+using namespace mirror;  // NOLINT(build/namespaces)
+using daemon::DataDictionary;
+using daemon::ExtractionPipeline;
+using daemon::MediaServer;
+using daemon::Orb;
+
+}  // namespace
+
+int main() {
+  mm::LibraryOptions lib_options;
+  lib_options.num_images = 40;
+  lib_options.image_size = 32;
+  lib_options.num_classes = 4;
+  lib_options.seed = 7;
+  auto library = mm::SyntheticLibrary(lib_options).Generate();
+
+  std::printf(
+      "E9: extraction pipeline vs number of feature daemons\n"
+      "(%d images of %dx%d through the ORB).\n\n",
+      lib_options.num_images, lib_options.image_size, lib_options.image_size);
+
+  const std::vector<std::vector<std::string>> daemon_sets = {
+      {"rgb"},
+      {"rgb", "hsv"},
+      {"rgb", "hsv", "lbp"},
+      {"rgb", "hsv", "lbp", "glcm"},
+      {"rgb", "hsv", "lbp", "glcm", "laws"},
+  };
+
+  base::TablePrinter table({"feature daemons", "pipeline ms", "imgs/s",
+                            "ORB invocations", "events", "MB marshalled"});
+  for (const auto& spaces : daemon_sets) {
+    Orb orb;
+    MediaServer media;
+    DataDictionary dict;
+    daemon::PipelineOptions options;
+    options.feature_spaces = spaces;
+    options.autoclass.min_k = 2;
+    options.autoclass.max_k = 5;
+    ExtractionPipeline pipeline(&orb, &media, &dict, options);
+    auto status = pipeline.Ingest(library);
+    MIRROR_CHECK(status.ok()) << status.ToString();
+    base::Stopwatch sw;
+    status = pipeline.Run();
+    MIRROR_CHECK(status.ok()) << status.ToString();
+    double ms = sw.ElapsedMillis();
+    const daemon::OrbStats& stats = orb.stats();
+    table.AddRow(
+        {base::StrFormat("%zu", spaces.size()), base::StrFormat("%.1f", ms),
+         base::StrFormat("%.1f", lib_options.num_images / (ms / 1000.0)),
+         base::StrFormat("%llu", (unsigned long long)stats.invocations),
+         base::StrFormat("%llu", (unsigned long long)stats.events_delivered),
+         base::StrFormat("%.2f",
+                         static_cast<double>(stats.bytes_marshalled) / 1e6)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: cost grows roughly linearly with the number of\n"
+      "independent extraction daemons; broker traffic scales with\n"
+      "(daemons x images); adding a daemon never changes the output of\n"
+      "the others (tested in thesaurus_daemon_test).\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Experiment E8 (paper §5.2): the end-to-end demo — dual-coding retrieval
+// (text -> thesaurus -> visual clusters) vs text-only retrieval on a
+// partially annotated library, and precision across relevance-feedback
+// rounds. Ground truth comes from the synthetic library's planted
+// classes.
+
+#include <cstdio>
+
+#include "base/str_util.h"
+#include "base/table_printer.h"
+#include "mirror/retrieval_app.h"
+#include "mm/synthetic_library.h"
+
+namespace {
+
+using namespace mirror;  // NOLINT(build/namespaces)
+using db::ImageRetrievalApp;
+using db::RankedImage;
+using db::RetrievalMode;
+
+double PrecisionAtK(const std::vector<RankedImage>& ranked,
+                    const std::vector<mm::LibraryImage>& library,
+                    int want_class, int k) {
+  int hits = 0;
+  int considered = 0;
+  for (const RankedImage& r : ranked) {
+    if (considered >= k) break;
+    ++considered;
+    if (library[static_cast<size_t>(r.oid)].true_class == want_class) ++hits;
+  }
+  return considered == 0
+             ? 0.0
+             : static_cast<double>(hits) / static_cast<double>(considered);
+}
+
+}  // namespace
+
+int main() {
+  mm::LibraryOptions lib_options;
+  lib_options.num_images = 100;
+  lib_options.image_size = 32;
+  lib_options.num_classes = 5;
+  lib_options.annotated_fraction = 0.5;
+  lib_options.seed = 42;
+  mm::SyntheticLibrary generator(lib_options);
+  auto library = generator.Generate();
+
+  ImageRetrievalApp::Options app_options;
+  app_options.pipeline.feature_spaces = {"rgb", "hsv", "lbp", "glcm"};
+  app_options.pipeline.autoclass.min_k = 3;
+  app_options.pipeline.autoclass.max_k = 8;
+  ImageRetrievalApp app(app_options);
+  auto status = app.Build(library);
+  MIRROR_CHECK(status.ok()) << status.ToString();
+
+  const int k = 20;  // class size = 100 / 5
+  std::printf(
+      "E8a: retrieval mode comparison, P@%d per query class (50%% of the\n"
+      "library is annotated; text-only cannot see the other half).\n\n",
+      k);
+  {
+    base::TablePrinter table(
+        {"query", "P@20 text-only", "P@20 visual-only", "P@20 dual"});
+    double sums[3] = {0, 0, 0};
+    for (int cls = 0; cls < lib_options.num_classes; ++cls) {
+      std::string query = generator.ClassWords(cls)[0];
+      double p[3];
+      RetrievalMode modes[3] = {RetrievalMode::kTextOnly,
+                                RetrievalMode::kVisualOnly,
+                                RetrievalMode::kDualCoding};
+      for (int m = 0; m < 3; ++m) {
+        auto ranked = app.Search(query, modes[m], k);
+        MIRROR_CHECK(ranked.ok()) << ranked.status().ToString();
+        p[m] = PrecisionAtK(ranked.value(), library, cls, k);
+        sums[m] += p[m];
+      }
+      table.AddRow({query, base::StrFormat("%.2f", p[0]),
+                    base::StrFormat("%.2f", p[1]),
+                    base::StrFormat("%.2f", p[2])});
+    }
+    table.AddRow({"MEAN",
+                  base::StrFormat("%.2f", sums[0] / lib_options.num_classes),
+                  base::StrFormat("%.2f", sums[1] / lib_options.num_classes),
+                  base::StrFormat("%.2f", sums[2] / lib_options.num_classes)});
+    table.Print();
+  }
+
+  std::printf(
+      "\nE8b: relevance feedback rounds (visual query refined from judged\n"
+      "relevant images), mean P@%d over all classes. The session starts\n"
+      "from a deliberately weak formulation (top-1 thesaurus cluster of\n"
+      "texture features only) so feedback has room to act.\n\n",
+      k);
+  {
+    // A handicapped second app: texture-only visual code, single-cluster
+    // initial formulation.
+    ImageRetrievalApp::Options weak_options;
+    weak_options.pipeline.feature_spaces = {"lbp", "laws"};
+    weak_options.pipeline.autoclass.min_k = 2;
+    weak_options.pipeline.autoclass.max_k = 4;
+    weak_options.thesaurus_top_k = 1;
+    ImageRetrievalApp weak_app(weak_options);
+    auto weak_status = weak_app.Build(library);
+    MIRROR_CHECK(weak_status.ok()) << weak_status.ToString();
+    base::TablePrinter table({"round", "mean P@20"});
+    const int rounds = 3;
+    std::vector<double> per_round(rounds, 0.0);
+    for (int cls = 0; cls < lib_options.num_classes; ++cls) {
+      std::string query = generator.ClassWords(cls)[0];
+      std::vector<moa::WeightedTerm> session;
+      std::vector<monet::Oid> relevant;
+      for (int round = 0; round < rounds; ++round) {
+        auto ranked =
+            weak_app.SearchWithFeedback(query, relevant, &session, k);
+        MIRROR_CHECK(ranked.ok()) << ranked.status().ToString();
+        per_round[static_cast<size_t>(round)] +=
+            PrecisionAtK(ranked.value(), library, cls, k);
+        relevant.clear();
+        for (const RankedImage& r : ranked.value()) {
+          if (library[static_cast<size_t>(r.oid)].true_class == cls) {
+            relevant.push_back(r.oid);
+          }
+        }
+      }
+    }
+    for (int round = 0; round < rounds; ++round) {
+      table.AddRow({base::StrFormat("%d", round + 1),
+                    base::StrFormat("%.2f",
+                                    per_round[static_cast<size_t>(round)] /
+                                        lib_options.num_classes)});
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nExpected shape: dual coding >= text-only on the half-annotated\n"
+      "library (it reaches unannotated class members through the visual\n"
+      "code); feedback is non-decreasing on average.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Experiment E5 (paper §5.1): throughput of the feature-extraction
+// daemons — the two color histogram daemons and the four texture
+// reference implementations — per segment, over image sizes, with
+// google-benchmark.
+
+#include <benchmark/benchmark.h>
+
+#include "mm/features.h"
+#include "mm/segmentation.h"
+#include "mm/synthetic_library.h"
+
+namespace {
+
+using namespace mirror::mm;  // NOLINT(build/namespaces)
+
+struct Prepared {
+  Image image;
+  Segment segment;
+};
+
+Prepared PrepareImage(int size) {
+  LibraryOptions options;
+  options.num_images = 1;
+  options.image_size = size;
+  options.seed = 123;
+  Image image = SyntheticLibrary(options).Generate()[0].image;
+  Segment segment;
+  segment.min_x = 0;
+  segment.min_y = 0;
+  segment.max_x = size - 1;
+  segment.max_y = size - 1;
+  for (int i = 0; i < size * size; ++i) segment.pixel_indices.push_back(i);
+  return Prepared{std::move(image), std::move(segment)};
+}
+
+template <typename Extractor>
+void BM_Feature(benchmark::State& state) {
+  Prepared p = PrepareImage(static_cast<int>(state.range(0)));
+  Extractor extractor;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.Extract(p.image, p.segment));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(0));
+  state.SetLabel(extractor.name());
+}
+
+void BM_RgbHistogram(benchmark::State& state) {
+  BM_Feature<RgbHistogram>(state);
+}
+void BM_HsvHistogram(benchmark::State& state) {
+  BM_Feature<HsvHistogram>(state);
+}
+void BM_GaborBank(benchmark::State& state) { BM_Feature<GaborBank>(state); }
+void BM_Glcm(benchmark::State& state) { BM_Feature<Glcm>(state); }
+void BM_LawsEnergy(benchmark::State& state) { BM_Feature<LawsEnergy>(state); }
+void BM_Lbp(benchmark::State& state) { BM_Feature<Lbp>(state); }
+
+BENCHMARK(BM_RgbHistogram)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_HsvHistogram)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_GaborBank)->Arg(32)->Arg(64);
+BENCHMARK(BM_Glcm)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_LawsEnergy)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Lbp)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Segmenter(benchmark::State& state) {
+  Prepared p = PrepareImage(static_cast<int>(state.range(0)));
+  Segmenter segmenter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(segmenter.Split(p.image));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) *
+                          state.range(0));
+}
+BENCHMARK(BM_Segmenter)->Arg(32)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Scenario: Moa's open complex object system (§2). Registers a
+// domain-specific structure with the structure registry, uses it in a
+// schema, and shows the flattened physical layout the loader produced —
+// plus catalog persistence of the whole physical database.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "moa/database.h"
+#include "moa/structure_registry.h"
+#include "moa/structure_type.h"
+
+int main() {
+  using namespace mirror;  // NOLINT(build/namespaces)
+
+  // 1. Register GEOTAG as a new Moa structure: structurally a tuple of
+  //    two doubles. Downstream code (type checker, loader, flattener)
+  //    needs no changes — exactly the extensibility argument of §2.
+  moa::StructureInfo info;
+  info.name = "GEOTAG";
+  info.description = "WGS84 position as <lat, lon>";
+  info.make_type = [](std::string_view) -> base::Result<moa::StructTypePtr> {
+    return moa::StructType::Tuple(
+        {{"lat", moa::StructType::Atomic(moa::BaseType::kDbl)},
+         {"lon", moa::StructType::Atomic(moa::BaseType::kDbl)}});
+  };
+  auto reg_status = moa::StructureRegistry::Global().RegisterStructure(info);
+  MIRROR_CHECK(reg_status.ok()) << reg_status.ToString();
+  std::printf("Registered structures:");
+  for (const std::string& name : moa::StructureRegistry::Global().Names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n\n");
+
+  // 2. Use it in a schema, along with a nested segment set carrying
+  //    feature vectors (the paper's internal schema shape).
+  moa::Database database;
+  auto status = database.Define(
+      "define GeoLibrary as SET< TUPLE< Atomic<URL>: source, "
+      "SET< TUPLE< Atomic<Image>: segment, Atomic<Vector>: RGB > >: "
+      "image_segments >>;");
+  MIRROR_CHECK(status.ok()) << status.ToString();
+
+  auto schema = database.GetSet("GeoLibrary");
+  std::printf("GeoLibrary element type:\n  %s\n\n",
+              schema.value()->type->element()->ToString().c_str());
+
+  // 3. Load nested objects: the loader vertically fragments them into
+  //    BATs (association BAT + per-dimension vector BATs).
+  std::vector<moa::MoaValue> objects;
+  for (int i = 0; i < 3; ++i) {
+    std::vector<moa::MoaValue> segments;
+    for (int s = 0; s <= i; ++s) {
+      segments.push_back(moa::MoaValue::Tuple(
+          {moa::MoaValue::Str("seg_" + std::to_string(s)),
+           moa::MoaValue::Vector({0.1 * i, 0.2 * s, 0.3})}));
+    }
+    objects.push_back(moa::MoaValue::Tuple(
+        {moa::MoaValue::Str("http://geo/" + std::to_string(i)),
+         moa::MoaValue::SetOf(std::move(segments))}));
+  }
+  status = database.Load("GeoLibrary", std::move(objects));
+  MIRROR_CHECK(status.ok()) << status.ToString();
+
+  std::printf("Physical catalog (vertical fragmentation):\n");
+  for (const std::string& name : database.catalog()->Names()) {
+    auto bat = database.catalog()->Get(name);
+    std::printf("  %-30s %s\n", name.c_str(),
+                bat.value()->DebugString(4).c_str());
+  }
+
+  // 4. Persist the whole physical database and reload it.
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "mirror_geo_demo").string();
+  status = database.catalog()->SaveTo(dir);
+  MIRROR_CHECK(status.ok()) << status.ToString();
+  monet::Catalog restored;
+  status = restored.LoadFrom(dir);
+  MIRROR_CHECK(status.ok()) << status.ToString();
+  std::printf("\nPersisted and reloaded %zu BATs from %s\n", restored.size(),
+              dir.c_str());
+  std::filesystem::remove_all(dir);
+  return 0;
+}

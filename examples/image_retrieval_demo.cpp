@@ -1,0 +1,95 @@
+// The §5 demo system end to end: a synthetic web-robot image library is
+// ingested through the Figure-1 daemon environment (media server,
+// segmenter, feature daemons, AutoClass clusterer behind an ORB), the
+// association thesaurus is built, and a user session runs a textual
+// query with dual-coding retrieval and relevance feedback.
+
+#include <cstdio>
+
+#include "base/str_util.h"
+#include "mirror/retrieval_app.h"
+#include "mm/synthetic_library.h"
+
+int main() {
+  using namespace mirror;  // NOLINT(build/namespaces)
+
+  // The "web robot" harvest: 80 images, 4 planted visual classes, only
+  // 60% carry textual annotations (paper §5.1: "Some of the images in
+  // the library are annotated with text").
+  mm::LibraryOptions lib_options;
+  lib_options.num_images = 80;
+  lib_options.image_size = 32;
+  lib_options.num_classes = 4;
+  lib_options.annotated_fraction = 0.6;
+  lib_options.seed = 2026;
+  mm::SyntheticLibrary generator(lib_options);
+  auto library = generator.Generate();
+
+  db::ImageRetrievalApp::Options options;
+  options.pipeline.feature_spaces = {"rgb", "hsv", "gabor", "lbp"};
+  options.pipeline.autoclass.min_k = 3;
+  options.pipeline.autoclass.max_k = 8;
+  db::ImageRetrievalApp app(options);
+
+  std::printf("Building the demo system (daemons at work)...\n");
+  auto status = app.Build(library);
+  MIRROR_CHECK(status.ok()) << status.ToString();
+
+  const daemon::OrbStats& orb = app.orb().stats();
+  std::printf(
+      "  ORB: %llu invocations, %llu events, %.2f MB marshalled\n",
+      static_cast<unsigned long long>(orb.invocations),
+      static_cast<unsigned long long>(orb.events_delivered),
+      static_cast<double>(orb.bytes_marshalled) / 1e6);
+  std::printf("  Registered objects:");
+  for (const std::string& name : app.orb().ObjectNames()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n\n");
+
+  // The thesaurus bridges the verbal and the imaginal code.
+  std::string query_word = generator.ClassWords(2)[0];
+  std::printf("Thesaurus associations for '%s':\n", query_word.c_str());
+  for (const auto& assoc : app.thesaurus().Associations(query_word, 5)) {
+    std::printf("  %-10s %.4f\n", assoc.visual_term.c_str(), assoc.score);
+  }
+
+  // Round 1: initial textual query, dual-coding retrieval.
+  std::printf("\nQuery: \"%s\" (dual coding)\n", query_word.c_str());
+  auto round1 = app.Search(query_word, db::RetrievalMode::kDualCoding, 8);
+  MIRROR_CHECK(round1.ok()) << round1.status().ToString();
+  std::vector<monet::Oid> relevant;
+  for (const db::RankedImage& r : round1.value()) {
+    const mm::LibraryImage& entry = library[static_cast<size_t>(r.oid)];
+    bool is_relevant = entry.true_class == 2;
+    std::printf("  %-28s %.4f  %s%s\n", r.url.c_str(), r.score,
+                is_relevant ? "RELEVANT" : "-",
+                entry.annotation.empty() ? " (unannotated)" : "");
+    if (is_relevant) relevant.push_back(r.oid);
+  }
+
+  // Round 2: the user judges the relevant images; the visual query is
+  // refined through the image CONTREP's inference network.
+  std::printf("\nFeedback with %zu judged images; re-querying...\n",
+              relevant.size());
+  std::vector<moa::WeightedTerm> session;
+  auto seed = app.SearchWithFeedback(query_word, {}, &session, 8);
+  MIRROR_CHECK(seed.ok());
+  auto round2 = app.SearchWithFeedback(query_word, relevant, &session, 8);
+  MIRROR_CHECK(round2.ok()) << round2.status().ToString();
+  std::printf("Refined visual query:");
+  for (const moa::WeightedTerm& wt : session) {
+    std::printf(" %s:%.2f", wt.term.c_str(), wt.weight);
+  }
+  std::printf("\n");
+  int relevant_count = 0;
+  for (const db::RankedImage& r : round2.value()) {
+    const mm::LibraryImage& entry = library[static_cast<size_t>(r.oid)];
+    if (entry.true_class == 2) ++relevant_count;
+    std::printf("  %-28s %.4f  %s\n", r.url.c_str(), r.score,
+                entry.true_class == 2 ? "RELEVANT" : "-");
+  }
+  std::printf("\n%d of %zu results relevant after feedback.\n",
+              relevant_count, round2.value().size());
+  return 0;
+}

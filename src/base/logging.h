@@ -1,0 +1,66 @@
+#ifndef MIRROR_BASE_LOGGING_H_
+#define MIRROR_BASE_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+namespace mirror::base {
+
+namespace internal_logging {
+
+/// Accumulates a fatal diagnostic and aborts the process when destroyed.
+/// Used by the MIRROR_CHECK family; not part of the public API.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " CHECK failed: " << condition << " ";
+  }
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  ~FatalMessage() {
+    std::fputs(stream_.str().c_str(), stderr);
+    std::fputc('\n', stderr);
+    std::abort();
+  }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Turns the streamed-into ostream back into `void` so that both branches
+/// of the MIRROR_CHECK ternary have type void. operator& is chosen because
+/// it binds looser than operator<<.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace mirror::base
+
+/// Aborts with a diagnostic if `cond` is false. Enabled in all build modes:
+/// the kernel relies on these invariants and silent corruption is worse
+/// than a crash. Additional context may be streamed:
+///   MIRROR_CHECK(i < n) << "i=" << i;
+#define MIRROR_CHECK(cond)                                       \
+  (cond) ? static_cast<void>(0)                                  \
+         : ::mirror::base::internal_logging::Voidify() &         \
+               ::mirror::base::internal_logging::FatalMessage(   \
+                   __FILE__, __LINE__, #cond)                    \
+                   .stream()
+
+#define MIRROR_CHECK_EQ(a, b) MIRROR_CHECK((a) == (b))
+#define MIRROR_CHECK_NE(a, b) MIRROR_CHECK((a) != (b))
+#define MIRROR_CHECK_LT(a, b) MIRROR_CHECK((a) < (b))
+#define MIRROR_CHECK_LE(a, b) MIRROR_CHECK((a) <= (b))
+#define MIRROR_CHECK_GT(a, b) MIRROR_CHECK((a) > (b))
+#define MIRROR_CHECK_GE(a, b) MIRROR_CHECK((a) >= (b))
+
+/// Marks unreachable code paths.
+#define MIRROR_UNREACHABLE() MIRROR_CHECK(false) << "unreachable"
+
+#endif  // MIRROR_BASE_LOGGING_H_

@@ -1,0 +1,43 @@
+#include "base/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mirror::base {
+
+double Rng::Gaussian() {
+  if (have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller transform; u1 in (0,1] to keep log finite.
+  double u1 = 1.0 - UniformDouble();
+  double u2 = UniformDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  have_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  MIRROR_CHECK_GT(n, 0u);
+  if (zipf_n_ != n || zipf_s_ != s) {
+    // Build the CDF once per (n, s); sampling is then a binary search.
+    zipf_cdf_.resize(n);
+    double sum = 0.0;
+    for (uint64_t k = 0; k < n; ++k) {
+      sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      zipf_cdf_[k] = sum;
+    }
+    for (uint64_t k = 0; k < n; ++k) zipf_cdf_[k] /= sum;
+    zipf_n_ = n;
+    zipf_s_ = s;
+  }
+  double u = UniformDouble();
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  if (it == zipf_cdf_.end()) return n - 1;
+  return static_cast<uint64_t>(it - zipf_cdf_.begin());
+}
+
+}  // namespace mirror::base

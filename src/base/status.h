@@ -1,0 +1,145 @@
+#ifndef MIRROR_BASE_STATUS_H_
+#define MIRROR_BASE_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mirror::base {
+
+/// Error categories used across the Mirror DBMS. The set is deliberately
+/// small; the message carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kTypeError,
+  kParseError,
+  kInternal,
+  kUnimplemented,
+  kIoError,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Arrow/RocksDB-style status object. The library does not throw across
+/// public API boundaries; fallible operations return `Status` or
+/// `Result<T>`.
+///
+/// A default-constructed `Status` is OK. Error statuses carry a code and a
+/// message. `Status` is cheap to copy for OK (no allocation) and carries a
+/// heap string only for errors.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with `code` and `message`. Use the named factory
+  /// functions below in new code.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-error, used as return type for fallible constructors and
+/// lookups. Either holds a `T` (then `ok()` is true) or an error `Status`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: allows `return value;` in functions returning
+  /// `Result<T>`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error status; programs that construct a `Result` from
+  /// an OK status are defective, and get `kInternal`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access to the contained value. Precondition: `ok()`.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  /// Moves the value out. Precondition: `ok()`.
+  T TakeValue() { return *std::move(value_); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace mirror::base
+
+/// Propagates an error status from an expression producing `Status`.
+#define MIRROR_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::mirror::base::Status _status = (expr);        \
+    if (!_status.ok()) return _status;              \
+  } while (0)
+
+/// Assigns the value of a `Result<T>` expression to `lhs`, propagating the
+/// error status on failure. `lhs` may include a declaration.
+#define MIRROR_ASSIGN_OR_RETURN_IMPL(var, lhs, expr) \
+  auto var = (expr);                                 \
+  if (!var.ok()) return var.status();                \
+  lhs = std::move(var).TakeValue()
+
+#define MIRROR_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define MIRROR_ASSIGN_OR_RETURN_NAME(a, b) MIRROR_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define MIRROR_ASSIGN_OR_RETURN(lhs, expr) \
+  MIRROR_ASSIGN_OR_RETURN_IMPL(            \
+      MIRROR_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, expr)
+
+#endif  // MIRROR_BASE_STATUS_H_

@@ -1,0 +1,32 @@
+#ifndef MIRROR_BASE_TABLE_PRINTER_H_
+#define MIRROR_BASE_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace mirror::base {
+
+/// Fixed-width ASCII table writer used by the experiment harnesses to print
+/// paper-style result tables (EXPERIMENTS.md records these verbatim).
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a data row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with a header rule.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mirror::base
+
+#endif  // MIRROR_BASE_TABLE_PRINTER_H_

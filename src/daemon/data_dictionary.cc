@@ -1,0 +1,69 @@
+#include "daemon/data_dictionary.h"
+
+namespace mirror::daemon {
+
+base::Status DataDictionary::RegisterSchema(const moa::SchemaDef& def) {
+  if (schemas_.count(def.name) > 0) {
+    return base::Status::AlreadyExists("schema already registered: " +
+                                       def.name);
+  }
+  schemas_.emplace(def.name, def);
+  return base::Status::Ok();
+}
+
+base::Result<moa::StructTypePtr> DataDictionary::GetSchema(
+    const std::string& name) const {
+  auto it = schemas_.find(name);
+  if (it == schemas_.end()) {
+    return base::Status::NotFound("no schema named: " + name);
+  }
+  return it->second.type;
+}
+
+std::vector<std::string> DataDictionary::SchemaNames() const {
+  std::vector<std::string> names;
+  names.reserve(schemas_.size());
+  for (const auto& [name, def] : schemas_) names.push_back(name);
+  return names;
+}
+
+void DataDictionary::RecordDerivation(const std::string& set_name,
+                                      const std::string& field,
+                                      const std::string& daemon_name) {
+  derivations_[set_name][field] = daemon_name;
+}
+
+std::map<std::string, std::string> DataDictionary::DerivationsOf(
+    const std::string& set_name) const {
+  auto it = derivations_.find(set_name);
+  if (it == derivations_.end()) return {};
+  return it->second;
+}
+
+void DataDictionary::NoteObject(const std::string& set_name,
+                                monet::Oid oid) {
+  objects_[set_name].insert(oid);
+}
+
+void DataDictionary::MarkProcessed(const std::string& set_name,
+                                   monet::Oid oid,
+                                   const std::string& daemon_name) {
+  processed_[{set_name, daemon_name}].insert(oid);
+}
+
+std::vector<monet::Oid> DataDictionary::PendingFor(
+    const std::string& set_name, const std::string& daemon_name) const {
+  std::vector<monet::Oid> pending;
+  auto objects_it = objects_.find(set_name);
+  if (objects_it == objects_.end()) return pending;
+  auto processed_it = processed_.find({set_name, daemon_name});
+  for (monet::Oid oid : objects_it->second) {
+    if (processed_it == processed_.end() ||
+        processed_it->second.count(oid) == 0) {
+      pending.push_back(oid);
+    }
+  }
+  return pending;
+}
+
+}  // namespace mirror::daemon

@@ -1,0 +1,68 @@
+#ifndef MIRROR_DAEMON_DATA_DICTIONARY_H_
+#define MIRROR_DAEMON_DATA_DICTIONARY_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "moa/structure_type.h"
+#include "monet/value.h"
+
+namespace mirror::daemon {
+
+/// The distributed data dictionary of Figure 1: it tracks which schemas
+/// exist, which daemons derive which fields, and which objects each
+/// daemon has already processed — so independent parties can create meta
+/// data without coordinating with each other (the paper's "independence
+/// between the management of meta data and the parties that create these
+/// meta data").
+class DataDictionary {
+ public:
+  DataDictionary() = default;
+
+  /// Registers a schema (e.g. the user-facing ImageLibrary and the
+  /// daemon-derived ImageLibraryInternal).
+  base::Status RegisterSchema(const moa::SchemaDef& def);
+
+  /// Looks up a registered schema type.
+  base::Result<moa::StructTypePtr> GetSchema(const std::string& name) const;
+
+  /// All registered schema names, sorted.
+  std::vector<std::string> SchemaNames() const;
+
+  /// Declares that `daemon_name` derives `field` of `set_name` (e.g.
+  /// "segmenter" derives "image_segments").
+  void RecordDerivation(const std::string& set_name, const std::string& field,
+                        const std::string& daemon_name);
+
+  /// The declared derivations of a set: field -> daemon.
+  std::map<std::string, std::string> DerivationsOf(
+      const std::string& set_name) const;
+
+  /// Notes a new object that daemons still have to process.
+  void NoteObject(const std::string& set_name, monet::Oid oid);
+
+  /// Marks `oid` processed by `daemon_name`.
+  void MarkProcessed(const std::string& set_name, monet::Oid oid,
+                     const std::string& daemon_name);
+
+  /// Objects of `set_name` not yet processed by `daemon_name`, ascending.
+  std::vector<monet::Oid> PendingFor(const std::string& set_name,
+                                     const std::string& daemon_name) const;
+
+ private:
+  std::map<std::string, moa::SchemaDef> schemas_;
+  // set -> field -> daemon.
+  std::map<std::string, std::map<std::string, std::string>> derivations_;
+  // set -> all noted oids.
+  std::map<std::string, std::set<monet::Oid>> objects_;
+  // (set, daemon) -> processed oids.
+  std::map<std::pair<std::string, std::string>, std::set<monet::Oid>>
+      processed_;
+};
+
+}  // namespace mirror::daemon
+
+#endif  // MIRROR_DAEMON_DATA_DICTIONARY_H_

@@ -1,0 +1,43 @@
+#include "daemon/media_server.h"
+
+namespace mirror::daemon {
+
+void MediaServer::Put(const std::string& url, std::vector<uint8_t> blob) {
+  auto it = blobs_.find(url);
+  if (it != blobs_.end()) payload_bytes_ -= it->second.size();
+  payload_bytes_ += blob.size();
+  blobs_[url] = std::move(blob);
+}
+
+base::Result<std::vector<uint8_t>> MediaServer::Get(
+    const std::string& url) const {
+  auto it = blobs_.find(url);
+  if (it == blobs_.end()) {
+    return base::Status::NotFound("no media at: " + url);
+  }
+  return it->second;
+}
+
+base::Result<OrbMessage> MediaServer::Dispatch(const OrbMessage& request) {
+  auto url_it = request.args.find("url");
+  if (url_it == request.args.end()) {
+    return base::Status::InvalidArgument("media request without url");
+  }
+  if (request.method == "put") {
+    Put(url_it->second, request.blob);
+    OrbMessage reply;
+    reply.method = "ok";
+    return reply;
+  }
+  if (request.method == "get") {
+    auto blob = Get(url_it->second);
+    if (!blob.ok()) return blob.status();
+    OrbMessage reply;
+    reply.method = "ok";
+    reply.blob = blob.TakeValue();
+    return reply;
+  }
+  return base::Status::Unimplemented("MediaServer method: " + request.method);
+}
+
+}  // namespace mirror::daemon

@@ -1,0 +1,49 @@
+#ifndef MIRROR_DAEMON_MEDIA_SERVER_H_
+#define MIRROR_DAEMON_MEDIA_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "daemon/orb.h"
+
+namespace mirror::daemon {
+
+/// The media server of Figure 1 ("The media server is a web server"): a
+/// URL-keyed blob store holding the multimedia footage. The database
+/// stores only metadata and URLs; daemons fetch rasters from here.
+/// Exposed both as a direct API and as an ORB servant ("get"/"put"
+/// methods with the URL in args and the blob in the payload).
+class MediaServer : public Servant {
+ public:
+  MediaServer() = default;
+
+  /// Stores a blob under `url` (replaces existing).
+  void Put(const std::string& url, std::vector<uint8_t> blob);
+
+  /// Fetches the blob stored under `url`.
+  base::Result<std::vector<uint8_t>> Get(const std::string& url) const;
+
+  bool Contains(const std::string& url) const {
+    return blobs_.count(url) > 0;
+  }
+
+  size_t size() const { return blobs_.size(); }
+
+  /// Total stored payload bytes.
+  size_t payload_bytes() const { return payload_bytes_; }
+
+  // Servant:
+  std::string interface_name() const override { return "MediaServer"; }
+  base::Result<OrbMessage> Dispatch(const OrbMessage& request) override;
+
+ private:
+  std::map<std::string, std::vector<uint8_t>> blobs_;
+  size_t payload_bytes_ = 0;
+};
+
+}  // namespace mirror::daemon
+
+#endif  // MIRROR_DAEMON_MEDIA_SERVER_H_

@@ -1,0 +1,87 @@
+#include "daemon/orb.h"
+
+#include <algorithm>
+
+namespace mirror::daemon {
+
+size_t OrbMessage::MarshalledBytes() const {
+  size_t bytes = method.size();
+  for (const auto& [k, v] : args) bytes += k.size() + v.size() + 8;
+  bytes += blob.size();
+  return bytes + 16;  // header
+}
+
+base::Status Orb::RegisterObject(const std::string& name,
+                                 std::shared_ptr<Servant> servant) {
+  if (servant == nullptr) {
+    return base::Status::InvalidArgument("null servant for " + name);
+  }
+  if (objects_.count(name) > 0) {
+    return base::Status::AlreadyExists("object already bound: " + name);
+  }
+  objects_.emplace(name, std::move(servant));
+  return base::Status::Ok();
+}
+
+std::vector<std::string> Orb::ObjectNames() const {
+  std::vector<std::string> names;
+  names.reserve(objects_.size());
+  for (const auto& [name, servant] : objects_) names.push_back(name);
+  return names;
+}
+
+base::Result<OrbMessage> Orb::Invoke(const std::string& object_name,
+                                     const OrbMessage& request) {
+  auto it = objects_.find(object_name);
+  if (it == objects_.end()) {
+    return base::Status::NotFound("no object bound as: " + object_name);
+  }
+  stats_.invocations += 1;
+  stats_.bytes_marshalled += request.MarshalledBytes();
+  auto reply = it->second->Dispatch(request);
+  if (reply.ok()) stats_.bytes_marshalled += reply.value().MarshalledBytes();
+  return reply;
+}
+
+base::Status Orb::Subscribe(const std::string& topic,
+                            const std::string& object_name) {
+  if (objects_.count(object_name) == 0) {
+    return base::Status::NotFound("subscriber not registered: " +
+                                  object_name);
+  }
+  auto& subs = subscriptions_[topic];
+  if (std::find(subs.begin(), subs.end(), object_name) != subs.end()) {
+    return base::Status::AlreadyExists(object_name + " already subscribes " +
+                                       topic);
+  }
+  subs.push_back(object_name);
+  return base::Status::Ok();
+}
+
+base::Status Orb::Publish(const std::string& topic, OrbMessage event) {
+  stats_.events_published += 1;
+  auto it = subscriptions_.find(topic);
+  if (it == subscriptions_.end()) return base::Status::Ok();
+  for (const std::string& subscriber : it->second) {
+    queue_.push_back(Pending{subscriber, event});
+  }
+  return base::Status::Ok();
+}
+
+base::Result<int64_t> Orb::PumpEvents(int64_t max_events) {
+  int64_t delivered = 0;
+  while (!queue_.empty() &&
+         (max_events == 0 || delivered < max_events)) {
+    Pending p = std::move(queue_.front());
+    queue_.pop_front();
+    auto reply = Invoke(p.object_name, p.event);
+    if (!reply.ok()) return reply.status();
+    stats_.events_delivered += 1;
+    ++delivered;
+  }
+  return delivered;
+}
+
+size_t Orb::pending_events() const { return queue_.size(); }
+
+}  // namespace mirror::daemon

@@ -1,0 +1,103 @@
+#ifndef MIRROR_DAEMON_ORB_H_
+#define MIRROR_DAEMON_ORB_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+
+namespace mirror::daemon {
+
+/// A request/reply message of the in-process object request broker. The
+/// paper used CORBA to "allow distribution of operations, establishing
+/// independence between the management of meta data and the parties that
+/// create these meta data"; this broker preserves the observable
+/// properties of that design — daemons address each other only by object
+/// name, all traffic is marshalled and counted — without the wire.
+struct OrbMessage {
+  std::string method;
+  std::map<std::string, std::string> args;
+  std::vector<uint8_t> blob;  // bulk payload (rasters, feature vectors)
+
+  /// Approximate marshalled size in bytes (for the broker's statistics).
+  size_t MarshalledBytes() const;
+};
+
+/// A remotely invokable object (CORBA servant).
+class Servant {
+ public:
+  virtual ~Servant() = default;
+
+  /// The interface this servant implements (for the dictionary/UI).
+  virtual std::string interface_name() const = 0;
+
+  /// Handles one invocation.
+  virtual base::Result<OrbMessage> Dispatch(const OrbMessage& request) = 0;
+};
+
+/// Broker statistics, reported by experiment E9.
+struct OrbStats {
+  uint64_t invocations = 0;
+  uint64_t events_published = 0;
+  uint64_t events_delivered = 0;
+  uint64_t bytes_marshalled = 0;
+};
+
+/// The object request broker: a name-to-servant registry with synchronous
+/// invocation and a publish/subscribe event channel with per-subscriber
+/// queues (the pipeline parallelism of Figure 1 is observable through the
+/// queues even though execution is single-process).
+class Orb {
+ public:
+  Orb() = default;
+  Orb(const Orb&) = delete;
+  Orb& operator=(const Orb&) = delete;
+
+  /// Registers a servant under an object name.
+  base::Status RegisterObject(const std::string& name,
+                              std::shared_ptr<Servant> servant);
+
+  /// Names of all registered objects, sorted.
+  std::vector<std::string> ObjectNames() const;
+
+  /// Synchronous invocation by object name.
+  base::Result<OrbMessage> Invoke(const std::string& object_name,
+                                  const OrbMessage& request);
+
+  /// Subscribes a registered object to a topic; published events are
+  /// queued per subscriber and delivered by PumpEvents().
+  base::Status Subscribe(const std::string& topic,
+                         const std::string& object_name);
+
+  /// Publishes an event to all subscribers of `topic`.
+  base::Status Publish(const std::string& topic, OrbMessage event);
+
+  /// Delivers queued events (at most `max_events`; 0 = all). Returns the
+  /// number delivered. Errors from servants abort delivery.
+  base::Result<int64_t> PumpEvents(int64_t max_events = 0);
+
+  /// Queued, undelivered events.
+  size_t pending_events() const;
+
+  const OrbStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = OrbStats(); }
+
+ private:
+  struct Pending {
+    std::string object_name;
+    OrbMessage event;
+  };
+
+  std::map<std::string, std::shared_ptr<Servant>> objects_;
+  std::map<std::string, std::vector<std::string>> subscriptions_;
+  std::deque<Pending> queue_;
+  OrbStats stats_;
+};
+
+}  // namespace mirror::daemon
+
+#endif  // MIRROR_DAEMON_ORB_H_

@@ -1,0 +1,366 @@
+#include "daemon/pipeline.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "base/str_util.h"
+#include "mm/features.h"
+#include "mm/image.h"
+
+namespace mirror::daemon {
+
+namespace {
+
+// -- Blob marshalling helpers ------------------------------------------------
+
+void AppendU32(std::vector<uint8_t>* blob, uint32_t v) {
+  size_t at = blob->size();
+  blob->resize(at + 4);
+  std::memcpy(blob->data() + at, &v, 4);
+}
+
+uint32_t ReadU32(const std::vector<uint8_t>& blob, size_t* pos) {
+  uint32_t v = 0;
+  std::memcpy(&v, blob.data() + *pos, 4);
+  *pos += 4;
+  return v;
+}
+
+void AppendDoubles(std::vector<uint8_t>* blob,
+                   const std::vector<double>& v) {
+  AppendU32(blob, static_cast<uint32_t>(v.size()));
+  size_t at = blob->size();
+  blob->resize(at + v.size() * 8);
+  std::memcpy(blob->data() + at, v.data(), v.size() * 8);
+}
+
+std::vector<double> ReadDoubles(const std::vector<uint8_t>& blob,
+                                size_t* pos) {
+  uint32_t n = ReadU32(blob, pos);
+  std::vector<double> v(n);
+  std::memcpy(v.data(), blob.data() + *pos, static_cast<size_t>(n) * 8);
+  *pos += static_cast<size_t>(n) * 8;
+  return v;
+}
+
+std::vector<uint8_t> SerializeSegments(const std::vector<mm::Segment>& segs) {
+  std::vector<uint8_t> blob;
+  AppendU32(&blob, static_cast<uint32_t>(segs.size()));
+  for (const mm::Segment& s : segs) {
+    AppendU32(&blob, static_cast<uint32_t>(s.pixel_indices.size()));
+    size_t at = blob.size();
+    blob.resize(at + s.pixel_indices.size() * 4);
+    std::memcpy(blob.data() + at, s.pixel_indices.data(),
+                s.pixel_indices.size() * 4);
+  }
+  return blob;
+}
+
+OrbMessage MakeMsg(std::string method,
+                   std::map<std::string, std::string> args = {}) {
+  OrbMessage msg;
+  msg.method = std::move(method);
+  msg.args = std::move(args);
+  return msg;
+}
+
+std::vector<mm::Segment> DeserializeSegments(
+    const std::vector<uint8_t>& blob) {
+  size_t pos = 0;
+  uint32_t count = ReadU32(blob, &pos);
+  std::vector<mm::Segment> segs(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t n = ReadU32(blob, &pos);
+    segs[i].pixel_indices.resize(n);
+    std::memcpy(segs[i].pixel_indices.data(), blob.data() + pos,
+                static_cast<size_t>(n) * 4);
+    pos += static_cast<size_t>(n) * 4;
+  }
+  return segs;
+}
+
+// -- Daemon servants ---------------------------------------------------------
+
+/// The segmentation daemon: subscribes to "media.ingested"; fetches the
+/// raster from the media server through the ORB and keeps the segment
+/// masks, served to the feature daemons on request.
+class SegmenterDaemon : public Servant {
+ public:
+  SegmenterDaemon(Orb* orb, DataDictionary* dictionary,
+                  mm::SegmenterOptions options)
+      : orb_(orb), dictionary_(dictionary), segmenter_(options) {}
+
+  std::string interface_name() const override { return "Segmenter"; }
+
+  base::Result<OrbMessage> Dispatch(const OrbMessage& request) override {
+    if (request.method == "media.ingested" || request.method == "segment") {
+      const std::string& url = request.args.at("url");
+      OrbMessage fetch = MakeMsg("get", {{"url", url}});
+      auto raster = orb_->Invoke("media-server", fetch);
+      if (!raster.ok()) return raster.status();
+      mm::Image image = mm::Image::Deserialize(raster.value().blob);
+      segments_[url] = segmenter_.Split(image);
+      dictionary_->MarkProcessed("ImageLibrary",
+                                 std::stoull(request.args.at("oid")),
+                                 "segmenter");
+      OrbMessage reply = MakeMsg("ok");
+      reply.args["segments"] = base::StrFormat(
+          "%zu", segments_[url].size());
+      return reply;
+    }
+    if (request.method == "get_segments") {
+      auto it = segments_.find(request.args.at("url"));
+      if (it == segments_.end()) {
+        return base::Status::NotFound("no segments for " +
+                                      request.args.at("url"));
+      }
+      OrbMessage reply = MakeMsg("ok");
+      reply.blob = SerializeSegments(it->second);
+      return reply;
+    }
+    return base::Status::Unimplemented("Segmenter method: " + request.method);
+  }
+
+ private:
+  Orb* orb_;
+  DataDictionary* dictionary_;
+  mm::Segmenter segmenter_;
+  std::map<std::string, std::vector<mm::Segment>> segments_;
+};
+
+/// One feature-extraction daemon: wraps a FeatureExtractor; fetches the
+/// raster and the segment masks through the ORB, keeps its feature table
+/// and dumps it to the cluster daemon on request.
+class FeatureDaemon : public Servant {
+ public:
+  FeatureDaemon(Orb* orb, std::unique_ptr<mm::FeatureExtractor> extractor)
+      : orb_(orb), extractor_(std::move(extractor)) {}
+
+  std::string interface_name() const override {
+    return "FeatureExtractor/" + extractor_->name();
+  }
+
+  base::Result<OrbMessage> Dispatch(const OrbMessage& request) override {
+    if (request.method == "extract") {
+      const std::string& url = request.args.at("url");
+      OrbMessage fetch = MakeMsg("get", {{"url", url}});
+      auto raster = orb_->Invoke("media-server", fetch);
+      if (!raster.ok()) return raster.status();
+      mm::Image image = mm::Image::Deserialize(raster.value().blob);
+      OrbMessage seg_req = MakeMsg("get_segments", {{"url", url}});
+      auto seg_reply = orb_->Invoke("segmenter", seg_req);
+      if (!seg_reply.ok()) return seg_reply.status();
+      std::vector<mm::Segment> segments =
+          DeserializeSegments(seg_reply.value().blob);
+      for (size_t s = 0; s < segments.size(); ++s) {
+        keys_.push_back({url, static_cast<int>(s)});
+        vectors_.push_back(extractor_->Extract(image, segments[s]));
+      }
+      OrbMessage reply = MakeMsg("ok");
+      reply.args["vectors"] = base::StrFormat("%zu", segments.size());
+      return reply;
+    }
+    if (request.method == "dump") {
+      OrbMessage reply = MakeMsg("ok");
+      AppendU32(&reply.blob, static_cast<uint32_t>(vectors_.size()));
+      for (const auto& v : vectors_) AppendDoubles(&reply.blob, v);
+      std::vector<std::string> key_strings;
+      key_strings.reserve(keys_.size());
+      for (const auto& [url, seg] : keys_) {
+        key_strings.push_back(base::StrFormat("%s#%d", url.c_str(), seg));
+      }
+      reply.args["keys"] = base::Join(key_strings, "\n");
+      return reply;
+    }
+    return base::Status::Unimplemented("FeatureDaemon method: " +
+                                       request.method);
+  }
+
+ private:
+  Orb* orb_;
+  std::unique_ptr<mm::FeatureExtractor> extractor_;
+  std::vector<std::pair<std::string, int>> keys_;
+  std::vector<std::vector<double>> vectors_;
+};
+
+/// The clustering daemon: pulls a feature daemon's table through the ORB,
+/// clusters it (AutoClass or k-means) and replies with the per-key
+/// cluster labels.
+class ClusterDaemon : public Servant {
+ public:
+  ClusterDaemon(Orb* orb, const PipelineOptions& options)
+      : orb_(orb), options_(options) {}
+
+  std::string interface_name() const override { return "Clusterer"; }
+
+  base::Result<OrbMessage> Dispatch(const OrbMessage& request) override {
+    if (request.method != "cluster") {
+      return base::Status::Unimplemented("Clusterer method: " +
+                                         request.method);
+    }
+    const std::string& space = request.args.at("space");
+    OrbMessage dump = MakeMsg("dump");
+    auto table = orb_->Invoke("feature." + space, dump);
+    if (!table.ok()) return table.status();
+    size_t pos = 0;
+    uint32_t count = ReadU32(table.value().blob, &pos);
+    std::vector<std::vector<double>> data;
+    data.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      data.push_back(ReadDoubles(table.value().blob, &pos));
+    }
+    if (data.empty()) {
+      return base::Status::InvalidArgument("no vectors in space " + space);
+    }
+    mm::ClusteringResult result;
+    if (options_.use_autoclass) {
+      mm::AutoClass::Options ac = options_.autoclass;
+      ac.max_k = std::min<int>(ac.max_k, static_cast<int>(data.size()));
+      ac.min_k = std::min<int>(ac.min_k, ac.max_k);
+      result = mm::AutoClass(ac).Run(data);
+    } else {
+      int k = std::min<int>(options_.kmeans_k, static_cast<int>(data.size()));
+      result = mm::KMeans().Run(data, k);
+    }
+    OrbMessage reply = MakeMsg("ok");
+    reply.args["keys"] = table.value().args.at("keys");
+    reply.args["k"] = base::StrFormat("%d", result.k);
+    std::vector<std::string> labels;
+    labels.reserve(result.assignment.size());
+    for (int a : result.assignment) {
+      labels.push_back(base::StrFormat("%d", a));
+    }
+    reply.args["labels"] = base::Join(labels, "\n");
+    return reply;
+  }
+
+ private:
+  Orb* orb_;
+  PipelineOptions options_;
+};
+
+}  // namespace
+
+ExtractionPipeline::ExtractionPipeline(Orb* orb, MediaServer* media,
+                                       DataDictionary* dictionary,
+                                       PipelineOptions options)
+    : orb_(orb), media_(media), dictionary_(dictionary),
+      options_(std::move(options)) {}
+
+base::Status ExtractionPipeline::Setup() {
+  if (setup_done_) return base::Status::Ok();
+  // The media server itself is an ORB object (daemons reach it only
+  // through the broker). It may already be registered by another party.
+  if (orb_->ObjectNames().empty() ||
+      !std::count(orb_->ObjectNames().begin(), orb_->ObjectNames().end(),
+                  std::string("media-server"))) {
+    MIRROR_RETURN_IF_ERROR(orb_->RegisterObject(
+        "media-server", std::shared_ptr<Servant>(media_, [](Servant*) {})));
+  }
+  MIRROR_RETURN_IF_ERROR(orb_->RegisterObject(
+      "segmenter",
+      std::make_shared<SegmenterDaemon>(orb_, dictionary_,
+                                        options_.segmenter)));
+  MIRROR_RETURN_IF_ERROR(orb_->Subscribe("media.ingested", "segmenter"));
+  dictionary_->RecordDerivation("ImageLibrary", "image_segments",
+                                "segmenter");
+  auto extractors = mm::MakeStandardExtractors();
+  for (auto& extractor : extractors) {
+    std::string space = extractor->name();
+    bool wanted = std::count(options_.feature_spaces.begin(),
+                             options_.feature_spaces.end(), space) > 0;
+    if (!wanted) continue;
+    dictionary_->RecordDerivation("ImageLibrary", space, "feature." + space);
+    MIRROR_RETURN_IF_ERROR(orb_->RegisterObject(
+        "feature." + space,
+        std::make_shared<FeatureDaemon>(orb_, std::move(extractor))));
+  }
+  MIRROR_RETURN_IF_ERROR(orb_->RegisterObject(
+      "clusterer", std::make_shared<ClusterDaemon>(orb_, options_)));
+  dictionary_->RecordDerivation("ImageLibrary", "image", "clusterer");
+  setup_done_ = true;
+  return base::Status::Ok();
+}
+
+base::Status ExtractionPipeline::Ingest(
+    const std::vector<mm::LibraryImage>& library) {
+  MIRROR_RETURN_IF_ERROR(Setup());
+  for (size_t i = 0; i < library.size(); ++i) {
+    const mm::LibraryImage& entry = library[i];
+    media_->Put(entry.url, entry.image.Serialize());
+    dictionary_->NoteObject("ImageLibrary", static_cast<monet::Oid>(i));
+    IndexedImage indexed;
+    indexed.url = entry.url;
+    indexed.annotation = entry.annotation;
+    indexed.true_class = entry.true_class;
+    results_.push_back(std::move(indexed));
+    ingest_order_.push_back(entry.url);
+    OrbMessage event = MakeMsg("media.ingested");
+    event.args["url"] = entry.url;
+    event.args["oid"] = base::StrFormat("%zu", i);
+    MIRROR_RETURN_IF_ERROR(orb_->Publish("media.ingested", std::move(event)));
+  }
+  return base::Status::Ok();
+}
+
+base::Status ExtractionPipeline::Run() {
+  // Stage 1: event-driven segmentation.
+  auto pumped = orb_->PumpEvents();
+  if (!pumped.ok()) return pumped.status();
+
+  // Stage 2: feature extraction, one ORB invocation per (daemon, image).
+  std::map<std::string, size_t> result_index;
+  for (size_t i = 0; i < results_.size(); ++i) {
+    result_index[results_[i].url] = i;
+  }
+  for (const std::string& space : options_.feature_spaces) {
+    for (const std::string& url : ingest_order_) {
+      OrbMessage req = MakeMsg("extract", {{"url", url}});
+      auto reply = orb_->Invoke("feature." + space, req);
+      if (!reply.ok()) return reply.status();
+    }
+  }
+
+  // Stage 3: clustering per feature space; visual terms per segment.
+  for (const std::string& space : options_.feature_spaces) {
+    OrbMessage req = MakeMsg("cluster", {{"space", space}});
+    auto reply = orb_->Invoke("clusterer", req);
+    if (!reply.ok()) return reply.status();
+    clusters_per_space_[space] = std::stoi(reply.value().args.at("k"));
+    std::vector<std::string> keys =
+        base::SplitNonEmpty(reply.value().args.at("keys"), '\n');
+    std::vector<std::string> labels =
+        base::SplitNonEmpty(reply.value().args.at("labels"), '\n');
+    if (keys.size() != labels.size()) {
+      return base::Status::Internal("cluster reply key/label mismatch");
+    }
+    for (size_t i = 0; i < keys.size(); ++i) {
+      size_t hash_pos = keys[i].rfind('#');
+      std::string url = keys[i].substr(0, hash_pos);
+      auto it = result_index.find(url);
+      if (it == result_index.end()) {
+        return base::Status::Internal("cluster reply for unknown url " + url);
+      }
+      results_[it->second].visual_terms.push_back(space + "_" + labels[i]);
+    }
+  }
+
+  // Segment counts per image (from any feature space's key list — use the
+  // visual term multiplicity of the first space).
+  for (IndexedImage& img : results_) {
+    img.num_segments = 0;
+  }
+  if (!options_.feature_spaces.empty()) {
+    const std::string& first_space = options_.feature_spaces[0];
+    std::string prefix = first_space + "_";
+    for (IndexedImage& img : results_) {
+      for (const std::string& term : img.visual_terms) {
+        if (term.rfind(prefix, 0) == 0) img.num_segments += 1;
+      }
+    }
+  }
+  return base::Status::Ok();
+}
+
+}  // namespace mirror::daemon

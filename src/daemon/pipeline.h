@@ -1,0 +1,90 @@
+#ifndef MIRROR_DAEMON_PIPELINE_H_
+#define MIRROR_DAEMON_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "daemon/data_dictionary.h"
+#include "daemon/media_server.h"
+#include "daemon/orb.h"
+#include "mm/clustering.h"
+#include "mm/segmentation.h"
+#include "mm/synthetic_library.h"
+
+namespace mirror::daemon {
+
+/// The derived metadata of one ingested image after the daemons are done:
+/// the input to the internal schema of §5.2 (`ImageLibraryInternal`).
+struct IndexedImage {
+  std::string url;
+  std::string annotation;                 // empty if unannotated
+  std::vector<std::string> visual_terms;  // "rgb_3", "gabor_21", ... one
+                                          // per (segment, feature space)
+  int num_segments = 0;
+  int true_class = -1;                    // ground truth, carried through
+};
+
+/// Pipeline configuration.
+struct PipelineOptions {
+  mm::SegmenterOptions segmenter;
+  mm::AutoClass::Options autoclass;
+  /// false switches the cluster daemon to plain k-means (E6 baseline).
+  bool use_autoclass = true;
+  int kmeans_k = 6;
+  /// Which feature daemons to run (default: all six of §5.1).
+  std::vector<std::string> feature_spaces = {"rgb",  "hsv",  "gabor",
+                                             "glcm", "laws", "lbp"};
+};
+
+/// Wires the Figure-1 architecture: a media server, a segmentation
+/// daemon, the feature-extraction daemons, and a clustering daemon, all
+/// registered as servants of one ORB and coordinated through it. The
+/// pipeline ingests raw images and produces, per image, the visual terms
+/// that the Mirror DBMS indexes as CONTREP<Image>.
+///
+/// All inter-daemon data flow (rasters, segment masks, feature vectors)
+/// is marshalled through the ORB, so broker statistics measure the real
+/// traffic of the architecture (experiment E9).
+class ExtractionPipeline {
+ public:
+  /// The orb, media server and dictionary must outlive the pipeline.
+  ExtractionPipeline(Orb* orb, MediaServer* media, DataDictionary* dictionary,
+                     PipelineOptions options = PipelineOptions{});
+
+  /// Registers all daemons with the ORB and subscribes the segmenter to
+  /// ingest events. Call once.
+  base::Status Setup();
+
+  /// Stores the library's rasters in the media server, notes the objects
+  /// in the data dictionary and publishes one ingest event per image.
+  base::Status Ingest(const std::vector<mm::LibraryImage>& library);
+
+  /// Drives the daemons to completion: segmentation (event-driven),
+  /// feature extraction and clustering (invoked via the ORB). Fills
+  /// results().
+  base::Status Run();
+
+  /// Per-image derived metadata, in ingest order.
+  const std::vector<IndexedImage>& results() const { return results_; }
+
+  /// How many clusters each feature space ended up with (space -> k).
+  const std::map<std::string, int>& clusters_per_space() const {
+    return clusters_per_space_;
+  }
+
+ private:
+  Orb* orb_;
+  MediaServer* media_;
+  DataDictionary* dictionary_;
+  PipelineOptions options_;
+  std::vector<IndexedImage> results_;
+  std::vector<std::string> ingest_order_;
+  std::map<std::string, int> clusters_per_space_;
+  bool setup_done_ = false;
+};
+
+}  // namespace mirror::daemon
+
+#endif  // MIRROR_DAEMON_PIPELINE_H_

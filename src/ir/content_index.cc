@@ -1,0 +1,149 @@
+#include "ir/content_index.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "monet/profiler.h"
+
+namespace mirror::ir {
+
+using monet::Bat;
+using monet::Column;
+using monet::Oid;
+
+void ContentIndex::AddDocument(Oid doc,
+                               const std::vector<std::string>& terms) {
+  MIRROR_CHECK(!finalized_) << "index already finalized";
+  MIRROR_CHECK_EQ(doclen_.count(doc), 0u) << "document added twice: " << doc;
+  std::unordered_map<int64_t, int64_t> counts;
+  for (const std::string& t : terms) counts[vocab_.Intern(t)]++;
+  int64_t len = 0;
+  for (const auto& [term, tf] : counts) {
+    postings_.push_back(Posting{doc, term, tf});
+    len += tf;
+  }
+  doclen_[doc] = len;
+  stats_.num_docs += 1;
+  stats_.total_terms += len;
+}
+
+void ContentIndex::Finalize() {
+  MIRROR_CHECK(!finalized_);
+  std::sort(postings_.begin(), postings_.end(),
+            [](const Posting& a, const Posting& b) {
+              if (a.term != b.term) return a.term < b.term;
+              return a.doc < b.doc;
+            });
+  int64_t vocab_size = vocab_.size();
+  df_.assign(static_cast<size_t>(vocab_size), 0);
+  term_ranges_.assign(static_cast<size_t>(vocab_size), {0, 0});
+  size_t i = 0;
+  while (i < postings_.size()) {
+    size_t j = i;
+    int64_t term = postings_[i].term;
+    while (j < postings_.size() && postings_[j].term == term) ++j;
+    df_[static_cast<size_t>(term)] = static_cast<int64_t>(j - i);
+    term_ranges_[static_cast<size_t>(term)] = {i, j};
+    i = j;
+  }
+  stats_.vocab_size = vocab_size;
+  stats_.num_postings = static_cast<int64_t>(postings_.size());
+  stats_.avg_doclen =
+      stats_.num_docs == 0
+          ? 0.0
+          : static_cast<double>(stats_.total_terms) /
+                static_cast<double>(stats_.num_docs);
+  finalized_ = true;
+}
+
+int64_t ContentIndex::DocFreq(int64_t term) const {
+  MIRROR_CHECK(finalized_);
+  if (term < 0 || term >= static_cast<int64_t>(df_.size())) return 0;
+  return df_[static_cast<size_t>(term)];
+}
+
+int64_t ContentIndex::DocLen(Oid doc) const {
+  auto it = doclen_.find(doc);
+  return it == doclen_.end() ? 0 : it->second;
+}
+
+std::vector<Oid> ContentIndex::Documents() const {
+  std::vector<Oid> docs;
+  docs.reserve(doclen_.size());
+  for (const auto& [doc, len] : doclen_) docs.push_back(doc);
+  return docs;
+}
+
+int64_t ContentIndex::TermFrequency(Oid doc, int64_t term) const {
+  MIRROR_CHECK(finalized_);
+  if (term < 0 || term >= static_cast<int64_t>(term_ranges_.size())) return 0;
+  auto [lo, hi] = term_ranges_[static_cast<size_t>(term)];
+  auto begin = postings_.begin() + static_cast<ptrdiff_t>(lo);
+  auto end = postings_.begin() + static_cast<ptrdiff_t>(hi);
+  auto it = std::lower_bound(begin, end, doc,
+                             [](const Posting& p, Oid d) { return p.doc < d; });
+  if (it == end || it->doc != doc) return 0;
+  return it->tf;
+}
+
+void ContentIndex::PostingsForTerm(int64_t term, EvalStrategy strategy,
+                                   std::vector<const Posting*>* out) const {
+  MIRROR_CHECK(finalized_);
+  if (strategy == EvalStrategy::kInverted) {
+    if (term < 0 || term >= static_cast<int64_t>(term_ranges_.size())) return;
+    auto [lo, hi] = term_ranges_[static_cast<size_t>(term)];
+    monet::TrackKernelOp(monet::KernelOp::kSelect, hi - lo, hi - lo);
+    for (size_t i = lo; i < hi; ++i) out->push_back(&postings_[i]);
+    return;
+  }
+  // Full scan baseline: reads every posting.
+  monet::TrackKernelOp(monet::KernelOp::kSelect, postings_.size(), 0);
+  for (const Posting& p : postings_) {
+    if (p.term == term) out->push_back(&p);
+  }
+}
+
+Bat ContentIndex::DocBat() const {
+  MIRROR_CHECK(finalized_);
+  std::vector<Oid> docs;
+  docs.reserve(postings_.size());
+  for (const Posting& p : postings_) docs.push_back(p.doc);
+  return Bat::DenseOids(std::move(docs));
+}
+
+Bat ContentIndex::TermBat() const {
+  MIRROR_CHECK(finalized_);
+  std::vector<int64_t> terms;
+  terms.reserve(postings_.size());
+  for (const Posting& p : postings_) terms.push_back(p.term);
+  return Bat::DenseInts(std::move(terms));
+}
+
+Bat ContentIndex::TfBat() const {
+  MIRROR_CHECK(finalized_);
+  std::vector<int64_t> tfs;
+  tfs.reserve(postings_.size());
+  for (const Posting& p : postings_) tfs.push_back(p.tf);
+  return Bat::DenseInts(std::move(tfs));
+}
+
+Bat ContentIndex::DfBat() const {
+  MIRROR_CHECK(finalized_);
+  return Bat::DenseInts(df_);
+}
+
+Bat ContentIndex::DocLenBat() const {
+  MIRROR_CHECK(finalized_);
+  std::vector<Oid> docs;
+  std::vector<int64_t> lens;
+  docs.reserve(doclen_.size());
+  lens.reserve(doclen_.size());
+  for (const auto& [doc, len] : doclen_) {
+    docs.push_back(doc);
+    lens.push_back(len);
+  }
+  return Bat(Column::MakeOids(std::move(docs)),
+             Column::MakeInts(std::move(lens)));
+}
+
+}  // namespace mirror::ir

@@ -1,0 +1,102 @@
+#ifndef MIRROR_IR_CONTENT_INDEX_H_
+#define MIRROR_IR_CONTENT_INDEX_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/vocabulary.h"
+#include "monet/bat.h"
+
+namespace mirror::ir {
+
+/// Global collection statistics (the `stats` argument of the paper's
+/// `getBL(THIS.annotation, query, stats)` call).
+struct CollectionStats {
+  int64_t num_docs = 0;
+  int64_t vocab_size = 0;
+  int64_t num_postings = 0;   // distinct (doc, term) pairs
+  int64_t total_terms = 0;    // sum of tf
+  double avg_doclen = 0.0;
+};
+
+/// One (document, term) entry with its within-document frequency.
+struct Posting {
+  monet::Oid doc;
+  int64_t term;
+  int64_t tf;
+};
+
+/// How a retrieval run locates the postings of a query term (experiment
+/// E3 contrasts the two).
+enum class EvalStrategy {
+  kInverted,  // binary-searched per-term ranges over term-sorted postings
+  kScan,      // linear pass over the full postings column
+};
+
+/// The physical content representation behind a CONTREP structure: an
+/// aggregated postings file with document lengths, document frequencies
+/// and collection statistics. After Finalize(), postings are stored
+/// sorted by (term, doc) — the column-store equivalent of an inverted
+/// file — and the index can export itself as BATs for the flattened
+/// query engine.
+class ContentIndex {
+ public:
+  ContentIndex() = default;
+
+  /// Adds the representation of `doc` (raw index terms; duplicates
+  /// aggregate into tf). A document may only be added once.
+  void AddDocument(monet::Oid doc, const std::vector<std::string>& terms);
+
+  /// Sorts the postings by (term, doc), computes df, doclen and global
+  /// stats. Must be called once after the last AddDocument.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+
+  const Vocabulary& vocab() const { return vocab_; }
+  Vocabulary* mutable_vocab() { return &vocab_; }
+  const CollectionStats& stats() const { return stats_; }
+  const std::vector<Posting>& postings() const { return postings_; }
+
+  /// Document frequency of a term id (0 for out-of-range ids).
+  int64_t DocFreq(int64_t term) const;
+
+  /// Length (sum of tf) of a document; 0 if unknown.
+  int64_t DocLen(monet::Oid doc) const;
+
+  /// All documents that were added, ascending.
+  std::vector<monet::Oid> Documents() const;
+
+  /// tf of `term` in `doc` (0 if absent). O(log postings).
+  int64_t TermFrequency(monet::Oid doc, int64_t term) const;
+
+  /// Appends the postings of `term` to `out` using `strategy`.
+  /// kInverted touches only the term's range; kScan reads every posting
+  /// (and reports the work to the kernel profiler as a select).
+  void PostingsForTerm(int64_t term, EvalStrategy strategy,
+                       std::vector<const Posting*>* out) const;
+
+  // -- BAT export (the catalog layout of a CONTREP field) ------------------
+  // All three posting BATs are positionally aligned, void-headed by
+  // posting id, ordered by (term, doc).
+
+  monet::Bat DocBat() const;    // posting -> doc oid
+  monet::Bat TermBat() const;   // posting -> term id (int)
+  monet::Bat TfBat() const;     // posting -> tf (int)
+  monet::Bat DfBat() const;     // term id (void) -> df (int); dense term ids
+  monet::Bat DocLenBat() const; // doc oid -> length (int)
+
+ private:
+  Vocabulary vocab_;
+  std::vector<Posting> postings_;
+  std::vector<int64_t> df_;                     // by term id
+  std::map<monet::Oid, int64_t> doclen_;        // ordered for determinism
+  std::vector<std::pair<size_t, size_t>> term_ranges_;  // by term id
+  CollectionStats stats_;
+  bool finalized_ = false;
+};
+
+}  // namespace mirror::ir
+
+#endif  // MIRROR_IR_CONTENT_INDEX_H_

@@ -1,0 +1,63 @@
+#include "ir/feedback.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mirror::ir {
+
+std::vector<std::pair<int64_t, double>> RelevanceFeedback::ExpandQuery(
+    const std::vector<std::pair<int64_t, double>>& current_query,
+    const std::vector<monet::Oid>& relevant_docs,
+    const InferenceNetwork& network) const {
+  const ContentIndex& index = network.index();
+  std::unordered_set<int64_t> in_query;
+  for (const auto& [term, w] : current_query) in_query.insert(term);
+
+  // Accumulate candidate evidence: mean belief of each term occurring in
+  // the relevant documents, scaled by idf so that ubiquitous terms do not
+  // dominate.
+  std::unordered_map<int64_t, double> candidate_score;
+  std::unordered_map<int64_t, int> candidate_hits;
+  std::unordered_set<monet::Oid> relevant(relevant_docs.begin(),
+                                          relevant_docs.end());
+  // One pass over the (term-major) postings file.
+  for (const Posting& p : index.postings()) {
+    if (relevant.count(p.doc) == 0) continue;
+    candidate_score[p.term] += network.Belief(p.doc, p.term);
+    candidate_hits[p.term] += 1;
+  }
+  const CollectionStats& stats = index.stats();
+  std::vector<std::pair<int64_t, double>> scored;
+  scored.reserve(candidate_score.size());
+  for (auto& [term, score_sum] : candidate_score) {
+    double mean_belief =
+        score_sum / static_cast<double>(relevant_docs.size());
+    double idf = std::log((static_cast<double>(stats.num_docs) + 0.5) /
+                          std::max<double>(
+                              static_cast<double>(index.DocFreq(term)), 1.0)) /
+                 std::log(static_cast<double>(stats.num_docs) + 1.0);
+    scored.emplace_back(term, mean_belief * std::max(idf, 0.0));
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+
+  // Reinforce confirmed original terms; append top new expansion terms.
+  std::vector<std::pair<int64_t, double>> next = current_query;
+  for (auto& [term, weight] : next) {
+    if (candidate_hits.count(term) > 0) weight += options_.reinforce;
+  }
+  int added = 0;
+  for (const auto& [term, score] : scored) {
+    if (added >= options_.expansion_terms) break;
+    if (in_query.count(term) > 0) continue;
+    next.emplace_back(term, options_.beta * score);
+    ++added;
+  }
+  return next;
+}
+
+}  // namespace mirror::ir

@@ -1,0 +1,44 @@
+#ifndef MIRROR_IR_FEEDBACK_H_
+#define MIRROR_IR_FEEDBACK_H_
+
+#include <vector>
+
+#include "ir/inference_network.h"
+
+namespace mirror::ir {
+
+/// Relevance feedback options.
+struct FeedbackOptions {
+  /// How many new terms to add per feedback round.
+  int expansion_terms = 5;
+  /// Weight multiplier for expansion terms (original terms keep 1.0).
+  double beta = 0.5;
+  /// Weight increment for original terms confirmed by relevant docs.
+  double reinforce = 0.25;
+};
+
+/// Query modification from relevance judgments (paper §5.2: "this
+/// relevance feedback is used to improve the current query"). A
+/// Rocchio-style selection of expansion terms from the judged-relevant
+/// documents, weighted into a #wsum query for the inference network.
+class RelevanceFeedback {
+ public:
+  explicit RelevanceFeedback(FeedbackOptions options = FeedbackOptions())
+      : options_(options) {}
+
+  /// Produces a new weighted query from the current one plus judgments.
+  /// Expansion terms are ranked by mean belief in the relevant documents
+  /// scaled by rarity (idf); terms already in the query are reinforced
+  /// instead of duplicated.
+  std::vector<std::pair<int64_t, double>> ExpandQuery(
+      const std::vector<std::pair<int64_t, double>>& current_query,
+      const std::vector<monet::Oid>& relevant_docs,
+      const InferenceNetwork& network) const;
+
+ private:
+  FeedbackOptions options_;
+};
+
+}  // namespace mirror::ir
+
+#endif  // MIRROR_IR_FEEDBACK_H_

@@ -1,0 +1,326 @@
+#include "ir/porter_stemmer.h"
+
+namespace mirror::ir {
+
+namespace {
+
+// Implementation of the 1980 Porter algorithm, steps 1a-5b. Follows the
+// classic reference implementation: `b_` is the word buffer, `k_` the
+// (signed) index of the last character, `j_` the end of the stem after a
+// suffix match.
+
+class Stemmer {
+ public:
+  explicit Stemmer(std::string_view word)
+      : b_(word), k_(static_cast<int>(word.size()) - 1) {}
+
+  std::string Run() {
+    if (k_ <= 1) return b_;
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    return b_.substr(0, static_cast<size_t>(k_) + 1);
+  }
+
+ private:
+  bool IsConsonant(int i) const {
+    switch (b_[static_cast<size_t>(i)]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure of the stem b[0..j]: the number of VC sequences.
+  int Measure(int j) const {
+    int n = 0;
+    int i = 0;
+    while (true) {
+      if (i > j) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  bool VowelInStem(int j) const {
+    for (int i = 0; i <= j; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  bool DoubleConsonant(int i) const {
+    if (i < 1) return false;
+    if (b_[static_cast<size_t>(i)] != b_[static_cast<size_t>(i - 1)]) {
+      return false;
+    }
+    return IsConsonant(i);
+  }
+
+  // cvc ending where the final c is not w, x or y (restores 'e' for words
+  // like "hop(e)").
+  bool CvcEnding(int i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2)) {
+      return false;
+    }
+    char c = b_[static_cast<size_t>(i)];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  bool EndsWith(std::string_view suffix) {
+    int len = static_cast<int>(suffix.size());
+    if (len > k_ + 1) return false;
+    if (b_.compare(static_cast<size_t>(k_ + 1 - len), suffix.size(),
+                   suffix) != 0) {
+      return false;
+    }
+    j_ = k_ - len;
+    return true;
+  }
+
+  // Replaces the suffix matched by the last EndsWith with `s`.
+  void SetTo(std::string_view s) {
+    b_.replace(static_cast<size_t>(j_ + 1), static_cast<size_t>(k_ - j_), s);
+    k_ = j_ + static_cast<int>(s.size());
+  }
+
+  void ReplaceIfM1(std::string_view s) {
+    if (Measure(j_) > 0) SetTo(s);
+  }
+
+  void Step1ab() {
+    if (b_[static_cast<size_t>(k_)] == 's') {
+      if (EndsWith("sses")) {
+        k_ -= 2;
+      } else if (EndsWith("ies")) {
+        SetTo("i");
+      } else if (k_ >= 1 && b_[static_cast<size_t>(k_ - 1)] != 's') {
+        --k_;
+      }
+    }
+    if (EndsWith("eed")) {
+      if (Measure(j_) > 0) --k_;
+    } else if ((EndsWith("ed") || EndsWith("ing")) && VowelInStem(j_)) {
+      k_ = j_;
+      if (EndsWith("at")) {
+        SetTo("ate");
+      } else if (EndsWith("bl")) {
+        SetTo("ble");
+      } else if (EndsWith("iz")) {
+        SetTo("ize");
+      } else if (DoubleConsonant(k_)) {
+        char c = b_[static_cast<size_t>(k_)];
+        if (c != 'l' && c != 's' && c != 'z') --k_;
+      } else if (Measure(k_) == 1 && CvcEnding(k_)) {
+        j_ = k_;
+        SetTo("e");
+      }
+    }
+  }
+
+  void Step1c() {
+    if (EndsWith("y") && VowelInStem(j_)) b_[static_cast<size_t>(k_)] = 'i';
+  }
+
+  void Step2() {
+    if (k_ < 1) return;
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (EndsWith("ational")) {
+          ReplaceIfM1("ate");
+        } else if (EndsWith("tional")) {
+          ReplaceIfM1("tion");
+        }
+        break;
+      case 'c':
+        if (EndsWith("enci")) {
+          ReplaceIfM1("ence");
+        } else if (EndsWith("anci")) {
+          ReplaceIfM1("ance");
+        }
+        break;
+      case 'e':
+        if (EndsWith("izer")) ReplaceIfM1("ize");
+        break;
+      case 'l':
+        if (EndsWith("bli")) {
+          ReplaceIfM1("ble");
+        } else if (EndsWith("alli")) {
+          ReplaceIfM1("al");
+        } else if (EndsWith("entli")) {
+          ReplaceIfM1("ent");
+        } else if (EndsWith("eli")) {
+          ReplaceIfM1("e");
+        } else if (EndsWith("ousli")) {
+          ReplaceIfM1("ous");
+        }
+        break;
+      case 'o':
+        if (EndsWith("ization")) {
+          ReplaceIfM1("ize");
+        } else if (EndsWith("ation")) {
+          ReplaceIfM1("ate");
+        } else if (EndsWith("ator")) {
+          ReplaceIfM1("ate");
+        }
+        break;
+      case 's':
+        if (EndsWith("alism")) {
+          ReplaceIfM1("al");
+        } else if (EndsWith("iveness")) {
+          ReplaceIfM1("ive");
+        } else if (EndsWith("fulness")) {
+          ReplaceIfM1("ful");
+        } else if (EndsWith("ousness")) {
+          ReplaceIfM1("ous");
+        }
+        break;
+      case 't':
+        if (EndsWith("aliti")) {
+          ReplaceIfM1("al");
+        } else if (EndsWith("iviti")) {
+          ReplaceIfM1("ive");
+        } else if (EndsWith("biliti")) {
+          ReplaceIfM1("ble");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step3() {
+    switch (b_[static_cast<size_t>(k_)]) {
+      case 'e':
+        if (EndsWith("icate")) {
+          ReplaceIfM1("ic");
+        } else if (EndsWith("ative")) {
+          ReplaceIfM1("");
+        } else if (EndsWith("alize")) {
+          ReplaceIfM1("al");
+        }
+        break;
+      case 'i':
+        if (EndsWith("iciti")) ReplaceIfM1("ic");
+        break;
+      case 'l':
+        if (EndsWith("ical")) {
+          ReplaceIfM1("ic");
+        } else if (EndsWith("ful")) {
+          ReplaceIfM1("");
+        }
+        break;
+      case 's':
+        if (EndsWith("ness")) ReplaceIfM1("");
+        break;
+      default:
+        break;
+    }
+  }
+
+  void Step4() {
+    if (k_ < 1) return;
+    bool matched = false;
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        matched = EndsWith("al");
+        break;
+      case 'c':
+        matched = EndsWith("ance") || EndsWith("ence");
+        break;
+      case 'e':
+        matched = EndsWith("er");
+        break;
+      case 'i':
+        matched = EndsWith("ic");
+        break;
+      case 'l':
+        matched = EndsWith("able") || EndsWith("ible");
+        break;
+      case 'n':
+        matched = EndsWith("ant") || EndsWith("ement") || EndsWith("ment") ||
+                  EndsWith("ent");
+        break;
+      case 'o':
+        if (EndsWith("ion") && j_ >= 0 &&
+            (b_[static_cast<size_t>(j_)] == 's' ||
+             b_[static_cast<size_t>(j_)] == 't')) {
+          matched = true;
+        } else {
+          matched = EndsWith("ou");
+        }
+        break;
+      case 's':
+        matched = EndsWith("ism");
+        break;
+      case 't':
+        matched = EndsWith("ate") || EndsWith("iti");
+        break;
+      case 'u':
+        matched = EndsWith("ous");
+        break;
+      case 'v':
+        matched = EndsWith("ive");
+        break;
+      case 'z':
+        matched = EndsWith("ize");
+        break;
+      default:
+        break;
+    }
+    if (matched && Measure(j_) > 1) k_ = j_;
+  }
+
+  void Step5() {
+    // Step 5a.
+    j_ = k_;
+    if (b_[static_cast<size_t>(k_)] == 'e') {
+      int m = Measure(k_ - 1);
+      if (m > 1 || (m == 1 && !CvcEnding(k_ - 1))) --k_;
+    }
+    // Step 5b.
+    if (b_[static_cast<size_t>(k_)] == 'l' && DoubleConsonant(k_) &&
+        Measure(k_) > 1) {
+      --k_;
+    }
+  }
+
+  std::string b_;
+  int k_;
+  int j_ = 0;
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  if (word.size() <= 2) return std::string(word);
+  return Stemmer(word).Run();
+}
+
+}  // namespace mirror::ir

@@ -1,0 +1,17 @@
+#ifndef MIRROR_IR_PORTER_STEMMER_H_
+#define MIRROR_IR_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace mirror::ir {
+
+/// The Porter stemming algorithm (M.F. Porter, "An algorithm for suffix
+/// stripping", 1980), as used by the InQuery system the paper's CONTREP
+/// structure models. Input must be a lowercase ASCII word; the stem is
+/// returned as a new string.
+std::string PorterStem(std::string_view word);
+
+}  // namespace mirror::ir
+
+#endif  // MIRROR_IR_PORTER_STEMMER_H_

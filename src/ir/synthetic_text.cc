@@ -1,0 +1,58 @@
+#include "ir/synthetic_text.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "base/str_util.h"
+
+namespace mirror::ir {
+
+ContentIndex MakeSyntheticIndex(const SyntheticTextOptions& options) {
+  base::Rng rng(options.seed);
+  ContentIndex index;
+  for (int64_t d = 0; d < options.num_docs; ++d) {
+    int64_t len = options.doc_len_mean +
+                  rng.UniformInt(-options.doc_len_spread,
+                                 options.doc_len_spread);
+    len = std::max<int64_t>(len, 1);
+    std::vector<std::string> terms;
+    terms.reserve(static_cast<size_t>(len));
+    for (int64_t i = 0; i < len; ++i) {
+      uint64_t rank = rng.Zipf(static_cast<uint64_t>(options.vocab_size),
+                               options.zipf_skew);
+      terms.push_back(
+          base::StrFormat("t%llu", static_cast<unsigned long long>(rank)));
+    }
+    index.AddDocument(static_cast<monet::Oid>(d), terms);
+  }
+  index.Finalize();
+  return index;
+}
+
+std::vector<int64_t> SampleQueryTerms(const ContentIndex& index, int length,
+                                      base::Rng* rng) {
+  MIRROR_CHECK(rng != nullptr);
+  // Candidate pool: terms with df in [2, num_docs/4] — informative terms.
+  const int64_t vocab = index.vocab().size();
+  std::vector<int64_t> pool;
+  int64_t df_cap = std::max<int64_t>(index.stats().num_docs / 4, 4);
+  for (int64_t t = 0; t < vocab; ++t) {
+    int64_t df = index.DocFreq(t);
+    if (df >= 2 && df <= df_cap) pool.push_back(t);
+  }
+  if (pool.empty()) {
+    for (int64_t t = 0; t < vocab; ++t) {
+      if (index.DocFreq(t) > 0) pool.push_back(t);
+    }
+  }
+  std::unordered_set<int64_t> chosen;
+  std::vector<int64_t> out;
+  while (static_cast<int>(out.size()) < length &&
+         chosen.size() < pool.size()) {
+    int64_t t = pool[rng->Uniform(pool.size())];
+    if (chosen.insert(t).second) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace mirror::ir

@@ -1,0 +1,68 @@
+#include "ir/text_pipeline.h"
+
+#include "ir/porter_stemmer.h"
+
+namespace mirror::ir {
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  for (char c : text) {
+    bool token_char = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                      (keep_underscore_ && c == '_');
+    if (c >= 'A' && c <= 'Z') {
+      current.push_back(static_cast<char>(c - 'A' + 'a'));
+    } else if (token_char) {
+      current.push_back(c);
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+StopList::StopList() {
+  static const char* const kStopwords[] = {
+      "a",     "about", "above", "after",  "again", "all",   "am",    "an",
+      "and",   "any",   "are",   "as",     "at",    "be",    "been",  "before",
+      "being", "below", "between", "both", "but",   "by",    "can",   "did",
+      "do",    "does",  "doing", "down",   "during", "each",  "few",  "for",
+      "from",  "further", "had", "has",    "have",  "having", "he",   "her",
+      "here",  "hers",  "him",   "his",    "how",   "i",     "if",    "in",
+      "into",  "is",    "it",    "its",    "just",  "me",    "more",  "most",
+      "my",    "no",    "nor",   "not",    "now",   "of",    "off",   "on",
+      "once",  "only",  "or",    "other",  "our",   "ours",  "out",   "over",
+      "own",   "s",     "same",  "she",    "should", "so",   "some",  "such",
+      "t",     "than",  "that",  "the",    "their", "them",  "then",  "there",
+      "these", "they",  "this",  "those",  "through", "to",  "too",   "under",
+      "until", "up",    "very",  "was",    "we",    "were",  "what",  "when",
+      "where", "which", "while", "who",    "whom",  "why",   "will",  "with",
+      "you",   "your",  "yours",
+  };
+  for (const char* w : kStopwords) words_.insert(w);
+}
+
+bool StopList::IsStopword(std::string_view token) const {
+  return words_.count(std::string(token)) > 0;
+}
+
+TextPipeline::TextPipeline(Options options)
+    : options_(options), tokenizer_(options.keep_underscore) {}
+
+std::vector<std::string> TextPipeline::Process(std::string_view text) const {
+  std::vector<std::string> terms;
+  for (std::string& token : tokenizer_.Tokenize(text)) {
+    if (options_.remove_stopwords && stoplist_.IsStopword(token)) continue;
+    terms.push_back(options_.stem ? PorterStem(token) : std::move(token));
+  }
+  return terms;
+}
+
+}  // namespace mirror::ir

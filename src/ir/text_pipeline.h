@@ -1,0 +1,64 @@
+#ifndef MIRROR_IR_TEXT_PIPELINE_H_
+#define MIRROR_IR_TEXT_PIPELINE_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace mirror::ir {
+
+/// Splits free text into lowercase alphanumeric tokens. Everything that is
+/// not [a-zA-Z0-9] separates tokens; tokens keep embedded digits (feature
+/// cluster labels like "gabor_21" tokenize to "gabor" and "21" unless
+/// underscores are declared token chars).
+class Tokenizer {
+ public:
+  /// `keep_underscore` treats '_' as a token character, which the
+  /// multimedia side uses so visual terms ("gabor_21") stay single tokens.
+  explicit Tokenizer(bool keep_underscore = false)
+      : keep_underscore_(keep_underscore) {}
+
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+ private:
+  bool keep_underscore_;
+};
+
+/// Standard English stopword filter (the usual short SMART-derived list).
+class StopList {
+ public:
+  StopList();
+
+  bool IsStopword(std::string_view token) const;
+
+ private:
+  std::unordered_set<std::string> words_;
+};
+
+/// The document/query text processing chain of the IR engine: tokenize,
+/// stop, stem. Produces the index terms of a piece of text (an IR model's
+/// "document representation scheme", [WY95]).
+class TextPipeline {
+ public:
+  struct Options {
+    bool remove_stopwords = true;
+    bool stem = true;
+    bool keep_underscore = false;
+  };
+
+  TextPipeline() : TextPipeline(Options{}) {}
+  explicit TextPipeline(Options options);
+
+  /// Full processing chain for one text.
+  std::vector<std::string> Process(std::string_view text) const;
+
+ private:
+  Options options_;
+  Tokenizer tokenizer_;
+  StopList stoplist_;
+};
+
+}  // namespace mirror::ir
+
+#endif  // MIRROR_IR_TEXT_PIPELINE_H_

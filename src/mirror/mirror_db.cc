@@ -1,0 +1,56 @@
+#include "mirror/mirror_db.h"
+
+namespace mirror::db {
+
+base::Result<PreparedQuery> MirrorDb::Prepare(
+    const std::string& query_text, const moa::QueryContext& ctx,
+    const QueryOptions& options) const {
+  auto parsed = moa::ParseExpr(query_text);
+  if (!parsed.ok()) return parsed.status();
+  PreparedQuery prepared;
+  prepared.logical = parsed.TakeValue();
+  if (options.optimize) {
+    prepared.logical =
+        moa::RewriteLogical(prepared.logical, &prepared.optimizer);
+  }
+  moa::Flattener flattener(&logical_, &ctx,
+                           moa::FlattenOptions{.optimize = options.optimize});
+  auto program = flattener.Compile(prepared.logical);
+  if (!program.ok()) return program.status();
+  prepared.program = program.TakeValue();
+  if (options.optimize) {
+    moa::OptimizeMil(&prepared.program, &prepared.optimizer);
+  }
+  return prepared;
+}
+
+base::Result<moa::EvalOutput> MirrorDb::Execute(
+    const PreparedQuery& prepared) const {
+  monet::mil::Executor executor(&logical_.catalog());
+  auto run = executor.Run(prepared.program);
+  if (!run.ok()) return run.status();
+  moa::EvalOutput out;
+  if (run.value().is_scalar) {
+    out.is_scalar = true;
+    out.scalar = monet::Value::MakeDbl(run.value().scalar);
+  } else {
+    out.bat = run.value().bat;
+  }
+  return out;
+}
+
+base::Result<moa::EvalOutput> MirrorDb::Query(
+    const std::string& query_text, const moa::QueryContext& ctx,
+    const QueryOptions& options) const {
+  if (!options.flattened) {
+    auto parsed = moa::ParseExpr(query_text);
+    if (!parsed.ok()) return parsed.status();
+    moa::NaiveEvaluator naive(&logical_, &ctx);
+    return naive.Evaluate(parsed.value());
+  }
+  auto prepared = Prepare(query_text, ctx, options);
+  if (!prepared.ok()) return prepared.status();
+  return Execute(prepared.value());
+}
+
+}  // namespace mirror::db

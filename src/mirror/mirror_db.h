@@ -1,0 +1,79 @@
+#ifndef MIRROR_MIRROR_MIRROR_DB_H_
+#define MIRROR_MIRROR_MIRROR_DB_H_
+
+#include <string>
+#include <vector>
+
+#include "moa/database.h"
+#include "moa/expr.h"
+#include "moa/flatten.h"
+#include "moa/naive_eval.h"
+#include "moa/optimizer.h"
+#include "moa/query_context.h"
+#include "monet/mil.h"
+
+namespace mirror::db {
+
+/// How a query should be executed.
+struct QueryOptions {
+  /// Flattened set-at-a-time execution over BATs (the Mirror way). When
+  /// false, the naive tuple-at-a-time object interpreter runs instead
+  /// (the [BWK98] baseline).
+  bool flattened = true;
+  /// Algebraic rewriting + optimized physical translation + MIL peephole.
+  bool optimize = true;
+};
+
+/// A compiled query, for inspection (EXPLAIN) and repeated execution.
+struct PreparedQuery {
+  moa::ExprPtr logical;           // after rewriting
+  monet::mil::Program program;    // physical plan (flattened mode)
+  moa::OptimizerReport optimizer; // what the optimizer did
+};
+
+/// The Mirror DBMS: "a research database system ... to better understand
+/// the kind of data management that is required in the context of
+/// multimedia digital libraries" (§1). Integrates the Moa logical layer,
+/// the binary-relational physical kernel and the IR engine behind one
+/// query API; schemas and queries use the paper's surface syntax.
+class MirrorDb {
+ public:
+  MirrorDb() = default;
+  MirrorDb(const MirrorDb&) = delete;
+  MirrorDb& operator=(const MirrorDb&) = delete;
+
+  /// Registers a schema: `define X as SET<TUPLE<...>>;`.
+  base::Status Define(std::string_view schema_text) {
+    return logical_.Define(schema_text);
+  }
+
+  /// Bulk-loads objects into a defined set.
+  base::Status Load(const std::string& set_name,
+                    std::vector<moa::MoaValue> objects) {
+    return logical_.Load(set_name, std::move(objects));
+  }
+
+  /// Parses, optimizes and compiles a query without running it.
+  base::Result<PreparedQuery> Prepare(const std::string& query_text,
+                                      const moa::QueryContext& ctx,
+                                      const QueryOptions& options) const;
+
+  /// Executes a query in the paper's surface syntax.
+  base::Result<moa::EvalOutput> Query(
+      const std::string& query_text, const moa::QueryContext& ctx,
+      const QueryOptions& options = QueryOptions()) const;
+
+  /// Runs an already-prepared query (flattened engine).
+  base::Result<moa::EvalOutput> Execute(const PreparedQuery& prepared) const;
+
+  moa::Database* logical() { return &logical_; }
+  const moa::Database& logical() const { return logical_; }
+  monet::Catalog* catalog() { return logical_.catalog(); }
+
+ private:
+  moa::Database logical_;
+};
+
+}  // namespace mirror::db
+
+#endif  // MIRROR_MIRROR_MIRROR_DB_H_

@@ -1,0 +1,193 @@
+#include "mirror/retrieval_app.h"
+
+#include <algorithm>
+#include <map>
+
+#include "base/str_util.h"
+
+namespace mirror::db {
+
+using monet::Oid;
+
+ImageRetrievalApp::ImageRetrievalApp(Options options)
+    : options_(std::move(options)),
+      text_pipeline_(ir::TextPipeline::Options{.remove_stopwords = true,
+                                               .stem = true,
+                                               .keep_underscore = true}) {}
+
+ImageRetrievalApp::~ImageRetrievalApp() = default;
+
+base::Status ImageRetrievalApp::Build(
+    const std::vector<mm::LibraryImage>& library) {
+  // 1. The user-facing schema of §5.2.
+  MIRROR_RETURN_IF_ERROR(db_.Define(
+      "define ImageLibrary as SET< TUPLE< Atomic<URL>: source, "
+      "Atomic<Text>: annotation, Atomic<Image>: image >>;"));
+  MIRROR_RETURN_IF_ERROR(dictionary_.RegisterSchema(
+      moa::ParseSchemaDef(
+          "define ImageLibrary as SET< TUPLE< Atomic<URL>: source, "
+          "Atomic<Text>: annotation, Atomic<Image>: image >>;")
+          .TakeValue()));
+  std::vector<moa::MoaValue> raw_objects;
+  raw_objects.reserve(library.size());
+  for (const mm::LibraryImage& entry : library) {
+    raw_objects.push_back(moa::MoaValue::Tuple(
+        {moa::MoaValue::Str(entry.url), moa::MoaValue::Str(entry.annotation),
+         moa::MoaValue::Str(entry.url)}));
+  }
+  MIRROR_RETURN_IF_ERROR(db_.Load("ImageLibrary", std::move(raw_objects)));
+
+  // 2. The daemons derive the internal schema (Figure 1).
+  pipeline_ = std::make_unique<daemon::ExtractionPipeline>(
+      &orb_, &media_, &dictionary_, options_.pipeline);
+  MIRROR_RETURN_IF_ERROR(pipeline_->Ingest(library));
+  MIRROR_RETURN_IF_ERROR(pipeline_->Run());
+  indexed_ = pipeline_->results();
+
+  // 3. Load ImageLibraryInternal: both content representations.
+  MIRROR_RETURN_IF_ERROR(db_.Define(
+      "define ImageLibraryInternal as SET< TUPLE< Atomic<URL>: source, "
+      "CONTREP<Text>: annotation, CONTREP<Image>: image >>;"));
+  MIRROR_RETURN_IF_ERROR(dictionary_.RegisterSchema(
+      moa::ParseSchemaDef(
+          "define ImageLibraryInternal as SET< TUPLE< Atomic<URL>: source, "
+          "CONTREP<Text>: annotation, CONTREP<Image>: image >>;")
+          .TakeValue()));
+  std::vector<moa::MoaValue> internal_objects;
+  internal_objects.reserve(indexed_.size());
+  urls_.clear();
+  for (const daemon::IndexedImage& img : indexed_) {
+    urls_.push_back(img.url);
+    internal_objects.push_back(moa::MoaValue::Tuple(
+        {moa::MoaValue::Str(img.url),
+         moa::MoaValue::ContRep(text_pipeline_.Process(img.annotation)),
+         moa::MoaValue::ContRep(img.visual_terms)}));
+  }
+  MIRROR_RETURN_IF_ERROR(
+      db_.Load("ImageLibraryInternal", std::move(internal_objects)));
+
+  // 4. The association thesaurus over the dual representations.
+  for (const daemon::IndexedImage& img : indexed_) {
+    thesaurus_.AddDocument(text_pipeline_.Process(img.annotation),
+                           img.visual_terms);
+  }
+  thesaurus_.Finalize();
+  return base::Status::Ok();
+}
+
+base::Result<std::vector<RankedImage>> ImageRetrievalApp::RunRankingQuery(
+    const std::string& contrep_field,
+    const std::vector<moa::WeightedTerm>& terms, int top_n) const {
+  moa::QueryContext ctx;
+  ctx.Bind("query", terms);
+  std::string query_text = base::StrFormat(
+      "map[sum(THIS)](map[getBL(THIS.%s, query, stats)]("
+      "ImageLibraryInternal));",
+      contrep_field.c_str());
+  auto result = db_.Query(query_text, ctx);
+  if (!result.ok()) return result.status();
+  const monet::Bat& bat = *result.value().bat;
+  std::vector<RankedImage> ranked;
+  ranked.reserve(bat.size());
+  for (size_t i = 0; i < bat.size(); ++i) {
+    Oid oid = bat.head().OidAt(i);
+    ranked.push_back(RankedImage{
+        oid, urls_[static_cast<size_t>(oid)], bat.tail().NumAt(i)});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedImage& a, const RankedImage& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.oid < b.oid;
+            });
+  if (top_n > 0 && ranked.size() > static_cast<size_t>(top_n)) {
+    ranked.resize(static_cast<size_t>(top_n));
+  }
+  return ranked;
+}
+
+std::vector<RankedImage> ImageRetrievalApp::CombineRankings(
+    const std::vector<RankedImage>& a, const std::vector<RankedImage>& b,
+    int top_n) const {
+  std::map<Oid, RankedImage> combined;
+  for (const RankedImage& r : a) combined.emplace(r.oid, r);
+  for (const RankedImage& r : b) {
+    auto [it, inserted] = combined.emplace(r.oid, r);
+    if (!inserted) it->second.score += r.score;
+  }
+  std::vector<RankedImage> out;
+  out.reserve(combined.size());
+  for (const auto& [oid, r] : combined) out.push_back(r);
+  std::sort(out.begin(), out.end(),
+            [](const RankedImage& x, const RankedImage& y) {
+              if (x.score != y.score) return x.score > y.score;
+              return x.oid < y.oid;
+            });
+  if (top_n > 0 && out.size() > static_cast<size_t>(top_n)) {
+    out.resize(static_cast<size_t>(top_n));
+  }
+  return out;
+}
+
+base::Result<std::vector<RankedImage>> ImageRetrievalApp::Search(
+    const std::string& text_query, RetrievalMode mode, int top_n) const {
+  if (top_n <= 0) top_n = options_.default_top_n;
+  std::vector<std::string> text_terms = text_pipeline_.Process(text_query);
+  std::vector<moa::WeightedTerm> text_weighted;
+  text_weighted.reserve(text_terms.size());
+  for (const std::string& t : text_terms) text_weighted.push_back({t, 1.0});
+
+  if (mode == RetrievalMode::kTextOnly) {
+    return RunRankingQuery("annotation", text_weighted, top_n);
+  }
+  // Thesaurus query formulation: text -> visual clusters (§5.2).
+  std::vector<moa::WeightedTerm> visual_query =
+      thesaurus_.FormulateVisualQuery(text_terms, options_.thesaurus_top_k);
+  if (mode == RetrievalMode::kVisualOnly) {
+    return RunRankingQuery("image", visual_query, top_n);
+  }
+  // Dual coding: evidence from both representations combined.
+  auto text_ranked = RunRankingQuery("annotation", text_weighted, 0);
+  if (!text_ranked.ok()) return text_ranked.status();
+  auto visual_ranked = RunRankingQuery("image", visual_query, 0);
+  if (!visual_ranked.ok()) return visual_ranked.status();
+  return CombineRankings(text_ranked.value(), visual_ranked.value(), top_n);
+}
+
+base::Result<std::vector<RankedImage>> ImageRetrievalApp::SearchWithFeedback(
+    const std::string& text_query,
+    const std::vector<Oid>& relevant_docs,
+    std::vector<moa::WeightedTerm>* state, int top_n) const {
+  MIRROR_CHECK(state != nullptr);
+  if (top_n <= 0) top_n = options_.default_top_n;
+  if (state->empty()) {
+    std::vector<std::string> text_terms = text_pipeline_.Process(text_query);
+    *state =
+        thesaurus_.FormulateVisualQuery(text_terms, options_.thesaurus_top_k);
+  }
+  if (!relevant_docs.empty()) {
+    // Feedback refines the visual query through the image CONTREP's
+    // inference network.
+    auto set = db_.logical().GetSet("ImageLibraryInternal");
+    if (!set.ok()) return set.status();
+    const moa::ContRepField* contrep = set.value()->FindContRep("image");
+    if (contrep == nullptr) {
+      return base::Status::Internal("image CONTREP missing");
+    }
+    std::vector<std::pair<int64_t, double>> current;
+    for (const moa::WeightedTerm& wt : *state) {
+      int64_t id = contrep->index.vocab().Lookup(wt.term);
+      if (id >= 0) current.emplace_back(id, wt.weight);
+    }
+    ir::RelevanceFeedback feedback(options_.feedback);
+    auto expanded =
+        feedback.ExpandQuery(current, relevant_docs, *contrep->network);
+    state->clear();
+    for (const auto& [term_id, weight] : expanded) {
+      state->push_back(
+          {contrep->index.vocab().TermOf(term_id), weight});
+    }
+  }
+  return RunRankingQuery("image", *state, top_n);
+}
+
+}  // namespace mirror::db

@@ -1,0 +1,104 @@
+#ifndef MIRROR_MIRROR_RETRIEVAL_APP_H_
+#define MIRROR_MIRROR_RETRIEVAL_APP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "daemon/pipeline.h"
+#include "ir/feedback.h"
+#include "mirror/mirror_db.h"
+#include "thesaurus/association_thesaurus.h"
+
+namespace mirror::db {
+
+/// A ranked retrieval result of the demo application.
+struct RankedImage {
+  monet::Oid oid;
+  std::string url;
+  double score;
+};
+
+/// Retrieval modes of experiment E8.
+enum class RetrievalMode {
+  kTextOnly,    // getBL over the annotation CONTREP only
+  kVisualOnly,  // thesaurus-formulated query over the image CONTREP only
+  kDualCoding,  // both codes combined (the paper's approach)
+};
+
+/// The example image retrieval application of §5 — deliberately built ON
+/// the Mirror DBMS rather than inside it ("the retrieval application is
+/// not integrated in the database system itself"). It drives the Figure-1
+/// daemon environment to derive the internal schema, builds the
+/// association thesaurus, and implements the §5.2 query loop with
+/// relevance feedback.
+class ImageRetrievalApp {
+ public:
+  struct Options {
+    daemon::PipelineOptions pipeline;
+    int thesaurus_top_k = 6;
+    ir::FeedbackOptions feedback;
+    int default_top_n = 10;
+  };
+
+  ImageRetrievalApp() : ImageRetrievalApp(Options{}) {}
+  explicit ImageRetrievalApp(Options options);
+  ~ImageRetrievalApp();
+
+  /// Builds the whole demo system from a raw image library: ingests the
+  /// rasters through the ORB daemons, loads `ImageLibrary` (the
+  /// user-facing schema) and `ImageLibraryInternal` (the daemon-derived
+  /// schema) into the Mirror DBMS, and constructs the association
+  /// thesaurus from the dual representations.
+  base::Status Build(const std::vector<mm::LibraryImage>& library);
+
+  /// One retrieval run: the §5.2 loop without feedback. The textual
+  /// query is processed, optionally expanded to visual terms via the
+  /// thesaurus, evaluated with the paper's ranking query, and the top-n
+  /// images are returned.
+  base::Result<std::vector<RankedImage>> Search(const std::string& text_query,
+                                                RetrievalMode mode,
+                                                int top_n = -1) const;
+
+  /// Relevance feedback (§5.2): judged-relevant oids refine the visual
+  /// query; returns the improved ranking. `state` carries the session's
+  /// current weighted visual query between rounds (in/out).
+  base::Result<std::vector<RankedImage>> SearchWithFeedback(
+      const std::string& text_query,
+      const std::vector<monet::Oid>& relevant_docs,
+      std::vector<moa::WeightedTerm>* state, int top_n = -1) const;
+
+  const thesaurus::AssociationThesaurus& thesaurus() const {
+    return thesaurus_;
+  }
+  MirrorDb* db() { return &db_; }
+  const daemon::Orb& orb() const { return orb_; }
+  const daemon::DataDictionary& dictionary() const { return dictionary_; }
+  const std::vector<daemon::IndexedImage>& indexed() const {
+    return indexed_;
+  }
+
+ private:
+  base::Result<std::vector<RankedImage>> RunRankingQuery(
+      const std::string& contrep_field,
+      const std::vector<moa::WeightedTerm>& terms, int top_n) const;
+
+  std::vector<RankedImage> CombineRankings(
+      const std::vector<RankedImage>& a, const std::vector<RankedImage>& b,
+      int top_n) const;
+
+  Options options_;
+  daemon::Orb orb_;
+  daemon::MediaServer media_;
+  daemon::DataDictionary dictionary_;
+  std::unique_ptr<daemon::ExtractionPipeline> pipeline_;
+  thesaurus::AssociationThesaurus thesaurus_;
+  MirrorDb db_;
+  ir::TextPipeline text_pipeline_;
+  std::vector<daemon::IndexedImage> indexed_;
+  std::vector<std::string> urls_;
+};
+
+}  // namespace mirror::db
+
+#endif  // MIRROR_MIRROR_RETRIEVAL_APP_H_

@@ -1,0 +1,286 @@
+#include "mm/clustering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "base/logging.h"
+
+namespace mirror::mm {
+
+namespace {
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double sum = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+/// k-means++ seeding: spread initial centers proportionally to squared
+/// distance from the chosen set.
+std::vector<std::vector<double>> SeedPlusPlus(
+    const std::vector<std::vector<double>>& data, int k, base::Rng* rng) {
+  std::vector<std::vector<double>> centers;
+  centers.reserve(static_cast<size_t>(k));
+  centers.push_back(data[rng->Uniform(data.size())]);
+  std::vector<double> d2(data.size(), 0.0);
+  while (static_cast<int>(centers.size()) < k) {
+    double total = 0;
+    for (size_t i = 0; i < data.size(); ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (const auto& c : centers) {
+        best = std::min(best, SquaredDistance(data[i], c));
+      }
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0) {
+      centers.push_back(data[rng->Uniform(data.size())]);
+      continue;
+    }
+    double target = rng->UniformDouble() * total;
+    double acc = 0;
+    size_t chosen = data.size() - 1;
+    for (size_t i = 0; i < data.size(); ++i) {
+      acc += d2[i];
+      if (acc >= target) {
+        chosen = i;
+        break;
+      }
+    }
+    centers.push_back(data[chosen]);
+  }
+  return centers;
+}
+
+}  // namespace
+
+ClusteringResult KMeans::Run(const std::vector<std::vector<double>>& data,
+                             int k) const {
+  MIRROR_CHECK_GE(k, 1);
+  MIRROR_CHECK_GE(data.size(), static_cast<size_t>(k));
+  const size_t n = data.size();
+  const size_t d = data[0].size();
+  base::Rng rng(options_.seed);
+
+  ClusteringResult result;
+  result.k = k;
+  result.means = SeedPlusPlus(data, k, &rng);
+  result.assignment.assign(n, 0);
+
+  for (int iter = 0; iter < options_.max_iters; ++iter) {
+    bool changed = false;
+    // Assignment step.
+    for (size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::max();
+      for (int c = 0; c < k; ++c) {
+        double dist =
+            SquaredDistance(data[i], result.means[static_cast<size_t>(c)]);
+        if (dist < best_d) {
+          best_d = dist;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    // Update step.
+    std::vector<std::vector<double>> sums(
+        static_cast<size_t>(k), std::vector<double>(d, 0.0));
+    std::vector<int> counts(static_cast<size_t>(k), 0);
+    for (size_t i = 0; i < n; ++i) {
+      auto c = static_cast<size_t>(result.assignment[i]);
+      counts[c] += 1;
+      for (size_t j = 0; j < d; ++j) sums[c][j] += data[i][j];
+    }
+    for (int c = 0; c < k; ++c) {
+      auto cs = static_cast<size_t>(c);
+      if (counts[cs] == 0) {
+        // Re-seed an empty cluster at a random point.
+        result.means[cs] = data[rng.Uniform(n)];
+        continue;
+      }
+      for (size_t j = 0; j < d; ++j) {
+        result.means[cs][j] = sums[cs][j] / counts[cs];
+      }
+    }
+    if (!changed && iter > 0) break;
+  }
+  result.inertia = 0;
+  for (size_t i = 0; i < n; ++i) {
+    result.inertia += SquaredDistance(
+        data[i], result.means[static_cast<size_t>(result.assignment[i])]);
+  }
+  return result;
+}
+
+ClusteringResult AutoClass::RunFixedK(
+    const std::vector<std::vector<double>>& data, int k,
+    std::vector<double>* ll_trace) const {
+  MIRROR_CHECK_GE(k, 1);
+  MIRROR_CHECK_GE(data.size(), static_cast<size_t>(k));
+  const size_t n = data.size();
+  const size_t d = data[0].size();
+
+  // Initialize from k-means (means) with pooled variances.
+  KMeans::Options km_options;
+  km_options.seed = options_.seed;
+  km_options.max_iters = 10;
+  ClusteringResult init = KMeans(km_options).Run(data, k);
+
+  std::vector<std::vector<double>> means = init.means;
+  std::vector<std::vector<double>> vars(
+      static_cast<size_t>(k), std::vector<double>(d, 0.0));
+  std::vector<double> weights(static_cast<size_t>(k),
+                              1.0 / static_cast<double>(k));
+  // Pooled variance init.
+  std::vector<double> pooled(d, 0.0);
+  std::vector<double> mean_all(d, 0.0);
+  for (const auto& x : data) {
+    for (size_t j = 0; j < d; ++j) mean_all[j] += x[j];
+  }
+  for (size_t j = 0; j < d; ++j) mean_all[j] /= static_cast<double>(n);
+  for (const auto& x : data) {
+    for (size_t j = 0; j < d; ++j) {
+      double dx = x[j] - mean_all[j];
+      pooled[j] += dx * dx;
+    }
+  }
+  for (size_t j = 0; j < d; ++j) {
+    pooled[j] = std::max(pooled[j] / static_cast<double>(n),
+                         options_.min_variance);
+  }
+  for (int c = 0; c < k; ++c) vars[static_cast<size_t>(c)] = pooled;
+
+  std::vector<std::vector<double>> resp(n,
+                                        std::vector<double>(
+                                            static_cast<size_t>(k), 0.0));
+  double prev_ll = -std::numeric_limits<double>::max();
+  double ll = prev_ll;
+
+  for (int iter = 0; iter < options_.max_iters; ++iter) {
+    // E step: responsibilities via log-sum-exp.
+    ll = 0;
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<double> logp(static_cast<size_t>(k));
+      double mx = -std::numeric_limits<double>::max();
+      for (int c = 0; c < k; ++c) {
+        auto cs = static_cast<size_t>(c);
+        double lp = std::log(std::max(weights[cs], 1e-300));
+        for (size_t j = 0; j < d; ++j) {
+          double v = vars[cs][j];
+          double dx = data[i][j] - means[cs][j];
+          lp += -0.5 * (std::log(2 * M_PI * v) + dx * dx / v);
+        }
+        logp[cs] = lp;
+        mx = std::max(mx, lp);
+      }
+      double sum = 0;
+      for (int c = 0; c < k; ++c) {
+        sum += std::exp(logp[static_cast<size_t>(c)] - mx);
+      }
+      double log_norm = mx + std::log(sum);
+      ll += log_norm;
+      for (int c = 0; c < k; ++c) {
+        resp[i][static_cast<size_t>(c)] =
+            std::exp(logp[static_cast<size_t>(c)] - log_norm);
+      }
+    }
+    if (ll_trace != nullptr) ll_trace->push_back(ll);
+    if (iter > 0 && std::abs(ll - prev_ll) <
+                        options_.tolerance * (std::abs(prev_ll) + 1.0)) {
+      break;
+    }
+    prev_ll = ll;
+
+    // M step.
+    for (int c = 0; c < k; ++c) {
+      auto cs = static_cast<size_t>(c);
+      double nc = 0;
+      for (size_t i = 0; i < n; ++i) nc += resp[i][cs];
+      nc = std::max(nc, 1e-10);
+      weights[cs] = nc / static_cast<double>(n);
+      for (size_t j = 0; j < d; ++j) {
+        double m = 0;
+        for (size_t i = 0; i < n; ++i) m += resp[i][cs] * data[i][j];
+        means[cs][j] = m / nc;
+      }
+      for (size_t j = 0; j < d; ++j) {
+        double v = 0;
+        for (size_t i = 0; i < n; ++i) {
+          double dx = data[i][j] - means[cs][j];
+          v += resp[i][cs] * dx * dx;
+        }
+        vars[cs][j] = std::max(v / nc, options_.min_variance);
+      }
+    }
+  }
+
+  ClusteringResult result;
+  result.k = k;
+  result.means = std::move(means);
+  result.variances = std::move(vars);
+  result.weights = std::move(weights);
+  result.log_likelihood = ll;
+  // Parameters: k-1 mixture weights + k*d means + k*d variances.
+  double params = static_cast<double>(k - 1) +
+                  2.0 * static_cast<double>(k) * static_cast<double>(d);
+  result.bic = -2.0 * ll + params * std::log(static_cast<double>(n));
+  result.assignment.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    int best = 0;
+    double best_r = -1;
+    for (int c = 0; c < k; ++c) {
+      if (resp[i][static_cast<size_t>(c)] > best_r) {
+        best_r = resp[i][static_cast<size_t>(c)];
+        best = c;
+      }
+    }
+    result.assignment[i] = best;
+  }
+  return result;
+}
+
+ClusteringResult AutoClass::Run(const std::vector<std::vector<double>>& data,
+                                std::vector<double>* per_k_bic) const {
+  ClusteringResult best;
+  bool have_best = false;
+  int max_k = std::min<int>(options_.max_k,
+                            static_cast<int>(data.size()));
+  for (int k = options_.min_k; k <= max_k; ++k) {
+    ClusteringResult r = RunFixedK(data, k);
+    if (per_k_bic != nullptr) per_k_bic->push_back(r.bic);
+    if (!have_best || r.bic < best.bic) {
+      best = std::move(r);
+      have_best = true;
+    }
+  }
+  MIRROR_CHECK(have_best) << "AutoClass: empty k range";
+  return best;
+}
+
+double RandIndex(const std::vector<int>& a, const std::vector<int>& b) {
+  MIRROR_CHECK_EQ(a.size(), b.size());
+  size_t n = a.size();
+  if (n < 2) return 1.0;
+  uint64_t agree = 0;
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      bool same_a = a[i] == a[j];
+      bool same_b = b[i] == b[j];
+      if (same_a == same_b) ++agree;
+      ++total;
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(total);
+}
+
+}  // namespace mirror::mm

@@ -1,0 +1,83 @@
+#ifndef MIRROR_MM_CLUSTERING_H_
+#define MIRROR_MM_CLUSTERING_H_
+
+#include <vector>
+
+#include "base/rng.h"
+
+namespace mirror::mm {
+
+/// Outcome of a clustering run.
+struct ClusteringResult {
+  int k = 0;
+  std::vector<int> assignment;                 // per data point
+  std::vector<std::vector<double>> means;      // k x d
+  std::vector<std::vector<double>> variances;  // k x d (diagonal; EM only)
+  std::vector<double> weights;                 // k (mixture weights; EM only)
+  double log_likelihood = 0.0;                 // EM only
+  double bic = 0.0;                            // EM only
+  double inertia = 0.0;                        // k-means only
+};
+
+/// Lloyd's k-means with k-means++ seeding. Deterministic given the seed.
+/// Baseline for experiment E6.
+class KMeans {
+ public:
+  struct Options {
+    int max_iters = 50;
+    uint64_t seed = 1;
+  };
+
+  KMeans() : KMeans(Options{}) {}
+  explicit KMeans(Options options) : options_(options) {}
+
+  /// Clusters `data` (n x d) into `k` groups. Requires n >= k >= 1.
+  ClusteringResult Run(const std::vector<std::vector<double>>& data,
+                       int k) const;
+
+ private:
+  Options options_;
+};
+
+/// The AutoClass substitute (paper §5.1; [CS95]): Bayesian unsupervised
+/// classification realized as expectation-maximization over a
+/// diagonal-covariance Gaussian mixture, with the number of classes
+/// selected by the Bayesian information criterion over a configurable
+/// range. Deterministic given the seed.
+class AutoClass {
+ public:
+  struct Options {
+    int min_k = 2;
+    int max_k = 12;
+    int max_iters = 60;
+    double tolerance = 1e-5;   // relative log-likelihood change to stop
+    double min_variance = 1e-6;
+    uint64_t seed = 1;
+  };
+
+  AutoClass() : AutoClass(Options{}) {}
+  explicit AutoClass(Options options) : options_(options) {}
+
+  /// Runs EM for each k in [min_k, max_k] and returns the model with the
+  /// lowest BIC. `per_k_bic` (optional) receives the BIC curve.
+  ClusteringResult Run(const std::vector<std::vector<double>>& data,
+                       std::vector<double>* per_k_bic = nullptr) const;
+
+  /// Runs EM at a fixed k; exposed for tests (log-likelihood monotone).
+  /// `ll_trace` (optional) receives the log-likelihood after every
+  /// iteration.
+  ClusteringResult RunFixedK(const std::vector<std::vector<double>>& data,
+                             int k,
+                             std::vector<double>* ll_trace = nullptr) const;
+
+ private:
+  Options options_;
+};
+
+/// Cluster-quality helper for experiments: the fraction of point pairs on
+/// whose co-membership the two assignments agree (Rand index).
+double RandIndex(const std::vector<int>& a, const std::vector<int>& b);
+
+}  // namespace mirror::mm
+
+#endif  // MIRROR_MM_CLUSTERING_H_

@@ -1,0 +1,329 @@
+#include "mm/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mirror::mm {
+
+namespace {
+
+void L1Normalize(std::vector<double>* v) {
+  double sum = 0;
+  for (double x : *v) sum += x;
+  if (sum > 0) {
+    for (double& x : *v) x /= sum;
+  }
+}
+
+/// Converts RGB bytes to HSV with h in [0,360), s,v in [0,1].
+void RgbToHsv(uint8_t r8, uint8_t g8, uint8_t b8, double* h, double* s,
+              double* v) {
+  double r = r8 / 255.0;
+  double g = g8 / 255.0;
+  double b = b8 / 255.0;
+  double mx = std::max({r, g, b});
+  double mn = std::min({r, g, b});
+  double d = mx - mn;
+  *v = mx;
+  *s = mx == 0 ? 0 : d / mx;
+  if (d == 0) {
+    *h = 0;
+  } else if (mx == r) {
+    *h = 60.0 * std::fmod((g - b) / d, 6.0);
+  } else if (mx == g) {
+    *h = 60.0 * ((b - r) / d + 2.0);
+  } else {
+    *h = 60.0 * ((r - g) / d + 4.0);
+  }
+  if (*h < 0) *h += 360.0;
+}
+
+/// Clamped grayscale lookup around a segment (texture windows may poke
+/// past the image border).
+double GrayClamped(const Image& img, int x, int y) {
+  x = std::clamp(x, 0, img.width() - 1);
+  y = std::clamp(y, 0, img.height() - 1);
+  return img.Gray(x, y);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Color histograms.
+
+std::vector<double> RgbHistogram::Extract(const Image& image,
+                                          const Segment& segment) const {
+  std::vector<double> hist(64, 0.0);
+  for (int idx : segment.pixel_indices) {
+    int x = idx % image.width();
+    int y = idx / image.width();
+    int rb = image.r(x, y) / 64;
+    int gb = image.g(x, y) / 64;
+    int bb = image.b(x, y) / 64;
+    hist[static_cast<size_t>(rb * 16 + gb * 4 + bb)] += 1.0;
+  }
+  L1Normalize(&hist);
+  return hist;
+}
+
+std::vector<double> HsvHistogram::Extract(const Image& image,
+                                          const Segment& segment) const {
+  std::vector<double> hist(72, 0.0);
+  for (int idx : segment.pixel_indices) {
+    int x = idx % image.width();
+    int y = idx / image.width();
+    double h, s, v;
+    RgbToHsv(image.r(x, y), image.g(x, y), image.b(x, y), &h, &s, &v);
+    int hb = std::min(static_cast<int>(h / 45.0), 7);
+    int sb = std::min(static_cast<int>(s * 3.0), 2);
+    int vb = std::min(static_cast<int>(v * 3.0), 2);
+    hist[static_cast<size_t>(hb * 9 + sb * 3 + vb)] += 1.0;
+  }
+  L1Normalize(&hist);
+  return hist;
+}
+
+// ---------------------------------------------------------------------------
+// Gabor bank.
+
+GaborBank::GaborBank() {
+  // 3 scales (wavelengths) x 4 orientations; sigma tied to wavelength.
+  const double wavelengths[] = {4.0, 8.0, 16.0};
+  const double orientations[] = {0.0, M_PI / 4, M_PI / 2, 3 * M_PI / 4};
+  const double gamma = 0.5;  // spatial aspect ratio
+  for (double lambda : wavelengths) {
+    double sigma = 0.56 * lambda;
+    int radius = static_cast<int>(std::ceil(2.0 * sigma));
+    for (double theta : orientations) {
+      Kernel k;
+      k.radius = radius;
+      int side = 2 * radius + 1;
+      k.real.resize(static_cast<size_t>(side * side));
+      k.imag.resize(static_cast<size_t>(side * side));
+      double sum_real = 0;
+      for (int dy = -radius; dy <= radius; ++dy) {
+        for (int dx = -radius; dx <= radius; ++dx) {
+          double xr = dx * std::cos(theta) + dy * std::sin(theta);
+          double yr = -dx * std::sin(theta) + dy * std::cos(theta);
+          double envelope = std::exp(
+              -(xr * xr + gamma * gamma * yr * yr) / (2 * sigma * sigma));
+          double phase = 2 * M_PI * xr / lambda;
+          size_t i = static_cast<size_t>((dy + radius) * side + (dx + radius));
+          k.real[i] = envelope * std::cos(phase);
+          k.imag[i] = envelope * std::sin(phase);
+          sum_real += k.real[i];
+        }
+      }
+      // Zero-mean the real part so flat regions respond with 0.
+      double mean = sum_real / static_cast<double>(side * side);
+      for (double& v : k.real) v -= mean;
+      kernels_.push_back(std::move(k));
+    }
+  }
+}
+
+std::vector<double> GaborBank::Extract(const Image& image,
+                                       const Segment& segment) const {
+  std::vector<double> features;
+  features.reserve(kernels_.size() * 2);
+  // Subsample segment pixels for tractability on large segments.
+  const size_t stride = std::max<size_t>(1, segment.size() / 256);
+  for (const Kernel& k : kernels_) {
+    double sum = 0;
+    double sum_sq = 0;
+    size_t count = 0;
+    int side = 2 * k.radius + 1;
+    for (size_t pi = 0; pi < segment.pixel_indices.size(); pi += stride) {
+      int idx = segment.pixel_indices[pi];
+      int x = idx % image.width();
+      int y = idx / image.width();
+      double re = 0;
+      double im = 0;
+      for (int dy = -k.radius; dy <= k.radius; ++dy) {
+        for (int dx = -k.radius; dx <= k.radius; ++dx) {
+          double g = GrayClamped(image, x + dx, y + dy) / 255.0;
+          size_t ki =
+              static_cast<size_t>((dy + k.radius) * side + (dx + k.radius));
+          re += g * k.real[ki];
+          im += g * k.imag[ki];
+        }
+      }
+      double mag = std::sqrt(re * re + im * im);
+      sum += mag;
+      sum_sq += mag * mag;
+      ++count;
+    }
+    double mean = count > 0 ? sum / static_cast<double>(count) : 0;
+    double var =
+        count > 0 ? std::max(0.0, sum_sq / static_cast<double>(count) -
+                                      mean * mean)
+                  : 0;
+    features.push_back(mean);
+    features.push_back(std::sqrt(var));
+  }
+  return features;
+}
+
+// ---------------------------------------------------------------------------
+// GLCM (Haralick features).
+
+std::vector<double> Glcm::Extract(const Image& image,
+                                  const Segment& segment) const {
+  constexpr int kLevels = 16;
+  const int offsets[4][2] = {{1, 0}, {0, 1}, {1, 1}, {1, -1}};
+  std::vector<double> features;
+  features.reserve(20);
+  // Membership mask for co-occurrence within the segment.
+  std::vector<bool> in_segment(
+      static_cast<size_t>(image.width() * image.height()), false);
+  for (int idx : segment.pixel_indices) {
+    in_segment[static_cast<size_t>(idx)] = true;
+  }
+  for (const auto& off : offsets) {
+    double glcm[kLevels][kLevels] = {};
+    double total = 0;
+    for (int idx : segment.pixel_indices) {
+      int x = idx % image.width();
+      int y = idx / image.width();
+      int nx = x + off[0];
+      int ny = y + off[1];
+      if (nx < 0 || nx >= image.width() || ny < 0 || ny >= image.height()) {
+        continue;
+      }
+      if (!in_segment[static_cast<size_t>(ny * image.width() + nx)]) continue;
+      int a = static_cast<int>(image.Gray(x, y)) * kLevels / 256;
+      int b = static_cast<int>(image.Gray(nx, ny)) * kLevels / 256;
+      glcm[a][b] += 1;
+      glcm[b][a] += 1;  // symmetric
+      total += 2;
+    }
+    double contrast = 0, energy = 0, entropy = 0, homogeneity = 0;
+    double mean_i = 0, var_i = 0, correlation = 0;
+    if (total > 0) {
+      for (int i = 0; i < kLevels; ++i) {
+        for (int j = 0; j < kLevels; ++j) {
+          double p = glcm[i][j] / total;
+          if (p <= 0) continue;
+          contrast += (i - j) * (i - j) * p;
+          energy += p * p;
+          entropy -= p * std::log2(p);
+          homogeneity += p / (1.0 + std::abs(i - j));
+          mean_i += i * p;
+        }
+      }
+      for (int i = 0; i < kLevels; ++i) {
+        for (int j = 0; j < kLevels; ++j) {
+          double p = glcm[i][j] / total;
+          var_i += (i - mean_i) * (i - mean_i) * p;
+        }
+      }
+      if (var_i > 1e-12) {
+        for (int i = 0; i < kLevels; ++i) {
+          for (int j = 0; j < kLevels; ++j) {
+            double p = glcm[i][j] / total;
+            correlation += (i - mean_i) * (j - mean_i) * p / var_i;
+          }
+        }
+      }
+    }
+    features.push_back(contrast);
+    features.push_back(energy);
+    features.push_back(entropy);
+    features.push_back(homogeneity);
+    features.push_back(correlation);
+  }
+  return features;
+}
+
+// ---------------------------------------------------------------------------
+// Laws energy.
+
+std::vector<double> LawsEnergy::Extract(const Image& image,
+                                        const Segment& segment) const {
+  // 1-D Laws kernels: Level, Edge, Spot.
+  const double kL5[5] = {1, 4, 6, 4, 1};
+  const double kE5[5] = {-1, -2, 0, 2, 1};
+  const double kS5[5] = {-1, 0, 2, 0, -1};
+  const double* kernels[3] = {kL5, kE5, kS5};
+  const size_t stride = std::max<size_t>(1, segment.size() / 512);
+
+  std::vector<double> features(9, 0.0);
+  size_t count = 0;
+  for (size_t pi = 0; pi < segment.pixel_indices.size(); pi += stride) {
+    int idx = segment.pixel_indices[pi];
+    int x = idx % image.width();
+    int y = idx / image.width();
+    int f = 0;
+    for (int kv = 0; kv < 3; ++kv) {
+      for (int kh = 0; kh < 3; ++kh, ++f) {
+        // Skip L5L5 (pure smoothing carries no texture energy) — keep it
+        // anyway as feature 0; it acts as a local brightness channel.
+        double acc = 0;
+        for (int dy = -2; dy <= 2; ++dy) {
+          for (int dx = -2; dx <= 2; ++dx) {
+            double g = GrayClamped(image, x + dx, y + dy) / 255.0;
+            acc += g * kernels[kv][dy + 2] * kernels[kh][dx + 2];
+          }
+        }
+        features[static_cast<size_t>(f)] += std::abs(acc);
+      }
+    }
+    ++count;
+  }
+  if (count > 0) {
+    for (double& v : features) v /= static_cast<double>(count);
+  }
+  return features;
+}
+
+// ---------------------------------------------------------------------------
+// LBP riu2.
+
+std::vector<double> Lbp::Extract(const Image& image,
+                                 const Segment& segment) const {
+  // 8-neighbor LBP; rotation-invariant uniform mapping: uniform patterns
+  // map to their popcount (0..8), non-uniform to bin 9.
+  static const int dx[8] = {-1, 0, 1, 1, 1, 0, -1, -1};
+  static const int dy[8] = {-1, -1, -1, 0, 1, 1, 1, 0};
+  std::vector<double> hist(10, 0.0);
+  for (int idx : segment.pixel_indices) {
+    int x = idx % image.width();
+    int y = idx / image.width();
+    double center = GrayClamped(image, x, y);
+    int pattern = 0;
+    for (int k = 0; k < 8; ++k) {
+      if (GrayClamped(image, x + dx[k], y + dy[k]) >= center) {
+        pattern |= 1 << k;
+      }
+    }
+    // Count 0-1 transitions in the circular pattern.
+    int transitions = 0;
+    for (int k = 0; k < 8; ++k) {
+      int a = (pattern >> k) & 1;
+      int b = (pattern >> ((k + 1) % 8)) & 1;
+      if (a != b) ++transitions;
+    }
+    int bin;
+    if (transitions <= 2) {
+      bin = __builtin_popcount(static_cast<unsigned>(pattern));
+    } else {
+      bin = 9;
+    }
+    hist[static_cast<size_t>(bin)] += 1.0;
+  }
+  L1Normalize(&hist);
+  return hist;
+}
+
+std::vector<std::unique_ptr<FeatureExtractor>> MakeStandardExtractors() {
+  std::vector<std::unique_ptr<FeatureExtractor>> out;
+  out.push_back(std::make_unique<RgbHistogram>());
+  out.push_back(std::make_unique<HsvHistogram>());
+  out.push_back(std::make_unique<GaborBank>());
+  out.push_back(std::make_unique<Glcm>());
+  out.push_back(std::make_unique<LawsEnergy>());
+  out.push_back(std::make_unique<Lbp>());
+  return out;
+}
+
+}  // namespace mirror::mm

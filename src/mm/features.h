@@ -1,0 +1,107 @@
+#ifndef MIRROR_MM_FEATURES_H_
+#define MIRROR_MM_FEATURES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mm/image.h"
+
+namespace mirror::mm {
+
+/// A feature-extraction algorithm: maps an image segment to a fixed-size
+/// feature vector. Each implementation runs as an independent daemon in
+/// the Figure-1 architecture (paper §5.1: "Several feature extraction
+/// daemons independently create feature representations of the image
+/// segments").
+class FeatureExtractor {
+ public:
+  virtual ~FeatureExtractor() = default;
+
+  /// Short lowercase name; cluster terms are spelled "<name>_<k>" (the
+  /// paper's `gabor_21`).
+  virtual std::string name() const = 0;
+
+  /// Dimensionality of the produced vectors.
+  virtual int dims() const = 0;
+
+  /// Extracts the feature vector of `segment` within `image`.
+  virtual std::vector<double> Extract(const Image& image,
+                                      const Segment& segment) const = 0;
+};
+
+/// 4x4x4 RGB histogram (64 dims, L1-normalized). Color daemon #1.
+class RgbHistogram : public FeatureExtractor {
+ public:
+  std::string name() const override { return "rgb"; }
+  int dims() const override { return 64; }
+  std::vector<double> Extract(const Image& image,
+                              const Segment& segment) const override;
+};
+
+/// 8x3x3 HSV histogram (72 dims, L1-normalized). Color daemon #2.
+class HsvHistogram : public FeatureExtractor {
+ public:
+  std::string name() const override { return "hsv"; }
+  int dims() const override { return 72; }
+  std::vector<double> Extract(const Image& image,
+                              const Segment& segment) const override;
+};
+
+/// Gabor filter bank: 4 orientations x 3 scales, quadrature-pair
+/// magnitude; mean and standard deviation per filter (24 dims). The first
+/// of the four MeasTex-style texture algorithms.
+class GaborBank : public FeatureExtractor {
+ public:
+  GaborBank();
+  std::string name() const override { return "gabor"; }
+  int dims() const override { return 24; }
+  std::vector<double> Extract(const Image& image,
+                              const Segment& segment) const override;
+
+ private:
+  struct Kernel {
+    int radius;
+    std::vector<double> real;  // (2r+1)^2
+    std::vector<double> imag;
+  };
+  std::vector<Kernel> kernels_;
+};
+
+/// Gray-level co-occurrence matrix features (Haralick): contrast, energy,
+/// entropy, homogeneity, correlation at 4 offsets (20 dims). Texture #2.
+class Glcm : public FeatureExtractor {
+ public:
+  std::string name() const override { return "glcm"; }
+  int dims() const override { return 20; }
+  std::vector<double> Extract(const Image& image,
+                              const Segment& segment) const override;
+};
+
+/// Laws texture energy: 9 masks from the L5/E5/S5 kernels, mean absolute
+/// response per mask (9 dims). Texture #3.
+class LawsEnergy : public FeatureExtractor {
+ public:
+  std::string name() const override { return "laws"; }
+  int dims() const override { return 9; }
+  std::vector<double> Extract(const Image& image,
+                              const Segment& segment) const override;
+};
+
+/// Rotation-invariant uniform local binary patterns (LBP-8 riu2),
+/// 10-bin histogram. Texture #4.
+class Lbp : public FeatureExtractor {
+ public:
+  std::string name() const override { return "lbp"; }
+  int dims() const override { return 10; }
+  std::vector<double> Extract(const Image& image,
+                              const Segment& segment) const override;
+};
+
+/// The standard daemon battery of the demo system: two color histogram
+/// daemons plus the four texture reference implementations.
+std::vector<std::unique_ptr<FeatureExtractor>> MakeStandardExtractors();
+
+}  // namespace mirror::mm
+
+#endif  // MIRROR_MM_FEATURES_H_

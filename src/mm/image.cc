@@ -1,0 +1,29 @@
+#include "mm/image.h"
+
+#include <cstring>
+
+namespace mirror::mm {
+
+std::vector<uint8_t> Image::Serialize() const {
+  std::vector<uint8_t> blob(8 + pixels_.size());
+  uint32_t w = static_cast<uint32_t>(width_);
+  uint32_t h = static_cast<uint32_t>(height_);
+  std::memcpy(blob.data(), &w, 4);
+  std::memcpy(blob.data() + 4, &h, 4);
+  std::memcpy(blob.data() + 8, pixels_.data(), pixels_.size());
+  return blob;
+}
+
+Image Image::Deserialize(const std::vector<uint8_t>& blob) {
+  MIRROR_CHECK_GE(blob.size(), 8u);
+  uint32_t w = 0;
+  uint32_t h = 0;
+  std::memcpy(&w, blob.data(), 4);
+  std::memcpy(&h, blob.data() + 4, 4);
+  Image img(static_cast<int>(w), static_cast<int>(h));
+  MIRROR_CHECK_EQ(blob.size(), 8 + img.pixels_.size());
+  std::memcpy(img.pixels_.data(), blob.data() + 8, img.pixels_.size());
+  return img;
+}
+
+}  // namespace mirror::mm

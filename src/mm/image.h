@@ -1,0 +1,81 @@
+#ifndef MIRROR_MM_IMAGE_H_
+#define MIRROR_MM_IMAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace mirror::mm {
+
+/// An owned 8-bit RGB raster. The Mirror DBMS stores only metadata; rasters
+/// live in the media server and flow through the daemons of Figure 1.
+class Image {
+ public:
+  Image() = default;
+
+  /// Creates a black image of the given size.
+  Image(int width, int height)
+      : width_(width), height_(height),
+        pixels_(static_cast<size_t>(width) * static_cast<size_t>(height) * 3,
+                0) {
+    MIRROR_CHECK_GT(width, 0);
+    MIRROR_CHECK_GT(height, 0);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  /// Raw interleaved RGB bytes (row-major, 3 bytes per pixel).
+  const std::vector<uint8_t>& pixels() const { return pixels_; }
+
+  uint8_t r(int x, int y) const { return pixels_[Index(x, y)]; }
+  uint8_t g(int x, int y) const { return pixels_[Index(x, y) + 1]; }
+  uint8_t b(int x, int y) const { return pixels_[Index(x, y) + 2]; }
+
+  void SetPixel(int x, int y, uint8_t r, uint8_t g, uint8_t b) {
+    size_t i = Index(x, y);
+    pixels_[i] = r;
+    pixels_[i + 1] = g;
+    pixels_[i + 2] = b;
+  }
+
+  /// Luma in [0,255] as a double (Rec. 601 weights).
+  double Gray(int x, int y) const {
+    size_t i = Index(x, y);
+    return 0.299 * pixels_[i] + 0.587 * pixels_[i + 1] +
+           0.114 * pixels_[i + 2];
+  }
+
+  /// Serializes to a compact byte blob (for the media server).
+  std::vector<uint8_t> Serialize() const;
+
+  /// Parses a blob produced by Serialize().
+  static Image Deserialize(const std::vector<uint8_t>& blob);
+
+ private:
+  size_t Index(int x, int y) const {
+    MIRROR_CHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return (static_cast<size_t>(y) * static_cast<size_t>(width_) +
+            static_cast<size_t>(x)) *
+           3;
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<uint8_t> pixels_;
+};
+
+/// A segment: a set of pixels of one image, stored as row-major pixel
+/// indices plus a bounding box. Produced by the segmentation daemon.
+struct Segment {
+  std::vector<int> pixel_indices;  // y * width + x
+  int min_x = 0, min_y = 0, max_x = 0, max_y = 0;
+
+  size_t size() const { return pixel_indices.size(); }
+};
+
+}  // namespace mirror::mm
+
+#endif  // MIRROR_MM_IMAGE_H_

@@ -1,0 +1,129 @@
+#include "mm/segmentation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mirror::mm {
+
+namespace {
+
+/// Union-find over grid blocks.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+struct BlockStat {
+  double r = 0, g = 0, b = 0;
+  int count = 0;
+};
+
+double ColorDistance(const BlockStat& a, const BlockStat& b) {
+  double dr = a.r / a.count - b.r / b.count;
+  double dg = a.g / a.count - b.g / b.count;
+  double db = a.b / a.count - b.b / b.count;
+  return std::sqrt(dr * dr + dg * dg + db * db);
+}
+
+}  // namespace
+
+std::vector<Segment> Segmenter::Split(const Image& image) const {
+  const int bs = options_.block_size;
+  const int bw = (image.width() + bs - 1) / bs;
+  const int bh = (image.height() + bs - 1) / bs;
+  const int num_blocks = bw * bh;
+
+  // Per-block mean colors.
+  std::vector<BlockStat> stats(static_cast<size_t>(num_blocks));
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      BlockStat& s = stats[static_cast<size_t>((y / bs) * bw + (x / bs))];
+      s.r += image.r(x, y);
+      s.g += image.g(x, y);
+      s.b += image.b(x, y);
+      s.count += 1;
+    }
+  }
+
+  // Greedy merge of 4-adjacent blocks under the color threshold.
+  UnionFind uf(num_blocks);
+  for (int by = 0; by < bh; ++by) {
+    for (int bx = 0; bx < bw; ++bx) {
+      int id = by * bw + bx;
+      if (bx + 1 < bw) {
+        int right = id + 1;
+        if (ColorDistance(stats[static_cast<size_t>(id)],
+                          stats[static_cast<size_t>(right)]) <=
+            options_.merge_threshold) {
+          uf.Union(id, right);
+        }
+      }
+      if (by + 1 < bh) {
+        int down = id + bw;
+        if (ColorDistance(stats[static_cast<size_t>(id)],
+                          stats[static_cast<size_t>(down)]) <=
+            options_.merge_threshold) {
+          uf.Union(id, down);
+        }
+      }
+    }
+  }
+
+  // Collect segments; cap their number by merging smallest into root 0's
+  // group if exceeded (keeps the daemon's output bounded).
+  std::vector<int> root_of(static_cast<size_t>(num_blocks));
+  std::vector<int> roots;
+  for (int i = 0; i < num_blocks; ++i) {
+    root_of[static_cast<size_t>(i)] = uf.Find(i);
+  }
+  for (int i = 0; i < num_blocks; ++i) {
+    if (root_of[static_cast<size_t>(i)] == i) roots.push_back(i);
+  }
+  std::vector<int> segment_of_root(static_cast<size_t>(num_blocks), -1);
+  int num_segments = 0;
+  for (int root : roots) {
+    segment_of_root[static_cast<size_t>(root)] =
+        num_segments < options_.max_segments ? num_segments++
+                                             : options_.max_segments - 1;
+  }
+
+  std::vector<Segment> segments(static_cast<size_t>(num_segments));
+  for (auto& s : segments) {
+    s.min_x = image.width();
+    s.min_y = image.height();
+    s.max_x = 0;
+    s.max_y = 0;
+  }
+  for (int y = 0; y < image.height(); ++y) {
+    for (int x = 0; x < image.width(); ++x) {
+      int block = (y / bs) * bw + (x / bs);
+      int seg = segment_of_root[static_cast<size_t>(
+          root_of[static_cast<size_t>(block)])];
+      Segment& s = segments[static_cast<size_t>(seg)];
+      s.pixel_indices.push_back(y * image.width() + x);
+      s.min_x = std::min(s.min_x, x);
+      s.min_y = std::min(s.min_y, y);
+      s.max_x = std::max(s.max_x, x);
+      s.max_y = std::max(s.max_y, y);
+    }
+  }
+  return segments;
+}
+
+}  // namespace mirror::mm

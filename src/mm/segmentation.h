@@ -1,0 +1,35 @@
+#ifndef MIRROR_MM_SEGMENTATION_H_
+#define MIRROR_MM_SEGMENTATION_H_
+
+#include <vector>
+
+#include "mm/image.h"
+
+namespace mirror::mm {
+
+/// Options for the block-merge segmenter.
+struct SegmenterOptions {
+  int block_size = 16;          // initial grid granularity (pixels)
+  double merge_threshold = 28;  // max mean-RGB distance to merge blocks
+  int max_segments = 16;        // safety cap
+};
+
+/// The segmentation daemon's algorithm (paper §5.1: "One of the daemons
+/// segments the images"): the image is tiled into blocks, and adjacent
+/// blocks whose mean colors are close are merged greedily (union-find)
+/// into segments.
+class Segmenter {
+ public:
+  explicit Segmenter(SegmenterOptions options = SegmenterOptions())
+      : options_(options) {}
+
+  /// Splits `image` into 1..max_segments segments covering all pixels.
+  std::vector<Segment> Split(const Image& image) const;
+
+ private:
+  SegmenterOptions options_;
+};
+
+}  // namespace mirror::mm
+
+#endif  // MIRROR_MM_SEGMENTATION_H_

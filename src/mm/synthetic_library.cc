@@ -1,0 +1,141 @@
+#include "mm/synthetic_library.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/str_util.h"
+
+namespace mirror::mm {
+
+namespace {
+
+// Distinct per-class vocabulary pools (class index mod table size) and a
+// shared noise pool that appears in all annotations.
+constexpr int kPoolWords = 4;
+const char* const kClassPools[][kPoolWords] = {
+    {"sunset", "dusk", "orange", "glow"},
+    {"ocean", "wave", "water", "blue"},
+    {"forest", "tree", "leaf", "green"},
+    {"brick", "wall", "pattern", "red"},
+    {"sand", "dune", "desert", "yellow"},
+    {"storm", "cloud", "gray", "rain"},
+    {"meadow", "flower", "field", "bloom"},
+    {"night", "star", "dark", "sky"},
+};
+constexpr int kNumPools = std::size(kClassPools);
+
+const char* const kNoiseWords[] = {"photo", "picture", "view",  "scene",
+                                   "shot",  "frame",   "light", "color"};
+
+struct ClassStyle {
+  uint8_t base_r, base_g, base_b;
+  int texture;       // 0 grating, 1 checker, 2 blobs, 3 stripes
+  double angle;      // texture orientation
+  double frequency;  // cycles across the image
+};
+
+ClassStyle StyleFor(int cls) {
+  ClassStyle s;
+  // Distinct hues around the wheel.
+  double hue = (cls * 67) % 360 / 360.0 * 2 * M_PI;
+  s.base_r = static_cast<uint8_t>(128 + 100 * std::cos(hue));
+  s.base_g = static_cast<uint8_t>(128 + 100 * std::cos(hue + 2.1));
+  s.base_b = static_cast<uint8_t>(128 + 100 * std::cos(hue + 4.2));
+  s.texture = cls % 4;
+  s.angle = (cls * 37 % 180) * M_PI / 180.0;
+  s.frequency = 3.0 + (cls % 5) * 2.0;
+  return s;
+}
+
+}  // namespace
+
+SyntheticLibrary::SyntheticLibrary(LibraryOptions options)
+    : options_(options) {
+  MIRROR_CHECK_LE(options_.num_classes, kNumPools)
+      << "at most " << kNumPools << " planted classes supported";
+}
+
+std::vector<std::string> SyntheticLibrary::ClassWords(int cls) const {
+  std::vector<std::string> words;
+  for (int w = 0; w < kPoolWords; ++w) {
+    words.emplace_back(kClassPools[cls % kNumPools][w]);
+  }
+  return words;
+}
+
+Image SyntheticLibrary::MakeImage(int cls, base::Rng* rng) const {
+  ClassStyle style = StyleFor(cls);
+  int n = options_.image_size;
+  Image img(n, n);
+  double phase = rng->UniformDouble() * 2 * M_PI;
+  double ca = std::cos(style.angle);
+  double sa = std::sin(style.angle);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      double u = (ca * x + sa * y) / n;
+      double v = (-sa * x + ca * y) / n;
+      double t = 0;  // texture modulation in [-1, 1]
+      switch (style.texture) {
+        case 0:  // sinusoidal grating
+          t = std::sin(2 * M_PI * style.frequency * u + phase);
+          break;
+        case 1: {  // checkerboard
+          int cu = static_cast<int>(std::floor(u * style.frequency * 2));
+          int cv = static_cast<int>(std::floor(v * style.frequency * 2));
+          t = ((cu + cv) % 2 == 0) ? 1.0 : -1.0;
+          break;
+        }
+        case 2: {  // soft blobs
+          double bx = std::sin(2 * M_PI * style.frequency * u + phase);
+          double by = std::sin(2 * M_PI * style.frequency * v + phase * 0.7);
+          t = bx * by;
+          break;
+        }
+        default:  // hard stripes
+          t = std::sin(2 * M_PI * style.frequency * u + phase) > 0 ? 1.0
+                                                                   : -1.0;
+          break;
+      }
+      double noise = rng->UniformDouble(-12.0, 12.0);
+      auto channel = [&](uint8_t base) {
+        double val = base + 55.0 * t + noise;
+        return static_cast<uint8_t>(std::clamp(val, 0.0, 255.0));
+      };
+      img.SetPixel(x, y, channel(style.base_r), channel(style.base_g),
+                   channel(style.base_b));
+    }
+  }
+  return img;
+}
+
+std::string SyntheticLibrary::MakeAnnotation(int cls, base::Rng* rng) const {
+  std::vector<std::string> words;
+  for (int w = 0; w < options_.words_per_annotation; ++w) {
+    if (rng->UniformDouble() < 0.7) {
+      words.emplace_back(
+          kClassPools[cls % kNumPools][rng->Uniform(kPoolWords)]);
+    } else {
+      words.emplace_back(kNoiseWords[rng->Uniform(std::size(kNoiseWords))]);
+    }
+  }
+  return base::Join(words, " ");
+}
+
+std::vector<LibraryImage> SyntheticLibrary::Generate() const {
+  base::Rng rng(options_.seed);
+  std::vector<LibraryImage> library;
+  library.reserve(static_cast<size_t>(options_.num_images));
+  for (int i = 0; i < options_.num_images; ++i) {
+    LibraryImage entry;
+    entry.true_class = i % options_.num_classes;
+    entry.url = base::StrFormat("http://library/img_%04d.png", i);
+    entry.image = MakeImage(entry.true_class, &rng);
+    if (rng.UniformDouble() < options_.annotated_fraction) {
+      entry.annotation = MakeAnnotation(entry.true_class, &rng);
+    }
+    library.push_back(std::move(entry));
+  }
+  return library;
+}
+
+}  // namespace mirror::mm

@@ -1,0 +1,61 @@
+#ifndef MIRROR_MM_SYNTHETIC_LIBRARY_H_
+#define MIRROR_MM_SYNTHETIC_LIBRARY_H_
+
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "mm/image.h"
+
+namespace mirror::mm {
+
+/// One generated library entry. The paper's demo collected images with a
+/// web robot; this generator substitutes a parametric collection with
+/// planted visual classes and class-correlated annotations, so retrieval
+/// experiments have ground truth (the real crawl had none).
+struct LibraryImage {
+  std::string url;
+  Image image;
+  std::string annotation;  // empty string = unannotated (paper: "some of
+                           // the images ... are annotated")
+  int true_class = -1;
+};
+
+/// Generator options.
+struct LibraryOptions {
+  int num_images = 120;
+  int image_size = 48;
+  int num_classes = 5;
+  /// Fraction of images carrying a textual annotation.
+  double annotated_fraction = 0.6;
+  int words_per_annotation = 6;
+  uint64_t seed = 42;
+};
+
+/// Deterministic synthetic image library. Each class has a distinctive
+/// base hue and procedural texture (gratings at class-specific
+/// orientation/frequency, checkerboards, blobs, stripes) plus a pool of
+/// annotation words; annotations mix class words with shared noise words.
+class SyntheticLibrary {
+ public:
+  explicit SyntheticLibrary(LibraryOptions options = LibraryOptions{});
+
+  /// Generates the whole library.
+  std::vector<LibraryImage> Generate() const;
+
+  /// The characteristic annotation words of a class (useful as queries
+  /// with known relevant sets).
+  std::vector<std::string> ClassWords(int cls) const;
+
+  int num_classes() const { return options_.num_classes; }
+
+ private:
+  Image MakeImage(int cls, base::Rng* rng) const;
+  std::string MakeAnnotation(int cls, base::Rng* rng) const;
+
+  LibraryOptions options_;
+};
+
+}  // namespace mirror::mm
+
+#endif  // MIRROR_MM_SYNTHETIC_LIBRARY_H_

@@ -1,0 +1,93 @@
+#ifndef MIRROR_MOA_EXPR_H_
+#define MIRROR_MOA_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "monet/value.h"
+
+namespace mirror::moa {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Aggregate functions over sets. kProd and kProbOr are the inference
+/// network's probabilistic AND / OR combinations (InQuery's #and, #or),
+/// written `pand(...)` and `por(...)` in queries.
+enum class AggKind { kSum, kCount, kMax, kMin, kAvg, kProd, kProbOr };
+
+/// Comparison operators in selection predicates.
+enum class CmpKind { kEq, kNeq, kLt, kLe, kGt, kGe };
+
+/// Scalar arithmetic in map bodies.
+enum class ArithKind { kAdd, kSub, kMul, kDiv };
+
+/// A Moa query expression. The surface syntax is the paper's, e.g.
+///
+///   map[sum(THIS)](
+///     map[getBL(THIS.annotation, query, stats)]( TraditionalImgLib ));
+///
+/// Operators: `map[body](set)`, `select[pred](set)`,
+/// `semijoin(set_a, set_b)` (elements of a whose oid appears in b),
+/// aggregates `sum/count/max/min/avg(expr)`, `getBL(rep, qvar, statsvar)`,
+/// `topN(set, n)`, field access `THIS.field`, literals, comparisons and
+/// arithmetic, `and`/`or` in predicates.
+struct Expr {
+  enum class Op {
+    kMap,       // children: {body, set}
+    kSelect,    // children: {pred, set}
+    kSemiJoin,  // children: {left_set, right_set}
+    kAgg,       // children: {arg}; agg
+    kGetBL,     // children: {rep (field access)}; qvar, statsvar
+    kTopN,      // children: {set}; n
+    kThis,      // the current element inside map/select brackets
+    kField,     // children: {base}; name
+    kVarRef,    // name: named set or bound variable
+    kLit,       // literal: int/dbl/str
+    kCmp,       // children: {lhs, rhs}; cmp
+    kArith,     // children: {lhs, rhs}; arith
+    kAnd,       // children: {lhs, rhs}
+    kOr,        // children: {lhs, rhs}
+  };
+
+  Op op;
+  std::vector<ExprPtr> children;
+  std::string name;      // kField, kVarRef
+  std::string qvar;      // kGetBL: query binding name
+  std::string statsvar;  // kGetBL: stats binding name
+  AggKind agg = AggKind::kSum;
+  CmpKind cmp = CmpKind::kEq;
+  ArithKind arith = ArithKind::kAdd;
+  monet::Value literal;  // kLit
+  int64_t n = 0;         // kTopN
+
+  /// Canonical rendering (re-parseable for the supported grammar).
+  std::string ToString() const;
+
+  // Builder helpers (used by tests and the optimizer).
+  static ExprPtr Map(ExprPtr body, ExprPtr set);
+  static ExprPtr Select(ExprPtr pred, ExprPtr set);
+  static ExprPtr SemiJoin(ExprPtr left, ExprPtr right);
+  static ExprPtr Agg(AggKind kind, ExprPtr arg);
+  static ExprPtr GetBL(ExprPtr rep, std::string qvar, std::string statsvar);
+  static ExprPtr TopN(ExprPtr set, int64_t n);
+  static ExprPtr This();
+  static ExprPtr Field(ExprPtr base, std::string name);
+  static ExprPtr Var(std::string name);
+  static ExprPtr Lit(monet::Value v);
+  static ExprPtr Cmp(CmpKind kind, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Arith(ArithKind kind, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr And(ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Or(ExprPtr lhs, ExprPtr rhs);
+};
+
+/// Parses a query expression in the paper's surface syntax. A trailing
+/// ';' is allowed.
+base::Result<ExprPtr> ParseExpr(std::string_view text);
+
+}  // namespace mirror::moa
+
+#endif  // MIRROR_MOA_EXPR_H_

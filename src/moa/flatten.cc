@@ -1,0 +1,843 @@
+#include "moa/flatten.h"
+
+#include <cmath>
+#include <memory>
+
+#include "base/str_util.h"
+
+namespace mirror::moa {
+
+namespace mil = monet::mil;
+using monet::Bat;
+using monet::BinOp;
+using monet::CmpOp;
+using monet::Column;
+using monet::UnOp;
+using monet::Value;
+
+namespace {
+
+/// The compile-time shape of a subexpression.
+struct Compiled {
+  enum class Kind { kScope, kBat, kScalar };
+  Kind kind = Kind::kBat;
+  // kScope: a stored set, possibly restricted to candidate oids.
+  const FlatSet* set = nullptr;
+  int candidates = -1;  // register of a BAT whose heads are surviving oids
+  // kBat / kScalar: the value register.
+  int reg = -1;
+};
+
+class Compiler {
+ public:
+  Compiler(const Database* db, const QueryContext* ctx,
+           const FlattenOptions& options)
+      : db_(db), ctx_(ctx), options_(options) {}
+
+  base::Result<mil::Program> Run(const ExprPtr& expr) {
+    auto out = CompileNode(expr);
+    if (!out.ok()) return out.status();
+    Compiled c = out.TakeValue();
+    int result = -1;
+    switch (c.kind) {
+      case Compiled::Kind::kScalar:
+      case Compiled::Kind::kBat:
+        result = c.reg;
+        break;
+      case Compiled::Kind::kScope: {
+        // A bare set scan results in its oid identity BAT.
+        auto base = BaseReg(c);
+        if (!base.ok()) return base.status();
+        result = EmitUnary(mil::OpCode::kMirror, base.value());
+        break;
+      }
+    }
+    prog_.set_result_reg(result);
+    return std::move(prog_);
+  }
+
+ private:
+  // -- Emission helpers ----------------------------------------------------
+
+  int EmitLoad(const std::string& name) {
+    mil::Instr i;
+    i.op = mil::OpCode::kLoadNamed;
+    i.name = name;
+    i.dst = prog_.NewReg();
+    return prog_.Emit(std::move(i));
+  }
+
+  int EmitConst(Bat bat) {
+    mil::Instr i;
+    i.op = mil::OpCode::kConstBat;
+    i.const_bat = std::make_shared<const Bat>(std::move(bat));
+    i.dst = prog_.NewReg();
+    return prog_.Emit(std::move(i));
+  }
+
+  int EmitUnary(mil::OpCode op, int src) {
+    mil::Instr i;
+    i.op = op;
+    i.src0 = src;
+    i.dst = prog_.NewReg();
+    return prog_.Emit(std::move(i));
+  }
+
+  int EmitBinary(mil::OpCode op, int src0, int src1) {
+    mil::Instr i;
+    i.op = op;
+    i.src0 = src0;
+    i.src1 = src1;
+    i.dst = prog_.NewReg();
+    return prog_.Emit(std::move(i));
+  }
+
+  int EmitSelectCmp(int src, CmpOp cmp, Value v) {
+    mil::Instr i;
+    i.op = mil::OpCode::kSelectCmp;
+    i.src0 = src;
+    i.cmp_op = cmp;
+    i.imm0 = std::move(v);
+    i.dst = prog_.NewReg();
+    return prog_.Emit(std::move(i));
+  }
+
+  int EmitMapScalar(int src, BinOp op, Value v) {
+    mil::Instr i;
+    i.op = mil::OpCode::kMapBinaryScalar;
+    i.src0 = src;
+    i.bin_op = op;
+    i.imm0 = std::move(v);
+    i.dst = prog_.NewReg();
+    return prog_.Emit(std::move(i));
+  }
+
+  int EmitMapBinary(int l, int r, BinOp op) {
+    mil::Instr i;
+    i.op = mil::OpCode::kMapBinary;
+    i.src0 = l;
+    i.src1 = r;
+    i.bin_op = op;
+    i.dst = prog_.NewReg();
+    return prog_.Emit(std::move(i));
+  }
+
+  int EmitFill(int src, Value v) {
+    mil::Instr i;
+    i.op = mil::OpCode::kFillTail;
+    i.src0 = src;
+    i.imm0 = std::move(v);
+    i.dst = prog_.NewReg();
+    return prog_.Emit(std::move(i));
+  }
+
+  int EmitBelief(int tf, int df, int len, const ir::CollectionStats& stats,
+                 const monet::BeliefParams& params) {
+    mil::Instr i;
+    i.op = mil::OpCode::kBelief;
+    i.src0 = tf;
+    i.src1 = df;
+    i.src2 = len;
+    i.num_docs = stats.num_docs;
+    i.avg_doclen = stats.avg_doclen;
+    i.belief = params;
+    i.dst = prog_.NewReg();
+    return prog_.Emit(std::move(i));
+  }
+
+  int EmitTopN(int src, int64_t n) {
+    mil::Instr i;
+    i.op = mil::OpCode::kTopN;
+    i.src0 = src;
+    i.n = n;
+    i.flag0 = true;  // descending
+    i.dst = prog_.NewReg();
+    return prog_.Emit(std::move(i));
+  }
+
+  // A register holding a BAT whose heads enumerate the scope's oids.
+  base::Result<int> BaseReg(const Compiled& scope) {
+    if (scope.candidates >= 0) return scope.candidates;
+    MIRROR_CHECK(scope.set != nullptr);
+    for (const FieldBinding& f : scope.set->fields) {
+      if (!f.bat_name.empty()) return EmitLoad(f.bat_name);
+    }
+    for (const auto& contrep : scope.set->contreps) {
+      return EmitLoad(contrep->len_bat);
+    }
+    return base::Status::Unimplemented(
+        "set '" + scope.set->name + "' has no loadable base column");
+  }
+
+  // -- Core compilation ----------------------------------------------------
+
+  base::Result<Compiled> CompileNode(const ExprPtr& expr) {
+    switch (expr->op) {
+      case Expr::Op::kVarRef: {
+        auto set = db_->GetSet(expr->name);
+        if (!set.ok()) return set.status();
+        Compiled c;
+        c.kind = Compiled::Kind::kScope;
+        c.set = set.value();
+        return c;
+      }
+      case Expr::Op::kSelect:
+        return CompileSelect(expr);
+      case Expr::Op::kSemiJoin:
+        return CompileSemiJoin(expr);
+      case Expr::Op::kMap:
+        return CompileMap(expr);
+      case Expr::Op::kAgg:
+        return CompileAgg(expr);
+      case Expr::Op::kTopN: {
+        auto inner = CompileNode(expr->children[0]);
+        if (!inner.ok()) return inner;
+        if (inner.value().kind != Compiled::Kind::kBat) {
+          return base::Status::TypeError("topN needs a mapped set");
+        }
+        Compiled c;
+        c.kind = Compiled::Kind::kBat;
+        c.reg = EmitTopN(inner.value().reg, expr->n);
+        return c;
+      }
+      default:
+        return base::Status::Unimplemented("cannot flatten: " +
+                                           expr->ToString());
+    }
+  }
+
+  base::Result<Compiled> CompileSelect(const ExprPtr& expr) {
+    auto inner = CompileNode(expr->children[1]);
+    if (!inner.ok()) return inner;
+    Compiled base = inner.TakeValue();
+    if (base.kind == Compiled::Kind::kBat) {
+      // Selection over a mapped set: predicate on THIS.
+      auto reg = CompileValuePred(expr->children[0], base.reg);
+      if (!reg.ok()) return reg.status();
+      Compiled c;
+      c.kind = Compiled::Kind::kBat;
+      c.reg = reg.value();
+      return c;
+    }
+    if (base.kind != Compiled::Kind::kScope) {
+      return base::Status::TypeError("select over a scalar");
+    }
+    auto cand = CompilePred(expr->children[0], base);
+    if (!cand.ok()) return cand.status();
+    Compiled c;
+    c.kind = Compiled::Kind::kScope;
+    c.set = base.set;
+    c.candidates = cand.value();
+    return c;
+  }
+
+  // Predicate over a mapped BAT (THIS is the value).
+  base::Result<int> CompileValuePred(const ExprPtr& pred, int bat_reg) {
+    if (pred->op == Expr::Op::kCmp) {
+      const ExprPtr& lhs = pred->children[0];
+      const ExprPtr& rhs = pred->children[1];
+      if (lhs->op == Expr::Op::kThis && rhs->op == Expr::Op::kLit) {
+        return EmitSelectCmp(bat_reg, ToCmpOp(pred->cmp), rhs->literal);
+      }
+      if (rhs->op == Expr::Op::kThis && lhs->op == Expr::Op::kLit) {
+        return EmitSelectCmp(bat_reg, FlipCmp(ToCmpOp(pred->cmp)),
+                             lhs->literal);
+      }
+    }
+    if (pred->op == Expr::Op::kAnd) {
+      auto l = CompileValuePred(pred->children[0], bat_reg);
+      if (!l.ok()) return l;
+      return CompileValuePred(pred->children[1], l.value());
+    }
+    return base::Status::Unimplemented(
+        "unsupported predicate over mapped set: " + pred->ToString());
+  }
+
+  static CmpOp ToCmpOp(CmpKind kind) {
+    switch (kind) {
+      case CmpKind::kEq:
+        return CmpOp::kEq;
+      case CmpKind::kNeq:
+        return CmpOp::kNeq;
+      case CmpKind::kLt:
+        return CmpOp::kLt;
+      case CmpKind::kLe:
+        return CmpOp::kLe;
+      case CmpKind::kGt:
+        return CmpOp::kGt;
+      case CmpKind::kGe:
+        return CmpOp::kGe;
+    }
+    MIRROR_UNREACHABLE();
+    return CmpOp::kEq;
+  }
+
+  static CmpOp FlipCmp(CmpOp op) {
+    switch (op) {
+      case CmpOp::kLt:
+        return CmpOp::kGt;
+      case CmpOp::kLe:
+        return CmpOp::kGe;
+      case CmpOp::kGt:
+        return CmpOp::kLt;
+      case CmpOp::kGe:
+        return CmpOp::kLe;
+      default:
+        return op;  // symmetric
+    }
+  }
+
+  // Predicate over a set scope; returns a candidates register.
+  base::Result<int> CompilePred(const ExprPtr& pred, const Compiled& scope) {
+    switch (pred->op) {
+      case Expr::Op::kCmp: {
+        const ExprPtr& lhs = pred->children[0];
+        const ExprPtr& rhs = pred->children[1];
+        const ExprPtr* field = nullptr;
+        const ExprPtr* lit = nullptr;
+        CmpOp cmp = ToCmpOp(pred->cmp);
+        if (lhs->op == Expr::Op::kField && rhs->op == Expr::Op::kLit) {
+          field = &lhs;
+          lit = &rhs;
+        } else if (rhs->op == Expr::Op::kField &&
+                   lhs->op == Expr::Op::kLit) {
+          field = &rhs;
+          lit = &lhs;
+          cmp = FlipCmp(cmp);
+        } else {
+          return base::Status::Unimplemented(
+              "selection predicates must compare THIS.<field> with a "
+              "literal: " +
+              pred->ToString());
+        }
+        auto bat = LoadScopedField(**field, scope);
+        if (!bat.ok()) return bat.status();
+        return EmitSelectCmp(bat.value(), cmp, (*lit)->literal);
+      }
+      case Expr::Op::kAnd: {
+        auto l = CompilePred(pred->children[0], scope);
+        if (!l.ok()) return l;
+        // Thread the left candidates into the right side (sequential
+        // filtering): strictly fewer tuples than independent evaluation.
+        Compiled threaded = scope;
+        if (options_.optimize) {
+          threaded.candidates = l.value();
+          return CompilePred(pred->children[1], threaded);
+        }
+        auto r = CompilePred(pred->children[1], scope);
+        if (!r.ok()) return r;
+        return EmitBinary(mil::OpCode::kSemiJoinHead, l.value(), r.value());
+      }
+      case Expr::Op::kOr: {
+        auto l = CompilePred(pred->children[0], scope);
+        if (!l.ok()) return l;
+        auto r = CompilePred(pred->children[1], scope);
+        if (!r.ok()) return r;
+        // Union of candidates; AntiJoin the right side first so Concat
+        // introduces no duplicate oids.
+        int r_minus_l =
+            EmitBinary(mil::OpCode::kAntiJoinHead, r.value(), l.value());
+        return EmitBinary(mil::OpCode::kConcat, l.value(), r_minus_l);
+      }
+      default:
+        return base::Status::Unimplemented("unsupported predicate: " +
+                                           pred->ToString());
+    }
+  }
+
+  // Loads THIS.<field> restricted to the scope's candidates.
+  base::Result<int> LoadScopedField(const Expr& field_expr,
+                                    const Compiled& scope) {
+    if (field_expr.children[0]->op != Expr::Op::kThis) {
+      return base::Status::Unimplemented(
+          "only THIS.<field> references are supported");
+    }
+    MIRROR_CHECK(scope.set != nullptr);
+    const FieldBinding* binding = scope.set->FindField(field_expr.name);
+    if (binding == nullptr || binding->bat_name.empty()) {
+      return base::Status::NotFound(
+          "no atomic field '" + field_expr.name + "' in " + scope.set->name);
+    }
+    int reg = EmitLoad(binding->bat_name);
+    if (scope.candidates >= 0) {
+      reg = EmitBinary(mil::OpCode::kSemiJoinHead, reg, scope.candidates);
+    }
+    return reg;
+  }
+
+  base::Result<Compiled> CompileSemiJoin(const ExprPtr& expr) {
+    auto left = CompileNode(expr->children[0]);
+    if (!left.ok()) return left;
+    auto right = CompileNode(expr->children[1]);
+    if (!right.ok()) return right;
+    int right_reg = -1;
+    if (right.value().kind == Compiled::Kind::kScope) {
+      auto base = BaseReg(right.value());
+      if (!base.ok()) return base.status();
+      right_reg = base.value();
+    } else if (right.value().kind == Compiled::Kind::kBat) {
+      right_reg = right.value().reg;
+    } else {
+      return base::Status::TypeError("semijoin's right side must be a set");
+    }
+    if (left.value().kind == Compiled::Kind::kBat) {
+      // Mapped left side: filter the result BAT by oid membership.
+      Compiled c;
+      c.kind = Compiled::Kind::kBat;
+      c.reg = EmitBinary(mil::OpCode::kSemiJoinHead, left.value().reg,
+                         right_reg);
+      return c;
+    }
+    if (left.value().kind != Compiled::Kind::kScope) {
+      return base::Status::TypeError("semijoin's left side must be a set");
+    }
+    auto left_base = BaseReg(left.value());
+    if (!left_base.ok()) return left_base.status();
+    Compiled c;
+    c.kind = Compiled::Kind::kScope;
+    c.set = left.value().set;
+    c.candidates =
+        EmitBinary(mil::OpCode::kSemiJoinHead, left_base.value(), right_reg);
+    return c;
+  }
+
+  base::Result<Compiled> CompileMap(const ExprPtr& expr) {
+    const ExprPtr& body = expr->children[0];
+    const ExprPtr& source = expr->children[1];
+
+    // Fused ranking pattern: map[AGG(THIS)](map[getBL(...)](X)).
+    if (body->op == Expr::Op::kAgg &&
+        body->children[0]->op == Expr::Op::kThis &&
+        source->op == Expr::Op::kMap &&
+        source->children[0]->op == Expr::Op::kGetBL) {
+      auto scope = CompileNode(source->children[1]);
+      if (!scope.ok()) return scope;
+      if (scope.value().kind != Compiled::Kind::kScope) {
+        return base::Status::TypeError("getBL needs a stored set");
+      }
+      return CompileGetBLAggregate(body->agg, source->children[0],
+                                   scope.value());
+    }
+
+    auto inner = CompileNode(source);
+    if (!inner.ok()) return inner;
+    Compiled base = inner.TakeValue();
+
+    if (body->op == Expr::Op::kGetBL) {
+      if (base.kind != Compiled::Kind::kScope) {
+        return base::Status::TypeError("getBL needs a stored set");
+      }
+      auto evidence = CompileGetBLEvidence(body, base);
+      if (!evidence.ok()) return evidence.status();
+      Compiled c;
+      c.kind = Compiled::Kind::kBat;
+      c.reg = evidence.value().weighted_beliefs_by_doc;
+      return c;
+    }
+
+    if (base.kind == Compiled::Kind::kScope) {
+      auto reg = CompileScalarMap(body, base);
+      if (!reg.ok()) return reg.status();
+      Compiled c;
+      c.kind = Compiled::Kind::kBat;
+      c.reg = reg.value();
+      return c;
+    }
+    if (base.kind == Compiled::Kind::kBat) {
+      auto reg = CompileScalarMapOverBat(body, base.reg);
+      if (!reg.ok()) return reg.status();
+      Compiled c;
+      c.kind = Compiled::Kind::kBat;
+      c.reg = reg.value();
+      return c;
+    }
+    return base::Status::TypeError("map over a scalar");
+  }
+
+  // Scalar map body over a stored-set scope.
+  base::Result<int> CompileScalarMap(const ExprPtr& body,
+                                     const Compiled& scope) {
+    switch (body->op) {
+      case Expr::Op::kField:
+        return LoadScopedField(*body, scope);
+      case Expr::Op::kThis: {
+        auto base = BaseReg(scope);
+        if (!base.ok()) return base;
+        return EmitUnary(mil::OpCode::kMirror, base.value());
+      }
+      case Expr::Op::kLit: {
+        auto base = BaseReg(scope);
+        if (!base.ok()) return base;
+        return EmitFill(base.value(), body->literal);
+      }
+      case Expr::Op::kArith: {
+        const ExprPtr& lhs = body->children[0];
+        const ExprPtr& rhs = body->children[1];
+        BinOp op = ToBinOp(body->arith);
+        if (rhs->op == Expr::Op::kLit) {
+          auto l = CompileScalarMap(lhs, scope);
+          if (!l.ok()) return l;
+          return EmitMapScalar(l.value(), op, rhs->literal);
+        }
+        if (lhs->op == Expr::Op::kLit) {
+          auto r = CompileScalarMap(rhs, scope);
+          if (!r.ok()) return r;
+          // lit (op) x: addition/multiplication commute; subtraction
+          // negates; division is not supported in this position.
+          if (body->arith == ArithKind::kAdd ||
+              body->arith == ArithKind::kMul) {
+            return EmitMapScalar(r.value(), op, lhs->literal);
+          }
+          if (body->arith == ArithKind::kSub) {
+            int t = EmitMapScalar(r.value(), BinOp::kSub, lhs->literal);
+            return EmitUnaryOp(t, UnOp::kNeg);
+          }
+          return base::Status::Unimplemented(
+              "literal / expression is not supported in map bodies");
+        }
+        auto l = CompileScalarMap(lhs, scope);
+        if (!l.ok()) return l;
+        auto r = CompileScalarMap(rhs, scope);
+        if (!r.ok()) return r;
+        return EmitMapBinary(l.value(), r.value(), op);
+      }
+      default:
+        return base::Status::Unimplemented("unsupported map body: " +
+                                           body->ToString());
+    }
+  }
+
+  int EmitUnaryOp(int src, UnOp op) {
+    mil::Instr i;
+    i.op = mil::OpCode::kMapUnary;
+    i.src0 = src;
+    i.un_op = op;
+    i.dst = prog_.NewReg();
+    return prog_.Emit(std::move(i));
+  }
+
+  // Scalar map body where THIS is the tail of an already-mapped BAT.
+  base::Result<int> CompileScalarMapOverBat(const ExprPtr& body, int bat) {
+    switch (body->op) {
+      case Expr::Op::kThis:
+        return bat;
+      case Expr::Op::kArith: {
+        const ExprPtr& lhs = body->children[0];
+        const ExprPtr& rhs = body->children[1];
+        BinOp op = ToBinOp(body->arith);
+        if (rhs->op == Expr::Op::kLit) {
+          auto l = CompileScalarMapOverBat(lhs, bat);
+          if (!l.ok()) return l;
+          return EmitMapScalar(l.value(), op, rhs->literal);
+        }
+        if (lhs->op == Expr::Op::kLit &&
+            (body->arith == ArithKind::kAdd ||
+             body->arith == ArithKind::kMul)) {
+          auto r = CompileScalarMapOverBat(rhs, bat);
+          if (!r.ok()) return r;
+          return EmitMapScalar(r.value(), op, lhs->literal);
+        }
+        auto l = CompileScalarMapOverBat(lhs, bat);
+        if (!l.ok()) return l;
+        auto r = CompileScalarMapOverBat(rhs, bat);
+        if (!r.ok()) return r;
+        return EmitMapBinary(l.value(), r.value(), op);
+      }
+      default:
+        return base::Status::Unimplemented(
+            "unsupported map body over mapped set: " + body->ToString());
+    }
+  }
+
+  static BinOp ToBinOp(ArithKind kind) {
+    switch (kind) {
+      case ArithKind::kAdd:
+        return BinOp::kAdd;
+      case ArithKind::kSub:
+        return BinOp::kSub;
+      case ArithKind::kMul:
+        return BinOp::kMul;
+      case ArithKind::kDiv:
+        return BinOp::kDiv;
+    }
+    MIRROR_UNREACHABLE();
+    return BinOp::kAdd;
+  }
+
+  // -- getBL ----------------------------------------------------------------
+
+  struct GetBLEvidence {
+    int weighted_beliefs_by_doc = -1;  // (doc -> w*bel), present terms only
+    int weights_by_doc = -1;           // (doc -> w), aligned
+    const ContRepField* contrep = nullptr;
+    ResolvedQuery query;
+  };
+
+  base::Result<GetBLEvidence> CompileGetBLEvidence(const ExprPtr& getbl,
+                                                   const Compiled& scope) {
+    const ExprPtr& rep = getbl->children[0];
+    if (rep->op != Expr::Op::kField ||
+        rep->children[0]->op != Expr::Op::kThis) {
+      return base::Status::Unimplemented(
+          "getBL's first argument must be THIS.<contrep field>");
+    }
+    MIRROR_CHECK(scope.set != nullptr);
+    const ContRepField* contrep = scope.set->FindContRep(rep->name);
+    if (contrep == nullptr) {
+      return base::Status::NotFound("no CONTREP field '" + rep->name +
+                                    "' in " + scope.set->name);
+    }
+    const std::vector<WeightedTerm>* binding = ctx_->Find(getbl->qvar);
+    if (binding == nullptr) {
+      return base::Status::NotFound("unbound query variable: " + getbl->qvar);
+    }
+    ResolvedQuery query = ResolveQuery(*binding, contrep->index.vocab());
+
+    // Constant query BATs.
+    std::vector<int64_t> q_terms;
+    std::vector<double> q_weights;
+    for (const auto& [term, w] : query.present) {
+      q_terms.push_back(term);
+      q_weights.push_back(w);
+    }
+    int qb = EmitConst(Bat::DenseInts(q_terms));
+    int qw = EmitConst(Bat(Column::MakeInts(q_terms),
+                           Column::MakeDbls(q_weights)));
+
+    int term = EmitLoad(contrep->term_bat);
+    int tf = EmitLoad(contrep->tf_bat);
+    int doc = EmitLoad(contrep->doc_bat);
+    int df = EmitLoad(contrep->df_bat);
+    int len = EmitLoad(contrep->len_bat);
+
+    const ir::CollectionStats& stats = contrep->index.stats();
+    const monet::BeliefParams& params = contrep->network->params();
+
+    GetBLEvidence out;
+    out.contrep = contrep;
+    out.query = std::move(query);
+
+    if (options_.optimize) {
+      // Inverted evaluation: restrict the postings BEFORE computing
+      // beliefs — first by query term, then by candidate documents.
+      int keep = EmitBinary(mil::OpCode::kSemiJoinTail, term, qb);
+      if (scope.candidates >= 0) {
+        int keep_mirror = EmitUnary(mil::OpCode::kMirror, keep);
+        int pd = EmitBinary(mil::OpCode::kJoin, keep_mirror, doc);
+        int cand_rev = EmitUnary(mil::OpCode::kReverse, scope.candidates);
+        keep = EmitBinary(mil::OpCode::kSemiJoinTail, pd, cand_rev);
+      }
+      int tf_k = EmitBinary(mil::OpCode::kSemiJoinHead, tf, keep);
+      int term_k = EmitBinary(mil::OpCode::kSemiJoinHead, term, keep);
+      int doc_k = EmitBinary(mil::OpCode::kSemiJoinHead, doc, keep);
+      int df_k = EmitBinary(mil::OpCode::kJoin, term_k, df);
+      int len_k = EmitBinary(mil::OpCode::kJoin, doc_k, len);
+      int bel = EmitBelief(tf_k, df_k, len_k, stats, params);
+      int w_k = EmitBinary(mil::OpCode::kJoin, term_k, qw);
+      int wbel = EmitMapBinary(bel, w_k, BinOp::kMul);
+      int docr = EmitUnary(mil::OpCode::kReverse, doc_k);
+      out.weighted_beliefs_by_doc =
+          EmitBinary(mil::OpCode::kJoin, docr, wbel);
+      out.weights_by_doc = EmitBinary(mil::OpCode::kJoin, docr, w_k);
+      return out;
+    }
+
+    // Un-optimized translation: beliefs for every posting, filter after.
+    int df_p = EmitBinary(mil::OpCode::kJoin, term, df);
+    int len_p = EmitBinary(mil::OpCode::kJoin, doc, len);
+    int bel_all = EmitBelief(tf, df_p, len_p, stats, params);
+    int keep = EmitBinary(mil::OpCode::kSemiJoinTail, term, qb);
+    int bel_k = EmitBinary(mil::OpCode::kSemiJoinHead, bel_all, keep);
+    int term_k = EmitBinary(mil::OpCode::kSemiJoinHead, term, keep);
+    int doc_k = EmitBinary(mil::OpCode::kSemiJoinHead, doc, keep);
+    int w_k = EmitBinary(mil::OpCode::kJoin, term_k, qw);
+    int wbel = EmitMapBinary(bel_k, w_k, BinOp::kMul);
+    int docr = EmitUnary(mil::OpCode::kReverse, doc_k);
+    int wbel_d = EmitBinary(mil::OpCode::kJoin, docr, wbel);
+    int w_d = EmitBinary(mil::OpCode::kJoin, docr, w_k);
+    if (scope.candidates >= 0) {
+      // Candidate restriction applied after the content computation.
+      wbel_d =
+          EmitBinary(mil::OpCode::kSemiJoinHead, wbel_d, scope.candidates);
+      w_d = EmitBinary(mil::OpCode::kSemiJoinHead, w_d, scope.candidates);
+    }
+    out.weighted_beliefs_by_doc = wbel_d;
+    out.weights_by_doc = w_d;
+    return out;
+  }
+
+  base::Result<Compiled> CompileGetBLAggregate(AggKind agg,
+                                               const ExprPtr& getbl,
+                                               const Compiled& scope) {
+    if (agg == AggKind::kCount) {
+      // count(getBL(...)) is the number of distinct query terms, for
+      // every element (duplicates merge at resolution, see ResolveQuery).
+      const ExprPtr& rep = getbl->children[0];
+      if (rep->op != Expr::Op::kField ||
+          rep->children[0]->op != Expr::Op::kThis) {
+        return base::Status::Unimplemented(
+            "getBL's first argument must be THIS.<contrep field>");
+      }
+      const ContRepField* contrep = scope.set->FindContRep(rep->name);
+      if (contrep == nullptr) {
+        return base::Status::NotFound("no CONTREP field '" + rep->name +
+                                      "' in " + scope.set->name);
+      }
+      const std::vector<WeightedTerm>* binding = ctx_->Find(getbl->qvar);
+      if (binding == nullptr) {
+        return base::Status::NotFound("unbound query variable: " +
+                                      getbl->qvar);
+      }
+      ResolvedQuery resolved =
+          ResolveQuery(*binding, contrep->index.vocab());
+      auto base = BaseReg(scope);
+      if (!base.ok()) return base.status();
+      Compiled c;
+      c.kind = Compiled::Kind::kBat;
+      c.reg = EmitFill(base.value(), Value::MakeInt(resolved.term_count));
+      return c;
+    }
+    if (agg != AggKind::kSum && agg != AggKind::kAvg &&
+        agg != AggKind::kMax && agg != AggKind::kProd &&
+        agg != AggKind::kProbOr) {
+      return base::Status::Unimplemented(
+          "min over getBL is not flattened; use the naive engine");
+    }
+    auto evidence = CompileGetBLEvidence(getbl, scope);
+    if (!evidence.ok()) return evidence.status();
+    const GetBLEvidence& ev = evidence.value();
+    double alpha = ev.contrep->network->params().alpha;
+    double total_weight = ev.query.total_weight;
+    double term_count = static_cast<double>(ev.query.term_count);
+    auto base = BaseReg(scope);
+    if (!base.ok()) return base.status();
+
+    // Completes a per-candidate aggregate `agg_reg` into a total map:
+    // documents without evidence get the constant `no_evidence`.
+    auto totalize = [&](int agg_reg, double no_evidence) {
+      int miss = EmitBinary(mil::OpCode::kAntiJoinHead, base.value(),
+                            agg_reg);
+      int fill = EmitFill(miss, Value::MakeDbl(no_evidence));
+      return EmitBinary(mil::OpCode::kConcat, agg_reg, fill);
+    };
+    Compiled c;
+    c.kind = Compiled::Kind::kBat;
+
+    if (agg == AggKind::kSum || agg == AggKind::kAvg) {
+      // score = sum(w*bel) - alpha*sum(w_present) + alpha*W per document;
+      // documents without evidence score alpha*W. avg divides by |q|.
+      int s = EmitUnary(mil::OpCode::kSumPerHead, ev.weighted_beliefs_by_doc);
+      int sw = EmitUnary(mil::OpCode::kSumPerHead, ev.weights_by_doc);
+      int swa = EmitMapScalar(sw, BinOp::kMul, Value::MakeDbl(alpha));
+      int s2 = EmitMapBinary(s, swa, BinOp::kSub);
+      int s3 = EmitMapScalar(s2, BinOp::kAdd,
+                             Value::MakeDbl(alpha * total_weight));
+      c.reg = totalize(s3, alpha * total_weight);
+      if (agg == AggKind::kAvg) {
+        c.reg = EmitMapScalar(c.reg, BinOp::kDiv,
+                              Value::MakeDbl(term_count));
+      }
+      return c;
+    }
+
+    if (agg == AggKind::kMax) {
+      // Beliefs never fall below alpha, so absent terms (contributing
+      // alpha) can only win when nothing is present at all — which the
+      // fill handles. Restricted to unweighted queries: with weights the
+      // absent terms' contributions (alpha * w) are document-dependent.
+      MIRROR_RETURN_IF_ERROR(RequireUnweighted(ev, "max"));
+      int m = EmitUnary(mil::OpCode::kMaxPerHead,
+                        ev.weighted_beliefs_by_doc);
+      c.reg = totalize(m, alpha);
+      return c;
+    }
+
+    // Probabilistic AND / OR (InQuery #and, #or), unweighted:
+    //   pand = prod(bel_present) * alpha^(missing)
+    //   por  = 1 - prod(1 - bel_present) * (1 - alpha)^(missing)
+    // with missing = |q| - hits per document.
+    MIRROR_RETURN_IF_ERROR(
+        RequireUnweighted(ev, agg == AggKind::kProd ? "pand" : "por"));
+    if (alpha <= 0.0 || alpha >= 1.0) {
+      return base::Status::InvalidArgument(
+          "pand/por need a default belief strictly inside (0,1)");
+    }
+    int hits = EmitUnary(mil::OpCode::kCountPerHead,
+                         ev.weighted_beliefs_by_doc);
+    int neg_hits = EmitMapScalar(hits, BinOp::kMul, Value::MakeInt(-1));
+    int missing = EmitMapScalar(neg_hits, BinOp::kAdd,
+                                Value::MakeDbl(term_count));
+    if (agg == AggKind::kProd) {
+      int p = EmitUnary(mil::OpCode::kProdPerHead,
+                        ev.weighted_beliefs_by_doc);
+      int log_pow = EmitMapScalar(missing, BinOp::kMul,
+                                  Value::MakeDbl(std::log(alpha)));
+      int pow = EmitUnaryOp(log_pow, UnOp::kExp);
+      int combined = EmitMapBinary(p, pow, BinOp::kMul);
+      c.reg = totalize(combined, std::pow(alpha, term_count));
+      return c;
+    }
+    int compl_bel = EmitUnaryOp(ev.weighted_beliefs_by_doc, UnOp::kOneMinus);
+    int pc = EmitUnary(mil::OpCode::kProdPerHead, compl_bel);
+    int log_pow = EmitMapScalar(missing, BinOp::kMul,
+                                Value::MakeDbl(std::log(1.0 - alpha)));
+    int pow = EmitUnaryOp(log_pow, UnOp::kExp);
+    int combined = EmitMapBinary(pc, pow, BinOp::kMul);
+    int por = EmitUnaryOp(combined, UnOp::kOneMinus);
+    c.reg = totalize(por, 1.0 - std::pow(1.0 - alpha, term_count));
+    return c;
+  }
+
+  static base::Status RequireUnweighted(const GetBLEvidence& ev,
+                                        const char* what) {
+    for (const auto& [term, weight] : ev.query.present) {
+      if (weight != 1.0) {
+        return base::Status::Unimplemented(
+            std::string(what) +
+            " over getBL is only flattened for unweighted queries");
+      }
+    }
+    return base::Status::Ok();
+  }
+
+  base::Result<Compiled> CompileAgg(const ExprPtr& expr) {
+    auto inner = CompileNode(expr->children[0]);
+    if (!inner.ok()) return inner;
+    Compiled base = inner.TakeValue();
+    Compiled c;
+    c.kind = Compiled::Kind::kScalar;
+    if (expr->agg == AggKind::kCount) {
+      int src = -1;
+      if (base.kind == Compiled::Kind::kBat) {
+        src = base.reg;
+      } else if (base.kind == Compiled::Kind::kScope) {
+        auto b = BaseReg(base);
+        if (!b.ok()) return b.status();
+        src = b.value();
+      } else {
+        return base::Status::TypeError("count over a scalar");
+      }
+      c.reg = EmitUnary(mil::OpCode::kScalarCount, src);
+      return c;
+    }
+    if (expr->agg == AggKind::kSum && base.kind == Compiled::Kind::kBat) {
+      c.reg = EmitUnary(mil::OpCode::kScalarSum, base.reg);
+      return c;
+    }
+    return base::Status::Unimplemented(
+        "only sum/count scalar aggregates are flattened");
+  }
+
+  const Database* db_;
+  const QueryContext* ctx_;
+  FlattenOptions options_;
+  mil::Program prog_;
+};
+
+}  // namespace
+
+base::Result<mil::Program> Flattener::Compile(const ExprPtr& expr) const {
+  return Compiler(db_, ctx_, options_).Run(expr);
+}
+
+}  // namespace mirror::moa

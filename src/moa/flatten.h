@@ -1,0 +1,63 @@
+#ifndef MIRROR_MOA_FLATTEN_H_
+#define MIRROR_MOA_FLATTEN_H_
+
+#include "base/status.h"
+#include "moa/database.h"
+#include "moa/expr.h"
+#include "moa/query_context.h"
+#include "monet/mil.h"
+
+namespace mirror::moa {
+
+/// Flattening options.
+struct FlattenOptions {
+  /// When true (the Mirror way), the translator applies the physical
+  /// optimizations the architecture was designed for:
+  ///  - getBL evaluates inverted: postings are restricted to the query's
+  ///    terms (and to candidate documents from enclosing selections)
+  ///    BEFORE the belief computation;
+  ///  - selection candidates are pushed into content plans.
+  /// When false, beliefs are computed for every posting and filtered
+  /// afterwards (the un-optimized algebraic translation): experiment E2's
+  /// baseline.
+  bool optimize = true;
+};
+
+/// Compiles Moa expressions to MIL programs over the flattened BAT layout
+/// — the [BWK98] translation that gives the Mirror DBMS its set-at-a-time
+/// execution model.
+///
+/// Supported query class (the paper's demo queries and their relational
+/// combinations):
+///  - named set scans, `select[pred]` with field/literal comparisons
+///    combined by and/or, `semijoin`;
+///  - `map[...]` with scalar bodies (field access, arithmetic);
+///  - the content-ranking pattern
+///    `map[sum(THIS)](map[getBL(THIS.f, q, stats)](X))` (also `count`);
+///  - aggregates `sum/count` over mapped sets; `topN`.
+///
+/// A bare `map[getBL(...)](X)` compiles to the sparse evidence BAT
+/// (beliefs of query terms present in each document); the total map
+/// semantics (absent terms at the default belief) is restored by the
+/// aggregate patterns, which is where the two engines are required to
+/// agree exactly.
+class Flattener {
+ public:
+  /// `db` and `ctx` must outlive the flattener.
+  Flattener(const Database* db, const QueryContext* ctx,
+            FlattenOptions options = FlattenOptions())
+      : db_(db), ctx_(ctx), options_(options) {}
+
+  /// Translates `expr` into a MIL program ready for mil::Executor bound
+  /// to `db->catalog()`.
+  base::Result<monet::mil::Program> Compile(const ExprPtr& expr) const;
+
+ private:
+  const Database* db_;
+  const QueryContext* ctx_;
+  FlattenOptions options_;
+};
+
+}  // namespace mirror::moa
+
+#endif  // MIRROR_MOA_FLATTEN_H_

@@ -1,0 +1,78 @@
+#include "moa/moa_value.h"
+
+namespace mirror::moa {
+
+MoaValue MoaValue::Atomic(monet::Value v) {
+  MoaValue out(Kind::kAtomic);
+  out.atomic_ = std::move(v);
+  return out;
+}
+
+MoaValue MoaValue::Vector(std::vector<double> v) {
+  MoaValue out(Kind::kVector);
+  out.vec_ = std::move(v);
+  return out;
+}
+
+MoaValue MoaValue::Tuple(std::vector<MoaValue> fields) {
+  MoaValue out(Kind::kTuple);
+  out.children_ = std::move(fields);
+  return out;
+}
+
+MoaValue MoaValue::SetOf(std::vector<MoaValue> elements) {
+  MoaValue out(Kind::kSet);
+  out.children_ = std::move(elements);
+  return out;
+}
+
+MoaValue MoaValue::ContRep(std::vector<std::string> terms) {
+  MoaValue out(Kind::kContRep);
+  out.terms_ = std::move(terms);
+  return out;
+}
+
+std::string MoaValue::ToString() const {
+  switch (kind_) {
+    case Kind::kAtomic:
+      return atomic_.ToString();
+    case Kind::kVector: {
+      std::string out = "vec[";
+      for (size_t i = 0; i < vec_.size() && i < 4; ++i) {
+        if (i > 0) out += ",";
+        out += std::to_string(vec_[i]);
+      }
+      if (vec_.size() > 4) out += ",...";
+      return out + "]";
+    }
+    case Kind::kTuple: {
+      std::string out = "<";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children_[i].ToString();
+      }
+      return out + ">";
+    }
+    case Kind::kSet: {
+      std::string out = "{";
+      for (size_t i = 0; i < children_.size() && i < 8; ++i) {
+        if (i > 0) out += ", ";
+        out += children_[i].ToString();
+      }
+      if (children_.size() > 8) out += ", ...";
+      return out + "}";
+    }
+    case Kind::kContRep: {
+      std::string out = "contrep{";
+      for (size_t i = 0; i < terms_.size() && i < 8; ++i) {
+        if (i > 0) out += " ";
+        out += terms_[i];
+      }
+      if (terms_.size() > 8) out += " ...";
+      return out + "}";
+    }
+  }
+  return "?";
+}
+
+}  // namespace mirror::moa

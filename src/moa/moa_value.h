@@ -1,0 +1,63 @@
+#ifndef MIRROR_MOA_MOA_VALUE_H_
+#define MIRROR_MOA_MOA_VALUE_H_
+
+#include <string>
+#include <vector>
+
+#include "monet/value.h"
+
+namespace mirror::moa {
+
+/// A materialized logical object: the tuple-at-a-time representation used
+/// for loading data and by the naive object-algebra interpreter (the
+/// [BWK98] baseline of experiment E1). The flattened engine never
+/// materializes these — it works on the BAT layout instead.
+class MoaValue {
+ public:
+  enum class Kind {
+    kAtomic,   // one physical scalar
+    kVector,   // feature vector (extension atomic for the media daemons)
+    kTuple,    // ordered field values
+    kSet,      // element values
+    kContRep,  // raw content representation: the term multiset of the doc
+  };
+
+  static MoaValue Atomic(monet::Value v);
+  static MoaValue Int(int64_t v) { return Atomic(monet::Value::MakeInt(v)); }
+  static MoaValue Dbl(double v) { return Atomic(monet::Value::MakeDbl(v)); }
+  static MoaValue Str(std::string v) {
+    return Atomic(monet::Value::MakeStr(std::move(v)));
+  }
+  static MoaValue Vector(std::vector<double> v);
+  static MoaValue Tuple(std::vector<MoaValue> fields);
+  static MoaValue SetOf(std::vector<MoaValue> elements);
+  /// A content representation given as raw index terms (already
+  /// tokenized/stemmed, or visual terms).
+  static MoaValue ContRep(std::vector<std::string> terms);
+
+  Kind kind() const { return kind_; }
+  const monet::Value& atomic() const { return atomic_; }
+  const std::vector<double>& vec() const { return vec_; }
+  const std::vector<MoaValue>& children() const { return children_; }
+  const std::vector<std::string>& terms() const { return terms_; }
+
+  /// For kTuple: field by position.
+  const MoaValue& field(size_t i) const { return children_[i]; }
+  /// For kSet: elements.
+  const std::vector<MoaValue>& elements() const { return children_; }
+
+  std::string ToString() const;
+
+ private:
+  explicit MoaValue(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  monet::Value atomic_;
+  std::vector<double> vec_;
+  std::vector<MoaValue> children_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace mirror::moa
+
+#endif  // MIRROR_MOA_MOA_VALUE_H_

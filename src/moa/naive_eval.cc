@@ -1,0 +1,511 @@
+#include "moa/naive_eval.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/str_util.h"
+
+namespace mirror::moa {
+
+using monet::Bat;
+using monet::Column;
+using monet::Oid;
+using monet::Value;
+
+namespace {
+
+/// Intermediate result of set-valued subexpressions.
+struct Elements {
+  const FlatSet* set = nullptr;          // null for purely mapped results
+  std::vector<Oid> oids;                 // surviving oids, in order
+  bool mapped = false;                   // per-oid scalar values present
+  std::vector<Value> values;             // aligned with oids when mapped
+  bool has_beliefs = false;              // per-oid belief lists present
+  std::vector<std::vector<double>> beliefs;  // aligned with oids
+};
+
+struct Node {
+  Elements elems;
+  Value scalar;
+  bool is_scalar = false;
+};
+
+class Evaluator {
+ public:
+  Evaluator(const Database* db, const QueryContext* ctx)
+      : db_(db), ctx_(ctx) {}
+
+  base::Result<EvalOutput> Run(const ExprPtr& expr) {
+    auto node = Eval(expr);
+    if (!node.ok()) return node.status();
+    Node n = node.TakeValue();
+    EvalOutput out;
+    if (n.is_scalar) {
+      out.scalar = n.scalar;
+      out.is_scalar = true;
+      return out;
+    }
+    out.bat = std::make_shared<const Bat>(ToBat(n.elems));
+    return out;
+  }
+
+ private:
+  static Bat ToBat(const Elements& e) {
+    std::vector<Oid> heads;
+    if (e.has_beliefs) {
+      std::vector<double> tails;
+      for (size_t i = 0; i < e.oids.size(); ++i) {
+        for (double b : e.beliefs[i]) {
+          heads.push_back(e.oids[i]);
+          tails.push_back(b);
+        }
+      }
+      return Bat(Column::MakeOids(std::move(heads)),
+                 Column::MakeDbls(std::move(tails)));
+    }
+    if (e.mapped) {
+      heads = e.oids;
+      // Column type from the first value (homogeneous by construction).
+      bool all_int = true;
+      bool all_str = true;
+      for (const Value& v : e.values) {
+        if (v.type() != monet::ValueType::kInt) all_int = false;
+        if (v.type() != monet::ValueType::kStr) all_str = false;
+      }
+      if (!e.values.empty() && all_int) {
+        std::vector<int64_t> tails;
+        tails.reserve(e.values.size());
+        for (const Value& v : e.values) tails.push_back(v.i());
+        return Bat(Column::MakeOids(std::move(heads)),
+                   Column::MakeInts(std::move(tails)));
+      }
+      if (!e.values.empty() && all_str) {
+        std::vector<std::string> tails;
+        tails.reserve(e.values.size());
+        for (const Value& v : e.values) tails.push_back(v.s());
+        return Bat(Column::MakeOids(std::move(heads)), Column::MakeStrs(tails));
+      }
+      std::vector<double> tails;
+      tails.reserve(e.values.size());
+      for (const Value& v : e.values) tails.push_back(v.AsDouble());
+      return Bat(Column::MakeOids(std::move(heads)),
+                 Column::MakeDbls(std::move(tails)));
+    }
+    heads = e.oids;
+    std::vector<Oid> tails = e.oids;
+    return Bat(Column::MakeOids(std::move(heads)),
+               Column::MakeOids(std::move(tails)));
+  }
+
+  // Scalar evaluation in the context of one element. `obj` is the tuple
+  // object (may be null for mapped scopes); `mapped_value` is the current
+  // value for value-mapped scopes.
+  base::Result<Value> EvalScalar(const ExprPtr& expr, const MoaValue* obj,
+                                 const FlatSet* set,
+                                 const Value* mapped_value) {
+    switch (expr->op) {
+      case Expr::Op::kThis:
+        if (mapped_value != nullptr) return *mapped_value;
+        return base::Status::TypeError(
+            "THIS used as a scalar over a non-mapped set");
+      case Expr::Op::kField: {
+        if (expr->children[0]->op != Expr::Op::kThis) {
+          return base::Status::Unimplemented(
+              "only THIS.<field> access is supported in element scope");
+        }
+        if (obj == nullptr || set == nullptr) {
+          return base::Status::TypeError("field access outside a set scope");
+        }
+        const StructTypePtr elem = set->type->element();
+        int idx = elem->FieldIndex(expr->name);
+        if (idx < 0) {
+          return base::Status::NotFound("no field '" + expr->name + "' in " +
+                                        set->name);
+        }
+        const MoaValue& f = obj->field(static_cast<size_t>(idx));
+        if (f.kind() != MoaValue::Kind::kAtomic) {
+          return base::Status::TypeError("field '" + expr->name +
+                                         "' is not atomic");
+        }
+        return f.atomic();
+      }
+      case Expr::Op::kLit:
+        return expr->literal;
+      case Expr::Op::kArith: {
+        auto lhs = EvalScalar(expr->children[0], obj, set, mapped_value);
+        if (!lhs.ok()) return lhs;
+        auto rhs = EvalScalar(expr->children[1], obj, set, mapped_value);
+        if (!rhs.ok()) return rhs;
+        bool both_int = lhs.value().type() == monet::ValueType::kInt &&
+                        rhs.value().type() == monet::ValueType::kInt;
+        double a = lhs.value().AsDouble();
+        double b = rhs.value().AsDouble();
+        switch (expr->arith) {
+          case ArithKind::kAdd:
+            return both_int ? Value::MakeInt(lhs.value().i() + rhs.value().i())
+                            : Value::MakeDbl(a + b);
+          case ArithKind::kSub:
+            return both_int ? Value::MakeInt(lhs.value().i() - rhs.value().i())
+                            : Value::MakeDbl(a - b);
+          case ArithKind::kMul:
+            return both_int ? Value::MakeInt(lhs.value().i() * rhs.value().i())
+                            : Value::MakeDbl(a * b);
+          case ArithKind::kDiv:
+            return Value::MakeDbl(a / b);
+        }
+        MIRROR_UNREACHABLE();
+        return Value();
+      }
+      case Expr::Op::kCmp: {
+        auto lhs = EvalScalar(expr->children[0], obj, set, mapped_value);
+        if (!lhs.ok()) return lhs;
+        auto rhs = EvalScalar(expr->children[1], obj, set, mapped_value);
+        if (!rhs.ok()) return rhs;
+        const Value& a = lhs.value();
+        const Value& b = rhs.value();
+        bool result = false;
+        switch (expr->cmp) {
+          case CmpKind::kEq:
+            result = a == b;
+            break;
+          case CmpKind::kNeq:
+            result = !(a == b);
+            break;
+          case CmpKind::kLt:
+            result = a < b;
+            break;
+          case CmpKind::kLe:
+            result = a < b || a == b;
+            break;
+          case CmpKind::kGt:
+            result = b < a;
+            break;
+          case CmpKind::kGe:
+            result = b < a || a == b;
+            break;
+        }
+        return Value::MakeInt(result ? 1 : 0);
+      }
+      case Expr::Op::kAnd:
+      case Expr::Op::kOr: {
+        auto lhs = EvalScalar(expr->children[0], obj, set, mapped_value);
+        if (!lhs.ok()) return lhs;
+        auto rhs = EvalScalar(expr->children[1], obj, set, mapped_value);
+        if (!rhs.ok()) return rhs;
+        bool a = lhs.value().i() != 0;
+        bool b = rhs.value().i() != 0;
+        return Value::MakeInt((expr->op == Expr::Op::kAnd ? (a && b)
+                                                          : (a || b))
+                                  ? 1
+                                  : 0);
+      }
+      default:
+        return base::Status::Unimplemented(
+            "unsupported scalar expression: " + expr->ToString());
+    }
+  }
+
+  base::Result<Node> Eval(const ExprPtr& expr) {
+    switch (expr->op) {
+      case Expr::Op::kVarRef: {
+        auto set = db_->GetSet(expr->name);
+        if (!set.ok()) return set.status();
+        Node n;
+        n.elems.set = set.value();
+        n.elems.oids.reserve(set.value()->cardinality);
+        for (size_t i = 0; i < set.value()->cardinality; ++i) {
+          n.elems.oids.push_back(static_cast<Oid>(i));
+        }
+        return n;
+      }
+      case Expr::Op::kSelect: {
+        auto base = Eval(expr->children[1]);
+        if (!base.ok()) return base;
+        Node n = base.TakeValue();
+        if (n.is_scalar) {
+          return base::Status::TypeError("select over a scalar");
+        }
+        Elements out;
+        out.set = n.elems.set;
+        out.mapped = n.elems.mapped;
+        for (size_t i = 0; i < n.elems.oids.size(); ++i) {
+          Oid oid = n.elems.oids[i];
+          const MoaValue* obj =
+              n.elems.set != nullptr
+                  ? &n.elems.set->objects[static_cast<size_t>(oid)]
+                  : nullptr;
+          const Value* mv = n.elems.mapped ? &n.elems.values[i] : nullptr;
+          auto pred = EvalScalar(expr->children[0], obj, n.elems.set, mv);
+          if (!pred.ok()) return pred.status();
+          if (pred.value().i() != 0) {
+            out.oids.push_back(oid);
+            if (n.elems.mapped) out.values.push_back(n.elems.values[i]);
+          }
+        }
+        Node result;
+        result.elems = std::move(out);
+        return result;
+      }
+      case Expr::Op::kSemiJoin: {
+        auto left = Eval(expr->children[0]);
+        if (!left.ok()) return left;
+        auto right = Eval(expr->children[1]);
+        if (!right.ok()) return right;
+        if (left.value().is_scalar || right.value().is_scalar) {
+          return base::Status::TypeError("semijoin over scalars");
+        }
+        std::unordered_set<Oid> keep(right.value().elems.oids.begin(),
+                                     right.value().elems.oids.end());
+        Node n = left.TakeValue();
+        Elements out;
+        out.set = n.elems.set;
+        out.mapped = n.elems.mapped;
+        out.has_beliefs = n.elems.has_beliefs;
+        for (size_t i = 0; i < n.elems.oids.size(); ++i) {
+          if (keep.count(n.elems.oids[i]) == 0) continue;
+          out.oids.push_back(n.elems.oids[i]);
+          if (n.elems.mapped) out.values.push_back(n.elems.values[i]);
+          if (n.elems.has_beliefs) out.beliefs.push_back(n.elems.beliefs[i]);
+        }
+        Node result;
+        result.elems = std::move(out);
+        return result;
+      }
+      case Expr::Op::kMap: {
+        auto base = Eval(expr->children[1]);
+        if (!base.ok()) return base;
+        Node n = base.TakeValue();
+        if (n.is_scalar) return base::Status::TypeError("map over a scalar");
+        const ExprPtr& body = expr->children[0];
+
+        // map[getBL(THIS.f, q, stats)](X): belief lists per element.
+        if (body->op == Expr::Op::kGetBL) {
+          return EvalGetBLMap(body, std::move(n));
+        }
+        // map[AGG(THIS)](X) over belief sets: aggregate each list.
+        if (body->op == Expr::Op::kAgg &&
+            body->children[0]->op == Expr::Op::kThis &&
+            n.elems.has_beliefs) {
+          Elements out;
+          out.set = n.elems.set;
+          out.oids = n.elems.oids;
+          out.mapped = true;
+          out.values.reserve(out.oids.size());
+          for (const std::vector<double>& list :
+               n.elems.beliefs) {
+            out.values.push_back(AggregateList(body->agg, list));
+          }
+          Node result;
+          result.elems = std::move(out);
+          return result;
+        }
+        // Scalar body per element.
+        Elements out;
+        out.set = n.elems.set;
+        out.oids = n.elems.oids;
+        out.mapped = true;
+        out.values.reserve(out.oids.size());
+        for (size_t i = 0; i < n.elems.oids.size(); ++i) {
+          Oid oid = n.elems.oids[i];
+          const MoaValue* obj =
+              n.elems.set != nullptr
+                  ? &n.elems.set->objects[static_cast<size_t>(oid)]
+                  : nullptr;
+          const Value* mv = n.elems.mapped ? &n.elems.values[i] : nullptr;
+          auto v = EvalScalar(body, obj, n.elems.set, mv);
+          if (!v.ok()) return v.status();
+          out.values.push_back(v.TakeValue());
+        }
+        Node result;
+        result.elems = std::move(out);
+        return result;
+      }
+      case Expr::Op::kAgg: {
+        auto base = Eval(expr->children[0]);
+        if (!base.ok()) return base;
+        Node n = base.TakeValue();
+        if (n.is_scalar) {
+          return base::Status::TypeError("aggregate over a scalar");
+        }
+        Node result;
+        result.is_scalar = true;
+        if (expr->agg == AggKind::kCount) {
+          result.scalar =
+              Value::MakeInt(static_cast<int64_t>(n.elems.oids.size()));
+          return result;
+        }
+        if (!n.elems.mapped) {
+          return base::Status::TypeError(
+              "sum/max/min/avg need a mapped (numeric) set");
+        }
+        std::vector<double> nums;
+        nums.reserve(n.elems.values.size());
+        for (const Value& v : n.elems.values) nums.push_back(v.AsDouble());
+        result.scalar = AggregateList(expr->agg, nums);
+        return result;
+      }
+      case Expr::Op::kTopN: {
+        auto base = Eval(expr->children[0]);
+        if (!base.ok()) return base;
+        Node n = base.TakeValue();
+        if (n.is_scalar || !n.elems.mapped) {
+          return base::Status::TypeError("topN needs a mapped set");
+        }
+        std::vector<size_t> idx(n.elems.oids.size());
+        for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+        std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+          return n.elems.values[b] < n.elems.values[a];
+        });
+        if (idx.size() > static_cast<size_t>(expr->n)) {
+          idx.resize(static_cast<size_t>(expr->n));
+        }
+        Elements out;
+        out.set = n.elems.set;
+        out.mapped = true;
+        for (size_t i : idx) {
+          out.oids.push_back(n.elems.oids[i]);
+          out.values.push_back(n.elems.values[i]);
+        }
+        Node result;
+        result.elems = std::move(out);
+        return result;
+      }
+      default:
+        return base::Status::Unimplemented("unsupported set expression: " +
+                                           expr->ToString());
+    }
+  }
+
+  static Value AggregateList(AggKind kind, const std::vector<double>& list) {
+    switch (kind) {
+      case AggKind::kCount:
+        return Value::MakeInt(static_cast<int64_t>(list.size()));
+      case AggKind::kSum: {
+        double sum = 0;
+        for (double x : list) sum += x;
+        return Value::MakeDbl(sum);
+      }
+      case AggKind::kMax: {
+        double best = list.empty() ? 0 : list[0];
+        for (double x : list) best = std::max(best, x);
+        return Value::MakeDbl(best);
+      }
+      case AggKind::kMin: {
+        double best = list.empty() ? 0 : list[0];
+        for (double x : list) best = std::min(best, x);
+        return Value::MakeDbl(best);
+      }
+      case AggKind::kAvg: {
+        if (list.empty()) return Value::MakeDbl(0);
+        double sum = 0;
+        for (double x : list) sum += x;
+        return Value::MakeDbl(sum / static_cast<double>(list.size()));
+      }
+      case AggKind::kProd: {
+        double prod = 1;
+        for (double x : list) prod *= x;
+        return Value::MakeDbl(prod);
+      }
+      case AggKind::kProbOr: {
+        double prod = 1;
+        for (double x : list) prod *= 1.0 - x;
+        return Value::MakeDbl(1.0 - prod);
+      }
+    }
+    MIRROR_UNREACHABLE();
+    return Value();
+  }
+
+  base::Result<Node> EvalGetBLMap(const ExprPtr& getbl, Node base) {
+    if (base.elems.set == nullptr) {
+      return base::Status::TypeError("getBL over a non-stored set");
+    }
+    const ExprPtr& rep = getbl->children[0];
+    if (rep->op != Expr::Op::kField ||
+        rep->children[0]->op != Expr::Op::kThis) {
+      return base::Status::Unimplemented(
+          "getBL's first argument must be THIS.<contrep field>");
+    }
+    const FlatSet& set = *base.elems.set;
+    const ContRepField* contrep = set.FindContRep(rep->name);
+    if (contrep == nullptr) {
+      return base::Status::NotFound("no CONTREP field '" + rep->name +
+                                    "' in " + set.name);
+    }
+    int field_index = set.type->element()->FieldIndex(rep->name);
+    MIRROR_CHECK_GE(field_index, 0);
+    const std::vector<WeightedTerm>* binding = ctx_->Find(getbl->qvar);
+    if (binding == nullptr) {
+      return base::Status::NotFound("unbound query variable: " + getbl->qvar);
+    }
+    ResolvedQuery query = ResolveQuery(*binding, contrep->index.vocab());
+    const ir::InferenceNetwork& network = *contrep->network;
+    double alpha = network.DefaultBelief();
+
+    Elements out;
+    out.set = base.elems.set;
+    out.oids = base.elems.oids;
+    out.has_beliefs = true;
+    out.beliefs.reserve(out.oids.size());
+    int64_t unknown_terms = query.unknown_count;
+    double unknown_weight = query.unknown_weight;
+    for (Oid oid : out.oids) {
+      // Tuple-at-a-time object navigation (the pre-flattening execution
+      // model [BWK98] replaced): the interpreter visits the materialized
+      // object's own content representation and counts term matches
+      // there — it does not touch the inverted physical layout, which
+      // belongs to the flattened engine.
+      const MoaValue& obj = set.objects[static_cast<size_t>(oid)];
+      const MoaValue& rep_value = obj.field(static_cast<size_t>(field_index));
+      std::unordered_map<std::string, int64_t> counts;
+      int64_t doclen = 0;
+      auto count_terms = [&](const std::vector<std::string>& terms) {
+        for (const std::string& t : terms) {
+          counts[t] += 1;
+          ++doclen;
+        }
+      };
+      if (rep_value.kind() == MoaValue::Kind::kContRep) {
+        count_terms(rep_value.terms());
+      } else if (rep_value.kind() == MoaValue::Kind::kAtomic &&
+                 rep_value.atomic().type() == monet::ValueType::kStr) {
+        count_terms(db_->text_pipeline().Process(rep_value.atomic().s()));
+      } else {
+        return base::Status::TypeError("CONTREP field holds neither terms "
+                                       "nor text");
+      }
+
+      std::vector<double> list;
+      list.reserve(static_cast<size_t>(query.term_count));
+      for (const auto& [term, w] : query.present) {
+        auto it = counts.find(contrep->index.vocab().TermOf(term));
+        int64_t tf = it == counts.end() ? 0 : it->second;
+        list.push_back(
+            w * network.BeliefFromCounts(tf, doclen,
+                                         contrep->index.DocFreq(term)));
+      }
+      // Unknown terms always contribute the default belief; only the
+      // summed weight matters, spread uniformly over them.
+      for (int64_t u = 0; u < unknown_terms; ++u) {
+        list.push_back(alpha * unknown_weight /
+                       static_cast<double>(unknown_terms));
+      }
+      out.beliefs.push_back(std::move(list));
+    }
+    Node result;
+    result.elems = std::move(out);
+    return result;
+  }
+
+  const Database* db_;
+  const QueryContext* ctx_;
+};
+
+}  // namespace
+
+base::Result<EvalOutput> NaiveEvaluator::Evaluate(const ExprPtr& expr) const {
+  return Evaluator(db_, ctx_).Run(expr);
+}
+
+}  // namespace mirror::moa

@@ -1,0 +1,51 @@
+#ifndef MIRROR_MOA_NAIVE_EVAL_H_
+#define MIRROR_MOA_NAIVE_EVAL_H_
+
+#include "base/status.h"
+#include "moa/database.h"
+#include "moa/expr.h"
+#include "moa/query_context.h"
+#include "monet/catalog.h"
+
+namespace mirror::moa {
+
+/// Result of evaluating a Moa query: a set result materialized as a BAT
+/// (element oid -> value; repeated oids for set-of-set results) or a
+/// scalar.
+struct EvalOutput {
+  monet::BatPtr bat;
+  monet::Value scalar;
+  bool is_scalar = false;
+};
+
+/// The tuple-at-a-time object-algebra interpreter: evaluates Moa
+/// expressions directly over materialized objects, one element at a time.
+/// This is the "object-oriented" execution model that [BWK98] showed to be
+/// dominated by flattened set-at-a-time processing — kept as the
+/// reference implementation (it defines the semantics) and as the
+/// baseline of experiment E1.
+///
+/// Semantics notes:
+///  - `map[getBL(THIS.f, q, stats)](X)` yields per element the weighted
+///    beliefs of every query term: `w_t * bel(t|d)`, where absent terms
+///    have the default belief alpha.
+///  - Aggregates over those belief sets (`map[sum(THIS)](...)`) therefore
+///    include the default contributions of absent terms, matching the
+///    flattened engine's adjusted plans.
+class NaiveEvaluator {
+ public:
+  /// `db` and `ctx` must outlive the evaluator.
+  NaiveEvaluator(const Database* db, const QueryContext* ctx)
+      : db_(db), ctx_(ctx) {}
+
+  /// Evaluates a parsed query expression.
+  base::Result<EvalOutput> Evaluate(const ExprPtr& expr) const;
+
+ private:
+  const Database* db_;
+  const QueryContext* ctx_;
+};
+
+}  // namespace mirror::moa
+
+#endif  // MIRROR_MOA_NAIVE_EVAL_H_

@@ -1,0 +1,33 @@
+#ifndef MIRROR_MOA_OPTIMIZER_H_
+#define MIRROR_MOA_OPTIMIZER_H_
+
+#include "moa/expr.h"
+#include "monet/mil.h"
+
+namespace mirror::moa {
+
+/// What the optimizer did to a query (reported by the experiment
+/// harnesses alongside kernel counters).
+struct OptimizerReport {
+  int map_fusions = 0;
+  int select_fusions = 0;
+  size_t cse_removed = 0;
+  size_t dce_removed = 0;
+};
+
+/// Algebraic rewriting on the logical expression tree (paper §2: the
+/// translation to a different physical model "provides an excellent basis
+/// for algebraic query optimization"):
+///  - select-select fusion: select[p](select[q](X)) => select[q and p](X)
+///  - map-map fusion for scalar bodies:
+///    map[g](map[f](X)) => map[g{THIS:=f}](X)
+/// Returns the rewritten tree; `report` (optional) accumulates counts.
+ExprPtr RewriteLogical(const ExprPtr& expr, OptimizerReport* report);
+
+/// Peephole passes over a flattened MIL program: common subexpression
+/// elimination followed by dead code elimination.
+void OptimizeMil(monet::mil::Program* program, OptimizerReport* report);
+
+}  // namespace mirror::moa
+
+#endif  // MIRROR_MOA_OPTIMIZER_H_

@@ -1,0 +1,95 @@
+#ifndef MIRROR_MOA_QUERY_CONTEXT_H_
+#define MIRROR_MOA_QUERY_CONTEXT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/vocabulary.h"
+
+namespace mirror::moa {
+
+/// One query term with its #wsum weight.
+struct WeightedTerm {
+  std::string term;
+  double weight = 1.0;
+};
+
+/// Variable bindings for query evaluation: the `query` argument of the
+/// paper's `getBL(THIS.annotation, query, stats)` refers to "a set of
+/// query terms" bound in this context (built by the user, the thesaurus
+/// daemon, or relevance feedback).
+class QueryContext {
+ public:
+  /// Binds `name` to a weighted term set, replacing any previous binding.
+  void Bind(const std::string& name, std::vector<WeightedTerm> terms) {
+    bindings_[name] = std::move(terms);
+  }
+
+  /// Convenience: binds unweighted terms.
+  void BindTerms(const std::string& name,
+                 const std::vector<std::string>& terms) {
+    std::vector<WeightedTerm> weighted;
+    weighted.reserve(terms.size());
+    for (const std::string& t : terms) weighted.push_back({t, 1.0});
+    Bind(name, std::move(weighted));
+  }
+
+  /// Looks up a binding, or nullptr.
+  const std::vector<WeightedTerm>* Find(const std::string& name) const {
+    auto it = bindings_.find(name);
+    return it == bindings_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::map<std::string, std::vector<WeightedTerm>> bindings_;
+};
+
+/// A query binding resolved against one CONTREP field's vocabulary.
+/// Duplicate spellings merge (their weights sum — the inference network's
+/// weighted sum is linear in the weights, so this preserves semantics and
+/// keeps the flattened plans positionally aligned). Terms outside the
+/// vocabulary ("unknown") occur in no document; they contribute the
+/// default belief to every score through their summed weight.
+struct ResolvedQuery {
+  std::vector<std::pair<int64_t, double>> present;  // (term id, weight)
+  double total_weight = 0.0;    // all terms, including unknown
+  double unknown_weight = 0.0;  // unknown terms only
+  int64_t unknown_count = 0;    // distinct unknown spellings
+  /// Distinct terms overall (present + unknown): the cardinality of the
+  /// belief set getBL produces per document.
+  int64_t term_count = 0;
+};
+
+/// Resolves the weighted terms of a binding against `vocab`.
+inline ResolvedQuery ResolveQuery(const std::vector<WeightedTerm>& terms,
+                                  const ir::Vocabulary& vocab) {
+  // Merge duplicates first, preserving first-occurrence order.
+  std::vector<WeightedTerm> merged;
+  std::map<std::string, size_t> position;
+  for (const WeightedTerm& wt : terms) {
+    auto [it, inserted] = position.emplace(wt.term, merged.size());
+    if (inserted) {
+      merged.push_back(wt);
+    } else {
+      merged[it->second].weight += wt.weight;
+    }
+  }
+  ResolvedQuery out;
+  for (const WeightedTerm& wt : merged) {
+    out.total_weight += wt.weight;
+    out.term_count += 1;
+    int64_t id = vocab.Lookup(wt.term);
+    if (id >= 0) {
+      out.present.emplace_back(id, wt.weight);
+    } else {
+      out.unknown_weight += wt.weight;
+      out.unknown_count += 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace mirror::moa
+
+#endif  // MIRROR_MOA_QUERY_CONTEXT_H_

@@ -1,0 +1,42 @@
+#include "moa/structure_registry.h"
+
+#include "moa/structure_type.h"
+
+namespace mirror::moa {
+
+StructureRegistry& StructureRegistry::Global() {
+  static StructureRegistry* registry = new StructureRegistry();
+  return *registry;
+}
+
+base::Status StructureRegistry::RegisterStructure(StructureInfo info) {
+  static const char* const kKernelNames[] = {"Atomic", "TUPLE", "SET", "LIST",
+                                             "CONTREP"};
+  for (const char* kernel : kKernelNames) {
+    if (info.name == kernel) {
+      return base::Status::AlreadyExists("kernel structure name: " +
+                                         info.name);
+    }
+  }
+  if (structures_.count(info.name) > 0) {
+    return base::Status::AlreadyExists("structure already registered: " +
+                                       info.name);
+  }
+  std::string name = info.name;
+  structures_.emplace(std::move(name), std::move(info));
+  return base::Status::Ok();
+}
+
+const StructureInfo* StructureRegistry::Find(std::string_view name) const {
+  auto it = structures_.find(name);
+  return it == structures_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> StructureRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(structures_.size());
+  for (const auto& [name, info] : structures_) names.push_back(name);
+  return names;
+}
+
+}  // namespace mirror::moa

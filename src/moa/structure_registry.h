@@ -1,0 +1,56 @@
+#ifndef MIRROR_MOA_STRUCTURE_REGISTRY_H_
+#define MIRROR_MOA_STRUCTURE_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+
+namespace mirror::moa {
+
+class StructType;
+using StructTypePtr = std::shared_ptr<const StructType>;
+
+/// Descriptor of a registered Moa structure. The schema parser consults
+/// the registry for structure names outside the kernel set, realizing the
+/// paper's open complex object system: "new structures can be added to
+/// the system, similar to the well-known principle of base type
+/// extensibility in object-relational database systems" (§2).
+struct StructureInfo {
+  std::string name;
+  std::string description;
+  /// Builds the type node from the raw text between the structure's
+  /// angle brackets (empty if none). The implementation typically parses
+  /// the argument with ParseStructType or maps it onto kernel structures.
+  std::function<base::Result<StructTypePtr>(std::string_view arg)> make_type;
+};
+
+/// Process-wide registry of Moa structures.
+class StructureRegistry {
+ public:
+  /// The global registry instance.
+  static StructureRegistry& Global();
+
+  /// Registers a structure; fails if the name is taken or clashes with a
+  /// kernel structure (Atomic/TUPLE/SET/LIST/CONTREP).
+  base::Status RegisterStructure(StructureInfo info);
+
+  /// Finds a registered structure, or nullptr.
+  const StructureInfo* Find(std::string_view name) const;
+
+  /// Names of all registered structures, sorted.
+  std::vector<std::string> Names() const;
+
+ private:
+  StructureRegistry() = default;
+
+  std::map<std::string, StructureInfo, std::less<>> structures_;
+};
+
+}  // namespace mirror::moa
+
+#endif  // MIRROR_MOA_STRUCTURE_REGISTRY_H_

@@ -1,0 +1,306 @@
+#include "moa/structure_type.h"
+
+#include "base/str_util.h"
+#include "moa/structure_registry.h"
+
+namespace mirror::moa {
+
+std::string_view BaseTypeName(BaseType t) {
+  switch (t) {
+    case BaseType::kInt:
+      return "int";
+    case BaseType::kDbl:
+      return "dbl";
+    case BaseType::kStr:
+      return "str";
+    case BaseType::kUrl:
+      return "URL";
+    case BaseType::kText:
+      return "Text";
+    case BaseType::kImage:
+      return "Image";
+    case BaseType::kVector:
+      return "Vector";
+  }
+  return "?";
+}
+
+StructTypePtr StructType::Atomic(BaseType base) {
+  auto t = std::shared_ptr<StructType>(new StructType(Kind::kAtomic));
+  t->base_ = base;
+  return t;
+}
+
+StructTypePtr StructType::Tuple(std::vector<Field> fields) {
+  auto t = std::shared_ptr<StructType>(new StructType(Kind::kTuple));
+  t->fields_ = std::move(fields);
+  return t;
+}
+
+StructTypePtr StructType::Set(StructTypePtr element) {
+  auto t = std::shared_ptr<StructType>(new StructType(Kind::kSet));
+  t->element_ = std::move(element);
+  return t;
+}
+
+StructTypePtr StructType::List(StructTypePtr element) {
+  auto t = std::shared_ptr<StructType>(new StructType(Kind::kList));
+  t->element_ = std::move(element);
+  return t;
+}
+
+StructTypePtr StructType::ContRep(BaseType media) {
+  auto t = std::shared_ptr<StructType>(new StructType(Kind::kContRep));
+  t->base_ = media;
+  return t;
+}
+
+int StructType::FieldIndex(std::string_view name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool StructType::Equals(const StructType& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kAtomic:
+    case Kind::kContRep:
+      return base_ == other.base_;
+    case Kind::kSet:
+    case Kind::kList:
+      return element_->Equals(*other.element_);
+    case Kind::kTuple: {
+      if (fields_.size() != other.fields_.size()) return false;
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (fields_[i].name != other.fields_[i].name) return false;
+        if (!fields_[i].type->Equals(*other.fields_[i].type)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string StructType::ToString() const {
+  switch (kind_) {
+    case Kind::kAtomic:
+      return "Atomic<" + std::string(BaseTypeName(base_)) + ">";
+    case Kind::kContRep:
+      return "CONTREP<" + std::string(BaseTypeName(base_)) + ">";
+    case Kind::kSet:
+      return "SET<" + element_->ToString() + ">";
+    case Kind::kList:
+      return "LIST<" + element_->ToString() + ">";
+    case Kind::kTuple: {
+      std::string out = "TUPLE<";
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += fields_[i].type->ToString() + ": " + fields_[i].name;
+      }
+      out += ">";
+      return out;
+    }
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Parser. Tokens: identifiers, '<', '>', ',', ':', ';'. The paper writes
+// '>>' to close two structures; the lexer therefore emits one '>' per
+// closing angle (no shift-style token).
+
+namespace {
+
+class TypeParser {
+ public:
+  explicit TypeParser(std::string_view text) : text_(text) {}
+
+  base::Result<StructTypePtr> ParseType() {
+    auto type = ParseOne();
+    if (!type.ok()) return type;
+    SkipSpace();
+    return type;
+  }
+
+  base::Result<SchemaDef> ParseDefine() {
+    if (!ConsumeWord("define")) {
+      return base::Status::ParseError("expected 'define'");
+    }
+    std::string name = ConsumeIdent();
+    if (name.empty()) {
+      return base::Status::ParseError("expected schema name after 'define'");
+    }
+    if (!ConsumeWord("as")) {
+      return base::Status::ParseError("expected 'as' after schema name");
+    }
+    auto type = ParseOne();
+    if (!type.ok()) return type.status();
+    SkipSpace();
+    Consume(';');  // optional trailing semicolon
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return base::Status::ParseError("trailing input after schema: " +
+                                      std::string(text_.substr(pos_)));
+    }
+    return SchemaDef{std::move(name), type.TakeValue()};
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  static bool IsIdentChar(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_';
+  }
+
+  std::string ConsumeIdent() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    SkipSpace();
+    size_t save = pos_;
+    std::string ident = ConsumeIdent();
+    if (ident == word) return true;
+    pos_ = save;
+    return false;
+  }
+
+  base::Result<BaseType> ParseBaseName(const std::string& name) {
+    if (name == "int") return BaseType::kInt;
+    if (name == "dbl" || name == "double" || name == "flt") {
+      return BaseType::kDbl;
+    }
+    if (name == "str" || name == "string") return BaseType::kStr;
+    if (name == "URL") return BaseType::kUrl;
+    if (name == "Text") return BaseType::kText;
+    if (name == "Image") return BaseType::kImage;
+    if (name == "Vector") return BaseType::kVector;
+    return base::Status::ParseError("unknown base type: " + name);
+  }
+
+  base::Result<StructTypePtr> ParseOne() {
+    std::string name = ConsumeIdent();
+    if (name.empty()) {
+      return base::Status::ParseError("expected structure name at offset " +
+                                      base::StrFormat("%zu", pos_));
+    }
+    if (name == "Atomic") {
+      if (!Consume('<')) {
+        return base::Status::ParseError("expected '<' after Atomic");
+      }
+      auto base = ParseBaseName(ConsumeIdent());
+      if (!base.ok()) return base.status();
+      if (!Consume('>')) {
+        return base::Status::ParseError("expected '>' closing Atomic");
+      }
+      return StructType::Atomic(base.value());
+    }
+    if (name == "TUPLE") {
+      if (!Consume('<')) {
+        return base::Status::ParseError("expected '<' after TUPLE");
+      }
+      std::vector<StructType::Field> fields;
+      while (true) {
+        auto field_type = ParseOne();
+        if (!field_type.ok()) return field_type.status();
+        if (!Consume(':')) {
+          return base::Status::ParseError(
+              "expected ':' and field name in TUPLE");
+        }
+        std::string field_name = ConsumeIdent();
+        if (field_name.empty()) {
+          return base::Status::ParseError("expected field name after ':'");
+        }
+        fields.push_back({std::move(field_name), field_type.TakeValue()});
+        if (Consume(',')) continue;
+        break;
+      }
+      if (!Consume('>')) {
+        return base::Status::ParseError("expected '>' closing TUPLE");
+      }
+      return StructType::Tuple(std::move(fields));
+    }
+    if (name == "SET" || name == "LIST") {
+      if (!Consume('<')) {
+        return base::Status::ParseError("expected '<' after " + name);
+      }
+      auto element = ParseOne();
+      if (!element.ok()) return element.status();
+      if (!Consume('>')) {
+        return base::Status::ParseError("expected '>' closing " + name);
+      }
+      return name == "SET" ? StructType::Set(element.TakeValue())
+                           : StructType::List(element.TakeValue());
+    }
+    if (name == "CONTREP") {
+      if (!Consume('<')) {
+        return base::Status::ParseError("expected '<' after CONTREP");
+      }
+      auto media = ParseBaseName(ConsumeIdent());
+      if (!media.ok()) return media.status();
+      if (!Consume('>')) {
+        return base::Status::ParseError("expected '>' closing CONTREP");
+      }
+      return StructType::ContRep(media.value());
+    }
+    // Open extensibility: consult the structure registry (paper §2, "new
+    // structures can be added to the system").
+    const StructureInfo* info = StructureRegistry::Global().Find(name);
+    if (info != nullptr) {
+      std::string arg;
+      if (Consume('<')) {
+        size_t depth = 1;
+        SkipSpace();
+        size_t start = pos_;
+        while (pos_ < text_.size() && depth > 0) {
+          if (text_[pos_] == '<') ++depth;
+          if (text_[pos_] == '>') --depth;
+          if (depth > 0) ++pos_;
+        }
+        if (depth != 0) {
+          return base::Status::ParseError("unbalanced '<' in " + name);
+        }
+        arg = std::string(text_.substr(start, pos_ - start));
+        ++pos_;  // consume final '>'
+      }
+      return info->make_type(arg);
+    }
+    return base::Status::ParseError("unknown structure: " + name);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+base::Result<SchemaDef> ParseSchemaDef(std::string_view text) {
+  return TypeParser(text).ParseDefine();
+}
+
+base::Result<StructTypePtr> ParseStructType(std::string_view text) {
+  return TypeParser(text).ParseType();
+}
+
+}  // namespace mirror::moa

@@ -1,0 +1,99 @@
+#ifndef MIRROR_MOA_STRUCTURE_TYPE_H_
+#define MIRROR_MOA_STRUCTURE_TYPE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+
+namespace mirror::moa {
+
+/// Atomic base types. Moa inherits base types from the physical layer
+/// (§2); the media-flavored names of the paper (URL, Text, Image) are
+/// aliases of str that carry intent for the daemons.
+enum class BaseType {
+  kInt,
+  kDbl,
+  kStr,
+  kUrl,     // physical str
+  kText,    // physical str
+  kImage,   // physical str (media-server URL of the blob)
+  kVector,  // feature vector; physically one dbl BAT per dimension
+};
+
+/// Name of a base type as written in schemas ("URL", "int", ...).
+std::string_view BaseTypeName(BaseType t);
+
+/// A node in a Moa structure type: the paper's structural
+/// object-orientation. Structures (TUPLE, SET, LIST, CONTREP, ...) compose
+/// base types into complex object types. The set of structures is open
+/// (see StructureRegistry); the kernel ones are built in.
+class StructType;
+using StructTypePtr = std::shared_ptr<const StructType>;
+
+class StructType {
+ public:
+  enum class Kind {
+    kAtomic,   // Atomic<base>
+    kTuple,    // TUPLE<T1: f1, ..., Tn: fn>
+    kSet,      // SET<T>
+    kList,     // LIST<T>  (ordered; added by H.E. Blok per the paper's ack)
+    kContRep,  // CONTREP<media>: content representation (the IR extension)
+  };
+
+  struct Field {
+    std::string name;
+    StructTypePtr type;
+  };
+
+  static StructTypePtr Atomic(BaseType base);
+  static StructTypePtr Tuple(std::vector<Field> fields);
+  static StructTypePtr Set(StructTypePtr element);
+  static StructTypePtr List(StructTypePtr element);
+  static StructTypePtr ContRep(BaseType media);
+
+  Kind kind() const { return kind_; }
+  BaseType base() const { return base_; }
+  const std::vector<Field>& fields() const { return fields_; }
+  const StructTypePtr& element() const { return element_; }
+
+  /// For kTuple: the index of `name` in fields(), or -1.
+  int FieldIndex(std::string_view name) const;
+
+  /// Structural equality.
+  bool Equals(const StructType& other) const;
+
+  /// Canonical rendering, e.g. "SET<TUPLE<Atomic<URL>: source>>".
+  std::string ToString() const;
+
+ private:
+  explicit StructType(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  BaseType base_ = BaseType::kStr;       // kAtomic, kContRep (media)
+  std::vector<Field> fields_;            // kTuple
+  StructTypePtr element_;                // kSet, kList
+};
+
+/// A named schema definition: `define <Name> as <type>;`.
+struct SchemaDef {
+  std::string name;
+  StructTypePtr type;
+};
+
+/// Parses the paper's schema syntax, e.g.
+///
+///   define TraditionalImgLib as
+///   SET< TUPLE< Atomic<URL>: source, CONTREP<Text>: annotation >>;
+///
+/// Whitespace is free-form; `>>` closes two angles as in the paper.
+base::Result<SchemaDef> ParseSchemaDef(std::string_view text);
+
+/// Parses just a structure type expression (no `define`).
+base::Result<StructTypePtr> ParseStructType(std::string_view text);
+
+}  // namespace mirror::moa
+
+#endif  // MIRROR_MOA_STRUCTURE_TYPE_H_

@@ -1,0 +1,64 @@
+#include "monet/bat.h"
+
+#include "base/str_util.h"
+
+namespace mirror::monet {
+
+Bat Bat::DenseInts(std::vector<int64_t> tail, Oid base) {
+  size_t n = tail.size();
+  return Bat(Column::MakeVoid(base, n), Column::MakeInts(std::move(tail)));
+}
+
+Bat Bat::DenseDbls(std::vector<double> tail, Oid base) {
+  size_t n = tail.size();
+  return Bat(Column::MakeVoid(base, n), Column::MakeDbls(std::move(tail)));
+}
+
+Bat Bat::DenseStrs(const std::vector<std::string>& tail, Oid base) {
+  return Bat(Column::MakeVoid(base, tail.size()), Column::MakeStrs(tail));
+}
+
+Bat Bat::DenseOids(std::vector<Oid> tail, Oid base) {
+  size_t n = tail.size();
+  return Bat(Column::MakeVoid(base, n), Column::MakeOids(std::move(tail)));
+}
+
+Bat Bat::Empty(ValueType head_type, ValueType tail_type) {
+  auto empty_col = [](ValueType t) {
+    switch (t) {
+      case ValueType::kVoid:
+        return Column::MakeVoid(0, 0);
+      case ValueType::kOid:
+        return Column::MakeOids({});
+      case ValueType::kInt:
+        return Column::MakeInts({});
+      case ValueType::kDbl:
+        return Column::MakeDbls({});
+      case ValueType::kStr:
+        return Column::MakeStrs({});
+    }
+    MIRROR_UNREACHABLE();
+    return Column::MakeVoid(0, 0);
+  };
+  return Bat(empty_col(head_type), empty_col(tail_type));
+}
+
+std::string Bat::DebugString(size_t max_rows) const {
+  std::string out = base::StrFormat(
+      "BAT[%s,%s] #%zu {", std::string(ValueTypeName(head_.type())).c_str(),
+      std::string(ValueTypeName(tail_.type())).c_str(), size());
+  size_t n = std::min(size(), max_rows);
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) out += ", ";
+    out += "(";
+    out += head_.ValueAt(i).ToString();
+    out += ",";
+    out += tail_.ValueAt(i).ToString();
+    out += ")";
+  }
+  if (size() > n) out += ", ...";
+  out += "}";
+  return out;
+}
+
+}  // namespace mirror::monet

@@ -1,0 +1,888 @@
+#include "monet/bat_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "monet/profiler.h"
+
+namespace mirror::monet {
+
+namespace {
+
+// --------------------------------------------------------------------------
+// Key canonicalization for hash-based operators.
+//
+// Join/semijoin keys are canonicalized per the type pair:
+//  - oid/oid and int/int      -> int64 keys (exact)
+//  - any numeric pair w/ dbl  -> double keys
+//  - str/str, shared heap     -> int64 keys over heap offsets (exact)
+//  - str/str, distinct heaps  -> std::string keys
+enum class KeyMode { kI64, kF64, kStrOffset, kString };
+
+ValueType Norm(ValueType t) {
+  return t == ValueType::kVoid ? ValueType::kOid : t;
+}
+
+KeyMode PickKeyMode(const Column& a, const Column& b) {
+  ValueType ta = Norm(a.type());
+  ValueType tb = Norm(b.type());
+  if (ta == ValueType::kStr || tb == ValueType::kStr) {
+    MIRROR_CHECK(ta == ValueType::kStr && tb == ValueType::kStr)
+        << "str keys must pair with str keys";
+    return (a.heap() == b.heap()) ? KeyMode::kStrOffset : KeyMode::kString;
+  }
+  MIRROR_CHECK(a.TypeCompatible(tb))
+      << "incompatible join key types: " << ValueTypeName(ta) << " vs "
+      << ValueTypeName(tb);
+  if (ta == ValueType::kDbl || tb == ValueType::kDbl) return KeyMode::kF64;
+  return KeyMode::kI64;
+}
+
+int64_t I64KeyAt(const Column& c, size_t i) {
+  switch (c.type()) {
+    case ValueType::kVoid:
+    case ValueType::kOid:
+      return static_cast<int64_t>(c.OidAt(i));
+    case ValueType::kInt:
+      return c.IntAt(i);
+    case ValueType::kStr:
+      return static_cast<int64_t>(c.StrOffsetAt(i));
+    default:
+      MIRROR_UNREACHABLE();
+      return 0;
+  }
+}
+
+double F64KeyAt(const Column& c, size_t i) {
+  switch (c.type()) {
+    case ValueType::kInt:
+      return static_cast<double>(c.IntAt(i));
+    case ValueType::kDbl:
+      return c.DblAt(i);
+    case ValueType::kVoid:
+    case ValueType::kOid:
+      return static_cast<double>(c.OidAt(i));
+    default:
+      MIRROR_UNREACHABLE();
+      return 0;
+  }
+}
+
+// Hash multimap from canonical key to row positions of the indexed column.
+template <typename K>
+using PosMap = std::unordered_map<K, std::vector<uint32_t>>;
+
+template <typename K, typename KeyFn>
+PosMap<K> BuildIndex(size_t n, KeyFn key_at) {
+  PosMap<K> index;
+  index.reserve(n * 2);
+  for (size_t i = 0; i < n; ++i) {
+    index[key_at(i)].push_back(static_cast<uint32_t>(i));
+  }
+  return index;
+}
+
+// Generic hash join over canonicalized keys; fills aligned position pairs.
+template <typename K, typename LKeyFn, typename RKeyFn>
+void HashJoinPositions(size_t ln, LKeyFn lkey, size_t rn, RKeyFn rkey,
+                       std::vector<size_t>* lpos, std::vector<size_t>* rpos) {
+  PosMap<K> index = BuildIndex<K>(rn, rkey);
+  for (size_t i = 0; i < ln; ++i) {
+    auto it = index.find(lkey(i));
+    if (it == index.end()) continue;
+    for (uint32_t r : it->second) {
+      lpos->push_back(i);
+      rpos->push_back(r);
+    }
+  }
+}
+
+// Membership filter: positions of `probe` whose key occurs in `keys`.
+template <typename K, typename ProbeKeyFn, typename KeysKeyFn>
+std::vector<size_t> HashMemberPositions(size_t probe_n, ProbeKeyFn probe_key,
+                                        size_t keys_n, KeysKeyFn keys_key,
+                                        bool keep_members) {
+  std::unordered_set<K> members;
+  members.reserve(keys_n * 2);
+  for (size_t i = 0; i < keys_n; ++i) members.insert(keys_key(i));
+  std::vector<size_t> out;
+  for (size_t i = 0; i < probe_n; ++i) {
+    bool in = members.count(probe_key(i)) > 0;
+    if (in == keep_members) out.push_back(i);
+  }
+  return out;
+}
+
+Bat GatherBat(const Bat& b, const std::vector<size_t>& positions) {
+  return Bat(b.head().Gather(positions), b.tail().Gather(positions));
+}
+
+// Selection positions by tail predicate, dispatched once on type.
+template <typename PredI, typename PredD, typename PredS>
+std::vector<size_t> SelectPositions(const Column& tail, PredI pred_i,
+                                    PredD pred_d, PredS pred_s) {
+  std::vector<size_t> out;
+  size_t n = tail.size();
+  switch (tail.type()) {
+    case ValueType::kVoid:
+    case ValueType::kOid:
+      for (size_t i = 0; i < n; ++i) {
+        if (pred_i(static_cast<int64_t>(tail.OidAt(i)))) out.push_back(i);
+      }
+      break;
+    case ValueType::kInt:
+      for (size_t i = 0; i < n; ++i) {
+        if (pred_i(tail.IntAt(i))) out.push_back(i);
+      }
+      break;
+    case ValueType::kDbl:
+      for (size_t i = 0; i < n; ++i) {
+        if (pred_d(tail.DblAt(i))) out.push_back(i);
+      }
+      break;
+    case ValueType::kStr:
+      for (size_t i = 0; i < n; ++i) {
+        if (pred_s(tail.StrAt(i))) out.push_back(i);
+      }
+      break;
+  }
+  return out;
+}
+
+// Converts a selection bound Value to the numeric domain of the column.
+double BoundAsDouble(const Value& v) {
+  if (v.type() == ValueType::kOid) return static_cast<double>(v.oid());
+  return v.AsDouble();
+}
+
+int64_t BoundAsInt(const Value& v) {
+  if (v.type() == ValueType::kOid) return static_cast<int64_t>(v.oid());
+  if (v.type() == ValueType::kInt) return v.i();
+  MIRROR_CHECK(false) << "expected integral bound, got " << v.ToString();
+  return 0;
+}
+
+bool IsNumericOrOid(ValueType t) {
+  return t == ValueType::kVoid || t == ValueType::kOid ||
+         t == ValueType::kInt || t == ValueType::kDbl;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Structural operators.
+
+Bat Reverse(const Bat& b) {
+  TrackKernelOp(KernelOp::kReverse, b.size(), b.size());
+  return Bat(b.tail().Materialized(), b.head().Materialized());
+}
+
+Bat Mirror(const Bat& b) {
+  TrackKernelOp(KernelOp::kMirror, b.size(), b.size());
+  Column h = b.head().Materialized();
+  return Bat(h, h);
+}
+
+Bat Mark(const Bat& b, Oid base) {
+  TrackKernelOp(KernelOp::kMark, b.size(), b.size());
+  return Bat(b.head(), Column::MakeVoid(base, b.size()));
+}
+
+Bat Slice(const Bat& b, size_t start, size_t count) {
+  start = std::min(start, b.size());
+  count = std::min(count, b.size() - start);
+  TrackKernelOp(KernelOp::kSlice, b.size(), count);
+  std::vector<size_t> positions(count);
+  for (size_t i = 0; i < count; ++i) positions[i] = start + i;
+  return GatherBat(b, positions);
+}
+
+namespace {
+
+Column AppendColumns(const Column& a, const Column& b) {
+  if (a.is_void() && b.is_void() && b.void_base() == a.void_base() + a.size()) {
+    return Column::MakeVoid(a.void_base(), a.size() + b.size());
+  }
+  ValueType ta = Norm(a.type());
+  ValueType tb = Norm(b.type());
+  if (ta == ValueType::kStr || tb == ValueType::kStr) {
+    MIRROR_CHECK(ta == tb) << "cannot append str to non-str";
+    if (a.heap() == b.heap()) {
+      std::vector<uint32_t> offsets = a.str_offsets();
+      offsets.insert(offsets.end(), b.str_offsets().begin(),
+                     b.str_offsets().end());
+      return Column::MakeStrsShared(a.heap(), std::move(offsets));
+    }
+    // Re-intern b's strings into a's heap (append-only, safe for sharers).
+    std::vector<uint32_t> offsets = a.str_offsets();
+    offsets.reserve(a.size() + b.size());
+    for (size_t i = 0; i < b.size(); ++i) {
+      offsets.push_back(a.heap()->Intern(b.StrAt(i)));
+    }
+    return Column::MakeStrsShared(a.heap(), std::move(offsets));
+  }
+  if (ta == ValueType::kOid || tb == ValueType::kOid) {
+    MIRROR_CHECK(ta == tb) << "cannot append oid to non-oid";
+    std::vector<Oid> out;
+    out.reserve(a.size() + b.size());
+    for (size_t i = 0; i < a.size(); ++i) out.push_back(a.OidAt(i));
+    for (size_t i = 0; i < b.size(); ++i) out.push_back(b.OidAt(i));
+    return Column::MakeOids(std::move(out));
+  }
+  if (ta == ValueType::kInt && tb == ValueType::kInt) {
+    std::vector<int64_t> out = a.ints();
+    out.insert(out.end(), b.ints().begin(), b.ints().end());
+    return Column::MakeInts(std::move(out));
+  }
+  // Mixed numeric: widen to dbl.
+  std::vector<double> out;
+  out.reserve(a.size() + b.size());
+  for (size_t i = 0; i < a.size(); ++i) out.push_back(a.NumAt(i));
+  for (size_t i = 0; i < b.size(); ++i) out.push_back(b.NumAt(i));
+  return Column::MakeDbls(std::move(out));
+}
+
+}  // namespace
+
+Bat Concat(const Bat& a, const Bat& b) {
+  TrackKernelOp(KernelOp::kConcat, a.size() + b.size(), a.size() + b.size());
+  return Bat(AppendColumns(a.head(), b.head()),
+             AppendColumns(a.tail(), b.tail()));
+}
+
+// ---------------------------------------------------------------------------
+// Selection.
+
+Bat SelectEq(const Bat& b, const Value& v) {
+  const Column& tail = b.tail();
+  MIRROR_CHECK(tail.TypeCompatible(v.type()))
+      << "select type mismatch: column " << ValueTypeName(tail.type())
+      << " vs literal " << v.ToString();
+  std::vector<size_t> positions;
+  if (Norm(tail.type()) == ValueType::kStr) {
+    const std::string& want = v.s();
+    positions = SelectPositions(
+        tail, [](int64_t) { return false; }, [](double) { return false; },
+        [&](std::string_view s) { return s == want; });
+  } else if (tail.type() == ValueType::kDbl || v.type() == ValueType::kDbl) {
+    double want = BoundAsDouble(v);
+    positions = SelectPositions(
+        tail, [&](int64_t x) { return static_cast<double>(x) == want; },
+        [&](double x) { return x == want; },
+        [](std::string_view) { return false; });
+  } else {
+    int64_t want = BoundAsInt(v);
+    positions = SelectPositions(
+        tail, [&](int64_t x) { return x == want; },
+        [&](double x) { return x == static_cast<double>(want); },
+        [](std::string_view) { return false; });
+  }
+  TrackKernelOp(KernelOp::kSelect, b.size(), positions.size());
+  return GatherBat(b, positions);
+}
+
+Bat SelectNeq(const Bat& b, const Value& v) {
+  const Column& tail = b.tail();
+  MIRROR_CHECK(tail.TypeCompatible(v.type()));
+  std::vector<size_t> positions;
+  if (Norm(tail.type()) == ValueType::kStr) {
+    const std::string& want = v.s();
+    positions = SelectPositions(
+        tail, [](int64_t) { return true; }, [](double) { return true; },
+        [&](std::string_view s) { return s != want; });
+  } else {
+    double want = BoundAsDouble(v);
+    positions = SelectPositions(
+        tail, [&](int64_t x) { return static_cast<double>(x) != want; },
+        [&](double x) { return x != want; },
+        [](std::string_view) { return true; });
+  }
+  TrackKernelOp(KernelOp::kSelect, b.size(), positions.size());
+  return GatherBat(b, positions);
+}
+
+Bat SelectCmp(const Bat& b, CmpOp cmp, const Value& v) {
+  if (cmp == CmpOp::kEq) return SelectEq(b, v);
+  if (cmp == CmpOp::kNeq) return SelectNeq(b, v);
+  const Column& tail = b.tail();
+  MIRROR_CHECK(tail.TypeCompatible(v.type()));
+  auto keep = [&](auto lhs, auto rhs) {
+    switch (cmp) {
+      case CmpOp::kLt:
+        return lhs < rhs;
+      case CmpOp::kLe:
+        return lhs <= rhs;
+      case CmpOp::kGt:
+        return lhs > rhs;
+      case CmpOp::kGe:
+        return lhs >= rhs;
+      default:
+        MIRROR_UNREACHABLE();
+        return false;
+    }
+  };
+  std::vector<size_t> positions;
+  if (Norm(tail.type()) == ValueType::kStr) {
+    std::string_view want = v.s();
+    positions = SelectPositions(
+        tail, [](int64_t) { return false; }, [](double) { return false; },
+        [&](std::string_view s) { return keep(s, want); });
+  } else {
+    double want = BoundAsDouble(v);
+    positions = SelectPositions(
+        tail, [&](int64_t x) { return keep(static_cast<double>(x), want); },
+        [&](double x) { return keep(x, want); },
+        [](std::string_view) { return false; });
+  }
+  TrackKernelOp(KernelOp::kSelect, b.size(), positions.size());
+  return GatherBat(b, positions);
+}
+
+Bat SelectRange(const Bat& b, const Value& lo, const Value& hi,
+                bool lo_inclusive, bool hi_inclusive) {
+  const Column& tail = b.tail();
+  MIRROR_CHECK(tail.TypeCompatible(lo.type()));
+  MIRROR_CHECK(tail.TypeCompatible(hi.type()));
+  std::vector<size_t> positions;
+  if (Norm(tail.type()) == ValueType::kStr) {
+    const std::string& slo = lo.s();
+    const std::string& shi = hi.s();
+    positions = SelectPositions(
+        tail, [](int64_t) { return false; }, [](double) { return false; },
+        [&](std::string_view s) {
+          bool above = lo_inclusive ? s >= slo : s > slo;
+          bool below = hi_inclusive ? s <= shi : s < shi;
+          return above && below;
+        });
+  } else {
+    double dlo = BoundAsDouble(lo);
+    double dhi = BoundAsDouble(hi);
+    auto in_range = [&](double x) {
+      bool above = lo_inclusive ? x >= dlo : x > dlo;
+      bool below = hi_inclusive ? x <= dhi : x < dhi;
+      return above && below;
+    };
+    positions = SelectPositions(
+        tail, [&](int64_t x) { return in_range(static_cast<double>(x)); },
+        [&](double x) { return in_range(x); },
+        [](std::string_view) { return false; });
+  }
+  TrackKernelOp(KernelOp::kSelect, b.size(), positions.size());
+  return GatherBat(b, positions);
+}
+
+// ---------------------------------------------------------------------------
+// Joins.
+
+Bat Join(const Bat& l, const Bat& r) {
+  std::vector<size_t> lpos;
+  std::vector<size_t> rpos;
+  if (r.head().is_void()) {
+    // Positional fetch join: l.tail holds oids into r's dense head.
+    ValueType lt = Norm(l.tail().type());
+    MIRROR_CHECK(lt == ValueType::kOid || lt == ValueType::kInt)
+        << "fetch join needs oid-like probe tails";
+    Oid base = r.head().void_base();
+    size_t rn = r.size();
+    for (size_t i = 0; i < l.size(); ++i) {
+      uint64_t key = lt == ValueType::kInt
+                         ? static_cast<uint64_t>(l.tail().IntAt(i))
+                         : l.tail().OidAt(i);
+      if (key < base) continue;
+      uint64_t pos = key - base;
+      if (pos >= rn) continue;
+      lpos.push_back(i);
+      rpos.push_back(static_cast<size_t>(pos));
+    }
+  } else {
+    switch (PickKeyMode(l.tail(), r.head())) {
+      case KeyMode::kI64:
+      case KeyMode::kStrOffset:
+        HashJoinPositions<int64_t>(
+            l.size(), [&](size_t i) { return I64KeyAt(l.tail(), i); },
+            r.size(), [&](size_t i) { return I64KeyAt(r.head(), i); }, &lpos,
+            &rpos);
+        break;
+      case KeyMode::kF64:
+        HashJoinPositions<double>(
+            l.size(), [&](size_t i) { return F64KeyAt(l.tail(), i); },
+            r.size(), [&](size_t i) { return F64KeyAt(r.head(), i); }, &lpos,
+            &rpos);
+        break;
+      case KeyMode::kString:
+        HashJoinPositions<std::string>(
+            l.size(),
+            [&](size_t i) { return std::string(l.tail().StrAt(i)); },
+            r.size(),
+            [&](size_t i) { return std::string(r.head().StrAt(i)); }, &lpos,
+            &rpos);
+        break;
+    }
+  }
+  TrackKernelOp(KernelOp::kJoin, l.size() + r.size(), lpos.size());
+  return Bat(l.head().Gather(lpos), r.tail().Gather(rpos));
+}
+
+namespace {
+
+Bat FilterByMembership(const Bat& l, const Column& probe, const Column& keys,
+                       bool keep_members, KernelOp op) {
+  std::vector<size_t> positions;
+  switch (PickKeyMode(probe, keys)) {
+    case KeyMode::kI64:
+    case KeyMode::kStrOffset:
+      positions = HashMemberPositions<int64_t>(
+          probe.size(), [&](size_t i) { return I64KeyAt(probe, i); },
+          keys.size(), [&](size_t i) { return I64KeyAt(keys, i); },
+          keep_members);
+      break;
+    case KeyMode::kF64:
+      positions = HashMemberPositions<double>(
+          probe.size(), [&](size_t i) { return F64KeyAt(probe, i); },
+          keys.size(), [&](size_t i) { return F64KeyAt(keys, i); },
+          keep_members);
+      break;
+    case KeyMode::kString:
+      positions = HashMemberPositions<std::string>(
+          probe.size(), [&](size_t i) { return std::string(probe.StrAt(i)); },
+          keys.size(), [&](size_t i) { return std::string(keys.StrAt(i)); },
+          keep_members);
+      break;
+  }
+  TrackKernelOp(op, l.size() + keys.size(), positions.size());
+  return GatherBat(l, positions);
+}
+
+}  // namespace
+
+Bat SemiJoinHead(const Bat& l, const Bat& r) {
+  return FilterByMembership(l, l.head(), r.head(), /*keep_members=*/true,
+                            KernelOp::kSemiJoin);
+}
+
+Bat AntiJoinHead(const Bat& l, const Bat& r) {
+  return FilterByMembership(l, l.head(), r.head(), /*keep_members=*/false,
+                            KernelOp::kAntiJoin);
+}
+
+Bat SemiJoinTail(const Bat& l, const Bat& r) {
+  return FilterByMembership(l, l.tail(), r.tail(), /*keep_members=*/true,
+                            KernelOp::kSemiJoin);
+}
+
+// ---------------------------------------------------------------------------
+// Ordering and duplicates.
+
+namespace {
+
+std::vector<size_t> SortedPositions(const Column& tail, bool ascending) {
+  std::vector<size_t> idx(tail.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  auto sort_by = [&](auto less) {
+    std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+      return ascending ? less(a, b) : less(b, a);
+    });
+  };
+  switch (tail.type()) {
+    case ValueType::kVoid:
+    case ValueType::kOid:
+      sort_by([&](size_t a, size_t b) { return tail.OidAt(a) < tail.OidAt(b); });
+      break;
+    case ValueType::kInt:
+      sort_by([&](size_t a, size_t b) { return tail.IntAt(a) < tail.IntAt(b); });
+      break;
+    case ValueType::kDbl:
+      sort_by([&](size_t a, size_t b) { return tail.DblAt(a) < tail.DblAt(b); });
+      break;
+    case ValueType::kStr:
+      sort_by([&](size_t a, size_t b) { return tail.StrAt(a) < tail.StrAt(b); });
+      break;
+  }
+  return idx;
+}
+
+}  // namespace
+
+Bat SortByTail(const Bat& b, bool ascending) {
+  TrackKernelOp(KernelOp::kSort, b.size(), b.size());
+  return GatherBat(b, SortedPositions(b.tail(), ascending));
+}
+
+Bat TopNByTail(const Bat& b, size_t n, bool descending) {
+  std::vector<size_t> idx = SortedPositions(b.tail(), !descending);
+  if (idx.size() > n) idx.resize(n);
+  TrackKernelOp(KernelOp::kTopN, b.size(), idx.size());
+  return GatherBat(b, idx);
+}
+
+namespace {
+
+std::vector<size_t> FirstOccurrencePositions(const Column& c) {
+  std::vector<size_t> out;
+  switch (Norm(c.type())) {
+    case ValueType::kOid:
+    case ValueType::kInt:
+    case ValueType::kStr: {
+      std::unordered_set<int64_t> seen;
+      for (size_t i = 0; i < c.size(); ++i) {
+        if (seen.insert(I64KeyAt(c, i)).second) out.push_back(i);
+      }
+      break;
+    }
+    case ValueType::kDbl: {
+      std::unordered_set<double> seen;
+      for (size_t i = 0; i < c.size(); ++i) {
+        if (seen.insert(c.DblAt(i)).second) out.push_back(i);
+      }
+      break;
+    }
+    default:
+      MIRROR_UNREACHABLE();
+  }
+  return out;
+}
+
+}  // namespace
+
+Bat UniqueTail(const Bat& b) {
+  std::vector<size_t> positions = FirstOccurrencePositions(b.tail());
+  TrackKernelOp(KernelOp::kUnique, b.size(), positions.size());
+  return GatherBat(b, positions);
+}
+
+Bat UniqueHead(const Bat& b) {
+  std::vector<size_t> positions = FirstOccurrencePositions(b.head());
+  TrackKernelOp(KernelOp::kUnique, b.size(), positions.size());
+  return GatherBat(b, positions);
+}
+
+// ---------------------------------------------------------------------------
+// Grouping and aggregation.
+
+namespace {
+
+enum class AggKind { kSum, kCount, kMax, kMin, kAvg };
+
+Bat AggregatePerHead(const Bat& b, AggKind kind, KernelOp op) {
+  const Column& head = b.head();
+  const Column& tail = b.tail();
+  ValueType ht = Norm(head.type());
+  MIRROR_CHECK(ht == ValueType::kOid || ht == ValueType::kInt)
+      << "group head must be oid-like or int";
+  if (kind != AggKind::kCount) {
+    MIRROR_CHECK(IsNumericOrOid(tail.type()) &&
+                 Norm(tail.type()) != ValueType::kOid)
+        << "aggregate tail must be numeric";
+  }
+  struct Acc {
+    double sum = 0;
+    int64_t count = 0;
+    double max = 0;
+    double min = 0;
+  };
+  std::unordered_map<int64_t, Acc> groups;
+  groups.reserve(b.size());
+  for (size_t i = 0; i < b.size(); ++i) {
+    int64_t key = I64KeyAt(head, i);
+    Acc& acc = groups[key];
+    double x = (kind == AggKind::kCount) ? 0.0 : tail.NumAt(i);
+    if (acc.count == 0) {
+      acc.max = x;
+      acc.min = x;
+    } else {
+      acc.max = std::max(acc.max, x);
+      acc.min = std::min(acc.min, x);
+    }
+    acc.sum += x;
+    acc.count += 1;
+  }
+  std::vector<int64_t> keys;
+  keys.reserve(groups.size());
+  for (const auto& [k, v] : groups) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+
+  std::vector<double> out_dbl;
+  std::vector<int64_t> out_int;
+  for (int64_t k : keys) {
+    const Acc& acc = groups[k];
+    switch (kind) {
+      case AggKind::kSum:
+        out_dbl.push_back(acc.sum);
+        break;
+      case AggKind::kCount:
+        out_int.push_back(acc.count);
+        break;
+      case AggKind::kMax:
+        out_dbl.push_back(acc.max);
+        break;
+      case AggKind::kMin:
+        out_dbl.push_back(acc.min);
+        break;
+      case AggKind::kAvg:
+        out_dbl.push_back(acc.sum / static_cast<double>(acc.count));
+        break;
+    }
+  }
+  Column out_head =
+      ht == ValueType::kOid
+          ? Column::MakeOids(std::vector<Oid>(keys.begin(), keys.end()))
+          : Column::MakeInts(keys);
+  Column out_tail = (kind == AggKind::kCount)
+                        ? Column::MakeInts(std::move(out_int))
+                        : Column::MakeDbls(std::move(out_dbl));
+  TrackKernelOp(op, b.size(), keys.size());
+  return Bat(std::move(out_head), std::move(out_tail));
+}
+
+}  // namespace
+
+Bat SumPerHead(const Bat& b) {
+  return AggregatePerHead(b, AggKind::kSum, KernelOp::kGroupAgg);
+}
+Bat CountPerHead(const Bat& b) {
+  return AggregatePerHead(b, AggKind::kCount, KernelOp::kGroupAgg);
+}
+Bat MaxPerHead(const Bat& b) {
+  return AggregatePerHead(b, AggKind::kMax, KernelOp::kGroupAgg);
+}
+Bat MinPerHead(const Bat& b) {
+  return AggregatePerHead(b, AggKind::kMin, KernelOp::kGroupAgg);
+}
+Bat AvgPerHead(const Bat& b) {
+  return AggregatePerHead(b, AggKind::kAvg, KernelOp::kGroupAgg);
+}
+
+Bat CountPerTailValue(const Bat& b) {
+  const Column& tail = b.tail();
+  if (Norm(tail.type()) == ValueType::kStr) {
+    // Group by heap offset (exact), then order lexicographically.
+    std::unordered_map<uint32_t, int64_t> counts;
+    for (size_t i = 0; i < b.size(); ++i) counts[tail.StrOffsetAt(i)]++;
+    std::vector<uint32_t> offsets;
+    offsets.reserve(counts.size());
+    for (const auto& [off, n] : counts) offsets.push_back(off);
+    std::sort(offsets.begin(), offsets.end(),
+              [&](uint32_t a, uint32_t b2) {
+                return tail.heap()->At(a) < tail.heap()->At(b2);
+              });
+    std::vector<int64_t> out_counts;
+    out_counts.reserve(offsets.size());
+    for (uint32_t off : offsets) out_counts.push_back(counts[off]);
+    TrackKernelOp(KernelOp::kHistogram, b.size(), offsets.size());
+    return Bat(Column::MakeStrsShared(tail.heap(), std::move(offsets)),
+               Column::MakeInts(std::move(out_counts)));
+  }
+  if (tail.type() == ValueType::kDbl) {
+    std::unordered_map<double, int64_t> counts;
+    for (size_t i = 0; i < b.size(); ++i) counts[tail.DblAt(i)]++;
+    std::vector<double> keys;
+    keys.reserve(counts.size());
+    for (const auto& [k, n] : counts) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    std::vector<int64_t> out_counts;
+    for (double k : keys) out_counts.push_back(counts[k]);
+    TrackKernelOp(KernelOp::kHistogram, b.size(), keys.size());
+    return Bat(Column::MakeDbls(std::move(keys)),
+               Column::MakeInts(std::move(out_counts)));
+  }
+  std::unordered_map<int64_t, int64_t> counts;
+  for (size_t i = 0; i < b.size(); ++i) counts[I64KeyAt(tail, i)]++;
+  std::vector<int64_t> keys;
+  keys.reserve(counts.size());
+  for (const auto& [k, n] : counts) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  std::vector<int64_t> out_counts;
+  for (int64_t k : keys) out_counts.push_back(counts[k]);
+  TrackKernelOp(KernelOp::kHistogram, b.size(), keys.size());
+  Column out_head =
+      Norm(tail.type()) == ValueType::kOid
+          ? Column::MakeOids(std::vector<Oid>(keys.begin(), keys.end()))
+          : Column::MakeInts(std::move(keys));
+  return Bat(std::move(out_head), Column::MakeInts(std::move(out_counts)));
+}
+
+double ScalarSum(const Bat& b) {
+  TrackKernelOp(KernelOp::kScalarAgg, b.size(), 1);
+  double sum = 0;
+  const Column& tail = b.tail();
+  for (size_t i = 0; i < b.size(); ++i) sum += tail.NumAt(i);
+  return sum;
+}
+
+int64_t ScalarCount(const Bat& b) {
+  TrackKernelOp(KernelOp::kScalarAgg, b.size(), 1);
+  return static_cast<int64_t>(b.size());
+}
+
+Value ScalarMax(const Bat& b) {
+  TrackKernelOp(KernelOp::kScalarAgg, b.size(), 1);
+  MIRROR_CHECK(!b.empty()) << "max of empty BAT";
+  Value best = b.tail().ValueAt(0);
+  for (size_t i = 1; i < b.size(); ++i) {
+    Value v = b.tail().ValueAt(i);
+    if (best < v) best = v;
+  }
+  return best;
+}
+
+Value ScalarMin(const Bat& b) {
+  TrackKernelOp(KernelOp::kScalarAgg, b.size(), 1);
+  MIRROR_CHECK(!b.empty()) << "min of empty BAT";
+  Value best = b.tail().ValueAt(0);
+  for (size_t i = 1; i < b.size(); ++i) {
+    Value v = b.tail().ValueAt(i);
+    if (v < best) best = v;
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Multiplexed arithmetic.
+
+namespace {
+
+double ApplyBin(double a, double b, BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return a + b;
+    case BinOp::kSub:
+      return a - b;
+    case BinOp::kMul:
+      return a * b;
+    case BinOp::kDiv:
+      return a / b;
+    case BinOp::kMax:
+      return std::max(a, b);
+    case BinOp::kMin:
+      return std::min(a, b);
+    case BinOp::kPow:
+      return std::pow(a, b);
+  }
+  MIRROR_UNREACHABLE();
+  return 0;
+}
+
+int64_t ApplyBinInt(int64_t a, int64_t b, BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return a + b;
+    case BinOp::kSub:
+      return a - b;
+    case BinOp::kMul:
+      return a * b;
+    case BinOp::kMax:
+      return std::max(a, b);
+    case BinOp::kMin:
+      return std::min(a, b);
+    default:
+      MIRROR_UNREACHABLE();
+      return 0;
+  }
+}
+
+bool IntClosed(BinOp op) {
+  return op == BinOp::kAdd || op == BinOp::kSub || op == BinOp::kMul ||
+         op == BinOp::kMax || op == BinOp::kMin;
+}
+
+double ApplyUn(double x, UnOp op) {
+  switch (op) {
+    case UnOp::kLog:
+      return std::log(x);
+    case UnOp::kLog1p:
+      return std::log1p(x);
+    case UnOp::kExp:
+      return std::exp(x);
+    case UnOp::kSqrt:
+      return std::sqrt(x);
+    case UnOp::kNeg:
+      return -x;
+    case UnOp::kAbs:
+      return std::fabs(x);
+    case UnOp::kOneMinus:
+      return 1.0 - x;
+  }
+  MIRROR_UNREACHABLE();
+  return 0;
+}
+
+bool IsPlainNumeric(ValueType t) {
+  return t == ValueType::kInt || t == ValueType::kDbl;
+}
+
+}  // namespace
+
+Bat MapBinary(const Bat& l, const Bat& r, BinOp op) {
+  MIRROR_CHECK_EQ(l.size(), r.size());
+  MIRROR_CHECK(IsPlainNumeric(l.tail().type()) &&
+               IsPlainNumeric(r.tail().type()))
+      << "multiplex arithmetic requires numeric tails";
+  TrackKernelOp(KernelOp::kMultiplex, l.size() + r.size(), l.size());
+  size_t n = l.size();
+  if (l.tail().type() == ValueType::kInt &&
+      r.tail().type() == ValueType::kInt && IntClosed(op)) {
+    std::vector<int64_t> out(n);
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = ApplyBinInt(l.tail().IntAt(i), r.tail().IntAt(i), op);
+    }
+    return Bat(l.head(), Column::MakeInts(std::move(out)));
+  }
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = ApplyBin(l.tail().NumAt(i), r.tail().NumAt(i), op);
+  }
+  return Bat(l.head(), Column::MakeDbls(std::move(out)));
+}
+
+Bat MapBinaryScalar(const Bat& l, const Value& scalar, BinOp op) {
+  MIRROR_CHECK(IsPlainNumeric(l.tail().type()));
+  TrackKernelOp(KernelOp::kMultiplex, l.size(), l.size());
+  size_t n = l.size();
+  if (l.tail().type() == ValueType::kInt &&
+      scalar.type() == ValueType::kInt && IntClosed(op)) {
+    std::vector<int64_t> out(n);
+    int64_t s = scalar.i();
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = ApplyBinInt(l.tail().IntAt(i), s, op);
+    }
+    return Bat(l.head(), Column::MakeInts(std::move(out)));
+  }
+  std::vector<double> out(n);
+  double s = scalar.AsDouble();
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = ApplyBin(l.tail().NumAt(i), s, op);
+  }
+  return Bat(l.head(), Column::MakeDbls(std::move(out)));
+}
+
+Bat MapUnary(const Bat& b, UnOp op) {
+  MIRROR_CHECK(IsPlainNumeric(b.tail().type()));
+  TrackKernelOp(KernelOp::kMultiplex, b.size(), b.size());
+  size_t n = b.size();
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = ApplyUn(b.tail().NumAt(i), op);
+  return Bat(b.head(), Column::MakeDbls(std::move(out)));
+}
+
+Bat FillTail(const Bat& b, const Value& v) {
+  TrackKernelOp(KernelOp::kMultiplex, b.size(), b.size());
+  size_t n = b.size();
+  switch (v.type()) {
+    case ValueType::kInt:
+      return Bat(b.head(), Column::MakeInts(std::vector<int64_t>(n, v.i())));
+    case ValueType::kDbl:
+      return Bat(b.head(), Column::MakeDbls(std::vector<double>(n, v.d())));
+    case ValueType::kOid:
+      return Bat(b.head(), Column::MakeOids(std::vector<Oid>(n, v.oid())));
+    case ValueType::kStr:
+      return Bat(b.head(),
+                 Column::MakeStrs(std::vector<std::string>(n, v.s())));
+    default:
+      MIRROR_UNREACHABLE();
+      return b;
+  }
+}
+
+}  // namespace mirror::monet

@@ -1,0 +1,144 @@
+#ifndef MIRROR_MONET_BAT_OPS_H_
+#define MIRROR_MONET_BAT_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "monet/bat.h"
+
+namespace mirror::monet {
+
+// The Monet-style column-at-a-time operator set. Every operator is a free
+// function that consumes const BATs and materializes a new BAT (the
+// bulk-processing model that Moa's flattening targets, [BWK98]). All
+// operators report to the kernel profiler.
+
+// ---------------------------------------------------------------------------
+// Structural operators.
+
+/// (h,t) -> (t,h). A void column is materialized to oids.
+Bat Reverse(const Bat& b);
+
+/// (h,t) -> (h,h): pairs each head value with itself.
+Bat Mirror(const Bat& b);
+
+/// (h,t) -> (h, void(base)): numbers the rows densely from `base`.
+Bat Mark(const Bat& b, Oid base = 0);
+
+/// Rows [start, start+count) (clamped to size).
+Bat Slice(const Bat& b, size_t start, size_t count);
+
+/// Appends `b` to `a`; column types must match (numeric widening int->dbl
+/// is applied; a void head is kept void when the result stays dense).
+Bat Concat(const Bat& a, const Bat& b);
+
+// ---------------------------------------------------------------------------
+// Selection.
+
+/// Rows whose tail equals `v`.
+Bat SelectEq(const Bat& b, const Value& v);
+
+/// Rows whose tail lies in the range [lo,hi] / (lo,hi) per the
+/// inclusive flags.
+Bat SelectRange(const Bat& b, const Value& lo, const Value& hi,
+                bool lo_inclusive, bool hi_inclusive);
+
+/// Rows whose tail does not equal `v`.
+Bat SelectNeq(const Bat& b, const Value& v);
+
+/// Comparison operators for the general selection form.
+enum class CmpOp { kEq, kNeq, kLt, kLe, kGt, kGe };
+
+/// Rows whose tail satisfies `tail (cmp) v`. Works for numeric and string
+/// tails; ordering across int/dbl compares as double.
+Bat SelectCmp(const Bat& b, CmpOp cmp, const Value& v);
+
+// ---------------------------------------------------------------------------
+// Join family. Keys compare across compatible types (int/dbl inter-compare,
+// void acts as oid).
+
+/// Natural join on l.tail == r.head: (A,B) join (B,C) -> (A,C).
+/// When r has a void head the join degenerates to positional fetch.
+Bat Join(const Bat& l, const Bat& r);
+
+/// Rows of `l` whose HEAD occurs among the heads of `r` (MonetDB semijoin
+/// semantics).
+Bat SemiJoinHead(const Bat& l, const Bat& r);
+
+/// Rows of `l` whose HEAD does not occur among the heads of `r`.
+Bat AntiJoinHead(const Bat& l, const Bat& r);
+
+/// Rows of `l` whose TAIL occurs among the TAILS of `r`. (Convenience for
+/// inverted-file candidate filtering.)
+Bat SemiJoinTail(const Bat& l, const Bat& r);
+
+// ---------------------------------------------------------------------------
+// Ordering and duplicates.
+
+/// Stable sort by tail value.
+Bat SortByTail(const Bat& b, bool ascending = true);
+
+/// The `n` rows with the greatest (descending=true) or smallest tails.
+Bat TopNByTail(const Bat& b, size_t n, bool descending = true);
+
+/// Keeps the first row for each distinct tail value.
+Bat UniqueTail(const Bat& b);
+
+/// Keeps the first row for each distinct head value.
+Bat UniqueHead(const Bat& b);
+
+// ---------------------------------------------------------------------------
+// Grouping and aggregation. Heads must be oid-like (void/oid) or int.
+// Output order is ascending head.
+
+/// Sums numeric tails per distinct head: (g, x) -> (g, sum x).
+Bat SumPerHead(const Bat& b);
+
+/// Counts rows per distinct head: (g, x) -> (g, count).
+Bat CountPerHead(const Bat& b);
+
+/// Max of numeric tails per distinct head.
+Bat MaxPerHead(const Bat& b);
+
+/// Min of numeric tails per distinct head.
+Bat MinPerHead(const Bat& b);
+
+/// Mean of numeric tails per distinct head.
+Bat AvgPerHead(const Bat& b);
+
+/// Value-frequency histogram over tails: (x, t) -> (t, count). The result
+/// head takes the tail's type.
+Bat CountPerTailValue(const Bat& b);
+
+/// Scalar aggregates over the tail column.
+double ScalarSum(const Bat& b);
+int64_t ScalarCount(const Bat& b);
+Value ScalarMax(const Bat& b);
+Value ScalarMin(const Bat& b);
+
+// ---------------------------------------------------------------------------
+// Multiplexed scalar arithmetic ("map[op]" at the physical level). Numeric
+// columns only; binary forms require equal sizes and positionally aligned
+// heads (the flattener guarantees this).
+
+enum class BinOp { kAdd, kSub, kMul, kDiv, kMax, kMin, kPow };
+enum class UnOp { kLog, kLog1p, kExp, kSqrt, kNeg, kAbs, kOneMinus };
+
+/// Element-wise l.tail (op) r.tail; result keeps l's head. Result is int
+/// only when both inputs are int and the op is closed over ints.
+Bat MapBinary(const Bat& l, const Bat& r, BinOp op);
+
+/// Element-wise l.tail (op) scalar.
+Bat MapBinaryScalar(const Bat& l, const Value& scalar, BinOp op);
+
+/// Element-wise unary function of the tail; result tail is dbl.
+Bat MapUnary(const Bat& b, UnOp op);
+
+/// Replaces every tail with the constant `v` (keeps the head). Used by
+/// the flattener to give map results their default value on elements
+/// without matching evidence.
+Bat FillTail(const Bat& b, const Value& v);
+
+}  // namespace mirror::monet
+
+#endif  // MIRROR_MONET_BAT_OPS_H_

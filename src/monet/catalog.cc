@@ -1,0 +1,212 @@
+#include "monet/catalog.h"
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "base/str_util.h"
+
+namespace mirror::monet {
+
+namespace {
+
+constexpr char kMagic[8] = {'M', 'B', 'A', 'T', '0', '0', '1', '\n'};
+
+template <typename T>
+void WritePod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(T));
+  return in.good();
+}
+
+template <typename T>
+void WriteVec(std::ofstream& out, const std::vector<T>& v) {
+  WritePod<uint64_t>(out, v.size());
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+bool ReadVec(std::ifstream& in, std::vector<T>* v) {
+  uint64_t n = 0;
+  if (!ReadPod(in, &n)) return false;
+  v->resize(n);
+  in.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  return in.good() || (n == 0 && in.eof() == false) || in.gcount() == 0;
+}
+
+void WriteColumn(std::ofstream& out, const Column& c) {
+  WritePod<uint8_t>(out, static_cast<uint8_t>(c.type()));
+  WritePod<uint64_t>(out, c.size());
+  switch (c.type()) {
+    case ValueType::kVoid:
+      WritePod<uint64_t>(out, c.void_base());
+      break;
+    case ValueType::kOid:
+      WriteVec(out, c.oids());
+      break;
+    case ValueType::kInt:
+      WriteVec(out, c.ints());
+      break;
+    case ValueType::kDbl:
+      WriteVec(out, c.dbls());
+      break;
+    case ValueType::kStr: {
+      const std::string& buf = c.heap()->buffer();
+      WritePod<uint64_t>(out, buf.size());
+      out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+      WriteVec(out, c.str_offsets());
+      break;
+    }
+  }
+}
+
+base::Result<Column> ReadColumn(std::ifstream& in) {
+  uint8_t type_byte = 0;
+  uint64_t n = 0;
+  if (!ReadPod(in, &type_byte) || !ReadPod(in, &n)) {
+    return base::Status::IoError("truncated column header");
+  }
+  switch (static_cast<ValueType>(type_byte)) {
+    case ValueType::kVoid: {
+      uint64_t base = 0;
+      if (!ReadPod(in, &base)) {
+        return base::Status::IoError("truncated void column");
+      }
+      return Column::MakeVoid(base, n);
+    }
+    case ValueType::kOid: {
+      std::vector<Oid> v;
+      if (!ReadVec(in, &v)) return base::Status::IoError("truncated oids");
+      return Column::MakeOids(std::move(v));
+    }
+    case ValueType::kInt: {
+      std::vector<int64_t> v;
+      if (!ReadVec(in, &v)) return base::Status::IoError("truncated ints");
+      return Column::MakeInts(std::move(v));
+    }
+    case ValueType::kDbl: {
+      std::vector<double> v;
+      if (!ReadVec(in, &v)) return base::Status::IoError("truncated dbls");
+      return Column::MakeDbls(std::move(v));
+    }
+    case ValueType::kStr: {
+      uint64_t buf_size = 0;
+      if (!ReadPod(in, &buf_size)) {
+        return base::Status::IoError("truncated str heap header");
+      }
+      std::string buf(buf_size, '\0');
+      in.read(buf.data(), static_cast<std::streamsize>(buf_size));
+      if (!in.good() && buf_size > 0) {
+        return base::Status::IoError("truncated str heap");
+      }
+      std::vector<uint32_t> offsets;
+      if (!ReadVec(in, &offsets)) {
+        return base::Status::IoError("truncated str offsets");
+      }
+      auto heap =
+          std::make_shared<StringHeap>(StringHeap::FromBuffer(std::move(buf)));
+      return Column::MakeStrsShared(std::move(heap), std::move(offsets));
+    }
+  }
+  return base::Status::IoError("unknown column type byte");
+}
+
+}  // namespace
+
+base::Status Catalog::Register(const std::string& name, Bat bat) {
+  if (bats_.count(name) > 0) {
+    return base::Status::AlreadyExists("BAT already registered: " + name);
+  }
+  bats_.emplace(name, std::make_shared<const Bat>(std::move(bat)));
+  return base::Status::Ok();
+}
+
+void Catalog::Put(const std::string& name, Bat bat) {
+  bats_[name] = std::make_shared<const Bat>(std::move(bat));
+}
+
+base::Result<BatPtr> Catalog::Get(const std::string& name) const {
+  auto it = bats_.find(name);
+  if (it == bats_.end()) {
+    return base::Status::NotFound("no BAT named: " + name);
+  }
+  return it->second;
+}
+
+bool Catalog::Contains(const std::string& name) const {
+  return bats_.count(name) > 0;
+}
+
+base::Status Catalog::Drop(const std::string& name) {
+  if (bats_.erase(name) == 0) {
+    return base::Status::NotFound("no BAT named: " + name);
+  }
+  return base::Status::Ok();
+}
+
+std::vector<std::string> Catalog::Names() const {
+  std::vector<std::string> names;
+  names.reserve(bats_.size());
+  for (const auto& [name, bat] : bats_) names.push_back(name);
+  return names;
+}
+
+base::Status Catalog::SaveTo(const std::string& dir) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return base::Status::IoError("cannot create dir: " + dir);
+  std::ofstream manifest(dir + "/manifest.txt");
+  if (!manifest) return base::Status::IoError("cannot write manifest");
+  size_t index = 0;
+  for (const auto& [name, bat] : bats_) {
+    std::string file = base::StrFormat("bat_%06zu.bin", index++);
+    manifest << name << '\t' << file << '\n';
+    std::ofstream out(dir + "/" + file, std::ios::binary);
+    if (!out) return base::Status::IoError("cannot write " + file);
+    out.write(kMagic, sizeof(kMagic));
+    WriteColumn(out, bat->head());
+    WriteColumn(out, bat->tail());
+    if (!out.good()) return base::Status::IoError("write failed: " + file);
+  }
+  return base::Status::Ok();
+}
+
+base::Status Catalog::LoadFrom(const std::string& dir) {
+  std::ifstream manifest(dir + "/manifest.txt");
+  if (!manifest) return base::Status::IoError("cannot read manifest in " + dir);
+  std::map<std::string, BatPtr> loaded;
+  std::string line;
+  while (std::getline(manifest, line)) {
+    if (line.empty()) continue;
+    size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return base::Status::ParseError("bad manifest line: " + line);
+    }
+    std::string name = line.substr(0, tab);
+    std::string file = line.substr(tab + 1);
+    std::ifstream in(dir + "/" + file, std::ios::binary);
+    if (!in) return base::Status::IoError("cannot open " + file);
+    char magic[sizeof(kMagic)];
+    in.read(magic, sizeof(magic));
+    if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+      return base::Status::ParseError("bad magic in " + file);
+    }
+    auto head = ReadColumn(in);
+    if (!head.ok()) return head.status();
+    auto tail = ReadColumn(in);
+    if (!tail.ok()) return tail.status();
+    loaded.emplace(name, std::make_shared<const Bat>(
+                             Bat(head.TakeValue(), tail.TakeValue())));
+  }
+  bats_ = std::move(loaded);
+  return base::Status::Ok();
+}
+
+}  // namespace mirror::monet

@@ -1,0 +1,59 @@
+#ifndef MIRROR_MONET_CATALOG_H_
+#define MIRROR_MONET_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "monet/bat.h"
+
+namespace mirror::monet {
+
+using BatPtr = std::shared_ptr<const Bat>;
+
+/// Named-BAT registry: the physical schema of a Mirror database instance.
+/// The Moa flattener maps every atomic leaf of a logical schema to a named
+/// BAT here (e.g. `TraditionalImgLib.source`), and MIL programs address
+/// BATs by name. Supports binary persistence of the whole catalog.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+  Catalog(Catalog&&) = default;
+  Catalog& operator=(Catalog&&) = default;
+
+  /// Registers a new BAT under `name`; fails if the name is taken.
+  base::Status Register(const std::string& name, Bat bat);
+
+  /// Registers or replaces.
+  void Put(const std::string& name, Bat bat);
+
+  /// Looks up a BAT; the pointer remains valid until the entry is dropped
+  /// or replaced.
+  base::Result<BatPtr> Get(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  base::Status Drop(const std::string& name);
+
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  size_t size() const { return bats_.size(); }
+
+  /// Persists every BAT plus a manifest into `dir` (created if needed).
+  base::Status SaveTo(const std::string& dir) const;
+
+  /// Loads a catalog persisted by SaveTo; replaces current contents.
+  base::Status LoadFrom(const std::string& dir);
+
+ private:
+  std::map<std::string, BatPtr> bats_;
+};
+
+}  // namespace mirror::monet
+
+#endif  // MIRROR_MONET_CATALOG_H_

@@ -1,0 +1,94 @@
+#ifndef MIRROR_MONET_COLUMN_H_
+#define MIRROR_MONET_COLUMN_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "monet/string_heap.h"
+#include "monet/value.h"
+
+namespace mirror::monet {
+
+/// A typed, immutable column of values: one half of a BAT.
+///
+/// Representation notes (following MonetDB):
+///  - `kVoid` columns are virtual: a dense oid sequence [base, base+n) that
+///    occupies no per-row storage. BAT heads are void in the common case.
+///  - `kStr` columns store 4-byte offsets into a shared, interned
+///    `StringHeap`; equal strings have equal offsets within one heap.
+class Column {
+ public:
+  /// Virtual dense oid sequence [base, base+n).
+  static Column MakeVoid(Oid base, size_t n);
+  /// Materialized oid column.
+  static Column MakeOids(std::vector<Oid> v);
+  static Column MakeInts(std::vector<int64_t> v);
+  static Column MakeDbls(std::vector<double> v);
+  /// String column over a fresh private heap.
+  static Column MakeStrs(const std::vector<std::string>& v);
+  /// String column sharing an existing heap (the common case for operator
+  /// outputs, which never create new strings).
+  static Column MakeStrsShared(std::shared_ptr<StringHeap> heap,
+                               std::vector<uint32_t> offsets);
+
+  ValueType type() const { return type_; }
+  size_t size() const { return size_; }
+  bool is_void() const { return type_ == ValueType::kVoid; }
+  Oid void_base() const { return void_base_; }
+
+  /// Element accessors; the type must match (void counts as oid).
+  Oid OidAt(size_t i) const {
+    if (type_ == ValueType::kVoid) return void_base_ + i;
+    return oids_[i];
+  }
+  int64_t IntAt(size_t i) const { return ints_[i]; }
+  double DblAt(size_t i) const { return dbls_[i]; }
+  std::string_view StrAt(size_t i) const { return heap_->At(str_offsets_[i]); }
+  uint32_t StrOffsetAt(size_t i) const { return str_offsets_[i]; }
+
+  /// Numeric view of element i: int and dbl columns only.
+  double NumAt(size_t i) const {
+    return type_ == ValueType::kInt ? static_cast<double>(ints_[i])
+                                    : dbls_[i];
+  }
+
+  /// Boxes element i (void yields an oid Value).
+  Value ValueAt(size_t i) const;
+
+  /// Raw storage access for kernel operators.
+  const std::vector<Oid>& oids() const { return oids_; }
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& dbls() const { return dbls_; }
+  const std::vector<uint32_t>& str_offsets() const { return str_offsets_; }
+  const std::shared_ptr<StringHeap>& heap() const { return heap_; }
+
+  /// Returns this column with void replaced by materialized oids (other
+  /// types are returned unchanged).
+  Column Materialized() const;
+
+  /// Gathers `positions` into a new column of the same type (void heads
+  /// materialize to oids).
+  Column Gather(const std::vector<size_t>& positions) const;
+
+  /// True if a Value of type `t` can be stored in / compared with this
+  /// column (void matches oid; int and dbl inter-compare).
+  bool TypeCompatible(ValueType t) const;
+
+ private:
+  Column() = default;
+
+  ValueType type_ = ValueType::kVoid;
+  size_t size_ = 0;
+  Oid void_base_ = 0;
+  std::vector<Oid> oids_;
+  std::vector<int64_t> ints_;
+  std::vector<double> dbls_;
+  std::vector<uint32_t> str_offsets_;
+  std::shared_ptr<StringHeap> heap_;
+};
+
+}  // namespace mirror::monet
+
+#endif  // MIRROR_MONET_COLUMN_H_

@@ -1,0 +1,142 @@
+#ifndef MIRROR_MONET_MIL_H_
+#define MIRROR_MONET_MIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "monet/bat_ops.h"
+#include "monet/catalog.h"
+#include "monet/prob_ops.h"
+
+namespace mirror::monet::mil {
+
+/// Opcodes of the physical plan language ("MIL"): a thin sequential IR over
+/// the BAT kernel. Moa's flattener emits MIL programs; the optimizer's
+/// peephole pass and the op-count reports of experiments E1/E2 operate on
+/// this representation.
+enum class OpCode {
+  kLoadNamed,          // dst = catalog[name]
+  kConstBat,           // dst = embedded literal BAT
+  kSelectEq,           // dst = SelectEq(src0, imm0)
+  kSelectNeq,          // dst = SelectNeq(src0, imm0)
+  kSelectCmp,          // dst = SelectCmp(src0, cmp_op, imm0)
+  kSelectRange,        // dst = SelectRange(src0, imm0, imm1, flag0, flag1)
+  kJoin,               // dst = Join(src0, src1)
+  kSemiJoinHead,       // dst = SemiJoinHead(src0, src1)
+  kAntiJoinHead,       // dst = AntiJoinHead(src0, src1)
+  kSemiJoinTail,       // dst = SemiJoinTail(src0, src1)
+  kReverse,            // dst = Reverse(src0)
+  kMirror,             // dst = Mirror(src0)
+  kMark,               // dst = Mark(src0, n)
+  kSortTail,           // dst = SortByTail(src0, flag0=ascending)
+  kTopN,               // dst = TopNByTail(src0, n, flag0=descending)
+  kUniqueTail,         // dst = UniqueTail(src0)
+  kUniqueHead,         // dst = UniqueHead(src0)
+  kSlice,              // dst = Slice(src0, n, n2)
+  kConcat,             // dst = Concat(src0, src1)
+  kSumPerHead,         // dst = SumPerHead(src0)
+  kCountPerHead,       // dst = CountPerHead(src0)
+  kMaxPerHead,         // dst = MaxPerHead(src0)
+  kMinPerHead,         // dst = MinPerHead(src0)
+  kAvgPerHead,         // dst = AvgPerHead(src0)
+  kProdPerHead,        // dst = ProdPerHead(src0)
+  kProbOrPerHead,      // dst = ProbOrPerHead(src0)
+  kCountPerTailValue,  // dst = CountPerTailValue(src0)
+  kMapBinary,          // dst = MapBinary(src0, src1, bin_op)
+  kMapBinaryScalar,    // dst = MapBinaryScalar(src0, imm0, bin_op)
+  kMapUnary,           // dst = MapUnary(src0, un_op)
+  kFillTail,           // dst = FillTail(src0, imm0)
+  kBelief,             // dst = BeliefTfIdf(src0, src1, src2, params)
+  kScalarSum,          // dst(scalar) = ScalarSum(src0)
+  kScalarCount,        // dst(scalar) = ScalarCount(src0)
+};
+
+/// Stable mnemonic ("join", "select.eq", ...).
+const char* OpCodeName(OpCode op);
+
+/// One MIL instruction. Fields beyond `op`, `dst` and the `src*` registers
+/// are operand payloads whose meaning depends on the opcode (see OpCode
+/// comments).
+struct Instr {
+  OpCode op;
+  int dst = -1;
+  int src0 = -1;
+  int src1 = -1;
+  int src2 = -1;
+  Value imm0;
+  Value imm1;
+  bool flag0 = false;
+  bool flag1 = false;
+  int64_t n = 0;
+  int64_t n2 = 0;
+  BinOp bin_op = BinOp::kAdd;
+  UnOp un_op = UnOp::kLog;
+  CmpOp cmp_op = CmpOp::kEq;
+  std::string name;              // kLoadNamed
+  BatPtr const_bat;              // kConstBat
+  BeliefParams belief;           // kBelief tuning
+  int64_t num_docs = 0;          // kBelief
+  double avg_doclen = 0.0;       // kBelief
+
+  /// Renders e.g. "r3 := join(r1, r2)".
+  std::string ToString() const;
+};
+
+/// A straight-line MIL program: SSA-ish register code whose final value is
+/// `result_reg`. Registers hold either a BAT or a scalar double.
+class Program {
+ public:
+  /// Allocates a fresh register.
+  int NewReg() { return num_regs_++; }
+
+  /// Appends an instruction; returns its dst register for chaining.
+  int Emit(Instr instr);
+
+  const std::vector<Instr>& instrs() const { return instrs_; }
+  int num_regs() const { return num_regs_; }
+  int result_reg() const { return result_reg_; }
+  void set_result_reg(int reg) { result_reg_ = reg; }
+
+  /// Number of kernel-operator instructions (excludes loads/constants):
+  /// the "BAT operations" metric of experiments E1/E2.
+  size_t KernelOpCount() const;
+
+  /// Removes instructions whose results cannot reach `result_reg`.
+  /// Returns the number of instructions removed.
+  size_t EliminateDeadCode();
+
+  /// Full disassembly listing.
+  std::string ToString() const;
+
+ private:
+  std::vector<Instr> instrs_;
+  int num_regs_ = 0;
+  int result_reg_ = -1;
+};
+
+/// Result of executing a MIL program: either a BAT or a scalar.
+struct RunResult {
+  BatPtr bat;          // set when the result register held a BAT
+  double scalar = 0;   // set when the result register held a scalar
+  bool is_scalar = false;
+};
+
+/// Executes MIL programs against a catalog. Stateless between runs.
+class Executor {
+ public:
+  /// The catalog must outlive the executor. May be null if the program
+  /// uses no kLoadNamed.
+  explicit Executor(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Runs `program` and returns its result register's value.
+  base::Result<RunResult> Run(const Program& program) const;
+
+ private:
+  const Catalog* catalog_;
+};
+
+}  // namespace mirror::monet::mil
+
+#endif  // MIRROR_MONET_MIL_H_

@@ -1,0 +1,96 @@
+#include "monet/prob_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "monet/profiler.h"
+
+namespace mirror::monet {
+
+Bat BeliefTfIdf(const Bat& tf, const Bat& df, const Bat& doclen,
+                int64_t num_docs, double avg_doclen,
+                const BeliefParams& params) {
+  MIRROR_CHECK_EQ(tf.size(), df.size());
+  MIRROR_CHECK_EQ(tf.size(), doclen.size());
+  MIRROR_CHECK_GT(num_docs, 0);
+  MIRROR_CHECK_GT(avg_doclen, 0.0);
+  size_t n = tf.size();
+  TrackKernelOp(KernelOp::kBelief, 3 * n, n);
+  std::vector<double> beliefs(n);
+  const double idf_denominator = std::log(static_cast<double>(num_docs) + 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    double f = tf.tail().NumAt(i);
+    double d = df.tail().NumAt(i);
+    double dl = doclen.tail().NumAt(i);
+    double t_norm =
+        f / (f + params.k_tf + params.k_len * dl / avg_doclen);
+    double i_norm =
+        std::log((static_cast<double>(num_docs) + 0.5) / std::max(d, 1.0)) /
+        idf_denominator;
+    i_norm = std::clamp(i_norm, 0.0, 1.0);
+    beliefs[i] = params.alpha + (1.0 - params.alpha) * t_norm * i_norm;
+  }
+  return Bat(tf.head(), Column::MakeDbls(std::move(beliefs)));
+}
+
+namespace {
+
+int64_t HeadKey(const Column& head, size_t i) {
+  switch (head.type()) {
+    case ValueType::kVoid:
+    case ValueType::kOid:
+      return static_cast<int64_t>(head.OidAt(i));
+    case ValueType::kInt:
+      return head.IntAt(i);
+    default:
+      MIRROR_CHECK(false) << "group head must be oid-like or int";
+      return 0;
+  }
+}
+
+template <typename Fold>
+Bat FoldPerHead(const Bat& b, double init, Fold fold, bool complement) {
+  std::unordered_map<int64_t, double> acc;
+  acc.reserve(b.size());
+  for (size_t i = 0; i < b.size(); ++i) {
+    int64_t key = HeadKey(b.head(), i);
+    auto [it, inserted] = acc.emplace(key, init);
+    double x = b.tail().NumAt(i);
+    it->second = fold(it->second, complement ? (1.0 - x) : x);
+  }
+  std::vector<int64_t> keys;
+  keys.reserve(acc.size());
+  for (const auto& [k, v] : acc) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  std::vector<double> out;
+  out.reserve(keys.size());
+  for (int64_t k : keys) {
+    double v = acc[k];
+    out.push_back(complement ? (1.0 - v) : v);
+  }
+  TrackKernelOp(KernelOp::kBelief, b.size(), keys.size());
+  Column out_head =
+      b.head().type() == ValueType::kInt
+          ? Column::MakeInts(keys)
+          : Column::MakeOids(std::vector<Oid>(keys.begin(), keys.end()));
+  return Bat(std::move(out_head), Column::MakeDbls(std::move(out)));
+}
+
+}  // namespace
+
+Bat ProdPerHead(const Bat& b) {
+  return FoldPerHead(
+      b, 1.0, [](double a, double x) { return a * x; },
+      /*complement=*/false);
+}
+
+Bat ProbOrPerHead(const Bat& b) {
+  // 1 - prod(1 - x): fold the complements, complement the result.
+  return FoldPerHead(
+      b, 1.0, [](double a, double x) { return a * x; },
+      /*complement=*/true);
+}
+
+}  // namespace mirror::monet

@@ -1,0 +1,90 @@
+#include "monet/profiler.h"
+
+#include <cstring>
+
+#include "base/str_util.h"
+
+namespace mirror::monet {
+
+const char* KernelOpName(KernelOp op) {
+  switch (op) {
+    case KernelOp::kSelect:
+      return "select";
+    case KernelOp::kJoin:
+      return "join";
+    case KernelOp::kSemiJoin:
+      return "semijoin";
+    case KernelOp::kAntiJoin:
+      return "antijoin";
+    case KernelOp::kReverse:
+      return "reverse";
+    case KernelOp::kMirror:
+      return "mirror";
+    case KernelOp::kMark:
+      return "mark";
+    case KernelOp::kSort:
+      return "sort";
+    case KernelOp::kTopN:
+      return "topn";
+    case KernelOp::kUnique:
+      return "unique";
+    case KernelOp::kGroupAgg:
+      return "groupagg";
+    case KernelOp::kScalarAgg:
+      return "scalaragg";
+    case KernelOp::kMultiplex:
+      return "multiplex";
+    case KernelOp::kConcat:
+      return "concat";
+    case KernelOp::kSlice:
+      return "slice";
+    case KernelOp::kHistogram:
+      return "histogram";
+    case KernelOp::kBelief:
+      return "belief";
+    case KernelOp::kNumOps:
+      return "?";
+  }
+  return "?";
+}
+
+uint64_t KernelStats::TotalOps() const {
+  uint64_t total = 0;
+  for (int i = 0; i < static_cast<int>(KernelOp::kNumOps); ++i) {
+    total += op_count[i];
+  }
+  return total;
+}
+
+void KernelStats::Reset() { std::memset(this, 0, sizeof(*this)); }
+
+std::string KernelStats::ToString() const {
+  std::string out =
+      base::StrFormat("ops=%llu (", static_cast<unsigned long long>(TotalOps()));
+  bool first = true;
+  for (int i = 0; i < static_cast<int>(KernelOp::kNumOps); ++i) {
+    if (op_count[i] == 0) continue;
+    if (!first) out += " ";
+    first = false;
+    out += base::StrFormat("%s=%llu", KernelOpName(static_cast<KernelOp>(i)),
+                           static_cast<unsigned long long>(op_count[i]));
+  }
+  out += base::StrFormat(") in=%llu out=%llu",
+                         static_cast<unsigned long long>(tuples_in),
+                         static_cast<unsigned long long>(tuples_out));
+  return out;
+}
+
+KernelStats& GlobalKernelStats() {
+  static KernelStats stats;
+  return stats;
+}
+
+void TrackKernelOp(KernelOp op, uint64_t tuples_in, uint64_t tuples_out) {
+  KernelStats& s = GlobalKernelStats();
+  ++s.op_count[static_cast<int>(op)];
+  s.tuples_in += tuples_in;
+  s.tuples_out += tuples_out;
+}
+
+}  // namespace mirror::monet

@@ -1,0 +1,62 @@
+#ifndef MIRROR_MONET_PROFILER_H_
+#define MIRROR_MONET_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mirror::monet {
+
+/// Kernel operator families, for profiling. Every BAT operator reports to
+/// the global `KernelStats`; the optimizer experiments (E2) and kernel
+/// microbenchmarks (E10) read these counters to report "BAT operations
+/// executed" and "tuples touched" alongside wall-clock time.
+enum class KernelOp : int {
+  kSelect = 0,
+  kJoin,
+  kSemiJoin,
+  kAntiJoin,
+  kReverse,
+  kMirror,
+  kMark,
+  kSort,
+  kTopN,
+  kUnique,
+  kGroupAgg,
+  kScalarAgg,
+  kMultiplex,
+  kConcat,
+  kSlice,
+  kHistogram,
+  kBelief,
+  kNumOps,  // sentinel
+};
+
+/// Stable name of a kernel op family ("join", "select", ...).
+const char* KernelOpName(KernelOp op);
+
+/// Aggregated kernel execution counters.
+struct KernelStats {
+  uint64_t op_count[static_cast<int>(KernelOp::kNumOps)] = {};
+  uint64_t tuples_in = 0;
+  uint64_t tuples_out = 0;
+
+  /// Total operator invocations across all families.
+  uint64_t TotalOps() const;
+
+  /// Zeroes all counters.
+  void Reset();
+
+  /// One-line summary, e.g. "ops=12 (join=3 select=2 ...) in=4096 out=512".
+  std::string ToString() const;
+};
+
+/// Process-wide kernel counters. Not thread-safe by design: the kernel is
+/// single-threaded per session, like the 1999 system.
+KernelStats& GlobalKernelStats();
+
+/// Records one operator execution with its input/output cardinalities.
+void TrackKernelOp(KernelOp op, uint64_t tuples_in, uint64_t tuples_out);
+
+}  // namespace mirror::monet
+
+#endif  // MIRROR_MONET_PROFILER_H_

@@ -1,0 +1,41 @@
+#include "monet/string_heap.h"
+
+#include <cstring>
+
+#include "base/logging.h"
+
+namespace mirror::monet {
+
+uint32_t StringHeap::Intern(std::string_view s) {
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  MIRROR_CHECK_LT(buffer_.size() + s.size() + 1,
+                  static_cast<size_t>(UINT32_MAX))
+      << "string heap overflow";
+  uint32_t offset = static_cast<uint32_t>(buffer_.size());
+  buffer_.append(s.data(), s.size());
+  buffer_.push_back('\0');
+  index_.emplace(std::string(s), offset);
+  return offset;
+}
+
+std::string_view StringHeap::At(uint32_t offset) const {
+  MIRROR_CHECK_LT(static_cast<size_t>(offset), buffer_.size());
+  const char* p = buffer_.data() + offset;
+  return std::string_view(p, std::strlen(p));
+}
+
+StringHeap StringHeap::FromBuffer(std::string buffer) {
+  StringHeap heap;
+  heap.buffer_ = std::move(buffer);
+  size_t pos = 0;
+  while (pos < heap.buffer_.size()) {
+    const char* p = heap.buffer_.data() + pos;
+    size_t len = std::strlen(p);
+    heap.index_.emplace(std::string(p, len), static_cast<uint32_t>(pos));
+    pos += len + 1;
+  }
+  return heap;
+}
+
+}  // namespace mirror::monet

@@ -1,0 +1,48 @@
+#ifndef MIRROR_MONET_STRING_HEAP_H_
+#define MIRROR_MONET_STRING_HEAP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace mirror::monet {
+
+/// Interned, append-only string storage shared by string columns, modeled
+/// after MonetDB's string heaps. A string is identified by its byte offset
+/// into the heap; equal strings are stored once, so offset equality implies
+/// string equality (and string columns can compare on offsets without
+/// touching bytes when both sides share a heap).
+class StringHeap {
+ public:
+  StringHeap() = default;
+
+  /// Returns the offset for `s`, appending it if not yet present.
+  uint32_t Intern(std::string_view s);
+
+  /// Returns the string stored at `offset`. Offsets must come from
+  /// Intern() on this heap. The view is invalidated by further Intern()
+  /// calls (the heap may reallocate); copy if retaining.
+  std::string_view At(uint32_t offset) const;
+
+  /// Number of distinct strings interned.
+  size_t size() const { return index_.size(); }
+
+  /// Total bytes of string payload (including NUL terminators).
+  size_t payload_bytes() const { return buffer_.size(); }
+
+  /// Serialization for catalog persistence: the raw buffer
+  /// (NUL-terminated strings back to back).
+  const std::string& buffer() const { return buffer_; }
+
+  /// Rebuilds a heap from a persisted buffer.
+  static StringHeap FromBuffer(std::string buffer);
+
+ private:
+  std::string buffer_;  // NUL-terminated strings back to back
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+}  // namespace mirror::monet
+
+#endif  // MIRROR_MONET_STRING_HEAP_H_

@@ -1,0 +1,103 @@
+#ifndef MIRROR_MONET_VALUE_H_
+#define MIRROR_MONET_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "base/logging.h"
+
+namespace mirror::monet {
+
+/// Object identifier. BAT heads are typically dense sequences of oids
+/// ("void" columns), mirroring MonetDB's virtual-oid design.
+using Oid = uint64_t;
+
+/// The base types of the binary relational physical model. Moa inherits
+/// its atomic base types from this set (paper §2: "The base types, such as
+/// integer and string, are inherited from the underlying physical
+/// database").
+enum class ValueType : uint8_t {
+  kVoid = 0,  // dense oid sequence; never materialized per-row
+  kOid = 1,   // materialized object identifier
+  kInt = 2,   // 64-bit signed integer
+  kDbl = 3,   // IEEE double
+  kStr = 4,   // variable-length string (dictionary heap)
+};
+
+/// Stable lowercase name of a value type ("void", "oid", ...).
+std::string_view ValueTypeName(ValueType t);
+
+/// A single typed scalar, used at kernel API boundaries (selection bounds,
+/// literals) and for row access in tests and the naive Moa interpreter.
+/// Columns never store Values; they store unboxed arrays.
+class Value {
+ public:
+  /// Constructs an int value (the default is int 0).
+  Value() : repr_(static_cast<int64_t>(0)) {}
+
+  static Value MakeOid(Oid v) { return Value(OidBox{v}); }
+  static Value MakeInt(int64_t v) { return Value(v); }
+  static Value MakeDbl(double v) { return Value(v); }
+  static Value MakeStr(std::string v) { return Value(std::move(v)); }
+
+  ValueType type() const {
+    switch (repr_.index()) {
+      case 0:
+        return ValueType::kOid;
+      case 1:
+        return ValueType::kInt;
+      case 2:
+        return ValueType::kDbl;
+      default:
+        return ValueType::kStr;
+    }
+  }
+
+  Oid oid() const {
+    MIRROR_CHECK(type() == ValueType::kOid);
+    return std::get<OidBox>(repr_).v;
+  }
+  int64_t i() const {
+    MIRROR_CHECK(type() == ValueType::kInt);
+    return std::get<int64_t>(repr_);
+  }
+  double d() const {
+    MIRROR_CHECK(type() == ValueType::kDbl);
+    return std::get<double>(repr_);
+  }
+  const std::string& s() const {
+    MIRROR_CHECK(type() == ValueType::kStr);
+    return std::get<std::string>(repr_);
+  }
+
+  /// Numeric view: int and dbl convert; other types abort.
+  double AsDouble() const {
+    if (type() == ValueType::kInt) return static_cast<double>(i());
+    return d();
+  }
+
+  /// Total order within a type; comparing across numeric types compares
+  /// as double. Comparing str with numeric aborts.
+  bool operator==(const Value& o) const;
+  bool operator<(const Value& o) const;
+
+  /// Debug rendering, e.g. `int:42`, `str:"cat"`.
+  std::string ToString() const;
+
+ private:
+  struct OidBox {
+    Oid v;
+    bool operator==(const OidBox& o) const = default;
+  };
+  using Repr = std::variant<OidBox, int64_t, double, std::string>;
+
+  explicit Value(Repr repr) : repr_(std::move(repr)) {}
+
+  Repr repr_;
+};
+
+}  // namespace mirror::monet
+
+#endif  // MIRROR_MONET_VALUE_H_

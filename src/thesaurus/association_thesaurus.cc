@@ -1,0 +1,112 @@
+#include "thesaurus/association_thesaurus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "base/logging.h"
+
+namespace mirror::thesaurus {
+
+void AssociationThesaurus::AddDocument(
+    const std::vector<std::string>& text_terms,
+    const std::vector<std::string>& visual_terms) {
+  MIRROR_CHECK(!finalized_);
+  ++num_docs_;
+  std::set<std::string> text(text_terms.begin(), text_terms.end());
+  std::set<std::string> visual(visual_terms.begin(), visual_terms.end());
+  for (const std::string& t : text) text_df_[t] += 1;
+  for (const std::string& v : visual) visual_df_[v] += 1;
+  for (const std::string& t : text) {
+    for (const std::string& v : visual) {
+      co_df_[{t, v}] += 1;
+    }
+  }
+}
+
+void AssociationThesaurus::Finalize() {
+  MIRROR_CHECK(!finalized_);
+  // EMIM over the 2x2 presence table of (text term t, visual term v),
+  // with 0.5 smoothing per cell. Only positively correlated pairs
+  // (P(t,v) > P(t)P(v)) become associations.
+  const double n = static_cast<double>(num_docs_);
+  for (const auto& [pair, co] : co_df_) {
+    const auto& [t, v] = pair;
+    double nt = static_cast<double>(text_df_[t]);
+    double nv = static_cast<double>(visual_df_[v]);
+    double n11 = static_cast<double>(co);
+    double n10 = nt - n11;
+    double n01 = nv - n11;
+    double n00 = n - nt - nv + n11;
+    double cells[4][3] = {
+        {n11, nt, nv},
+        {n10, nt, n - nv},
+        {n01, n - nt, nv},
+        {n00, n - nt, n - nv},
+    };
+    double emim = 0;
+    for (auto& cell : cells) {
+      double pj = (cell[0] + 0.5) / (n + 1.0);
+      double pm = (cell[1] + 0.5) / (n + 1.0) * (cell[2] + 0.5) / (n + 1.0);
+      emim += pj * std::log(pj / pm);
+    }
+    // Positive correlation gate.
+    if (n11 * n <= nt * nv) continue;
+    associations_[t].push_back({v, emim});
+  }
+  for (auto& [t, list] : associations_) {
+    std::sort(list.begin(), list.end(),
+              [](const Association& a, const Association& b) {
+                if (a.score != b.score) return a.score > b.score;
+                return a.visual_term < b.visual_term;
+              });
+  }
+  finalized_ = true;
+}
+
+std::vector<Association> AssociationThesaurus::Associations(
+    const std::string& text_term, int top_k) const {
+  MIRROR_CHECK(finalized_);
+  auto it = associations_.find(text_term);
+  if (it == associations_.end()) return {};
+  std::vector<Association> out = it->second;
+  if (out.size() > static_cast<size_t>(top_k)) {
+    out.resize(static_cast<size_t>(top_k));
+  }
+  return out;
+}
+
+std::vector<moa::WeightedTerm> AssociationThesaurus::FormulateVisualQuery(
+    const std::vector<std::string>& text_terms, int top_k) const {
+  MIRROR_CHECK(finalized_);
+  std::map<std::string, double> accumulated;
+  for (const std::string& t : text_terms) {
+    auto it = associations_.find(t);
+    if (it == associations_.end()) continue;
+    for (const Association& a : it->second) {
+      accumulated[a.visual_term] += a.score;
+    }
+  }
+  std::vector<std::pair<std::string, double>> ranked(accumulated.begin(),
+                                                     accumulated.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (ranked.size() > static_cast<size_t>(top_k)) {
+    ranked.resize(static_cast<size_t>(top_k));
+  }
+  // Normalize weights to mean 1 so the inference network's weighted sums
+  // stay on the same scale as unweighted queries.
+  double sum = 0;
+  for (const auto& [v, s] : ranked) sum += s;
+  std::vector<moa::WeightedTerm> out;
+  out.reserve(ranked.size());
+  for (const auto& [v, s] : ranked) {
+    double w = sum > 0 ? s * static_cast<double>(ranked.size()) / sum : 1.0;
+    out.push_back({v, w});
+  }
+  return out;
+}
+
+}  // namespace mirror::thesaurus

@@ -1,0 +1,69 @@
+#ifndef MIRROR_THESAURUS_ASSOCIATION_THESAURUS_H_
+#define MIRROR_THESAURUS_ASSOCIATION_THESAURUS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "moa/query_context.h"
+
+namespace mirror::thesaurus {
+
+/// One association between an annotation word and a visual cluster term.
+struct Association {
+  std::string visual_term;
+  double score;
+};
+
+/// The automatically constructed association thesaurus of §5.2: it links
+/// words from textual annotations to clusters in the image content
+/// representation, scored by the expected mutual information measure
+/// (EMIM) of PhraseFinder [JC94]. The paper reads this as an
+/// implementation of Paivio's dual coding theory: a verbal code and an
+/// imaginal code connected by referential links.
+class AssociationThesaurus {
+ public:
+  AssociationThesaurus() = default;
+
+  /// Records one document's dual representation: its (processed) text
+  /// terms and its visual terms. Unannotated documents (empty text) still
+  /// count toward the totals.
+  void AddDocument(const std::vector<std::string>& text_terms,
+                   const std::vector<std::string>& visual_terms);
+
+  /// Computes the EMIM association scores. Call once after the last
+  /// AddDocument.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+
+  /// Number of documents observed.
+  int64_t num_docs() const { return num_docs_; }
+
+  /// Visual terms positively associated with `text_term`, best first,
+  /// at most `top_k`.
+  std::vector<Association> Associations(const std::string& text_term,
+                                        int top_k) const;
+
+  /// Query formulation (§5.2): maps a textual query to a weighted visual
+  /// query — "an association thesaurus can be seen as measuring the
+  /// belief in a concept (instead of in a document) given the query".
+  /// Association scores accumulate over the query terms; the best `top_k`
+  /// clusters are returned with normalized weights.
+  std::vector<moa::WeightedTerm> FormulateVisualQuery(
+      const std::vector<std::string>& text_terms, int top_k) const;
+
+ private:
+  int64_t num_docs_ = 0;
+  std::map<std::string, int64_t> text_df_;
+  std::map<std::string, int64_t> visual_df_;
+  // (text term, visual term) -> co-occurring document count.
+  std::map<std::pair<std::string, std::string>, int64_t> co_df_;
+  // text term -> positive associations, best first.
+  std::map<std::string, std::vector<Association>> associations_;
+  bool finalized_ = false;
+};
+
+}  // namespace mirror::thesaurus
+
+#endif  // MIRROR_THESAURUS_ASSOCIATION_THESAURUS_H_

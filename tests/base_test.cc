@@ -1,0 +1,172 @@
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/stopwatch.h"
+#include "base/str_util.h"
+#include "base/table_printer.h"
+
+namespace mirror::base {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: missing thing");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ConstructionFromOkStatusBecomesInternalError) {
+  Result<int> r = Status::Ok();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Status FailsThenPropagates() {
+  MIRROR_RETURN_IF_ERROR(Status::IoError("disk on fire"));
+  return Status::Ok();
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(FailsThenPropagates().code(), StatusCode::kIoError);
+}
+
+Result<int> Doubled(Result<int> in) {
+  MIRROR_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(StatusMacrosTest, AssignOrReturnWorks) {
+  EXPECT_EQ(Doubled(21).value(), 42);
+  EXPECT_FALSE(Doubled(Status::NotFound("x")).ok());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.UniformDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(3, 6));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(*seen.begin(), 3);
+  EXPECT_EQ(*seen.rbegin(), 6);
+}
+
+TEST(RngTest, GaussianHasReasonableMoments) {
+  Rng rng(11);
+  double sum = 0;
+  double sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Gaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(RngTest, ZipfRankZeroMostFrequent) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    counts[static_cast<size_t>(rng.Zipf(10, 1.2))] += 1;
+  }
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(StrUtilTest, SplitAndJoin) {
+  EXPECT_EQ(SplitNonEmpty("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Join({"x", "y"}, "-"), "x-y");
+}
+
+TEST(StrUtilTest, CaseAndAffixes) {
+  EXPECT_EQ(ToLower("MiXeD42"), "mixed42");
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_EQ(StripWhitespace("  hi \n"), "hi");
+}
+
+TEST(StrUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+}
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter t({"name", "n"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "100"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| name  | n   |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1   |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 100 |"), std::string::npos);
+}
+
+TEST(StopwatchTest, MeasuresNonNegativeTime) {
+  Stopwatch sw;
+  EXPECT_GE(sw.ElapsedSeconds(), 0.0);
+  EXPECT_GE(sw.ElapsedMillis(), 0.0);
+}
+
+}  // namespace
+}  // namespace mirror::base

@@ -1,0 +1,327 @@
+// IR engine tests: text pipeline, Porter stemmer vectors, content index
+// statistics, inference network semantics and relevance feedback.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ir/content_index.h"
+#include "ir/feedback.h"
+#include "ir/inference_network.h"
+#include "ir/porter_stemmer.h"
+#include "ir/synthetic_text.h"
+#include "ir/text_pipeline.h"
+
+namespace mirror::ir {
+namespace {
+
+TEST(TokenizerTest, SplitsOnNonAlnumAndLowercases) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Tokenize("Hello, World! x2"),
+            (std::vector<std::string>{"hello", "world", "x2"}));
+}
+
+TEST(TokenizerTest, UnderscoreModeKeepsVisualTerms) {
+  Tokenizer plain(false);
+  EXPECT_EQ(plain.Tokenize("gabor_21").size(), 2u);
+  Tokenizer visual(true);
+  EXPECT_EQ(visual.Tokenize("gabor_21"),
+            (std::vector<std::string>{"gabor_21"}));
+}
+
+TEST(StopListTest, CommonWordsStopped) {
+  StopList stops;
+  EXPECT_TRUE(stops.IsStopword("the"));
+  EXPECT_TRUE(stops.IsStopword("and"));
+  EXPECT_FALSE(stops.IsStopword("sunset"));
+}
+
+TEST(PorterStemmerTest, ClassicVectors) {
+  // Reference pairs from Porter's paper and the canonical test set.
+  EXPECT_EQ(PorterStem("caresses"), "caress");
+  EXPECT_EQ(PorterStem("ponies"), "poni");
+  EXPECT_EQ(PorterStem("ties"), "ti");
+  EXPECT_EQ(PorterStem("caress"), "caress");
+  EXPECT_EQ(PorterStem("cats"), "cat");
+  EXPECT_EQ(PorterStem("feed"), "feed");
+  EXPECT_EQ(PorterStem("agreed"), "agre");
+  EXPECT_EQ(PorterStem("plastered"), "plaster");
+  EXPECT_EQ(PorterStem("bled"), "bled");
+  EXPECT_EQ(PorterStem("motoring"), "motor");
+  EXPECT_EQ(PorterStem("sing"), "sing");
+  EXPECT_EQ(PorterStem("conflated"), "conflat");
+  EXPECT_EQ(PorterStem("troubled"), "troubl");
+  EXPECT_EQ(PorterStem("sized"), "size");
+  EXPECT_EQ(PorterStem("hopping"), "hop");
+  EXPECT_EQ(PorterStem("tanned"), "tan");
+  EXPECT_EQ(PorterStem("falling"), "fall");
+  EXPECT_EQ(PorterStem("hissing"), "hiss");
+  EXPECT_EQ(PorterStem("fizzed"), "fizz");
+  EXPECT_EQ(PorterStem("failing"), "fail");
+  EXPECT_EQ(PorterStem("filing"), "file");
+  EXPECT_EQ(PorterStem("happy"), "happi");
+  EXPECT_EQ(PorterStem("sky"), "sky");
+  EXPECT_EQ(PorterStem("relational"), "relat");
+  EXPECT_EQ(PorterStem("conditional"), "condit");
+  EXPECT_EQ(PorterStem("rational"), "ration");
+  EXPECT_EQ(PorterStem("valenci"), "valenc");
+  EXPECT_EQ(PorterStem("digitizer"), "digit");
+  EXPECT_EQ(PorterStem("operator"), "oper");
+  EXPECT_EQ(PorterStem("feudalism"), "feudal");
+  EXPECT_EQ(PorterStem("decisiveness"), "decis");
+  EXPECT_EQ(PorterStem("hopefulness"), "hope");
+  EXPECT_EQ(PorterStem("formaliti"), "formal");
+  EXPECT_EQ(PorterStem("triplicate"), "triplic");
+  EXPECT_EQ(PorterStem("formative"), "form");
+  EXPECT_EQ(PorterStem("formalize"), "formal");
+  EXPECT_EQ(PorterStem("electrical"), "electr");
+  EXPECT_EQ(PorterStem("hopeful"), "hope");
+  EXPECT_EQ(PorterStem("goodness"), "good");
+  EXPECT_EQ(PorterStem("revival"), "reviv");
+  EXPECT_EQ(PorterStem("allowance"), "allow");
+  EXPECT_EQ(PorterStem("inference"), "infer");
+  EXPECT_EQ(PorterStem("airliner"), "airlin");
+  EXPECT_EQ(PorterStem("adjustable"), "adjust");
+  EXPECT_EQ(PorterStem("defensible"), "defens");
+  EXPECT_EQ(PorterStem("irritant"), "irrit");
+  EXPECT_EQ(PorterStem("replacement"), "replac");
+  EXPECT_EQ(PorterStem("adjustment"), "adjust");
+  EXPECT_EQ(PorterStem("dependent"), "depend");
+  EXPECT_EQ(PorterStem("adoption"), "adopt");
+  EXPECT_EQ(PorterStem("communism"), "commun");
+  EXPECT_EQ(PorterStem("activate"), "activ");
+  EXPECT_EQ(PorterStem("angulariti"), "angular");
+  EXPECT_EQ(PorterStem("homologous"), "homolog");
+  EXPECT_EQ(PorterStem("effective"), "effect");
+  EXPECT_EQ(PorterStem("bowdlerize"), "bowdler");
+  EXPECT_EQ(PorterStem("probate"), "probat");
+  EXPECT_EQ(PorterStem("rate"), "rate");
+  EXPECT_EQ(PorterStem("cease"), "ceas");
+  EXPECT_EQ(PorterStem("controll"), "control");
+  EXPECT_EQ(PorterStem("roll"), "roll");
+}
+
+TEST(PorterStemmerTest, ShortWordsUntouched) {
+  EXPECT_EQ(PorterStem("a"), "a");
+  EXPECT_EQ(PorterStem("is"), "is");
+}
+
+TEST(TextPipelineTest, FullChain) {
+  TextPipeline pipeline;
+  auto terms = pipeline.Process("The connected RIVERS are flowing");
+  EXPECT_EQ(terms, (std::vector<std::string>{"connect", "river", "flow"}));
+}
+
+ContentIndex SmallIndex() {
+  ContentIndex index;
+  index.AddDocument(0, {"cat", "dog", "cat"});
+  index.AddDocument(1, {"dog", "bird"});
+  index.AddDocument(2, {"fish"});
+  index.Finalize();
+  return index;
+}
+
+TEST(ContentIndexTest, StatsAndFrequencies) {
+  ContentIndex index = SmallIndex();
+  EXPECT_EQ(index.stats().num_docs, 3);
+  EXPECT_EQ(index.stats().vocab_size, 4);
+  EXPECT_EQ(index.stats().num_postings, 5);
+  EXPECT_EQ(index.stats().total_terms, 6);
+  EXPECT_DOUBLE_EQ(index.stats().avg_doclen, 2.0);
+
+  int64_t cat = index.vocab().Lookup("cat");
+  int64_t dog = index.vocab().Lookup("dog");
+  EXPECT_EQ(index.TermFrequency(0, cat), 2);
+  EXPECT_EQ(index.TermFrequency(1, cat), 0);
+  EXPECT_EQ(index.DocFreq(dog), 2);
+  EXPECT_EQ(index.DocLen(0), 3);
+  EXPECT_EQ(index.DocLen(2), 1);
+}
+
+TEST(ContentIndexTest, InvertedAndScanAgree) {
+  ContentIndex index = SmallIndex();
+  int64_t dog = index.vocab().Lookup("dog");
+  std::vector<const Posting*> inverted;
+  std::vector<const Posting*> scanned;
+  index.PostingsForTerm(dog, EvalStrategy::kInverted, &inverted);
+  index.PostingsForTerm(dog, EvalStrategy::kScan, &scanned);
+  ASSERT_EQ(inverted.size(), 2u);
+  ASSERT_EQ(scanned.size(), 2u);
+  for (size_t i = 0; i < inverted.size(); ++i) {
+    EXPECT_EQ(inverted[i]->doc, scanned[i]->doc);
+    EXPECT_EQ(inverted[i]->tf, scanned[i]->tf);
+  }
+}
+
+TEST(ContentIndexTest, BatExportShapes) {
+  ContentIndex index = SmallIndex();
+  EXPECT_EQ(index.DocBat().size(), 5u);
+  EXPECT_EQ(index.TermBat().size(), 5u);
+  EXPECT_EQ(index.TfBat().size(), 5u);
+  EXPECT_EQ(index.DfBat().size(), 4u);
+  EXPECT_EQ(index.DocLenBat().size(), 3u);
+  // Postings sorted by term: term column non-decreasing.
+  monet::Bat terms = index.TermBat();
+  for (size_t i = 1; i < terms.size(); ++i) {
+    EXPECT_LE(terms.tail().IntAt(i - 1), terms.tail().IntAt(i));
+  }
+}
+
+TEST(InferenceNetworkTest, BeliefBoundsAndDefault) {
+  ContentIndex index = SmallIndex();
+  InferenceNetwork network(&index);
+  int64_t cat = index.vocab().Lookup("cat");
+  double present = network.Belief(0, cat);
+  double absent = network.Belief(1, cat);
+  EXPECT_GT(present, network.DefaultBelief());
+  EXPECT_LT(present, 1.0);
+  EXPECT_DOUBLE_EQ(absent, network.DefaultBelief());
+}
+
+TEST(InferenceNetworkTest, RankSumPrefersMatchingDocs) {
+  ContentIndex index = SmallIndex();
+  InferenceNetwork network(&index);
+  int64_t cat = index.vocab().Lookup("cat");
+  int64_t dog = index.vocab().Lookup("dog");
+  auto ranking = network.RankSum({cat, dog});
+  ASSERT_GE(ranking.size(), 2u);
+  EXPECT_EQ(ranking[0].doc, 0u);  // has both terms
+}
+
+TEST(InferenceNetworkTest, QueryNetworkOperatorSemantics) {
+  ContentIndex index = SmallIndex();
+  InferenceNetwork network(&index);
+  int64_t cat = index.vocab().Lookup("cat");
+  int64_t dog = index.vocab().Lookup("dog");
+  double alpha = network.DefaultBelief();
+
+  // #and: product of beliefs; for doc 1 (no cat) = alpha * bel(dog|1).
+  auto and_rank = network.Evaluate(
+      QueryNode::And({QueryNode::Term(cat), QueryNode::Term(dog)}));
+  double bel_dog_1 = network.Belief(1, dog);
+  bool found = false;
+  for (const auto& sd : and_rank) {
+    if (sd.doc == 1) {
+      EXPECT_NEAR(sd.score, alpha * bel_dog_1, 1e-12);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // #or >= #and pointwise.
+  auto or_rank = network.Evaluate(
+      QueryNode::Or({QueryNode::Term(cat), QueryNode::Term(dog)}));
+  for (const auto& o : or_rank) {
+    for (const auto& a : and_rank) {
+      if (a.doc == o.doc) EXPECT_GE(o.score + 1e-12, a.score);
+    }
+  }
+
+  // #not inverts: doc with cat scores lower than doc without.
+  auto not_rank = network.Evaluate(QueryNode::Not(QueryNode::Term(cat)));
+  double score_doc0 = -1;
+  for (const auto& sd : not_rank) {
+    if (sd.doc == 0) score_doc0 = sd.score;
+  }
+  EXPECT_GE(score_doc0, 0.0);
+  EXPECT_LT(score_doc0, 1.0 - alpha + 1e-12);
+
+  // #max picks the best child.
+  auto max_rank = network.Evaluate(
+      QueryNode::Max({QueryNode::Term(cat), QueryNode::Term(dog)}));
+  for (const auto& sd : max_rank) {
+    EXPECT_GE(sd.score, alpha - 1e-12);
+  }
+
+  // #wsum weighting shifts ranking toward the heavier term.
+  auto wsum = network.Evaluate(QueryNode::WSum(
+      {QueryNode::Term(cat, 10.0), QueryNode::Term(dog, 0.1)}));
+  ASSERT_FALSE(wsum.empty());
+  EXPECT_EQ(wsum[0].doc, 0u);  // only doc with cat
+}
+
+TEST(InferenceNetworkTest, EvaluateToStringRoundTrip) {
+  QueryNode q = QueryNode::WSum(
+      {QueryNode::Term(0, 1.0), QueryNode::Not(QueryNode::Term(1))});
+  std::string s = q.ToString();
+  EXPECT_NE(s.find("#wsum"), std::string::npos);
+  EXPECT_NE(s.find("#not"), std::string::npos);
+}
+
+TEST(SyntheticTextTest, GeneratesZipfianCollection) {
+  SyntheticTextOptions options;
+  options.num_docs = 200;
+  options.vocab_size = 500;
+  options.seed = 3;
+  ContentIndex index = MakeSyntheticIndex(options);
+  EXPECT_EQ(index.stats().num_docs, 200);
+  EXPECT_GT(index.stats().vocab_size, 50);
+  // Zipf: the most frequent term's df dominates the median term's.
+  int64_t t0 = index.vocab().Lookup("t0");
+  ASSERT_GE(t0, 0);
+  EXPECT_GT(index.DocFreq(t0), 100);
+}
+
+TEST(SyntheticTextTest, QuerySamplingAvoidsExtremes) {
+  SyntheticTextOptions options;
+  options.num_docs = 300;
+  options.seed = 5;
+  ContentIndex index = MakeSyntheticIndex(options);
+  base::Rng rng(7);
+  auto terms = SampleQueryTerms(index, 8, &rng);
+  EXPECT_EQ(terms.size(), 8u);
+  for (int64_t t : terms) {
+    EXPECT_GE(index.DocFreq(t), 2);
+    EXPECT_LE(index.DocFreq(t), index.stats().num_docs / 4);
+  }
+}
+
+TEST(FeedbackTest, ExpansionAddsRelevantTerms) {
+  ContentIndex index;
+  // Relevant docs share "sunset"/"beach"; irrelevant are about cities.
+  index.AddDocument(0, {"sunset", "beach", "sand"});
+  index.AddDocument(1, {"sunset", "beach", "wave"});
+  index.AddDocument(2, {"city", "street", "car"});
+  index.AddDocument(3, {"city", "building", "car"});
+  index.Finalize();
+  InferenceNetwork network(&index);
+  RelevanceFeedback feedback(FeedbackOptions{.expansion_terms = 2});
+
+  int64_t sunset = index.vocab().Lookup("sunset");
+  std::vector<std::pair<int64_t, double>> query = {{sunset, 1.0}};
+  auto expanded = feedback.ExpandQuery(query, {0, 1}, network);
+  ASSERT_GT(expanded.size(), 1u);
+  // Original term reinforced.
+  EXPECT_GT(expanded[0].second, 1.0);
+  // Expansion terms come from the relevant docs, never the city docs.
+  for (size_t i = 1; i < expanded.size(); ++i) {
+    std::string term = index.vocab().TermOf(expanded[i].first);
+    EXPECT_TRUE(term == "beach" || term == "sand" || term == "wave")
+        << term;
+  }
+}
+
+TEST(FeedbackTest, FeedbackImprovesRankingOfRelatedDocs) {
+  SyntheticTextOptions options;
+  options.num_docs = 150;
+  options.seed = 11;
+  ContentIndex index = MakeSyntheticIndex(options);
+  InferenceNetwork network(&index);
+  base::Rng rng(13);
+  auto qterms = SampleQueryTerms(index, 2, &rng);
+  std::vector<std::pair<int64_t, double>> query;
+  for (int64_t t : qterms) query.emplace_back(t, 1.0);
+  auto before = network.RankWSum(query);
+  ASSERT_GT(before.size(), 3u);
+  std::vector<monet::Oid> relevant = {before[0].doc, before[1].doc};
+  RelevanceFeedback feedback;
+  auto expanded = feedback.ExpandQuery(query, relevant, network);
+  EXPECT_GT(expanded.size(), query.size());
+  auto after = network.RankWSum(expanded);
+  // The judged docs must stay at the top after reinforcement.
+  ASSERT_GE(after.size(), 2u);
+  EXPECT_TRUE(after[0].doc == relevant[0] || after[0].doc == relevant[1]);
+}
+
+}  // namespace
+}  // namespace mirror::ir

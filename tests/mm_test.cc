@@ -1,0 +1,309 @@
+// Multimedia substrate tests: images, segmentation, the six feature
+// extractors, and clustering (k-means + AutoClass EM/BIC).
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "mm/clustering.h"
+#include "mm/features.h"
+#include "mm/image.h"
+#include "mm/segmentation.h"
+#include "mm/synthetic_library.h"
+
+namespace mirror::mm {
+namespace {
+
+Segment WholeImageSegment(const Image& img) {
+  Segment s;
+  s.min_x = 0;
+  s.min_y = 0;
+  s.max_x = img.width() - 1;
+  s.max_y = img.height() - 1;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      s.pixel_indices.push_back(y * img.width() + x);
+    }
+  }
+  return s;
+}
+
+Image FlatImage(int n, uint8_t r, uint8_t g, uint8_t b) {
+  Image img(n, n);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) img.SetPixel(x, y, r, g, b);
+  }
+  return img;
+}
+
+Image GratingImage(int n, double angle, double frequency) {
+  Image img(n, n);
+  double ca = std::cos(angle);
+  double sa = std::sin(angle);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      double u = (ca * x + sa * y) / n;
+      auto v = static_cast<uint8_t>(
+          128 + 120 * std::sin(2 * M_PI * frequency * u));
+      img.SetPixel(x, y, v, v, v);
+    }
+  }
+  return img;
+}
+
+TEST(ImageTest, SerializeRoundTrip) {
+  Image img(5, 3);
+  img.SetPixel(2, 1, 10, 20, 30);
+  Image restored = Image::Deserialize(img.Serialize());
+  EXPECT_EQ(restored.width(), 5);
+  EXPECT_EQ(restored.height(), 3);
+  EXPECT_EQ(restored.r(2, 1), 10);
+  EXPECT_EQ(restored.g(2, 1), 20);
+  EXPECT_EQ(restored.b(2, 1), 30);
+}
+
+TEST(ImageTest, GrayUsesLumaWeights) {
+  Image img(1, 1);
+  img.SetPixel(0, 0, 255, 0, 0);
+  EXPECT_NEAR(img.Gray(0, 0), 0.299 * 255, 1e-9);
+}
+
+TEST(SegmenterTest, CoversEveryPixelExactlyOnce) {
+  SyntheticLibrary library(LibraryOptions{.num_images = 1, .seed = 9});
+  Image img = library.Generate()[0].image;
+  Segmenter segmenter;
+  std::vector<Segment> segments = segmenter.Split(img);
+  ASSERT_GE(segments.size(), 1u);
+  std::set<int> covered;
+  size_t total = 0;
+  for (const Segment& s : segments) {
+    total += s.size();
+    covered.insert(s.pixel_indices.begin(), s.pixel_indices.end());
+  }
+  EXPECT_EQ(total, static_cast<size_t>(img.width() * img.height()));
+  EXPECT_EQ(covered.size(), total);  // no pixel in two segments
+}
+
+TEST(SegmenterTest, FlatImageIsOneSegment) {
+  Image img = FlatImage(32, 100, 100, 100);
+  std::vector<Segment> segments = Segmenter().Split(img);
+  EXPECT_EQ(segments.size(), 1u);
+}
+
+TEST(SegmenterTest, TwoColorHalvesSplit) {
+  Image img(32, 32);
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      if (x < 16) {
+        img.SetPixel(x, y, 250, 10, 10);
+      } else {
+        img.SetPixel(x, y, 10, 10, 250);
+      }
+    }
+  }
+  std::vector<Segment> segments = Segmenter().Split(img);
+  EXPECT_EQ(segments.size(), 2u);
+}
+
+TEST(FeatureTest, HistogramsAreNormalizedDistributions) {
+  SyntheticLibrary library(LibraryOptions{.num_images = 1, .seed = 4});
+  Image img = library.Generate()[0].image;
+  Segment seg = WholeImageSegment(img);
+  for (const auto& extractor : MakeStandardExtractors()) {
+    std::vector<double> f = extractor->Extract(img, seg);
+    EXPECT_EQ(static_cast<int>(f.size()), extractor->dims())
+        << extractor->name();
+    for (double v : f) EXPECT_TRUE(std::isfinite(v)) << extractor->name();
+  }
+  RgbHistogram rgb;
+  std::vector<double> h = rgb.Extract(img, seg);
+  double sum = 0;
+  for (double v : h) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  Lbp lbp;
+  std::vector<double> l = lbp.Extract(img, seg);
+  sum = 0;
+  for (double v : l) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(FeatureTest, RgbHistogramSeparatesColors) {
+  Image red = FlatImage(16, 250, 0, 0);
+  Image blue = FlatImage(16, 0, 0, 250);
+  RgbHistogram rgb;
+  auto hr = rgb.Extract(red, WholeImageSegment(red));
+  auto hb = rgb.Extract(blue, WholeImageSegment(blue));
+  double l1 = 0;
+  for (size_t i = 0; i < hr.size(); ++i) l1 += std::abs(hr[i] - hb[i]);
+  EXPECT_NEAR(l1, 2.0, 1e-9);  // disjoint support
+}
+
+TEST(FeatureTest, GaborRespondsToMatchingOrientation) {
+  Image horizontal = GratingImage(48, 0.0, 6.0);
+  GaborBank gabor;
+  Segment seg = WholeImageSegment(horizontal);
+  std::vector<double> f = gabor.Extract(horizontal, seg);
+  // Layout: per (scale, orientation) pair (mean, std); orientations are
+  // {0, 45, 90, 135} degrees. A 0-degree grating (variation along x)
+  // excites the 0-degree filter far more than the 90-degree filter.
+  double mean_0 = f[0];
+  double mean_90 = f[4];
+  EXPECT_GT(mean_0, 2.0 * mean_90);
+}
+
+TEST(FeatureTest, GaborFlatImageIsQuiet) {
+  Image flat = FlatImage(48, 128, 128, 128);
+  GaborBank gabor;
+  std::vector<double> f = gabor.Extract(flat, WholeImageSegment(flat));
+  for (size_t i = 0; i < f.size(); i += 2) {
+    EXPECT_NEAR(f[i], 0.0, 1e-6) << "mean response " << i;
+  }
+}
+
+TEST(FeatureTest, GlcmContrastOrdersTextures) {
+  Image flat = FlatImage(32, 100, 100, 100);
+  Image stripes = GratingImage(32, 0.0, 8.0);
+  Glcm glcm;
+  auto f_flat = glcm.Extract(flat, WholeImageSegment(flat));
+  auto f_stripes = glcm.Extract(stripes, WholeImageSegment(stripes));
+  EXPECT_NEAR(f_flat[0], 0.0, 1e-9);        // contrast of flat = 0
+  EXPECT_GT(f_stripes[0], f_flat[0]);       // stripes have contrast
+  EXPECT_NEAR(f_flat[1], 1.0, 1e-9);        // energy of flat = 1
+  EXPECT_LT(f_stripes[1], 1.0);
+}
+
+TEST(FeatureTest, LawsEnergyQuietOnFlat) {
+  Image flat = FlatImage(32, 77, 77, 77);
+  LawsEnergy laws;
+  auto f = laws.Extract(flat, WholeImageSegment(flat));
+  // All masks except the pure L5L5 smoothing channel are zero-sum.
+  for (size_t i = 1; i < f.size(); ++i) EXPECT_NEAR(f[i], 0.0, 1e-9);
+  EXPECT_GT(f[0], 0.0);
+}
+
+TEST(FeatureTest, LbpUniformOnFlatImage) {
+  Image flat = FlatImage(16, 50, 50, 50);
+  Lbp lbp;
+  auto f = lbp.Extract(flat, WholeImageSegment(flat));
+  // All neighbors >= center: pattern 0xFF, uniform, popcount 8.
+  EXPECT_NEAR(f[8], 1.0, 1e-9);
+}
+
+std::vector<std::vector<double>> PlantedBlobs(int per_cluster, int k, int dim,
+                                              double separation,
+                                              base::Rng* rng,
+                                              std::vector<int>* truth) {
+  std::vector<std::vector<double>> data;
+  for (int c = 0; c < k; ++c) {
+    for (int i = 0; i < per_cluster; ++i) {
+      std::vector<double> x(static_cast<size_t>(dim));
+      for (int d = 0; d < dim; ++d) {
+        x[static_cast<size_t>(d)] =
+            c * separation + rng->Gaussian(0.0, 0.5);
+      }
+      data.push_back(std::move(x));
+      truth->push_back(c);
+    }
+  }
+  return data;
+}
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  base::Rng rng(21);
+  std::vector<int> truth;
+  auto data = PlantedBlobs(40, 3, 4, 8.0, &rng, &truth);
+  ClusteringResult result = KMeans().Run(data, 3);
+  EXPECT_EQ(result.k, 3);
+  EXPECT_GT(RandIndex(result.assignment, truth), 0.97);
+  EXPECT_GT(result.inertia, 0.0);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  base::Rng rng(22);
+  std::vector<int> truth;
+  auto data = PlantedBlobs(30, 2, 3, 6.0, &rng, &truth);
+  auto a = KMeans().Run(data, 2);
+  auto b = KMeans().Run(data, 2);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(AutoClassTest, LogLikelihoodMonotoneNonDecreasing) {
+  base::Rng rng(23);
+  std::vector<int> truth;
+  auto data = PlantedBlobs(50, 3, 2, 6.0, &rng, &truth);
+  std::vector<double> trace;
+  AutoClass().RunFixedK(data, 3, &trace);
+  ASSERT_GE(trace.size(), 2u);
+  for (size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i], trace[i - 1] - 1e-6) << "EM iteration " << i;
+  }
+}
+
+TEST(AutoClassTest, BicSelectsPlantedK) {
+  base::Rng rng(24);
+  std::vector<int> truth;
+  auto data = PlantedBlobs(60, 4, 3, 10.0, &rng, &truth);
+  AutoClass::Options options;
+  options.min_k = 2;
+  options.max_k = 8;
+  std::vector<double> bics;
+  ClusteringResult result = AutoClass(options).Run(data, &bics);
+  EXPECT_EQ(bics.size(), 7u);
+  EXPECT_GE(result.k, 3);
+  EXPECT_LE(result.k, 5);
+  EXPECT_GT(RandIndex(result.assignment, truth), 0.9);
+}
+
+TEST(AutoClassTest, MixtureWeightsSumToOne) {
+  base::Rng rng(25);
+  std::vector<int> truth;
+  auto data = PlantedBlobs(40, 2, 2, 7.0, &rng, &truth);
+  ClusteringResult result = AutoClass().RunFixedK(data, 2);
+  double sum = 0;
+  for (double w : result.weights) sum += w;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(RandIndexTest, BoundsAndIdentity) {
+  std::vector<int> a = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(RandIndex(a, a), 1.0);
+  std::vector<int> b = {0, 1, 0, 1};
+  double r = RandIndex(a, b);
+  EXPECT_GE(r, 0.0);
+  EXPECT_LT(r, 1.0);
+}
+
+TEST(SyntheticLibraryTest, DeterministicWithGroundTruth) {
+  LibraryOptions options;
+  options.num_images = 20;
+  options.num_classes = 4;
+  options.seed = 77;
+  SyntheticLibrary lib(options);
+  auto a = lib.Generate();
+  auto b = lib.Generate();
+  ASSERT_EQ(a.size(), 20u);
+  int annotated = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].true_class, static_cast<int>(i) % 4);
+    EXPECT_EQ(a[i].url, b[i].url);
+    EXPECT_EQ(a[i].annotation, b[i].annotation);
+    EXPECT_EQ(a[i].image.pixels(), b[i].image.pixels());
+    if (!a[i].annotation.empty()) ++annotated;
+  }
+  EXPECT_GT(annotated, 0);
+  EXPECT_LT(annotated, 20);  // some images are unannotated (paper §5.1)
+}
+
+TEST(SyntheticLibraryTest, ClassWordsAreDistinct) {
+  SyntheticLibrary lib(LibraryOptions{.num_classes = 3});
+  auto w0 = lib.ClassWords(0);
+  auto w1 = lib.ClassWords(1);
+  for (const std::string& w : w0) {
+    EXPECT_EQ(std::count(w1.begin(), w1.end(), w), 0) << w;
+  }
+}
+
+}  // namespace
+}  // namespace mirror::mm

@@ -1,0 +1,191 @@
+// Database persistence: a loaded database (schemas, atomic columns,
+// nested sets, vectors, CONTREP indexes) round-trips through disk, and
+// both engines produce identical answers on the restored instance.
+
+#include <filesystem>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "moa/database.h"
+#include "moa/flatten.h"
+#include "moa/naive_eval.h"
+#include "monet/mil.h"
+
+namespace mirror::moa {
+namespace {
+
+using monet::Oid;
+
+std::string TempDir(const char* tag) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     (std::string("mirror_db_") + tag + "_" +
+                      std::to_string(::getpid())))
+                        .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void BuildRichDatabase(Database* db, int n, uint64_t seed) {
+  ASSERT_TRUE(db->Define(
+                    "define Lib as SET< TUPLE< Atomic<URL>: source, "
+                    "Atomic<int>: year, CONTREP<Text>: annotation, "
+                    "SET< TUPLE< Atomic<str>: label, Atomic<Vector>: feat > "
+                    ">: segments >>;")
+                  .ok());
+  base::Rng rng(seed);
+  static const char* const kWords[] = {"sun", "sea", "rock", "tree", "bird"};
+  std::vector<MoaValue> objects;
+  for (int i = 0; i < n; ++i) {
+    std::vector<std::string> terms;
+    for (int t = 0; t < 5; ++t) {
+      terms.push_back(kWords[rng.Uniform(std::size(kWords))]);
+    }
+    std::vector<MoaValue> segments;
+    int num_segments = 1 + static_cast<int>(rng.Uniform(3));
+    for (int s = 0; s < num_segments; ++s) {
+      segments.push_back(MoaValue::Tuple(
+          {MoaValue::Str("seg" + std::to_string(s)),
+           MoaValue::Vector({rng.UniformDouble(), rng.UniformDouble()})}));
+    }
+    objects.push_back(MoaValue::Tuple(
+        {MoaValue::Str("u" + std::to_string(i)),
+         MoaValue::Int(1990 + static_cast<int64_t>(rng.Uniform(10))),
+         MoaValue::ContRep(terms), MoaValue::SetOf(std::move(segments))}));
+  }
+  ASSERT_TRUE(db->Load("Lib", std::move(objects)).ok());
+}
+
+std::map<Oid, double> RunQuery(const Database& db, const QueryContext& ctx,
+                               const std::string& text, bool flattened) {
+  auto expr = ParseExpr(text);
+  EXPECT_TRUE(expr.ok()) << expr.status().ToString();
+  monet::BatPtr bat;
+  if (flattened) {
+    Flattener flattener(&db, &ctx);
+    auto program = flattener.Compile(expr.value());
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    auto run = monet::mil::Executor(&db.catalog()).Run(program.value());
+    EXPECT_TRUE(run.ok()) << run.status().ToString();
+    bat = run.value().bat;
+  } else {
+    NaiveEvaluator naive(&db, &ctx);
+    auto run = naive.Evaluate(expr.value());
+    EXPECT_TRUE(run.ok()) << run.status().ToString();
+    bat = run.value().bat;
+  }
+  std::map<Oid, double> out;
+  for (size_t i = 0; i < bat->size(); ++i) {
+    out[bat->head().OidAt(i)] = bat->tail().NumAt(i);
+  }
+  return out;
+}
+
+TEST(PersistenceTest, SchemasAndCardinalitySurvive) {
+  std::string dir = TempDir("schemas");
+  Database original;
+  BuildRichDatabase(&original, 20, 3);
+  ASSERT_TRUE(original.SaveTo(dir).ok());
+
+  Database restored;
+  auto status = restored.LoadFrom(dir);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(restored.SetNames(), original.SetNames());
+  auto set = restored.GetSet("Lib");
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set.value()->cardinality, 20u);
+  EXPECT_TRUE(set.value()->type->Equals(
+      *original.GetSet("Lib").value()->type));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PersistenceTest, ContRepIndexRoundTripsExactly) {
+  std::string dir = TempDir("contrep");
+  Database original;
+  BuildRichDatabase(&original, 50, 7);
+  ASSERT_TRUE(original.SaveTo(dir).ok());
+  Database restored;
+  ASSERT_TRUE(restored.LoadFrom(dir).ok());
+
+  const ContRepField* before =
+      original.GetSet("Lib").value()->FindContRep("annotation");
+  const ContRepField* after =
+      restored.GetSet("Lib").value()->FindContRep("annotation");
+  ASSERT_NE(before, nullptr);
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->index.stats().num_docs, before->index.stats().num_docs);
+  EXPECT_EQ(after->index.stats().num_postings,
+            before->index.stats().num_postings);
+  EXPECT_EQ(after->index.stats().total_terms,
+            before->index.stats().total_terms);
+  EXPECT_EQ(after->index.vocab().size(), before->index.vocab().size());
+  // Term ids survive: same spelling at every id.
+  for (int64_t t = 0; t < before->index.vocab().size(); ++t) {
+    EXPECT_EQ(after->index.vocab().TermOf(t), before->index.vocab().TermOf(t));
+    EXPECT_EQ(after->index.DocFreq(t), before->index.DocFreq(t));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PersistenceTest, QueriesAgreeOnRestoredDatabaseBothEngines) {
+  std::string dir = TempDir("queries");
+  Database original;
+  BuildRichDatabase(&original, 60, 11);
+  QueryContext ctx;
+  ctx.BindTerms("query", {"sun", "rock"});
+  const std::string ranking =
+      "map[sum(THIS)](map[getBL(THIS.annotation, query, stats)]("
+      "select[THIS.year >= 1994](Lib)));";
+  auto expected = RunQuery(original, ctx, ranking, /*flattened=*/true);
+
+  ASSERT_TRUE(original.SaveTo(dir).ok());
+  Database restored;
+  ASSERT_TRUE(restored.LoadFrom(dir).ok());
+
+  auto flattened = RunQuery(restored, ctx, ranking, /*flattened=*/true);
+  auto naive = RunQuery(restored, ctx, ranking, /*flattened=*/false);
+  ASSERT_EQ(flattened.size(), expected.size());
+  for (const auto& [oid, score] : expected) {
+    EXPECT_NEAR(flattened.at(oid), score, 1e-12);
+    EXPECT_NEAR(naive.at(oid), score, 1e-9);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PersistenceTest, NestedObjectsReconstructed) {
+  std::string dir = TempDir("nested");
+  Database original;
+  BuildRichDatabase(&original, 10, 13);
+  const std::vector<MoaValue>& before =
+      original.GetSet("Lib").value()->objects;
+  ASSERT_TRUE(original.SaveTo(dir).ok());
+  Database restored;
+  ASSERT_TRUE(restored.LoadFrom(dir).ok());
+  const std::vector<MoaValue>& after =
+      restored.GetSet("Lib").value()->objects;
+  ASSERT_EQ(after.size(), before.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    // Atomic fields identical.
+    EXPECT_TRUE(after[i].field(0).atomic() == before[i].field(0).atomic());
+    EXPECT_TRUE(after[i].field(1).atomic() == before[i].field(1).atomic());
+    // Nested segments: same count, same labels and vectors.
+    const auto& seg_before = before[i].field(3).elements();
+    const auto& seg_after = after[i].field(3).elements();
+    ASSERT_EQ(seg_after.size(), seg_before.size());
+    for (size_t s = 0; s < seg_before.size(); ++s) {
+      EXPECT_TRUE(seg_after[s].field(0).atomic() ==
+                  seg_before[s].field(0).atomic());
+      EXPECT_EQ(seg_after[s].field(1).vec(), seg_before[s].field(1).vec());
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PersistenceTest, LoadFromMissingDirectoryFails) {
+  Database db;
+  EXPECT_FALSE(db.LoadFrom("/nonexistent/mirror/db").ok());
+}
+
+}  // namespace
+}  // namespace mirror::moa

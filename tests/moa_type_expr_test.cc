@@ -1,0 +1,189 @@
+// Moa structural type system: the paper's schemas verbatim, structure
+// extensibility, and the query expression parser.
+
+#include <gtest/gtest.h>
+
+#include "moa/expr.h"
+#include "moa/structure_registry.h"
+#include "moa/structure_type.h"
+
+namespace mirror::moa {
+namespace {
+
+TEST(SchemaParserTest, PaperSection3SchemaVerbatim) {
+  // The paper's TraditionalImgLib definition, exactly as printed.
+  auto def = ParseSchemaDef(
+      "define TraditionalimgLib as \n"
+      "SET< \n"
+      " TUPLE< \n"
+      "  Atomic<URL>: source, \n"
+      "  CONTREP<Text>: annotation \n"
+      ">>;");
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+  EXPECT_EQ(def.value().name, "TraditionalimgLib");
+  const StructType& type = *def.value().type;
+  ASSERT_EQ(type.kind(), StructType::Kind::kSet);
+  const StructType& tuple = *type.element();
+  ASSERT_EQ(tuple.kind(), StructType::Kind::kTuple);
+  ASSERT_EQ(tuple.fields().size(), 2u);
+  EXPECT_EQ(tuple.fields()[0].name, "source");
+  EXPECT_EQ(tuple.fields()[0].type->kind(), StructType::Kind::kAtomic);
+  EXPECT_EQ(tuple.fields()[0].type->base(), BaseType::kUrl);
+  EXPECT_EQ(tuple.fields()[1].name, "annotation");
+  EXPECT_EQ(tuple.fields()[1].type->kind(), StructType::Kind::kContRep);
+  EXPECT_EQ(tuple.fields()[1].type->base(), BaseType::kText);
+}
+
+TEST(SchemaParserTest, PaperSection5IntermediateSchema) {
+  // The internal intermediate schema with a nested segment set.
+  auto type = ParseStructType(
+      "SET< TUPLE< Atomic<URL>: source, CONTREP<Text>: annotation, "
+      "SET< TUPLE< Atomic<Image>: segment, Atomic<Vector>: RGB, "
+      "Atomic<Vector>: Gabor > >: image_segments >>");
+  ASSERT_TRUE(type.ok()) << type.status().ToString();
+  const StructType& tuple = *type.value()->element();
+  ASSERT_EQ(tuple.fields().size(), 3u);
+  const StructType& segments = *tuple.fields()[2].type;
+  EXPECT_EQ(segments.kind(), StructType::Kind::kSet);
+  EXPECT_EQ(segments.element()->fields()[1].type->base(), BaseType::kVector);
+}
+
+TEST(SchemaParserTest, ToStringRoundTrips) {
+  auto type = ParseStructType(
+      "SET<TUPLE<Atomic<int>: a, LIST<TUPLE<Atomic<str>: b>>: items>>");
+  ASSERT_TRUE(type.ok());
+  auto reparsed = ParseStructType(type.value()->ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(type.value()->Equals(*reparsed.value()));
+}
+
+TEST(SchemaParserTest, Errors) {
+  EXPECT_FALSE(ParseSchemaDef("define X as BANANA<int>;").ok());
+  EXPECT_FALSE(ParseSchemaDef("define as SET<TUPLE<Atomic<int>: x>>;").ok());
+  EXPECT_FALSE(ParseSchemaDef("X as SET<TUPLE<Atomic<int>: x>>;").ok());
+  EXPECT_FALSE(ParseStructType("TUPLE<Atomic<int> x>").ok());  // missing ':'
+  EXPECT_FALSE(ParseStructType("SET<Atomic<int>").ok());       // unbalanced
+  EXPECT_FALSE(ParseStructType("Atomic<quaternion>").ok());
+}
+
+TEST(StructureRegistryTest, OpenExtensibility) {
+  // Register a domain-specific structure (paper §2: structural
+  // extensibility) and use it in a schema.
+  StructureInfo info;
+  info.name = "INTERVAL2";
+  info.description = "closed numeric interval as a 2-tuple";
+  info.make_type = [](std::string_view) -> base::Result<StructTypePtr> {
+    return StructType::Tuple(
+        {{"lo", StructType::Atomic(BaseType::kDbl)},
+         {"hi", StructType::Atomic(BaseType::kDbl)}});
+  };
+  auto status = StructureRegistry::Global().RegisterStructure(info);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  auto def =
+      ParseSchemaDef("define Spans as SET<TUPLE<INTERVAL2: span>>;");
+  ASSERT_TRUE(def.ok()) << def.status().ToString();
+  const StructType& span =
+      *def.value().type->element()->fields()[0].type;
+  EXPECT_EQ(span.kind(), StructType::Kind::kTuple);
+  EXPECT_EQ(span.FieldIndex("hi"), 1);
+
+  // Kernel names cannot be shadowed; duplicates are rejected.
+  StructureInfo clash;
+  clash.name = "SET";
+  clash.make_type = info.make_type;
+  EXPECT_FALSE(StructureRegistry::Global().RegisterStructure(clash).ok());
+  EXPECT_FALSE(StructureRegistry::Global().RegisterStructure(info).ok());
+}
+
+TEST(ExprParserTest, PaperSection3QueryVerbatim) {
+  auto expr = ParseExpr(
+      "map[sum(THIS)] (\n"
+      "  map[getBL(THIS.annotation,\n"
+      "      query, stats)] ( TraditionalimgLib ));");
+  ASSERT_TRUE(expr.ok()) << expr.status().ToString();
+  const Expr& outer = *expr.value();
+  ASSERT_EQ(outer.op, Expr::Op::kMap);
+  EXPECT_EQ(outer.children[0]->op, Expr::Op::kAgg);
+  EXPECT_EQ(outer.children[0]->agg, AggKind::kSum);
+  const Expr& inner = *outer.children[1];
+  ASSERT_EQ(inner.op, Expr::Op::kMap);
+  const Expr& getbl = *inner.children[0];
+  ASSERT_EQ(getbl.op, Expr::Op::kGetBL);
+  EXPECT_EQ(getbl.qvar, "query");
+  EXPECT_EQ(getbl.statsvar, "stats");
+  EXPECT_EQ(getbl.children[0]->op, Expr::Op::kField);
+  EXPECT_EQ(getbl.children[0]->name, "annotation");
+  EXPECT_EQ(inner.children[1]->name, "TraditionalimgLib");
+}
+
+TEST(ExprParserTest, PaperSection5QueryVerbatim) {
+  auto expr = ParseExpr(
+      "map [sum (THIS)] (\n"
+      "  map[getBL(THIS.image,\n"
+      "    query, stats)] ( ImageLibraryinternal )) ;");
+  ASSERT_TRUE(expr.ok()) << expr.status().ToString();
+  EXPECT_EQ(expr.value()->children[1]->children[0]->children[0]->name,
+            "image");
+}
+
+TEST(ExprParserTest, PredicatePrecedence) {
+  auto expr =
+      ParseExpr("select[THIS.a < 3 and THIS.b == 'x' or THIS.c >= 2](S)");
+  ASSERT_TRUE(expr.ok()) << expr.status().ToString();
+  // 'and' binds tighter than 'or'.
+  const Expr& pred = *expr.value()->children[0];
+  EXPECT_EQ(pred.op, Expr::Op::kOr);
+  EXPECT_EQ(pred.children[0]->op, Expr::Op::kAnd);
+  EXPECT_EQ(pred.children[1]->op, Expr::Op::kCmp);
+  EXPECT_EQ(pred.children[1]->cmp, CmpKind::kGe);
+}
+
+TEST(ExprParserTest, ArithmeticPrecedence) {
+  auto expr = ParseExpr("map[THIS.x + THIS.y * 2](S)");
+  ASSERT_TRUE(expr.ok());
+  const Expr& body = *expr.value()->children[0];
+  ASSERT_EQ(body.op, Expr::Op::kArith);
+  EXPECT_EQ(body.arith, ArithKind::kAdd);
+  EXPECT_EQ(body.children[1]->op, Expr::Op::kArith);
+  EXPECT_EQ(body.children[1]->arith, ArithKind::kMul);
+}
+
+TEST(ExprParserTest, LiteralsAndTopN) {
+  auto expr = ParseExpr("topN(map[THIS.x * 2.5](S), 10)");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ(expr.value()->op, Expr::Op::kTopN);
+  EXPECT_EQ(expr.value()->n, 10);
+  auto str = ParseExpr("select[THIS.name == 'mirror'](S)");
+  ASSERT_TRUE(str.ok());
+  EXPECT_EQ(str.value()->children[0]->children[1]->literal.s(), "mirror");
+}
+
+TEST(ExprParserTest, ToStringReparses) {
+  const char* queries[] = {
+      "map[sum(THIS)](map[getBL(THIS.annotation, query, stats)](Lib))",
+      "select[THIS.year >= 1995](Lib)",
+      "topN(map[THIS.x + 1](S), 5)",
+      "count(semijoin(A, B))",
+  };
+  for (const char* q : queries) {
+    auto first = ParseExpr(q);
+    ASSERT_TRUE(first.ok()) << q;
+    auto second = ParseExpr(first.value()->ToString());
+    ASSERT_TRUE(second.ok()) << first.value()->ToString();
+    EXPECT_EQ(first.value()->ToString(), second.value()->ToString());
+  }
+}
+
+TEST(ExprParserTest, Errors) {
+  EXPECT_FALSE(ParseExpr("map[sum(THIS)](").ok());
+  EXPECT_FALSE(ParseExpr("map[](S)").ok());
+  EXPECT_FALSE(ParseExpr("getBL(THIS.a)").ok());
+  EXPECT_FALSE(ParseExpr("select[THIS.x >](S)").ok());
+  EXPECT_FALSE(ParseExpr("topN(S)").ok());
+  EXPECT_FALSE(ParseExpr("map[sum(THIS)](S) trailing").ok());
+  EXPECT_FALSE(ParseExpr("'unterminated").ok());
+}
+
+}  // namespace
+}  // namespace mirror::moa

@@ -1,0 +1,180 @@
+// Catalog persistence round-trips and MIL program construction/execution.
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "monet/catalog.h"
+#include "monet/mil.h"
+
+namespace mirror::monet {
+namespace {
+
+std::string TempDir(const char* tag) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() /
+       (std::string("mirror_catalog_") + tag + "_" +
+        std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(CatalogTest, RegisterGetDrop) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Register("a", Bat::DenseInts({1, 2})).ok());
+  EXPECT_FALSE(catalog.Register("a", Bat::DenseInts({3})).ok());
+  auto bat = catalog.Get("a");
+  ASSERT_TRUE(bat.ok());
+  EXPECT_EQ(bat.value()->size(), 2u);
+  EXPECT_FALSE(catalog.Get("missing").ok());
+  EXPECT_TRUE(catalog.Drop("a").ok());
+  EXPECT_FALSE(catalog.Drop("a").ok());
+}
+
+TEST(CatalogTest, PutReplaces) {
+  Catalog catalog;
+  catalog.Put("x", Bat::DenseInts({1}));
+  catalog.Put("x", Bat::DenseInts({1, 2, 3}));
+  EXPECT_EQ(catalog.Get("x").value()->size(), 3u);
+  EXPECT_EQ(catalog.Names(), std::vector<std::string>{"x"});
+}
+
+TEST(CatalogTest, PersistenceRoundTripAllTypes) {
+  std::string dir = TempDir("roundtrip");
+  {
+    Catalog catalog;
+    catalog.Put("ints", Bat::DenseInts({-1, 0, 42}));
+    catalog.Put("dbls", Bat::DenseDbls({0.5, -2.25}));
+    catalog.Put("strs", Bat::DenseStrs({"alpha", "beta", "alpha"}));
+    catalog.Put("oids",
+                Bat(Column::MakeOids({7, 8}), Column::MakeOids({1, 2})));
+    ASSERT_TRUE(catalog.SaveTo(dir).ok());
+  }
+  Catalog restored;
+  ASSERT_TRUE(restored.LoadFrom(dir).ok());
+  EXPECT_EQ(restored.size(), 4u);
+  auto ints = restored.Get("ints").value();
+  EXPECT_EQ(ints->tail().IntAt(2), 42);
+  EXPECT_TRUE(ints->head().is_void());
+  auto strs = restored.Get("strs").value();
+  EXPECT_EQ(strs->tail().StrAt(0), "alpha");
+  EXPECT_EQ(strs->tail().StrAt(2), "alpha");
+  EXPECT_EQ(strs->tail().StrOffsetAt(0), strs->tail().StrOffsetAt(2));
+  auto dbls = restored.Get("dbls").value();
+  EXPECT_DOUBLE_EQ(dbls->tail().DblAt(1), -2.25);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CatalogTest, LoadFromMissingDirFails) {
+  Catalog catalog;
+  EXPECT_FALSE(catalog.LoadFrom("/nonexistent/mirror/dir").ok());
+}
+
+TEST(MilTest, ProgramExecutesAgainstCatalog) {
+  Catalog catalog;
+  catalog.Put("nums", Bat::DenseInts({5, 1, 7, 3}));
+  mil::Program prog;
+  mil::Instr load;
+  load.op = mil::OpCode::kLoadNamed;
+  load.name = "nums";
+  load.dst = prog.NewReg();
+  prog.Emit(load);
+  mil::Instr select;
+  select.op = mil::OpCode::kSelectCmp;
+  select.cmp_op = CmpOp::kGt;
+  select.imm0 = Value::MakeInt(2);
+  select.src0 = load.dst;
+  select.dst = prog.NewReg();
+  prog.Emit(select);
+  mil::Instr sum;
+  sum.op = mil::OpCode::kScalarSum;
+  sum.src0 = select.dst;
+  sum.dst = prog.NewReg();
+  prog.Emit(sum);
+  prog.set_result_reg(sum.dst);
+
+  mil::Executor executor(&catalog);
+  auto result = executor.Run(prog);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().is_scalar);
+  EXPECT_DOUBLE_EQ(result.value().scalar, 15.0);  // 5 + 7 + 3
+}
+
+TEST(MilTest, MissingBatReportsNotFound) {
+  Catalog catalog;
+  mil::Program prog;
+  mil::Instr load;
+  load.op = mil::OpCode::kLoadNamed;
+  load.name = "ghost";
+  load.dst = prog.NewReg();
+  prog.Emit(load);
+  prog.set_result_reg(load.dst);
+  auto result = mil::Executor(&catalog).Run(prog);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), base::StatusCode::kNotFound);
+}
+
+TEST(MilTest, DeadCodeEliminationDropsUnusedOps) {
+  Catalog catalog;
+  catalog.Put("a", Bat::DenseInts({1}));
+  mil::Program prog;
+  mil::Instr load;
+  load.op = mil::OpCode::kLoadNamed;
+  load.name = "a";
+  load.dst = prog.NewReg();
+  prog.Emit(load);
+  // Dead: reversed but never used.
+  mil::Instr dead;
+  dead.op = mil::OpCode::kReverse;
+  dead.src0 = load.dst;
+  dead.dst = prog.NewReg();
+  prog.Emit(dead);
+  mil::Instr live;
+  live.op = mil::OpCode::kMirror;
+  live.src0 = load.dst;
+  live.dst = prog.NewReg();
+  prog.Emit(live);
+  prog.set_result_reg(live.dst);
+
+  EXPECT_EQ(prog.instrs().size(), 3u);
+  size_t removed = prog.EliminateDeadCode();
+  EXPECT_EQ(removed, 1u);
+  EXPECT_EQ(prog.instrs().size(), 2u);
+  auto result = mil::Executor(&catalog).Run(prog);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().bat->size(), 1u);
+}
+
+TEST(MilTest, DisassemblyMentionsOpcodesAndRegisters) {
+  mil::Program prog;
+  mil::Instr load;
+  load.op = mil::OpCode::kLoadNamed;
+  load.name = "postings";
+  load.dst = prog.NewReg();
+  prog.Emit(load);
+  prog.set_result_reg(load.dst);
+  std::string text = prog.ToString();
+  EXPECT_NE(text.find("r0 := load(\"postings\")"), std::string::npos);
+  EXPECT_NE(text.find("return r0"), std::string::npos);
+}
+
+TEST(MilTest, KernelOpCountExcludesLoadsAndConstants) {
+  mil::Program prog;
+  mil::Instr load;
+  load.op = mil::OpCode::kLoadNamed;
+  load.name = "x";
+  load.dst = prog.NewReg();
+  prog.Emit(load);
+  mil::Instr mirror;
+  mirror.op = mil::OpCode::kMirror;
+  mirror.src0 = load.dst;
+  mirror.dst = prog.NewReg();
+  prog.Emit(mirror);
+  prog.set_result_reg(mirror.dst);
+  EXPECT_EQ(prog.KernelOpCount(), 1u);
+}
+
+}  // namespace
+}  // namespace mirror::monet

@@ -1,0 +1,462 @@
+// Unit and property tests for the column-at-a-time operator set. The
+// property tests (TEST_P sweeps over sizes and seeds) check algebraic
+// identities against brute-force reference implementations.
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "monet/bat_ops.h"
+#include "monet/prob_ops.h"
+#include "monet/profiler.h"
+
+namespace mirror::monet {
+namespace {
+
+Bat RandomIntBat(size_t n, int64_t domain, base::Rng* rng, Oid base = 0) {
+  std::vector<int64_t> tails(n);
+  for (auto& t : tails) t = rng->UniformInt(0, domain - 1);
+  return Bat::DenseInts(std::move(tails), base);
+}
+
+TEST(StructuralOpsTest, ReverseSwapsColumns) {
+  Bat b = Bat::DenseInts({7, 8});
+  Bat r = Reverse(b);
+  EXPECT_EQ(r.head().type(), ValueType::kInt);
+  EXPECT_EQ(r.tail().type(), ValueType::kOid);
+  EXPECT_EQ(r.head().IntAt(0), 7);
+  EXPECT_EQ(r.tail().OidAt(1), 1u);
+}
+
+TEST(StructuralOpsTest, MirrorPairsHeadWithItself) {
+  Bat m = Mirror(Bat::DenseInts({5, 6}, /*base=*/3));
+  EXPECT_EQ(m.head().OidAt(0), 3u);
+  EXPECT_EQ(m.tail().OidAt(0), 3u);
+}
+
+TEST(StructuralOpsTest, MarkNumbersDensely) {
+  Bat m = Mark(Bat::DenseInts({5, 6, 7}), /*base=*/100);
+  EXPECT_TRUE(m.tail().is_void());
+  EXPECT_EQ(m.tail().OidAt(2), 102u);
+}
+
+TEST(StructuralOpsTest, SliceClampsBounds) {
+  Bat b = Bat::DenseInts({1, 2, 3, 4});
+  EXPECT_EQ(Slice(b, 1, 2).size(), 2u);
+  EXPECT_EQ(Slice(b, 3, 10).size(), 1u);
+  EXPECT_EQ(Slice(b, 9, 1).size(), 0u);
+}
+
+TEST(StructuralOpsTest, ConcatKeepsDenseVoidHeads) {
+  Bat a = Bat::DenseInts({1, 2}, 0);
+  Bat b = Bat::DenseInts({3}, 2);
+  Bat c = Concat(a, b);
+  EXPECT_TRUE(c.head().is_void());
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.tail().IntAt(2), 3);
+}
+
+TEST(StructuralOpsTest, ConcatMaterializesNonContiguousHeads) {
+  Bat a = Bat::DenseInts({1}, 0);
+  Bat b = Bat::DenseInts({2}, 5);
+  Bat c = Concat(a, b);
+  EXPECT_EQ(c.head().type(), ValueType::kOid);
+  EXPECT_EQ(c.head().OidAt(1), 5u);
+}
+
+TEST(StructuralOpsTest, ConcatWidensMixedNumerics) {
+  Bat a = Bat::DenseInts({1});
+  Bat b = Bat::DenseDbls({2.5}, 1);
+  Bat c = Concat(a, b);
+  EXPECT_EQ(c.tail().type(), ValueType::kDbl);
+  EXPECT_EQ(c.tail().DblAt(0), 1.0);
+  EXPECT_EQ(c.tail().DblAt(1), 2.5);
+}
+
+TEST(StructuralOpsTest, ConcatMergesStringHeaps) {
+  Bat a = Bat::DenseStrs({"x", "y"});
+  Bat b = Bat::DenseStrs({"y", "z"}, 2);
+  Bat c = Concat(a, b);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.tail().StrAt(2), "y");
+  EXPECT_EQ(c.tail().StrAt(3), "z");
+  // Interned into a's heap: equal strings share offsets.
+  EXPECT_EQ(c.tail().StrOffsetAt(1), c.tail().StrOffsetAt(2));
+}
+
+TEST(SelectTest, SelectEqOnInts) {
+  Bat b = Bat::DenseInts({5, 3, 5, 1});
+  Bat s = SelectEq(b, Value::MakeInt(5));
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.head().OidAt(0), 0u);
+  EXPECT_EQ(s.head().OidAt(1), 2u);
+}
+
+TEST(SelectTest, SelectEqOnStrings) {
+  Bat b = Bat::DenseStrs({"cat", "dog", "cat"});
+  EXPECT_EQ(SelectEq(b, Value::MakeStr("cat")).size(), 2u);
+  EXPECT_EQ(SelectEq(b, Value::MakeStr("bird")).size(), 0u);
+}
+
+TEST(SelectTest, SelectRangeInclusivity) {
+  Bat b = Bat::DenseInts({1, 2, 3, 4, 5});
+  EXPECT_EQ(SelectRange(b, Value::MakeInt(2), Value::MakeInt(4), true, true)
+                .size(),
+            3u);
+  EXPECT_EQ(SelectRange(b, Value::MakeInt(2), Value::MakeInt(4), false, false)
+                .size(),
+            1u);
+}
+
+TEST(SelectTest, SelectCmpAllOperators) {
+  Bat b = Bat::DenseInts({1, 2, 3});
+  EXPECT_EQ(SelectCmp(b, CmpOp::kLt, Value::MakeInt(2)).size(), 1u);
+  EXPECT_EQ(SelectCmp(b, CmpOp::kLe, Value::MakeInt(2)).size(), 2u);
+  EXPECT_EQ(SelectCmp(b, CmpOp::kGt, Value::MakeInt(2)).size(), 1u);
+  EXPECT_EQ(SelectCmp(b, CmpOp::kGe, Value::MakeInt(2)).size(), 2u);
+  EXPECT_EQ(SelectCmp(b, CmpOp::kNeq, Value::MakeInt(2)).size(), 2u);
+  EXPECT_EQ(SelectCmp(b, CmpOp::kEq, Value::MakeInt(2)).size(), 1u);
+}
+
+TEST(SelectTest, SelectCmpOnStrings) {
+  Bat b = Bat::DenseStrs({"apple", "banana", "cherry"});
+  EXPECT_EQ(SelectCmp(b, CmpOp::kGe, Value::MakeStr("banana")).size(), 2u);
+  EXPECT_EQ(SelectCmp(b, CmpOp::kLt, Value::MakeStr("banana")).size(), 1u);
+}
+
+TEST(JoinTest, FetchJoinThroughVoidHead) {
+  // l: (void -> oid refs), r: (void -> str values).
+  Bat l = Bat::DenseOids({2, 0, 7});  // 7 out of range
+  Bat r = Bat::DenseStrs({"a", "b", "c"});
+  Bat j = Join(l, r);
+  ASSERT_EQ(j.size(), 2u);
+  EXPECT_EQ(j.tail().StrAt(0), "c");
+  EXPECT_EQ(j.tail().StrAt(1), "a");
+}
+
+TEST(JoinTest, HashJoinWithDuplicates) {
+  Bat l(Column::MakeOids({10, 11}), Column::MakeInts({1, 2}));
+  Bat r(Column::MakeInts({2, 1, 2}), Column::MakeStrs({"x", "y", "z"}));
+  Bat j = Join(l, r);
+  // 10->1 matches "y"; 11->2 matches "x" and "z".
+  ASSERT_EQ(j.size(), 3u);
+  EXPECT_EQ(j.head().OidAt(0), 10u);
+  EXPECT_EQ(j.tail().StrAt(0), "y");
+  EXPECT_EQ(j.head().OidAt(1), 11u);
+}
+
+TEST(JoinTest, StringKeysAcrossDifferentHeaps) {
+  Bat l = Bat::DenseStrs({"cat", "dog"});
+  Bat r(Column::MakeStrs({"dog", "bird"}), Column::MakeInts({1, 2}));
+  Bat j = Join(l, r);
+  ASSERT_EQ(j.size(), 1u);
+  EXPECT_EQ(j.head().OidAt(0), 1u);
+  EXPECT_EQ(j.tail().IntAt(0), 1);
+}
+
+TEST(SemiJoinTest, HeadMembership) {
+  Bat l = Bat::DenseInts({10, 20, 30});        // heads 0,1,2
+  Bat r(Column::MakeOids({2, 0}), Column::MakeInts({0, 0}));
+  Bat s = SemiJoinHead(l, r);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.tail().IntAt(0), 10);
+  EXPECT_EQ(s.tail().IntAt(1), 30);
+  Bat a = AntiJoinHead(l, r);
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a.tail().IntAt(0), 20);
+}
+
+TEST(SemiJoinTest, TailMembership) {
+  Bat l = Bat::DenseInts({5, 6, 7});
+  Bat r = Bat::DenseInts({7, 5});
+  Bat s = SemiJoinTail(l, r);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.tail().IntAt(0), 5);
+  EXPECT_EQ(s.tail().IntAt(1), 7);
+}
+
+TEST(SortTest, SortAndTopN) {
+  Bat b = Bat::DenseInts({3, 1, 2});
+  Bat asc = SortByTail(b, true);
+  EXPECT_EQ(asc.tail().IntAt(0), 1);
+  EXPECT_EQ(asc.tail().IntAt(2), 3);
+  Bat top = TopNByTail(b, 2, /*descending=*/true);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top.tail().IntAt(0), 3);
+  EXPECT_EQ(top.tail().IntAt(1), 2);
+}
+
+TEST(SortTest, SortIsStable) {
+  Bat b(Column::MakeOids({0, 1, 2, 3}), Column::MakeInts({1, 0, 1, 0}));
+  Bat s = SortByTail(b, true);
+  // Equal keys keep original head order.
+  EXPECT_EQ(s.head().OidAt(0), 1u);
+  EXPECT_EQ(s.head().OidAt(1), 3u);
+  EXPECT_EQ(s.head().OidAt(2), 0u);
+  EXPECT_EQ(s.head().OidAt(3), 2u);
+}
+
+TEST(UniqueTest, FirstOccurrenceWins) {
+  Bat b(Column::MakeOids({9, 8, 7}), Column::MakeInts({1, 1, 2}));
+  Bat u = UniqueTail(b);
+  ASSERT_EQ(u.size(), 2u);
+  EXPECT_EQ(u.head().OidAt(0), 9u);
+  Bat h = UniqueHead(Bat(Column::MakeOids({5, 5, 6}),
+                         Column::MakeInts({1, 2, 3})));
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.tail().IntAt(0), 1);
+}
+
+TEST(AggregateTest, GroupedAggregates) {
+  Bat b(Column::MakeOids({1, 0, 1, 0, 2}),
+        Column::MakeDbls({1.0, 2.0, 3.0, 4.0, 5.0}));
+  Bat sum = SumPerHead(b);
+  ASSERT_EQ(sum.size(), 3u);
+  EXPECT_EQ(sum.head().OidAt(0), 0u);  // ascending heads
+  EXPECT_DOUBLE_EQ(sum.tail().DblAt(0), 6.0);
+  EXPECT_DOUBLE_EQ(sum.tail().DblAt(1), 4.0);
+  EXPECT_DOUBLE_EQ(sum.tail().DblAt(2), 5.0);
+
+  Bat count = CountPerHead(b);
+  EXPECT_EQ(count.tail().IntAt(0), 2);
+  EXPECT_EQ(count.tail().IntAt(2), 1);
+
+  EXPECT_DOUBLE_EQ(MaxPerHead(b).tail().DblAt(1), 3.0);
+  EXPECT_DOUBLE_EQ(MinPerHead(b).tail().DblAt(1), 1.0);
+  EXPECT_DOUBLE_EQ(AvgPerHead(b).tail().DblAt(0), 3.0);
+}
+
+TEST(AggregateTest, ScalarAggregates) {
+  Bat b = Bat::DenseInts({2, 4, 6});
+  EXPECT_DOUBLE_EQ(ScalarSum(b), 12.0);
+  EXPECT_EQ(ScalarCount(b), 3);
+  EXPECT_EQ(ScalarMax(b).i(), 6);
+  EXPECT_EQ(ScalarMin(b).i(), 2);
+}
+
+TEST(AggregateTest, HistogramOverTails) {
+  Bat b = Bat::DenseStrs({"b", "a", "b", "b"});
+  Bat h = CountPerTailValue(b);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.head().StrAt(0), "a");  // lexicographic order
+  EXPECT_EQ(h.tail().IntAt(0), 1);
+  EXPECT_EQ(h.head().StrAt(1), "b");
+  EXPECT_EQ(h.tail().IntAt(1), 3);
+}
+
+TEST(MultiplexTest, BinaryOpsIntClosure) {
+  Bat a = Bat::DenseInts({1, 2});
+  Bat b = Bat::DenseInts({3, 4});
+  Bat sum = MapBinary(a, b, BinOp::kAdd);
+  EXPECT_EQ(sum.tail().type(), ValueType::kInt);
+  EXPECT_EQ(sum.tail().IntAt(1), 6);
+  Bat div = MapBinary(a, b, BinOp::kDiv);
+  EXPECT_EQ(div.tail().type(), ValueType::kDbl);
+  EXPECT_DOUBLE_EQ(div.tail().DblAt(0), 1.0 / 3.0);
+}
+
+TEST(MultiplexTest, ScalarAndUnary) {
+  Bat a = Bat::DenseDbls({1.0, 4.0});
+  Bat plus = MapBinaryScalar(a, Value::MakeDbl(0.5), BinOp::kAdd);
+  EXPECT_DOUBLE_EQ(plus.tail().DblAt(0), 1.5);
+  Bat root = MapUnary(a, UnOp::kSqrt);
+  EXPECT_DOUBLE_EQ(root.tail().DblAt(1), 2.0);
+  Bat complement = MapUnary(a, UnOp::kOneMinus);
+  EXPECT_DOUBLE_EQ(complement.tail().DblAt(0), 0.0);
+}
+
+TEST(MultiplexTest, FillTailConstants) {
+  Bat b = Bat::DenseInts({1, 2, 3});
+  Bat f = FillTail(b, Value::MakeDbl(0.4));
+  EXPECT_EQ(f.size(), 3u);
+  EXPECT_DOUBLE_EQ(f.tail().DblAt(2), 0.4);
+  Bat s = FillTail(b, Value::MakeStr("x"));
+  EXPECT_EQ(s.tail().StrAt(0), "x");
+}
+
+TEST(ProbOpsTest, BeliefBoundsAndMonotonicity) {
+  // One posting per doc, increasing tf.
+  Bat tf = Bat::DenseInts({1, 2, 8, 32});
+  Bat df = Bat::DenseInts({4, 4, 4, 4});
+  Bat len = Bat::DenseInts({40, 40, 40, 40});
+  BeliefParams params;
+  Bat bel = BeliefTfIdf(tf, df, len, /*num_docs=*/100, /*avg_doclen=*/40.0,
+                        params);
+  for (size_t i = 0; i < bel.size(); ++i) {
+    double b = bel.tail().DblAt(i);
+    EXPECT_GT(b, params.alpha);
+    EXPECT_LT(b, 1.0);
+    if (i > 0) EXPECT_GT(b, bel.tail().DblAt(i - 1)) << "tf monotone";
+  }
+}
+
+TEST(ProbOpsTest, RareTermsScoreHigher) {
+  Bat tf = Bat::DenseInts({3, 3});
+  Bat df = Bat::DenseInts({2, 50});
+  Bat len = Bat::DenseInts({40, 40});
+  Bat bel = BeliefTfIdf(tf, df, len, 100, 40.0, BeliefParams());
+  EXPECT_GT(bel.tail().DblAt(0), bel.tail().DblAt(1));
+}
+
+TEST(ProbOpsTest, ProdAndProbOrPerHead) {
+  Bat b(Column::MakeOids({0, 0, 1}), Column::MakeDbls({0.5, 0.5, 0.3}));
+  Bat prod = ProdPerHead(b);
+  EXPECT_DOUBLE_EQ(prod.tail().DblAt(0), 0.25);
+  EXPECT_DOUBLE_EQ(prod.tail().DblAt(1), 0.3);
+  Bat por = ProbOrPerHead(b);
+  EXPECT_DOUBLE_EQ(por.tail().DblAt(0), 0.75);
+  EXPECT_DOUBLE_EQ(por.tail().DblAt(1), 0.3);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests against brute-force references.
+
+struct PropertyParam {
+  size_t size;
+  uint64_t seed;
+};
+
+class OpsPropertyTest : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(OpsPropertyTest, ReverseIsInvolution) {
+  base::Rng rng(GetParam().seed);
+  Bat b = RandomIntBat(GetParam().size, 50, &rng);
+  Bat rr = Reverse(Reverse(b));
+  ASSERT_EQ(rr.size(), b.size());
+  for (size_t i = 0; i < b.size(); ++i) {
+    EXPECT_EQ(rr.head().OidAt(i), b.head().OidAt(i));
+    EXPECT_EQ(rr.tail().IntAt(i), b.tail().IntAt(i));
+  }
+}
+
+TEST_P(OpsPropertyTest, JoinMatchesBruteForce) {
+  base::Rng rng(GetParam().seed);
+  size_t n = GetParam().size;
+  Bat l(Column::MakeOids([&] {
+          std::vector<Oid> v(n);
+          for (auto& x : v) x = rng.Uniform(100);
+          return v;
+        }()),
+        Column::MakeInts([&] {
+          std::vector<int64_t> v(n);
+          for (auto& x : v) x = rng.UniformInt(0, 19);
+          return v;
+        }()));
+  Bat r(Column::MakeInts([&] {
+          std::vector<int64_t> v(n / 2 + 1);
+          for (auto& x : v) x = rng.UniformInt(0, 19);
+          return v;
+        }()),
+        Column::MakeDbls([&] {
+          std::vector<double> v(n / 2 + 1);
+          for (auto& x : v) x = rng.UniformDouble();
+          return v;
+        }()));
+  Bat j = Join(l, r);
+  // Brute force count.
+  size_t expected = 0;
+  for (size_t i = 0; i < l.size(); ++i) {
+    for (size_t k = 0; k < r.size(); ++k) {
+      if (l.tail().IntAt(i) == r.head().IntAt(k)) ++expected;
+    }
+  }
+  EXPECT_EQ(j.size(), expected);
+  // Every output pair must be a genuine match (spot-check by multiset).
+  std::multiset<std::pair<Oid, int64_t>> seen;
+  for (size_t i = 0; i < j.size(); ++i) {
+    seen.insert({j.head().OidAt(i), 0});
+  }
+  EXPECT_EQ(seen.size(), j.size());
+}
+
+TEST_P(OpsPropertyTest, SemiPlusAntiJoinPartitionInput) {
+  base::Rng rng(GetParam().seed);
+  size_t n = GetParam().size;
+  Bat l(Column::MakeOids([&] {
+          std::vector<Oid> v(n);
+          for (auto& x : v) x = rng.Uniform(30);
+          return v;
+        }()),
+        Column::MakeInts(std::vector<int64_t>(n, 1)));
+  Bat r(Column::MakeOids([&] {
+          std::vector<Oid> v(n / 3 + 1);
+          for (auto& x : v) x = rng.Uniform(30);
+          return v;
+        }()),
+        Column::MakeInts(std::vector<int64_t>(n / 3 + 1, 1)));
+  EXPECT_EQ(SemiJoinHead(l, r).size() + AntiJoinHead(l, r).size(), l.size());
+}
+
+TEST_P(OpsPropertyTest, SumPerHeadMatchesScalarSum) {
+  base::Rng rng(GetParam().seed);
+  size_t n = GetParam().size;
+  std::vector<Oid> heads(n);
+  std::vector<double> tails(n);
+  for (size_t i = 0; i < n; ++i) {
+    heads[i] = rng.Uniform(10);
+    tails[i] = rng.UniformDouble();
+  }
+  Bat b(Column::MakeOids(heads), Column::MakeDbls(tails));
+  Bat grouped = SumPerHead(b);
+  EXPECT_NEAR(ScalarSum(grouped), ScalarSum(b), 1e-9);
+}
+
+TEST_P(OpsPropertyTest, SortPreservesMultiset) {
+  base::Rng rng(GetParam().seed);
+  Bat b = RandomIntBat(GetParam().size, 25, &rng);
+  Bat sorted = SortByTail(b, true);
+  std::multiset<int64_t> before;
+  std::multiset<int64_t> after;
+  for (size_t i = 0; i < b.size(); ++i) {
+    before.insert(b.tail().IntAt(i));
+    after.insert(sorted.tail().IntAt(i));
+  }
+  EXPECT_EQ(before, after);
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_LE(sorted.tail().IntAt(i - 1), sorted.tail().IntAt(i));
+  }
+}
+
+TEST_P(OpsPropertyTest, SelectEqPartitionWithSelectNeq) {
+  base::Rng rng(GetParam().seed);
+  Bat b = RandomIntBat(GetParam().size, 8, &rng);
+  Value v = Value::MakeInt(3);
+  EXPECT_EQ(SelectEq(b, v).size() + SelectNeq(b, v).size(), b.size());
+}
+
+TEST_P(OpsPropertyTest, HistogramCountsSumToSize) {
+  base::Rng rng(GetParam().seed);
+  Bat b = RandomIntBat(GetParam().size, 12, &rng);
+  Bat h = CountPerTailValue(b);
+  int64_t total = 0;
+  for (size_t i = 0; i < h.size(); ++i) total += h.tail().IntAt(i);
+  EXPECT_EQ(total, static_cast<int64_t>(b.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, OpsPropertyTest,
+    ::testing::Values(PropertyParam{0, 1}, PropertyParam{1, 2},
+                      PropertyParam{17, 3}, PropertyParam{256, 4},
+                      PropertyParam{1000, 5}),
+    [](const ::testing::TestParamInfo<PropertyParam>& info) {
+      return "n" + std::to_string(info.param.size) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(ProfilerTest, OpsAreCounted) {
+  GlobalKernelStats().Reset();
+  Bat b = Bat::DenseInts({1, 2, 3});
+  SelectEq(b, Value::MakeInt(2));
+  Reverse(b);
+  KernelStats& stats = GlobalKernelStats();
+  EXPECT_EQ(stats.op_count[static_cast<int>(KernelOp::kSelect)], 1u);
+  EXPECT_EQ(stats.op_count[static_cast<int>(KernelOp::kReverse)], 1u);
+  EXPECT_GE(stats.TotalOps(), 2u);
+  EXPECT_NE(stats.ToString().find("select=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mirror::monet

@@ -1,0 +1,267 @@
+// Association thesaurus (EMIM) and distributed-architecture tests: ORB,
+// media server, data dictionary, and the full extraction pipeline.
+
+#include <gtest/gtest.h>
+
+#include "daemon/data_dictionary.h"
+#include "daemon/media_server.h"
+#include "daemon/orb.h"
+#include "daemon/pipeline.h"
+#include "mm/synthetic_library.h"
+#include "thesaurus/association_thesaurus.h"
+
+namespace mirror {
+namespace {
+
+using daemon::DataDictionary;
+using daemon::ExtractionPipeline;
+using daemon::MediaServer;
+using daemon::Orb;
+using daemon::OrbMessage;
+using thesaurus::AssociationThesaurus;
+
+TEST(ThesaurusTest, CorrelatedPairsAssociate) {
+  AssociationThesaurus thesaurus;
+  // "sunset" always co-occurs with cluster rgb_1; "city" with rgb_2.
+  for (int i = 0; i < 20; ++i) {
+    thesaurus.AddDocument({"sunset", "warm"}, {"rgb_1", "gabor_3"});
+    thesaurus.AddDocument({"city", "street"}, {"rgb_2", "gabor_7"});
+  }
+  thesaurus.Finalize();
+  auto sunset = thesaurus.Associations("sunset", 2);
+  ASSERT_FALSE(sunset.empty());
+  EXPECT_TRUE(sunset[0].visual_term == "rgb_1" ||
+              sunset[0].visual_term == "gabor_3");
+  // Anti-correlated cluster never associates.
+  for (const auto& a : sunset) {
+    EXPECT_NE(a.visual_term, "rgb_2");
+    EXPECT_NE(a.visual_term, "gabor_7");
+  }
+}
+
+TEST(ThesaurusTest, IndependentPairsFiltered) {
+  AssociationThesaurus thesaurus;
+  // "noise" occurs with both clusters equally: no positive correlation.
+  for (int i = 0; i < 10; ++i) {
+    thesaurus.AddDocument({"noise"}, {"c_1"});
+    thesaurus.AddDocument({"noise"}, {"c_2"});
+    thesaurus.AddDocument({}, {"c_1"});
+    thesaurus.AddDocument({}, {"c_2"});
+  }
+  thesaurus.Finalize();
+  // P(noise, c_1) = P(noise) P(c_1): gate rejects.
+  EXPECT_TRUE(thesaurus.Associations("noise", 5).empty());
+}
+
+TEST(ThesaurusTest, QueryFormulationWeightsNormalized) {
+  AssociationThesaurus thesaurus;
+  for (int i = 0; i < 12; ++i) {
+    thesaurus.AddDocument({"beach"}, {"hsv_0", "lbp_2"});
+    thesaurus.AddDocument({"forest"}, {"hsv_5"});
+  }
+  thesaurus.Finalize();
+  auto query = thesaurus.FormulateVisualQuery({"beach"}, 4);
+  ASSERT_GE(query.size(), 1u);
+  double mean = 0;
+  for (const auto& wt : query) mean += wt.weight;
+  mean /= static_cast<double>(query.size());
+  EXPECT_NEAR(mean, 1.0, 1e-9);
+  // Unknown query words yield an empty formulation, not a crash.
+  EXPECT_TRUE(thesaurus.FormulateVisualQuery({"zeppelin"}, 4).empty());
+}
+
+TEST(OrbTest, RegisterInvokeAndErrors) {
+  class Echo : public daemon::Servant {
+   public:
+    std::string interface_name() const override { return "Echo"; }
+    base::Result<OrbMessage> Dispatch(const OrbMessage& request) override {
+      OrbMessage reply = request;
+      reply.method = "echo:" + request.method;
+      return reply;
+    }
+  };
+  Orb orb;
+  ASSERT_TRUE(orb.RegisterObject("echo", std::make_shared<Echo>()).ok());
+  EXPECT_FALSE(orb.RegisterObject("echo", std::make_shared<Echo>()).ok());
+  OrbMessage msg;
+  msg.method = "ping";
+  auto reply = orb.Invoke("echo", msg);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().method, "echo:ping");
+  EXPECT_FALSE(orb.Invoke("ghost", msg).ok());
+  EXPECT_EQ(orb.stats().invocations, 1u);  // failed lookup not counted
+}
+
+TEST(OrbTest, PublishSubscribePump) {
+  class Counter : public daemon::Servant {
+   public:
+    std::string interface_name() const override { return "Counter"; }
+    base::Result<OrbMessage> Dispatch(const OrbMessage&) override {
+      ++count;
+      OrbMessage reply;
+      reply.method = "ok";
+      return reply;
+    }
+    int count = 0;
+  };
+  Orb orb;
+  auto counter_a = std::make_shared<Counter>();
+  auto counter_b = std::make_shared<Counter>();
+  ASSERT_TRUE(orb.RegisterObject("a", counter_a).ok());
+  ASSERT_TRUE(orb.RegisterObject("b", counter_b).ok());
+  ASSERT_TRUE(orb.Subscribe("topic", "a").ok());
+  ASSERT_TRUE(orb.Subscribe("topic", "b").ok());
+  EXPECT_FALSE(orb.Subscribe("topic", "a").ok());  // duplicate
+  OrbMessage event;
+  event.method = "tick";
+  ASSERT_TRUE(orb.Publish("topic", event).ok());
+  ASSERT_TRUE(orb.Publish("topic", event).ok());
+  EXPECT_EQ(orb.pending_events(), 4u);
+  auto delivered = orb.PumpEvents();
+  ASSERT_TRUE(delivered.ok());
+  EXPECT_EQ(delivered.value(), 4);
+  EXPECT_EQ(counter_a->count, 2);
+  EXPECT_EQ(counter_b->count, 2);
+  EXPECT_EQ(orb.pending_events(), 0u);
+}
+
+TEST(MediaServerTest, PutGetAndDispatch) {
+  MediaServer server;
+  server.Put("http://x/1", {1, 2, 3});
+  auto blob = server.Get("http://x/1");
+  ASSERT_TRUE(blob.ok());
+  EXPECT_EQ(blob.value().size(), 3u);
+  EXPECT_FALSE(server.Get("http://x/404").ok());
+  EXPECT_EQ(server.payload_bytes(), 3u);
+  server.Put("http://x/1", {9});  // replace
+  EXPECT_EQ(server.payload_bytes(), 1u);
+
+  OrbMessage get;
+  get.method = "get";
+  get.args["url"] = "http://x/1";
+  auto reply = server.Dispatch(get);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply.value().blob, (std::vector<uint8_t>{9}));
+}
+
+TEST(DataDictionaryTest, SchemasAndDerivations) {
+  DataDictionary dict;
+  auto def = moa::ParseSchemaDef(
+      "define L as SET<TUPLE<Atomic<URL>: u>>;");
+  ASSERT_TRUE(def.ok());
+  ASSERT_TRUE(dict.RegisterSchema(def.value()).ok());
+  EXPECT_FALSE(dict.RegisterSchema(def.value()).ok());
+  EXPECT_TRUE(dict.GetSchema("L").ok());
+  EXPECT_FALSE(dict.GetSchema("M").ok());
+  dict.RecordDerivation("L", "segments", "segmenter");
+  auto derivations = dict.DerivationsOf("L");
+  EXPECT_EQ(derivations.at("segments"), "segmenter");
+}
+
+TEST(DataDictionaryTest, PendingTracking) {
+  DataDictionary dict;
+  dict.NoteObject("L", 0);
+  dict.NoteObject("L", 1);
+  dict.NoteObject("L", 2);
+  dict.MarkProcessed("L", 1, "daemon.x");
+  auto pending = dict.PendingFor("L", "daemon.x");
+  EXPECT_EQ(pending, (std::vector<monet::Oid>{0, 2}));
+  EXPECT_EQ(dict.PendingFor("L", "daemon.y").size(), 3u);
+  EXPECT_TRUE(dict.PendingFor("M", "daemon.x").empty());
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static mm::LibraryOptions SmallLibrary() {
+    mm::LibraryOptions options;
+    options.num_images = 12;
+    options.image_size = 32;
+    options.num_classes = 3;
+    options.seed = 5;
+    return options;
+  }
+};
+
+TEST_F(PipelineTest, EndToEndProducesVisualTerms) {
+  Orb orb;
+  MediaServer media;
+  DataDictionary dict;
+  daemon::PipelineOptions options;
+  options.feature_spaces = {"rgb", "lbp"};  // keep the test fast
+  options.autoclass.min_k = 2;
+  options.autoclass.max_k = 4;
+  ExtractionPipeline pipeline(&orb, &media, &dict, options);
+  auto library = mm::SyntheticLibrary(SmallLibrary()).Generate();
+  ASSERT_TRUE(pipeline.Ingest(library).ok());
+  ASSERT_TRUE(pipeline.Run().ok());
+
+  const auto& results = pipeline.results();
+  ASSERT_EQ(results.size(), library.size());
+  for (const auto& img : results) {
+    EXPECT_FALSE(img.visual_terms.empty()) << img.url;
+    EXPECT_GE(img.num_segments, 1) << img.url;
+    for (const std::string& term : img.visual_terms) {
+      EXPECT_TRUE(term.rfind("rgb_", 0) == 0 || term.rfind("lbp_", 0) == 0)
+          << term;
+    }
+  }
+  // The dictionary saw every object through the segmenter.
+  EXPECT_TRUE(dict.PendingFor("ImageLibrary", "segmenter").empty());
+  // All traffic went through the broker.
+  EXPECT_GT(orb.stats().invocations, library.size());
+  EXPECT_GT(orb.stats().bytes_marshalled, 0u);
+  EXPECT_EQ(orb.stats().events_published, library.size());
+}
+
+TEST_F(PipelineTest, DaemonSetsAreIndependent) {
+  // Running with feature daemon A only, then with A+B, leaves A's visual
+  // terms identical: daemons extract independently (Figure 1's point).
+  auto library = mm::SyntheticLibrary(SmallLibrary()).Generate();
+
+  auto run = [&](std::vector<std::string> spaces) {
+    Orb orb;
+    MediaServer media;
+    DataDictionary dict;
+    daemon::PipelineOptions options;
+    options.feature_spaces = std::move(spaces);
+    options.autoclass.min_k = 2;
+    options.autoclass.max_k = 4;
+    ExtractionPipeline pipeline(&orb, &media, &dict, options);
+    EXPECT_TRUE(pipeline.Ingest(library).ok());
+    EXPECT_TRUE(pipeline.Run().ok());
+    return pipeline.results();
+  };
+
+  auto only_rgb = run({"rgb"});
+  auto rgb_and_lbp = run({"rgb", "lbp"});
+  ASSERT_EQ(only_rgb.size(), rgb_and_lbp.size());
+  for (size_t i = 0; i < only_rgb.size(); ++i) {
+    std::vector<std::string> rgb_terms_a;
+    for (const auto& t : only_rgb[i].visual_terms) {
+      if (t.rfind("rgb_", 0) == 0) rgb_terms_a.push_back(t);
+    }
+    std::vector<std::string> rgb_terms_b;
+    for (const auto& t : rgb_and_lbp[i].visual_terms) {
+      if (t.rfind("rgb_", 0) == 0) rgb_terms_b.push_back(t);
+    }
+    EXPECT_EQ(rgb_terms_a, rgb_terms_b) << only_rgb[i].url;
+  }
+}
+
+TEST_F(PipelineTest, KMeansModeWorks) {
+  Orb orb;
+  MediaServer media;
+  DataDictionary dict;
+  daemon::PipelineOptions options;
+  options.feature_spaces = {"hsv"};
+  options.use_autoclass = false;
+  options.kmeans_k = 3;
+  ExtractionPipeline pipeline(&orb, &media, &dict, options);
+  auto library = mm::SyntheticLibrary(SmallLibrary()).Generate();
+  ASSERT_TRUE(pipeline.Ingest(library).ok());
+  ASSERT_TRUE(pipeline.Run().ok());
+  EXPECT_EQ(pipeline.clusters_per_space().at("hsv"), 3);
+}
+
+}  // namespace
+}  // namespace mirror
