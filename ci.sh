@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify (configure, build, ctest) plus a smoke run
+# of the kernel and retrieval benchmarks, emitting BENCH_*.json artifacts
+# and gating on the vectorized-engine speedup.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="$(nproc)"
+
+echo "== tier-1 verify =="
+cmake -B build -S .
+cmake --build build -j"${JOBS}"
+(cd build && ctest --output-on-failure -j"${JOBS}")
+
+echo "== bench smoke: BAT kernel =="
+(cd build && ./bench_bat_kernel \
+    --benchmark_filter='MilPlan|TopNByTail' \
+    --benchmark_min_time=0.05 \
+    --benchmark_out=BENCH_bat_kernel.json \
+    --benchmark_out_format=json)
+
+echo "== bench smoke: retrieval (E3a/E3b/E3c) =="
+(cd build && ./bench_retrieval)
+
+echo "== speedup gate =="
+SPEEDUP=$(grep -m1 '"speedup_engine4_vs_sequential"' build/BENCH_retrieval.json \
+            | awk -F': ' '{gsub(/[,[:space:]]/, "", $2); print $2}')
+echo "candidate-vector engine at 4 threads vs materializing sequential: ${SPEEDUP}x"
+awk -v s="${SPEEDUP}" 'BEGIN { exit (s >= 2.0) ? 0 : 1 }' || {
+  echo "FAIL: selection-heavy speedup ${SPEEDUP}x is below the 2x floor"
+  exit 1
+}
+
+echo "CI OK — artifacts: build/BENCH_bat_kernel.json build/BENCH_retrieval.json"

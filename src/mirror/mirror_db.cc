@@ -2,9 +2,28 @@
 
 namespace mirror::db {
 
+namespace mil = monet::mil;
+
+namespace {
+
+/// Session plan-cache key for a full query: normalized surface text plus
+/// the options that shape the compiled program and the query bindings the
+/// constant BATs were built from.
+std::string PlanKey(const std::string& query_text,
+                    const moa::QueryContext& ctx,
+                    const QueryOptions& options) {
+  std::string key = options.optimize ? "plan:O1:" : "plan:O0:";
+  key += mil::ExecutionContext::NormalizeText(query_text);
+  key += "|";
+  key += ctx.CacheKey();
+  return key;
+}
+
+}  // namespace
+
 base::Result<PreparedQuery> MirrorDb::Prepare(
     const std::string& query_text, const moa::QueryContext& ctx,
-    const QueryOptions& options) const {
+    const QueryOptions& options, mil::ExecutionContext* session) const {
   auto parsed = moa::ParseExpr(query_text);
   if (!parsed.ok()) return parsed.status();
   PreparedQuery prepared;
@@ -14,7 +33,8 @@ base::Result<PreparedQuery> MirrorDb::Prepare(
         moa::RewriteLogical(prepared.logical, &prepared.optimizer);
   }
   moa::Flattener flattener(&logical_, &ctx,
-                           moa::FlattenOptions{.optimize = options.optimize});
+                           moa::FlattenOptions{.optimize = options.optimize},
+                           session);
   auto program = flattener.Compile(prepared.logical);
   if (!program.ok()) return program.status();
   prepared.program = program.TakeValue();
@@ -24,10 +44,16 @@ base::Result<PreparedQuery> MirrorDb::Prepare(
   return prepared;
 }
 
-base::Result<moa::EvalOutput> MirrorDb::Execute(
-    const PreparedQuery& prepared) const {
-  monet::mil::Executor executor(&logical_.catalog());
-  auto run = executor.Run(prepared.program);
+base::Result<moa::EvalOutput> MirrorDb::ExecuteProgram(
+    const mil::Program& program, const QueryOptions& options,
+    mil::ExecutionContext* session) const {
+  base::Result<mil::RunResult> run = base::Status::Internal("unreachable");
+  if (options.use_engine) {
+    mil::ExecutionEngine engine(&logical_.catalog(), options.exec);
+    run = engine.Run(program, session);
+  } else {
+    run = mil::Executor(&logical_.catalog()).Run(program);
+  }
   if (!run.ok()) return run.status();
   moa::EvalOutput out;
   if (run.value().is_scalar) {
@@ -39,18 +65,37 @@ base::Result<moa::EvalOutput> MirrorDb::Execute(
   return out;
 }
 
+base::Result<moa::EvalOutput> MirrorDb::Execute(
+    const PreparedQuery& prepared, const QueryOptions& options,
+    mil::ExecutionContext* session) const {
+  return ExecuteProgram(prepared.program, options, session);
+}
+
 base::Result<moa::EvalOutput> MirrorDb::Query(
     const std::string& query_text, const moa::QueryContext& ctx,
-    const QueryOptions& options) const {
+    const QueryOptions& options, mil::ExecutionContext* session) const {
   if (!options.flattened) {
     auto parsed = moa::ParseExpr(query_text);
     if (!parsed.ok()) return parsed.status();
     moa::NaiveEvaluator naive(&logical_, &ctx);
     return naive.Evaluate(parsed.value());
   }
-  auto prepared = Prepare(query_text, ctx, options);
+  std::string key;
+  if (session != nullptr) {
+    key = PlanKey(query_text, ctx, options);
+    if (std::shared_ptr<const mil::Program> plan = session->CachedPlan(key)) {
+      return ExecuteProgram(*plan, options, session);
+    }
+  }
+  // Prepare without the session: Query caches the fully optimized plan
+  // under its own key below, and letting the Flattener insert a second
+  // "flat:" entry for the same query would only burn cache capacity.
+  auto prepared = Prepare(query_text, ctx, options, nullptr);
   if (!prepared.ok()) return prepared.status();
-  return Execute(prepared.value());
+  if (session != nullptr) {
+    session->CachePlan(key, prepared.value().program);
+  }
+  return Execute(prepared.value(), options, session);
 }
 
 }  // namespace mirror::db

@@ -10,6 +10,7 @@
 #include "moa/naive_eval.h"
 #include "moa/optimizer.h"
 #include "moa/query_context.h"
+#include "monet/exec.h"
 #include "monet/mil.h"
 
 namespace mirror::db {
@@ -18,10 +19,15 @@ namespace mirror::db {
 struct QueryOptions {
   /// Flattened set-at-a-time execution over BATs (the Mirror way). When
   /// false, the naive tuple-at-a-time object interpreter runs instead
-  /// (the [BWK98] baseline).
+  /// (the [BWK98] baseline, kept as the semantic oracle).
   bool flattened = true;
   /// Algebraic rewriting + optimized physical translation + MIL peephole.
   bool optimize = true;
+  /// Vectorized engine knobs: worker threads and candidate pipelines.
+  monet::mil::ExecOptions exec;
+  /// When false, runs the legacy materializing sequential Executor
+  /// instead of the ExecutionEngine (the E-series baseline).
+  bool use_engine = true;
 };
 
 /// A compiled query, for inspection (EXPLAIN) and repeated execution.
@@ -53,18 +59,35 @@ class MirrorDb {
     return logical_.Load(set_name, std::move(objects));
   }
 
-  /// Parses, optimizes and compiles a query without running it.
-  base::Result<PreparedQuery> Prepare(const std::string& query_text,
-                                      const moa::QueryContext& ctx,
-                                      const QueryOptions& options) const;
+  /// Parses, optimizes and compiles a query without running it. A
+  /// non-null `session` consults/fills the session's flatten-level plan
+  /// cache.
+  base::Result<PreparedQuery> Prepare(
+      const std::string& query_text, const moa::QueryContext& ctx,
+      const QueryOptions& options,
+      monet::mil::ExecutionContext* session = nullptr) const;
 
-  /// Executes a query in the paper's surface syntax.
+  /// Executes a query in the paper's surface syntax. With a `session`,
+  /// repeated queries (same normalized text and bindings) skip parsing,
+  /// flattening and MIL optimization via the session plan cache; the
+  /// session is invalid after re-Load()ing a set unless
+  /// session->InvalidatePlans() is called.
   base::Result<moa::EvalOutput> Query(
       const std::string& query_text, const moa::QueryContext& ctx,
-      const QueryOptions& options = QueryOptions()) const;
+      const QueryOptions& options = QueryOptions(),
+      monet::mil::ExecutionContext* session = nullptr) const;
 
-  /// Runs an already-prepared query (flattened engine).
-  base::Result<moa::EvalOutput> Execute(const PreparedQuery& prepared) const;
+  /// Runs an already-prepared query on the vectorized engine (or the
+  /// legacy sequential Executor when options.use_engine is false).
+  base::Result<moa::EvalOutput> Execute(
+      const PreparedQuery& prepared,
+      const QueryOptions& options = QueryOptions(),
+      monet::mil::ExecutionContext* session = nullptr) const;
+
+  /// Runs a compiled MIL program directly (the plan-cache fast path).
+  base::Result<moa::EvalOutput> ExecuteProgram(
+      const monet::mil::Program& program, const QueryOptions& options,
+      monet::mil::ExecutionContext* session = nullptr) const;
 
   moa::Database* logical() { return &logical_; }
   const moa::Database& logical() const { return logical_; }

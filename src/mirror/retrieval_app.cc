@@ -84,7 +84,11 @@ base::Result<std::vector<RankedImage>> ImageRetrievalApp::RunRankingQuery(
       "map[sum(THIS)](map[getBL(THIS.%s, query, stats)]("
       "ImageLibraryInternal));",
       contrep_field.c_str());
-  auto result = db_.Query(query_text, ctx);
+  QueryOptions query_options;
+  query_options.exec = options_.exec;
+  std::unique_lock<std::mutex> session_lock(session_mu_);
+  auto result = db_.Query(query_text, ctx, query_options, &session_);
+  session_lock.unlock();
   if (!result.ok()) return result.status();
   const monet::Bat& bat = *result.value().bat;
   std::vector<RankedImage> ranked;

@@ -2,6 +2,7 @@
 #define MIRROR_MIRROR_RETRIEVAL_APP_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,6 +40,10 @@ class ImageRetrievalApp {
     int thesaurus_top_k = 6;
     ir::FeedbackOptions feedback;
     int default_top_n = 10;
+    /// Engine knobs for the ranking queries (worker threads, candidate
+    /// pipelines); the app holds one session ExecutionContext, so
+    /// repeated queries reuse cached plans.
+    monet::mil::ExecOptions exec;
   };
 
   ImageRetrievalApp() : ImageRetrievalApp(Options{}) {}
@@ -71,6 +76,8 @@ class ImageRetrievalApp {
   const thesaurus::AssociationThesaurus& thesaurus() const {
     return thesaurus_;
   }
+  /// The app's session execution context (plan cache statistics etc.).
+  const monet::mil::ExecutionContext& session() const { return session_; }
   MirrorDb* db() { return &db_; }
   const daemon::Orb& orb() const { return orb_; }
   const daemon::DataDictionary& dictionary() const { return dictionary_; }
@@ -95,6 +102,12 @@ class ImageRetrievalApp {
   thesaurus::AssociationThesaurus thesaurus_;
   MirrorDb db_;
   ir::TextPipeline text_pipeline_;
+  /// Session-scoped execution state: register-file scratch plus the plan
+  /// cache shared by every query this app instance runs. A context runs
+  /// one query at a time, so concurrent Search() calls serialize on
+  /// session_mu_ (the engine parallelizes within each query).
+  mutable std::mutex session_mu_;
+  mutable monet::mil::ExecutionContext session_;
   std::vector<daemon::IndexedImage> indexed_;
   std::vector<std::string> urls_;
 };

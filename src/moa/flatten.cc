@@ -837,7 +837,24 @@ class Compiler {
 }  // namespace
 
 base::Result<mil::Program> Flattener::Compile(const ExprPtr& expr) const {
-  return Compiler(db_, ctx_, options_).Run(expr);
+  std::string key;
+  if (exec_ctx_ != nullptr) {
+    // Flattened programs embed the resolved query bindings (constant
+    // query-term BATs), so the key covers expression text, options and
+    // bindings. Valid until the database is re-loaded; see
+    // ExecutionContext::InvalidatePlans.
+    key = std::string("flat:") + (options_.optimize ? "O1:" : "O0:") +
+          mil::ExecutionContext::NormalizeText(expr->ToString()) + "|" +
+          ctx_->CacheKey();
+    if (std::shared_ptr<const mil::Program> plan = exec_ctx_->CachedPlan(key)) {
+      return *plan;
+    }
+  }
+  auto program = Compiler(db_, ctx_, options_).Run(expr);
+  if (program.ok() && exec_ctx_ != nullptr) {
+    exec_ctx_->CachePlan(key, program.value());
+  }
+  return program;
 }
 
 }  // namespace mirror::moa

@@ -5,6 +5,7 @@
 #include "moa/database.h"
 #include "moa/expr.h"
 #include "moa/query_context.h"
+#include "monet/exec.h"
 #include "monet/mil.h"
 
 namespace mirror::moa {
@@ -43,19 +44,24 @@ struct FlattenOptions {
 /// agree exactly.
 class Flattener {
  public:
-  /// `db` and `ctx` must outlive the flattener.
+  /// `db`, `ctx` and `exec_ctx` must outlive the flattener. A non-null
+  /// `exec_ctx` enables the session plan cache: repeated compilations of
+  /// the same expression under the same query bindings return the cached
+  /// MIL program instead of re-flattening.
   Flattener(const Database* db, const QueryContext* ctx,
-            FlattenOptions options = FlattenOptions())
-      : db_(db), ctx_(ctx), options_(options) {}
+            FlattenOptions options = FlattenOptions(),
+            monet::mil::ExecutionContext* exec_ctx = nullptr)
+      : db_(db), ctx_(ctx), options_(options), exec_ctx_(exec_ctx) {}
 
-  /// Translates `expr` into a MIL program ready for mil::Executor bound
-  /// to `db->catalog()`.
+  /// Translates `expr` into a MIL program ready for the ExecutionEngine
+  /// (or the legacy mil::Executor) bound to `db->catalog()`.
   base::Result<monet::mil::Program> Compile(const ExprPtr& expr) const;
 
  private:
   const Database* db_;
   const QueryContext* ctx_;
   FlattenOptions options_;
+  monet::mil::ExecutionContext* exec_ctx_;
 };
 
 }  // namespace mirror::moa

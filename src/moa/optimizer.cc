@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "base/str_util.h"
+#include "monet/exec.h"
 
 namespace mirror::moa {
 
@@ -107,9 +108,109 @@ std::string InstrKey(const mil::Instr& i) {
   return key;
 }
 
+// How many times each register is read (sources plus the result).
+std::vector<int> CountRegisterUses(const mil::Program& program) {
+  std::vector<int> uses(static_cast<size_t>(program.num_regs()), 0);
+  for (const mil::Instr& i : program.instrs()) {
+    for (int src : {i.src0, i.src1, i.src2}) {
+      if (src >= 0) ++uses[static_cast<size_t>(src)];
+    }
+  }
+  if (program.result_reg() >= 0) {
+    ++uses[static_cast<size_t>(program.result_reg())];
+  }
+  return uses;
+}
+
+bool IsLowerBoundCmp(monet::CmpOp op) {
+  return op == monet::CmpOp::kGe || op == monet::CmpOp::kGt;
+}
+
+bool IsUpperBoundCmp(monet::CmpOp op) {
+  return op == monet::CmpOp::kLe || op == monet::CmpOp::kLt;
+}
+
+/// Fuses `select.cmp(select.cmp(X, lower), upper)` (either bound order)
+/// into one `select.range(X, lo, hi)` when the inner select has no other
+/// consumer. Selection preserves tails, so restricting the outer predicate
+/// over the inner's survivors equals the conjunction over X; the fused
+/// instruction scans once, and the engine's candidate pipeline then emits
+/// a single candidate list for the pair. The orphaned inner select is left
+/// for DCE.
+void FuseSelectRanges(mil::Program* program, OptimizerReport* report) {
+  std::vector<int> uses = CountRegisterUses(*program);
+  // Producer index per register (straight-line SSA).
+  std::vector<int> producer(static_cast<size_t>(program->num_regs()), -1);
+  const std::vector<mil::Instr>& instrs = program->instrs();
+  for (size_t idx = 0; idx < instrs.size(); ++idx) {
+    int dst = instrs[idx].dst;
+    if (dst < 0 || producer[static_cast<size_t>(dst)] != -1) return;  // not SSA
+    producer[static_cast<size_t>(dst)] = static_cast<int>(idx);
+  }
+  mil::Program rewritten;
+  while (rewritten.num_regs() < program->num_regs()) rewritten.NewReg();
+  for (size_t idx = 0; idx < instrs.size(); ++idx) {
+    mil::Instr copy = instrs[idx];
+    if (copy.op == mil::OpCode::kSelectCmp && copy.src0 >= 0 &&
+        (IsLowerBoundCmp(copy.cmp_op) || IsUpperBoundCmp(copy.cmp_op))) {
+      int p = producer[static_cast<size_t>(copy.src0)];
+      if (p >= 0 && uses[static_cast<size_t>(copy.src0)] == 1) {
+        const mil::Instr& inner = instrs[static_cast<size_t>(p)];
+        bool complementary =
+            inner.op == mil::OpCode::kSelectCmp &&
+            ((IsLowerBoundCmp(inner.cmp_op) && IsUpperBoundCmp(copy.cmp_op)) ||
+             (IsUpperBoundCmp(inner.cmp_op) && IsLowerBoundCmp(copy.cmp_op)));
+        if (complementary) {
+          const mil::Instr& lower_i =
+              IsLowerBoundCmp(inner.cmp_op) ? inner : copy;
+          const mil::Instr& upper_i =
+              IsLowerBoundCmp(inner.cmp_op) ? copy : inner;
+          copy.op = mil::OpCode::kSelectRange;
+          copy.src0 = inner.src0;
+          copy.imm0 = lower_i.imm0;
+          copy.imm1 = upper_i.imm0;
+          copy.flag0 = lower_i.cmp_op == monet::CmpOp::kGe;
+          copy.flag1 = upper_i.cmp_op == monet::CmpOp::kLe;
+          copy.cmp_op = monet::CmpOp::kEq;
+          if (report != nullptr) report->range_fusions++;
+        }
+      }
+    }
+    rewritten.Emit(std::move(copy));
+  }
+  rewritten.set_result_reg(program->result_reg());
+  *program = std::move(rewritten);
+}
+
+/// Counts select→select/semijoin/slice chain links: each is one tuple
+/// copy the candidate-vector engine avoids relative to the materializing
+/// interpreter. (mil::IsCandidatePipelineOp is the engine's own notion of
+/// the candidate family.)
+int CountCandidateChainLinks(const mil::Program& program) {
+  std::vector<mil::OpCode> producer_op(
+      static_cast<size_t>(program.num_regs()), mil::OpCode::kLoadNamed);
+  std::vector<bool> produced(static_cast<size_t>(program.num_regs()), false);
+  int links = 0;
+  for (const mil::Instr& i : program.instrs()) {
+    if (mil::IsCandidatePipelineOp(i.op) && i.src0 >= 0 &&
+        produced[static_cast<size_t>(i.src0)] &&
+        mil::IsCandidatePipelineOp(
+            producer_op[static_cast<size_t>(i.src0)])) {
+      ++links;
+    }
+    if (i.dst >= 0) {
+      produced[static_cast<size_t>(i.dst)] = true;
+      producer_op[static_cast<size_t>(i.dst)] = i.op;
+    }
+  }
+  return links;
+}
+
 }  // namespace
 
 void OptimizeMil(mil::Program* program, OptimizerReport* report) {
+  FuseSelectRanges(program, report);
+
   // Common subexpression elimination over the straight-line program:
   // instructions with identical opcode and operands compute the same BAT
   // (all kernel ops are pure), so later copies are redirected to the
@@ -145,6 +246,9 @@ void OptimizeMil(mil::Program* program, OptimizerReport* report) {
 
   size_t dce = rewritten.EliminateDeadCode();
   if (report != nullptr) report->dce_removed += dce;
+  if (report != nullptr) {
+    report->candidate_chain_links += CountCandidateChainLinks(rewritten);
+  }
   *program = std::move(rewritten);
 }
 

@@ -11,6 +11,12 @@ namespace mirror::moa {
 struct OptimizerReport {
   int map_fusions = 0;
   int select_fusions = 0;
+  /// select.cmp chains fused into single select.range instructions (the
+  /// MIL-level peephole feeding the engine's candidate pipelines).
+  int range_fusions = 0;
+  /// Links in select→semijoin chains the engine will run over candidate
+  /// vectors without materializing (diagnostic).
+  int candidate_chain_links = 0;
   size_t cse_removed = 0;
   size_t dce_removed = 0;
 };
@@ -24,8 +30,10 @@ struct OptimizerReport {
 /// Returns the rewritten tree; `report` (optional) accumulates counts.
 ExprPtr RewriteLogical(const ExprPtr& expr, OptimizerReport* report);
 
-/// Peephole passes over a flattened MIL program: common subexpression
-/// elimination followed by dead code elimination.
+/// Peephole passes over a flattened MIL program: select-chain fusion
+/// (select.cmp pairs forming a range collapse into one select.range, so
+/// candidate pipelines scan once), then common subexpression elimination,
+/// then dead code elimination.
 void OptimizeMil(monet::mil::Program* program, OptimizerReport* report);
 
 }  // namespace mirror::moa

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "base/str_util.h"
 #include "ir/vocabulary.h"
 
 namespace mirror::moa {
@@ -39,6 +40,27 @@ class QueryContext {
   const std::vector<WeightedTerm>* Find(const std::string& name) const {
     auto it = bindings_.find(name);
     return it == bindings_.end() ? nullptr : &it->second;
+  }
+
+  /// Deterministic rendering of every binding. Flattened plans embed the
+  /// resolved query terms as constant BATs, so a plan-cache key must
+  /// include the bindings the plan was compiled under. Names and terms
+  /// are length-prefixed so no choice of characters inside them can make
+  /// two different binding sets render identically.
+  std::string CacheKey() const {
+    std::string out;
+    for (const auto& [name, terms] : bindings_) {
+      out += base::StrFormat("%zu:", name.size());
+      out += name;
+      out += base::StrFormat("=%zu{", terms.size());
+      for (const WeightedTerm& wt : terms) {
+        out += base::StrFormat("%zu:", wt.term.size());
+        out += wt.term;
+        out += base::StrFormat(":%.17g;", wt.weight);
+      }
+      out += '}';
+    }
+    return out;
   }
 
  private:

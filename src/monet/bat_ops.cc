@@ -99,19 +99,37 @@ void HashJoinPositions(size_t ln, LKeyFn lkey, size_t rn, RKeyFn rkey,
   }
 }
 
-// Membership filter: positions of `probe` whose key occurs in `keys`.
+// Iterates the candidate domain over an n-row column: all rows when
+// `cands` is null, only the candidate positions otherwise.
+template <typename Fn>
+void ForEachInDomain(size_t n, const CandidateList* cands, Fn fn) {
+  if (cands == nullptr) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+  } else {
+    size_t m = cands->size();
+    for (size_t j = 0; j < m; ++j) fn(cands->PositionAt(j));
+  }
+}
+
+size_t DomainSize(size_t n, const CandidateList* cands) {
+  return cands == nullptr ? n : cands->size();
+}
+
+// Membership filter: positions of `probe` (within the candidate domain)
+// whose key occurs in `keys`.
 template <typename K, typename ProbeKeyFn, typename KeysKeyFn>
-std::vector<size_t> HashMemberPositions(size_t probe_n, ProbeKeyFn probe_key,
-                                        size_t keys_n, KeysKeyFn keys_key,
-                                        bool keep_members) {
+std::vector<uint32_t> HashMemberPositions(size_t probe_n, ProbeKeyFn probe_key,
+                                          size_t keys_n, KeysKeyFn keys_key,
+                                          bool keep_members,
+                                          const CandidateList* cands) {
   std::unordered_set<K> members;
   members.reserve(keys_n * 2);
   for (size_t i = 0; i < keys_n; ++i) members.insert(keys_key(i));
-  std::vector<size_t> out;
-  for (size_t i = 0; i < probe_n; ++i) {
+  std::vector<uint32_t> out;
+  ForEachInDomain(probe_n, cands, [&](size_t i) {
     bool in = members.count(probe_key(i)) > 0;
-    if (in == keep_members) out.push_back(i);
-  }
+    if (in == keep_members) out.push_back(static_cast<uint32_t>(i));
+  });
   return out;
 }
 
@@ -119,33 +137,42 @@ Bat GatherBat(const Bat& b, const std::vector<size_t>& positions) {
   return Bat(b.head().Gather(positions), b.tail().Gather(positions));
 }
 
-// Selection positions by tail predicate, dispatched once on type.
+Bat GatherBat(const Bat& b, const std::vector<uint32_t>& positions) {
+  return Bat(b.head().Gather(positions), b.tail().Gather(positions));
+}
+
+// Selection positions by tail predicate within the candidate domain,
+// dispatched once on type.
 template <typename PredI, typename PredD, typename PredS>
-std::vector<size_t> SelectPositions(const Column& tail, PredI pred_i,
-                                    PredD pred_d, PredS pred_s) {
-  std::vector<size_t> out;
+std::vector<uint32_t> SelectPositions(const Column& tail,
+                                      const CandidateList* cands,
+                                      PredI pred_i, PredD pred_d,
+                                      PredS pred_s) {
+  std::vector<uint32_t> out;
   size_t n = tail.size();
   switch (tail.type()) {
     case ValueType::kVoid:
     case ValueType::kOid:
-      for (size_t i = 0; i < n; ++i) {
-        if (pred_i(static_cast<int64_t>(tail.OidAt(i)))) out.push_back(i);
-      }
+      ForEachInDomain(n, cands, [&](size_t i) {
+        if (pred_i(static_cast<int64_t>(tail.OidAt(i)))) {
+          out.push_back(static_cast<uint32_t>(i));
+        }
+      });
       break;
     case ValueType::kInt:
-      for (size_t i = 0; i < n; ++i) {
-        if (pred_i(tail.IntAt(i))) out.push_back(i);
-      }
+      ForEachInDomain(n, cands, [&](size_t i) {
+        if (pred_i(tail.IntAt(i))) out.push_back(static_cast<uint32_t>(i));
+      });
       break;
     case ValueType::kDbl:
-      for (size_t i = 0; i < n; ++i) {
-        if (pred_d(tail.DblAt(i))) out.push_back(i);
-      }
+      ForEachInDomain(n, cands, [&](size_t i) {
+        if (pred_d(tail.DblAt(i))) out.push_back(static_cast<uint32_t>(i));
+      });
       break;
     case ValueType::kStr:
-      for (size_t i = 0; i < n; ++i) {
-        if (pred_s(tail.StrAt(i))) out.push_back(i);
-      }
+      ForEachInDomain(n, cands, [&](size_t i) {
+        if (pred_s(tail.StrAt(i))) out.push_back(static_cast<uint32_t>(i));
+      });
       break;
   }
   return out;
@@ -247,65 +274,71 @@ Column AppendColumns(const Column& a, const Column& b) {
 }  // namespace
 
 Bat Concat(const Bat& a, const Bat& b) {
+  KernelTimer timer(KernelOp::kConcat);
   TrackKernelOp(KernelOp::kConcat, a.size() + b.size(), a.size() + b.size());
   return Bat(AppendColumns(a.head(), b.head()),
              AppendColumns(a.tail(), b.tail()));
 }
 
 // ---------------------------------------------------------------------------
-// Selection.
+// Selection. Each predicate has one position-computing core shared by the
+// materializing form (classic Monet semantics) and the candidate form
+// (late materialization).
 
-Bat SelectEq(const Bat& b, const Value& v) {
+namespace {
+
+std::vector<uint32_t> SelectEqPositions(const Bat& b, const Value& v,
+                                        const CandidateList* cands) {
   const Column& tail = b.tail();
   MIRROR_CHECK(tail.TypeCompatible(v.type()))
       << "select type mismatch: column " << ValueTypeName(tail.type())
       << " vs literal " << v.ToString();
-  std::vector<size_t> positions;
   if (Norm(tail.type()) == ValueType::kStr) {
     const std::string& want = v.s();
-    positions = SelectPositions(
-        tail, [](int64_t) { return false; }, [](double) { return false; },
+    return SelectPositions(
+        tail, cands, [](int64_t) { return false; },
+        [](double) { return false; },
         [&](std::string_view s) { return s == want; });
-  } else if (tail.type() == ValueType::kDbl || v.type() == ValueType::kDbl) {
+  }
+  if (tail.type() == ValueType::kDbl || v.type() == ValueType::kDbl) {
     double want = BoundAsDouble(v);
-    positions = SelectPositions(
-        tail, [&](int64_t x) { return static_cast<double>(x) == want; },
+    return SelectPositions(
+        tail, cands,
+        [&](int64_t x) { return static_cast<double>(x) == want; },
         [&](double x) { return x == want; },
         [](std::string_view) { return false; });
-  } else {
-    int64_t want = BoundAsInt(v);
-    positions = SelectPositions(
-        tail, [&](int64_t x) { return x == want; },
-        [&](double x) { return x == static_cast<double>(want); },
-        [](std::string_view) { return false; });
   }
-  TrackKernelOp(KernelOp::kSelect, b.size(), positions.size());
-  return GatherBat(b, positions);
+  int64_t want = BoundAsInt(v);
+  return SelectPositions(
+      tail, cands, [&](int64_t x) { return x == want; },
+      [&](double x) { return x == static_cast<double>(want); },
+      [](std::string_view) { return false; });
 }
 
-Bat SelectNeq(const Bat& b, const Value& v) {
+std::vector<uint32_t> SelectNeqPositions(const Bat& b, const Value& v,
+                                         const CandidateList* cands) {
   const Column& tail = b.tail();
   MIRROR_CHECK(tail.TypeCompatible(v.type()));
-  std::vector<size_t> positions;
   if (Norm(tail.type()) == ValueType::kStr) {
     const std::string& want = v.s();
-    positions = SelectPositions(
-        tail, [](int64_t) { return true; }, [](double) { return true; },
+    return SelectPositions(
+        tail, cands, [](int64_t) { return true; },
+        [](double) { return true; },
         [&](std::string_view s) { return s != want; });
-  } else {
-    double want = BoundAsDouble(v);
-    positions = SelectPositions(
-        tail, [&](int64_t x) { return static_cast<double>(x) != want; },
-        [&](double x) { return x != want; },
-        [](std::string_view) { return true; });
   }
-  TrackKernelOp(KernelOp::kSelect, b.size(), positions.size());
-  return GatherBat(b, positions);
+  double want = BoundAsDouble(v);
+  return SelectPositions(
+      tail, cands,
+      [&](int64_t x) { return static_cast<double>(x) != want; },
+      [&](double x) { return x != want; },
+      [](std::string_view) { return true; });
 }
 
-Bat SelectCmp(const Bat& b, CmpOp cmp, const Value& v) {
-  if (cmp == CmpOp::kEq) return SelectEq(b, v);
-  if (cmp == CmpOp::kNeq) return SelectNeq(b, v);
+std::vector<uint32_t> SelectCmpPositions(const Bat& b, CmpOp cmp,
+                                         const Value& v,
+                                         const CandidateList* cands) {
+  if (cmp == CmpOp::kEq) return SelectEqPositions(b, v, cands);
+  if (cmp == CmpOp::kNeq) return SelectNeqPositions(b, v, cands);
   const Column& tail = b.tail();
   MIRROR_CHECK(tail.TypeCompatible(v.type()));
   auto keep = [&](auto lhs, auto rhs) {
@@ -323,60 +356,137 @@ Bat SelectCmp(const Bat& b, CmpOp cmp, const Value& v) {
         return false;
     }
   };
-  std::vector<size_t> positions;
   if (Norm(tail.type()) == ValueType::kStr) {
     std::string_view want = v.s();
-    positions = SelectPositions(
-        tail, [](int64_t) { return false; }, [](double) { return false; },
+    return SelectPositions(
+        tail, cands, [](int64_t) { return false; },
+        [](double) { return false; },
         [&](std::string_view s) { return keep(s, want); });
-  } else {
-    double want = BoundAsDouble(v);
-    positions = SelectPositions(
-        tail, [&](int64_t x) { return keep(static_cast<double>(x), want); },
-        [&](double x) { return keep(x, want); },
-        [](std::string_view) { return false; });
   }
+  double want = BoundAsDouble(v);
+  return SelectPositions(
+      tail, cands,
+      [&](int64_t x) { return keep(static_cast<double>(x), want); },
+      [&](double x) { return keep(x, want); },
+      [](std::string_view) { return false; });
+}
+
+std::vector<uint32_t> SelectRangePositions(const Bat& b, const Value& lo,
+                                           const Value& hi, bool lo_inclusive,
+                                           bool hi_inclusive,
+                                           const CandidateList* cands) {
+  const Column& tail = b.tail();
+  MIRROR_CHECK(tail.TypeCompatible(lo.type()));
+  MIRROR_CHECK(tail.TypeCompatible(hi.type()));
+  if (Norm(tail.type()) == ValueType::kStr) {
+    const std::string& slo = lo.s();
+    const std::string& shi = hi.s();
+    return SelectPositions(
+        tail, cands, [](int64_t) { return false; },
+        [](double) { return false; },
+        [&](std::string_view s) {
+          bool above = lo_inclusive ? s >= slo : s > slo;
+          bool below = hi_inclusive ? s <= shi : s < shi;
+          return above && below;
+        });
+  }
+  double dlo = BoundAsDouble(lo);
+  double dhi = BoundAsDouble(hi);
+  auto in_range = [&](double x) {
+    bool above = lo_inclusive ? x >= dlo : x > dlo;
+    bool below = hi_inclusive ? x <= dhi : x < dhi;
+    return above && below;
+  };
+  return SelectPositions(
+      tail, cands,
+      [&](int64_t x) { return in_range(static_cast<double>(x)); },
+      [&](double x) { return in_range(x); },
+      [](std::string_view) { return false; });
+}
+
+// Wraps a position core into the candidate form's tracking.
+CandidateList FinishCandidateSelect(KernelOp op, size_t domain,
+                                    std::vector<uint32_t> positions) {
+  TrackKernelOp(op, domain, positions.size());
+  TrackCandidateOp();
+  return CandidateList::FromPositions(std::move(positions));
+}
+
+}  // namespace
+
+Bat SelectEq(const Bat& b, const Value& v) {
+  KernelTimer timer(KernelOp::kSelect);
+  std::vector<uint32_t> positions = SelectEqPositions(b, v, nullptr);
+  TrackKernelOp(KernelOp::kSelect, b.size(), positions.size());
+  return GatherBat(b, positions);
+}
+
+Bat SelectNeq(const Bat& b, const Value& v) {
+  KernelTimer timer(KernelOp::kSelect);
+  std::vector<uint32_t> positions = SelectNeqPositions(b, v, nullptr);
+  TrackKernelOp(KernelOp::kSelect, b.size(), positions.size());
+  return GatherBat(b, positions);
+}
+
+Bat SelectCmp(const Bat& b, CmpOp cmp, const Value& v) {
+  KernelTimer timer(KernelOp::kSelect);
+  std::vector<uint32_t> positions = SelectCmpPositions(b, cmp, v, nullptr);
   TrackKernelOp(KernelOp::kSelect, b.size(), positions.size());
   return GatherBat(b, positions);
 }
 
 Bat SelectRange(const Bat& b, const Value& lo, const Value& hi,
                 bool lo_inclusive, bool hi_inclusive) {
-  const Column& tail = b.tail();
-  MIRROR_CHECK(tail.TypeCompatible(lo.type()));
-  MIRROR_CHECK(tail.TypeCompatible(hi.type()));
-  std::vector<size_t> positions;
-  if (Norm(tail.type()) == ValueType::kStr) {
-    const std::string& slo = lo.s();
-    const std::string& shi = hi.s();
-    positions = SelectPositions(
-        tail, [](int64_t) { return false; }, [](double) { return false; },
-        [&](std::string_view s) {
-          bool above = lo_inclusive ? s >= slo : s > slo;
-          bool below = hi_inclusive ? s <= shi : s < shi;
-          return above && below;
-        });
-  } else {
-    double dlo = BoundAsDouble(lo);
-    double dhi = BoundAsDouble(hi);
-    auto in_range = [&](double x) {
-      bool above = lo_inclusive ? x >= dlo : x > dlo;
-      bool below = hi_inclusive ? x <= dhi : x < dhi;
-      return above && below;
-    };
-    positions = SelectPositions(
-        tail, [&](int64_t x) { return in_range(static_cast<double>(x)); },
-        [&](double x) { return in_range(x); },
-        [](std::string_view) { return false; });
-  }
+  KernelTimer timer(KernelOp::kSelect);
+  std::vector<uint32_t> positions =
+      SelectRangePositions(b, lo, hi, lo_inclusive, hi_inclusive, nullptr);
   TrackKernelOp(KernelOp::kSelect, b.size(), positions.size());
   return GatherBat(b, positions);
+}
+
+CandidateList SelectEqCand(const Bat& b, const Value& v,
+                           const CandidateList* cands) {
+  KernelTimer timer(KernelOp::kSelect);
+  return FinishCandidateSelect(KernelOp::kSelect, DomainSize(b.size(), cands),
+                               SelectEqPositions(b, v, cands));
+}
+
+CandidateList SelectNeqCand(const Bat& b, const Value& v,
+                            const CandidateList* cands) {
+  KernelTimer timer(KernelOp::kSelect);
+  return FinishCandidateSelect(KernelOp::kSelect, DomainSize(b.size(), cands),
+                               SelectNeqPositions(b, v, cands));
+}
+
+CandidateList SelectCmpCand(const Bat& b, CmpOp cmp, const Value& v,
+                            const CandidateList* cands) {
+  KernelTimer timer(KernelOp::kSelect);
+  return FinishCandidateSelect(KernelOp::kSelect, DomainSize(b.size(), cands),
+                               SelectCmpPositions(b, cmp, v, cands));
+}
+
+CandidateList SelectRangeCand(const Bat& b, const Value& lo, const Value& hi,
+                              bool lo_inclusive, bool hi_inclusive,
+                              const CandidateList* cands) {
+  KernelTimer timer(KernelOp::kSelect);
+  return FinishCandidateSelect(
+      KernelOp::kSelect, DomainSize(b.size(), cands),
+      SelectRangePositions(b, lo, hi, lo_inclusive, hi_inclusive, cands));
+}
+
+Bat Materialize(const Bat& b, const CandidateList& cands) {
+  KernelTimer timer(KernelOp::kMaterialize);
+  TrackKernelOp(KernelOp::kMaterialize, cands.size(), cands.size());
+  TrackMaterialization(cands.size());
+  if (!cands.is_dense()) return GatherBat(b, cands.sparse_positions());
+  return GatherBat(b, cands.ToPositions());
 }
 
 // ---------------------------------------------------------------------------
 // Joins.
 
 Bat Join(const Bat& l, const Bat& r) {
+  KernelTimer timer(KernelOp::kJoin);
   std::vector<size_t> lpos;
   std::vector<size_t> rpos;
   if (r.head().is_void()) {
@@ -427,32 +537,51 @@ Bat Join(const Bat& l, const Bat& r) {
 
 namespace {
 
-Bat FilterByMembership(const Bat& l, const Column& probe, const Column& keys,
-                       bool keep_members, KernelOp op) {
-  std::vector<size_t> positions;
+std::vector<uint32_t> MembershipPositions(const Column& probe,
+                                          const Column& keys,
+                                          bool keep_members,
+                                          const CandidateList* cands) {
   switch (PickKeyMode(probe, keys)) {
     case KeyMode::kI64:
     case KeyMode::kStrOffset:
-      positions = HashMemberPositions<int64_t>(
+      return HashMemberPositions<int64_t>(
           probe.size(), [&](size_t i) { return I64KeyAt(probe, i); },
           keys.size(), [&](size_t i) { return I64KeyAt(keys, i); },
-          keep_members);
-      break;
+          keep_members, cands);
     case KeyMode::kF64:
-      positions = HashMemberPositions<double>(
+      return HashMemberPositions<double>(
           probe.size(), [&](size_t i) { return F64KeyAt(probe, i); },
           keys.size(), [&](size_t i) { return F64KeyAt(keys, i); },
-          keep_members);
-      break;
+          keep_members, cands);
     case KeyMode::kString:
-      positions = HashMemberPositions<std::string>(
+      return HashMemberPositions<std::string>(
           probe.size(), [&](size_t i) { return std::string(probe.StrAt(i)); },
           keys.size(), [&](size_t i) { return std::string(keys.StrAt(i)); },
-          keep_members);
-      break;
+          keep_members, cands);
   }
+  MIRROR_UNREACHABLE();
+  return {};
+}
+
+Bat FilterByMembership(const Bat& l, const Column& probe, const Column& keys,
+                       bool keep_members, KernelOp op) {
+  KernelTimer timer(op);
+  std::vector<uint32_t> positions =
+      MembershipPositions(probe, keys, keep_members, nullptr);
   TrackKernelOp(op, l.size() + keys.size(), positions.size());
   return GatherBat(l, positions);
+}
+
+CandidateList FilterByMembershipCand(const Column& probe, const Column& keys,
+                                     bool keep_members, KernelOp op,
+                                     const CandidateList* cands) {
+  KernelTimer timer(op);
+  std::vector<uint32_t> positions =
+      MembershipPositions(probe, keys, keep_members, cands);
+  TrackKernelOp(op, DomainSize(probe.size(), cands) + keys.size(),
+                positions.size());
+  TrackCandidateOp();
+  return CandidateList::FromPositions(std::move(positions));
 }
 
 }  // namespace
@@ -470,6 +599,24 @@ Bat AntiJoinHead(const Bat& l, const Bat& r) {
 Bat SemiJoinTail(const Bat& l, const Bat& r) {
   return FilterByMembership(l, l.tail(), r.tail(), /*keep_members=*/true,
                             KernelOp::kSemiJoin);
+}
+
+CandidateList SemiJoinHeadCand(const Bat& l, const Bat& r,
+                               const CandidateList* lcands) {
+  return FilterByMembershipCand(l.head(), r.head(), /*keep_members=*/true,
+                                KernelOp::kSemiJoin, lcands);
+}
+
+CandidateList AntiJoinHeadCand(const Bat& l, const Bat& r,
+                               const CandidateList* lcands) {
+  return FilterByMembershipCand(l.head(), r.head(), /*keep_members=*/false,
+                                KernelOp::kAntiJoin, lcands);
+}
+
+CandidateList SemiJoinTailCand(const Bat& l, const Bat& r,
+                               const CandidateList* lcands) {
+  return FilterByMembershipCand(l.tail(), r.tail(), /*keep_members=*/true,
+                                KernelOp::kSemiJoin, lcands);
 }
 
 // ---------------------------------------------------------------------------
@@ -506,13 +653,60 @@ std::vector<size_t> SortedPositions(const Column& tail, bool ascending) {
 }  // namespace
 
 Bat SortByTail(const Bat& b, bool ascending) {
+  KernelTimer timer(KernelOp::kSort);
   TrackKernelOp(KernelOp::kSort, b.size(), b.size());
   return GatherBat(b, SortedPositions(b.tail(), ascending));
 }
 
+namespace {
+
+// Bounded top-k selection: partial-sorts all n positions on
+// (tail value, position), so ties break toward the earlier row — exactly
+// the prefix a full stable sort would produce — in O(n log k) instead of
+// O(n log n).
+std::vector<size_t> TopPositions(const Column& tail, size_t k,
+                                 bool ascending) {
+  std::vector<size_t> idx(tail.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  auto top_by = [&](auto less) {
+    std::partial_sort(idx.begin(), idx.begin() + static_cast<ptrdiff_t>(k),
+                      idx.end(), [&](size_t a, size_t b) {
+                        bool ab = ascending ? less(a, b) : less(b, a);
+                        if (ab) return true;
+                        bool ba = ascending ? less(b, a) : less(a, b);
+                        if (ba) return false;
+                        return a < b;
+                      });
+  };
+  switch (tail.type()) {
+    case ValueType::kVoid:
+    case ValueType::kOid:
+      top_by([&](size_t a, size_t b) { return tail.OidAt(a) < tail.OidAt(b); });
+      break;
+    case ValueType::kInt:
+      top_by([&](size_t a, size_t b) { return tail.IntAt(a) < tail.IntAt(b); });
+      break;
+    case ValueType::kDbl:
+      top_by([&](size_t a, size_t b) { return tail.DblAt(a) < tail.DblAt(b); });
+      break;
+    case ValueType::kStr:
+      top_by([&](size_t a, size_t b) { return tail.StrAt(a) < tail.StrAt(b); });
+      break;
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace
+
 Bat TopNByTail(const Bat& b, size_t n, bool descending) {
-  std::vector<size_t> idx = SortedPositions(b.tail(), !descending);
-  if (idx.size() > n) idx.resize(n);
+  KernelTimer timer(KernelOp::kTopN);
+  std::vector<size_t> idx;
+  if (n >= b.size()) {
+    idx = SortedPositions(b.tail(), !descending);
+  } else {
+    idx = TopPositions(b.tail(), n, !descending);
+  }
   TrackKernelOp(KernelOp::kTopN, b.size(), idx.size());
   return GatherBat(b, idx);
 }
@@ -566,6 +760,7 @@ namespace {
 enum class AggKind { kSum, kCount, kMax, kMin, kAvg };
 
 Bat AggregatePerHead(const Bat& b, AggKind kind, KernelOp op) {
+  KernelTimer timer(op);
   const Column& head = b.head();
   const Column& tail = b.tail();
   ValueType ht = Norm(head.type());

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "monet/bat.h"
+#include "monet/candidate.h"
 
 namespace mirror::monet {
 
@@ -12,6 +13,13 @@ namespace mirror::monet {
 // function that consumes const BATs and materializes a new BAT (the
 // bulk-processing model that Moa's flattening targets, [BWK98]). All
 // operators report to the kernel profiler.
+//
+// The selection/semijoin/slice family additionally has candidate-vector
+// forms (suffix `Cand`) that produce a CandidateList over the input's base
+// BAT instead of copying tuples; pipelines of those operators materialize
+// once, at a pipeline breaker, via Materialize(). The ExecutionEngine
+// drives this late-materialization mode; the materializing forms remain
+// the definition of operator semantics.
 
 // ---------------------------------------------------------------------------
 // Structural operators.
@@ -54,6 +62,40 @@ enum class CmpOp { kEq, kNeq, kLt, kLe, kGt, kGe };
 Bat SelectCmp(const Bat& b, CmpOp cmp, const Value& v);
 
 // ---------------------------------------------------------------------------
+// Candidate-vector forms (late materialization). Each takes an optional
+// candidate domain over `b` (nullptr = all rows) and returns the surviving
+// row positions of `b` without copying tuples. Semantics match
+// `Materialize(b, XCand(b, ..., cands))` == `X(Materialize(b, *cands), ...)`.
+
+CandidateList SelectEqCand(const Bat& b, const Value& v,
+                           const CandidateList* cands = nullptr);
+CandidateList SelectNeqCand(const Bat& b, const Value& v,
+                            const CandidateList* cands = nullptr);
+CandidateList SelectCmpCand(const Bat& b, CmpOp cmp, const Value& v,
+                            const CandidateList* cands = nullptr);
+CandidateList SelectRangeCand(const Bat& b, const Value& lo, const Value& hi,
+                              bool lo_inclusive, bool hi_inclusive,
+                              const CandidateList* cands = nullptr);
+
+/// Positions of `l` (within `lcands`, or all rows) whose HEAD occurs among
+/// the heads of `r`.
+CandidateList SemiJoinHeadCand(const Bat& l, const Bat& r,
+                               const CandidateList* lcands = nullptr);
+
+/// Positions of `l` whose HEAD does not occur among the heads of `r`.
+CandidateList AntiJoinHeadCand(const Bat& l, const Bat& r,
+                               const CandidateList* lcands = nullptr);
+
+/// Positions of `l` whose TAIL occurs among the TAILS of `r`.
+CandidateList SemiJoinTailCand(const Bat& l, const Bat& r,
+                               const CandidateList* lcands = nullptr);
+
+/// Copies the candidate rows of `b` into a materialized BAT: the single
+/// tuple-copy point of a candidate pipeline (sort, group-agg, join build
+/// sides and result delivery are the pipeline breakers).
+Bat Materialize(const Bat& b, const CandidateList& cands);
+
+// ---------------------------------------------------------------------------
 // Join family. Keys compare across compatible types (int/dbl inter-compare,
 // void acts as oid).
 
@@ -78,7 +120,10 @@ Bat SemiJoinTail(const Bat& l, const Bat& r);
 /// Stable sort by tail value.
 Bat SortByTail(const Bat& b, bool ascending = true);
 
-/// The `n` rows with the greatest (descending=true) or smallest tails.
+/// The `n` rows with the greatest (descending=true) or smallest tails,
+/// in sorted order; ties break toward the earlier row (the order a full
+/// stable sort would produce). Runs in O(n log k) via a bounded
+/// partial sort rather than sorting all rows.
 Bat TopNByTail(const Bat& b, size_t n, bool descending = true);
 
 /// Keeps the first row for each distinct tail value.

@@ -1,0 +1,116 @@
+#include "monet/candidate.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "base/logging.h"
+#include "base/str_util.h"
+
+namespace mirror::monet {
+
+CandidateList CandidateList::Dense(size_t first, size_t count) {
+  CandidateList out;
+  out.dense_ = true;
+  out.first_ = first;
+  out.count_ = count;
+  return out;
+}
+
+CandidateList CandidateList::FromPositions(std::vector<uint32_t> positions) {
+#ifndef NDEBUG
+  for (size_t i = 1; i < positions.size(); ++i) {
+    MIRROR_CHECK(positions[i - 1] < positions[i])
+        << "candidate positions must be strictly ascending";
+  }
+#endif
+  CandidateList out;
+  out.dense_ = false;
+  out.positions_ = std::move(positions);
+  return out;
+}
+
+CandidateList CandidateList::Intersect(const CandidateList& other) const {
+  if (dense_ && other.dense_) {
+    size_t lo = std::max(first_, other.first_);
+    size_t hi = std::min(first_ + count_, other.first_ + other.count_);
+    return Dense(lo, hi > lo ? hi - lo : 0);
+  }
+  // Dense-vs-sparse: clamp the sparse side to the dense range.
+  auto clamp_to_dense = [](const CandidateList& sparse,
+                           const CandidateList& dense) {
+    std::vector<uint32_t> out;
+    size_t lo = dense.first_;
+    size_t hi = dense.first_ + dense.count_;
+    for (uint32_t p : sparse.positions_) {
+      if (p >= lo && p < hi) out.push_back(p);
+    }
+    return FromPositions(std::move(out));
+  };
+  if (dense_) return clamp_to_dense(other, *this);
+  if (other.dense_) return clamp_to_dense(*this, other);
+  std::vector<uint32_t> out;
+  out.reserve(std::min(positions_.size(), other.positions_.size()));
+  std::set_intersection(positions_.begin(), positions_.end(),
+                        other.positions_.begin(), other.positions_.end(),
+                        std::back_inserter(out));
+  return FromPositions(std::move(out));
+}
+
+CandidateList CandidateList::Union(const CandidateList& other) const {
+  if (empty()) return other;
+  if (other.empty()) return *this;
+  if (dense_ && other.dense_ && first_ <= other.first_ + other.count_ &&
+      other.first_ <= first_ + count_) {
+    // Overlapping or adjacent dense ranges stay dense.
+    size_t lo = std::min(first_, other.first_);
+    size_t hi = std::max(first_ + count_, other.first_ + other.count_);
+    return Dense(lo, hi - lo);
+  }
+  std::vector<size_t> a = ToPositions();
+  std::vector<size_t> b = other.ToPositions();
+  std::vector<uint32_t> out;
+  out.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return FromPositions(std::move(out));
+}
+
+CandidateList CandidateList::Difference(const CandidateList& other) const {
+  if (empty() || other.empty()) return *this;
+  std::vector<size_t> a = ToPositions();
+  std::vector<size_t> b = other.ToPositions();
+  std::vector<uint32_t> out;
+  out.reserve(a.size());
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(out));
+  return FromPositions(std::move(out));
+}
+
+CandidateList CandidateList::Sliced(size_t start, size_t count) const {
+  size_t n = size();
+  start = std::min(start, n);
+  count = std::min(count, n - start);
+  if (dense_) return Dense(first_ + start, count);
+  return FromPositions(std::vector<uint32_t>(
+      positions_.begin() + static_cast<ptrdiff_t>(start),
+      positions_.begin() + static_cast<ptrdiff_t>(start + count)));
+}
+
+std::vector<size_t> CandidateList::ToPositions() const {
+  std::vector<size_t> out(size());
+  if (dense_) {
+    for (size_t i = 0; i < out.size(); ++i) out[i] = first_ + i;
+  } else {
+    for (size_t i = 0; i < out.size(); ++i) out[i] = positions_[i];
+  }
+  return out;
+}
+
+std::string CandidateList::DebugString() const {
+  if (dense_) {
+    return base::StrFormat("cand[dense %zu..%zu)", first_, first_ + count_);
+  }
+  return base::StrFormat("cand[%zu rows]", positions_.size());
+}
+
+}  // namespace mirror::monet

@@ -1,0 +1,81 @@
+#ifndef MIRROR_MONET_CANDIDATE_H_
+#define MIRROR_MONET_CANDIDATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mirror::monet {
+
+/// A selection vector over one base BAT: the late-materialization
+/// representation of "these rows survive". Production column stores run
+/// whole selection/semijoin pipelines over candidate lists and copy tuples
+/// only at pipeline breakers; the Mirror kernel does the same (see
+/// ARCHITECTURE.md, "materialization boundaries").
+///
+/// Two encodings, mirroring MonetDB's candidate lists:
+///  - dense: the contiguous position range [first, first+count), stored in
+///    O(1) space (the "no selection yet" and Slice cases);
+///  - sparse: an explicitly sorted vector of row positions.
+///
+/// Positions are row indexes into the base BAT, NOT oids: a candidate list
+/// is only meaningful together with the BAT it was derived from.
+class CandidateList {
+ public:
+  /// The empty selection.
+  CandidateList() = default;
+
+  /// All rows of a BAT of size `n`.
+  static CandidateList All(size_t n) { return Dense(0, n); }
+
+  /// The dense position range [first, first+count).
+  static CandidateList Dense(size_t first, size_t count);
+
+  /// An explicit position vector; must be sorted ascending and free of
+  /// duplicates (checked in debug builds).
+  static CandidateList FromPositions(std::vector<uint32_t> positions);
+
+  size_t size() const { return dense_ ? count_ : positions_.size(); }
+  bool empty() const { return size() == 0; }
+  bool is_dense() const { return dense_; }
+  /// First position of a dense range (dense lists only).
+  size_t first() const { return first_; }
+
+  /// The i-th surviving row position (candidates are always ascending).
+  size_t PositionAt(size_t i) const {
+    return dense_ ? first_ + i : positions_[i];
+  }
+
+  /// Set intersection with another candidate list over the same base.
+  CandidateList Intersect(const CandidateList& other) const;
+
+  /// Set union with another candidate list over the same base.
+  CandidateList Union(const CandidateList& other) const;
+
+  /// Set difference: positions of this list not in `other`.
+  CandidateList Difference(const CandidateList& other) const;
+
+  /// The sub-list [start, start+count) in candidate order — Slice over an
+  /// unmaterialized pipeline (clamped like Slice).
+  CandidateList Sliced(size_t start, size_t count) const;
+
+  /// Positions as size_t, for Column::Gather.
+  std::vector<size_t> ToPositions() const;
+
+  /// The underlying sorted position vector (sparse lists only) — lets
+  /// gathers run off the 32-bit form without widening.
+  const std::vector<uint32_t>& sparse_positions() const { return positions_; }
+
+  /// e.g. "cand[dense 5..12)" or "cand[7 rows]".
+  std::string DebugString() const;
+
+ private:
+  bool dense_ = true;
+  size_t first_ = 0;
+  size_t count_ = 0;
+  std::vector<uint32_t> positions_;
+};
+
+}  // namespace mirror::monet
+
+#endif  // MIRROR_MONET_CANDIDATE_H_

@@ -77,36 +77,53 @@ Column Column::Materialized() const {
   return MakeOids(std::move(oids));
 }
 
-Column Column::Gather(const std::vector<size_t>& positions) const {
+namespace {
+
+// One gather body shared by the 64- and 32-bit position forms.
+template <typename Positions, typename ValueAt, typename Make>
+auto GatherAs(const Positions& positions, ValueAt value_at, Make make) {
+  using Out = decltype(value_at(size_t{0}));
+  std::vector<Out> out;
+  out.reserve(positions.size());
+  for (auto p : positions) out.push_back(value_at(static_cast<size_t>(p)));
+  return make(std::move(out));
+}
+
+}  // namespace
+
+template <typename Positions>
+Column Column::GatherImpl(const Positions& positions) const {
   switch (type_) {
     case ValueType::kVoid:
-    case ValueType::kOid: {
-      std::vector<Oid> out;
-      out.reserve(positions.size());
-      for (size_t p : positions) out.push_back(OidAt(p));
-      return MakeOids(std::move(out));
-    }
-    case ValueType::kInt: {
-      std::vector<int64_t> out;
-      out.reserve(positions.size());
-      for (size_t p : positions) out.push_back(ints_[p]);
-      return MakeInts(std::move(out));
-    }
-    case ValueType::kDbl: {
-      std::vector<double> out;
-      out.reserve(positions.size());
-      for (size_t p : positions) out.push_back(dbls_[p]);
-      return MakeDbls(std::move(out));
-    }
-    case ValueType::kStr: {
-      std::vector<uint32_t> out;
-      out.reserve(positions.size());
-      for (size_t p : positions) out.push_back(str_offsets_[p]);
-      return MakeStrsShared(heap_, std::move(out));
-    }
+    case ValueType::kOid:
+      return GatherAs(
+          positions, [&](size_t p) { return OidAt(p); },
+          [](std::vector<Oid> v) { return MakeOids(std::move(v)); });
+    case ValueType::kInt:
+      return GatherAs(
+          positions, [&](size_t p) { return ints_[p]; },
+          [](std::vector<int64_t> v) { return MakeInts(std::move(v)); });
+    case ValueType::kDbl:
+      return GatherAs(
+          positions, [&](size_t p) { return dbls_[p]; },
+          [](std::vector<double> v) { return MakeDbls(std::move(v)); });
+    case ValueType::kStr:
+      return GatherAs(
+          positions, [&](size_t p) { return str_offsets_[p]; },
+          [&](std::vector<uint32_t> v) {
+            return MakeStrsShared(heap_, std::move(v));
+          });
   }
   MIRROR_UNREACHABLE();
   return Column::MakeVoid(0, 0);
+}
+
+Column Column::Gather(const std::vector<size_t>& positions) const {
+  return GatherImpl(positions);
+}
+
+Column Column::Gather(const std::vector<uint32_t>& positions) const {
+  return GatherImpl(positions);
 }
 
 bool Column::TypeCompatible(ValueType t) const {

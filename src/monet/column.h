@@ -69,8 +69,10 @@ class Column {
   Column Materialized() const;
 
   /// Gathers `positions` into a new column of the same type (void heads
-  /// materialize to oids).
+  /// materialize to oids). The 32-bit overload serves candidate lists
+  /// and kernel position vectors without widening them first.
   Column Gather(const std::vector<size_t>& positions) const;
+  Column Gather(const std::vector<uint32_t>& positions) const;
 
   /// True if a Value of type `t` can be stored in / compared with this
   /// column (void matches oid; int and dbl inter-compare).
@@ -78,6 +80,9 @@ class Column {
 
  private:
   Column() = default;
+
+  template <typename Positions>
+  Column GatherImpl(const Positions& positions) const;
 
   ValueType type_ = ValueType::kVoid;
   size_t size_ = 0;

@@ -1,0 +1,648 @@
+#include "monet/exec.h"
+
+#include <algorithm>
+#include <cctype>
+#include <condition_variable>
+#include <thread>
+
+#include "monet/bat_ops.h"
+#include "monet/prob_ops.h"
+#include "monet/profiler.h"
+
+namespace mirror::monet::mil {
+
+// ---------------------------------------------------------------------------
+// WorkerPool.
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::EnsureWorkers(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int>(threads_.size()) < n) {
+    threads_.emplace_back([this] { Loop(); });
+  }
+}
+
+void WorkerPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+int WorkerPool::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(threads_.size());
+}
+
+void WorkerPool::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // shutdown with a drained queue
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ExecutionContext.
+
+std::string ExecutionContext::NormalizeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  bool pending_space = false;
+  bool in_literal = false;  // inside '...': whitespace is significant
+  for (char c : text) {
+    if (!in_literal && std::isspace(static_cast<unsigned char>(c))) {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) {
+      out += ' ';
+      pending_space = false;
+    }
+    if (c == '\'') in_literal = !in_literal;
+    out += c;
+  }
+  return out;
+}
+
+std::shared_ptr<const Program> ExecutionContext::CachedPlan(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++lookups_;
+  auto it = plans_.find(key);
+  if (it == plans_.end()) return nullptr;
+  ++hits_;
+  return it->second;
+}
+
+void ExecutionContext::CachePlan(const std::string& key, Program program) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Bounded: keys include query bindings, so sessions serving ad-hoc
+  // queries would otherwise grow without limit. Eviction is arbitrary —
+  // the cache targets verbatim-repeated queries, not working sets.
+  while (plans_.size() >= kMaxPlans && !plans_.empty()) {
+    plans_.erase(plans_.begin());
+  }
+  plans_[key] = std::make_shared<const Program>(std::move(program));
+}
+
+void ExecutionContext::InvalidatePlans() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.clear();
+}
+
+size_t ExecutionContext::plan_cache_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_.size();
+}
+
+// ---------------------------------------------------------------------------
+// ExecutionEngine.
+
+bool IsCandidatePipelineOp(OpCode op) {
+  switch (op) {
+    case OpCode::kSelectEq:
+    case OpCode::kSelectNeq:
+    case OpCode::kSelectCmp:
+    case OpCode::kSelectRange:
+    case OpCode::kSemiJoinHead:
+    case OpCode::kAntiJoinHead:
+    case OpCode::kSemiJoinTail:
+    case OpCode::kSlice:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+/// Shared state of one Run(): the borrowed register file plus the mutex
+/// guarding post-completion slot upgrades (candidate view -> materialized
+/// BAT). Producer-side slot writes need no lock: the scheduler's queue
+/// mutex orders them before any dependent reads.
+struct RunState {
+  const Catalog* catalog;
+  bool use_candidates;
+  std::vector<RegValue>* regs;
+  std::mutex slot_mu;
+
+  RegValue& slot(int reg) { return (*regs)[static_cast<size_t>(reg)]; }
+};
+
+/// A register's materialized BAT; lazily collapses a candidate view into
+/// a BAT (shared by all later consumers of the register). The gather
+/// itself runs outside slot_mu so independent pipeline breakers stay
+/// parallel; racing consumers may materialize twice, and the first to
+/// publish wins.
+base::Result<BatPtr> MatInput(RunState& st, int reg) {
+  if (reg < 0 || reg >= static_cast<int>(st.regs->size())) {
+    return base::Status::Internal("register out of range");
+  }
+  BatPtr base;
+  std::shared_ptr<const CandidateList> cands;
+  {
+    std::lock_guard<std::mutex> lock(st.slot_mu);
+    RegValue& rv = st.slot(reg);
+    if (!rv.written || rv.is_scalar || rv.bat == nullptr) {
+      return base::Status::Internal("register r" + std::to_string(reg) +
+                                    " does not hold a BAT");
+    }
+    if (!rv.is_candidate()) return rv.bat;
+    const CandidateList& c = *rv.cands;
+    if (c.is_dense() && c.first() == 0 && c.size() == rv.bat->size()) {
+      rv.cands = nullptr;  // full coverage: the base IS the result
+      return rv.bat;
+    }
+    base = rv.bat;
+    cands = rv.cands;
+  }
+  BatPtr materialized = std::make_shared<const Bat>(Materialize(*base, *cands));
+  std::lock_guard<std::mutex> lock(st.slot_mu);
+  RegValue& rv = st.slot(reg);
+  if (rv.is_candidate()) {
+    rv.bat = materialized;
+    rv.cands = nullptr;
+  }
+  return rv.bat;
+}
+
+/// A register as (base BAT, optional candidate list) without forcing
+/// materialization.
+base::Status CandInput(RunState& st, int reg, BatPtr* base,
+                       std::shared_ptr<const CandidateList>* cands) {
+  if (reg < 0 || reg >= static_cast<int>(st.regs->size())) {
+    return base::Status::Internal("register out of range");
+  }
+  std::lock_guard<std::mutex> lock(st.slot_mu);
+  RegValue& rv = st.slot(reg);
+  if (!rv.written || rv.is_scalar || rv.bat == nullptr) {
+    return base::Status::Internal("register r" + std::to_string(reg) +
+                                  " does not hold a BAT");
+  }
+  *base = rv.bat;
+  *cands = rv.cands;
+  return base::Status::Ok();
+}
+
+void PutBat(RunState& st, int dst, Bat bat) {
+  RegValue& rv = st.slot(dst);
+  rv.Clear();
+  rv.bat = std::make_shared<const Bat>(std::move(bat));
+  rv.written = true;
+}
+
+void PutBatPtr(RunState& st, int dst, BatPtr bat) {
+  RegValue& rv = st.slot(dst);
+  rv.Clear();
+  rv.bat = std::move(bat);
+  rv.written = true;
+}
+
+void PutCand(RunState& st, int dst, BatPtr base, CandidateList cands) {
+  RegValue& rv = st.slot(dst);
+  rv.Clear();
+  rv.bat = std::move(base);
+  rv.cands = std::make_shared<const CandidateList>(std::move(cands));
+  rv.written = true;
+}
+
+void PutScalar(RunState& st, int dst, double scalar) {
+  RegValue& rv = st.slot(dst);
+  rv.Clear();
+  rv.scalar = scalar;
+  rv.is_scalar = true;
+  rv.written = true;
+}
+
+/// Executes one instruction against the register file. The selection
+/// family produces candidate views; everything else is a pipeline breaker
+/// that materializes its inputs.
+base::Status ExecInstr(RunState& st, const Instr& i) {
+  auto mat1 = [&]() { return MatInput(st, i.src1); };
+
+  if (st.use_candidates && IsCandidatePipelineOp(i.op)) {
+    BatPtr base;
+    std::shared_ptr<const CandidateList> cands;
+    MIRROR_RETURN_IF_ERROR(CandInput(st, i.src0, &base, &cands));
+    const CandidateList* domain = cands.get();
+    switch (i.op) {
+      case OpCode::kSelectEq:
+        PutCand(st, i.dst, base, SelectEqCand(*base, i.imm0, domain));
+        return base::Status::Ok();
+      case OpCode::kSelectNeq:
+        PutCand(st, i.dst, base, SelectNeqCand(*base, i.imm0, domain));
+        return base::Status::Ok();
+      case OpCode::kSelectCmp:
+        PutCand(st, i.dst, base,
+                SelectCmpCand(*base, i.cmp_op, i.imm0, domain));
+        return base::Status::Ok();
+      case OpCode::kSelectRange:
+        PutCand(st, i.dst, base,
+                SelectRangeCand(*base, i.imm0, i.imm1, i.flag0, i.flag1,
+                                domain));
+        return base::Status::Ok();
+      case OpCode::kSemiJoinHead:
+      case OpCode::kAntiJoinHead: {
+        // Oid-aligned fast path: when both sides are void-headed columns
+        // over the same dense oid range (the flattener's select→semijoin
+        // candidate chains), head membership IS position membership, so
+        // the semijoin collapses to a sorted position-set intersection —
+        // no hash build, no materialization of either side.
+        BatPtr rbase;
+        std::shared_ptr<const CandidateList> rcands;
+        MIRROR_RETURN_IF_ERROR(CandInput(st, i.src1, &rbase, &rcands));
+        if (base->head().is_void() && rbase->head().is_void() &&
+            base->head().void_base() == rbase->head().void_base()) {
+          CandidateList lc =
+              domain != nullptr ? *domain : CandidateList::All(base->size());
+          CandidateList rc = rcands != nullptr
+                                 ? *rcands
+                                 : CandidateList::All(rbase->size());
+          rc = rc.Intersect(CandidateList::All(base->size()));
+          CandidateList out = i.op == OpCode::kSemiJoinHead
+                                  ? lc.Intersect(rc)
+                                  : lc.Difference(rc);
+          TrackKernelOp(i.op == OpCode::kSemiJoinHead ? KernelOp::kSemiJoin
+                                                      : KernelOp::kAntiJoin,
+                        lc.size() + rc.size(), out.size());
+          TrackCandidateOp();
+          PutCand(st, i.dst, base, std::move(out));
+          return base::Status::Ok();
+        }
+        // General case: the right side is a hash build side (pipeline
+        // breaker).
+        auto r = mat1();
+        if (!r.ok()) return r.status();
+        CandidateList out = i.op == OpCode::kSemiJoinHead
+                                ? SemiJoinHeadCand(*base, *r.value(), domain)
+                                : AntiJoinHeadCand(*base, *r.value(), domain);
+        PutCand(st, i.dst, base, std::move(out));
+        return base::Status::Ok();
+      }
+      case OpCode::kSemiJoinTail: {
+        auto r = mat1();
+        if (!r.ok()) return r.status();
+        PutCand(st, i.dst, base,
+                SemiJoinTailCand(*base, *r.value(), domain));
+        return base::Status::Ok();
+      }
+      case OpCode::kSlice: {
+        CandidateList all = CandidateList::All(base->size());
+        const CandidateList& dom = domain != nullptr ? *domain : all;
+        CandidateList out = dom.Sliced(static_cast<size_t>(i.n),
+                                       static_cast<size_t>(i.n2));
+        TrackKernelOp(KernelOp::kSlice, dom.size(), out.size());
+        TrackCandidateOp();
+        PutCand(st, i.dst, base, std::move(out));
+        return base::Status::Ok();
+      }
+      default:
+        break;
+    }
+  }
+
+  switch (i.op) {
+    case OpCode::kLoadNamed: {
+      if (st.catalog == nullptr) {
+        return base::Status::Internal("no catalog bound for load: " + i.name);
+      }
+      auto bat = st.catalog->Get(i.name);
+      if (!bat.ok()) return bat.status();
+      PutBatPtr(st, i.dst, bat.TakeValue());
+      return base::Status::Ok();
+    }
+    case OpCode::kConstBat:
+      MIRROR_CHECK(i.const_bat != nullptr);
+      PutBatPtr(st, i.dst, i.const_bat);
+      return base::Status::Ok();
+    default:
+      break;
+  }
+
+  auto l = MatInput(st, i.src0);
+  if (!l.ok()) return l.status();
+  const Bat& b0 = *l.value();
+  switch (i.op) {
+    case OpCode::kSelectEq:
+      PutBat(st, i.dst, SelectEq(b0, i.imm0));
+      break;
+    case OpCode::kSelectNeq:
+      PutBat(st, i.dst, SelectNeq(b0, i.imm0));
+      break;
+    case OpCode::kSelectCmp:
+      PutBat(st, i.dst, SelectCmp(b0, i.cmp_op, i.imm0));
+      break;
+    case OpCode::kSelectRange:
+      PutBat(st, i.dst, SelectRange(b0, i.imm0, i.imm1, i.flag0, i.flag1));
+      break;
+    case OpCode::kJoin: {
+      auto r = mat1();
+      if (!r.ok()) return r.status();
+      PutBat(st, i.dst, Join(b0, *r.value()));
+      break;
+    }
+    case OpCode::kSemiJoinHead: {
+      auto r = mat1();
+      if (!r.ok()) return r.status();
+      PutBat(st, i.dst, SemiJoinHead(b0, *r.value()));
+      break;
+    }
+    case OpCode::kAntiJoinHead: {
+      auto r = mat1();
+      if (!r.ok()) return r.status();
+      PutBat(st, i.dst, AntiJoinHead(b0, *r.value()));
+      break;
+    }
+    case OpCode::kSemiJoinTail: {
+      auto r = mat1();
+      if (!r.ok()) return r.status();
+      PutBat(st, i.dst, SemiJoinTail(b0, *r.value()));
+      break;
+    }
+    case OpCode::kReverse:
+      PutBat(st, i.dst, Reverse(b0));
+      break;
+    case OpCode::kMirror:
+      PutBat(st, i.dst, Mirror(b0));
+      break;
+    case OpCode::kMark:
+      PutBat(st, i.dst, Mark(b0, static_cast<Oid>(i.n)));
+      break;
+    case OpCode::kSortTail:
+      PutBat(st, i.dst, SortByTail(b0, i.flag0));
+      break;
+    case OpCode::kTopN:
+      PutBat(st, i.dst, TopNByTail(b0, static_cast<size_t>(i.n), i.flag0));
+      break;
+    case OpCode::kUniqueTail:
+      PutBat(st, i.dst, UniqueTail(b0));
+      break;
+    case OpCode::kUniqueHead:
+      PutBat(st, i.dst, UniqueHead(b0));
+      break;
+    case OpCode::kSlice:
+      PutBat(st, i.dst, Slice(b0, static_cast<size_t>(i.n),
+                              static_cast<size_t>(i.n2)));
+      break;
+    case OpCode::kConcat: {
+      auto r = mat1();
+      if (!r.ok()) return r.status();
+      PutBat(st, i.dst, Concat(b0, *r.value()));
+      break;
+    }
+    case OpCode::kSumPerHead:
+      PutBat(st, i.dst, SumPerHead(b0));
+      break;
+    case OpCode::kCountPerHead:
+      PutBat(st, i.dst, CountPerHead(b0));
+      break;
+    case OpCode::kMaxPerHead:
+      PutBat(st, i.dst, MaxPerHead(b0));
+      break;
+    case OpCode::kMinPerHead:
+      PutBat(st, i.dst, MinPerHead(b0));
+      break;
+    case OpCode::kAvgPerHead:
+      PutBat(st, i.dst, AvgPerHead(b0));
+      break;
+    case OpCode::kProdPerHead:
+      PutBat(st, i.dst, ProdPerHead(b0));
+      break;
+    case OpCode::kProbOrPerHead:
+      PutBat(st, i.dst, ProbOrPerHead(b0));
+      break;
+    case OpCode::kCountPerTailValue:
+      PutBat(st, i.dst, CountPerTailValue(b0));
+      break;
+    case OpCode::kMapBinary: {
+      auto r = mat1();
+      if (!r.ok()) return r.status();
+      PutBat(st, i.dst, MapBinary(b0, *r.value(), i.bin_op));
+      break;
+    }
+    case OpCode::kMapBinaryScalar:
+      PutBat(st, i.dst, MapBinaryScalar(b0, i.imm0, i.bin_op));
+      break;
+    case OpCode::kMapUnary:
+      PutBat(st, i.dst, MapUnary(b0, i.un_op));
+      break;
+    case OpCode::kFillTail:
+      PutBat(st, i.dst, FillTail(b0, i.imm0));
+      break;
+    case OpCode::kBelief: {
+      auto r1 = mat1();
+      if (!r1.ok()) return r1.status();
+      auto r2 = MatInput(st, i.src2);
+      if (!r2.ok()) return r2.status();
+      PutBat(st, i.dst,
+             BeliefTfIdf(b0, *r1.value(), *r2.value(), i.num_docs,
+                         i.avg_doclen, i.belief));
+      break;
+    }
+    case OpCode::kScalarSum:
+      PutScalar(st, i.dst, ScalarSum(b0));
+      break;
+    case OpCode::kScalarCount:
+      PutScalar(st, i.dst, static_cast<double>(ScalarCount(b0)));
+      break;
+    case OpCode::kLoadNamed:
+    case OpCode::kConstBat:
+      MIRROR_UNREACHABLE();
+      break;
+  }
+  return base::Status::Ok();
+}
+
+/// Register dependency DAG over the straight-line SSA program: one node
+/// per instruction, one edge producer -> consumer per source register.
+struct Dag {
+  std::vector<std::vector<int>> dependents;  // producer idx -> consumer idxs
+  std::vector<int> indegree;                 // distinct producers per instr
+  bool ssa = true;  // every register written at most once
+};
+
+Dag BuildDag(const Program& program) {
+  const std::vector<Instr>& instrs = program.instrs();
+  Dag dag;
+  dag.dependents.resize(instrs.size());
+  dag.indegree.assign(instrs.size(), 0);
+  std::vector<int> producer(static_cast<size_t>(program.num_regs()), -1);
+  for (size_t idx = 0; idx < instrs.size(); ++idx) {
+    const Instr& i = instrs[idx];
+    if (i.dst < 0 || i.dst >= program.num_regs() ||
+        producer[static_cast<size_t>(i.dst)] != -1) {
+      dag.ssa = false;
+      return dag;
+    }
+    producer[static_cast<size_t>(i.dst)] = static_cast<int>(idx);
+  }
+  for (size_t idx = 0; idx < instrs.size(); ++idx) {
+    const Instr& i = instrs[idx];
+    int deps[3] = {-1, -1, -1};
+    int num_deps = 0;
+    for (int src : {i.src0, i.src1, i.src2}) {
+      if (src < 0) continue;
+      int p = producer[static_cast<size_t>(src)];
+      if (p < 0) continue;  // unwritten register: surfaces at exec time
+      bool dup = false;
+      for (int d = 0; d < num_deps; ++d) dup = dup || deps[d] == p;
+      if (!dup) deps[num_deps++] = p;
+    }
+    for (int d = 0; d < num_deps; ++d) {
+      dag.dependents[static_cast<size_t>(deps[d])].push_back(
+          static_cast<int>(idx));
+      ++dag.indegree[idx];
+    }
+  }
+  return dag;
+}
+
+base::Status RunSequential(RunState& st, const Program& program) {
+  for (const Instr& i : program.instrs()) {
+    MIRROR_RETURN_IF_ERROR(ExecInstr(st, i));
+  }
+  return base::Status::Ok();
+}
+
+/// One DAG execution: tasks (one per instruction) are submitted to the
+/// session's persistent worker pool as they become ready; each finishing
+/// task releases its dependents. The submitting thread blocks until every
+/// submitted task has finished (`inflight == 0`).
+struct DagRun {
+  RunState* st;
+  const std::vector<Instr>* instrs;
+  const Dag* dag;
+  WorkerPool* pool;
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::vector<int> indegree;
+  size_t completed = 0;
+  size_t inflight = 0;  // submitted tasks not yet finished
+  bool failed = false;
+  base::Status error;
+
+  void SubmitNode(int idx) {
+    ++inflight;  // caller holds mu (or no worker is running yet)
+    pool->Submit([this, idx] { ExecNode(idx); });
+  }
+
+  void ExecNode(int idx) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (failed) {
+        // Short-circuit: still account for the task so the waiter wakes.
+        if (--inflight == 0) done_cv.notify_all();
+        return;
+      }
+    }
+    base::Status status = ExecInstr(*st, (*instrs)[static_cast<size_t>(idx)]);
+    std::lock_guard<std::mutex> lock(mu);
+    if (!status.ok()) {
+      failed = true;
+      error = status;
+    } else {
+      ++completed;
+      for (int dep : dag->dependents[static_cast<size_t>(idx)]) {
+        if (--indegree[static_cast<size_t>(dep)] == 0) SubmitNode(dep);
+      }
+    }
+    if (--inflight == 0) done_cv.notify_all();
+  }
+};
+
+base::Status RunParallel(RunState& st, const Program& program, const Dag& dag,
+                         WorkerPool* pool) {
+  const std::vector<Instr>& instrs = program.instrs();
+  DagRun run;
+  run.st = &st;
+  run.instrs = &instrs;
+  run.dag = &dag;
+  run.pool = pool;
+  run.indegree = dag.indegree;
+  {
+    std::lock_guard<std::mutex> lock(run.mu);
+    for (size_t idx = 0; idx < instrs.size(); ++idx) {
+      if (run.indegree[idx] == 0) run.SubmitNode(static_cast<int>(idx));
+    }
+  }
+  std::unique_lock<std::mutex> lock(run.mu);
+  run.done_cv.wait(lock, [&] { return run.inflight == 0; });
+  if (run.failed) return run.error;
+  if (run.completed != instrs.size()) {
+    return base::Status::Internal(
+        "execution DAG stalled (cyclic register dependencies?)");
+  }
+  return base::Status::Ok();
+}
+
+}  // namespace
+
+base::Result<RunResult> ExecutionEngine::Run(const Program& program,
+                                             ExecutionContext* ctx) const {
+  ExecutionContext local;
+  if (ctx == nullptr) ctx = &local;
+  std::vector<RegValue>& regs = ctx->regs_;
+  regs.assign(static_cast<size_t>(program.num_regs()), RegValue());
+  // Release the query's intermediates when Run leaves — on error paths
+  // too — rather than pinning them in the session until the next run
+  // (the vector's capacity stays for reuse).
+  struct RegsReleaser {
+    std::vector<RegValue>* regs;
+    ~RegsReleaser() { regs->clear(); }
+  } releaser{&regs};
+
+  RunState st{catalog_, options_.use_candidates, &regs};
+  if (options_.num_threads <= 1 || program.instrs().size() < 2) {
+    MIRROR_RETURN_IF_ERROR(RunSequential(st, program));
+  } else {
+    Dag dag = BuildDag(program);
+    if (!dag.ssa) {
+      // Multiple writers of one register: not a data-flow program; run in
+      // program order, which is always correct.
+      MIRROR_RETURN_IF_ERROR(RunSequential(st, program));
+    } else {
+      ctx->pool_.EnsureWorkers(options_.num_threads);
+      MIRROR_RETURN_IF_ERROR(RunParallel(st, program, dag, &ctx->pool_));
+    }
+  }
+
+  if (program.result_reg() < 0) {
+    return base::Status::Internal("program has no result register");
+  }
+  if (program.result_reg() >= static_cast<int>(regs.size())) {
+    return base::Status::Internal("result register out of range");
+  }
+  RegValue& result = st.slot(program.result_reg());
+  if (!result.written) {
+    return base::Status::Internal("result register was never written");
+  }
+  RunResult out;
+  if (result.is_scalar) {
+    out.scalar = result.scalar;
+    out.is_scalar = true;
+  } else {
+    // Result delivery is a pipeline breaker: collapse any candidate view.
+    auto bat = MatInput(st, program.result_reg());
+    if (!bat.ok()) return bat.status();
+    out.bat = bat.value();
+  }
+  return out;
+}
+
+}  // namespace mirror::monet::mil

@@ -1,0 +1,164 @@
+#ifndef MIRROR_MONET_EXEC_H_
+#define MIRROR_MONET_EXEC_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "monet/candidate.h"
+#include "monet/mil.h"
+
+namespace mirror::monet::mil {
+
+/// A persistent pool of worker threads draining a task queue. Owned by
+/// the session's ExecutionContext so the threads survive across queries:
+/// spawning threads per query would dominate short plans.
+class WorkerPool {
+ public:
+  WorkerPool() = default;
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+  ~WorkerPool();
+
+  /// Grows the pool to at least `n` threads (never shrinks).
+  void EnsureWorkers(int n);
+
+  /// Enqueues a task; some worker runs it eventually.
+  void Submit(std::function<void()> task);
+
+  int size() const;
+
+ private:
+  void Loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool shutdown_ = false;
+};
+
+/// Tuning knobs of the vectorized execution engine. Defaults reproduce a
+/// single-threaded run with candidate pipelines enabled.
+struct ExecOptions {
+  /// Worker threads scheduling independent MIL instructions. 1 executes
+  /// in program order on the calling thread (no pool is spun up).
+  int num_threads = 1;
+  /// When true, the selection/semijoin/slice family runs over candidate
+  /// lists and tuples are copied only at pipeline breakers. When false,
+  /// every operator materializes its result — the classic `Executor`
+  /// behavior, kept as the experiment baseline.
+  bool use_candidates = true;
+};
+
+/// One register during execution: a materialized BAT, an unmaterialized
+/// candidate view over a base BAT (`bat` + `cands`), or a scalar.
+struct RegValue {
+  BatPtr bat;
+  std::shared_ptr<const CandidateList> cands;  // set iff candidate view
+  double scalar = 0;
+  bool is_scalar = false;
+  bool written = false;
+
+  bool is_candidate() const { return cands != nullptr; }
+  void Clear() { *this = RegValue(); }
+};
+
+/// Session-scoped execution state: the per-query register file (reused
+/// across runs to avoid reallocation) and a plan cache keyed by normalized
+/// program text, so repeated Moa queries skip re-flattening entirely.
+///
+/// One context serves one session: a single query runs on it at a time
+/// (the engine's worker pool parallelizes WITHIN that query). The plan
+/// cache itself is thread-safe. Cached plans are valid for the lifetime of
+/// the loaded database; re-loading a set must be followed by
+/// InvalidatePlans().
+class ExecutionContext {
+ public:
+  ExecutionContext() = default;
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  /// Collapses whitespace runs so formatting differences don't defeat the
+  /// cache: the canonical cache-key form of a query or program text.
+  static std::string NormalizeText(std::string_view text);
+
+  /// Looks up a cached plan; null on miss. Counts toward hit statistics.
+  std::shared_ptr<const Program> CachedPlan(const std::string& key) const;
+
+  /// Stores a compiled plan under `key` (replacing any previous entry).
+  void CachePlan(const std::string& key, Program program);
+
+  /// Drops every cached plan (call after schema or data reloads).
+  void InvalidatePlans();
+
+  size_t plan_cache_size() const;
+  uint64_t plan_cache_hits() const { return hits_; }
+  uint64_t plan_cache_lookups() const { return lookups_; }
+
+  /// Plan-cache capacity; oldest-by-bucket entries are evicted beyond it.
+  static constexpr size_t kMaxPlans = 256;
+
+ private:
+  friend class ExecutionEngine;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const Program>> plans_;
+  mutable uint64_t hits_ = 0;
+  mutable uint64_t lookups_ = 0;
+
+  /// Scratch register file borrowed by ExecutionEngine::Run.
+  std::vector<RegValue> regs_;
+
+  /// Session worker pool: grows to the largest thread count any engine
+  /// requests on this context.
+  WorkerPool pool_;
+};
+
+/// True for the opcodes the engine can run over candidate vectors (the
+/// select/semijoin/slice family). Single source of truth shared with the
+/// optimizer's candidate-chain diagnostics.
+bool IsCandidatePipelineOp(OpCode op);
+
+/// Data-flow MIL executor: builds the SSA register dependency DAG of a
+/// Program and schedules independent instructions across a worker pool,
+/// running the selection family over candidate vectors with explicit
+/// materialization only at pipeline breakers (sort, group-agg, join
+/// sides, map arithmetic, result delivery).
+///
+/// Replaces the stateless sequential `Executor` as the production path;
+/// the old interpreter remains as the E-series baseline and the fuzz
+/// suite's second oracle.
+class ExecutionEngine {
+ public:
+  /// The catalog must outlive the engine. May be null if programs use no
+  /// kLoadNamed.
+  explicit ExecutionEngine(const Catalog* catalog,
+                           ExecOptions options = ExecOptions())
+      : catalog_(catalog), options_(options) {}
+
+  /// Runs `program`, borrowing `ctx`'s register file (a local scratch
+  /// context is used when null). Returns the result register's value,
+  /// materialized.
+  base::Result<RunResult> Run(const Program& program,
+                              ExecutionContext* ctx = nullptr) const;
+
+  const ExecOptions& options() const { return options_; }
+
+ private:
+  const Catalog* catalog_;
+  ExecOptions options_;
+};
+
+}  // namespace mirror::monet::mil
+
+#endif  // MIRROR_MONET_EXEC_H_

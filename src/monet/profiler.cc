@@ -1,10 +1,23 @@
 #include "monet/profiler.h"
 
-#include <cstring>
+#include <mutex>
 
 #include "base/str_util.h"
 
 namespace mirror::monet {
+
+namespace {
+
+/// Serializes all mutations of the global counters: operators run
+/// concurrently on the ExecutionEngine's worker pool. One uncontended
+/// lock per operator invocation (not per tuple) is noise next to the
+/// column scans the operators perform.
+std::mutex& StatsMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
 
 const char* KernelOpName(KernelOp op) {
   switch (op) {
@@ -42,6 +55,8 @@ const char* KernelOpName(KernelOp op) {
       return "histogram";
     case KernelOp::kBelief:
       return "belief";
+    case KernelOp::kMaterialize:
+      return "materialize";
     case KernelOp::kNumOps:
       return "?";
   }
@@ -56,7 +71,15 @@ uint64_t KernelStats::TotalOps() const {
   return total;
 }
 
-void KernelStats::Reset() { std::memset(this, 0, sizeof(*this)); }
+uint64_t KernelStats::TotalWallNanos() const {
+  uint64_t total = 0;
+  for (int i = 0; i < static_cast<int>(KernelOp::kNumOps); ++i) {
+    total += wall_nanos[i];
+  }
+  return total;
+}
+
+void KernelStats::Reset() { *this = KernelStats(); }
 
 std::string KernelStats::ToString() const {
   std::string out =
@@ -72,6 +95,13 @@ std::string KernelStats::ToString() const {
   out += base::StrFormat(") in=%llu out=%llu",
                          static_cast<unsigned long long>(tuples_in),
                          static_cast<unsigned long long>(tuples_out));
+  if (candidate_ops > 0 || materializations > 0) {
+    out += base::StrFormat(
+        " cand=%llu mat=%llu/%llu",
+        static_cast<unsigned long long>(candidate_ops),
+        static_cast<unsigned long long>(materializations),
+        static_cast<unsigned long long>(materialized_tuples));
+  }
   return out;
 }
 
@@ -81,10 +111,28 @@ KernelStats& GlobalKernelStats() {
 }
 
 void TrackKernelOp(KernelOp op, uint64_t tuples_in, uint64_t tuples_out) {
+  std::lock_guard<std::mutex> lock(StatsMutex());
   KernelStats& s = GlobalKernelStats();
   ++s.op_count[static_cast<int>(op)];
   s.tuples_in += tuples_in;
   s.tuples_out += tuples_out;
+}
+
+void TrackKernelTime(KernelOp op, uint64_t nanos) {
+  std::lock_guard<std::mutex> lock(StatsMutex());
+  GlobalKernelStats().wall_nanos[static_cast<int>(op)] += nanos;
+}
+
+void TrackCandidateOp() {
+  std::lock_guard<std::mutex> lock(StatsMutex());
+  ++GlobalKernelStats().candidate_ops;
+}
+
+void TrackMaterialization(uint64_t tuples) {
+  std::lock_guard<std::mutex> lock(StatsMutex());
+  KernelStats& s = GlobalKernelStats();
+  ++s.materializations;
+  s.materialized_tuples += tuples;
 }
 
 }  // namespace mirror::monet

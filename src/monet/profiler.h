@@ -1,6 +1,7 @@
 #ifndef MIRROR_MONET_PROFILER_H_
 #define MIRROR_MONET_PROFILER_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -28,7 +29,8 @@ enum class KernelOp : int {
   kSlice,
   kHistogram,
   kBelief,
-  kNumOps,  // sentinel
+  kMaterialize,  // candidate list -> BAT tuple copies (pipeline breakers)
+  kNumOps,       // sentinel
 };
 
 /// Stable name of a kernel op family ("join", "select", ...).
@@ -37,25 +39,73 @@ const char* KernelOpName(KernelOp op);
 /// Aggregated kernel execution counters.
 struct KernelStats {
   uint64_t op_count[static_cast<int>(KernelOp::kNumOps)] = {};
+  /// Wall time spent inside each operator family, in nanoseconds
+  /// (operators report through KernelTimer).
+  uint64_t wall_nanos[static_cast<int>(KernelOp::kNumOps)] = {};
   uint64_t tuples_in = 0;
   uint64_t tuples_out = 0;
+  /// Late-materialization accounting: kernel invocations that produced or
+  /// consumed a CandidateList without copying tuples, vs. explicit
+  /// Materialize() copies at pipeline breakers.
+  uint64_t candidate_ops = 0;
+  uint64_t materializations = 0;
+  uint64_t materialized_tuples = 0;
 
   /// Total operator invocations across all families.
   uint64_t TotalOps() const;
 
+  /// Total operator wall time across all families, in nanoseconds.
+  uint64_t TotalWallNanos() const;
+
   /// Zeroes all counters.
   void Reset();
 
-  /// One-line summary, e.g. "ops=12 (join=3 select=2 ...) in=4096 out=512".
+  /// One-line summary, e.g.
+  /// "ops=12 (join=3 select=2 ...) in=4096 out=512 cand=4 mat=1/128".
   std::string ToString() const;
 };
 
-/// Process-wide kernel counters. Not thread-safe by design: the kernel is
-/// single-threaded per session, like the 1999 system.
+/// Process-wide kernel counters. Mutations go through the Track* functions
+/// below, which serialize under an internal mutex: kernel operators run
+/// concurrently on the ExecutionEngine's worker pool. Reading a copy while
+/// a query runs yields a consistent-enough snapshot for reporting.
 KernelStats& GlobalKernelStats();
 
 /// Records one operator execution with its input/output cardinalities.
 void TrackKernelOp(KernelOp op, uint64_t tuples_in, uint64_t tuples_out);
+
+/// Adds operator wall time to a family (use KernelTimer rather than
+/// calling this directly).
+void TrackKernelTime(KernelOp op, uint64_t nanos);
+
+/// Records one candidate-producing/consuming kernel invocation (no tuple
+/// copy happened).
+void TrackCandidateOp();
+
+/// Records one Materialize() call copying `tuples` tuples out of a
+/// candidate pipeline.
+void TrackMaterialization(uint64_t tuples);
+
+/// Scoped wall-time attribution to one operator family. Place at the top
+/// of an operator body; destruction adds the elapsed time.
+class KernelTimer {
+ public:
+  explicit KernelTimer(KernelOp op)
+      : op_(op), start_(std::chrono::steady_clock::now()) {}
+  KernelTimer(const KernelTimer&) = delete;
+  KernelTimer& operator=(const KernelTimer&) = delete;
+  ~KernelTimer() {
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    TrackKernelTime(
+        op_, static_cast<uint64_t>(
+                 std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                     .count()));
+  }
+
+ private:
+  KernelOp op_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace mirror::monet
 

@@ -1,8 +1,9 @@
 // Randomized equivalence testing: generates random databases and random
 // queries from the supported grammar and checks that the naive
-// interpreter and the flattened engine (optimized and unoptimized)
-// produce identical results — the architecture's central theorem, probed
-// far beyond the hand-written cases.
+// interpreter, the legacy sequential executor and the candidate-vector
+// ExecutionEngine (at 1 and 4 worker threads) all produce identical
+// results — the architecture's central theorem, probed far beyond the
+// hand-written cases.
 
 #include <map>
 #include <set>
@@ -15,6 +16,8 @@
 #include "moa/flatten.h"
 #include "moa/naive_eval.h"
 #include "moa/optimizer.h"
+#include "monet/bat_ops.h"
+#include "monet/exec.h"
 #include "monet/mil.h"
 
 namespace mirror::moa {
@@ -115,19 +118,52 @@ std::map<Oid, double> RunNaive(const Database& db, const QueryContext& ctx,
   return out;
 }
 
+/// How to run the flattened program.
+struct EngineMode {
+  const char* label;
+  bool use_engine;  // false = legacy sequential Executor
+  int num_threads = 1;
+};
+
+constexpr EngineMode kEngineModes[] = {
+    {"sequential-executor", false},
+    {"engine-1-thread", true, 1},
+    {"engine-4-threads", true, 4},
+};
+
 std::map<Oid, double> RunFlat(const Database& db, const QueryContext& ctx,
-                              const ExprPtr& expr, bool optimize) {
+                              const ExprPtr& expr, bool optimize,
+                              const EngineMode& mode,
+                              monet::mil::ExecutionContext* session) {
   ExprPtr logical = expr;
   OptimizerReport report;
   if (optimize) logical = RewriteLogical(logical, &report);
-  Flattener flattener(&db, &ctx, FlattenOptions{.optimize = optimize});
+  Flattener flattener(&db, &ctx, FlattenOptions{.optimize = optimize},
+                      session);
   auto program = flattener.Compile(logical);
-  EXPECT_TRUE(program.ok())
-      << program.status().ToString() << "\nquery: " << expr->ToString();
+  if (!program.ok()) {
+    ADD_FAILURE() << program.status().ToString()
+                  << "\nquery: " << expr->ToString();
+    return {};
+  }
   monet::mil::Program prog = program.TakeValue();
   if (optimize) OptimizeMil(&prog, &report);
-  auto run = monet::mil::Executor(&db.catalog()).Run(prog);
-  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  base::Result<monet::mil::RunResult> run =
+      base::Status::Internal("unreachable");
+  if (mode.use_engine) {
+    monet::mil::ExecutionEngine engine(
+        &db.catalog(),
+        monet::mil::ExecOptions{.num_threads = mode.num_threads,
+                                .use_candidates = true});
+    run = engine.Run(prog, session);
+  } else {
+    run = monet::mil::Executor(&db.catalog()).Run(prog);
+  }
+  if (!run.ok()) {
+    ADD_FAILURE() << mode.label << ": " << run.status().ToString()
+                  << "\nquery: " << expr->ToString();
+    return {};
+  }
   std::map<Oid, double> out;
   const monet::Bat& bat = *run.value().bat;
   for (size_t i = 0; i < bat.size(); ++i) {
@@ -162,26 +198,109 @@ TEST_P(FuzzEquivalenceTest, NaiveAndFlattenedAgreeOnRandomQueries) {
   }
   ctx.Bind("query", binding);
 
+  monet::mil::ExecutionContext session;
   for (int q = 0; q < 12; ++q) {
     std::string text = RandomQuery(&rng, weighted);
     SCOPED_TRACE(text);
     auto expr = ParseExpr(text);
     ASSERT_TRUE(expr.ok()) << expr.status().ToString();
     auto naive = RunNaive(db, ctx, expr.value());
-    auto optimized = RunFlat(db, ctx, expr.value(), true);
-    auto unoptimized = RunFlat(db, ctx, expr.value(), false);
-    ASSERT_EQ(naive.size(), optimized.size());
-    ASSERT_EQ(naive.size(), unoptimized.size());
-    for (const auto& [oid, score] : naive) {
-      ASSERT_TRUE(optimized.count(oid)) << "oid " << oid;
-      EXPECT_NEAR(optimized.at(oid), score, 1e-9) << "oid " << oid;
-      EXPECT_NEAR(unoptimized.at(oid), score, 1e-9) << "oid " << oid;
+    // Every engine mode, optimized and unoptimized, must agree with the
+    // naive interpreter exactly (same result set, scores within epsilon).
+    for (const EngineMode& mode : kEngineModes) {
+      SCOPED_TRACE(mode.label);
+      for (bool optimize : {true, false}) {
+        auto flat = RunFlat(db, ctx, expr.value(), optimize, mode, &session);
+        ASSERT_EQ(naive.size(), flat.size()) << "optimize=" << optimize;
+        for (const auto& [oid, score] : naive) {
+          ASSERT_TRUE(flat.count(oid)) << "oid " << oid;
+          EXPECT_NEAR(flat.at(oid), score, 1e-9)
+              << "oid " << oid << " optimize=" << optimize;
+        }
+      }
     }
   }
+  // The session's flatten-level plan cache must have been exercised: the
+  // three modes compile the same (expr, bindings) pairs.
+  EXPECT_GT(session.plan_cache_hits(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalenceTest,
                          ::testing::Range<uint64_t>(1, 21));
+
+// ---------------------------------------------------------------------------
+// String-heap sharing edge cases across Concat/Gather: operator outputs
+// must stay correct whether columns share one interned heap or come from
+// distinct heaps, including through candidate materialization.
+
+TEST(StringHeapEdgeCases, ConcatAcrossDistinctHeapsReinterns) {
+  using monet::Bat;
+  using monet::Value;
+  Bat a = Bat::DenseStrs({"sun", "sea", "sun"});
+  Bat b = Bat::DenseStrs({"sea", "dune", "sun"}, /*base=*/3);
+  ASSERT_NE(a.tail().heap(), b.tail().heap());
+  Bat c = monet::Concat(a, b);
+  ASSERT_EQ(c.size(), 6u);
+  // Re-interned into a's heap: equal strings have equal offsets again.
+  EXPECT_EQ(c.tail().heap(), a.tail().heap());
+  EXPECT_EQ(c.tail().StrAt(1), "sea");
+  EXPECT_EQ(c.tail().StrAt(3), "sea");
+  EXPECT_EQ(c.tail().StrOffsetAt(1), c.tail().StrOffsetAt(3));
+  EXPECT_EQ(c.tail().StrOffsetAt(0), c.tail().StrOffsetAt(5));
+  EXPECT_EQ(c.tail().StrAt(4), "dune");
+  // Selection over the concatenated column sees both halves.
+  Bat suns = monet::SelectEq(c, Value::MakeStr("sun"));
+  ASSERT_EQ(suns.size(), 3u);
+  EXPECT_EQ(suns.head().OidAt(0), 0u);
+  EXPECT_EQ(suns.head().OidAt(1), 2u);
+  EXPECT_EQ(suns.head().OidAt(2), 5u);
+}
+
+TEST(StringHeapEdgeCases, ConcatOfGatheredSharedHeapColumnsStaysShared) {
+  using monet::Bat;
+  using monet::CandidateList;
+  using monet::Value;
+  Bat base = Bat::DenseStrs({"sun", "sea", "sky", "sun", "sea", "dune"});
+  // Two candidate materializations off the same base share its heap...
+  Bat first = monet::Materialize(
+      base, monet::SelectEqCand(base, Value::MakeStr("sun")));
+  Bat second = monet::Materialize(
+      base, monet::SelectEqCand(base, Value::MakeStr("sea")));
+  EXPECT_EQ(first.tail().heap(), base.tail().heap());
+  EXPECT_EQ(second.tail().heap(), base.tail().heap());
+  // ...so their concat takes the shared-heap fast path (offset append).
+  Bat merged = monet::Concat(first, second);
+  EXPECT_EQ(merged.tail().heap(), base.tail().heap());
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged.tail().StrAt(0), "sun");
+  EXPECT_EQ(merged.tail().StrAt(2), "sea");
+  // Histogram over the merged column groups by heap offset correctly.
+  Bat hist = monet::CountPerTailValue(merged);
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_EQ(hist.head().StrAt(0), "sea");
+  EXPECT_EQ(hist.tail().IntAt(0), 2);
+  EXPECT_EQ(hist.head().StrAt(1), "sun");
+  EXPECT_EQ(hist.tail().IntAt(1), 2);
+}
+
+TEST(StringHeapEdgeCases, SemiJoinAcrossDistinctHeapsComparesBySpelling) {
+  using monet::Bat;
+  // Same spellings, different heaps: the kernel must fall back to string
+  // comparison (not offset comparison).
+  Bat l = Bat::DenseStrs({"sun", "sea", "sky"});
+  Bat r = Bat::DenseStrs({"sky", "sun"});
+  ASSERT_NE(l.tail().heap(), r.tail().heap());
+  Bat kept = monet::SemiJoinTail(l, r);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept.tail().StrAt(0), "sun");
+  EXPECT_EQ(kept.tail().StrAt(1), "sky");
+  // Candidate form agrees.
+  Bat kept_late =
+      monet::Materialize(l, monet::SemiJoinTailCand(l, r));
+  ASSERT_EQ(kept_late.size(), 2u);
+  EXPECT_EQ(kept_late.tail().StrAt(0), "sun");
+  EXPECT_EQ(kept_late.tail().StrAt(1), "sky");
+}
 
 }  // namespace
 }  // namespace mirror::moa

@@ -71,13 +71,13 @@ TEST(ColumnTest, MaterializeVoid) {
 
 TEST(ColumnTest, GatherPreservesTypes) {
   Column ints = Column::MakeInts({10, 20, 30, 40});
-  Column picked = ints.Gather({3, 1});
+  Column picked = ints.Gather(std::vector<size_t>{3, 1});
   EXPECT_EQ(picked.size(), 2u);
   EXPECT_EQ(picked.IntAt(0), 40);
   EXPECT_EQ(picked.IntAt(1), 20);
 
   Column strs = Column::MakeStrs({"a", "b", "c"});
-  Column s2 = strs.Gather({2, 0});
+  Column s2 = strs.Gather(std::vector<uint32_t>{2, 0});
   EXPECT_EQ(s2.StrAt(0), "c");
   EXPECT_EQ(s2.StrAt(1), "a");
   EXPECT_EQ(s2.heap(), strs.heap());  // heap shared, not copied

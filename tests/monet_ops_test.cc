@@ -458,5 +458,158 @@ TEST(ProfilerTest, OpsAreCounted) {
   EXPECT_NE(stats.ToString().find("select=1"), std::string::npos);
 }
 
+TEST(ProfilerTest, CandidateAndMaterializationCountersTrack) {
+  GlobalKernelStats().Reset();
+  Bat b = Bat::DenseInts({1, 2, 3, 4, 5});
+  CandidateList c = SelectCmpCand(b, CmpOp::kGt, Value::MakeInt(2));
+  Materialize(b, c);
+  KernelStats& stats = GlobalKernelStats();
+  EXPECT_EQ(stats.candidate_ops, 1u);
+  EXPECT_EQ(stats.materializations, 1u);
+  EXPECT_EQ(stats.materialized_tuples, 3u);
+  EXPECT_EQ(stats.op_count[static_cast<int>(KernelOp::kMaterialize)], 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Candidate lists and candidate-vector kernels.
+
+TEST(CandidateListTest, DenseAndSparseBasics) {
+  CandidateList all = CandidateList::All(5);
+  EXPECT_TRUE(all.is_dense());
+  EXPECT_EQ(all.size(), 5u);
+  EXPECT_EQ(all.PositionAt(3), 3u);
+
+  CandidateList sparse = CandidateList::FromPositions({1, 4, 7});
+  EXPECT_FALSE(sparse.is_dense());
+  EXPECT_EQ(sparse.size(), 3u);
+  EXPECT_EQ(sparse.PositionAt(2), 7u);
+
+  CandidateList inter = sparse.Intersect(CandidateList::Dense(2, 10));
+  ASSERT_EQ(inter.size(), 2u);
+  EXPECT_EQ(inter.PositionAt(0), 4u);
+  EXPECT_EQ(inter.PositionAt(1), 7u);
+
+  CandidateList uni =
+      sparse.Union(CandidateList::FromPositions({2, 4}));
+  ASSERT_EQ(uni.size(), 4u);
+  EXPECT_EQ(uni.PositionAt(0), 1u);
+  EXPECT_EQ(uni.PositionAt(1), 2u);
+
+  CandidateList sliced = sparse.Sliced(1, 5);
+  ASSERT_EQ(sliced.size(), 2u);
+  EXPECT_EQ(sliced.PositionAt(0), 4u);
+}
+
+TEST(CandidateOpsTest, SelectCandMatchesMaterializingSelect) {
+  base::Rng rng(99);
+  Bat b = RandomIntBat(500, 40, &rng);
+  Value lo = Value::MakeInt(10);
+  Bat classic = SelectCmp(b, CmpOp::kGe, lo);
+  Bat late = Materialize(b, SelectCmpCand(b, CmpOp::kGe, lo));
+  ASSERT_EQ(classic.size(), late.size());
+  for (size_t i = 0; i < classic.size(); ++i) {
+    EXPECT_EQ(classic.head().OidAt(i), late.head().OidAt(i));
+    EXPECT_EQ(classic.tail().IntAt(i), late.tail().IntAt(i));
+  }
+}
+
+TEST(CandidateOpsTest, ChainedCandidatesMatchChainedSelects) {
+  base::Rng rng(7);
+  Bat b = RandomIntBat(800, 50, &rng);
+  // Classic: materialize after every operator.
+  Bat step1 = SelectCmp(b, CmpOp::kGe, Value::MakeInt(10));
+  Bat step2 = SelectCmp(step1, CmpOp::kLe, Value::MakeInt(35));
+  Bat classic = SelectNeq(step2, Value::MakeInt(20));
+  // Late: one candidate pipeline, one copy.
+  CandidateList c1 = SelectCmpCand(b, CmpOp::kGe, Value::MakeInt(10));
+  CandidateList c2 = SelectCmpCand(b, CmpOp::kLe, Value::MakeInt(35), &c1);
+  CandidateList c3 = SelectNeqCand(b, Value::MakeInt(20), &c2);
+  Bat late = Materialize(b, c3);
+  ASSERT_EQ(classic.size(), late.size());
+  for (size_t i = 0; i < classic.size(); ++i) {
+    EXPECT_EQ(classic.head().OidAt(i), late.head().OidAt(i));
+    EXPECT_EQ(classic.tail().IntAt(i), late.tail().IntAt(i));
+  }
+}
+
+TEST(CandidateOpsTest, SemiAndAntiJoinCandMatchMaterializing) {
+  Bat l = Bat(Column::MakeOids({0, 1, 2, 3, 4, 5}),
+              Column::MakeInts({10, 11, 12, 13, 14, 15}));
+  Bat r = Bat(Column::MakeOids({1, 3, 5, 9}),
+              Column::MakeInts({0, 0, 0, 0}));
+  Bat classic_semi = SemiJoinHead(l, r);
+  Bat late_semi = Materialize(l, SemiJoinHeadCand(l, r));
+  ASSERT_EQ(classic_semi.size(), late_semi.size());
+  for (size_t i = 0; i < classic_semi.size(); ++i) {
+    EXPECT_EQ(classic_semi.head().OidAt(i), late_semi.head().OidAt(i));
+  }
+  Bat classic_anti = AntiJoinHead(l, r);
+  Bat late_anti = Materialize(l, AntiJoinHeadCand(l, r));
+  ASSERT_EQ(classic_anti.size(), late_anti.size());
+  for (size_t i = 0; i < classic_anti.size(); ++i) {
+    EXPECT_EQ(classic_anti.head().OidAt(i), late_anti.head().OidAt(i));
+  }
+  // Candidate domain composes: semijoin after a selection.
+  CandidateList sel = SelectCmpCand(l, CmpOp::kGe, Value::MakeInt(12));
+  Bat late_chain = Materialize(l, SemiJoinHeadCand(l, r, &sel));
+  Bat classic_chain = SemiJoinHead(SelectCmp(l, CmpOp::kGe, Value::MakeInt(12)), r);
+  ASSERT_EQ(classic_chain.size(), late_chain.size());
+  for (size_t i = 0; i < classic_chain.size(); ++i) {
+    EXPECT_EQ(classic_chain.head().OidAt(i), late_chain.head().OidAt(i));
+    EXPECT_EQ(classic_chain.tail().IntAt(i), late_chain.tail().IntAt(i));
+  }
+}
+
+TEST(CandidateOpsTest, StringSelectionOverCandidates) {
+  Bat b = Bat::DenseStrs({"sun", "sea", "sun", "sky", "sun", "sea"});
+  CandidateList c1 = SelectNeqCand(b, Value::MakeStr("sea"));
+  CandidateList c2 = SelectEqCand(b, Value::MakeStr("sun"), &c1);
+  Bat late = Materialize(b, c2);
+  ASSERT_EQ(late.size(), 3u);
+  EXPECT_EQ(late.head().OidAt(0), 0u);
+  EXPECT_EQ(late.head().OidAt(1), 2u);
+  EXPECT_EQ(late.head().OidAt(2), 4u);
+  // The materialized result still shares the base BAT's string heap.
+  EXPECT_EQ(late.tail().heap(), b.tail().heap());
+}
+
+// ---------------------------------------------------------------------------
+// TopN: bounded partial sort must reproduce the stable full-sort prefix.
+
+TEST(TopNTest, TiesBreakTowardEarlierRowsLikeStableSort) {
+  // Duplicate tails: 5 at positions 0,2,4 and 3 at positions 1,5.
+  Bat b = Bat(Column::MakeOids({0, 1, 2, 3, 4, 5}),
+              Column::MakeInts({5, 3, 5, 1, 5, 3}));
+  Bat top3 = TopNByTail(b, 3, /*descending=*/true);
+  ASSERT_EQ(top3.size(), 3u);
+  EXPECT_EQ(top3.head().OidAt(0), 0u);
+  EXPECT_EQ(top3.head().OidAt(1), 2u);
+  EXPECT_EQ(top3.head().OidAt(2), 4u);
+  // Crossing a tie boundary: top-4 takes the earlier of the two 3s.
+  Bat top4 = TopNByTail(b, 4, /*descending=*/true);
+  ASSERT_EQ(top4.size(), 4u);
+  EXPECT_EQ(top4.head().OidAt(3), 1u);
+  // Ascending ties as well.
+  Bat bottom3 = TopNByTail(b, 3, /*descending=*/false);
+  ASSERT_EQ(bottom3.size(), 3u);
+  EXPECT_EQ(bottom3.head().OidAt(0), 3u);
+  EXPECT_EQ(bottom3.head().OidAt(1), 1u);
+  EXPECT_EQ(bottom3.head().OidAt(2), 5u);
+}
+
+TEST(TopNTest, BoundedPathMatchesFullSortPrefixOnRandomData) {
+  base::Rng rng(4242);
+  Bat b = RandomIntBat(2000, 25, &rng);  // dense duplicates
+  for (size_t k : {1u, 7u, 100u, 1999u, 2000u, 5000u}) {
+    Bat top = TopNByTail(b, k, /*descending=*/true);
+    Bat full = SortByTail(b, /*ascending=*/false);
+    ASSERT_EQ(top.size(), std::min<size_t>(k, b.size()));
+    for (size_t i = 0; i < top.size(); ++i) {
+      EXPECT_EQ(top.head().OidAt(i), full.head().OidAt(i)) << "k=" << k;
+      EXPECT_EQ(top.tail().IntAt(i), full.tail().IntAt(i)) << "k=" << k;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mirror::monet
