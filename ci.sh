@@ -31,4 +31,23 @@ awk -v s="${SPEEDUP}" 'BEGIN { exit (s >= 2.0) ? 0 : 1 }' || {
   exit 1
 }
 
+echo "== fused-aggregation gate (E3d select→SumPerHead, 400k rows) =="
+# Baseline is the engine@1T as it stood before fused aggregation
+# (fuse_aggregates off): the candidate view materialized ahead of every
+# aggregate. The fused path at 4 threads must be >= 1.5x and perform zero
+# Materialize() calls (bench_retrieval itself aborts if mat != 0).
+AGG_SPEEDUP=$(grep -m1 '"speedup_fused4_vs_engine1"' build/BENCH_retrieval.json \
+            | awk -F': ' '{gsub(/[,[:space:]]/, "", $2); print $2}')
+AGG_MAT=$(grep -m1 '"materialize_calls_fused"' build/BENCH_retrieval.json \
+            | awk -F': ' '{gsub(/[,[:space:]]/, "", $2); print $2}')
+echo "fused agg at 4 threads vs pre-fusion engine@1T: ${AGG_SPEEDUP}x (materialize calls: ${AGG_MAT})"
+awk -v s="${AGG_SPEEDUP}" 'BEGIN { exit (s >= 1.5) ? 0 : 1 }' || {
+  echo "FAIL: select→agg fused speedup ${AGG_SPEEDUP}x is below the 1.5x floor"
+  exit 1
+}
+[ "${AGG_MAT}" = "0" ] || {
+  echo "FAIL: fused select→agg plan performed ${AGG_MAT} Materialize() calls (want 0)"
+  exit 1
+}
+
 echo "CI OK — artifacts: build/BENCH_bat_kernel.json build/BENCH_retrieval.json"

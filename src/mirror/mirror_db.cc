@@ -21,6 +21,43 @@ std::string PlanKey(const std::string& query_text,
 
 }  // namespace
 
+base::Status MirrorDb::Load(const std::string& set_name,
+                            std::vector<moa::MoaValue> objects) {
+  base::Status status = logical_.Load(set_name, std::move(objects));
+  if (!status.ok()) return status;
+  // New contents invalidate every compiled plan that names this database:
+  // notify live sessions so their next query re-flattens.
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (mil::ExecutionContext* session : sessions_) {
+    session->InvalidatePlans();
+  }
+  return status;
+}
+
+void MirrorDb::RegisterSession(mil::ExecutionContext* session) const {
+  if (session == nullptr) return;
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (mil::ExecutionContext* s : sessions_) {
+    if (s == session) return;
+  }
+  sessions_.push_back(session);
+}
+
+void MirrorDb::UnregisterSession(mil::ExecutionContext* session) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if (*it == session) {
+      sessions_.erase(it);
+      return;
+    }
+  }
+}
+
+size_t MirrorDb::registered_session_count() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return sessions_.size();
+}
+
 base::Result<PreparedQuery> MirrorDb::Prepare(
     const std::string& query_text, const moa::QueryContext& ctx,
     const QueryOptions& options, mil::ExecutionContext* session) const {

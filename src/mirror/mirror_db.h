@@ -1,6 +1,7 @@
 #ifndef MIRROR_MIRROR_MIRROR_DB_H_
 #define MIRROR_MIRROR_MIRROR_DB_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -53,11 +54,23 @@ class MirrorDb {
     return logical_.Define(schema_text);
   }
 
-  /// Bulk-loads objects into a defined set.
+  /// Bulk-loads objects into a defined set. Cached plans compiled against
+  /// the previous contents are stale afterwards, so every registered
+  /// session (see RegisterSession) is notified and drops its plan cache —
+  /// callers no longer call InvalidatePlans() by hand.
   base::Status Load(const std::string& set_name,
-                    std::vector<moa::MoaValue> objects) {
-    return logical_.Load(set_name, std::move(objects));
-  }
+                    std::vector<moa::MoaValue> objects);
+
+  /// Registers a live session for plan-cache invalidation on Load. The
+  /// session must outlive the registration (unregister before destroying
+  /// it). Registering the same session twice is a no-op.
+  void RegisterSession(monet::mil::ExecutionContext* session) const;
+
+  /// Removes a session from the invalidation list (no-op if absent).
+  void UnregisterSession(monet::mil::ExecutionContext* session) const;
+
+  /// Number of currently registered sessions (diagnostics/tests).
+  size_t registered_session_count() const;
 
   /// Parses, optimizes and compiles a query without running it. A
   /// non-null `session` consults/fills the session's flatten-level plan
@@ -69,9 +82,10 @@ class MirrorDb {
 
   /// Executes a query in the paper's surface syntax. With a `session`,
   /// repeated queries (same normalized text and bindings) skip parsing,
-  /// flattening and MIL optimization via the session plan cache; the
-  /// session is invalid after re-Load()ing a set unless
-  /// session->InvalidatePlans() is called.
+  /// flattening and MIL optimization via the session plan cache.
+  /// RegisterSession()ed sessions are invalidated automatically on Load;
+  /// unregistered ones must call session->InvalidatePlans() after a
+  /// re-Load themselves.
   base::Result<moa::EvalOutput> Query(
       const std::string& query_text, const moa::QueryContext& ctx,
       const QueryOptions& options = QueryOptions(),
@@ -95,6 +109,11 @@ class MirrorDb {
 
  private:
   moa::Database logical_;
+  /// Sessions notified on Load. Guarded by sessions_mu_; mutable so
+  /// sessions can attach to a const-held database (registration does not
+  /// change logical contents).
+  mutable std::mutex sessions_mu_;
+  mutable std::vector<monet::mil::ExecutionContext*> sessions_;
 };
 
 }  // namespace mirror::db

@@ -13,9 +13,14 @@ ImageRetrievalApp::ImageRetrievalApp(Options options)
     : options_(std::move(options)),
       text_pipeline_(ir::TextPipeline::Options{.remove_stopwords = true,
                                                .stem = true,
-                                               .keep_underscore = true}) {}
+                                               .keep_underscore = true}) {
+  // The app's session lives exactly as long as the app's database, so
+  // Build()'s Load calls (and any re-Build) invalidate cached plans
+  // without manual InvalidatePlans() bookkeeping.
+  db_.RegisterSession(&session_);
+}
 
-ImageRetrievalApp::~ImageRetrievalApp() = default;
+ImageRetrievalApp::~ImageRetrievalApp() { db_.UnregisterSession(&session_); }
 
 base::Status ImageRetrievalApp::Build(
     const std::vector<mm::LibraryImage>& library) {

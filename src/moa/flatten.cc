@@ -155,6 +155,26 @@ class Compiler {
     return prog_.Emit(std::move(i));
   }
 
+  int EmitScalarBin(int src0, int src1, BinOp op) {
+    mil::Instr i;
+    i.op = mil::OpCode::kScalarBin;
+    i.src0 = src0;
+    i.src1 = src1;
+    i.bin_op = op;
+    i.dst = prog_.NewReg();
+    return prog_.Emit(std::move(i));
+  }
+
+  int EmitScalarBinImm(int src0, BinOp op, Value v) {
+    mil::Instr i;
+    i.op = mil::OpCode::kScalarBin;
+    i.src0 = src0;
+    i.bin_op = op;
+    i.imm0 = std::move(v);
+    i.dst = prog_.NewReg();
+    return prog_.Emit(std::move(i));
+  }
+
   // A register holding a BAT whose heads enumerate the scope's oids.
   base::Result<int> BaseReg(const Compiled& scope) {
     if (scope.candidates >= 0) return scope.candidates;
@@ -824,8 +844,19 @@ class Compiler {
       c.reg = EmitUnary(mil::OpCode::kScalarSum, base.reg);
       return c;
     }
+    if (expr->agg == AggKind::kAvg && base.kind == Compiled::Kind::kBat) {
+      // avg = sum / count, fused over the candidate view at execution
+      // (both aggregates read the same unmaterialized register). The
+      // naive oracle defines avg of the empty set as 0, so divide by
+      // max(count, 1): sum is 0 there and the quotient matches.
+      int sum = EmitUnary(mil::OpCode::kScalarSum, base.reg);
+      int count = EmitUnary(mil::OpCode::kScalarCount, base.reg);
+      int denom = EmitScalarBinImm(count, BinOp::kMax, Value::MakeDbl(1));
+      c.reg = EmitScalarBin(sum, denom, BinOp::kDiv);
+      return c;
+    }
     return base::Status::Unimplemented(
-        "only sum/count scalar aggregates are flattened");
+        "only sum/count/avg scalar aggregates are flattened");
   }
 
   const Database* db_;

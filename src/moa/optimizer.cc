@@ -182,6 +182,68 @@ void FuseSelectRanges(mil::Program* program, OptimizerReport* report) {
   *program = std::move(rewritten);
 }
 
+/// Pushes scalar sums through multiplex add/sub: when a `scalar.sum`'s
+/// source is a `map.bin(x, y, add|sub)` with no other consumer, the sum
+/// distributes over the arithmetic —
+///   sum(x + y) = sum(x) + sum(y),  sum(x - y) = sum(x) - sum(y)
+/// — so the rewrite emits two scalar.sum instructions and one scalar.bin
+/// combining them. The multiplex map was a pipeline breaker that forced
+/// both inputs to materialize; after the rewrite the sums run fused over
+/// the candidate views and the map itself dies in DCE. (Heads are
+/// positionally aligned by construction, so pairing is irrelevant to the
+/// total; int sums widen to double either way.)
+void FuseScalarAggregates(mil::Program* program, OptimizerReport* report) {
+  std::vector<int> uses = CountRegisterUses(*program);
+  std::vector<int> producer(static_cast<size_t>(program->num_regs()), -1);
+  const std::vector<mil::Instr>& instrs = program->instrs();
+  for (size_t idx = 0; idx < instrs.size(); ++idx) {
+    int dst = instrs[idx].dst;
+    if (dst < 0 || producer[static_cast<size_t>(dst)] != -1) return;  // not SSA
+    producer[static_cast<size_t>(dst)] = static_cast<int>(idx);
+  }
+  mil::Program rewritten;
+  while (rewritten.num_regs() < program->num_regs()) rewritten.NewReg();
+  bool changed = false;
+  for (size_t idx = 0; idx < instrs.size(); ++idx) {
+    const mil::Instr& instr = instrs[idx];
+    if (instr.op == mil::OpCode::kScalarSum && instr.src0 >= 0 &&
+        uses[static_cast<size_t>(instr.src0)] == 1) {
+      int p = producer[static_cast<size_t>(instr.src0)];
+      if (p >= 0) {
+        const mil::Instr& map = instrs[static_cast<size_t>(p)];
+        if (map.op == mil::OpCode::kMapBinary &&
+            (map.bin_op == monet::BinOp::kAdd ||
+             map.bin_op == monet::BinOp::kSub)) {
+          mil::Instr sum_l;
+          sum_l.op = mil::OpCode::kScalarSum;
+          sum_l.src0 = map.src0;
+          sum_l.dst = rewritten.NewReg();
+          int l = rewritten.Emit(std::move(sum_l));
+          mil::Instr sum_r;
+          sum_r.op = mil::OpCode::kScalarSum;
+          sum_r.src0 = map.src1;
+          sum_r.dst = rewritten.NewReg();
+          int r = rewritten.Emit(std::move(sum_r));
+          mil::Instr combine;
+          combine.op = mil::OpCode::kScalarBin;
+          combine.src0 = l;
+          combine.src1 = r;
+          combine.bin_op = map.bin_op;
+          combine.dst = instr.dst;
+          rewritten.Emit(std::move(combine));
+          if (report != nullptr) report->agg_fusions++;
+          changed = true;
+          continue;  // the orphaned map.bin is left for DCE
+        }
+      }
+    }
+    rewritten.Emit(instr);
+  }
+  if (!changed) return;
+  rewritten.set_result_reg(program->result_reg());
+  *program = std::move(rewritten);
+}
+
 /// Counts select→select/semijoin/slice chain links: each is one tuple
 /// copy the candidate-vector engine avoids relative to the materializing
 /// interpreter. (mil::IsCandidatePipelineOp is the engine's own notion of
@@ -210,6 +272,7 @@ int CountCandidateChainLinks(const mil::Program& program) {
 
 void OptimizeMil(mil::Program* program, OptimizerReport* report) {
   FuseSelectRanges(program, report);
+  FuseScalarAggregates(program, report);
 
   // Common subexpression elimination over the straight-line program:
   // instructions with identical opcode and operands compute the same BAT

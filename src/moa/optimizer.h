@@ -14,6 +14,10 @@ struct OptimizerReport {
   /// select.cmp chains fused into single select.range instructions (the
   /// MIL-level peephole feeding the engine's candidate pipelines).
   int range_fusions = 0;
+  /// scalar.sum over multiplex add/sub pushed through the arithmetic
+  /// (sum(a±b) => sum(a)±sum(b)): the map no longer materializes its
+  /// candidate-view inputs, so both sums run fused over the views.
+  int agg_fusions = 0;
   /// Links in select→semijoin chains the engine will run over candidate
   /// vectors without materializing (diagnostic).
   int candidate_chain_links = 0;
@@ -32,7 +36,9 @@ ExprPtr RewriteLogical(const ExprPtr& expr, OptimizerReport* report);
 
 /// Peephole passes over a flattened MIL program: select-chain fusion
 /// (select.cmp pairs forming a range collapse into one select.range, so
-/// candidate pipelines scan once), then common subexpression elimination,
+/// candidate pipelines scan once), scalar-aggregate pushdown
+/// (sum(a±b) => sum(a)±sum(b), emitting the fused-agg form the engine
+/// runs over candidate views), then common subexpression elimination,
 /// then dead code elimination.
 void OptimizeMil(monet::mil::Program* program, OptimizerReport* report);
 

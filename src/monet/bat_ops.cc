@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -115,22 +116,44 @@ size_t DomainSize(size_t n, const CandidateList* cands) {
   return cands == nullptr ? n : cands->size();
 }
 
-// Membership filter: positions of `probe` (within the candidate domain)
-// whose key occurs in `keys`.
-template <typename K, typename ProbeKeyFn, typename KeysKeyFn>
-std::vector<uint32_t> HashMemberPositions(size_t probe_n, ProbeKeyFn probe_key,
-                                          size_t keys_n, KeysKeyFn keys_key,
-                                          bool keep_members,
-                                          const CandidateList* cands) {
-  std::unordered_set<K> members;
-  members.reserve(keys_n * 2);
-  for (size_t i = 0; i < keys_n; ++i) members.insert(keys_key(i));
-  std::vector<uint32_t> out;
-  ForEachInDomain(probe_n, cands, [&](size_t i) {
-    bool in = members.count(probe_key(i)) > 0;
-    if (in == keep_members) out.push_back(static_cast<uint32_t>(i));
-  });
+// --------------------------------------------------------------------------
+// Morsel splitting. A kernel's domain (all n rows, or the candidate list)
+// is cut into contiguous sub-domains in candidate order; because every
+// sub-domain covers a later slice than its predecessor, per-morsel results
+// are disjoint and ordered, and fragments concatenate without merging.
+
+// The per-morsel sub-domains of a domain of `m` rows split `morsels` ways.
+std::vector<CandidateList> SplitDomain(size_t n, const CandidateList* cands,
+                                       size_t morsels) {
+  CandidateList all;
+  if (cands == nullptr) {
+    all = CandidateList::All(n);
+    cands = &all;
+  }
+  size_t m = cands->size();
+  size_t chunk = (m + morsels - 1) / morsels;
+  std::vector<CandidateList> out;
+  out.reserve(morsels);
+  for (size_t j = 0; j < morsels; ++j) {
+    out.push_back(cands->Sliced(j * chunk, chunk));
+  }
   return out;
+}
+
+// Runs a position-computing core over the (possibly split) domain.
+// `pos_fn(domain)` must return ascending positions within `domain`.
+template <typename PosFn>
+CandidateList MorselizedPositions(size_t n, const CandidateList* cands,
+                                  const MorselExec& mx, PosFn pos_fn) {
+  size_t morsels = mx.MorselsFor(DomainSize(n, cands));
+  if (morsels <= 1) return CandidateList::FromPositions(pos_fn(cands));
+  std::vector<CandidateList> domains = SplitDomain(n, cands, morsels);
+  std::vector<CandidateList> fragments(domains.size());
+  ParallelFor(mx.pool, domains.size(), [&](size_t j) {
+    fragments[j] = CandidateList::FromPositions(pos_fn(&domains[j]));
+  });
+  TrackMorselTasks(domains.size());
+  return CandidateList::ConcatSorted(std::move(fragments));
 }
 
 Bat GatherBat(const Bat& b, const std::vector<size_t>& positions) {
@@ -228,47 +251,75 @@ Bat Slice(const Bat& b, size_t start, size_t count) {
 
 namespace {
 
-Column AppendColumns(const Column& a, const Column& b) {
-  if (a.is_void() && b.is_void() && b.void_base() == a.void_base() + a.size()) {
-    return Column::MakeVoid(a.void_base(), a.size() + b.size());
+// n-way column append: the single definition of the append type rules
+// (void chains stay void; shared-heap strings append offsets, foreign
+// heaps re-intern into the first part's heap; oids concatenate; all-int
+// stays int; mixed numeric widens to dbl). One allocation for the whole
+// output, shared by pairwise Concat and morselized Materialize.
+Column AppendAllColumns(const std::vector<const Column*>& parts) {
+  MIRROR_CHECK(!parts.empty());
+  size_t total = 0;
+  for (const Column* c : parts) total += c->size();
+  bool void_chain = parts[0]->is_void();
+  for (size_t i = 1; void_chain && i < parts.size(); ++i) {
+    void_chain = parts[i]->is_void() &&
+                 parts[i]->void_base() ==
+                     parts[i - 1]->void_base() + parts[i - 1]->size();
   }
-  ValueType ta = Norm(a.type());
-  ValueType tb = Norm(b.type());
-  if (ta == ValueType::kStr || tb == ValueType::kStr) {
-    MIRROR_CHECK(ta == tb) << "cannot append str to non-str";
-    if (a.heap() == b.heap()) {
-      std::vector<uint32_t> offsets = a.str_offsets();
-      offsets.insert(offsets.end(), b.str_offsets().begin(),
-                     b.str_offsets().end());
-      return Column::MakeStrsShared(a.heap(), std::move(offsets));
+  if (void_chain) return Column::MakeVoid(parts[0]->void_base(), total);
+  ValueType t0 = Norm(parts[0]->type());
+  bool any_dbl = false;
+  for (const Column* c : parts) {
+    ValueType t = Norm(c->type());
+    if (t0 == ValueType::kStr || t == ValueType::kStr) {
+      MIRROR_CHECK(t0 == t) << "cannot append str to non-str";
+    } else if (t0 == ValueType::kOid || t == ValueType::kOid) {
+      MIRROR_CHECK(t0 == t) << "cannot append oid to non-oid";
     }
-    // Re-intern b's strings into a's heap (append-only, safe for sharers).
-    std::vector<uint32_t> offsets = a.str_offsets();
-    offsets.reserve(a.size() + b.size());
-    for (size_t i = 0; i < b.size(); ++i) {
-      offsets.push_back(a.heap()->Intern(b.StrAt(i)));
-    }
-    return Column::MakeStrsShared(a.heap(), std::move(offsets));
+    any_dbl = any_dbl || t == ValueType::kDbl;
   }
-  if (ta == ValueType::kOid || tb == ValueType::kOid) {
-    MIRROR_CHECK(ta == tb) << "cannot append oid to non-oid";
+  if (t0 == ValueType::kStr) {
+    std::vector<uint32_t> offsets;
+    offsets.reserve(total);
+    for (const Column* c : parts) {
+      if (c->heap() == parts[0]->heap()) {
+        offsets.insert(offsets.end(), c->str_offsets().begin(),
+                       c->str_offsets().end());
+      } else {
+        // Re-intern into the first heap (append-only, safe for sharers).
+        for (size_t i = 0; i < c->size(); ++i) {
+          offsets.push_back(parts[0]->heap()->Intern(c->StrAt(i)));
+        }
+      }
+    }
+    return Column::MakeStrsShared(parts[0]->heap(), std::move(offsets));
+  }
+  if (t0 == ValueType::kOid) {
     std::vector<Oid> out;
-    out.reserve(a.size() + b.size());
-    for (size_t i = 0; i < a.size(); ++i) out.push_back(a.OidAt(i));
-    for (size_t i = 0; i < b.size(); ++i) out.push_back(b.OidAt(i));
+    out.reserve(total);
+    for (const Column* c : parts) {
+      for (size_t i = 0; i < c->size(); ++i) out.push_back(c->OidAt(i));
+    }
     return Column::MakeOids(std::move(out));
   }
-  if (ta == ValueType::kInt && tb == ValueType::kInt) {
-    std::vector<int64_t> out = a.ints();
-    out.insert(out.end(), b.ints().begin(), b.ints().end());
+  if (!any_dbl) {
+    std::vector<int64_t> out;
+    out.reserve(total);
+    for (const Column* c : parts) {
+      out.insert(out.end(), c->ints().begin(), c->ints().end());
+    }
     return Column::MakeInts(std::move(out));
   }
-  // Mixed numeric: widen to dbl.
   std::vector<double> out;
-  out.reserve(a.size() + b.size());
-  for (size_t i = 0; i < a.size(); ++i) out.push_back(a.NumAt(i));
-  for (size_t i = 0; i < b.size(); ++i) out.push_back(b.NumAt(i));
+  out.reserve(total);
+  for (const Column* c : parts) {
+    for (size_t i = 0; i < c->size(); ++i) out.push_back(c->NumAt(i));
+  }
   return Column::MakeDbls(std::move(out));
+}
+
+Column AppendColumns(const Column& a, const Column& b) {
+  return AppendAllColumns({&a, &b});
 }
 
 }  // namespace
@@ -406,10 +457,10 @@ std::vector<uint32_t> SelectRangePositions(const Bat& b, const Value& lo,
 
 // Wraps a position core into the candidate form's tracking.
 CandidateList FinishCandidateSelect(KernelOp op, size_t domain,
-                                    std::vector<uint32_t> positions) {
-  TrackKernelOp(op, domain, positions.size());
+                                    CandidateList out) {
+  TrackKernelOp(op, domain, out.size());
   TrackCandidateOp();
-  return CandidateList::FromPositions(std::move(positions));
+  return out;
 }
 
 }  // namespace
@@ -445,41 +496,79 @@ Bat SelectRange(const Bat& b, const Value& lo, const Value& hi,
 }
 
 CandidateList SelectEqCand(const Bat& b, const Value& v,
-                           const CandidateList* cands) {
+                           const CandidateList* cands, const MorselExec& mx) {
   KernelTimer timer(KernelOp::kSelect);
-  return FinishCandidateSelect(KernelOp::kSelect, DomainSize(b.size(), cands),
-                               SelectEqPositions(b, v, cands));
+  return FinishCandidateSelect(
+      KernelOp::kSelect, DomainSize(b.size(), cands),
+      MorselizedPositions(b.size(), cands, mx, [&](const CandidateList* dom) {
+        return SelectEqPositions(b, v, dom);
+      }));
 }
 
 CandidateList SelectNeqCand(const Bat& b, const Value& v,
-                            const CandidateList* cands) {
+                            const CandidateList* cands, const MorselExec& mx) {
   KernelTimer timer(KernelOp::kSelect);
-  return FinishCandidateSelect(KernelOp::kSelect, DomainSize(b.size(), cands),
-                               SelectNeqPositions(b, v, cands));
+  return FinishCandidateSelect(
+      KernelOp::kSelect, DomainSize(b.size(), cands),
+      MorselizedPositions(b.size(), cands, mx, [&](const CandidateList* dom) {
+        return SelectNeqPositions(b, v, dom);
+      }));
 }
 
 CandidateList SelectCmpCand(const Bat& b, CmpOp cmp, const Value& v,
-                            const CandidateList* cands) {
+                            const CandidateList* cands, const MorselExec& mx) {
   KernelTimer timer(KernelOp::kSelect);
-  return FinishCandidateSelect(KernelOp::kSelect, DomainSize(b.size(), cands),
-                               SelectCmpPositions(b, cmp, v, cands));
+  return FinishCandidateSelect(
+      KernelOp::kSelect, DomainSize(b.size(), cands),
+      MorselizedPositions(b.size(), cands, mx, [&](const CandidateList* dom) {
+        return SelectCmpPositions(b, cmp, v, dom);
+      }));
 }
 
 CandidateList SelectRangeCand(const Bat& b, const Value& lo, const Value& hi,
                               bool lo_inclusive, bool hi_inclusive,
-                              const CandidateList* cands) {
+                              const CandidateList* cands,
+                              const MorselExec& mx) {
   KernelTimer timer(KernelOp::kSelect);
   return FinishCandidateSelect(
       KernelOp::kSelect, DomainSize(b.size(), cands),
-      SelectRangePositions(b, lo, hi, lo_inclusive, hi_inclusive, cands));
+      MorselizedPositions(b.size(), cands, mx, [&](const CandidateList* dom) {
+        return SelectRangePositions(b, lo, hi, lo_inclusive, hi_inclusive,
+                                    dom);
+      }));
 }
 
-Bat Materialize(const Bat& b, const CandidateList& cands) {
+namespace {
+
+Bat GatherFragment(const Bat& b, const CandidateList& cands) {
+  if (!cands.is_dense()) return GatherBat(b, cands.sparse_positions());
+  return GatherBat(b, cands.ToPositions());
+}
+
+}  // namespace
+
+Bat Materialize(const Bat& b, const CandidateList& cands,
+                const MorselExec& mx) {
   KernelTimer timer(KernelOp::kMaterialize);
   TrackKernelOp(KernelOp::kMaterialize, cands.size(), cands.size());
   TrackMaterialization(cands.size());
-  if (!cands.is_dense()) return GatherBat(b, cands.sparse_positions());
-  return GatherBat(b, cands.ToPositions());
+  size_t morsels = mx.MorselsFor(cands.size());
+  if (morsels <= 1) return GatherFragment(b, cands);
+  size_t chunk = (cands.size() + morsels - 1) / morsels;
+  std::vector<std::optional<Bat>> fragments(morsels);
+  ParallelFor(mx.pool, morsels, [&](size_t j) {
+    fragments[j].emplace(GatherFragment(b, cands.Sliced(j * chunk, chunk)));
+  });
+  TrackMorselTasks(morsels);
+  std::vector<const Column*> heads;
+  std::vector<const Column*> tails;
+  heads.reserve(morsels);
+  tails.reserve(morsels);
+  for (const std::optional<Bat>& f : fragments) {
+    heads.push_back(&f->head());
+    tails.push_back(&f->tail());
+  }
+  return Bat(AppendAllColumns(heads), AppendAllColumns(tails));
 }
 
 // ---------------------------------------------------------------------------
@@ -537,51 +626,72 @@ Bat Join(const Bat& l, const Bat& r) {
 
 namespace {
 
-std::vector<uint32_t> MembershipPositions(const Column& probe,
-                                          const Column& keys,
-                                          bool keep_members,
-                                          const CandidateList* cands) {
+// Builds the membership hash set once, then probes the candidate domain
+// morsel by morsel (the build side is shared read-only across morsels).
+template <typename K, typename ProbeKeyFn, typename KeysKeyFn>
+CandidateList HashMemberCand(size_t probe_n, ProbeKeyFn probe_key,
+                             size_t keys_n, KeysKeyFn keys_key,
+                             bool keep_members, const CandidateList* cands,
+                             const MorselExec& mx) {
+  std::unordered_set<K> members;
+  members.reserve(keys_n * 2);
+  for (size_t i = 0; i < keys_n; ++i) members.insert(keys_key(i));
+  return MorselizedPositions(
+      probe_n, cands, mx, [&](const CandidateList* dom) {
+        std::vector<uint32_t> out;
+        ForEachInDomain(probe_n, dom, [&](size_t i) {
+          bool in = members.count(probe_key(i)) > 0;
+          if (in == keep_members) out.push_back(static_cast<uint32_t>(i));
+        });
+        return out;
+      });
+}
+
+CandidateList MembershipCand(const Column& probe, const Column& keys,
+                             bool keep_members, const CandidateList* cands,
+                             const MorselExec& mx) {
   switch (PickKeyMode(probe, keys)) {
     case KeyMode::kI64:
     case KeyMode::kStrOffset:
-      return HashMemberPositions<int64_t>(
+      return HashMemberCand<int64_t>(
           probe.size(), [&](size_t i) { return I64KeyAt(probe, i); },
           keys.size(), [&](size_t i) { return I64KeyAt(keys, i); },
-          keep_members, cands);
+          keep_members, cands, mx);
     case KeyMode::kF64:
-      return HashMemberPositions<double>(
+      return HashMemberCand<double>(
           probe.size(), [&](size_t i) { return F64KeyAt(probe, i); },
           keys.size(), [&](size_t i) { return F64KeyAt(keys, i); },
-          keep_members, cands);
+          keep_members, cands, mx);
     case KeyMode::kString:
-      return HashMemberPositions<std::string>(
+      return HashMemberCand<std::string>(
           probe.size(), [&](size_t i) { return std::string(probe.StrAt(i)); },
           keys.size(), [&](size_t i) { return std::string(keys.StrAt(i)); },
-          keep_members, cands);
+          keep_members, cands, mx);
   }
   MIRROR_UNREACHABLE();
-  return {};
+  return CandidateList();
 }
 
+// Materializing form: same position core, then one gather.
 Bat FilterByMembership(const Bat& l, const Column& probe, const Column& keys,
                        bool keep_members, KernelOp op) {
   KernelTimer timer(op);
-  std::vector<uint32_t> positions =
-      MembershipPositions(probe, keys, keep_members, nullptr);
+  CandidateList positions =
+      MembershipCand(probe, keys, keep_members, nullptr, MorselExec{});
   TrackKernelOp(op, l.size() + keys.size(), positions.size());
-  return GatherBat(l, positions);
+  return GatherFragment(l, positions);
 }
 
 CandidateList FilterByMembershipCand(const Column& probe, const Column& keys,
                                      bool keep_members, KernelOp op,
-                                     const CandidateList* cands) {
+                                     const CandidateList* cands,
+                                     const MorselExec& mx) {
   KernelTimer timer(op);
-  std::vector<uint32_t> positions =
-      MembershipPositions(probe, keys, keep_members, cands);
+  CandidateList out = MembershipCand(probe, keys, keep_members, cands, mx);
   TrackKernelOp(op, DomainSize(probe.size(), cands) + keys.size(),
-                positions.size());
+                out.size());
   TrackCandidateOp();
-  return CandidateList::FromPositions(std::move(positions));
+  return out;
 }
 
 }  // namespace
@@ -602,21 +712,24 @@ Bat SemiJoinTail(const Bat& l, const Bat& r) {
 }
 
 CandidateList SemiJoinHeadCand(const Bat& l, const Bat& r,
-                               const CandidateList* lcands) {
+                               const CandidateList* lcands,
+                               const MorselExec& mx) {
   return FilterByMembershipCand(l.head(), r.head(), /*keep_members=*/true,
-                                KernelOp::kSemiJoin, lcands);
+                                KernelOp::kSemiJoin, lcands, mx);
 }
 
 CandidateList AntiJoinHeadCand(const Bat& l, const Bat& r,
-                               const CandidateList* lcands) {
+                               const CandidateList* lcands,
+                               const MorselExec& mx) {
   return FilterByMembershipCand(l.head(), r.head(), /*keep_members=*/false,
-                                KernelOp::kAntiJoin, lcands);
+                                KernelOp::kAntiJoin, lcands, mx);
 }
 
 CandidateList SemiJoinTailCand(const Bat& l, const Bat& r,
-                               const CandidateList* lcands) {
+                               const CandidateList* lcands,
+                               const MorselExec& mx) {
   return FilterByMembershipCand(l.tail(), r.tail(), /*keep_members=*/true,
-                                KernelOp::kSemiJoin, lcands);
+                                KernelOp::kSemiJoin, lcands, mx);
 }
 
 // ---------------------------------------------------------------------------
@@ -713,6 +826,96 @@ Bat TopNByTail(const Bat& b, size_t n, bool descending) {
 
 namespace {
 
+// Dispatches `fn` with a (position, position) -> bool tail-value
+// comparator of the column's type.
+template <typename Fn>
+void WithTailLess(const Column& tail, Fn fn) {
+  switch (tail.type()) {
+    case ValueType::kVoid:
+    case ValueType::kOid:
+      fn([&](size_t a, size_t b) { return tail.OidAt(a) < tail.OidAt(b); });
+      break;
+    case ValueType::kInt:
+      fn([&](size_t a, size_t b) { return tail.IntAt(a) < tail.IntAt(b); });
+      break;
+    case ValueType::kDbl:
+      fn([&](size_t a, size_t b) { return tail.DblAt(a) < tail.DblAt(b); });
+      break;
+    case ValueType::kStr:
+      fn([&](size_t a, size_t b) { return tail.StrAt(a) < tail.StrAt(b); });
+      break;
+  }
+}
+
+}  // namespace
+
+Bat TopNByTailCand(const Bat& b, const CandidateList& cands, size_t n,
+                   bool descending, const MorselExec& mx) {
+  KernelTimer timer(KernelOp::kTopN);
+  TrackFusedAgg();
+  TrackCandidateOp();
+  size_t m = cands.size();
+  std::vector<uint32_t> pos(m);
+  for (size_t i = 0; i < m; ++i) {
+    pos[i] = static_cast<uint32_t>(cands.PositionAt(i));
+  }
+  WithTailLess(b.tail(), [&](auto less) {
+    // (tail value, position) ordering: exactly the prefix a full stable
+    // sort of the materialized view would produce (ties break toward the
+    // earlier candidate), independent of morsel boundaries.
+    auto cmp = [&](uint32_t a, uint32_t c) {
+      bool ac = descending ? less(c, a) : less(a, c);
+      if (ac) return true;
+      bool ca = descending ? less(a, c) : less(c, a);
+      if (ca) return false;
+      return a < c;
+    };
+    if (n >= m) {
+      std::sort(pos.begin(), pos.end(), cmp);
+      return;
+    }
+    size_t morsels = mx.MorselsFor(m);
+    if (morsels <= 1) {
+      std::partial_sort(pos.begin(), pos.begin() + static_cast<ptrdiff_t>(n),
+                        pos.end(), cmp);
+      pos.resize(n);
+      return;
+    }
+    // Per-morsel top-n prefixes, computed in place on the disjoint
+    // [lo, hi) ranges of `pos`, then compacted to the front (the write
+    // cursor never passes a morsel's start) and reduced by one final
+    // selection over the surviving <= morsels*n entries.
+    size_t chunk = (m + morsels - 1) / morsels;
+    std::vector<size_t> keeps(morsels);
+    ParallelFor(mx.pool, morsels, [&](size_t j) {
+      size_t lo = j * chunk;
+      size_t hi = std::min(m, lo + chunk);
+      size_t keep = std::min(n, hi - lo);
+      std::partial_sort(pos.begin() + static_cast<ptrdiff_t>(lo),
+                        pos.begin() + static_cast<ptrdiff_t>(lo + keep),
+                        pos.begin() + static_cast<ptrdiff_t>(hi), cmp);
+      keeps[j] = keep;
+    });
+    TrackMorselTasks(morsels);
+    size_t write = 0;
+    for (size_t j = 0; j < morsels; ++j) {
+      size_t lo = j * chunk;
+      std::copy(pos.begin() + static_cast<ptrdiff_t>(lo),
+                pos.begin() + static_cast<ptrdiff_t>(lo + keeps[j]),
+                pos.begin() + static_cast<ptrdiff_t>(write));
+      write += keeps[j];
+    }
+    size_t keep = std::min(n, write);
+    std::partial_sort(pos.begin(), pos.begin() + static_cast<ptrdiff_t>(keep),
+                      pos.begin() + static_cast<ptrdiff_t>(write), cmp);
+    pos.resize(keep);
+  });
+  TrackKernelOp(KernelOp::kTopN, m, pos.size());
+  return GatherBat(b, pos);
+}
+
+namespace {
+
 std::vector<size_t> FirstOccurrencePositions(const Column& c) {
   std::vector<size_t> out;
   switch (Norm(c.type())) {
@@ -759,7 +962,126 @@ namespace {
 
 enum class AggKind { kSum, kCount, kMax, kMin, kAvg };
 
-Bat AggregatePerHead(const Bat& b, AggKind kind, KernelOp op) {
+struct Acc {
+  double sum = 0;
+  int64_t count = 0;
+  double max = 0;
+  double min = 0;
+
+  void Add(double x) {
+    if (count == 0) {
+      max = x;
+      min = x;
+    } else {
+      max = std::max(max, x);
+      min = std::min(min, x);
+    }
+    sum += x;
+    count += 1;
+  }
+
+  void Merge(const Acc& other) {
+    if (other.count == 0) return;
+    if (count == 0) {
+      *this = other;
+      return;
+    }
+    sum += other.sum;
+    count += other.count;
+    max = std::max(max, other.max);
+    min = std::min(min, other.min);
+  }
+};
+
+using GroupMap = std::unordered_map<int64_t, Acc>;
+
+void AccumulateDomain(const Bat& b, const CandidateList* dom, AggKind kind,
+                      GroupMap* groups) {
+  const Column& head = b.head();
+  const Column& tail = b.tail();
+  ForEachInDomain(b.size(), dom, [&](size_t i) {
+    double x = (kind == AggKind::kCount) ? 0.0 : tail.NumAt(i);
+    (*groups)[I64KeyAt(head, i)].Add(x);
+  });
+}
+
+double FinishAcc(const Acc& acc, AggKind kind) {
+  switch (kind) {
+    case AggKind::kSum:
+      return acc.sum;
+    case AggKind::kMax:
+      return acc.max;
+    case AggKind::kMin:
+      return acc.min;
+    case AggKind::kAvg:
+      return acc.sum / static_cast<double>(acc.count);
+    case AggKind::kCount:
+      break;  // counts finalize as ints, not through here
+  }
+  MIRROR_UNREACHABLE();
+  return 0;
+}
+
+Bat FinishGroups(const GroupMap& groups, AggKind kind, ValueType head_type) {
+  std::vector<int64_t> keys;
+  keys.reserve(groups.size());
+  for (const auto& [k, v] : groups) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  std::vector<double> out_dbl;
+  std::vector<int64_t> out_int;
+  for (int64_t k : keys) {
+    const Acc& acc = groups.at(k);
+    if (kind == AggKind::kCount) {
+      out_int.push_back(acc.count);
+    } else {
+      out_dbl.push_back(FinishAcc(acc, kind));
+    }
+  }
+  Column out_head =
+      head_type == ValueType::kOid
+          ? Column::MakeOids(std::vector<Oid>(keys.begin(), keys.end()))
+          : Column::MakeInts(keys);
+  Column out_tail = (kind == AggKind::kCount)
+                        ? Column::MakeInts(std::move(out_int))
+                        : Column::MakeDbls(std::move(out_dbl));
+  return Bat(std::move(out_head), std::move(out_tail));
+}
+
+// Void-headed inputs have pairwise-distinct, ascending heads, so every
+// group is a singleton and the group-by is a direct (oid, aggregate of
+// one) construction: no hash table, no sort. Candidate positions are
+// ascending, so the output order (ascending head) falls out for free.
+// Morsels write disjoint ranges of the pre-sized output vectors.
+Bat SingletonGroupAgg(const Bat& b, const CandidateList* cands, AggKind kind,
+                      const MorselExec& mx) {
+  const Column& tail = b.tail();
+  Oid base = b.head().void_base();
+  size_t m = DomainSize(b.size(), cands);
+  std::vector<Oid> heads(m);
+  std::vector<double> vals;
+  if (kind != AggKind::kCount) vals.resize(m);
+  size_t morsels = mx.MorselsFor(m);
+  size_t chunk = (m + morsels - 1) / std::max<size_t>(morsels, 1);
+  ParallelFor(morsels <= 1 ? nullptr : mx.pool, std::max<size_t>(morsels, 1),
+              [&](size_t j) {
+                size_t lo = j * chunk;
+                size_t hi = std::min(m, lo + chunk);
+                for (size_t i = lo; i < hi; ++i) {
+                  size_t pos = cands == nullptr ? i : cands->PositionAt(i);
+                  heads[i] = base + pos;
+                  if (kind != AggKind::kCount) vals[i] = tail.NumAt(pos);
+                }
+              });
+  if (morsels > 1) TrackMorselTasks(morsels);
+  Column out_tail =
+      kind == AggKind::kCount
+          ? Column::MakeInts(std::vector<int64_t>(m, 1))
+          : Column::MakeDbls(std::move(vals));
+  return Bat(Column::MakeOids(std::move(heads)), std::move(out_tail));
+}
+
+Bat AggregatePerHeadImpl(const Bat& b, const CandidateList* cands,
+                         AggKind kind, KernelOp op, const MorselExec& mx) {
   KernelTimer timer(op);
   const Column& head = b.head();
   const Column& tail = b.tail();
@@ -771,82 +1093,84 @@ Bat AggregatePerHead(const Bat& b, AggKind kind, KernelOp op) {
                  Norm(tail.type()) != ValueType::kOid)
         << "aggregate tail must be numeric";
   }
-  struct Acc {
-    double sum = 0;
-    int64_t count = 0;
-    double max = 0;
-    double min = 0;
-  };
-  std::unordered_map<int64_t, Acc> groups;
-  groups.reserve(b.size());
-  for (size_t i = 0; i < b.size(); ++i) {
-    int64_t key = I64KeyAt(head, i);
-    Acc& acc = groups[key];
-    double x = (kind == AggKind::kCount) ? 0.0 : tail.NumAt(i);
-    if (acc.count == 0) {
-      acc.max = x;
-      acc.min = x;
-    } else {
-      acc.max = std::max(acc.max, x);
-      acc.min = std::min(acc.min, x);
-    }
-    acc.sum += x;
-    acc.count += 1;
+  if (cands != nullptr) {
+    TrackFusedAgg();
+    TrackCandidateOp();
   }
-  std::vector<int64_t> keys;
-  keys.reserve(groups.size());
-  for (const auto& [k, v] : groups) keys.push_back(k);
-  std::sort(keys.begin(), keys.end());
-
-  std::vector<double> out_dbl;
-  std::vector<int64_t> out_int;
-  for (int64_t k : keys) {
-    const Acc& acc = groups[k];
-    switch (kind) {
-      case AggKind::kSum:
-        out_dbl.push_back(acc.sum);
-        break;
-      case AggKind::kCount:
-        out_int.push_back(acc.count);
-        break;
-      case AggKind::kMax:
-        out_dbl.push_back(acc.max);
-        break;
-      case AggKind::kMin:
-        out_dbl.push_back(acc.min);
-        break;
-      case AggKind::kAvg:
-        out_dbl.push_back(acc.sum / static_cast<double>(acc.count));
-        break;
+  size_t m = DomainSize(b.size(), cands);
+  if (head.is_void()) {
+    Bat out = SingletonGroupAgg(b, cands, kind, mx);
+    TrackKernelOp(op, m, out.size());
+    return out;
+  }
+  size_t morsels = mx.MorselsFor(m);
+  GroupMap groups;
+  if (morsels <= 1) {
+    groups.reserve(m);
+    AccumulateDomain(b, cands, kind, &groups);
+  } else {
+    std::vector<CandidateList> domains = SplitDomain(b.size(), cands, morsels);
+    std::vector<GroupMap> partials(domains.size());
+    ParallelFor(mx.pool, domains.size(), [&](size_t j) {
+      AccumulateDomain(b, &domains[j], kind, &partials[j]);
+    });
+    TrackMorselTasks(domains.size());
+    groups = std::move(partials[0]);
+    for (size_t j = 1; j < partials.size(); ++j) {
+      for (const auto& [key, acc] : partials[j]) groups[key].Merge(acc);
     }
   }
-  Column out_head =
-      ht == ValueType::kOid
-          ? Column::MakeOids(std::vector<Oid>(keys.begin(), keys.end()))
-          : Column::MakeInts(keys);
-  Column out_tail = (kind == AggKind::kCount)
-                        ? Column::MakeInts(std::move(out_int))
-                        : Column::MakeDbls(std::move(out_dbl));
-  TrackKernelOp(op, b.size(), keys.size());
-  return Bat(std::move(out_head), std::move(out_tail));
+  TrackKernelOp(op, m, groups.size());
+  return FinishGroups(groups, kind, ht);
 }
 
 }  // namespace
 
-Bat SumPerHead(const Bat& b) {
-  return AggregatePerHead(b, AggKind::kSum, KernelOp::kGroupAgg);
+Bat SumPerHead(const Bat& b, const MorselExec& mx) {
+  return AggregatePerHeadImpl(b, nullptr, AggKind::kSum, KernelOp::kGroupAgg,
+                              mx);
 }
-Bat CountPerHead(const Bat& b) {
-  return AggregatePerHead(b, AggKind::kCount, KernelOp::kGroupAgg);
+Bat CountPerHead(const Bat& b, const MorselExec& mx) {
+  return AggregatePerHeadImpl(b, nullptr, AggKind::kCount,
+                              KernelOp::kGroupAgg, mx);
 }
-Bat MaxPerHead(const Bat& b) {
-  return AggregatePerHead(b, AggKind::kMax, KernelOp::kGroupAgg);
+Bat MaxPerHead(const Bat& b, const MorselExec& mx) {
+  return AggregatePerHeadImpl(b, nullptr, AggKind::kMax, KernelOp::kGroupAgg,
+                              mx);
 }
-Bat MinPerHead(const Bat& b) {
-  return AggregatePerHead(b, AggKind::kMin, KernelOp::kGroupAgg);
+Bat MinPerHead(const Bat& b, const MorselExec& mx) {
+  return AggregatePerHeadImpl(b, nullptr, AggKind::kMin, KernelOp::kGroupAgg,
+                              mx);
 }
-Bat AvgPerHead(const Bat& b) {
-  return AggregatePerHead(b, AggKind::kAvg, KernelOp::kGroupAgg);
+Bat AvgPerHead(const Bat& b, const MorselExec& mx) {
+  return AggregatePerHeadImpl(b, nullptr, AggKind::kAvg, KernelOp::kGroupAgg,
+                              mx);
+}
+
+Bat SumPerHeadCand(const Bat& b, const CandidateList& cands,
+                   const MorselExec& mx) {
+  return AggregatePerHeadImpl(b, &cands, AggKind::kSum, KernelOp::kGroupAgg,
+                              mx);
+}
+Bat CountPerHeadCand(const Bat& b, const CandidateList& cands,
+                     const MorselExec& mx) {
+  return AggregatePerHeadImpl(b, &cands, AggKind::kCount,
+                              KernelOp::kGroupAgg, mx);
+}
+Bat MaxPerHeadCand(const Bat& b, const CandidateList& cands,
+                   const MorselExec& mx) {
+  return AggregatePerHeadImpl(b, &cands, AggKind::kMax, KernelOp::kGroupAgg,
+                              mx);
+}
+Bat MinPerHeadCand(const Bat& b, const CandidateList& cands,
+                   const MorselExec& mx) {
+  return AggregatePerHeadImpl(b, &cands, AggKind::kMin, KernelOp::kGroupAgg,
+                              mx);
+}
+Bat AvgPerHeadCand(const Bat& b, const CandidateList& cands,
+                   const MorselExec& mx) {
+  return AggregatePerHeadImpl(b, &cands, AggKind::kAvg, KernelOp::kGroupAgg,
+                              mx);
 }
 
 Bat CountPerTailValue(const Bat& b) {
@@ -909,6 +1233,45 @@ double ScalarSum(const Bat& b) {
 int64_t ScalarCount(const Bat& b) {
   TrackKernelOp(KernelOp::kScalarAgg, b.size(), 1);
   return static_cast<int64_t>(b.size());
+}
+
+double ScalarSumCand(const Bat& b, const CandidateList& cands,
+                     const MorselExec& mx) {
+  KernelTimer timer(KernelOp::kScalarAgg);
+  TrackKernelOp(KernelOp::kScalarAgg, cands.size(), 1);
+  TrackFusedAgg();
+  TrackCandidateOp();
+  const Column& tail = b.tail();
+  size_t m = cands.size();
+  size_t morsels = mx.MorselsFor(m);
+  if (morsels <= 1) {
+    double sum = 0;
+    for (size_t i = 0; i < m; ++i) sum += tail.NumAt(cands.PositionAt(i));
+    return sum;
+  }
+  size_t chunk = (m + morsels - 1) / morsels;
+  std::vector<double> partial(morsels, 0.0);
+  ParallelFor(mx.pool, morsels, [&](size_t j) {
+    size_t lo = j * chunk;
+    size_t hi = std::min(m, lo + chunk);
+    double sum = 0;
+    for (size_t i = lo; i < hi; ++i) sum += tail.NumAt(cands.PositionAt(i));
+    partial[j] = sum;
+  });
+  TrackMorselTasks(morsels);
+  // Partials added in morsel order: deterministic for a fixed morsel
+  // size (though rounding may differ from the single-pass order).
+  double sum = 0;
+  for (double p : partial) sum += p;
+  return sum;
+}
+
+int64_t ScalarCountCand(const Bat& b, const CandidateList& cands) {
+  (void)b;  // the count is fully determined by the candidate list
+  TrackKernelOp(KernelOp::kScalarAgg, cands.size(), 1);
+  TrackFusedAgg();
+  TrackCandidateOp();
+  return static_cast<int64_t>(cands.size());
 }
 
 Value ScalarMax(const Bat& b) {
@@ -1008,6 +1371,10 @@ bool IsPlainNumeric(ValueType t) {
 }
 
 }  // namespace
+
+double ApplyScalarBin(double a, double b, BinOp op) {
+  return ApplyBin(a, b, op);
+}
 
 Bat MapBinary(const Bat& l, const Bat& r, BinOp op) {
   MIRROR_CHECK_EQ(l.size(), r.size());

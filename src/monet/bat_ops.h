@@ -6,6 +6,7 @@
 
 #include "monet/bat.h"
 #include "monet/candidate.h"
+#include "monet/worker_pool.h"
 
 namespace mirror::monet {
 
@@ -20,6 +21,24 @@ namespace mirror::monet {
 // once, at a pipeline breaker, via Materialize(). The ExecutionEngine
 // drives this late-materialization mode; the materializing forms remain
 // the definition of operator semantics.
+
+/// Intra-operator (morsel) parallelism resources, threaded into the hot
+/// kernels by the ExecutionEngine. A kernel whose input domain exceeds
+/// `morsel_size` splits it into ceil(n / morsel_size) morsels dispatched
+/// on `pool` (per-morsel candidate fragments are concatenated
+/// order-preservingly; aggregates merge per-morsel partial accumulators).
+/// A null pool or morsel_size 0 — the default — runs the kernel on the
+/// calling thread, which is also the sequential Executor's mode.
+struct MorselExec {
+  WorkerPool* pool = nullptr;
+  size_t morsel_size = 0;
+
+  /// Number of morsels a domain of `n` rows splits into (1 = run inline).
+  size_t MorselsFor(size_t n) const {
+    if (pool == nullptr || morsel_size == 0 || n <= morsel_size) return 1;
+    return (n + morsel_size - 1) / morsel_size;
+  }
+};
 
 // ---------------------------------------------------------------------------
 // Structural operators.
@@ -66,34 +85,47 @@ Bat SelectCmp(const Bat& b, CmpOp cmp, const Value& v);
 // candidate domain over `b` (nullptr = all rows) and returns the surviving
 // row positions of `b` without copying tuples. Semantics match
 // `Materialize(b, XCand(b, ..., cands))` == `X(Materialize(b, *cands), ...)`.
+// The trailing MorselExec splits large domains across the worker pool
+// (results are identical; see MorselExec).
 
 CandidateList SelectEqCand(const Bat& b, const Value& v,
-                           const CandidateList* cands = nullptr);
+                           const CandidateList* cands = nullptr,
+                           const MorselExec& mx = {});
 CandidateList SelectNeqCand(const Bat& b, const Value& v,
-                            const CandidateList* cands = nullptr);
+                            const CandidateList* cands = nullptr,
+                            const MorselExec& mx = {});
 CandidateList SelectCmpCand(const Bat& b, CmpOp cmp, const Value& v,
-                            const CandidateList* cands = nullptr);
+                            const CandidateList* cands = nullptr,
+                            const MorselExec& mx = {});
 CandidateList SelectRangeCand(const Bat& b, const Value& lo, const Value& hi,
                               bool lo_inclusive, bool hi_inclusive,
-                              const CandidateList* cands = nullptr);
+                              const CandidateList* cands = nullptr,
+                              const MorselExec& mx = {});
 
 /// Positions of `l` (within `lcands`, or all rows) whose HEAD occurs among
-/// the heads of `r`.
+/// the heads of `r`. The membership hash set over `r` is built once and
+/// shared by all probe morsels.
 CandidateList SemiJoinHeadCand(const Bat& l, const Bat& r,
-                               const CandidateList* lcands = nullptr);
+                               const CandidateList* lcands = nullptr,
+                               const MorselExec& mx = {});
 
 /// Positions of `l` whose HEAD does not occur among the heads of `r`.
 CandidateList AntiJoinHeadCand(const Bat& l, const Bat& r,
-                               const CandidateList* lcands = nullptr);
+                               const CandidateList* lcands = nullptr,
+                               const MorselExec& mx = {});
 
 /// Positions of `l` whose TAIL occurs among the TAILS of `r`.
 CandidateList SemiJoinTailCand(const Bat& l, const Bat& r,
-                               const CandidateList* lcands = nullptr);
+                               const CandidateList* lcands = nullptr,
+                               const MorselExec& mx = {});
 
 /// Copies the candidate rows of `b` into a materialized BAT: the single
-/// tuple-copy point of a candidate pipeline (sort, group-agg, join build
-/// sides and result delivery are the pipeline breakers).
-Bat Materialize(const Bat& b, const CandidateList& cands);
+/// tuple-copy point of a candidate pipeline (sort, join build sides and
+/// result delivery are the pipeline breakers; candidate-aware aggregates
+/// below no longer are). Large gathers split into per-morsel fragment
+/// BATs that are appended once at the end.
+Bat Materialize(const Bat& b, const CandidateList& cands,
+                const MorselExec& mx = {});
 
 // ---------------------------------------------------------------------------
 // Join family. Keys compare across compatible types (int/dbl inter-compare,
@@ -126,6 +158,12 @@ Bat SortByTail(const Bat& b, bool ascending = true);
 /// partial sort rather than sorting all rows.
 Bat TopNByTail(const Bat& b, size_t n, bool descending = true);
 
+/// Fused top-n over a candidate view: equivalent to
+/// `TopNByTail(Materialize(b, cands), n, descending)` without the copy.
+/// Morsels compute per-morsel top-n prefixes that are merged at the end.
+Bat TopNByTailCand(const Bat& b, const CandidateList& cands, size_t n,
+                   bool descending = true, const MorselExec& mx = {});
+
 /// Keeps the first row for each distinct tail value.
 Bat UniqueTail(const Bat& b);
 
@@ -134,22 +172,45 @@ Bat UniqueHead(const Bat& b);
 
 // ---------------------------------------------------------------------------
 // Grouping and aggregation. Heads must be oid-like (void/oid) or int.
-// Output order is ascending head.
+// Output order is ascending head. Large inputs split into morsels whose
+// partial accumulator tables are merged before finalization.
 
 /// Sums numeric tails per distinct head: (g, x) -> (g, sum x).
-Bat SumPerHead(const Bat& b);
+Bat SumPerHead(const Bat& b, const MorselExec& mx = {});
 
 /// Counts rows per distinct head: (g, x) -> (g, count).
-Bat CountPerHead(const Bat& b);
+Bat CountPerHead(const Bat& b, const MorselExec& mx = {});
 
 /// Max of numeric tails per distinct head.
-Bat MaxPerHead(const Bat& b);
+Bat MaxPerHead(const Bat& b, const MorselExec& mx = {});
 
 /// Min of numeric tails per distinct head.
-Bat MinPerHead(const Bat& b);
+Bat MinPerHead(const Bat& b, const MorselExec& mx = {});
 
 /// Mean of numeric tails per distinct head.
-Bat AvgPerHead(const Bat& b);
+Bat AvgPerHead(const Bat& b, const MorselExec& mx = {});
+
+// Candidate-aware fused aggregation: each is equivalent to the
+// materializing form over `Materialize(b, cands)` but reads the base BAT
+// at the candidate positions directly, so the aggregate consumes the
+// candidate view and the select→agg pipeline has no Materialize() at
+// all. When the base's head is void (dense oids — what the flattener's
+// select chains produce), groups are provably singletons and the
+// group-by degenerates to a direct (oid, value) construction with no
+// hash table; late materialization preserves exactly the structural
+// knowledge this fast path needs, which a materialized oid column has
+// already lost.
+
+Bat SumPerHeadCand(const Bat& b, const CandidateList& cands,
+                   const MorselExec& mx = {});
+Bat CountPerHeadCand(const Bat& b, const CandidateList& cands,
+                     const MorselExec& mx = {});
+Bat MaxPerHeadCand(const Bat& b, const CandidateList& cands,
+                   const MorselExec& mx = {});
+Bat MinPerHeadCand(const Bat& b, const CandidateList& cands,
+                   const MorselExec& mx = {});
+Bat AvgPerHeadCand(const Bat& b, const CandidateList& cands,
+                   const MorselExec& mx = {});
 
 /// Value-frequency histogram over tails: (x, t) -> (t, count). The result
 /// head takes the tail's type.
@@ -160,6 +221,12 @@ double ScalarSum(const Bat& b);
 int64_t ScalarCount(const Bat& b);
 Value ScalarMax(const Bat& b);
 Value ScalarMin(const Bat& b);
+
+/// Fused scalar aggregates over a candidate view (per-morsel partial
+/// sums added at the end; count is O(1) off the candidate list).
+double ScalarSumCand(const Bat& b, const CandidateList& cands,
+                     const MorselExec& mx = {});
+int64_t ScalarCountCand(const Bat& b, const CandidateList& cands);
 
 // ---------------------------------------------------------------------------
 // Multiplexed scalar arithmetic ("map[op]" at the physical level). Numeric
@@ -183,6 +250,11 @@ Bat MapUnary(const Bat& b, UnOp op);
 /// the flattener to give map results their default value on elements
 /// without matching evidence.
 Bat FillTail(const Bat& b, const Value& v);
+
+/// Scalar `a (op) b` with BinOp's arithmetic (double domain throughout) —
+/// the kernel behind MIL's scalar.bin instruction, which the optimizer
+/// emits when pushing scalar sums through multiplex arithmetic.
+double ApplyScalarBin(double a, double b, BinOp op);
 
 }  // namespace mirror::monet
 

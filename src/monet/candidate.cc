@@ -96,6 +96,57 @@ CandidateList CandidateList::Sliced(size_t start, size_t count) const {
       positions_.begin() + static_cast<ptrdiff_t>(start + count)));
 }
 
+CandidateList CandidateList::ConcatSorted(std::vector<CandidateList> fragments) {
+  // Drop empty fragments up front; they carry no shape information.
+  size_t total = 0;
+  size_t kept = 0;
+  for (size_t i = 0; i < fragments.size(); ++i) {
+    if (fragments[i].empty()) continue;
+    total += fragments[i].size();
+    if (kept != i) fragments[kept] = std::move(fragments[i]);
+    ++kept;
+  }
+  fragments.resize(kept);
+  if (kept == 0) return CandidateList::FromPositions({});
+  if (kept == 1) return std::move(fragments[0]);
+#ifndef NDEBUG
+  for (size_t i = 1; i < kept; ++i) {
+    MIRROR_CHECK(fragments[i - 1].PositionAt(fragments[i - 1].size() - 1) <
+                 fragments[i].PositionAt(0))
+        << "candidate fragments must be disjoint and ordered";
+  }
+#endif
+  bool all_dense_adjacent = fragments[0].is_dense();
+  for (size_t i = 1; all_dense_adjacent && i < kept; ++i) {
+    all_dense_adjacent =
+        fragments[i].is_dense() &&
+        fragments[i].first() ==
+            fragments[i - 1].first() + fragments[i - 1].size();
+  }
+  if (all_dense_adjacent) return Dense(fragments[0].first(), total);
+  std::vector<uint32_t> positions;
+  // Splice into the first sparse fragment's storage when possible to
+  // avoid re-copying the (often dominant) head fragment.
+  size_t start = 0;
+  if (!fragments[0].is_dense()) {
+    positions = std::move(fragments[0].positions_);
+    start = 1;
+  }
+  positions.reserve(total);
+  for (size_t i = start; i < kept; ++i) {
+    const CandidateList& f = fragments[i];
+    if (f.is_dense()) {
+      for (size_t j = 0; j < f.size(); ++j) {
+        positions.push_back(static_cast<uint32_t>(f.first() + j));
+      }
+    } else {
+      positions.insert(positions.end(), f.positions_.begin(),
+                       f.positions_.end());
+    }
+  }
+  return FromPositions(std::move(positions));
+}
+
 std::vector<size_t> CandidateList::ToPositions() const {
   std::vector<size_t> out(size());
   if (dense_) {

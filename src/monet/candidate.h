@@ -59,6 +59,14 @@ class CandidateList {
   /// unmaterialized pipeline (clamped like Slice).
   CandidateList Sliced(size_t start, size_t count) const;
 
+  /// Order-preserving concatenation of per-morsel result fragments: every
+  /// fragment is ascending and fragment i lies entirely before fragment
+  /// i+1 (which morsel splitting guarantees — each morsel scans a later
+  /// slice of the domain), so no merge is needed. Adjacent dense
+  /// fragments are rejoined into one dense range in O(#fragments); mixed
+  /// shapes collapse to one sorted position vector.
+  static CandidateList ConcatSorted(std::vector<CandidateList> fragments);
+
   /// Positions as size_t, for Column::Gather.
   std::vector<size_t> ToPositions() const;
 

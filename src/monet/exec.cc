@@ -12,51 +12,6 @@
 namespace mirror::monet::mil {
 
 // ---------------------------------------------------------------------------
-// WorkerPool.
-
-WorkerPool::~WorkerPool() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;
-  }
-  cv_.notify_all();
-  for (std::thread& t : threads_) t.join();
-}
-
-void WorkerPool::EnsureWorkers(int n) {
-  std::lock_guard<std::mutex> lock(mu_);
-  while (static_cast<int>(threads_.size()) < n) {
-    threads_.emplace_back([this] { Loop(); });
-  }
-}
-
-void WorkerPool::Submit(std::function<void()> task) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
-  }
-  cv_.notify_one();
-}
-
-int WorkerPool::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int>(threads_.size());
-}
-
-void WorkerPool::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  while (true) {
-    cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-    if (queue_.empty()) return;  // shutdown with a drained queue
-    std::function<void()> task = std::move(queue_.front());
-    queue_.pop_front();
-    lock.unlock();
-    task();
-    lock.lock();
-  }
-}
-
-// ---------------------------------------------------------------------------
 // ExecutionContext.
 
 std::string ExecutionContext::NormalizeText(std::string_view text) {
@@ -134,10 +89,13 @@ namespace {
 /// Shared state of one Run(): the borrowed register file plus the mutex
 /// guarding post-completion slot upgrades (candidate view -> materialized
 /// BAT). Producer-side slot writes need no lock: the scheduler's queue
-/// mutex orders them before any dependent reads.
+/// mutex orders them before any dependent reads. `mx` carries the morsel
+/// resources into the kernels (null pool when running single-threaded).
 struct RunState {
   const Catalog* catalog;
   bool use_candidates;
+  bool fuse_aggregates;
+  MorselExec mx;
   std::vector<RegValue>* regs;
   std::mutex slot_mu;
 
@@ -171,7 +129,8 @@ base::Result<BatPtr> MatInput(RunState& st, int reg) {
     base = rv.bat;
     cands = rv.cands;
   }
-  BatPtr materialized = std::make_shared<const Bat>(Materialize(*base, *cands));
+  BatPtr materialized =
+      std::make_shared<const Bat>(Materialize(*base, *cands, st.mx));
   std::lock_guard<std::mutex> lock(st.slot_mu);
   RegValue& rv = st.slot(reg);
   if (rv.is_candidate()) {
@@ -229,6 +188,73 @@ void PutScalar(RunState& st, int dst, double scalar) {
   rv.written = true;
 }
 
+base::Result<double> ScalarInput(RunState& st, int reg) {
+  if (reg < 0 || reg >= static_cast<int>(st.regs->size())) {
+    return base::Status::Internal("register out of range");
+  }
+  std::lock_guard<std::mutex> lock(st.slot_mu);
+  RegValue& rv = st.slot(reg);
+  if (!rv.written || !rv.is_scalar) {
+    return base::Status::Internal("register r" + std::to_string(reg) +
+                                  " does not hold a scalar");
+  }
+  return rv.scalar;
+}
+
+/// Aggregates with a fused candidate-view form: when the source register
+/// holds an unmaterialized candidate view, these consume it directly.
+bool IsFusableAggOp(OpCode op) {
+  switch (op) {
+    case OpCode::kSumPerHead:
+    case OpCode::kCountPerHead:
+    case OpCode::kMaxPerHead:
+    case OpCode::kMinPerHead:
+    case OpCode::kAvgPerHead:
+    case OpCode::kTopN:
+    case OpCode::kScalarSum:
+    case OpCode::kScalarCount:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Fused aggregate dispatch over a candidate view; `cands` is non-null.
+void ExecFusedAgg(RunState& st, const Instr& i, const BatPtr& base,
+                  const CandidateList& cands) {
+  switch (i.op) {
+    case OpCode::kSumPerHead:
+      PutBat(st, i.dst, SumPerHeadCand(*base, cands, st.mx));
+      break;
+    case OpCode::kCountPerHead:
+      PutBat(st, i.dst, CountPerHeadCand(*base, cands, st.mx));
+      break;
+    case OpCode::kMaxPerHead:
+      PutBat(st, i.dst, MaxPerHeadCand(*base, cands, st.mx));
+      break;
+    case OpCode::kMinPerHead:
+      PutBat(st, i.dst, MinPerHeadCand(*base, cands, st.mx));
+      break;
+    case OpCode::kAvgPerHead:
+      PutBat(st, i.dst, AvgPerHeadCand(*base, cands, st.mx));
+      break;
+    case OpCode::kTopN:
+      PutBat(st, i.dst,
+             TopNByTailCand(*base, cands, static_cast<size_t>(i.n), i.flag0,
+                            st.mx));
+      break;
+    case OpCode::kScalarSum:
+      PutScalar(st, i.dst, ScalarSumCand(*base, cands, st.mx));
+      break;
+    case OpCode::kScalarCount:
+      PutScalar(st, i.dst,
+                static_cast<double>(ScalarCountCand(*base, cands)));
+      break;
+    default:
+      MIRROR_UNREACHABLE();
+  }
+}
+
 /// Executes one instruction against the register file. The selection
 /// family produces candidate views; everything else is a pipeline breaker
 /// that materializes its inputs.
@@ -242,19 +268,20 @@ base::Status ExecInstr(RunState& st, const Instr& i) {
     const CandidateList* domain = cands.get();
     switch (i.op) {
       case OpCode::kSelectEq:
-        PutCand(st, i.dst, base, SelectEqCand(*base, i.imm0, domain));
+        PutCand(st, i.dst, base, SelectEqCand(*base, i.imm0, domain, st.mx));
         return base::Status::Ok();
       case OpCode::kSelectNeq:
-        PutCand(st, i.dst, base, SelectNeqCand(*base, i.imm0, domain));
+        PutCand(st, i.dst, base,
+                SelectNeqCand(*base, i.imm0, domain, st.mx));
         return base::Status::Ok();
       case OpCode::kSelectCmp:
         PutCand(st, i.dst, base,
-                SelectCmpCand(*base, i.cmp_op, i.imm0, domain));
+                SelectCmpCand(*base, i.cmp_op, i.imm0, domain, st.mx));
         return base::Status::Ok();
       case OpCode::kSelectRange:
         PutCand(st, i.dst, base,
                 SelectRangeCand(*base, i.imm0, i.imm1, i.flag0, i.flag1,
-                                domain));
+                                domain, st.mx));
         return base::Status::Ok();
       case OpCode::kSemiJoinHead:
       case OpCode::kAntiJoinHead: {
@@ -288,9 +315,10 @@ base::Status ExecInstr(RunState& st, const Instr& i) {
         // breaker).
         auto r = mat1();
         if (!r.ok()) return r.status();
-        CandidateList out = i.op == OpCode::kSemiJoinHead
-                                ? SemiJoinHeadCand(*base, *r.value(), domain)
-                                : AntiJoinHeadCand(*base, *r.value(), domain);
+        CandidateList out =
+            i.op == OpCode::kSemiJoinHead
+                ? SemiJoinHeadCand(*base, *r.value(), domain, st.mx)
+                : AntiJoinHeadCand(*base, *r.value(), domain, st.mx);
         PutCand(st, i.dst, base, std::move(out));
         return base::Status::Ok();
       }
@@ -298,7 +326,7 @@ base::Status ExecInstr(RunState& st, const Instr& i) {
         auto r = mat1();
         if (!r.ok()) return r.status();
         PutCand(st, i.dst, base,
-                SemiJoinTailCand(*base, *r.value(), domain));
+                SemiJoinTailCand(*base, *r.value(), domain, st.mx));
         return base::Status::Ok();
       }
       case OpCode::kSlice: {
@@ -316,6 +344,21 @@ base::Status ExecInstr(RunState& st, const Instr& i) {
     }
   }
 
+  // Fused aggregation: when the source register still holds a candidate
+  // view, group-by / topN / scalar aggregates read the base BAT at the
+  // candidate positions directly, so select→agg plans never call
+  // Materialize(). Registers already collapsed to a BAT (or with
+  // candidates disabled) fall through to the materializing path below.
+  if (st.use_candidates && st.fuse_aggregates && IsFusableAggOp(i.op)) {
+    BatPtr base;
+    std::shared_ptr<const CandidateList> cands;
+    MIRROR_RETURN_IF_ERROR(CandInput(st, i.src0, &base, &cands));
+    if (cands != nullptr) {
+      ExecFusedAgg(st, i, base, *cands);
+      return base::Status::Ok();
+    }
+  }
+
   switch (i.op) {
     case OpCode::kLoadNamed: {
       if (st.catalog == nullptr) {
@@ -330,6 +373,18 @@ base::Status ExecInstr(RunState& st, const Instr& i) {
       MIRROR_CHECK(i.const_bat != nullptr);
       PutBatPtr(st, i.dst, i.const_bat);
       return base::Status::Ok();
+    case OpCode::kScalarBin: {
+      auto a = ScalarInput(st, i.src0);
+      if (!a.ok()) return a.status();
+      double rhs = i.imm0.type() == ValueType::kVoid ? 0.0 : i.imm0.AsDouble();
+      if (i.src1 >= 0) {
+        auto b = ScalarInput(st, i.src1);
+        if (!b.ok()) return b.status();
+        rhs = b.value();
+      }
+      PutScalar(st, i.dst, ApplyScalarBin(a.value(), rhs, i.bin_op));
+      return base::Status::Ok();
+    }
     default:
       break;
   }
@@ -389,6 +444,9 @@ base::Status ExecInstr(RunState& st, const Instr& i) {
     case OpCode::kTopN:
       PutBat(st, i.dst, TopNByTail(b0, static_cast<size_t>(i.n), i.flag0));
       break;
+    case OpCode::kScalarBin:
+      MIRROR_UNREACHABLE();  // handled above (scalar sources)
+      break;
     case OpCode::kUniqueTail:
       PutBat(st, i.dst, UniqueTail(b0));
       break;
@@ -406,19 +464,19 @@ base::Status ExecInstr(RunState& st, const Instr& i) {
       break;
     }
     case OpCode::kSumPerHead:
-      PutBat(st, i.dst, SumPerHead(b0));
+      PutBat(st, i.dst, SumPerHead(b0, st.mx));
       break;
     case OpCode::kCountPerHead:
-      PutBat(st, i.dst, CountPerHead(b0));
+      PutBat(st, i.dst, CountPerHead(b0, st.mx));
       break;
     case OpCode::kMaxPerHead:
-      PutBat(st, i.dst, MaxPerHead(b0));
+      PutBat(st, i.dst, MaxPerHead(b0, st.mx));
       break;
     case OpCode::kMinPerHead:
-      PutBat(st, i.dst, MinPerHead(b0));
+      PutBat(st, i.dst, MinPerHead(b0, st.mx));
       break;
     case OpCode::kAvgPerHead:
-      PutBat(st, i.dst, AvgPerHead(b0));
+      PutBat(st, i.dst, AvgPerHead(b0, st.mx));
       break;
     case OpCode::kProdPerHead:
       PutBat(st, i.dst, ProdPerHead(b0));
@@ -519,6 +577,42 @@ base::Status RunSequential(RunState& st, const Program& program) {
   return base::Status::Ok();
 }
 
+/// Maximum number of instructions sharing one topological depth: the
+/// best-case count of instructions the DAG scheduler can run at once.
+/// Producers always precede consumers in the straight-line program, so
+/// one forward pass suffices.
+int DagWidth(const Dag& dag) {
+  size_t n = dag.dependents.size();
+  std::vector<int> level(n, 0);
+  int max_level = 0;
+  for (size_t idx = 0; idx < n; ++idx) {
+    for (int dep : dag.dependents[idx]) {
+      level[static_cast<size_t>(dep)] =
+          std::max(level[static_cast<size_t>(dep)], level[idx] + 1);
+      max_level = std::max(max_level, level[static_cast<size_t>(dep)]);
+    }
+  }
+  std::vector<int> count(static_cast<size_t>(max_level) + 1, 0);
+  int width = 0;
+  for (size_t idx = 0; idx < n; ++idx) {
+    width = std::max(width, ++count[static_cast<size_t>(level[idx])]);
+  }
+  return width;
+}
+
+/// True when some instruction can split its input into morsels under
+/// these options (the select/semijoin/slice family, aggregates, and the
+/// Materialize() at pipeline breakers, which only exists with candidate
+/// pipelines on).
+bool HasMorselEligibleOp(const Program& program, const ExecOptions& options) {
+  if (options.morsel_size == 0) return false;
+  for (const Instr& i : program.instrs()) {
+    if (options.use_candidates && IsCandidatePipelineOp(i.op)) return true;
+    if (IsFusableAggOp(i.op)) return true;
+  }
+  return false;
+}
+
 /// One DAG execution: tasks (one per instruction) are submitted to the
 /// session's persistent worker pool as they become ready; each finishing
 /// task releases its dependents. The submitting thread blocks until every
@@ -607,19 +701,41 @@ base::Result<RunResult> ExecutionEngine::Run(const Program& program,
     ~RegsReleaser() { regs->clear(); }
   } releaser{&regs};
 
-  RunState st{catalog_, options_.use_candidates, &regs};
-  if (options_.num_threads <= 1 || program.instrs().size() < 2) {
-    MIRROR_RETURN_IF_ERROR(RunSequential(st, program));
-  } else {
-    Dag dag = BuildDag(program);
-    if (!dag.ssa) {
-      // Multiple writers of one register: not a data-flow program; run in
-      // program order, which is always correct.
-      MIRROR_RETURN_IF_ERROR(RunSequential(st, program));
-    } else {
-      ctx->pool_.EnsureWorkers(options_.num_threads);
-      MIRROR_RETURN_IF_ERROR(RunParallel(st, program, dag, &ctx->pool_));
+  RunState st{catalog_, options_.use_candidates, options_.fuse_aggregates,
+              MorselExec{}, &regs};
+  // Thread resolution: 0 = auto (one worker per hardware thread), backed
+  // off to 1 when the plan has neither DAG parallelism (width < 2) nor a
+  // morsel-eligible operator — on such plans the scheduler and pool are
+  // pure overhead (the 1-core regression of BENCH_retrieval.json).
+  int threads = options_.num_threads;
+  if (threads <= 0) {
+    threads =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  }
+  Dag dag;
+  bool scheduled = threads > 1 && program.instrs().size() >= 2;
+  if (scheduled) {
+    dag = BuildDag(program);
+    // Multiple writers of one register: not a data-flow program; run in
+    // program order, which is always correct.
+    scheduled = dag.ssa;
+  }
+  if (options_.num_threads <= 0 && threads > 1 &&
+      !(scheduled && DagWidth(dag) >= 2) &&
+      !HasMorselEligibleOp(program, options_)) {
+    threads = 1;
+    scheduled = false;
+  }
+  if (threads > 1) {
+    ctx->pool_.EnsureWorkers(threads);
+    if (options_.morsel_size > 0) {
+      st.mx = MorselExec{&ctx->pool_, options_.morsel_size};
     }
+  }
+  if (scheduled) {
+    MIRROR_RETURN_IF_ERROR(RunParallel(st, program, dag, &ctx->pool_));
+  } else {
+    MIRROR_RETURN_IF_ERROR(RunSequential(st, program));
   }
 
   if (program.result_reg() < 0) {

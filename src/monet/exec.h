@@ -1,63 +1,51 @@
 #ifndef MIRROR_MONET_EXEC_H_
 #define MIRROR_MONET_EXEC_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
-#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "base/status.h"
 #include "monet/candidate.h"
 #include "monet/mil.h"
+#include "monet/worker_pool.h"
 
 namespace mirror::monet::mil {
 
-/// A persistent pool of worker threads draining a task queue. Owned by
-/// the session's ExecutionContext so the threads survive across queries:
-/// spawning threads per query would dominate short plans.
-class WorkerPool {
- public:
-  WorkerPool() = default;
-  WorkerPool(const WorkerPool&) = delete;
-  WorkerPool& operator=(const WorkerPool&) = delete;
-  ~WorkerPool();
-
-  /// Grows the pool to at least `n` threads (never shrinks).
-  void EnsureWorkers(int n);
-
-  /// Enqueues a task; some worker runs it eventually.
-  void Submit(std::function<void()> task);
-
-  int size() const;
-
- private:
-  void Loop();
-
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> threads_;
-  bool shutdown_ = false;
-};
-
-/// Tuning knobs of the vectorized execution engine. Defaults reproduce a
-/// single-threaded run with candidate pipelines enabled.
+/// Tuning knobs of the vectorized execution engine. Defaults adapt to
+/// the host (see num_threads) with candidate pipelines, morsel splitting
+/// and fused aggregation enabled.
 struct ExecOptions {
-  /// Worker threads scheduling independent MIL instructions. 1 executes
-  /// in program order on the calling thread (no pool is spun up).
-  int num_threads = 1;
+  /// Worker threads scheduling MIL instructions AND morsels within one
+  /// instruction. 0 means "auto": std::thread::hardware_concurrency(),
+  /// clamped back to 1 when the plan offers no parallelism to exploit
+  /// (DAG width < 2 and no morsel-eligible operator), so short serial
+  /// plans on small hosts skip the scheduling overhead entirely.
+  /// 1 executes in program order on the calling thread (no pool).
+  int num_threads = 0;
   /// When true, the selection/semijoin/slice family runs over candidate
   /// lists and tuples are copied only at pipeline breakers. When false,
   /// every operator materializes its result — the classic `Executor`
   /// behavior, kept as the experiment baseline.
   bool use_candidates = true;
+  /// Morsel granularity for intra-operator parallelism: a hot kernel
+  /// (select family, semijoin probes, materializing gathers, candidate-
+  /// aware aggregates) whose input domain exceeds this many tuples is
+  /// split into ceil(n / morsel_size) morsels dispatched on the session
+  /// worker pool. 0 disables morsel splitting. Only effective when more
+  /// than one worker thread is in play.
+  size_t morsel_size = 64 * 1024;
+  /// When true, aggregates over a candidate view (group-by, topN, scalar
+  /// sum/count) read the base BAT at the candidate positions directly
+  /// instead of Materialize()-ing first: the last pipeline breaker of
+  /// select→aggregate plans disappears. When false, aggregates
+  /// materialize their input — the pre-fusion engine, kept as the
+  /// benchmark baseline.
+  bool fuse_aggregates = true;
 };
 
 /// One register during execution: a materialized BAT, an unmaterialized
@@ -80,8 +68,9 @@ struct RegValue {
 /// One context serves one session: a single query runs on it at a time
 /// (the engine's worker pool parallelizes WITHIN that query). The plan
 /// cache itself is thread-safe. Cached plans are valid for the lifetime of
-/// the loaded database; re-loading a set must be followed by
-/// InvalidatePlans().
+/// the loaded database; re-loading a set must invalidate them —
+/// automatic for sessions registered via MirrorDb::RegisterSession,
+/// manual (InvalidatePlans()) otherwise.
 class ExecutionContext {
  public:
   ExecutionContext() = default;
@@ -130,9 +119,11 @@ class ExecutionContext {
 bool IsCandidatePipelineOp(OpCode op);
 
 /// Data-flow MIL executor: builds the SSA register dependency DAG of a
-/// Program and schedules independent instructions across a worker pool,
-/// running the selection family over candidate vectors with explicit
-/// materialization only at pipeline breakers (sort, group-agg, join
+/// Program and schedules independent instructions across a worker pool;
+/// within an instruction, hot kernels split large inputs into morsels on
+/// the same pool. The selection family runs over candidate vectors, and
+/// aggregates fuse onto candidate views, leaving explicit
+/// materialization only at the true pipeline breakers (sort, join
 /// sides, map arithmetic, result delivery).
 ///
 /// Replaces the stateless sequential `Executor` as the production path;

@@ -76,6 +76,8 @@ const char* OpCodeName(OpCode op) {
       return "scalar.sum";
     case OpCode::kScalarCount:
       return "scalar.count";
+    case OpCode::kScalarBin:
+      return "scalar.bin";
   }
   return "?";
 }
@@ -100,6 +102,9 @@ std::string Instr::ToString() const {
     case OpCode::kSelectNeq:
     case OpCode::kMapBinaryScalar:
       append(imm0.ToString());
+      break;
+    case OpCode::kScalarBin:
+      if (src1 < 0) append(imm0.ToString());
       break;
     case OpCode::kSelectRange:
       append(imm0.ToString());
@@ -187,6 +192,13 @@ base::Result<RunResult> Executor::Run(const Program& program) const {
   };
   auto put_bat = [&](int reg, Bat bat) {
     regs[static_cast<size_t>(reg)] = std::make_shared<const Bat>(std::move(bat));
+  };
+  auto scalar_at = [&](int reg) -> double {
+    MIRROR_CHECK_GE(reg, 0);
+    const Reg& r = regs[static_cast<size_t>(reg)];
+    MIRROR_CHECK(std::holds_alternative<double>(r))
+        << "register r" << reg << " does not hold a scalar";
+    return std::get<double>(r);
   };
 
   for (const Instr& i : program.instrs()) {
@@ -305,6 +317,11 @@ base::Result<RunResult> Executor::Run(const Program& program) const {
       case OpCode::kScalarCount:
         regs[static_cast<size_t>(i.dst)] =
             static_cast<double>(ScalarCount(bat_at(i.src0)));
+        break;
+      case OpCode::kScalarBin:
+        regs[static_cast<size_t>(i.dst)] = ApplyScalarBin(
+            scalar_at(i.src0),
+            i.src1 >= 0 ? scalar_at(i.src1) : i.imm0.AsDouble(), i.bin_op);
         break;
     }
   }

@@ -51,6 +51,7 @@ enum class OpCode {
   kBelief,             // dst = BeliefTfIdf(src0, src1, src2, params)
   kScalarSum,          // dst(scalar) = ScalarSum(src0)
   kScalarCount,        // dst(scalar) = ScalarCount(src0)
+  kScalarBin,          // dst(scalar) = src0 bin_op (src1 >= 0 ? src1 : imm0)
 };
 
 /// Stable mnemonic ("join", "select.eq", ...).

@@ -102,6 +102,11 @@ std::string KernelStats::ToString() const {
         static_cast<unsigned long long>(materializations),
         static_cast<unsigned long long>(materialized_tuples));
   }
+  if (morsel_tasks > 0 || fused_agg_ops > 0) {
+    out += base::StrFormat(" morsels=%llu fusedagg=%llu",
+                           static_cast<unsigned long long>(morsel_tasks),
+                           static_cast<unsigned long long>(fused_agg_ops));
+  }
   return out;
 }
 
@@ -133,6 +138,16 @@ void TrackMaterialization(uint64_t tuples) {
   KernelStats& s = GlobalKernelStats();
   ++s.materializations;
   s.materialized_tuples += tuples;
+}
+
+void TrackMorselTasks(uint64_t tasks) {
+  std::lock_guard<std::mutex> lock(StatsMutex());
+  GlobalKernelStats().morsel_tasks += tasks;
+}
+
+void TrackFusedAgg() {
+  std::lock_guard<std::mutex> lock(StatsMutex());
+  ++GlobalKernelStats().fused_agg_ops;
 }
 
 }  // namespace mirror::monet

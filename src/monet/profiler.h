@@ -50,6 +50,12 @@ struct KernelStats {
   uint64_t candidate_ops = 0;
   uint64_t materializations = 0;
   uint64_t materialized_tuples = 0;
+  /// Intra-operator parallelism accounting: morsel tasks dispatched by
+  /// kernels that split their input across the worker pool, and
+  /// aggregate invocations that ran fused over a candidate view (no
+  /// Materialize() before the aggregate).
+  uint64_t morsel_tasks = 0;
+  uint64_t fused_agg_ops = 0;
 
   /// Total operator invocations across all families.
   uint64_t TotalOps() const;
@@ -85,6 +91,14 @@ void TrackCandidateOp();
 /// Records one Materialize() call copying `tuples` tuples out of a
 /// candidate pipeline.
 void TrackMaterialization(uint64_t tuples);
+
+/// Records a kernel splitting its input into `tasks` morsels dispatched
+/// on the worker pool.
+void TrackMorselTasks(uint64_t tasks);
+
+/// Records one aggregate that consumed a candidate view directly
+/// (fused gather+aggregate; no tuple copy happened).
+void TrackFusedAgg();
 
 /// Scoped wall-time attribution to one operator family. Place at the top
 /// of an operator body; destruction adds the elapsed time.

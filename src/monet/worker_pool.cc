@@ -1,0 +1,102 @@
+#include "monet/worker_pool.h"
+
+#include <chrono>
+#include <memory>
+
+namespace mirror::monet {
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::EnsureWorkers(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int>(threads_.size()) < n) {
+    threads_.emplace_back([this] { Loop(); });
+  }
+}
+
+void WorkerPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+bool WorkerPool::TryRunOne() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  task();
+  return true;
+}
+
+int WorkerPool::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(threads_.size());
+}
+
+void WorkerPool::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // shutdown with a drained queue
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
+  }
+}
+
+void ParallelFor(WorkerPool* pool, size_t tasks,
+                 const std::function<void(size_t)>& fn) {
+  if (pool == nullptr || tasks <= 1) {
+    for (size_t i = 0; i < tasks; ++i) fn(i);
+    return;
+  }
+  struct Group {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining;
+  };
+  // Shared (not stack-referenced) so a task finishing after a spurious
+  // early wakeup still touches valid memory; the caller nonetheless
+  // blocks until remaining == 0, so capturing `fn` by pointer is safe.
+  auto group = std::make_shared<Group>();
+  group->remaining = tasks - 1;
+  const std::function<void(size_t)>* fn_ptr = &fn;
+  for (size_t i = 1; i < tasks; ++i) {
+    pool->Submit([group, fn_ptr, i] {
+      (*fn_ptr)(i);
+      std::lock_guard<std::mutex> lock(group->mu);
+      if (--group->remaining == 0) group->cv.notify_all();
+    });
+  }
+  fn(0);
+  // Help-first wait: drain queued work (ours or anybody's) rather than
+  // blocking a pool thread outright; the timed wait covers the window
+  // where our last task runs on another worker and the queue is empty.
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(group->mu);
+      if (group->remaining == 0) return;
+    }
+    if (pool->TryRunOne()) continue;
+    std::unique_lock<std::mutex> lock(group->mu);
+    group->cv.wait_for(lock, std::chrono::milliseconds(1),
+                       [&] { return group->remaining == 0; });
+  }
+}
+
+}  // namespace mirror::monet

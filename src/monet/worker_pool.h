@@ -1,0 +1,66 @@
+#ifndef MIRROR_MONET_WORKER_POOL_H_
+#define MIRROR_MONET_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mirror::monet {
+
+/// A persistent pool of worker threads draining a task queue. Owned by
+/// the session's ExecutionContext so the threads survive across queries:
+/// spawning threads per query would dominate short plans.
+///
+/// Lives below the kernel layer (not in monet/exec) so BAT operators can
+/// split their own work into morsels without depending on the MIL engine.
+class WorkerPool {
+ public:
+  WorkerPool() = default;
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+  ~WorkerPool();
+
+  /// Grows the pool to at least `n` threads (never shrinks).
+  void EnsureWorkers(int n);
+
+  /// Enqueues a task; some worker runs it eventually.
+  void Submit(std::function<void()> task);
+
+  /// Runs one queued task on the calling thread if any is pending.
+  /// Returns false when the queue was empty. This is the nested-
+  /// parallelism escape hatch: a pool task blocked on subtasks it
+  /// submitted to the same pool helps drain the queue instead of
+  /// sleeping, so morsel fan-out from inside a DAG node cannot deadlock
+  /// even when every worker is inside such a wait.
+  bool TryRunOne();
+
+  int size() const;
+
+ private:
+  void Loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool shutdown_ = false;
+};
+
+/// Runs `fn(0) .. fn(tasks-1)` across the pool and returns when all
+/// calls have finished. The calling thread executes task 0 itself and
+/// then helps drain the pool's queue while waiting (see
+/// WorkerPool::TryRunOne), which makes the call safe from inside another
+/// pool task. A null pool (or tasks <= 1) degenerates to a plain loop on
+/// the calling thread.
+///
+/// `fn` must tolerate concurrent invocation for distinct indexes; tasks
+/// must not throw (kernel failures go through MIRROR_CHECK).
+void ParallelFor(WorkerPool* pool, size_t tasks,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace mirror::monet
+
+#endif  // MIRROR_MONET_WORKER_POOL_H_

@@ -1,9 +1,11 @@
 // Randomized equivalence testing: generates random databases and random
 // queries from the supported grammar and checks that the naive
 // interpreter, the legacy sequential executor and the candidate-vector
-// ExecutionEngine (at 1 and 4 worker threads) all produce identical
-// results — the architecture's central theorem, probed far beyond the
-// hand-written cases.
+// ExecutionEngine — at 1 and 4 worker threads, with morsel splitting
+// forced on via a tiny morsel size, and with fused aggregation switched
+// off — all produce identical results (a 6-way check): the
+// architecture's central theorem, probed far beyond the hand-written
+// cases.
 
 #include <map>
 #include <set>
@@ -29,7 +31,9 @@ constexpr const char* kWords[] = {"sun", "sea",  "sky",  "rock", "tree",
                                   "bird", "sand", "wave", "moss", "dune"};
 
 void BuildRandomDatabase(Database* db, base::Rng* rng) {
-  int n = 20 + static_cast<int>(rng->Uniform(180));
+  // Up to ~620 rows so the morsel-257 mode genuinely splits its scans
+  // into several morsels (including a non-divisible remainder).
+  int n = 20 + static_cast<int>(rng->Uniform(600));
   ASSERT_TRUE(db->Define("define S as SET<TUPLE<Atomic<URL>: u, "
                          "Atomic<int>: a, Atomic<int>: b, Atomic<dbl>: x, "
                          "CONTREP<Text>: doc>>;")
@@ -123,12 +127,21 @@ struct EngineMode {
   const char* label;
   bool use_engine;  // false = legacy sequential Executor
   int num_threads = 1;
+  size_t morsel_size = 64 * 1024;
+  bool fuse_aggregates = true;
 };
 
 constexpr EngineMode kEngineModes[] = {
     {"sequential-executor", false},
     {"engine-1-thread", true, 1},
     {"engine-4-threads", true, 4},
+    // Tiny morsel size: every scan over the few-hundred-row base splits
+    // into several pool-dispatched morsels, exercising fragment concat
+    // and partial-aggregate merging on every query.
+    {"engine-4-threads-morsel-257", true, 4, 257},
+    // Fused aggregation off: aggregates materialize their candidate
+    // views, isolating the fused path as the only remaining variable.
+    {"engine-1-thread-unfused", true, 1, 64 * 1024, false},
 };
 
 std::map<Oid, double> RunFlat(const Database& db, const QueryContext& ctx,
@@ -154,7 +167,9 @@ std::map<Oid, double> RunFlat(const Database& db, const QueryContext& ctx,
     monet::mil::ExecutionEngine engine(
         &db.catalog(),
         monet::mil::ExecOptions{.num_threads = mode.num_threads,
-                                .use_candidates = true});
+                                .use_candidates = true,
+                                .morsel_size = mode.morsel_size,
+                                .fuse_aggregates = mode.fuse_aggregates});
     run = engine.Run(prog, session);
   } else {
     run = monet::mil::Executor(&db.catalog()).Run(prog);

@@ -1,0 +1,400 @@
+// Morsel-driven intra-operator parallelism and candidate-aware fused
+// aggregation: per-morsel results must be bit-identical to the inline
+// kernels across the awkward domain shapes (empty, single-morsel,
+// non-divisible sizes), and the engine's fused select→aggregate path must
+// agree with the sequential Executor while calling Materialize() zero
+// times. Also covers the MirrorDb::Load plan-cache invalidation hook and
+// the adaptive thread default.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mirror/mirror_db.h"
+#include "moa/naive_eval.h"
+#include "monet/bat_ops.h"
+#include "monet/catalog.h"
+#include "monet/exec.h"
+#include "monet/mil.h"
+#include "monet/profiler.h"
+#include "monet/worker_pool.h"
+
+namespace mirror::monet {
+namespace {
+
+void ExpectBatsEqual(const Bat& a, const Bat& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.Row(i).first.ToString(), b.Row(i).first.ToString())
+        << what << " head row " << i;
+    EXPECT_EQ(a.Row(i).second.ToString(), b.Row(i).second.ToString())
+        << what << " tail row " << i;
+  }
+}
+
+void ExpectCandsEqual(const CandidateList& a, const CandidateList& b,
+                      const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.PositionAt(i), b.PositionAt(i)) << what << " entry " << i;
+  }
+}
+
+Bat MakeIntBat(size_t n) {
+  std::vector<int64_t> vals;
+  vals.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    vals.push_back(static_cast<int64_t>((i * 37 + 11) % 101));
+  }
+  return Bat::DenseInts(std::move(vals));
+}
+
+// The boundary shapes morsel splitting must get right: empty, one row,
+// exactly one morsel, one over, several morsels with a remainder, and an
+// exact multiple.
+constexpr size_t kSizes[] = {0, 1, 64, 65, 200, 257, 258, 1000, 1024};
+constexpr size_t kMorselSize = 64;
+
+TEST(MorselBoundaryTest, SelectFragmentsMatchInlineKernel) {
+  WorkerPool pool;
+  pool.EnsureWorkers(3);
+  MorselExec mx{&pool, kMorselSize};
+  for (size_t n : kSizes) {
+    Bat b = MakeIntBat(n);
+    Value lo = Value::MakeInt(20);
+    Value hi = Value::MakeInt(80);
+    CandidateList inline_out = SelectRangeCand(b, lo, hi, true, true);
+    CandidateList morsel_out = SelectRangeCand(b, lo, hi, true, true,
+                                               /*cands=*/nullptr, mx);
+    ExpectCandsEqual(inline_out, morsel_out, "select.range full domain");
+
+    // Sparse domain: every third row survives a pre-selection.
+    std::vector<uint32_t> every_third;
+    for (size_t i = 0; i < n; i += 3) {
+      every_third.push_back(static_cast<uint32_t>(i));
+    }
+    CandidateList domain = CandidateList::FromPositions(every_third);
+    CandidateList inline_dom = SelectCmpCand(b, CmpOp::kGe, lo, &domain);
+    CandidateList morsel_dom = SelectCmpCand(b, CmpOp::kGe, lo, &domain, mx);
+    ExpectCandsEqual(inline_dom, morsel_dom, "select.cmp sparse domain");
+  }
+}
+
+TEST(MorselBoundaryTest, SemiJoinProbeMorselsShareOneBuildSide) {
+  WorkerPool pool;
+  pool.EnsureWorkers(3);
+  MorselExec mx{&pool, kMorselSize};
+  Bat keys = Bat::DenseInts({4, 8, 15, 16, 23, 42});
+  // Oid-headed key set for the head-membership probe (void heads compare
+  // as oids, so the build side must be oid-typed too).
+  Bat keys_rev(Column::MakeOids({4, 8, 15, 16, 23, 42}),
+               Column::MakeVoid(0, 6));
+  for (size_t n : kSizes) {
+    Bat probe = MakeIntBat(n);
+    // Tail membership: probe tails against key tails.
+    CandidateList inline_out = SemiJoinTailCand(probe, keys);
+    CandidateList morsel_out = SemiJoinTailCand(probe, keys, nullptr, mx);
+    ExpectCandsEqual(inline_out, morsel_out, "semijoin.tail");
+    // Head membership over oid heads.
+    CandidateList inline_head = SemiJoinHeadCand(probe, keys_rev);
+    CandidateList morsel_head = SemiJoinHeadCand(probe, keys_rev, nullptr, mx);
+    ExpectCandsEqual(inline_head, morsel_head, "semijoin.head");
+  }
+}
+
+TEST(MorselBoundaryTest, ParallelMaterializeMatchesSingleGather) {
+  WorkerPool pool;
+  pool.EnsureWorkers(3);
+  MorselExec mx{&pool, kMorselSize};
+  for (size_t n : kSizes) {
+    Bat b = MakeIntBat(n);
+    CandidateList cands = SelectCmpCand(b, CmpOp::kGe, Value::MakeInt(30));
+    ExpectBatsEqual(Materialize(b, cands), Materialize(b, cands, mx),
+                    "materialize ints");
+  }
+  // String columns: fragments share the base heap, so the multiway
+  // append must stay on the shared-heap fast path.
+  std::vector<std::string> words;
+  for (size_t i = 0; i < 300; ++i) {
+    words.push_back(i % 2 == 0 ? "sun" : "sea");
+  }
+  Bat strs = Bat::DenseStrs(words);
+  CandidateList all = CandidateList::All(strs.size());
+  Bat gathered = Materialize(strs, all, mx);
+  ExpectBatsEqual(Materialize(strs, all), gathered, "materialize strings");
+  EXPECT_EQ(gathered.tail().heap(), strs.tail().heap());
+}
+
+TEST(FusedAggTest, CandidateFormsMatchMaterializeThenAggregate) {
+  WorkerPool pool;
+  pool.EnsureWorkers(3);
+  MorselExec mx{&pool, kMorselSize};
+  // Duplicate oid heads (what join outputs look like) — the general
+  // hash-grouping path with per-morsel partial maps.
+  std::vector<Oid> heads;
+  std::vector<double> vals;
+  for (size_t i = 0; i < 500; ++i) {
+    heads.push_back(static_cast<Oid>(i % 23));
+    vals.push_back(static_cast<double>((i * 7) % 13) - 5.0);
+  }
+  Bat grouped(Column::MakeOids(std::move(heads)),
+              Column::MakeDbls(std::move(vals)));
+  CandidateList cands =
+      SelectCmpCand(grouped, CmpOp::kGe, Value::MakeDbl(-2.5));
+  ASSERT_GT(cands.size(), 0u);
+  Bat mat = Materialize(grouped, cands);
+  ExpectBatsEqual(SumPerHead(mat), SumPerHeadCand(grouped, cands, mx), "sum");
+  ExpectBatsEqual(CountPerHead(mat), CountPerHeadCand(grouped, cands, mx),
+                  "count");
+  ExpectBatsEqual(MaxPerHead(mat), MaxPerHeadCand(grouped, cands, mx), "max");
+  ExpectBatsEqual(MinPerHead(mat), MinPerHeadCand(grouped, cands, mx), "min");
+  ExpectBatsEqual(AvgPerHead(mat), AvgPerHeadCand(grouped, cands, mx), "avg");
+  EXPECT_DOUBLE_EQ(ScalarSum(mat), ScalarSumCand(grouped, cands));
+  EXPECT_EQ(ScalarCount(mat), ScalarCountCand(grouped, cands));
+}
+
+TEST(FusedAggTest, VoidHeadSingletonFastPathMatchesHashPath) {
+  WorkerPool pool;
+  pool.EnsureWorkers(3);
+  MorselExec mx{&pool, kMorselSize};
+  for (size_t n : kSizes) {
+    Bat b = MakeIntBat(n);  // void head: every group is a singleton
+    CandidateList cands = SelectCmpCand(b, CmpOp::kLt, Value::MakeInt(60));
+    Bat mat = Materialize(b, cands);
+    ExpectBatsEqual(SumPerHead(mat), SumPerHeadCand(b, cands, mx),
+                    "singleton sum");
+    ExpectBatsEqual(CountPerHead(mat), CountPerHeadCand(b, cands, mx),
+                    "singleton count");
+  }
+}
+
+TEST(FusedAggTest, TopNOverCandidatesPreservesStableTieOrder) {
+  WorkerPool pool;
+  pool.EnsureWorkers(3);
+  MorselExec mx{&pool, /*morsel_size=*/32};
+  // Heavy ties: many equal tails, so per-morsel top-n merging must keep
+  // the earlier-row-wins order a full stable sort would produce.
+  std::vector<int64_t> vals;
+  for (size_t i = 0; i < 400; ++i) vals.push_back((i * 5) % 7);
+  Bat b = Bat::DenseInts(std::move(vals));
+  CandidateList cands = SelectCmpCand(b, CmpOp::kGe, Value::MakeInt(1));
+  Bat mat = Materialize(b, cands);
+  for (size_t k : {0ul, 1ul, 9ul, 50ul, 1000ul}) {
+    for (bool descending : {true, false}) {
+      ExpectBatsEqual(TopNByTail(mat, k, descending),
+                      TopNByTailCand(b, cands, k, descending, mx), "topn");
+    }
+  }
+}
+
+TEST(FusedAggTest, EngineSelectAggPlanFusesWithZeroMaterializations) {
+  Catalog catalog;
+  catalog.Put("t.year", MakeIntBat(1000));
+  catalog.Put("t.rating", Bat::DenseInts([] {
+    std::vector<int64_t> v;
+    for (size_t i = 0; i < 1000; ++i) v.push_back(static_cast<int64_t>(i));
+    return v;
+  }()));
+
+  // load year; select.range; load rating; semijoin; sum.per.head — the
+  // canonical select→agg chain.
+  mil::Program p;
+  mil::Instr load_year;
+  load_year.op = mil::OpCode::kLoadNamed;
+  load_year.name = "t.year";
+  load_year.dst = p.NewReg();
+  int year = p.Emit(std::move(load_year));
+  mil::Instr sel;
+  sel.op = mil::OpCode::kSelectRange;
+  sel.src0 = year;
+  sel.imm0 = Value::MakeInt(20);
+  sel.imm1 = Value::MakeInt(90);
+  sel.flag0 = true;
+  sel.flag1 = true;
+  sel.dst = p.NewReg();
+  int selected = p.Emit(std::move(sel));
+  mil::Instr load_rating;
+  load_rating.op = mil::OpCode::kLoadNamed;
+  load_rating.name = "t.rating";
+  load_rating.dst = p.NewReg();
+  int rating = p.Emit(std::move(load_rating));
+  mil::Instr semi;
+  semi.op = mil::OpCode::kSemiJoinHead;
+  semi.src0 = rating;
+  semi.src1 = selected;
+  semi.dst = p.NewReg();
+  int kept = p.Emit(std::move(semi));
+  mil::Instr agg;
+  agg.op = mil::OpCode::kSumPerHead;
+  agg.src0 = kept;
+  agg.dst = p.NewReg();
+  p.set_result_reg(p.Emit(std::move(agg)));
+
+  auto oracle = mil::Executor(&catalog).Run(p);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+
+  for (int threads : {1, 4}) {
+    mil::ExecutionContext session;
+    mil::ExecutionEngine engine(
+        &catalog, mil::ExecOptions{.num_threads = threads,
+                                   .use_candidates = true,
+                                   .morsel_size = 128,
+                                   .fuse_aggregates = true});
+    GlobalKernelStats().Reset();
+    auto run = engine.Run(p, &session);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    KernelStats stats = GlobalKernelStats();
+    EXPECT_EQ(stats.materializations, 0u) << "threads=" << threads;
+    EXPECT_GT(stats.fused_agg_ops, 0u) << "threads=" << threads;
+    if (threads > 1) EXPECT_GT(stats.morsel_tasks, 0u);
+    ExpectBatsEqual(*oracle.value().bat, *run.value().bat, "select→sum plan");
+  }
+}
+
+TEST(AdaptiveThreadsTest, AutoModeRunsPlansCorrectly) {
+  Catalog catalog;
+  catalog.Put("t.x", MakeIntBat(500));
+  mil::Program p;
+  mil::Instr load;
+  load.op = mil::OpCode::kLoadNamed;
+  load.name = "t.x";
+  load.dst = p.NewReg();
+  int x = p.Emit(std::move(load));
+  mil::Instr sel;
+  sel.op = mil::OpCode::kSelectCmp;
+  sel.cmp_op = CmpOp::kGe;
+  sel.src0 = x;
+  sel.imm0 = Value::MakeInt(50);
+  sel.dst = p.NewReg();
+  int selected = p.Emit(std::move(sel));
+  mil::Instr sum;
+  sum.op = mil::OpCode::kScalarSum;
+  sum.src0 = selected;
+  sum.dst = p.NewReg();
+  p.set_result_reg(p.Emit(std::move(sum)));
+
+  auto oracle = mil::Executor(&catalog).Run(p);
+  ASSERT_TRUE(oracle.ok());
+  // num_threads = 0: resolves to hardware concurrency (possibly clamped
+  // back to 1 on narrow plans/hosts); the result must be unaffected.
+  mil::ExecutionContext session;
+  mil::ExecutionEngine engine(&catalog, mil::ExecOptions{.num_threads = 0});
+  auto run = engine.Run(p, &session);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  ASSERT_TRUE(run.value().is_scalar);
+  EXPECT_DOUBLE_EQ(oracle.value().scalar, run.value().scalar);
+}
+
+TEST(ScalarBinTest, RegisterAndImmediateOperands) {
+  Catalog catalog;
+  catalog.Put("t.x", Bat::DenseInts({1, 2, 3, 4}));
+  mil::Program p;
+  mil::Instr load;
+  load.op = mil::OpCode::kLoadNamed;
+  load.name = "t.x";
+  load.dst = p.NewReg();
+  int x = p.Emit(std::move(load));
+  mil::Instr sum;
+  sum.op = mil::OpCode::kScalarSum;
+  sum.src0 = x;
+  sum.dst = p.NewReg();
+  int s = p.Emit(std::move(sum));
+  mil::Instr count;
+  count.op = mil::OpCode::kScalarCount;
+  count.src0 = x;
+  count.dst = p.NewReg();
+  int c = p.Emit(std::move(count));
+  mil::Instr div;
+  div.op = mil::OpCode::kScalarBin;
+  div.bin_op = BinOp::kDiv;
+  div.src0 = s;
+  div.src1 = c;
+  div.dst = p.NewReg();
+  int avg = p.Emit(std::move(div));
+  mil::Instr plus;
+  plus.op = mil::OpCode::kScalarBin;
+  plus.bin_op = BinOp::kAdd;
+  plus.src0 = avg;
+  plus.imm0 = Value::MakeDbl(0.5);  // immediate right operand
+  plus.dst = p.NewReg();
+  p.set_result_reg(p.Emit(std::move(plus)));
+
+  for (bool use_engine : {false, true}) {
+    base::Result<mil::RunResult> run = base::Status::Internal("unset");
+    mil::ExecutionContext session;
+    if (use_engine) {
+      run = mil::ExecutionEngine(&catalog).Run(p, &session);
+    } else {
+      run = mil::Executor(&catalog).Run(p);
+    }
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    ASSERT_TRUE(run.value().is_scalar);
+    EXPECT_DOUBLE_EQ(run.value().scalar, 10.0 / 4.0 + 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace mirror::monet
+
+namespace mirror::db {
+namespace {
+
+moa::MoaValue IntRow(int64_t x) {
+  return moa::MoaValue::Tuple({moa::MoaValue::Int(x)});
+}
+
+TEST(PlanCacheInvalidationTest, LoadNotifiesRegisteredSessions) {
+  MirrorDb db;
+  ASSERT_TRUE(db.Define("define S as SET<TUPLE<Atomic<int>: x>>;").ok());
+  ASSERT_TRUE(db.Load("S", {IntRow(1), IntRow(2), IntRow(3)}).ok());
+
+  monet::mil::ExecutionContext session;
+  db.RegisterSession(&session);
+  db.RegisterSession(&session);  // idempotent
+  EXPECT_EQ(db.registered_session_count(), 1u);
+
+  moa::QueryContext ctx;
+  QueryOptions options;
+  auto first = db.Query("sum(map[THIS.x](S));", ctx, options, &session);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(first.value().is_scalar);
+  EXPECT_DOUBLE_EQ(first.value().scalar.AsDouble(), 6.0);
+  EXPECT_GT(session.plan_cache_size(), 0u);
+
+  // Re-Load: the hook drops the stale plans, and the re-compiled query
+  // sees the new contents (no manual InvalidatePlans()).
+  ASSERT_TRUE(db.Load("S", {IntRow(10), IntRow(20)}).ok());
+  EXPECT_EQ(session.plan_cache_size(), 0u);
+  auto second = db.Query("sum(map[THIS.x](S));", ctx, options, &session);
+  ASSERT_TRUE(second.ok());
+  EXPECT_DOUBLE_EQ(second.value().scalar.AsDouble(), 30.0);
+
+  // Unregistered sessions are left alone again.
+  db.UnregisterSession(&session);
+  EXPECT_EQ(db.registered_session_count(), 0u);
+  ASSERT_TRUE(db.Load("S", {IntRow(5)}).ok());
+  EXPECT_GT(session.plan_cache_size(), 0u);
+}
+
+TEST(ScalarAvgTest, FlattenedAvgMatchesNaiveOracle) {
+  MirrorDb db;
+  ASSERT_TRUE(db.Define("define S as SET<TUPLE<Atomic<int>: x>>;").ok());
+  ASSERT_TRUE(db.Load("S", {IntRow(3), IntRow(4), IntRow(11)}).ok());
+  moa::QueryContext ctx;
+  const std::string query = "avg(map[THIS.x * 2 + 1](S));";
+  QueryOptions flattened;
+  auto flat = db.Query(query, ctx, flattened);
+  ASSERT_TRUE(flat.ok()) << flat.status().ToString();
+  QueryOptions naive;
+  naive.flattened = false;
+  auto oracle = db.Query(query, ctx, naive);
+  ASSERT_TRUE(oracle.ok()) << oracle.status().ToString();
+  ASSERT_TRUE(flat.value().is_scalar);
+  ASSERT_TRUE(oracle.value().is_scalar);
+  EXPECT_NEAR(flat.value().scalar.AsDouble(), oracle.value().scalar.AsDouble(),
+              1e-9);
+  EXPECT_DOUBLE_EQ(flat.value().scalar.AsDouble(), 13.0);
+}
+
+}  // namespace
+}  // namespace mirror::db
