@@ -50,4 +50,25 @@ awk -v s="${AGG_SPEEDUP}" 'BEGIN { exit (s >= 1.5) ? 0 : 1 }' || {
   exit 1
 }
 
+echo "== radix-join gate (E3e select→join→SumPerHead, 400k rows) =="
+# Baseline is the engine as it stood before the radix join
+# (morsel_joins off): the candidate view materializes and the pre-radix
+# single-threaded JoinLegacy builds an unordered_map over the 400k-key
+# dimension. The radix-partitioned morsel-parallel path at 4 threads must
+# be >= 2x with zero Materialize() calls (bench_retrieval itself aborts
+# if mat != 0 or the build was never partitioned).
+JOIN_SPEEDUP=$(grep -m1 '"speedup_radix4_vs_legacy1"' build/BENCH_retrieval.json \
+            | awk -F': ' '{gsub(/[,[:space:]]/, "", $2); print $2}')
+JOIN_MAT=$(grep -m1 '"materialize_calls_radix"' build/BENCH_retrieval.json \
+            | awk -F': ' '{gsub(/[,[:space:]]/, "", $2); print $2}')
+echo "radix join at 4 threads vs legacy join@1T: ${JOIN_SPEEDUP}x (materialize calls: ${JOIN_MAT})"
+awk -v s="${JOIN_SPEEDUP}" 'BEGIN { exit (s >= 2.0) ? 0 : 1 }' || {
+  echo "FAIL: select→join→agg radix speedup ${JOIN_SPEEDUP}x is below the 2x floor"
+  exit 1
+}
+[ "${JOIN_MAT}" = "0" ] || {
+  echo "FAIL: radix select→join→agg plan performed ${JOIN_MAT} Materialize() calls (want 0)"
+  exit 1
+}
+
 echo "CI OK — artifacts: build/BENCH_bat_kernel.json build/BENCH_retrieval.json"

@@ -855,8 +855,25 @@ class Compiler {
       c.reg = EmitScalarBin(sum, denom, BinOp::kDiv);
       return c;
     }
+    if ((expr->agg == AggKind::kMax || expr->agg == AggKind::kMin) &&
+        base.kind == Compiled::Kind::kBat) {
+      // max = sum(topN(1, descending)), min the ascending mirror: the
+      // bounded top-1 selection keeps the extremum's single row and the
+      // scalar sum of a one-row BAT reads it out. Both instructions fuse
+      // over candidate views, and topN(1) of the empty set is empty,
+      // whose sum is 0 — the naive oracle's extremum of the empty set.
+      mil::Instr top;
+      top.op = mil::OpCode::kTopN;
+      top.src0 = base.reg;
+      top.n = 1;
+      top.flag0 = expr->agg == AggKind::kMax;  // descending
+      top.dst = prog_.NewReg();
+      int one = prog_.Emit(std::move(top));
+      c.reg = EmitUnary(mil::OpCode::kScalarSum, one);
+      return c;
+    }
     return base::Status::Unimplemented(
-        "only sum/count/avg scalar aggregates are flattened");
+        "only sum/count/avg/max/min scalar aggregates are flattened");
   }
 
   const Database* db_;

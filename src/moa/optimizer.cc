@@ -268,6 +268,27 @@ int CountCandidateChainLinks(const mil::Program& program) {
   return links;
 }
 
+/// Counts join inputs produced by candidate-pipeline operators: each is
+/// one Materialize() the radix join engine avoids by probing (src0) or
+/// building (src1) directly over the candidate view.
+int CountJoinInputFusions(const mil::Program& program) {
+  std::vector<bool> is_candidate(static_cast<size_t>(program.num_regs()),
+                                 false);
+  int fusions = 0;
+  for (const mil::Instr& i : program.instrs()) {
+    if (i.op == mil::OpCode::kJoin) {
+      for (int src : {i.src0, i.src1}) {
+        if (src >= 0 && is_candidate[static_cast<size_t>(src)]) ++fusions;
+      }
+    }
+    if (i.dst >= 0) {
+      is_candidate[static_cast<size_t>(i.dst)] =
+          mil::IsCandidatePipelineOp(i.op);
+    }
+  }
+  return fusions;
+}
+
 }  // namespace
 
 void OptimizeMil(mil::Program* program, OptimizerReport* report) {
@@ -311,6 +332,7 @@ void OptimizeMil(mil::Program* program, OptimizerReport* report) {
   if (report != nullptr) report->dce_removed += dce;
   if (report != nullptr) {
     report->candidate_chain_links += CountCandidateChainLinks(rewritten);
+    report->join_input_fusions += CountJoinInputFusions(rewritten);
   }
   *program = std::move(rewritten);
 }

@@ -21,6 +21,10 @@ struct OptimizerReport {
   /// Links in select→semijoin chains the engine will run over candidate
   /// vectors without materializing (diagnostic).
   int candidate_chain_links = 0;
+  /// Join inputs fed by candidate-pipeline producers: joins the radix
+  /// engine (ExecOptions.morsel_joins) will probe/build directly over
+  /// candidate views instead of materializing them (diagnostic).
+  int join_input_fusions = 0;
   size_t cse_removed = 0;
   size_t dce_removed = 0;
 };

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "monet/cache_info.h"
 #include "monet/profiler.h"
 
 namespace mirror::monet {
@@ -572,9 +574,352 @@ Bat Materialize(const Bat& b, const CandidateList& cands,
 }
 
 // ---------------------------------------------------------------------------
-// Joins.
+// Joins. The general hash join runs as a radix-partitioned, morsel-
+// parallel pipeline:
+//
+//   (1) radix-cluster: the build side's (key, position) pairs are
+//       scattered into partitions by key-hash prefix. Partition count
+//       comes from the estimated L2 budget (cache_info.h) so one
+//       partition's table stays cache-resident; the scatter is a
+//       morsel-parallel histogram + stable partition-major prefix sum,
+//       so within a partition rows keep ascending position order.
+//   (2) partition build: each partition gets a power-of-two bucket array
+//       with intrusive chains over the clustered rows, built as
+//       independent pool tasks. Chains link ascending, so duplicates
+//       probe out in build order.
+//   (3) morsel probe: probe morsels cover later and later slices of the
+//       probe domain and emit disjoint ordered (lpos, rpos) fragments
+//       into pre-reserved vectors; fragments gather into per-morsel
+//       result Bats appended once at the end.
+//
+// Output row order is exactly JoinLegacy's: probe order, duplicates in
+// build order.
 
-Bat Join(const Bat& l, const Bat& r) {
+namespace {
+
+constexpr uint32_t kNoEntry = 0xFFFFFFFFu;
+
+inline uint64_t MixHash(uint64_t x) {
+  x *= 0x9E3779B97F4A7C15ull;
+  x ^= x >> 32;
+  x *= 0xD6E8FEB86659FD93ull;
+  x ^= x >> 29;
+  return x;
+}
+
+inline uint64_t RadixHash(int64_t k) {
+  return MixHash(static_cast<uint64_t>(k));
+}
+
+inline uint64_t RadixHash(double k) {
+  if (k == 0.0) k = 0.0;  // collapse -0.0 onto +0.0 (they compare equal)
+  uint64_t bits;
+  std::memcpy(&bits, &k, sizeof(bits));
+  return MixHash(bits);
+}
+
+/// The clustered build side of a radix join: keys and base positions
+/// scattered into partition-contiguous ranges, with one bucket-chain
+/// index per partition (partition from the hash's low bits, bucket from
+/// its high bits, so the two are independent).
+template <typename K>
+struct RadixTable {
+  size_t part_mask = 0;
+  std::vector<K> keys;             // clustered by partition
+  std::vector<uint32_t> pos;       // base positions, same order
+  std::vector<uint32_t> next;      // intrusive chains (ascending)
+  std::vector<uint32_t> buckets;   // concatenated per-partition arrays
+  std::vector<size_t> part_begin;    // rows of partition p
+  std::vector<size_t> bucket_begin;  // buckets of partition p
+};
+
+/// Radix-clusters the candidate domain of an n-row build column.
+/// `key_at(pos)` reads the canonical key at base position `pos`.
+/// `dedup_chains` skips chain-linking rows whose key is already present
+/// in their bucket chain — the membership probes only ask "is this key
+/// here", so duplicate build keys would just lengthen the chains every
+/// colliding probe has to walk (joins need every duplicate and keep it
+/// false).
+template <typename K, typename KeyAtFn>
+RadixTable<K> BuildRadixTable(size_t n, const CandidateList* cands,
+                              KeyAtFn key_at, const MorselExec& mx,
+                              bool dedup_chains = false) {
+  size_t m = DomainSize(n, cands);
+  size_t parts = mx.radix_partitions > 0
+                     ? NextPowerOfTwo(mx.radix_partitions)
+                     : RadixPartitionsFor(m);
+  RadixTable<K> t;
+  t.part_mask = parts - 1;
+  t.part_begin.assign(parts + 1, 0);
+  t.bucket_begin.assign(parts + 1, 0);
+  if (m == 0) return t;
+  t.keys.resize(m);
+  t.pos.resize(m);
+  auto base_pos = [&](size_t j) -> size_t {
+    return cands == nullptr ? j : cands->PositionAt(j);
+  };
+  size_t morsels = mx.MorselsFor(m);
+  WorkerPool* pool = morsels <= 1 ? nullptr : mx.pool;
+  // (1a) per-(morsel, partition) histograms.
+  std::vector<std::vector<uint32_t>> hist(morsels,
+                                          std::vector<uint32_t>(parts, 0));
+  ParallelForChunks(pool, m, morsels, [&](size_t j, size_t lo, size_t hi) {
+    std::vector<uint32_t>& h = hist[j];
+    for (size_t i = lo; i < hi; ++i) {
+      ++h[RadixHash(key_at(base_pos(i))) & t.part_mask];
+    }
+  });
+  // (1b) partition-major, morsel-minor exclusive prefix sums turn the
+  // histograms into scatter cursors; this ordering makes the scatter
+  // stable (morsel j's rows precede morsel j+1's within each partition).
+  size_t running = 0;
+  for (size_t p = 0; p < parts; ++p) {
+    t.part_begin[p] = running;
+    for (size_t j = 0; j < morsels; ++j) {
+      uint32_t count = hist[j][p];
+      hist[j][p] = static_cast<uint32_t>(running);
+      running += count;
+    }
+  }
+  t.part_begin[parts] = running;
+  // (1c) scatter (morsels write disjoint cursor ranges).
+  ParallelForChunks(pool, m, morsels, [&](size_t j, size_t lo, size_t hi) {
+    std::vector<uint32_t>& cursor = hist[j];
+    for (size_t i = lo; i < hi; ++i) {
+      size_t bp = base_pos(i);
+      K key = key_at(bp);
+      uint32_t slot = cursor[RadixHash(key) & t.part_mask]++;
+      t.keys[slot] = key;
+      t.pos[slot] = static_cast<uint32_t>(bp);
+    }
+  });
+  // (2) per-partition bucket arrays; chains are threaded back-to-front so
+  // walking a chain visits ascending clustered rows (= build order).
+  size_t btotal = 0;
+  for (size_t p = 0; p < parts; ++p) {
+    t.bucket_begin[p] = btotal;
+    size_t rows = t.part_begin[p + 1] - t.part_begin[p];
+    if (rows > 0) btotal += NextPowerOfTwo(std::max<size_t>(rows * 2, 4));
+  }
+  t.bucket_begin[parts] = btotal;
+  t.buckets.assign(btotal, kNoEntry);
+  t.next.resize(m);
+  ParallelFor(parts <= 1 ? nullptr : mx.pool, parts, [&](size_t p) {
+    size_t bbase = t.bucket_begin[p];
+    size_t bsize = t.bucket_begin[p + 1] - bbase;
+    if (bsize == 0) return;
+    size_t bmask = bsize - 1;
+    size_t lo = t.part_begin[p];
+    for (size_t i = t.part_begin[p + 1]; i-- > lo;) {
+      size_t b = bbase + ((RadixHash(t.keys[i]) >> 32) & bmask);
+      if (dedup_chains) {
+        bool seen = false;
+        for (uint32_t c = t.buckets[b]; c != kNoEntry; c = t.next[c]) {
+          if (t.keys[c] == t.keys[i]) {
+            seen = true;
+            break;
+          }
+        }
+        if (seen) continue;
+      }
+      t.next[i] = t.buckets[b];
+      t.buckets[b] = static_cast<uint32_t>(i);
+    }
+  });
+  if (parts > 1) TrackRadixBuild(parts);
+  return t;
+}
+
+/// Calls `emit(build position)` for every build row matching `key`, in
+/// build order.
+template <typename K, typename EmitFn>
+inline void ForEachMatch(const RadixTable<K>& t, K key, EmitFn emit) {
+  uint64_t h = RadixHash(key);
+  size_t p = h & t.part_mask;
+  size_t bbase = t.bucket_begin[p];
+  size_t bsize = t.bucket_begin[p + 1] - bbase;
+  if (bsize == 0) return;
+  uint32_t idx = t.buckets[bbase + ((h >> 32) & (bsize - 1))];
+  while (idx != kNoEntry) {
+    if (t.keys[idx] == key) emit(t.pos[idx]);
+    idx = t.next[idx];
+  }
+}
+
+template <typename K>
+inline bool RadixContains(const RadixTable<K>& t, K key) {
+  uint64_t h = RadixHash(key);
+  size_t p = h & t.part_mask;
+  size_t bbase = t.bucket_begin[p];
+  size_t bsize = t.bucket_begin[p + 1] - bbase;
+  if (bsize == 0) return false;
+  uint32_t idx = t.buckets[bbase + ((h >> 32) & (bsize - 1))];
+  while (idx != kNoEntry) {
+    if (t.keys[idx] == key) return true;
+    idx = t.next[idx];
+  }
+  return false;
+}
+
+/// Gathers per-morsel (lpos, rpos) fragments into the join result
+/// (l.head, r.tail): fragment Bats are gathered in parallel and appended
+/// once, mirroring morselized Materialize.
+Bat AssembleJoin(const Bat& l, const Bat& r,
+                 std::vector<std::vector<uint32_t>> lfrags,
+                 std::vector<std::vector<uint32_t>> rfrags,
+                 const MorselExec& mx) {
+  if (lfrags.size() == 1) {
+    return Bat(l.head().Gather(lfrags[0]), r.tail().Gather(rfrags[0]));
+  }
+  std::vector<std::optional<Bat>> parts(lfrags.size());
+  ParallelFor(mx.pool, lfrags.size(), [&](size_t j) {
+    parts[j].emplace(l.head().Gather(lfrags[j]), r.tail().Gather(rfrags[j]));
+  });
+  std::vector<const Column*> heads;
+  std::vector<const Column*> tails;
+  heads.reserve(parts.size());
+  tails.reserve(parts.size());
+  for (const std::optional<Bat>& f : parts) {
+    heads.push_back(&f->head());
+    tails.push_back(&f->tail());
+  }
+  return Bat(AppendAllColumns(heads), AppendAllColumns(tails));
+}
+
+/// The shared probe pipeline: splits the probe domain into morsels, each
+/// probing via `match(base position, emit)` into pre-reserved fragment
+/// vectors (one expected match per probe row — re-reserving per match
+/// was the fetch join's reallocation churn), then assembles the result.
+template <typename MatchFn>
+Bat ProbeJoin(const Bat& l, const CandidateList* lcands, const Bat& r,
+              MatchFn match, const MorselExec& mx) {
+  size_t m = DomainSize(l.size(), lcands);
+  size_t morsels = mx.MorselsFor(m);
+  std::vector<std::vector<uint32_t>> lfrags(morsels);
+  std::vector<std::vector<uint32_t>> rfrags(morsels);
+  ParallelForChunks(
+      morsels <= 1 ? nullptr : mx.pool, m, morsels,
+      [&](size_t j, size_t lo, size_t hi) {
+        std::vector<uint32_t>& lp = lfrags[j];
+        std::vector<uint32_t>& rp = rfrags[j];
+        lp.reserve(hi - lo);
+        rp.reserve(hi - lo);
+        for (size_t i = lo; i < hi; ++i) {
+          size_t bp = lcands == nullptr ? i : lcands->PositionAt(i);
+          match(bp, [&](uint32_t rpos) {
+            lp.push_back(static_cast<uint32_t>(bp));
+            rp.push_back(rpos);
+          });
+        }
+      });
+  if (morsels > 1) TrackMorselTasks(morsels);
+  return AssembleJoin(l, r, std::move(lfrags), std::move(rfrags), mx);
+}
+
+/// Positional fetch join: l.tail holds oids into r's dense void head.
+Bat FetchJoin(const Bat& l, const CandidateList* lcands, const Bat& r,
+              const MorselExec& mx) {
+  ValueType lt = Norm(l.tail().type());
+  MIRROR_CHECK(lt == ValueType::kOid || lt == ValueType::kInt)
+      << "fetch join needs oid-like probe tails";
+  Oid base = r.head().void_base();
+  size_t rn = r.size();
+  const Column& probe = l.tail();
+  return ProbeJoin(
+      l, lcands, r,
+      [&](size_t bp, auto emit) {
+        uint64_t key = lt == ValueType::kInt
+                           ? static_cast<uint64_t>(probe.IntAt(bp))
+                           : probe.OidAt(bp);
+        if (key < base) return;
+        uint64_t pos = key - base;
+        if (pos >= rn) return;
+        emit(static_cast<uint32_t>(pos));
+      },
+      mx);
+}
+
+template <typename K, typename LKeyFn, typename RKeyFn>
+Bat RadixHashJoin(const Bat& l, const CandidateList* lcands, LKeyFn lkey,
+                  const Bat& r, const CandidateList* rcands, RKeyFn rkey,
+                  const MorselExec& mx) {
+  RadixTable<K> table = BuildRadixTable<K>(r.size(), rcands, rkey, mx);
+  return ProbeJoin(
+      l, lcands, r,
+      [&](size_t bp, auto emit) { ForEachMatch(table, lkey(bp), emit); },
+      mx);
+}
+
+/// Spelling-keyed fallback for string keys across distinct heaps (the
+/// radix path's int64 offset keys are only exact within one heap).
+Bat StringKeyJoin(const Bat& l, const CandidateList* lcands, const Bat& r,
+                  const CandidateList* rcands, const MorselExec& mx) {
+  PosMap<std::string> index;
+  ForEachInDomain(r.size(), rcands, [&](size_t i) {
+    index[std::string(r.head().StrAt(i))].push_back(
+        static_cast<uint32_t>(i));
+  });
+  return ProbeJoin(
+      l, lcands, r,
+      [&](size_t bp, auto emit) {
+        auto it = index.find(std::string(l.tail().StrAt(bp)));
+        if (it == index.end()) return;
+        for (uint32_t rpos : it->second) emit(rpos);
+      },
+      mx);
+}
+
+/// A candidate domain that covers the whole base adds nothing; collapse
+/// it to "no domain" so the hot loops skip the indirection.
+const CandidateList* NormalizeDomain(size_t n, const CandidateList* cands) {
+  if (cands != nullptr && cands->is_dense() && cands->first() == 0 &&
+      cands->size() == n) {
+    return nullptr;
+  }
+  return cands;
+}
+
+}  // namespace
+
+Bat JoinCand(const Bat& l, const CandidateList* lcands, const Bat& r,
+             const CandidateList* rcands, const MorselExec& mx) {
+  KernelTimer timer(KernelOp::kJoin);
+  lcands = NormalizeDomain(l.size(), lcands);
+  rcands = NormalizeDomain(r.size(), rcands);
+  if (lcands != nullptr || rcands != nullptr) TrackCandidateOp();
+  size_t domain_in =
+      DomainSize(l.size(), lcands) + DomainSize(r.size(), rcands);
+  Bat out = [&] {
+    // A candidate-restricted void head is no longer dense, so the
+    // positional fast path requires full build coverage.
+    if (r.head().is_void() && rcands == nullptr) {
+      return FetchJoin(l, lcands, r, mx);
+    }
+    switch (PickKeyMode(l.tail(), r.head())) {
+      case KeyMode::kI64:
+      case KeyMode::kStrOffset:
+        return RadixHashJoin<int64_t>(
+            l, lcands, [&](size_t i) { return I64KeyAt(l.tail(), i); }, r,
+            rcands, [&](size_t i) { return I64KeyAt(r.head(), i); }, mx);
+      case KeyMode::kF64:
+        return RadixHashJoin<double>(
+            l, lcands, [&](size_t i) { return F64KeyAt(l.tail(), i); }, r,
+            rcands, [&](size_t i) { return F64KeyAt(r.head(), i); }, mx);
+      case KeyMode::kString:
+        return StringKeyJoin(l, lcands, r, rcands, mx);
+    }
+    MIRROR_UNREACHABLE();
+    return Bat(Column::MakeVoid(0, 0), Column::MakeVoid(0, 0));
+  }();
+  TrackKernelOp(KernelOp::kJoin, domain_in, out.size());
+  return out;
+}
+
+Bat Join(const Bat& l, const Bat& r, const MorselExec& mx) {
+  return JoinCand(l, nullptr, r, nullptr, mx);
+}
+
+Bat JoinLegacy(const Bat& l, const Bat& r) {
   KernelTimer timer(KernelOp::kJoin);
   std::vector<size_t> lpos;
   std::vector<size_t> rpos;
@@ -626,14 +971,34 @@ Bat Join(const Bat& l, const Bat& r) {
 
 namespace {
 
-// Builds the membership hash set once, then probes the candidate domain
-// morsel by morsel (the build side is shared read-only across morsels).
+// Radix-clusters the membership keys once (same partitioned table the
+// join build uses, shared read-only across probe morsels), then probes
+// the candidate domain morsel by morsel.
 template <typename K, typename ProbeKeyFn, typename KeysKeyFn>
-CandidateList HashMemberCand(size_t probe_n, ProbeKeyFn probe_key,
-                             size_t keys_n, KeysKeyFn keys_key,
-                             bool keep_members, const CandidateList* cands,
-                             const MorselExec& mx) {
-  std::unordered_set<K> members;
+CandidateList RadixMemberCand(size_t probe_n, ProbeKeyFn probe_key,
+                              size_t keys_n, KeysKeyFn keys_key,
+                              bool keep_members, const CandidateList* cands,
+                              const MorselExec& mx) {
+  RadixTable<K> members = BuildRadixTable<K>(keys_n, nullptr, keys_key, mx,
+                                             /*dedup_chains=*/true);
+  return MorselizedPositions(
+      probe_n, cands, mx, [&](const CandidateList* dom) {
+        std::vector<uint32_t> out;
+        ForEachInDomain(probe_n, dom, [&](size_t i) {
+          bool in = RadixContains(members, probe_key(i));
+          if (in == keep_members) out.push_back(static_cast<uint32_t>(i));
+        });
+        return out;
+      });
+}
+
+// String keys across distinct heaps fall back to a spelling-keyed set.
+template <typename ProbeKeyFn, typename KeysKeyFn>
+CandidateList StringMemberCand(size_t probe_n, ProbeKeyFn probe_key,
+                               size_t keys_n, KeysKeyFn keys_key,
+                               bool keep_members, const CandidateList* cands,
+                               const MorselExec& mx) {
+  std::unordered_set<std::string> members;
   members.reserve(keys_n * 2);
   for (size_t i = 0; i < keys_n; ++i) members.insert(keys_key(i));
   return MorselizedPositions(
@@ -653,17 +1018,17 @@ CandidateList MembershipCand(const Column& probe, const Column& keys,
   switch (PickKeyMode(probe, keys)) {
     case KeyMode::kI64:
     case KeyMode::kStrOffset:
-      return HashMemberCand<int64_t>(
+      return RadixMemberCand<int64_t>(
           probe.size(), [&](size_t i) { return I64KeyAt(probe, i); },
           keys.size(), [&](size_t i) { return I64KeyAt(keys, i); },
           keep_members, cands, mx);
     case KeyMode::kF64:
-      return HashMemberCand<double>(
+      return RadixMemberCand<double>(
           probe.size(), [&](size_t i) { return F64KeyAt(probe, i); },
           keys.size(), [&](size_t i) { return F64KeyAt(keys, i); },
           keep_members, cands, mx);
     case KeyMode::kString:
-      return HashMemberCand<std::string>(
+      return StringMemberCand(
           probe.size(), [&](size_t i) { return std::string(probe.StrAt(i)); },
           keys.size(), [&](size_t i) { return std::string(keys.StrAt(i)); },
           keep_members, cands, mx);

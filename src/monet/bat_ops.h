@@ -32,6 +32,11 @@ namespace mirror::monet {
 struct MorselExec {
   WorkerPool* pool = nullptr;
   size_t morsel_size = 0;
+  /// Radix partition count for hash join build sides. 0 (the default)
+  /// derives it from the estimated L2 budget (cache_info.h); an explicit
+  /// value — rounded up to a power of two — forces it, which tests use
+  /// to exercise the multi-partition path on small inputs.
+  size_t radix_partitions = 0;
 
   /// Number of morsels a domain of `n` rows splits into (1 = run inline).
   size_t MorselsFor(size_t n) const {
@@ -133,7 +138,29 @@ Bat Materialize(const Bat& b, const CandidateList& cands,
 
 /// Natural join on l.tail == r.head: (A,B) join (B,C) -> (A,C).
 /// When r has a void head the join degenerates to positional fetch.
-Bat Join(const Bat& l, const Bat& r);
+///
+/// Executes as a radix-partitioned hash join: the build side is
+/// clustered by key-hash prefix into cache-sized partitions (count
+/// derived from the L2 budget, see cache_info.h), per-partition chain
+/// indexes are built as independent pool tasks, and probe morsels emit
+/// disjoint ordered match fragments. Output rows appear in probe order
+/// with build matches per key in build order — exactly the order
+/// JoinLegacy produces. String keys across distinct heaps fall back to
+/// the legacy spelling-keyed path.
+Bat Join(const Bat& l, const Bat& r, const MorselExec& mx = {});
+
+/// Candidate-aware join: probes `l` at the `lcands` positions against a
+/// table built over `r` at the `rcands` positions (nullptr = all rows),
+/// so select→join plans consume candidate views with zero Materialize()
+/// calls. Equivalent to
+/// `Join(Materialize(l, *lcands), Materialize(r, *rcands))`.
+Bat JoinCand(const Bat& l, const CandidateList* lcands, const Bat& r,
+             const CandidateList* rcands, const MorselExec& mx = {});
+
+/// The pre-radix single-threaded build/probe hash join, kept verbatim as
+/// the sequential Executor's implementation and the perf baseline behind
+/// ExecOptions.morsel_joins = false.
+Bat JoinLegacy(const Bat& l, const Bat& r);
 
 /// Rows of `l` whose HEAD occurs among the heads of `r` (MonetDB semijoin
 /// semantics).

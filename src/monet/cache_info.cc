@@ -1,0 +1,52 @@
+#include "monet/cache_info.h"
+
+#include <algorithm>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace mirror::monet {
+
+namespace {
+
+constexpr size_t kFallbackL2 = 1024 * 1024;
+constexpr size_t kMinL2 = 256 * 1024;
+constexpr size_t kMaxL2 = 64 * 1024 * 1024;
+
+size_t DetectL2Bytes() {
+  long bytes = 0;
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+  bytes = sysconf(_SC_LEVEL2_CACHE_SIZE);
+#endif
+  if (bytes <= 0) return kFallbackL2;
+  return std::clamp(static_cast<size_t>(bytes), kMinL2, kMaxL2);
+}
+
+}  // namespace
+
+size_t L2CacheBytes() {
+  static const size_t bytes = DetectL2Bytes();
+  return bytes;
+}
+
+size_t DefaultMorselSize() {
+  constexpr size_t kBytesPerTuple = 16;
+  size_t tuples = L2CacheBytes() / kBytesPerTuple;
+  return std::clamp<size_t>(tuples, 16 * 1024, 256 * 1024);
+}
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+size_t RadixPartitionsFor(size_t build_rows) {
+  constexpr size_t kBytesPerRow = 24;  // key + position + chain + buckets
+  size_t budget = L2CacheBytes() / 2;
+  size_t needed = (build_rows * kBytesPerRow + budget - 1) / budget;
+  return std::min<size_t>(NextPowerOfTwo(std::max<size_t>(needed, 1)), 512);
+}
+
+}  // namespace mirror::monet

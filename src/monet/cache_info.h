@@ -1,0 +1,38 @@
+#ifndef MIRROR_MONET_CACHE_INFO_H_
+#define MIRROR_MONET_CACHE_INFO_H_
+
+#include <cstddef>
+
+namespace mirror::monet {
+
+// Host cache detection, feeding the kernel's cache-conscious tuning:
+// radix-partitioned joins size their partitions to a fraction of L2, and
+// the engine's default morsel size is derived from the same budget
+// instead of a static guess (the Monet lineage's "tune the operators to
+// the memory hierarchy" rule).
+
+/// Detected L2 data-cache size in bytes. Queried once per process
+/// (sysconf on POSIX hosts); falls back to 1 MiB when the host does not
+/// report one, and is clamped to [256 KiB, 64 MiB] against nonsense
+/// readings.
+size_t L2CacheBytes();
+
+/// Default morsel granularity in tuples: sized so one morsel's working
+/// set (key + payload + output, ~16 bytes per tuple) fits in L2, clamped
+/// to [16K, 256K] tuples. On a typical 1-2 MiB L2 this lands at the
+/// 64K-128K range the static default used to hard-code.
+size_t DefaultMorselSize();
+
+/// Radix partition count (a power of two) for a hash build side of
+/// `build_rows` rows: enough partitions that one partition's clustered
+/// keys, positions, chain links and bucket array (~24 bytes per row) fit
+/// in half of L2, clamped to [1, 512]. 1 means "do not partition" —
+/// small build sides stay a single cache-resident table.
+size_t RadixPartitionsFor(size_t build_rows);
+
+/// Smallest power of two >= n (n = 0 and n = 1 both map to 1).
+size_t NextPowerOfTwo(size_t n);
+
+}  // namespace mirror::monet
+
+#endif  // MIRROR_MONET_CACHE_INFO_H_

@@ -95,6 +95,7 @@ struct RunState {
   const Catalog* catalog;
   bool use_candidates;
   bool fuse_aggregates;
+  bool morsel_joins;
   MorselExec mx;
   std::vector<RegValue>* regs;
   std::mutex slot_mu;
@@ -210,6 +211,8 @@ bool IsFusableAggOp(OpCode op) {
     case OpCode::kMaxPerHead:
     case OpCode::kMinPerHead:
     case OpCode::kAvgPerHead:
+    case OpCode::kProdPerHead:
+    case OpCode::kProbOrPerHead:
     case OpCode::kTopN:
     case OpCode::kScalarSum:
     case OpCode::kScalarCount:
@@ -237,6 +240,12 @@ void ExecFusedAgg(RunState& st, const Instr& i, const BatPtr& base,
       break;
     case OpCode::kAvgPerHead:
       PutBat(st, i.dst, AvgPerHeadCand(*base, cands, st.mx));
+      break;
+    case OpCode::kProdPerHead:
+      PutBat(st, i.dst, ProdPerHeadCand(*base, cands, st.mx));
+      break;
+    case OpCode::kProbOrPerHead:
+      PutBat(st, i.dst, ProbOrPerHeadCand(*base, cands, st.mx));
       break;
     case OpCode::kTopN:
       PutBat(st, i.dst,
@@ -344,6 +353,22 @@ base::Status ExecInstr(RunState& st, const Instr& i) {
     }
   }
 
+  // Radix joins consume candidate views on both sides directly (probing
+  // the base BATs at the candidate positions), so select→join plans
+  // never call Materialize(). With the knob off, the join materializes
+  // its inputs and runs the pre-radix JoinLegacy below.
+  if (st.use_candidates && st.morsel_joins && i.op == OpCode::kJoin) {
+    BatPtr lbase;
+    std::shared_ptr<const CandidateList> lcands;
+    MIRROR_RETURN_IF_ERROR(CandInput(st, i.src0, &lbase, &lcands));
+    BatPtr rbase;
+    std::shared_ptr<const CandidateList> rcands;
+    MIRROR_RETURN_IF_ERROR(CandInput(st, i.src1, &rbase, &rcands));
+    PutBat(st, i.dst,
+           JoinCand(*lbase, lcands.get(), *rbase, rcands.get(), st.mx));
+    return base::Status::Ok();
+  }
+
   // Fused aggregation: when the source register still holds a candidate
   // view, group-by / topN / scalar aggregates read the base BAT at the
   // candidate positions directly, so select→agg plans never call
@@ -408,7 +433,10 @@ base::Status ExecInstr(RunState& st, const Instr& i) {
     case OpCode::kJoin: {
       auto r = mat1();
       if (!r.ok()) return r.status();
-      PutBat(st, i.dst, Join(b0, *r.value()));
+      // Reached only with morsel_joins (or candidates) off: the
+      // materializing baseline runs the pre-radix join.
+      PutBat(st, i.dst, st.morsel_joins ? Join(b0, *r.value(), st.mx)
+                                        : JoinLegacy(b0, *r.value()));
       break;
     }
     case OpCode::kSemiJoinHead: {
@@ -479,10 +507,10 @@ base::Status ExecInstr(RunState& st, const Instr& i) {
       PutBat(st, i.dst, AvgPerHead(b0, st.mx));
       break;
     case OpCode::kProdPerHead:
-      PutBat(st, i.dst, ProdPerHead(b0));
+      PutBat(st, i.dst, ProdPerHead(b0, st.mx));
       break;
     case OpCode::kProbOrPerHead:
-      PutBat(st, i.dst, ProbOrPerHead(b0));
+      PutBat(st, i.dst, ProbOrPerHead(b0, st.mx));
       break;
     case OpCode::kCountPerTailValue:
       PutBat(st, i.dst, CountPerTailValue(b0));
@@ -608,6 +636,7 @@ bool HasMorselEligibleOp(const Program& program, const ExecOptions& options) {
   if (options.morsel_size == 0) return false;
   for (const Instr& i : program.instrs()) {
     if (options.use_candidates && IsCandidatePipelineOp(i.op)) return true;
+    if (options.morsel_joins && i.op == OpCode::kJoin) return true;
     if (IsFusableAggOp(i.op)) return true;
   }
   return false;
@@ -702,7 +731,8 @@ base::Result<RunResult> ExecutionEngine::Run(const Program& program,
   } releaser{&regs};
 
   RunState st{catalog_, options_.use_candidates, options_.fuse_aggregates,
-              MorselExec{}, &regs};
+              options_.morsel_joins, MorselExec{}, &regs};
+  st.mx.radix_partitions = options_.radix_partitions;
   // Thread resolution: 0 = auto (one worker per hardware thread), backed
   // off to 1 when the plan has neither DAG parallelism (width < 2) nor a
   // morsel-eligible operator — on such plans the scheduler and pool are
@@ -729,7 +759,8 @@ base::Result<RunResult> ExecutionEngine::Run(const Program& program,
   if (threads > 1) {
     ctx->pool_.EnsureWorkers(threads);
     if (options_.morsel_size > 0) {
-      st.mx = MorselExec{&ctx->pool_, options_.morsel_size};
+      st.mx = MorselExec{&ctx->pool_, options_.morsel_size,
+                         options_.radix_partitions};
     }
   }
   if (scheduled) {

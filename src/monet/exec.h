@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "base/status.h"
+#include "monet/cache_info.h"
 #include "monet/candidate.h"
 #include "monet/mil.h"
 #include "monet/worker_pool.h"
@@ -33,19 +34,31 @@ struct ExecOptions {
   /// behavior, kept as the experiment baseline.
   bool use_candidates = true;
   /// Morsel granularity for intra-operator parallelism: a hot kernel
-  /// (select family, semijoin probes, materializing gathers, candidate-
-  /// aware aggregates) whose input domain exceeds this many tuples is
-  /// split into ceil(n / morsel_size) morsels dispatched on the session
-  /// worker pool. 0 disables morsel splitting. Only effective when more
-  /// than one worker thread is in play.
-  size_t morsel_size = 64 * 1024;
-  /// When true, aggregates over a candidate view (group-by, topN, scalar
-  /// sum/count) read the base BAT at the candidate positions directly
-  /// instead of Materialize()-ing first: the last pipeline breaker of
-  /// select→aggregate plans disappears. When false, aggregates
-  /// materialize their input — the pre-fusion engine, kept as the
-  /// benchmark baseline.
+  /// (select family, semijoin probes, join clustering and probes,
+  /// materializing gathers, candidate-aware aggregates) whose input
+  /// domain exceeds this many tuples is split into ceil(n / morsel_size)
+  /// morsels dispatched on the session worker pool. The default derives
+  /// from the detected L2 size (cache_info.h) so one morsel's working
+  /// set stays cache-resident. 0 disables morsel splitting. Only
+  /// effective when more than one worker thread is in play.
+  size_t morsel_size = DefaultMorselSize();
+  /// When true, aggregates over a candidate view (group-by, prob
+  /// combinators, topN, scalar sum/count) read the base BAT at the
+  /// candidate positions directly instead of Materialize()-ing first:
+  /// the last pipeline breaker of select→aggregate plans disappears.
+  /// When false, aggregates materialize their input — the pre-fusion
+  /// engine, kept as the benchmark baseline.
   bool fuse_aggregates = true;
+  /// When true, the general hash Join runs as the radix-partitioned,
+  /// morsel-parallel pipeline and consumes candidate views directly
+  /// (JoinCand — select→join plans keep zero Materialize() calls). When
+  /// false, joins materialize both inputs and run the pre-radix
+  /// single-threaded JoinLegacy — the benchmark baseline.
+  bool morsel_joins = true;
+  /// Radix partition count for join build sides: 0 derives it from the
+  /// estimated L2 budget; an explicit power of two forces it (tests use
+  /// this to exercise multi-partition clustering on small inputs).
+  size_t radix_partitions = 0;
 };
 
 /// One register during execution: a materialized BAT, an unmaterialized

@@ -230,7 +230,10 @@ base::Result<RunResult> Executor::Run(const Program& program) const {
                                    i.flag1));
         break;
       case OpCode::kJoin:
-        put_bat(i.dst, Join(bat_at(i.src0), bat_at(i.src1)));
+        // The sequential interpreter keeps the pre-radix join: it stays
+        // a code-path-independent oracle against the engine's radix
+        // pipeline in the fuzz suite.
+        put_bat(i.dst, JoinLegacy(bat_at(i.src0), bat_at(i.src1)));
         break;
       case OpCode::kSemiJoinHead:
         put_bat(i.dst, SemiJoinHead(bat_at(i.src0), bat_at(i.src1)));

@@ -50,15 +50,86 @@ int64_t HeadKey(const Column& head, size_t i) {
   }
 }
 
-template <typename Fold>
-Bat FoldPerHead(const Bat& b, double init, Fold fold, bool complement) {
-  std::unordered_map<int64_t, double> acc;
-  acc.reserve(b.size());
-  for (size_t i = 0; i < b.size(); ++i) {
-    int64_t key = HeadKey(b.head(), i);
-    auto [it, inserted] = acc.emplace(key, init);
-    double x = b.tail().NumAt(i);
-    it->second = fold(it->second, complement ? (1.0 - x) : x);
+size_t DomainSize(const Bat& b, const CandidateList* cands) {
+  return cands == nullptr ? b.size() : cands->size();
+}
+
+using ProbGroupMap = std::unordered_map<int64_t, double>;
+
+// Folds the (complemented) tails of the [lo, hi) slice of the domain
+// into per-group products.
+void AccumulateProducts(const Bat& b, const CandidateList* cands, size_t lo,
+                        size_t hi, bool complement, ProbGroupMap* acc) {
+  const Column& head = b.head();
+  const Column& tail = b.tail();
+  for (size_t i = lo; i < hi; ++i) {
+    size_t pos = cands == nullptr ? i : cands->PositionAt(i);
+    auto [it, inserted] = acc->emplace(HeadKey(head, pos), 1.0);
+    double x = tail.NumAt(pos);
+    it->second *= complement ? (1.0 - x) : x;
+  }
+}
+
+// Void-headed singleton-group fast path: groups are provably singletons,
+// and both prod(x) and 1 - prod(1 - x) of a single element equal x, so
+// the fold degenerates to a direct (oid, tail value) gather. Morsels
+// write disjoint ranges of the pre-sized output vectors.
+Bat SingletonProbAgg(const Bat& b, const CandidateList* cands,
+                     const MorselExec& mx) {
+  const Column& tail = b.tail();
+  Oid base = b.head().void_base();
+  size_t m = DomainSize(b, cands);
+  std::vector<Oid> heads(m);
+  std::vector<double> vals(m);
+  size_t morsels = mx.MorselsFor(m);
+  ParallelForChunks(morsels <= 1 ? nullptr : mx.pool, m, morsels,
+                    [&](size_t, size_t lo, size_t hi) {
+                      for (size_t i = lo; i < hi; ++i) {
+                        size_t pos =
+                            cands == nullptr ? i : cands->PositionAt(i);
+                        heads[i] = base + pos;
+                        vals[i] = tail.NumAt(pos);
+                      }
+                    });
+  if (morsels > 1) TrackMorselTasks(morsels);
+  return Bat(Column::MakeOids(std::move(heads)),
+             Column::MakeDbls(std::move(vals)));
+}
+
+Bat FoldPerHead(const Bat& b, const CandidateList* cands, bool complement,
+                const MorselExec& mx) {
+  if (cands != nullptr) {
+    TrackFusedAgg();
+    TrackCandidateOp();
+  }
+  size_t m = DomainSize(b, cands);
+  if (b.head().is_void()) {
+    Bat out = SingletonProbAgg(b, cands, mx);
+    TrackKernelOp(KernelOp::kBelief, m, out.size());
+    return out;
+  }
+  size_t morsels = mx.MorselsFor(m);
+  ProbGroupMap acc;
+  if (morsels <= 1) {
+    acc.reserve(m);
+    AccumulateProducts(b, cands, 0, m, complement, &acc);
+  } else {
+    // Per-morsel partial products over disjoint domain slices; products
+    // merge multiplicatively (1.0 is the fold's identity).
+    std::vector<ProbGroupMap> partials(morsels);
+    ParallelForChunks(mx.pool, m, morsels,
+                      [&](size_t j, size_t lo, size_t hi) {
+                        AccumulateProducts(b, cands, lo, hi, complement,
+                                           &partials[j]);
+                      });
+    TrackMorselTasks(morsels);
+    acc = std::move(partials[0]);
+    for (size_t j = 1; j < partials.size(); ++j) {
+      for (const auto& [key, p] : partials[j]) {
+        auto [it, inserted] = acc.emplace(key, 1.0);
+        it->second *= p;
+      }
+    }
   }
   std::vector<int64_t> keys;
   keys.reserve(acc.size());
@@ -70,7 +141,7 @@ Bat FoldPerHead(const Bat& b, double init, Fold fold, bool complement) {
     double v = acc[k];
     out.push_back(complement ? (1.0 - v) : v);
   }
-  TrackKernelOp(KernelOp::kBelief, b.size(), keys.size());
+  TrackKernelOp(KernelOp::kBelief, m, keys.size());
   Column out_head =
       b.head().type() == ValueType::kInt
           ? Column::MakeInts(keys)
@@ -80,17 +151,23 @@ Bat FoldPerHead(const Bat& b, double init, Fold fold, bool complement) {
 
 }  // namespace
 
-Bat ProdPerHead(const Bat& b) {
-  return FoldPerHead(
-      b, 1.0, [](double a, double x) { return a * x; },
-      /*complement=*/false);
+Bat ProdPerHead(const Bat& b, const MorselExec& mx) {
+  return FoldPerHead(b, nullptr, /*complement=*/false, mx);
 }
 
-Bat ProbOrPerHead(const Bat& b) {
+Bat ProbOrPerHead(const Bat& b, const MorselExec& mx) {
   // 1 - prod(1 - x): fold the complements, complement the result.
-  return FoldPerHead(
-      b, 1.0, [](double a, double x) { return a * x; },
-      /*complement=*/true);
+  return FoldPerHead(b, nullptr, /*complement=*/true, mx);
+}
+
+Bat ProdPerHeadCand(const Bat& b, const CandidateList& cands,
+                    const MorselExec& mx) {
+  return FoldPerHead(b, &cands, /*complement=*/false, mx);
+}
+
+Bat ProbOrPerHeadCand(const Bat& b, const CandidateList& cands,
+                      const MorselExec& mx) {
+  return FoldPerHead(b, &cands, /*complement=*/true, mx);
 }
 
 }  // namespace mirror::monet

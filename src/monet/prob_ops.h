@@ -2,6 +2,8 @@
 #define MIRROR_MONET_PROB_OPS_H_
 
 #include "monet/bat.h"
+#include "monet/bat_ops.h"
+#include "monet/candidate.h"
 
 namespace mirror::monet {
 
@@ -36,10 +38,25 @@ Bat BeliefTfIdf(const Bat& tf, const Bat& df, const Bat& doclen,
 
 /// Product of numeric tails per distinct head (probabilistic AND
 /// combination in the inference network). Output order is ascending head.
-Bat ProdPerHead(const Bat& b);
+/// Large inputs split into morsels whose partial products are merged
+/// before finalization (multiplication is associative and commutative
+/// across groups, so the merge is a per-group product).
+Bat ProdPerHead(const Bat& b, const MorselExec& mx = {});
 
 /// Per-head probabilistic OR: 1 - prod(1 - x).
-Bat ProbOrPerHead(const Bat& b);
+Bat ProbOrPerHead(const Bat& b, const MorselExec& mx = {});
+
+// Candidate-aware fused forms (same pattern as SumPerHeadCand): each is
+// equivalent to the materializing form over `Materialize(b, cands)` but
+// reads the base BAT at the candidate positions directly, so
+// select→pand/por plans run with zero Materialize() calls. A void head
+// makes every group a singleton, where prod(x) and 1-prod(1-x) both
+// collapse to x itself — a direct (oid, value) construction.
+
+Bat ProdPerHeadCand(const Bat& b, const CandidateList& cands,
+                    const MorselExec& mx = {});
+Bat ProbOrPerHeadCand(const Bat& b, const CandidateList& cands,
+                      const MorselExec& mx = {});
 
 }  // namespace mirror::monet
 

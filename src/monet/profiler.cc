@@ -107,6 +107,11 @@ std::string KernelStats::ToString() const {
                            static_cast<unsigned long long>(morsel_tasks),
                            static_cast<unsigned long long>(fused_agg_ops));
   }
+  if (radix_builds > 0) {
+    out += base::StrFormat(" radix=%llu/%llu",
+                           static_cast<unsigned long long>(radix_builds),
+                           static_cast<unsigned long long>(radix_partitions));
+  }
   return out;
 }
 
@@ -148,6 +153,13 @@ void TrackMorselTasks(uint64_t tasks) {
 void TrackFusedAgg() {
   std::lock_guard<std::mutex> lock(StatsMutex());
   ++GlobalKernelStats().fused_agg_ops;
+}
+
+void TrackRadixBuild(uint64_t partitions) {
+  std::lock_guard<std::mutex> lock(StatsMutex());
+  KernelStats& s = GlobalKernelStats();
+  ++s.radix_builds;
+  s.radix_partitions += partitions;
 }
 
 }  // namespace mirror::monet

@@ -56,6 +56,11 @@ struct KernelStats {
   /// Materialize() before the aggregate).
   uint64_t morsel_tasks = 0;
   uint64_t fused_agg_ops = 0;
+  /// Radix-join accounting: hash build sides that were radix-clustered
+  /// into more than one cache-sized partition, and the total partitions
+  /// built across them.
+  uint64_t radix_builds = 0;
+  uint64_t radix_partitions = 0;
 
   /// Total operator invocations across all families.
   uint64_t TotalOps() const;
@@ -99,6 +104,10 @@ void TrackMorselTasks(uint64_t tasks);
 /// Records one aggregate that consumed a candidate view directly
 /// (fused gather+aggregate; no tuple copy happened).
 void TrackFusedAgg();
+
+/// Records one hash build side radix-clustered into `partitions` > 1
+/// cache-sized partitions (single-partition builds are not counted).
+void TrackRadixBuild(uint64_t partitions);
 
 /// Scoped wall-time attribution to one operator family. Place at the top
 /// of an operator body; destruction adds the elapsed time.

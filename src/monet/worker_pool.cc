@@ -1,5 +1,6 @@
 #include "monet/worker_pool.h"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 
@@ -97,6 +98,22 @@ void ParallelFor(WorkerPool* pool, size_t tasks,
     group->cv.wait_for(lock, std::chrono::milliseconds(1),
                        [&] { return group->remaining == 0; });
   }
+}
+
+void ParallelForChunks(
+    WorkerPool* pool, size_t total, size_t chunks,
+    const std::function<void(size_t, size_t, size_t)>& fn) {
+  if (chunks <= 1) {
+    fn(0, 0, total);
+    return;
+  }
+  size_t chunk = (total + chunks - 1) / chunks;
+  ParallelFor(pool, chunks, [&](size_t j) {
+    // Both bounds clamp: chunk counts larger than ceil-division needs
+    // (legal per the contract) make trailing ranges empty, never inverted.
+    size_t lo = std::min(total, j * chunk);
+    fn(j, lo, std::min(total, lo + chunk));
+  });
 }
 
 }  // namespace mirror::monet

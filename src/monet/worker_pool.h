@@ -61,6 +61,14 @@ class WorkerPool {
 void ParallelFor(WorkerPool* pool, size_t tasks,
                  const std::function<void(size_t)>& fn);
 
+/// Splits the domain [0, total) into `chunks` contiguous ranges and runs
+/// `fn(chunk_index, lo, hi)` for each across the pool — the shared
+/// chunking idiom of the morselized kernels. chunks <= 1 runs one inline
+/// call covering the whole domain.
+void ParallelForChunks(
+    WorkerPool* pool, size_t total, size_t chunks,
+    const std::function<void(size_t, size_t, size_t)>& fn);
+
 }  // namespace mirror::monet
 
 #endif  // MIRROR_MONET_WORKER_POOL_H_

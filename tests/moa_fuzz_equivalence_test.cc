@@ -2,10 +2,12 @@
 // queries from the supported grammar and checks that the naive
 // interpreter, the legacy sequential executor and the candidate-vector
 // ExecutionEngine — at 1 and 4 worker threads, with morsel splitting
-// forced on via a tiny morsel size, and with fused aggregation switched
-// off — all produce identical results (a 6-way check): the
-// architecture's central theorem, probed far beyond the hand-written
-// cases.
+// forced on via a tiny morsel size, with fused aggregation switched
+// off, with the pre-radix legacy join, and with radix joins forced onto
+// multiple partitions — all produce identical results (a 7-way check):
+// the architecture's central theorem, probed far beyond the hand-written
+// cases. The getBL ranking patterns flatten to join-heavy MIL, so the
+// join modes run over genuine multi-join plans.
 
 #include <map>
 #include <set>
@@ -106,6 +108,13 @@ std::string RandomQuery(base::Rng* rng, bool weighted) {
                             static_cast<long long>(rng->UniformInt(2, 4)),
                             query.c_str());
   }
+  // Scalar aggregate over the mapped set: sum/count/avg flatten to the
+  // fused scalar forms; max/min flatten via the topN(1) rewrite.
+  if (rng->Uniform(3) == 0) {
+    const char* scalar_aggs[] = {"sum", "count", "avg", "max", "min"};
+    query = base::StrFormat("%s(%s)", scalar_aggs[rng->Uniform(5)],
+                            query.c_str());
+  }
   return query + ";";
 }
 
@@ -115,6 +124,11 @@ std::map<Oid, double> RunNaive(const Database& db, const QueryContext& ctx,
   auto result = naive.Evaluate(expr);
   EXPECT_TRUE(result.ok()) << result.status().ToString();
   std::map<Oid, double> out;
+  if (result.value().is_scalar) {
+    // Scalar results compare as a single pseudo-row keyed by oid 0.
+    out[0] = result.value().scalar.AsDouble();
+    return out;
+  }
   const monet::Bat& bat = *result.value().bat;
   for (size_t i = 0; i < bat.size(); ++i) {
     out[bat.head().OidAt(i)] = bat.tail().NumAt(i);
@@ -129,6 +143,8 @@ struct EngineMode {
   int num_threads = 1;
   size_t morsel_size = 64 * 1024;
   bool fuse_aggregates = true;
+  bool morsel_joins = true;
+  size_t radix_partitions = 0;
 };
 
 constexpr EngineMode kEngineModes[] = {
@@ -142,6 +158,14 @@ constexpr EngineMode kEngineModes[] = {
     // Fused aggregation off: aggregates materialize their candidate
     // views, isolating the fused path as the only remaining variable.
     {"engine-1-thread-unfused", true, 1, 64 * 1024, false},
+    // Pre-radix joins: kJoin materializes its inputs and runs the
+    // single-threaded legacy build/probe — the PR 2 engine, kept as a
+    // code-path-independent join oracle.
+    {"engine-4-threads-legacy-join", true, 4, 64 * 1024, true, false},
+    // Radix joins forced onto 8 partitions with tiny morsels: the
+    // multi-partition cluster/build/probe pipeline runs even over the
+    // few-hundred-row bases of these databases.
+    {"engine-4-threads-radix-parts-8", true, 4, 257, true, true, 8},
 };
 
 std::map<Oid, double> RunFlat(const Database& db, const QueryContext& ctx,
@@ -169,7 +193,9 @@ std::map<Oid, double> RunFlat(const Database& db, const QueryContext& ctx,
         monet::mil::ExecOptions{.num_threads = mode.num_threads,
                                 .use_candidates = true,
                                 .morsel_size = mode.morsel_size,
-                                .fuse_aggregates = mode.fuse_aggregates});
+                                .fuse_aggregates = mode.fuse_aggregates,
+                                .morsel_joins = mode.morsel_joins,
+                                .radix_partitions = mode.radix_partitions});
     run = engine.Run(prog, session);
   } else {
     run = monet::mil::Executor(&db.catalog()).Run(prog);
@@ -180,6 +206,10 @@ std::map<Oid, double> RunFlat(const Database& db, const QueryContext& ctx,
     return {};
   }
   std::map<Oid, double> out;
+  if (run.value().is_scalar) {
+    out[0] = run.value().scalar;
+    return out;
+  }
   const monet::Bat& bat = *run.value().bat;
   for (size_t i = 0; i < bat.size(); ++i) {
     out[bat.head().OidAt(i)] = bat.tail().NumAt(i);

@@ -173,5 +173,39 @@ TEST(MilCseTest, DuplicateLoadsCollapse) {
   EXPECT_EQ(run.value().bat->size(), 50u);
 }
 
+TEST(MilJoinFusionTest, SelectFedJoinInputsAreCounted) {
+  // select → semijoin → join: both candidate-producing inputs of kJoin
+  // count as join-input fusions (Materialize() calls the radix engine's
+  // JoinCand avoids); a load-fed join input does not.
+  namespace mil = monet::mil;
+  mil::Program p;
+  auto emit = [&p](mil::Instr i) {
+    i.dst = p.NewReg();
+    return p.Emit(std::move(i));
+  };
+  mil::Instr load;
+  load.op = mil::OpCode::kLoadNamed;
+  load.name = "t.a";
+  int a = emit(std::move(load));
+  mil::Instr sel;
+  sel.op = mil::OpCode::kSelectCmp;
+  sel.src0 = a;
+  sel.cmp_op = monet::CmpOp::kGt;
+  sel.imm0 = monet::Value::MakeInt(3);
+  int selected = emit(std::move(sel));
+  mil::Instr load2;
+  load2.op = mil::OpCode::kLoadNamed;
+  load2.name = "t.b";
+  int b = emit(std::move(load2));
+  mil::Instr join;
+  join.op = mil::OpCode::kJoin;
+  join.src0 = selected;  // candidate-pipeline producer: counts
+  join.src1 = b;         // plain load: does not count
+  p.set_result_reg(emit(std::move(join)));
+  OptimizerReport report;
+  OptimizeMil(&p, &report);
+  EXPECT_EQ(report.join_input_fusions, 1);
+}
+
 }  // namespace
 }  // namespace mirror::moa

@@ -1,0 +1,401 @@
+// The radix-partitioned, morsel-parallel join pipeline: every output
+// must be bit-identical (same rows, same order) to JoinLegacy across the
+// awkward shapes — empty sides, heavily skewed keys, string keys on
+// shared and distinct heaps, fetch-join boundary keys — with and without
+// candidate domains, forced multi-partition clustering, and tiny morsels
+// over a real worker pool. Also covers the radix membership probes and
+// the fused prob-aggregate forms that ride along in this change.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "monet/bat_ops.h"
+#include "monet/cache_info.h"
+#include "monet/catalog.h"
+#include "monet/exec.h"
+#include "monet/mil.h"
+#include "monet/profiler.h"
+#include "monet/prob_ops.h"
+#include "monet/worker_pool.h"
+
+namespace mirror::monet {
+namespace {
+
+void ExpectBatsEqual(const Bat& a, const Bat& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.Row(i).first.ToString(), b.Row(i).first.ToString())
+        << what << " head row " << i;
+    EXPECT_EQ(a.Row(i).second.ToString(), b.Row(i).second.ToString())
+        << what << " tail row " << i;
+  }
+}
+
+// Every MorselExec shape the radix join must agree under: inline, forced
+// multi-partition, tiny morsels on a pool, and both at once.
+struct JoinMode {
+  const char* label;
+  bool pool = false;
+  size_t morsel_size = 0;
+  size_t radix_partitions = 0;
+};
+
+constexpr JoinMode kJoinModes[] = {
+    {"inline"},
+    {"parts_8", false, 0, 8},
+    {"pool_morsel_17", true, 17},
+    {"pool_morsel_17_parts_8", true, 17, 8},
+};
+
+class JoinModeTest : public ::testing::TestWithParam<JoinMode> {
+ protected:
+  MorselExec Mx() {
+    const JoinMode& mode = GetParam();
+    if (mode.pool) pool_.EnsureWorkers(4);
+    return MorselExec{mode.pool ? &pool_ : nullptr, mode.morsel_size,
+                      mode.radix_partitions};
+  }
+
+ private:
+  WorkerPool pool_;
+};
+
+TEST_P(JoinModeTest, MatchesLegacyOnRandomIntKeys) {
+  base::Rng rng(7);
+  for (size_t ln : {0ul, 1ul, 3ul, 100ul, 501ul}) {
+    for (size_t rn : {0ul, 1ul, 7ul, 250ul}) {
+      std::vector<int64_t> lkeys;
+      std::vector<int64_t> rkeys;
+      std::vector<int64_t> rvals;
+      for (size_t i = 0; i < ln; ++i) {
+        lkeys.push_back(rng.UniformInt(-5, 40));
+      }
+      for (size_t i = 0; i < rn; ++i) {
+        rkeys.push_back(rng.UniformInt(-5, 40));
+        rvals.push_back(static_cast<int64_t>(i) * 10);
+      }
+      Bat l = Bat::DenseInts(std::move(lkeys));
+      Bat r(Column::MakeInts(std::move(rkeys)),
+            Column::MakeInts(std::move(rvals)));
+      ExpectBatsEqual(JoinLegacy(l, r), Join(l, r, Mx()), "random ints");
+    }
+  }
+}
+
+TEST_P(JoinModeTest, HeavilySkewedKeysKeepDuplicateOrder) {
+  // 90% of both sides share one key: the worst partition gets nearly
+  // everything and every probe hit walks a long chain. The output (one
+  // row per build duplicate, in build order) must match legacy exactly.
+  std::vector<int64_t> lkeys;
+  std::vector<int64_t> rkeys;
+  std::vector<int64_t> rvals;
+  for (size_t i = 0; i < 300; ++i) lkeys.push_back(i % 10 == 0 ? 2 : 1);
+  for (size_t i = 0; i < 40; ++i) {
+    rkeys.push_back(i % 10 == 0 ? 2 : 1);
+    rvals.push_back(static_cast<int64_t>(i));
+  }
+  Bat l = Bat::DenseInts(std::move(lkeys));
+  Bat r(Column::MakeInts(std::move(rkeys)),
+        Column::MakeInts(std::move(rvals)));
+  ExpectBatsEqual(JoinLegacy(l, r), Join(l, r, Mx()), "skewed");
+}
+
+TEST_P(JoinModeTest, DoubleKeysIncludingSignedZero) {
+  // int/dbl cross-typed keys take the double path; -0.0 and +0.0 compare
+  // equal and must land in the same partition and bucket.
+  Bat l = Bat::DenseDbls({0.0, -0.0, 1.5, -1.5, 2.0, 3.25});
+  Bat r(Column::MakeDbls({-0.0, 1.5, 2.0, 0.0}),
+        Column::MakeInts({1, 2, 3, 4}));
+  ExpectBatsEqual(JoinLegacy(l, r), Join(l, r, Mx()), "signed zero");
+  Bat l_int = Bat::DenseInts({0, 2, 3});
+  ExpectBatsEqual(JoinLegacy(l_int, r), Join(l_int, r, Mx()), "int vs dbl");
+}
+
+TEST_P(JoinModeTest, StringKeysOnSharedAndDistinctHeaps) {
+  // Shared heap: offset-keyed radix path. Distinct heaps: the
+  // spelling-keyed fallback.
+  Bat base = Bat::DenseStrs({"sun", "sea", "sky", "sun", "dune", "sea"});
+  Bat shared(base.tail(), Column::MakeInts({1, 2, 3, 4, 5, 6}));
+  ExpectBatsEqual(JoinLegacy(base, shared), Join(base, shared, Mx()),
+                  "shared heap");
+  Bat foreign(Column::MakeStrs({"sea", "dune", "reef"}),
+              Column::MakeInts({10, 20, 30}));
+  ASSERT_NE(base.tail().heap(), foreign.head().heap());
+  ExpectBatsEqual(JoinLegacy(base, foreign), Join(base, foreign, Mx()),
+                  "distinct heaps");
+}
+
+TEST_P(JoinModeTest, FetchJoinBoundaries) {
+  // Keys below the void base, exactly at both edges, past the end, and
+  // negative int keys (which wrap to huge unsigned values and must be
+  // dropped, as legacy drops them).
+  Bat r = Bat::DenseStrs({"a", "b", "c", "d"}, /*base=*/10);
+  Bat oid_probe = Bat::DenseOids({9, 10, 13, 14, 2, 11});
+  ExpectBatsEqual(JoinLegacy(oid_probe, r), Join(oid_probe, r, Mx()),
+                  "oid fetch");
+  Bat int_probe = Bat::DenseInts({-1, 10, 12, 99, 13, 0});
+  ExpectBatsEqual(JoinLegacy(int_probe, r), Join(int_probe, r, Mx()),
+                  "int fetch");
+  // Large fetch: several morsels with a non-divisible remainder.
+  std::vector<int64_t> many;
+  for (size_t i = 0; i < 345; ++i) {
+    many.push_back(static_cast<int64_t>((i * 7) % 20));
+  }
+  Bat big_probe = Bat::DenseInts(std::move(many));
+  Bat big_r = Bat::DenseInts({5, 6, 7, 8, 9, 10, 11, 12}, /*base=*/4);
+  ExpectBatsEqual(JoinLegacy(big_probe, big_r), Join(big_probe, big_r, Mx()),
+                  "big fetch");
+}
+
+TEST_P(JoinModeTest, CandidateAwareJoinEqualsMaterializedJoin) {
+  base::Rng rng(13);
+  std::vector<int64_t> lkeys;
+  std::vector<int64_t> rkeys;
+  std::vector<double> rvals;
+  for (size_t i = 0; i < 400; ++i) lkeys.push_back(rng.UniformInt(0, 60));
+  for (size_t i = 0; i < 150; ++i) {
+    rkeys.push_back(rng.UniformInt(0, 60));
+    rvals.push_back(static_cast<double>(i));
+  }
+  Bat l = Bat::DenseInts(std::move(lkeys));
+  Bat r(Column::MakeInts(std::move(rkeys)),
+        Column::MakeDbls(std::move(rvals)));
+  CandidateList lcands = SelectCmpCand(l, CmpOp::kLt, Value::MakeInt(45));
+  CandidateList rcands =
+      SelectCmpCand(Bat(r.head(), r.head()), CmpOp::kGe, Value::MakeInt(5));
+  Bat lm = Materialize(l, lcands);
+  Bat rm = Materialize(r, rcands);
+  ExpectBatsEqual(JoinLegacy(lm, r), JoinCand(l, &lcands, r, nullptr, Mx()),
+                  "probe cands");
+  ExpectBatsEqual(JoinLegacy(l, rm), JoinCand(l, nullptr, r, &rcands, Mx()),
+                  "build cands");
+  ExpectBatsEqual(JoinLegacy(lm, rm), JoinCand(l, &lcands, r, &rcands, Mx()),
+                  "both cands");
+  // Candidate-restricted void-headed build side: the positional fast
+  // path no longer applies and the join must hash on the surviving oids.
+  Bat rv = Bat::DenseInts({100, 200, 300, 400, 500});
+  CandidateList rvc = SelectCmpCand(rv, CmpOp::kGe, Value::MakeInt(300));
+  Bat probe = Bat::DenseOids({0, 2, 3, 4, 1});
+  ExpectBatsEqual(JoinLegacy(probe, Materialize(rv, rvc)),
+                  JoinCand(probe, nullptr, rv, &rvc, Mx()), "void + cands");
+}
+
+TEST_P(JoinModeTest, MembershipProbesMatchMaterializedSemantics) {
+  base::Rng rng(29);
+  std::vector<int64_t> lv;
+  std::vector<int64_t> rv;
+  for (size_t i = 0; i < 333; ++i) lv.push_back(rng.UniformInt(0, 50));
+  for (size_t i = 0; i < 44; ++i) rv.push_back(rng.UniformInt(0, 50));
+  Bat l = Bat::DenseInts(std::move(lv));
+  Bat r = Bat::DenseInts(std::move(rv));
+  MorselExec mx = Mx();
+  Bat semi = Materialize(l, SemiJoinTailCand(l, r, nullptr, mx), mx);
+  ExpectBatsEqual(SemiJoinTail(l, r), semi, "semijoin tail");
+  // The semi and anti probes partition the probe domain exactly.
+  CandidateList kept = SemiJoinTailCand(l, r, nullptr, mx);
+  Bat lrev = Reverse(l);
+  Bat rrev = Reverse(r);
+  CandidateList kept_head = SemiJoinHeadCand(lrev, rrev, nullptr, mx);
+  CandidateList anti_head = AntiJoinHeadCand(lrev, rrev, nullptr, mx);
+  EXPECT_EQ(kept_head.size() + anti_head.size(), l.size());
+  EXPECT_EQ(kept.size(), kept_head.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, JoinModeTest, ::testing::ValuesIn(kJoinModes),
+                         [](const auto& info) {
+                           return std::string(info.param.label);
+                         });
+
+TEST(JoinKernelTest, EmptySidesKeepColumnTypes) {
+  Bat l(Column::MakeOids({}), Column::MakeInts({}));
+  Bat r(Column::MakeInts({}), Column::MakeDbls({}));
+  Bat j = Join(l, r);
+  EXPECT_EQ(j.size(), 0u);
+  EXPECT_EQ(j.head().type(), ValueType::kOid);
+  EXPECT_EQ(j.tail().type(), ValueType::kDbl);
+  Bat nonempty(Column::MakeInts({1, 2}), Column::MakeDbls({0.5, 0.25}));
+  EXPECT_EQ(Join(l, nonempty).size(), 0u);
+  EXPECT_EQ(Join(Bat::DenseInts({1, 2, 3}), r).size(), 0u);
+}
+
+TEST(JoinKernelTest, RadixBuildsAreTrackedForPartitionedJoins) {
+  GlobalKernelStats().Reset();
+  std::vector<int64_t> keys;
+  for (size_t i = 0; i < 2000; ++i) keys.push_back(static_cast<int64_t>(i));
+  Bat l = Bat::DenseInts(keys);
+  Bat r(Column::MakeInts(keys), Column::MakeInts(keys));
+  MorselExec mx{nullptr, 0, /*radix_partitions=*/16};
+  Bat j = Join(l, r, mx);
+  EXPECT_EQ(j.size(), 2000u);
+  KernelStats stats = GlobalKernelStats();
+  EXPECT_GE(stats.radix_builds, 1u);
+  EXPECT_GE(stats.radix_partitions, 16u);
+}
+
+TEST(CacheInfoTest, DerivedSizesAreSane) {
+  EXPECT_GE(L2CacheBytes(), 256u * 1024u);
+  EXPECT_GE(DefaultMorselSize(), 16u * 1024u);
+  EXPECT_LE(DefaultMorselSize(), 256u * 1024u);
+  EXPECT_EQ(RadixPartitionsFor(0), 1u);
+  EXPECT_EQ(RadixPartitionsFor(100), 1u);
+  // Partition counts are powers of two and grow with the build side.
+  size_t p = RadixPartitionsFor(100'000'000);
+  EXPECT_EQ(p & (p - 1), 0u);
+  EXPECT_GT(p, 1u);
+  EXPECT_EQ(NextPowerOfTwo(0), 1u);
+  EXPECT_EQ(NextPowerOfTwo(5), 8u);
+}
+
+TEST(ProbAggTest, CandFormsMatchMaterializedForms) {
+  WorkerPool pool;
+  pool.EnsureWorkers(3);
+  MorselExec mx{&pool, /*morsel_size=*/19};
+  base::Rng rng(41);
+  for (size_t n : {0ul, 1ul, 18ul, 19ul, 20ul, 257ul}) {
+    // Grouped heads (few groups, many members) with beliefs in (0,1).
+    std::vector<Oid> heads;
+    std::vector<double> vals;
+    for (size_t i = 0; i < n; ++i) {
+      heads.push_back(static_cast<Oid>(rng.UniformInt(0, 7)));
+      vals.push_back(rng.UniformDouble(0.05, 0.95));
+    }
+    Bat grouped(Column::MakeOids(std::move(heads)),
+                Column::MakeDbls(std::move(vals)));
+    CandidateList cands =
+        SelectCmpCand(grouped, CmpOp::kLe, Value::MakeDbl(0.8));
+    Bat mat = Materialize(grouped, cands);
+    ExpectBatsEqual(ProdPerHead(mat), ProdPerHeadCand(grouped, cands, mx),
+                    "prod grouped");
+    ExpectBatsEqual(ProbOrPerHead(mat),
+                    ProbOrPerHeadCand(grouped, cands, mx), "por grouped");
+    // Morselized materializing form agrees with the inline one.
+    ExpectBatsEqual(ProdPerHead(mat), ProdPerHead(mat, mx), "prod morsel");
+    ExpectBatsEqual(ProbOrPerHead(mat), ProbOrPerHead(mat, mx),
+                    "por morsel");
+  }
+}
+
+TEST(ProbAggTest, VoidHeadSingletonFastPathMatchesOracle) {
+  WorkerPool pool;
+  pool.EnsureWorkers(3);
+  MorselExec mx{&pool, /*morsel_size=*/16};
+  std::vector<double> vals;
+  for (size_t i = 0; i < 100; ++i) {
+    vals.push_back(0.1 + 0.008 * static_cast<double>(i));
+  }
+  Bat b = Bat::DenseDbls(std::move(vals));
+  CandidateList cands = SelectCmpCand(b, CmpOp::kGt, Value::MakeDbl(0.3));
+  Bat mat = Materialize(b, cands);
+  // prod and por of a singleton group both equal the value itself; the
+  // materialized oracle computes them the long way (within epsilon).
+  Bat prod = ProdPerHeadCand(b, cands, mx);
+  Bat por = ProbOrPerHeadCand(b, cands, mx);
+  Bat prod_oracle = ProdPerHead(mat);
+  Bat por_oracle = ProbOrPerHead(mat);
+  ASSERT_EQ(prod.size(), prod_oracle.size());
+  ASSERT_EQ(por.size(), por_oracle.size());
+  for (size_t i = 0; i < prod.size(); ++i) {
+    EXPECT_EQ(prod.head().OidAt(i), prod_oracle.head().OidAt(i));
+    EXPECT_NEAR(prod.tail().DblAt(i), prod_oracle.tail().DblAt(i), 1e-12);
+    EXPECT_EQ(por.head().OidAt(i), por_oracle.head().OidAt(i));
+    EXPECT_NEAR(por.tail().DblAt(i), por_oracle.tail().DblAt(i), 1e-12);
+  }
+}
+
+// The engine-level contract of this change: a select→join→SumPerHead
+// plan over candidate views runs with zero Materialize() calls under the
+// radix path, and the legacy knob reproduces identical output.
+TEST(EngineJoinTest, SelectJoinAggPlanFusesWithZeroMaterializations) {
+  namespace mil = monet::mil;
+  Catalog catalog;
+  std::vector<int64_t> year;
+  std::vector<int64_t> ref;
+  std::vector<int64_t> dim_keys;
+  std::vector<double> dim_vals;
+  base::Rng rng(3);
+  constexpr size_t kRows = 4000;
+  for (size_t i = 0; i < kRows; ++i) {
+    year.push_back(1900 + rng.UniformInt(0, 125));
+    ref.push_back(rng.UniformInt(0, static_cast<int>(kRows) - 1));
+    dim_keys.push_back(static_cast<int64_t>(i));
+    dim_vals.push_back(rng.UniformDouble(0.0, 1.0));
+  }
+  // Shuffled dimension keys so the build is a genuine hash (not dense).
+  for (size_t i = kRows; i > 1; --i) {
+    size_t j = rng.Uniform(i);
+    std::swap(dim_keys[i - 1], dim_keys[j]);
+    std::swap(dim_vals[i - 1], dim_vals[j]);
+  }
+  catalog.Put("t.year", Bat::DenseInts(year));
+  catalog.Put("t.ref", Bat::DenseInts(ref));
+  catalog.Put("dim", Bat(Column::MakeInts(dim_keys),
+                         Column::MakeDbls(dim_vals)));
+
+  mil::Program p;
+  auto emit = [&p](mil::Instr instr) {
+    instr.dst = p.NewReg();
+    return p.Emit(std::move(instr));
+  };
+  mil::Instr load_year;
+  load_year.op = mil::OpCode::kLoadNamed;
+  load_year.name = "t.year";
+  int y = emit(std::move(load_year));
+  mil::Instr sel;
+  sel.op = mil::OpCode::kSelectRange;
+  sel.src0 = y;
+  sel.imm0 = Value::MakeInt(1940);
+  sel.imm1 = Value::MakeInt(2010);
+  sel.flag0 = true;
+  sel.flag1 = true;
+  int selected = emit(std::move(sel));
+  mil::Instr load_ref;
+  load_ref.op = mil::OpCode::kLoadNamed;
+  load_ref.name = "t.ref";
+  int ref_reg = emit(std::move(load_ref));
+  mil::Instr semi;
+  semi.op = mil::OpCode::kSemiJoinHead;
+  semi.src0 = ref_reg;
+  semi.src1 = selected;
+  int kept = emit(std::move(semi));
+  mil::Instr load_dim;
+  load_dim.op = mil::OpCode::kLoadNamed;
+  load_dim.name = "dim";
+  int dim = emit(std::move(load_dim));
+  mil::Instr join;
+  join.op = mil::OpCode::kJoin;
+  join.src0 = kept;
+  join.src1 = dim;
+  int joined = emit(std::move(join));
+  mil::Instr agg;
+  agg.op = mil::OpCode::kSumPerHead;
+  agg.src0 = joined;
+  p.set_result_reg(emit(std::move(agg)));
+
+  mil::ExecutionContext session;
+  mil::ExecOptions radix;
+  radix.num_threads = 4;
+  radix.morsel_size = 257;
+  radix.radix_partitions = 8;
+  mil::ExecOptions legacy;
+  legacy.num_threads = 1;
+  legacy.morsel_joins = false;
+
+  GlobalKernelStats().Reset();
+  auto fused = mil::ExecutionEngine(&catalog, radix).Run(p, &session);
+  ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+  KernelStats stats = GlobalKernelStats();
+  EXPECT_EQ(stats.materializations, 0u)
+      << "select→join→agg plan still materializes";
+  EXPECT_GE(stats.radix_builds, 1u);
+
+  auto baseline = mil::ExecutionEngine(&catalog, legacy).Run(p, &session);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ExpectBatsEqual(*baseline.value().bat, *fused.value().bat,
+                  "radix vs legacy engine");
+}
+
+}  // namespace
+}  // namespace mirror::monet
