@@ -446,9 +446,179 @@ JoinComparison RunE3e(db::MirrorDb* database, int catalog_rows) {
   return out;
 }
 
+// E3f: shard-parallel select→join→SumPerHead gating the sharded-catalog
+// engine. The same 400k-row catalog joins a 1.2M-row dimension (three
+// weighted rows per key) so the per-head aggregate — a 370k-group hash
+// group-by over 1.1M join rows — dominates. The baseline is the full
+// current engine at 4 threads with one shard (num_shards = 1): one
+// global group map far larger than the cache plus a serial partial-map
+// merge and one giant output sort. Sharded, each shard aggregates into
+// its own cache-resident table and the merged result is a pure
+// order-preserving concat; the join probes run per shard against ONE
+// shared build table. Output is bit-identical; the sharded run must do
+// zero Materialize() calls and fan out for real.
+struct ShardComparison {
+  double oneshard4_ms = 0;
+  double sharded4_ms = 0;
+  uint64_t sharded_materialize_calls = 0;
+  uint64_t shard_fanouts = 0;
+  uint64_t shard_fanins = 0;
+  size_t num_shards = 0;
+};
+
+monet::mil::Program BuildShardedJoinAggPlan(int catalog_rows, int dup,
+                                            uint64_t seed) {
+  namespace mil = monet::mil;
+  base::Rng rng(seed);
+  std::vector<int64_t> keys;
+  std::vector<double> weights;
+  keys.reserve(static_cast<size_t>(catalog_rows * dup));
+  for (int d = 0; d < dup; ++d) {
+    for (int i = 0; i < catalog_rows; ++i) keys.push_back(i);
+  }
+  rng.Shuffle(&keys);
+  weights.reserve(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    weights.push_back(rng.UniformDouble(0.0, 1.0));
+  }
+  auto dim = std::make_shared<const monet::Bat>(
+      monet::Column::MakeInts(std::move(keys)),
+      monet::Column::MakeDbls(std::move(weights)));
+
+  mil::Program p;
+  auto emit = [&p](mil::Instr i) {
+    i.dst = p.NewReg();
+    return p.Emit(std::move(i));
+  };
+  mil::Instr load_year;
+  load_year.op = mil::OpCode::kLoadNamed;
+  load_year.name = "Cat.year";
+  int year = emit(std::move(load_year));
+  mil::Instr sel;
+  sel.op = mil::OpCode::kSelectRange;
+  sel.src0 = year;
+  sel.imm0 = monet::Value::MakeInt(1905);
+  sel.imm1 = monet::Value::MakeInt(2020);
+  sel.flag0 = true;
+  sel.flag1 = true;
+  int selected = emit(std::move(sel));
+  mil::Instr load_ref;
+  load_ref.op = mil::OpCode::kLoadNamed;
+  load_ref.name = "Cat.ref";
+  int ref = emit(std::move(load_ref));
+  mil::Instr semi;
+  semi.op = mil::OpCode::kSemiJoinHead;
+  semi.src0 = ref;
+  semi.src1 = selected;
+  int kept = emit(std::move(semi));
+  mil::Instr dim_instr;
+  dim_instr.op = mil::OpCode::kConstBat;
+  dim_instr.const_bat = dim;
+  int dim_reg = emit(std::move(dim_instr));
+  mil::Instr join;
+  join.op = mil::OpCode::kJoin;
+  join.src0 = kept;
+  join.src1 = dim_reg;
+  int joined = emit(std::move(join));
+  mil::Instr agg;
+  agg.op = mil::OpCode::kSumPerHead;
+  agg.src0 = joined;
+  p.set_result_reg(emit(std::move(agg)));
+  return p;
+}
+
+ShardComparison RunE3f(db::MirrorDb* database, int catalog_rows,
+                       size_t num_shards) {
+  namespace mil = monet::mil;
+  std::printf(
+      "\nE3f: shard-parallel select→join→SumPerHead over the 400k-row\n"
+      "catalog against a 1.2M-row dimension — the current engine with\n"
+      "one shard vs the same engine fanned out over %zu oid-range\n"
+      "shards (shard-local aggregation, one shared join build).\n\n",
+      num_shards);
+  mil::Program plan =
+      BuildShardedJoinAggPlan(catalog_rows, /*dup=*/3, /*seed=*/23);
+  auto run_once = [&](const mil::ExecOptions& options,
+                      mil::ExecutionContext* session) {
+    mil::ExecutionEngine engine(database->catalog(), options);
+    auto result = engine.Run(plan, session);
+    MIRROR_CHECK(result.ok()) << result.status().ToString();
+    return result.TakeValue();
+  };
+  auto time_engine = [&](const mil::ExecOptions& options) {
+    mil::ExecutionContext session;
+    double best = 1e100;
+    for (int r = 0; r < 5; ++r) {
+      base::Stopwatch sw;
+      auto result = run_once(options, &session);
+      MIRROR_CHECK(result.bat != nullptr && !result.bat->empty());
+      best = std::min(best, sw.ElapsedMillis());
+    }
+    return best;
+  };
+  mil::ExecOptions oneshard4;
+  oneshard4.num_threads = 4;
+  oneshard4.num_shards = 1;
+  mil::ExecOptions sharded4;
+  sharded4.num_threads = 4;
+  sharded4.num_shards = num_shards;
+
+  // The shard layout is built lazily on first use; build it here so the
+  // timed runs measure execution, not fragment slicing.
+  database->catalog()->Shards(num_shards);
+
+  // Equivalence check: the sharded run must be bit-identical.
+  {
+    mil::ExecutionContext session;
+    auto baseline = run_once(oneshard4, &session);
+    auto sharded = run_once(sharded4, &session);
+    MIRROR_CHECK(baseline.bat->size() == sharded.bat->size());
+    for (size_t i = 0; i < baseline.bat->size(); i += 617) {
+      MIRROR_CHECK(baseline.bat->head().OidAt(i) ==
+                   sharded.bat->head().OidAt(i));
+      MIRROR_CHECK(baseline.bat->tail().NumAt(i) ==
+                   sharded.bat->tail().NumAt(i));
+    }
+  }
+
+  ShardComparison out;
+  out.num_shards = num_shards;
+  out.oneshard4_ms = time_engine(oneshard4);
+  out.sharded4_ms = time_engine(sharded4);
+
+  // Profiler gate: genuinely fanned out, zero Materialize() calls.
+  {
+    mil::ExecutionContext session;
+    monet::GlobalKernelStats().Reset();
+    auto result = run_once(sharded4, &session);
+    MIRROR_CHECK(result.bat != nullptr);
+    monet::KernelStats stats = monet::GlobalKernelStats();
+    out.sharded_materialize_calls = stats.materializations;
+    out.shard_fanouts = stats.shard_fanouts;
+    out.shard_fanins = stats.shard_fanins;
+    std::printf("sharded-run profiler: %s\n\n", stats.ToString().c_str());
+    MIRROR_CHECK(stats.materializations == 0)
+        << "sharded select→join→agg plan still materializes";
+    MIRROR_CHECK(stats.shard_fanouts > 0) << "plan never fanned out";
+  }
+
+  base::TablePrinter table({"path", "ms", "vs 1-shard engine @4T"});
+  auto row = [&](const char* name, double ms) {
+    table.AddRow({name, base::StrFormat("%.3f", ms),
+                  base::StrFormat("%.2fx", out.oneshard4_ms / ms)});
+  };
+  row("engine 4 threads, 1 shard", out.oneshard4_ms);
+  row(base::StrFormat("engine 4 threads, %zu shards", num_shards).c_str(),
+      out.sharded4_ms);
+  table.Print();
+  std::printf("\n");
+  return out;
+}
+
 void WriteBenchJson(const EngineComparison& selection,
                     const EngineComparison& ranking,
-                    const AggComparison& agg, const JoinComparison& join) {
+                    const AggComparison& agg, const JoinComparison& join,
+                    const ShardComparison& shard) {
   std::FILE* f = std::fopen("BENCH_retrieval.json", "w");
   if (f == nullptr) {
     std::printf("could not write BENCH_retrieval.json\n");
@@ -496,11 +666,27 @@ void WriteBenchJson(const EngineComparison& selection,
       "    \"speedup_radix4_vs_legacy1\": %.3f,\n"
       "    \"materialize_calls_radix\": %llu,\n"
       "    \"radix_partitions\": %llu\n"
-      "  }\n",
+      "  },\n",
       join.legacy1_ms, join.radix1_ms, join.radix4_ms,
       join.legacy1_ms / join.radix4_ms,
       static_cast<unsigned long long>(join.radix_materialize_calls),
       static_cast<unsigned long long>(join.radix_partitions));
+  std::fprintf(
+      f,
+      "  \"select_join_sumperhead_400k_sharded\": {\n"
+      "    \"num_shards\": %zu,\n"
+      "    \"engine_4_threads_1_shard_ms\": %.4f,\n"
+      "    \"engine_4_threads_sharded_ms\": %.4f,\n"
+      "    \"speedup_sharded4_vs_1shard4\": %.3f,\n"
+      "    \"materialize_calls_sharded\": %llu,\n"
+      "    \"shard_fanouts\": %llu,\n"
+      "    \"shard_fanins\": %llu\n"
+      "  }\n",
+      shard.num_shards, shard.oneshard4_ms, shard.sharded4_ms,
+      shard.oneshard4_ms / shard.sharded4_ms,
+      static_cast<unsigned long long>(shard.sharded_materialize_calls),
+      static_cast<unsigned long long>(shard.shard_fanouts),
+      static_cast<unsigned long long>(shard.shard_fanins));
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote BENCH_retrieval.json\n");
@@ -594,6 +780,7 @@ int main() {
   auto [selection, ranking] = RunE3c(database);
   AggComparison agg = RunE3d(&database);
   JoinComparison join = RunE3e(&database, kCatalogRows);
-  WriteBenchJson(selection, ranking, agg, join);
+  ShardComparison shard = RunE3f(&database, kCatalogRows, /*num_shards=*/8);
+  WriteBenchJson(selection, ranking, agg, join, shard);
   return 0;
 }

@@ -71,4 +71,24 @@ awk -v s="${JOIN_SPEEDUP}" 'BEGIN { exit (s >= 2.0) ? 0 : 1 }' || {
   exit 1
 }
 
+echo "== sharded-catalog gate (E3f select→join→SumPerHead, 400k rows, sharded) =="
+# Baseline is the full current engine at 4 threads with one shard. The
+# shard-parallel run (oid-range sharded catalog, shared join build,
+# range-hinted dense per-shard aggregation) must be >= 1.5x with zero
+# Materialize() calls (bench_retrieval itself aborts if mat != 0 or the
+# plan never fanned out across shards).
+SHARD_SPEEDUP=$(grep -m1 '"speedup_sharded4_vs_1shard4"' build/BENCH_retrieval.json \
+            | awk -F': ' '{gsub(/[,[:space:]]/, "", $2); print $2}')
+SHARD_MAT=$(grep -m1 '"materialize_calls_sharded"' build/BENCH_retrieval.json \
+            | awk -F': ' '{gsub(/[,[:space:]]/, "", $2); print $2}')
+echo "sharded engine at 4 threads vs 1-shard engine at 4 threads: ${SHARD_SPEEDUP}x (materialize calls: ${SHARD_MAT})"
+awk -v s="${SHARD_SPEEDUP}" 'BEGIN { exit (s >= 1.5) ? 0 : 1 }' || {
+  echo "FAIL: sharded select→join→agg speedup ${SHARD_SPEEDUP}x is below the 1.5x floor"
+  exit 1
+}
+[ "${SHARD_MAT}" = "0" ] || {
+  echo "FAIL: sharded select→join→agg plan performed ${SHARD_MAT} Materialize() calls (want 0)"
+  exit 1
+}
+
 echo "CI OK — artifacts: build/BENCH_bat_kernel.json build/BENCH_retrieval.json"

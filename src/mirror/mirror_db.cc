@@ -34,6 +34,22 @@ base::Status MirrorDb::Load(const std::string& set_name,
   return status;
 }
 
+base::Status MirrorDb::LoadSharded(const std::string& set_name,
+                                   std::vector<moa::MoaValue> objects,
+                                   size_t num_shards) {
+  base::Status status = Load(set_name, std::move(objects));
+  if (!status.ok()) return status;
+  if (num_shards < 2) {
+    default_shards_ = 0;
+    return status;
+  }
+  // Pre-build the layout so the first sharded query doesn't pay the
+  // fragment slicing; the cache also rebuilds lazily after later Loads.
+  logical_.catalog()->Shards(num_shards);
+  default_shards_ = num_shards;
+  return status;
+}
+
 void MirrorDb::RegisterSession(mil::ExecutionContext* session) const {
   if (session == nullptr) return;
   std::lock_guard<std::mutex> lock(sessions_mu_);
@@ -86,7 +102,12 @@ base::Result<moa::EvalOutput> MirrorDb::ExecuteProgram(
     mil::ExecutionContext* session) const {
   base::Result<mil::RunResult> run = base::Status::Internal("unreachable");
   if (options.use_engine) {
-    mil::ExecutionEngine engine(&logical_.catalog(), options.exec);
+    // num_shards == 0 inherits the database default (LoadSharded), so
+    // callers that never heard of sharding run sharded transparently;
+    // an explicit 1 pins the unsharded engine.
+    mil::ExecOptions exec = options.exec;
+    if (exec.num_shards == 0) exec.num_shards = default_shards_;
+    mil::ExecutionEngine engine(&logical_.catalog(), exec);
     run = engine.Run(program, session);
   } else {
     run = mil::Executor(&logical_.catalog()).Run(program);

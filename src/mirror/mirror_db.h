@@ -61,6 +61,20 @@ class MirrorDb {
   base::Status Load(const std::string& set_name,
                     std::vector<moa::MoaValue> objects);
 
+  /// Load() plus an N-way oid-range sharding of the physical catalog:
+  /// the shard layout is pre-built and `num_shards` becomes the
+  /// database's default, so every query whose ExecOptions leave
+  /// num_shards at 0 (the "inherit" value — what existing callers like
+  /// retrieval_app pass) runs on the shard-parallel engine transparently.
+  /// num_shards < 2 degrades to a plain Load and clears the default.
+  /// Registered sessions are invalidated exactly as by Load.
+  base::Status LoadSharded(const std::string& set_name,
+                           std::vector<moa::MoaValue> objects,
+                           size_t num_shards);
+
+  /// Shard count applied to queries that don't pin one (0 = unsharded).
+  size_t default_shard_count() const { return default_shards_; }
+
   /// Registers a live session for plan-cache invalidation on Load. The
   /// session must outlive the registration (unregister before destroying
   /// it). Registering the same session twice is a no-op.
@@ -109,6 +123,9 @@ class MirrorDb {
 
  private:
   moa::Database logical_;
+  /// Default shard count for queries that inherit (exec.num_shards == 0);
+  /// set by LoadSharded, 0 means unsharded.
+  size_t default_shards_ = 0;
   /// Sessions notified on Load. Guarded by sessions_mu_; mutable so
   /// sessions can attach to a const-held database (registration does not
   /// change logical contents).

@@ -862,6 +862,10 @@ class Compiler {
       // scalar sum of a one-row BAT reads it out. Both instructions fuse
       // over candidate views, and topN(1) of the empty set is empty,
       // whose sum is 0 — the naive oracle's extremum of the empty set.
+      // Under OptimizeMil the pair collapses into one scalar.fold(max|
+      // min) instruction (OptimizerReport.fold_rewrites), which skips the
+      // bounded sort and doubles as the shard engine's cross-shard merge
+      // form; this emission stays as the O0 baseline.
       mil::Instr top;
       top.op = mil::OpCode::kTopN;
       top.src0 = base.reg;

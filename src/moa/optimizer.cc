@@ -95,7 +95,7 @@ std::string InstrKey(const mil::Instr& i) {
       static_cast<int>(i.flag0), static_cast<int>(i.flag1),
       static_cast<int>(i.bin_op), static_cast<long long>(i.n),
       static_cast<long long>(i.n2), static_cast<int>(i.un_op),
-      static_cast<int>(i.cmp_op), static_cast<int>(0),
+      static_cast<int>(i.cmp_op), static_cast<int>(i.fold_op),
       static_cast<long long>(i.num_docs), i.avg_doclen, i.belief.alpha,
       i.belief.k_tf, i.belief.k_len);
   key += i.name;
@@ -244,6 +244,50 @@ void FuseScalarAggregates(mil::Program* program, OptimizerReport* report) {
   *program = std::move(rewritten);
 }
 
+/// Rewrites the scalar-extremum detour `scalar.sum(topn(x, 1))` into the
+/// dedicated `scalar.fold(x, max|min)` instruction when the topn has no
+/// other consumer: the fold reads the column once instead of running a
+/// bounded sort plus a one-row sum, fuses over candidate views like the
+/// other scalar aggregates, and is the form the shard engine merges
+/// across shards with the same combinator. Empty inputs agree by
+/// construction (topn(1) of nothing sums to 0; the fold's empty value is
+/// 0). The orphaned topn is left for DCE.
+void RewriteScalarFolds(mil::Program* program, OptimizerReport* report) {
+  std::vector<int> uses = CountRegisterUses(*program);
+  std::vector<int> producer(static_cast<size_t>(program->num_regs()), -1);
+  const std::vector<mil::Instr>& instrs = program->instrs();
+  for (size_t idx = 0; idx < instrs.size(); ++idx) {
+    int dst = instrs[idx].dst;
+    if (dst < 0 || producer[static_cast<size_t>(dst)] != -1) return;  // not SSA
+    producer[static_cast<size_t>(dst)] = static_cast<int>(idx);
+  }
+  mil::Program rewritten;
+  while (rewritten.num_regs() < program->num_regs()) rewritten.NewReg();
+  bool changed = false;
+  for (size_t idx = 0; idx < instrs.size(); ++idx) {
+    mil::Instr copy = instrs[idx];
+    if (copy.op == mil::OpCode::kScalarSum && copy.src0 >= 0 &&
+        uses[static_cast<size_t>(copy.src0)] == 1) {
+      int p = producer[static_cast<size_t>(copy.src0)];
+      if (p >= 0) {
+        const mil::Instr& top = instrs[static_cast<size_t>(p)];
+        if (top.op == mil::OpCode::kTopN && top.n == 1) {
+          copy.op = mil::OpCode::kScalarFold;
+          copy.src0 = top.src0;
+          copy.fold_op =
+              top.flag0 ? monet::FoldOp::kMax : monet::FoldOp::kMin;
+          if (report != nullptr) report->fold_rewrites++;
+          changed = true;
+        }
+      }
+    }
+    rewritten.Emit(std::move(copy));
+  }
+  if (!changed) return;
+  rewritten.set_result_reg(program->result_reg());
+  *program = std::move(rewritten);
+}
+
 /// Counts select→select/semijoin/slice chain links: each is one tuple
 /// copy the candidate-vector engine avoids relative to the materializing
 /// interpreter. (mil::IsCandidatePipelineOp is the engine's own notion of
@@ -266,6 +310,52 @@ int CountCandidateChainLinks(const mil::Program& program) {
     }
   }
   return links;
+}
+
+/// Counts the instructions the shard-parallel engine will fan out
+/// shard-locally: a register is "shardable" when it is fed by a load (of
+/// what would be a sharded name) or by a shard-preserving operator over a
+/// shardable source, and every shard-local-class instruction consuming a
+/// shardable src0 counts — the unary family verbatim
+/// (mil::IsShardLocalUnaryOp, the engine's own notion), plus semijoins,
+/// join probes, topN partials and scalar-fold partials, whose side
+/// conditions the engine re-checks per register at run time.
+int CountShardFanouts(const mil::Program& program) {
+  std::vector<bool> shardable(static_cast<size_t>(program.num_regs()), false);
+  int fanouts = 0;
+  for (const mil::Instr& i : program.instrs()) {
+    bool src_sharded =
+        i.src0 >= 0 && shardable[static_cast<size_t>(i.src0)];
+    bool out_sharded = false;
+    if (i.op == mil::OpCode::kLoadNamed) {
+      out_sharded = true;
+    } else if (src_sharded) {
+      switch (i.op) {
+        case mil::OpCode::kSemiJoinHead:
+        case mil::OpCode::kAntiJoinHead:
+        case mil::OpCode::kSemiJoinTail:
+        case mil::OpCode::kJoin:
+          ++fanouts;
+          out_sharded = true;
+          break;
+        case mil::OpCode::kTopN:
+        case mil::OpCode::kScalarSum:
+        case mil::OpCode::kScalarCount:
+        case mil::OpCode::kScalarFold:
+          // Fan out per shard, then merge: the dst is global.
+          ++fanouts;
+          break;
+        default:
+          if (mil::IsShardLocalUnaryOp(i.op)) {
+            ++fanouts;
+            out_sharded = true;
+          }
+          break;
+      }
+    }
+    if (i.dst >= 0) shardable[static_cast<size_t>(i.dst)] = out_sharded;
+  }
+  return fanouts;
 }
 
 /// Counts join inputs produced by candidate-pipeline operators: each is
@@ -294,6 +384,7 @@ int CountJoinInputFusions(const mil::Program& program) {
 void OptimizeMil(mil::Program* program, OptimizerReport* report) {
   FuseSelectRanges(program, report);
   FuseScalarAggregates(program, report);
+  RewriteScalarFolds(program, report);
 
   // Common subexpression elimination over the straight-line program:
   // instructions with identical opcode and operands compute the same BAT
@@ -333,6 +424,7 @@ void OptimizeMil(mil::Program* program, OptimizerReport* report) {
   if (report != nullptr) {
     report->candidate_chain_links += CountCandidateChainLinks(rewritten);
     report->join_input_fusions += CountJoinInputFusions(rewritten);
+    report->shard_fanouts += CountShardFanouts(rewritten);
   }
   *program = std::move(rewritten);
 }

@@ -25,6 +25,15 @@ struct OptimizerReport {
   /// engine (ExecOptions.morsel_joins) will probe/build directly over
   /// candidate views instead of materializing them (diagnostic).
   int join_input_fusions = 0;
+  /// scalar.sum(topn(x, 1)) detours rewritten into dedicated scalar.fold
+  /// instructions (max/min skip the bounded sort; the fold opcode is also
+  /// the shard engine's cross-shard merge form).
+  int fold_rewrites = 0;
+  /// Instructions the shard-parallel engine will fan out shard-locally
+  /// when the database is sharded: ops reachable from loads through the
+  /// shard-preserving instruction set (diagnostic; the engine makes the
+  /// final call per register at run time).
+  int shard_fanouts = 0;
   size_t cse_removed = 0;
   size_t dce_removed = 0;
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -333,6 +335,23 @@ Bat Concat(const Bat& a, const Bat& b) {
              AppendColumns(a.tail(), b.tail()));
 }
 
+Bat ConcatAll(const std::vector<const Bat*>& parts) {
+  MIRROR_CHECK(!parts.empty());
+  KernelTimer timer(KernelOp::kConcat);
+  size_t total = 0;
+  for (const Bat* p : parts) total += p->size();
+  TrackKernelOp(KernelOp::kConcat, total, total);
+  std::vector<const Column*> heads;
+  std::vector<const Column*> tails;
+  heads.reserve(parts.size());
+  tails.reserve(parts.size());
+  for (const Bat* p : parts) {
+    heads.push_back(&p->head());
+    tails.push_back(&p->tail());
+  }
+  return Bat(AppendAllColumns(heads), AppendAllColumns(tails));
+}
+
 // ---------------------------------------------------------------------------
 // Selection. Each predicate has one position-computing core shared by the
 // materializing form (classic Monet semantics) and the candidate form
@@ -631,7 +650,36 @@ struct RadixTable {
   std::vector<uint32_t> buckets;   // concatenated per-partition arrays
   std::vector<size_t> part_begin;    // rows of partition p
   std::vector<size_t> bucket_begin;  // buckets of partition p
+  /// Optional per-partition Bloom filter (membership probes only): a
+  /// fixed stride of `bloom_words` 64-bit words per partition, sized to
+  /// ~8 bits per key, with two probe bits taken from the same hash the
+  /// partition and bucket selectors use. 0 words = no filter.
+  std::vector<uint64_t> bloom;
+  size_t bloom_words = 0;
 };
+
+/// The two filter bit positions for hash `h` in a `bits`-wide partition
+/// filter — the single definition shared by the build and probe sides
+/// (they must agree exactly or probes would test bits the build never
+/// set and silently drop valid members).
+struct BloomBits {
+  size_t b1;
+  size_t b2;
+
+  BloomBits(uint64_t h, size_t bits)
+      : b1((h >> 11) & (bits - 1)), b2((h >> 43) & (bits - 1)) {}
+};
+
+/// True when the filter proves `h` absent from partition `p` (two-bit
+/// check in one 512-byte-max window: a miss touches at most two cache
+/// lines instead of a bucket head + chain walk).
+template <typename K>
+inline bool BloomRejects(const RadixTable<K>& t, uint64_t h, size_t p) {
+  const uint64_t* words = t.bloom.data() + p * t.bloom_words;
+  BloomBits bits(h, t.bloom_words * 64);
+  return ((words[bits.b1 >> 6] >> (bits.b1 & 63)) & 1) == 0 ||
+         ((words[bits.b2 >> 6] >> (bits.b2 & 63)) & 1) == 0;
+}
 
 /// Radix-clusters the candidate domain of an n-row build column.
 /// `key_at(pos)` reads the canonical key at base position `pos`.
@@ -643,7 +691,8 @@ struct RadixTable {
 template <typename K, typename KeyAtFn>
 RadixTable<K> BuildRadixTable(size_t n, const CandidateList* cands,
                               KeyAtFn key_at, const MorselExec& mx,
-                              bool dedup_chains = false) {
+                              bool dedup_chains = false,
+                              bool with_bloom = false) {
   size_t m = DomainSize(n, cands);
   size_t parts = mx.radix_partitions > 0
                      ? NextPowerOfTwo(mx.radix_partitions)
@@ -653,6 +702,14 @@ RadixTable<K> BuildRadixTable(size_t n, const CandidateList* cands,
   t.part_begin.assign(parts + 1, 0);
   t.bucket_begin.assign(parts + 1, 0);
   if (m == 0) return t;
+  if (with_bloom) {
+    // ~8 bits per key in the average partition (two probe bits => ~5%
+    // false-positive rate), as one power-of-two word stride per
+    // partition so addressing stays shift-and-mask.
+    t.bloom_words = NextPowerOfTwo(std::max<size_t>(1, m / parts / 8));
+    t.bloom.assign(parts * t.bloom_words, 0);
+    TrackBloomBuild();
+  }
   t.keys.resize(m);
   t.pos.resize(m);
   auto base_pos = [&](size_t j) -> size_t {
@@ -710,6 +767,15 @@ RadixTable<K> BuildRadixTable(size_t n, const CandidateList* cands,
     if (bsize == 0) return;
     size_t bmask = bsize - 1;
     size_t lo = t.part_begin[p];
+    if (t.bloom_words > 0) {
+      // Each partition task owns its filter stride, so bit sets race-free.
+      uint64_t* words = t.bloom.data() + p * t.bloom_words;
+      for (size_t i = lo; i < t.part_begin[p + 1]; ++i) {
+        BloomBits bits(RadixHash(t.keys[i]), t.bloom_words * 64);
+        words[bits.b1 >> 6] |= uint64_t{1} << (bits.b1 & 63);
+        words[bits.b2 >> 6] |= uint64_t{1} << (bits.b2 & 63);
+      }
+    }
     for (size_t i = t.part_begin[p + 1]; i-- > lo;) {
       size_t b = bbase + ((RadixHash(t.keys[i]) >> 32) & bmask);
       if (dedup_chains) {
@@ -747,9 +813,8 @@ inline void ForEachMatch(const RadixTable<K>& t, K key, EmitFn emit) {
 }
 
 template <typename K>
-inline bool RadixContains(const RadixTable<K>& t, K key) {
-  uint64_t h = RadixHash(key);
-  size_t p = h & t.part_mask;
+inline bool RadixContainsHashed(const RadixTable<K>& t, K key, uint64_t h,
+                                size_t p) {
   size_t bbase = t.bucket_begin[p];
   size_t bsize = t.bucket_begin[p + 1] - bbase;
   if (bsize == 0) return false;
@@ -759,6 +824,12 @@ inline bool RadixContains(const RadixTable<K>& t, K key) {
     idx = t.next[idx];
   }
   return false;
+}
+
+template <typename K>
+inline bool RadixContains(const RadixTable<K>& t, K key) {
+  uint64_t h = RadixHash(key);
+  return RadixContainsHashed(t, key, h, h & t.part_mask);
 }
 
 /// Gathers per-morsel (lpos, rpos) fragments into the join result
@@ -839,36 +910,6 @@ Bat FetchJoin(const Bat& l, const CandidateList* lcands, const Bat& r,
       mx);
 }
 
-template <typename K, typename LKeyFn, typename RKeyFn>
-Bat RadixHashJoin(const Bat& l, const CandidateList* lcands, LKeyFn lkey,
-                  const Bat& r, const CandidateList* rcands, RKeyFn rkey,
-                  const MorselExec& mx) {
-  RadixTable<K> table = BuildRadixTable<K>(r.size(), rcands, rkey, mx);
-  return ProbeJoin(
-      l, lcands, r,
-      [&](size_t bp, auto emit) { ForEachMatch(table, lkey(bp), emit); },
-      mx);
-}
-
-/// Spelling-keyed fallback for string keys across distinct heaps (the
-/// radix path's int64 offset keys are only exact within one heap).
-Bat StringKeyJoin(const Bat& l, const CandidateList* lcands, const Bat& r,
-                  const CandidateList* rcands, const MorselExec& mx) {
-  PosMap<std::string> index;
-  ForEachInDomain(r.size(), rcands, [&](size_t i) {
-    index[std::string(r.head().StrAt(i))].push_back(
-        static_cast<uint32_t>(i));
-  });
-  return ProbeJoin(
-      l, lcands, r,
-      [&](size_t bp, auto emit) {
-        auto it = index.find(std::string(l.tail().StrAt(bp)));
-        if (it == index.end()) return;
-        for (uint32_t rpos : it->second) emit(rpos);
-      },
-      mx);
-}
-
 /// A candidate domain that covers the whole base adds nothing; collapse
 /// it to "no domain" so the hot loops skip the indirection.
 const CandidateList* NormalizeDomain(size_t n, const CandidateList* cands) {
@@ -881,38 +922,180 @@ const CandidateList* NormalizeDomain(size_t n, const CandidateList* cands) {
 
 }  // namespace
 
-Bat JoinCand(const Bat& l, const CandidateList* lcands, const Bat& r,
-             const CandidateList* rcands, const MorselExec& mx) {
+/// The shareable build side: the clustered tables are built lazily per
+/// key mode because the canonical key type depends on each probe's
+/// column type (an int build head radix-joins int probes on int64 keys
+/// but dbl probes on double keys; a string head offset-joins same-heap
+/// probes and spelling-joins foreign-heap ones).
+///
+/// Publication discipline: a builder must NEVER hold the mutex while
+/// building — the build fans morsels onto the shared pool and the
+/// help-first wait may pop another probe task that would then block on
+/// (or worse, re-enter) the same mutex. So builds run unlocked and the
+/// first finisher publishes (racing builders discard their copy); the
+/// shard engine additionally warms the expected table before fanning
+/// probes out, so the common path builds exactly once.
+struct JoinBuild::Impl {
+  BatPtr r;
+  std::shared_ptr<const CandidateList> rcands;  // normalized; null = all
+  MorselExec mx;
+  mutable std::mutex mu;
+  mutable std::shared_ptr<const RadixTable<int64_t>> i64;
+  mutable std::shared_ptr<const RadixTable<double>> f64;
+  mutable std::shared_ptr<const PosMap<std::string>> str;
+
+  const CandidateList* cands() const { return rcands.get(); }
+
+  template <typename T, typename BuildFn>
+  std::shared_ptr<const T> LazyPublish(
+      std::shared_ptr<const T>* slot, BuildFn build_fn) const {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (*slot != nullptr) return *slot;
+    }
+    std::shared_ptr<const T> built = build_fn();  // unlocked: may pool-fan
+    std::lock_guard<std::mutex> lock(mu);
+    if (*slot == nullptr) *slot = std::move(built);
+    return *slot;
+  }
+
+  std::shared_ptr<const RadixTable<int64_t>> I64Table() const {
+    return LazyPublish(&i64, [&] {
+      const Column& head = r->head();
+      return std::make_shared<const RadixTable<int64_t>>(
+          BuildRadixTable<int64_t>(
+              r->size(), cands(),
+              [&](size_t i) { return I64KeyAt(head, i); }, mx));
+    });
+  }
+
+  std::shared_ptr<const RadixTable<double>> F64Table() const {
+    return LazyPublish(&f64, [&] {
+      const Column& head = r->head();
+      return std::make_shared<const RadixTable<double>>(
+          BuildRadixTable<double>(
+              r->size(), cands(),
+              [&](size_t i) { return F64KeyAt(head, i); }, mx));
+    });
+  }
+
+  std::shared_ptr<const PosMap<std::string>> StrIndex() const {
+    return LazyPublish(&str, [&] {
+      // Spelling-keyed fallback for string keys across distinct heaps
+      // (offset keys are only exact within one heap).
+      auto index = std::make_shared<PosMap<std::string>>();
+      const Column& head = r->head();
+      ForEachInDomain(r->size(), cands(), [&](size_t i) {
+        (*index)[std::string(head.StrAt(i))].push_back(
+            static_cast<uint32_t>(i));
+      });
+      return std::shared_ptr<const PosMap<std::string>>(std::move(index));
+    });
+  }
+};
+
+JoinBuild::JoinBuild() : impl_(std::make_unique<Impl>()) {}
+JoinBuild::~JoinBuild() = default;
+
+std::shared_ptr<const JoinBuild> PrepareJoinBuild(
+    BatPtr r, std::shared_ptr<const CandidateList> rcands,
+    const MorselExec& mx) {
+  MIRROR_CHECK(r != nullptr);
+  if (rcands != nullptr &&
+      NormalizeDomain(r->size(), rcands.get()) == nullptr) {
+    rcands = nullptr;
+  }
+  std::shared_ptr<JoinBuild> build(new JoinBuild());
+  build->impl_->r = std::move(r);
+  build->impl_->rcands = std::move(rcands);
+  build->impl_->mx = mx;
+  return build;
+}
+
+Bat ProbePreparedJoin(const Bat& l, const CandidateList* lcands,
+                      const JoinBuild& build, const MorselExec& mx) {
   KernelTimer timer(KernelOp::kJoin);
+  const JoinBuild::Impl& im = *build.impl_;
+  const Bat& r = *im.r;
   lcands = NormalizeDomain(l.size(), lcands);
-  rcands = NormalizeDomain(r.size(), rcands);
-  if (lcands != nullptr || rcands != nullptr) TrackCandidateOp();
+  if (lcands != nullptr || im.rcands != nullptr) TrackCandidateOp();
   size_t domain_in =
-      DomainSize(l.size(), lcands) + DomainSize(r.size(), rcands);
+      DomainSize(l.size(), lcands) + DomainSize(r.size(), im.cands());
   Bat out = [&] {
     // A candidate-restricted void head is no longer dense, so the
     // positional fast path requires full build coverage.
-    if (r.head().is_void() && rcands == nullptr) {
+    if (r.head().is_void() && im.rcands == nullptr) {
       return FetchJoin(l, lcands, r, mx);
     }
-    switch (PickKeyMode(l.tail(), r.head())) {
+    const Column& probe = l.tail();
+    switch (PickKeyMode(probe, r.head())) {
       case KeyMode::kI64:
-      case KeyMode::kStrOffset:
-        return RadixHashJoin<int64_t>(
-            l, lcands, [&](size_t i) { return I64KeyAt(l.tail(), i); }, r,
-            rcands, [&](size_t i) { return I64KeyAt(r.head(), i); }, mx);
-      case KeyMode::kF64:
-        return RadixHashJoin<double>(
-            l, lcands, [&](size_t i) { return F64KeyAt(l.tail(), i); }, r,
-            rcands, [&](size_t i) { return F64KeyAt(r.head(), i); }, mx);
-      case KeyMode::kString:
-        return StringKeyJoin(l, lcands, r, rcands, mx);
+      case KeyMode::kStrOffset: {
+        std::shared_ptr<const RadixTable<int64_t>> t = im.I64Table();
+        return ProbeJoin(
+            l, lcands, r,
+            [&](size_t bp, auto emit) {
+              ForEachMatch(*t, I64KeyAt(probe, bp), emit);
+            },
+            mx);
+      }
+      case KeyMode::kF64: {
+        std::shared_ptr<const RadixTable<double>> t = im.F64Table();
+        return ProbeJoin(
+            l, lcands, r,
+            [&](size_t bp, auto emit) {
+              ForEachMatch(*t, F64KeyAt(probe, bp), emit);
+            },
+            mx);
+      }
+      case KeyMode::kString: {
+        std::shared_ptr<const PosMap<std::string>> index = im.StrIndex();
+        return ProbeJoin(
+            l, lcands, r,
+            [&](size_t bp, auto emit) {
+              auto it = index->find(std::string(probe.StrAt(bp)));
+              if (it == index->end()) return;
+              for (uint32_t rpos : it->second) emit(rpos);
+            },
+            mx);
+      }
     }
     MIRROR_UNREACHABLE();
     return Bat(Column::MakeVoid(0, 0), Column::MakeVoid(0, 0));
   }();
   TrackKernelOp(KernelOp::kJoin, domain_in, out.size());
   return out;
+}
+
+void WarmJoinBuild(const JoinBuild& build, const Column& probe_tail) {
+  const JoinBuild::Impl& im = *build.impl_;
+  if (im.r->head().is_void() && im.rcands == nullptr) return;  // fetch join
+  switch (PickKeyMode(probe_tail, im.r->head())) {
+    case KeyMode::kI64:
+    case KeyMode::kStrOffset:
+      im.I64Table();
+      break;
+    case KeyMode::kF64:
+      im.F64Table();
+      break;
+    case KeyMode::kString:
+      im.StrIndex();
+      break;
+  }
+}
+
+Bat JoinCand(const Bat& l, const CandidateList* lcands, const Bat& r,
+             const CandidateList* rcands, const MorselExec& mx) {
+  // Non-owning aliases: the one-shot build dies with this call, so the
+  // caller's references safely outlive it.
+  BatPtr rp(&r, [](const Bat*) {});
+  std::shared_ptr<const CandidateList> rc;
+  if (rcands != nullptr) {
+    rc = std::shared_ptr<const CandidateList>(rcands,
+                                              [](const CandidateList*) {});
+  }
+  return ProbePreparedJoin(
+      l, lcands, *PrepareJoinBuild(std::move(rp), std::move(rc), mx), mx);
 }
 
 Bat Join(const Bat& l, const Bat& r, const MorselExec& mx) {
@@ -979,15 +1162,33 @@ CandidateList RadixMemberCand(size_t probe_n, ProbeKeyFn probe_key,
                               size_t keys_n, KeysKeyFn keys_key,
                               bool keep_members, const CandidateList* cands,
                               const MorselExec& mx) {
+  // Bloom-gate the probe only when it is selective: with the probe domain
+  // at least as large as the member-key set, misses are expected and the
+  // filter pays for itself; a probe far smaller than the key set mostly
+  // hits, where the filter is pure overhead.
+  bool with_bloom = mx.bloom_probes && keys_n > 0 &&
+                    DomainSize(probe_n, cands) >= keys_n;
   RadixTable<K> members = BuildRadixTable<K>(keys_n, nullptr, keys_key, mx,
-                                             /*dedup_chains=*/true);
+                                             /*dedup_chains=*/true,
+                                             with_bloom);
   return MorselizedPositions(
       probe_n, cands, mx, [&](const CandidateList* dom) {
         std::vector<uint32_t> out;
+        uint64_t bloom_rejects = 0;
         ForEachInDomain(probe_n, dom, [&](size_t i) {
-          bool in = RadixContains(members, probe_key(i));
+          K key = probe_key(i);
+          uint64_t h = RadixHash(key);
+          size_t p = h & members.part_mask;
+          bool in;
+          if (members.bloom_words > 0 && BloomRejects(members, h, p)) {
+            ++bloom_rejects;
+            in = false;
+          } else {
+            in = RadixContainsHashed(members, key, h, p);
+          }
           if (in == keep_members) out.push_back(static_cast<uint32_t>(i));
         });
+        if (bloom_rejects > 0) TrackBloomHits(bloom_rejects);
         return out;
       });
 }
@@ -1512,6 +1713,95 @@ Bat AvgPerHead(const Bat& b, const MorselExec& mx) {
                               mx);
 }
 
+namespace {
+
+/// Dense-array group-by for heads confined to [lo, hi): one Acc per
+/// possible oid, accumulated by direct index and emitted by a linear
+/// sweep. Falls back to the exact hash/singleton implementation when the
+/// head is void (singletons are cheaper still), not oid-typed, or the
+/// range is too sparse for the array to pay (width >> rows).
+Bat AggregatePerHeadRanged(const Bat& b, const CandidateList* cands,
+                           AggKind kind, Oid lo, Oid hi,
+                           const MorselExec& mx) {
+  const Column& head = b.head();
+  size_t m = DomainSize(b.size(), cands);
+  size_t width = hi > lo ? static_cast<size_t>(hi - lo) : 0;
+  bool oid_head = head.type() == ValueType::kOid;
+  if (!oid_head || width == 0 || width > 8 * m + 1024) {
+    return AggregatePerHeadImpl(b, cands, kind, KernelOp::kGroupAgg, mx);
+  }
+  KernelTimer timer(KernelOp::kGroupAgg);
+  if (cands != nullptr) {
+    TrackFusedAgg();
+    TrackCandidateOp();
+  }
+  const Column& tail = b.tail();
+  if (kind != AggKind::kCount) {
+    MIRROR_CHECK(IsNumericOrOid(tail.type()) &&
+                 Norm(tail.type()) != ValueType::kOid)
+        << "aggregate tail must be numeric";
+  }
+  // Accumulation is single-pass on the calling thread: the shard engine
+  // supplies parallelism across shards, and the array replaces both the
+  // per-morsel partial maps and their serial merge.
+  std::vector<Acc> accs(width);
+  ForEachInDomain(b.size(), cands, [&](size_t i) {
+    Oid h = head.OidAt(i);
+    MIRROR_CHECK(h >= lo && h < hi)
+        << "head oid outside the declared range";
+    accs[h - lo].Add(kind == AggKind::kCount ? 0.0 : tail.NumAt(i));
+  });
+  size_t groups = 0;
+  for (const Acc& a : accs) groups += a.count > 0 ? 1 : 0;
+  std::vector<Oid> heads;
+  heads.reserve(groups);
+  std::vector<double> out_dbl;
+  std::vector<int64_t> out_int;
+  if (kind == AggKind::kCount) {
+    out_int.reserve(groups);
+  } else {
+    out_dbl.reserve(groups);
+  }
+  for (size_t j = 0; j < width; ++j) {
+    const Acc& a = accs[j];
+    if (a.count == 0) continue;
+    heads.push_back(lo + j);
+    if (kind == AggKind::kCount) {
+      out_int.push_back(a.count);
+    } else {
+      out_dbl.push_back(FinishAcc(a, kind));
+    }
+  }
+  TrackKernelOp(KernelOp::kGroupAgg, m, groups);
+  Column out_tail = kind == AggKind::kCount
+                        ? Column::MakeInts(std::move(out_int))
+                        : Column::MakeDbls(std::move(out_dbl));
+  return Bat(Column::MakeOids(std::move(heads)), std::move(out_tail));
+}
+
+}  // namespace
+
+Bat SumPerHeadRanged(const Bat& b, const CandidateList* cands, Oid lo,
+                     Oid hi, const MorselExec& mx) {
+  return AggregatePerHeadRanged(b, cands, AggKind::kSum, lo, hi, mx);
+}
+Bat CountPerHeadRanged(const Bat& b, const CandidateList* cands, Oid lo,
+                       Oid hi, const MorselExec& mx) {
+  return AggregatePerHeadRanged(b, cands, AggKind::kCount, lo, hi, mx);
+}
+Bat MaxPerHeadRanged(const Bat& b, const CandidateList* cands, Oid lo,
+                     Oid hi, const MorselExec& mx) {
+  return AggregatePerHeadRanged(b, cands, AggKind::kMax, lo, hi, mx);
+}
+Bat MinPerHeadRanged(const Bat& b, const CandidateList* cands, Oid lo,
+                     Oid hi, const MorselExec& mx) {
+  return AggregatePerHeadRanged(b, cands, AggKind::kMin, lo, hi, mx);
+}
+Bat AvgPerHeadRanged(const Bat& b, const CandidateList* cands, Oid lo,
+                     Oid hi, const MorselExec& mx) {
+  return AggregatePerHeadRanged(b, cands, AggKind::kAvg, lo, hi, mx);
+}
+
 Bat SumPerHeadCand(const Bat& b, const CandidateList& cands,
                    const MorselExec& mx) {
   return AggregatePerHeadImpl(b, &cands, AggKind::kSum, KernelOp::kGroupAgg,
@@ -1637,6 +1927,85 @@ int64_t ScalarCountCand(const Bat& b, const CandidateList& cands) {
   TrackFusedAgg();
   TrackCandidateOp();
   return static_cast<int64_t>(cands.size());
+}
+
+double ApplyFold(double a, double b, FoldOp op) {
+  switch (op) {
+    case FoldOp::kMax:
+      return std::max(a, b);
+    case FoldOp::kMin:
+      return std::min(a, b);
+    case FoldOp::kProd:
+      return a * b;
+    case FoldOp::kPor:
+      return 1.0 - (1.0 - a) * (1.0 - b);
+  }
+  MIRROR_UNREACHABLE();
+  return 0;
+}
+
+double FoldEmptyValue(FoldOp op) {
+  return op == FoldOp::kProd ? 1.0 : 0.0;
+}
+
+double ScalarFold(const Bat& b, FoldOp op) {
+  TrackKernelOp(KernelOp::kScalarAgg, b.size(), 1);
+  if (b.empty()) return FoldEmptyValue(op);
+  const Column& tail = b.tail();
+  // Seeded from the first element (not an identity) so max/min are exact
+  // over all-negative and all-positive inputs alike.
+  double acc = tail.NumAt(0);
+  for (size_t i = 1; i < b.size(); ++i) {
+    acc = ApplyFold(acc, tail.NumAt(i), op);
+  }
+  return acc;
+}
+
+double ScalarFoldCand(const Bat& b, const CandidateList& cands, FoldOp op,
+                      const MorselExec& mx) {
+  KernelTimer timer(KernelOp::kScalarAgg);
+  TrackKernelOp(KernelOp::kScalarAgg, cands.size(), 1);
+  TrackFusedAgg();
+  TrackCandidateOp();
+  const Column& tail = b.tail();
+  size_t m = cands.size();
+  if (m == 0) return FoldEmptyValue(op);
+  size_t morsels = mx.MorselsFor(m);
+  if (morsels <= 1) {
+    double acc = tail.NumAt(cands.PositionAt(0));
+    for (size_t i = 1; i < m; ++i) {
+      acc = ApplyFold(acc, tail.NumAt(cands.PositionAt(i)), op);
+    }
+    return acc;
+  }
+  size_t chunk = (m + morsels - 1) / morsels;
+  std::vector<double> partial(morsels, 0.0);
+  std::vector<char> nonempty(morsels, 0);
+  ParallelFor(mx.pool, morsels, [&](size_t j) {
+    size_t lo = j * chunk;
+    size_t hi = std::min(m, lo + chunk);
+    if (lo >= hi) return;
+    double acc = tail.NumAt(cands.PositionAt(lo));
+    for (size_t i = lo + 1; i < hi; ++i) {
+      acc = ApplyFold(acc, tail.NumAt(cands.PositionAt(i)), op);
+    }
+    partial[j] = acc;
+    nonempty[j] = 1;
+  });
+  TrackMorselTasks(morsels);
+  // Merging partials in morsel order: exact for max/min (truly
+  // order-insensitive); for prod/por the regrouping ((a·b)·(c·d) vs
+  // (((a·b)·c)·d) can differ from the single-pass fold in the last ulp,
+  // like the morselized ScalarSumCand's partial sums — within the fuzz
+  // harness's 1e-9, not bit-exact.
+  bool seeded = false;
+  double acc = 0;
+  for (size_t j = 0; j < morsels; ++j) {
+    if (nonempty[j] == 0) continue;
+    acc = seeded ? ApplyFold(acc, partial[j], op) : partial[j];
+    seeded = true;
+  }
+  return seeded ? acc : FoldEmptyValue(op);
 }
 
 Value ScalarMax(const Bat& b) {

@@ -2,6 +2,7 @@
 #define MIRROR_MONET_BAT_OPS_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "monet/bat.h"
@@ -9,6 +10,8 @@
 #include "monet/worker_pool.h"
 
 namespace mirror::monet {
+
+using BatPtr = std::shared_ptr<const Bat>;  // also declared in catalog.h
 
 // The Monet-style column-at-a-time operator set. Every operator is a free
 // function that consumes const BATs and materializes a new BAT (the
@@ -37,6 +40,12 @@ struct MorselExec {
   /// value — rounded up to a power of two — forces it, which tests use
   /// to exercise the multi-partition path on small inputs.
   size_t radix_partitions = 0;
+  /// When true, selective membership probes (semijoin/antijoin where the
+  /// probe domain is at least as large as the member-key set) build a
+  /// per-partition Bloom filter in front of the radix table, so probe
+  /// misses cost one cache line instead of a bucket-chain walk. Filter
+  /// rejects are counted as KernelStats.bloom_hits.
+  bool bloom_probes = true;
 
   /// Number of morsels a domain of `n` rows splits into (1 = run inline).
   size_t MorselsFor(size_t n) const {
@@ -63,6 +72,13 @@ Bat Slice(const Bat& b, size_t start, size_t count);
 /// Appends `b` to `a`; column types must match (numeric widening int->dbl
 /// is applied; a void head is kept void when the result stays dense).
 Bat Concat(const Bat& a, const Bat& b);
+
+/// Order-preserving n-way concatenation — the fan-in merge of shard (and
+/// morsel) fragments. Equivalent to folding Concat left to right, but
+/// with one output allocation; adjacent void heads whose ranges chain
+/// re-form a single void column, so gathered shard fragments of a dense
+/// BAT reproduce it exactly. `parts` must be non-empty.
+Bat ConcatAll(const std::vector<const Bat*>& parts);
 
 // ---------------------------------------------------------------------------
 // Selection.
@@ -162,6 +178,51 @@ Bat JoinCand(const Bat& l, const CandidateList* lcands, const Bat& r,
 /// ExecOptions.morsel_joins = false.
 Bat JoinLegacy(const Bat& l, const Bat& r);
 
+/// A reusable join build side: the radix-clustered table over `r` (at the
+/// build candidate positions) that `JoinCand` constructs internally, made
+/// shareable so N probes — the shard engine probes one shard fragment
+/// each — build it exactly once instead of once per probe. Tables are
+/// built lazily per key mode (the canonical key type depends on the probe
+/// column's type, which may differ across probes) under an internal
+/// mutex; a positional fetch join (void build head, full coverage) needs
+/// no table at all.
+class JoinBuild {
+ public:
+  ~JoinBuild();
+  JoinBuild(const JoinBuild&) = delete;
+  JoinBuild& operator=(const JoinBuild&) = delete;
+
+ private:
+  JoinBuild();
+  friend std::shared_ptr<const JoinBuild> PrepareJoinBuild(
+      BatPtr r, std::shared_ptr<const CandidateList> rcands,
+      const MorselExec& mx);
+  friend Bat ProbePreparedJoin(const Bat& l, const CandidateList* lcands,
+                               const JoinBuild& build, const MorselExec& mx);
+  friend void WarmJoinBuild(const JoinBuild& build, const Column& probe_tail);
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Forces the table serving probes of `probe_tail`'s type (and heap) to
+/// exist, building it on the calling thread. Call before fanning probe
+/// tasks out across the pool so the shared build happens exactly once,
+/// up front, instead of lazily under the first racing probe.
+void WarmJoinBuild(const JoinBuild& build, const Column& probe_tail);
+
+/// Captures `r` (and its optional build-side candidate domain) as a
+/// shareable join build side. `mx` supplies the pool for morsel-parallel
+/// clustering when a table is first needed; it must outlive the build.
+std::shared_ptr<const JoinBuild> PrepareJoinBuild(
+    BatPtr r, std::shared_ptr<const CandidateList> rcands = nullptr,
+    const MorselExec& mx = {});
+
+/// Probes `l` (at `lcands`, or all rows) against a prepared build side.
+/// `ProbePreparedJoin(l, lc, *PrepareJoinBuild(r, rc), mx)` is equivalent
+/// to `JoinCand(l, lc, r, rc, mx)` — same rows, same order.
+Bat ProbePreparedJoin(const Bat& l, const CandidateList* lcands,
+                      const JoinBuild& build, const MorselExec& mx = {});
+
 /// Rows of `l` whose HEAD occurs among the heads of `r` (MonetDB semijoin
 /// semantics).
 Bat SemiJoinHead(const Bat& l, const Bat& r);
@@ -239,6 +300,27 @@ Bat MinPerHeadCand(const Bat& b, const CandidateList& cands,
 Bat AvgPerHeadCand(const Bat& b, const CandidateList& cands,
                    const MorselExec& mx = {});
 
+// Range-hinted per-head aggregation: the caller guarantees every head
+// oid lies in [lo, hi) — exactly what the shard engine's oid-range
+// invariant provides per fragment. Materialized-oid heads within a
+// reasonably tight range accumulate into a dense array indexed by
+// `oid - lo`: no hash table, no partial-map merge, and the
+// ascending-head output falls out of a linear sweep with no sort. Void
+// heads and ranges too sparse for the array fall back to the exact
+// hash/singleton forms, so output is always identical to the unhinted
+// aggregate. `cands` restricts to a candidate view (nullptr = all rows).
+
+Bat SumPerHeadRanged(const Bat& b, const CandidateList* cands, Oid lo,
+                     Oid hi, const MorselExec& mx = {});
+Bat CountPerHeadRanged(const Bat& b, const CandidateList* cands, Oid lo,
+                       Oid hi, const MorselExec& mx = {});
+Bat MaxPerHeadRanged(const Bat& b, const CandidateList* cands, Oid lo,
+                     Oid hi, const MorselExec& mx = {});
+Bat MinPerHeadRanged(const Bat& b, const CandidateList* cands, Oid lo,
+                     Oid hi, const MorselExec& mx = {});
+Bat AvgPerHeadRanged(const Bat& b, const CandidateList* cands, Oid lo,
+                     Oid hi, const MorselExec& mx = {});
+
 /// Value-frequency histogram over tails: (x, t) -> (t, count). The result
 /// head takes the tail's type.
 Bat CountPerTailValue(const Bat& b);
@@ -254,6 +336,31 @@ Value ScalarMin(const Bat& b);
 double ScalarSumCand(const Bat& b, const CandidateList& cands,
                      const MorselExec& mx = {});
 int64_t ScalarCountCand(const Bat& b, const CandidateList& cands);
+
+/// Scalar fold combinators: each is associative and commutative, so
+/// per-morsel (and per-shard) partial folds merge with the same operator
+/// — the natural cross-shard merge instruction behind MIL's scalar.fold.
+enum class FoldOp { kMax, kMin, kProd, kPor };
+
+/// Combines two fold partials (por(a,b) = 1 - (1-a)(1-b)).
+double ApplyFold(double a, double b, FoldOp op);
+
+/// The fold's empty-input value: 0 for max/min (the naive oracle's
+/// extremum-of-empty-set convention, which the topN(1)+sum flattening
+/// also produced) and por (its identity), 1 for prod (its identity).
+/// Single source of truth for the kernel and the shard engine's
+/// all-shards-empty merge.
+double FoldEmptyValue(FoldOp op);
+
+/// Folds the numeric tails of `b`. The empty input yields 0 for
+/// max/min/por (matching the naive oracle's extremum-of-empty-set and the
+/// por identity) and 1 for prod (its identity).
+double ScalarFold(const Bat& b, FoldOp op);
+
+/// Fused fold over a candidate view; morsel partials merge via ApplyFold
+/// (empty morsels contribute nothing).
+double ScalarFoldCand(const Bat& b, const CandidateList& cands, FoldOp op,
+                      const MorselExec& mx = {});
 
 // ---------------------------------------------------------------------------
 // Multiplexed scalar arithmetic ("map[op]" at the physical level). Numeric

@@ -125,11 +125,13 @@ base::Status Catalog::Register(const std::string& name, Bat bat) {
     return base::Status::AlreadyExists("BAT already registered: " + name);
   }
   bats_.emplace(name, std::make_shared<const Bat>(std::move(bat)));
+  DropShardCache();
   return base::Status::Ok();
 }
 
 void Catalog::Put(const std::string& name, Bat bat) {
   bats_[name] = std::make_shared<const Bat>(std::move(bat));
+  DropShardCache();
 }
 
 base::Result<BatPtr> Catalog::Get(const std::string& name) const {
@@ -148,6 +150,7 @@ base::Status Catalog::Drop(const std::string& name) {
   if (bats_.erase(name) == 0) {
     return base::Status::NotFound("no BAT named: " + name);
   }
+  DropShardCache();
   return base::Status::Ok();
 }
 
@@ -206,7 +209,108 @@ base::Status Catalog::LoadFrom(const std::string& dir) {
                              Bat(head.TakeValue(), tail.TakeValue())));
   }
   bats_ = std::move(loaded);
+  DropShardCache();
   return base::Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Oid-range sharding.
+
+namespace {
+
+/// Slices rows [lo, hi) of a column. A void column stays void with its
+/// base shifted — the property that keeps fragment oids global. String
+/// fragments share the base heap, so cross-shard appends stay offset
+/// appends and equal spellings keep equal offsets.
+Column SliceColumn(const Column& c, size_t lo, size_t hi) {
+  switch (c.type()) {
+    case ValueType::kVoid:
+      return Column::MakeVoid(c.void_base() + lo, hi - lo);
+    case ValueType::kOid:
+      return Column::MakeOids(
+          std::vector<Oid>(c.oids().begin() + static_cast<ptrdiff_t>(lo),
+                           c.oids().begin() + static_cast<ptrdiff_t>(hi)));
+    case ValueType::kInt:
+      return Column::MakeInts(std::vector<int64_t>(
+          c.ints().begin() + static_cast<ptrdiff_t>(lo),
+          c.ints().begin() + static_cast<ptrdiff_t>(hi)));
+    case ValueType::kDbl:
+      return Column::MakeDbls(std::vector<double>(
+          c.dbls().begin() + static_cast<ptrdiff_t>(lo),
+          c.dbls().begin() + static_cast<ptrdiff_t>(hi)));
+    case ValueType::kStr:
+      return Column::MakeStrsShared(
+          c.heap(), std::vector<uint32_t>(
+                        c.str_offsets().begin() + static_cast<ptrdiff_t>(lo),
+                        c.str_offsets().begin() + static_cast<ptrdiff_t>(hi)));
+  }
+  MIRROR_UNREACHABLE();
+  return Column::MakeVoid(0, 0);
+}
+
+}  // namespace
+
+const std::vector<ShardRange>* ShardedCatalog::RangesFor(
+    const std::string& name) const {
+  auto it = ranges_.find(name);
+  return it == ranges_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> ShardedCatalog::ShardedNames() const {
+  std::vector<std::string> names;
+  names.reserve(ranges_.size());
+  for (const auto& [name, r] : ranges_) names.push_back(name);
+  return names;
+}
+
+const ShardedCatalog* Catalog::Shards(size_t n) const {
+  if (n < 2) return nullptr;
+  // Build-then-publish (the JoinBuild::LazyPublish discipline): slicing
+  // every BAT under the mutex would serialize concurrent sessions behind
+  // a full O(data) build — possibly for a shard count they don't even
+  // want. Reading bats_ unlocked is safe because Shards() shares the
+  // catalog's thread-safety contract: concurrent reads only, never
+  // concurrent with mutation. Racing builders of one count may slice
+  // twice; the first to publish wins.
+  {
+    std::lock_guard<std::mutex> lock(shard_mu_);
+    auto cached = shard_cache_.find(n);
+    if (cached != shard_cache_.end()) return cached->second.get();
+  }
+
+  auto layout = std::make_unique<ShardedCatalog>();
+  layout->shards_.reserve(n);
+  for (size_t s = 0; s < n; ++s) {
+    layout->shards_.push_back(std::make_unique<Catalog>());
+  }
+  for (const auto& [name, bat] : bats_) {
+    // Only dense oid domains shard: a void head guarantees every oid
+    // occurs exactly once, in order, so row slices are oid-range
+    // fragments and rows of one group can never straddle shards.
+    // Value-keyed BATs stay in the base catalog as replicated inputs.
+    if (!bat->head().is_void()) continue;
+    size_t rows = bat->size();
+    Oid base = bat->head().void_base();
+    auto ranges = std::make_shared<std::vector<ShardRange>>();
+    ranges->reserve(n);
+    for (size_t s = 0; s < n; ++s) {
+      size_t lo = rows * s / n;
+      size_t hi = rows * (s + 1) / n;
+      ranges->push_back(ShardRange{base + lo, base + hi});
+      layout->shards_[s]->Put(
+          name, Bat(SliceColumn(bat->head(), lo, hi),
+                    SliceColumn(bat->tail(), lo, hi)));
+    }
+    layout->ranges_.emplace(name, std::move(ranges));
+  }
+  std::lock_guard<std::mutex> lock(shard_mu_);
+  auto [it, inserted] = shard_cache_.emplace(n, std::move(layout));
+  return it->second.get();
+}
+
+void Catalog::DropShardCache() {
+  std::lock_guard<std::mutex> lock(shard_mu_);
+  shard_cache_.clear();
 }
 
 }  // namespace mirror::monet

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,65 @@ namespace mirror::monet {
 
 using BatPtr = std::shared_ptr<const Bat>;
 
+class Catalog;
+
+/// One shard's slice of a named BAT's oid domain: the half-open oid range
+/// [begin, end). Shard ranges of one name are contiguous, ascending and
+/// cover the whole domain, so fragments concatenated in shard order
+/// reproduce the unsharded BAT exactly.
+struct ShardRange {
+  Oid begin = 0;
+  Oid end = 0;
+
+  size_t size() const { return static_cast<size_t>(end - begin); }
+  bool operator==(const ShardRange& other) const {
+    return begin == other.begin && end == other.end;
+  }
+};
+
+/// An oid-range partitioning of a Catalog: the physical layout behind the
+/// shard-parallel execution path. Every *void-headed* named BAT (a dense
+/// oid domain — what the Moa flattener registers for every atomic field
+/// and postings column) is split row-wise into N contiguous fragments,
+/// each registered under the same name in a shard-local Catalog whose
+/// void bases preserve the global oids. Non-void-headed BATs (value-keyed
+/// dimensions) stay unsharded in the base catalog and execute as
+/// replicated ("broadcast") inputs.
+///
+/// A ShardedCatalog never owns the only copy of the data: the base
+/// catalog keeps the full BATs, so unsharded engines (and the fan-in path
+/// of the shard engine, which reads whole BATs) are unaffected.
+class ShardedCatalog {
+ public:
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Shard-local catalog i: fragment BATs registered under their global
+  /// names. Valid for the lifetime of this ShardedCatalog.
+  const Catalog& shard(size_t i) const { return *shards_[i]; }
+
+  /// The shard ranges of a sharded name; nullptr when the name is not
+  /// sharded (unknown, or registered with a non-void head). The returned
+  /// vector has exactly num_shards() entries (empty shards have
+  /// zero-width ranges).
+  const std::vector<ShardRange>* RangesFor(const std::string& name) const;
+
+  bool IsSharded(const std::string& name) const {
+    return RangesFor(name) != nullptr;
+  }
+
+  /// Names sharded in this layout, sorted (diagnostics/tests).
+  std::vector<std::string> ShardedNames() const;
+
+ private:
+  friend class Catalog;
+  std::vector<std::unique_ptr<Catalog>> shards_;
+  /// name -> per-shard oid ranges. Range vectors are shared_ptr so
+  /// engine register shapes can alias them cheaply while classifying
+  /// domain compatibility.
+  std::map<std::string, std::shared_ptr<const std::vector<ShardRange>>>
+      ranges_;
+};
+
 /// Named-BAT registry: the physical schema of a Mirror database instance.
 /// The Moa flattener maps every atomic leaf of a logical schema to a named
 /// BAT here (e.g. `TraditionalImgLib.source`), and MIL programs address
@@ -22,8 +82,16 @@ class Catalog {
   Catalog() = default;
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
-  Catalog(Catalog&&) = default;
-  Catalog& operator=(Catalog&&) = default;
+  // Moves transfer the BATs but not the cached shard layouts (they are
+  // rebuilt on demand); the mutex member rules out defaulted moves.
+  Catalog(Catalog&& other) noexcept : bats_(std::move(other.bats_)) {}
+  Catalog& operator=(Catalog&& other) noexcept {
+    if (this != &other) {
+      bats_ = std::move(other.bats_);
+      DropShardCache();
+    }
+    return *this;
+  }
 
   /// Registers a new BAT under `name`; fails if the name is taken.
   base::Status Register(const std::string& name, Bat bat);
@@ -50,8 +118,23 @@ class Catalog {
   /// Loads a catalog persisted by SaveTo; replaces current contents.
   base::Status LoadFrom(const std::string& dir);
 
+  /// The n-way oid-range sharding of this catalog, built on first use and
+  /// cached (per shard count — a 2-way and a 4-way layout can coexist).
+  /// Returns nullptr for n < 2. Any mutation of the catalog
+  /// (Register/Put/Drop/LoadFrom) drops the cached layouts; pointers
+  /// obtained before a mutation must not be used after it. Thread-safe
+  /// against concurrent Shards() calls (engines sharing one catalog), not
+  /// against concurrent mutation — the same rule as Get().
+  const ShardedCatalog* Shards(size_t n) const;
+
  private:
+  void DropShardCache();
+
   std::map<std::string, BatPtr> bats_;
+  /// Lazily built shard layouts, keyed by shard count; mutable so a
+  /// const-held catalog (the execution engines' view) can shard itself.
+  mutable std::mutex shard_mu_;
+  mutable std::map<size_t, std::unique_ptr<ShardedCatalog>> shard_cache_;
 };
 
 }  // namespace mirror::monet

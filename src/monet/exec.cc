@@ -84,6 +84,30 @@ bool IsCandidatePipelineOp(OpCode op) {
   }
 }
 
+bool IsShardLocalUnaryOp(OpCode op) {
+  switch (op) {
+    case OpCode::kSelectEq:
+    case OpCode::kSelectNeq:
+    case OpCode::kSelectCmp:
+    case OpCode::kSelectRange:
+    case OpCode::kMirror:
+    case OpCode::kUniqueHead:
+    case OpCode::kMapBinaryScalar:
+    case OpCode::kMapUnary:
+    case OpCode::kFillTail:
+    case OpCode::kSumPerHead:
+    case OpCode::kCountPerHead:
+    case OpCode::kMaxPerHead:
+    case OpCode::kMinPerHead:
+    case OpCode::kAvgPerHead:
+    case OpCode::kProdPerHead:
+    case OpCode::kProbOrPerHead:
+      return true;
+    default:
+      return false;
+  }
+}
+
 namespace {
 
 /// Shared state of one Run(): the borrowed register file plus the mutex
@@ -216,6 +240,7 @@ bool IsFusableAggOp(OpCode op) {
     case OpCode::kTopN:
     case OpCode::kScalarSum:
     case OpCode::kScalarCount:
+    case OpCode::kScalarFold:
       return true;
     default:
       return false;
@@ -258,6 +283,9 @@ void ExecFusedAgg(RunState& st, const Instr& i, const BatPtr& base,
     case OpCode::kScalarCount:
       PutScalar(st, i.dst,
                 static_cast<double>(ScalarCountCand(*base, cands)));
+      break;
+    case OpCode::kScalarFold:
+      PutScalar(st, i.dst, ScalarFoldCand(*base, cands, i.fold_op, st.mx));
       break;
     default:
       MIRROR_UNREACHABLE();
@@ -546,6 +574,9 @@ base::Status ExecInstr(RunState& st, const Instr& i) {
     case OpCode::kScalarCount:
       PutScalar(st, i.dst, static_cast<double>(ScalarCount(b0)));
       break;
+    case OpCode::kScalarFold:
+      PutScalar(st, i.dst, ScalarFold(b0, i.fold_op));
+      break;
     case OpCode::kLoadNamed:
     case OpCode::kConstBat:
       MIRROR_UNREACHABLE();
@@ -689,6 +720,343 @@ struct DagRun {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Shard-parallel execution (the scatter/gather engine).
+//
+// One MIL program runs over the catalog's oid-range sharding: every
+// register is either GLOBAL (one value, in the borrowed session register
+// file) or SHARDED (one fragment per shard, in shard-local register
+// files whose loads resolve against the shard-local catalogs).
+// Shard-local instructions execute as one pool task per shard; fan-in
+// instructions gather a sharded register into its global value first —
+// per-shard candidate views materialize in parallel, fragments append
+// order-preservingly (ConcatSorted's BAT-level sibling, ConcatAll), and
+// a register fed by a bare load gathers for free off the base catalog.
+//
+// Exactness rests on one invariant: a sharded register's fragment i
+// holds exactly the global rows whose positions fall in shard i's slice,
+// in global row order, with head oids confined to shard i's oid range.
+// Loads establish it (void heads slice into shifted void heads); the
+// shard-local instruction set below preserves it; everything else is
+// executed globally. Concatenating fragments in shard order therefore
+// *is* the global value, and per-head aggregates never see a group that
+// straddles shards.
+
+/// The shape of a register during sharded execution.
+enum class RegShape : uint8_t { kGlobal, kSharded };
+
+struct ShardRunState {
+  const ShardedCatalog* layout = nullptr;
+  size_t num_shards = 0;
+  RunState* global = nullptr;
+  std::vector<std::unique_ptr<RunState>> shard;
+  std::vector<RegShape> shape;
+  /// Oid-range boundaries of each sharded register (aliases the layout's
+  /// range vectors; compared by value across different names).
+  std::vector<const std::vector<ShardRange>*> domain;
+  /// Non-empty for sharded registers fed by a bare kLoadNamed: gathering
+  /// re-reads the full BAT from the base catalog instead of copying.
+  std::vector<std::string> load_name;
+
+  void NoteWrite(int dst, RegShape s, const std::vector<ShardRange>* dom) {
+    shape[static_cast<size_t>(dst)] = s;
+    domain[static_cast<size_t>(dst)] = dom;
+    load_name[static_cast<size_t>(dst)].clear();
+  }
+};
+
+bool SameShardDomain(const std::vector<ShardRange>* a,
+                     const std::vector<ShardRange>* b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  return *a == *b;
+}
+
+/// Gathers a sharded register into its global value (fan-in): candidate
+/// fragments materialize shard-parallel, fragment BATs append in shard
+/// order. The register becomes GLOBAL afterwards — later shard-local
+/// consumers see it broadcast like any other global value. (Leaving it
+/// "sharded with a cached global copy" would be wrong, not just slower:
+/// BroadcastGlobalSources skips sharded registers, so a per-shard
+/// consumer that needed the WHOLE value — a semijoin filter side from a
+/// foreign domain, say — would silently read only its own fragment.)
+base::Status GatherReg(ShardRunState& sst, int reg) {
+  size_t r = static_cast<size_t>(reg);
+  if (sst.shape[r] == RegShape::kGlobal) return base::Status::Ok();
+  TrackShardFanin();
+  RunState& g = *sst.global;
+  if (!sst.load_name[r].empty()) {
+    auto bat = g.catalog->Get(sst.load_name[r]);
+    if (!bat.ok()) return bat.status();
+    PutBatPtr(g, reg, bat.TakeValue());
+    sst.NoteWrite(reg, RegShape::kGlobal, nullptr);
+    return base::Status::Ok();
+  }
+  size_t S = sst.num_shards;
+  std::vector<BatPtr> frags(S);
+  std::vector<base::Status> errs(S, base::Status::Ok());
+  ParallelFor(g.mx.pool, S, [&](size_t s) {
+    auto b = MatInput(*sst.shard[s], reg);
+    if (b.ok()) {
+      frags[s] = b.value();
+    } else {
+      errs[s] = b.status();
+    }
+  });
+  for (const base::Status& e : errs) {
+    if (!e.ok()) return e;
+  }
+  std::vector<const Bat*> parts;
+  parts.reserve(S);
+  for (const BatPtr& f : frags) parts.push_back(f.get());
+  PutBat(g, reg, ConcatAll(parts));
+  sst.NoteWrite(reg, RegShape::kGlobal, nullptr);
+  return base::Status::Ok();
+}
+
+/// Copies global source registers into every shard-local register file
+/// (shared_ptr aliases, no data copies) so per-shard ExecInstr sees them.
+void BroadcastGlobalSources(ShardRunState& sst, const Instr& i) {
+  for (int src : {i.src0, i.src1, i.src2}) {
+    if (src < 0) continue;
+    // Sharded sources keep their fragments; only global registers are
+    // replicated into the shard files.
+    if (sst.shape[static_cast<size_t>(src)] != RegShape::kGlobal) continue;
+    const RegValue& gv = sst.global->slot(src);
+    for (std::unique_ptr<RunState>& st : sst.shard) st->slot(src) = gv;
+  }
+}
+
+/// The shared fan-out scaffolding: broadcasts global sources, runs
+/// `per_shard(state, s)` as one pool task per shard, propagates the
+/// first error, and claims `out_domain` for the sharded dst. Every
+/// shard-local execution path goes through here so accounting and error
+/// handling cannot diverge.
+base::Status ExecShardFanout(
+    ShardRunState& sst, const Instr& i,
+    const std::vector<ShardRange>* out_domain,
+    const std::function<base::Status(RunState&, size_t)>& per_shard) {
+  TrackShardFanout();
+  BroadcastGlobalSources(sst, i);
+  size_t S = sst.num_shards;
+  std::vector<base::Status> errs(S, base::Status::Ok());
+  ParallelFor(sst.global->mx.pool, S, [&](size_t s) {
+    errs[s] = per_shard(*sst.shard[s], s);
+  });
+  for (const base::Status& e : errs) {
+    if (!e.ok()) return e;
+  }
+  sst.NoteWrite(i.dst, RegShape::kSharded, out_domain);
+  return base::Status::Ok();
+}
+
+/// Runs one instruction verbatim as a per-shard fan-out.
+base::Status ExecShardLocal(ShardRunState& sst, const Instr& i,
+                            const std::vector<ShardRange>* out_domain) {
+  return ExecShardFanout(sst, i, out_domain,
+                         [&](RunState& st, size_t) { return ExecInstr(st, i); });
+}
+
+/// Rows a shard's fragment of `reg` covers (for skipping empty shards in
+/// scalar-fold merges).
+size_t ShardInputRows(ShardRunState& sst, size_t s, int reg) {
+  RegValue& rv = sst.shard[s]->slot(reg);
+  if (!rv.written || rv.bat == nullptr) return 0;
+  return rv.is_candidate() ? rv.cands->size() : rv.bat->size();
+}
+
+base::Status RunSharded(ShardRunState& sst, const Program& program) {
+  RunState& g = *sst.global;
+  for (const Instr& i : program.instrs()) {
+    // ---- Scatter: loads of sharded names establish sharded registers.
+    if (i.op == OpCode::kLoadNamed) {
+      const std::vector<ShardRange>* ranges = sst.layout->RangesFor(i.name);
+      if (ranges != nullptr) {
+        MIRROR_RETURN_IF_ERROR(ExecShardLocal(sst, i, ranges));
+        sst.load_name[static_cast<size_t>(i.dst)] = i.name;
+        continue;
+      }
+      MIRROR_RETURN_IF_ERROR(ExecInstr(g, i));
+      sst.NoteWrite(i.dst, RegShape::kGlobal, nullptr);
+      continue;
+    }
+
+    auto shape_of = [&](int reg) {
+      return reg < 0 ? RegShape::kGlobal
+                     : sst.shape[static_cast<size_t>(reg)];
+    };
+    auto domain_of = [&](int reg) {
+      return reg < 0 ? nullptr : sst.domain[static_cast<size_t>(reg)];
+    };
+
+    // ---- Range-hinted per-head aggregation: the fragment's oid range
+    // is static shard metadata, so each shard aggregates into a dense
+    // array indexed by (oid - lo) — no hash table, no partial-map
+    // merge, ascending output with no sort. This is the shard layout's
+    // structural win over the unsharded engine, which cannot bound the
+    // heads without a scan.
+    if ((i.op == OpCode::kSumPerHead || i.op == OpCode::kCountPerHead ||
+         i.op == OpCode::kMaxPerHead || i.op == OpCode::kMinPerHead ||
+         i.op == OpCode::kAvgPerHead) &&
+        shape_of(i.src0) == RegShape::kSharded &&
+        domain_of(i.src0) != nullptr && g.use_candidates &&
+        g.fuse_aggregates) {
+      const std::vector<ShardRange>* dom = domain_of(i.src0);
+      MIRROR_RETURN_IF_ERROR(ExecShardFanout(
+          sst, i, dom, [&](RunState& st, size_t s) {
+            BatPtr base;
+            std::shared_ptr<const CandidateList> cands;
+            MIRROR_RETURN_IF_ERROR(CandInput(st, i.src0, &base, &cands));
+            Oid lo = (*dom)[s].begin;
+            Oid hi = (*dom)[s].end;
+            Bat out = [&] {
+              switch (i.op) {
+                case OpCode::kSumPerHead:
+                  return SumPerHeadRanged(*base, cands.get(), lo, hi, st.mx);
+                case OpCode::kCountPerHead:
+                  return CountPerHeadRanged(*base, cands.get(), lo, hi,
+                                            st.mx);
+                case OpCode::kMaxPerHead:
+                  return MaxPerHeadRanged(*base, cands.get(), lo, hi, st.mx);
+                case OpCode::kMinPerHead:
+                  return MinPerHeadRanged(*base, cands.get(), lo, hi, st.mx);
+                case OpCode::kAvgPerHead:
+                  return AvgPerHeadRanged(*base, cands.get(), lo, hi, st.mx);
+                default:
+                  MIRROR_UNREACHABLE();
+                  return Bat(Column::MakeVoid(0, 0), Column::MakeVoid(0, 0));
+              }
+            }();
+            PutBat(st, i.dst, std::move(out));
+            return base::Status::Ok();
+          }));
+      continue;
+    }
+
+    // ---- Shard-local unary family.
+    if (IsShardLocalUnaryOp(i.op) && shape_of(i.src0) == RegShape::kSharded) {
+      MIRROR_RETURN_IF_ERROR(ExecShardLocal(sst, i, domain_of(i.src0)));
+      continue;
+    }
+
+    // ---- Semijoins: shard-local when the probe side is sharded and the
+    // filter side is replicated or co-sharded. Head membership cannot
+    // cross shards (probe heads live in range i; a co-sharded filter's
+    // heads in range j != i can never match), and tail membership
+    // against a replicated side filters each fragment independently.
+    if (i.op == OpCode::kSemiJoinHead || i.op == OpCode::kAntiJoinHead ||
+        i.op == OpCode::kSemiJoinTail) {
+      if (shape_of(i.src0) == RegShape::kSharded) {
+        bool right_sharded = shape_of(i.src1) == RegShape::kSharded;
+        bool co_sharded =
+            right_sharded && i.op != OpCode::kSemiJoinTail &&
+            SameShardDomain(domain_of(i.src0), domain_of(i.src1));
+        if (right_sharded && !co_sharded) {
+          MIRROR_RETURN_IF_ERROR(GatherReg(sst, i.src1));
+        }
+        MIRROR_RETURN_IF_ERROR(ExecShardLocal(sst, i, domain_of(i.src0)));
+        continue;
+      }
+    }
+
+    // ---- Joins: a sharded probe side fans out over a single shared
+    // build table. A sharded build side is broadcast (gathered) first —
+    // the cross-shard join case; a build fed by a bare load broadcasts
+    // for free off the base catalog.
+    if (i.op == OpCode::kJoin && g.use_candidates && g.morsel_joins &&
+        shape_of(i.src0) == RegShape::kSharded) {
+      MIRROR_RETURN_IF_ERROR(GatherReg(sst, i.src1));
+      BatPtr rbase;
+      std::shared_ptr<const CandidateList> rcands;
+      MIRROR_RETURN_IF_ERROR(CandInput(g, i.src1, &rbase, &rcands));
+      std::shared_ptr<const JoinBuild> build =
+          PrepareJoinBuild(rbase, rcands, g.mx);
+      // Build the shared table up front (keyed off shard 0's probe
+      // type): fanned-out probes must not lazily build while the pool's
+      // help-first wait could hand them each other's tasks.
+      {
+        BatPtr probe0;
+        std::shared_ptr<const CandidateList> cands0;
+        MIRROR_RETURN_IF_ERROR(
+            CandInput(*sst.shard[0], i.src0, &probe0, &cands0));
+        WarmJoinBuild(*build, probe0->tail());
+      }
+      MIRROR_RETURN_IF_ERROR(ExecShardFanout(
+          sst, i, domain_of(i.src0), [&](RunState& st, size_t) {
+            BatPtr lbase;
+            std::shared_ptr<const CandidateList> lcands;
+            MIRROR_RETURN_IF_ERROR(CandInput(st, i.src0, &lbase, &lcands));
+            PutBat(st, i.dst,
+                   ProbePreparedJoin(*lbase, lcands.get(), *build, st.mx));
+            return base::Status::Ok();
+          }));
+      continue;
+    }
+
+    // ---- TopN merge: per-shard bounded tops, then one reduce over the
+    // gathered <= shards*n survivors. Ties stay exact: fragments
+    // concatenate in shard (= global row) order and TopNByTail breaks
+    // ties toward the earlier row.
+    if (i.op == OpCode::kTopN && shape_of(i.src0) == RegShape::kSharded) {
+      MIRROR_RETURN_IF_ERROR(ExecShardLocal(sst, i, domain_of(i.src0)));
+      MIRROR_RETURN_IF_ERROR(GatherReg(sst, i.dst));
+      auto merged = MatInput(g, i.dst);
+      if (!merged.ok()) return merged.status();
+      PutBat(g, i.dst,
+             TopNByTail(*merged.value(), static_cast<size_t>(i.n), i.flag0));
+      sst.NoteWrite(i.dst, RegShape::kGlobal, nullptr);
+      continue;
+    }
+
+    // ---- Scalar folds: per-shard partials merged with the fold
+    // operator — sum/count add, max/min/prod/por apply the combinator,
+    // empty shards contribute nothing (their partial is the fold's
+    // empty-input value, not an identity).
+    if ((i.op == OpCode::kScalarSum || i.op == OpCode::kScalarCount ||
+         i.op == OpCode::kScalarFold) &&
+        shape_of(i.src0) == RegShape::kSharded) {
+      size_t S = sst.num_shards;
+      // Per-shard input sizes must be read BEFORE execution: a non-SSA
+      // program may fold a register onto itself (dst == src0), and the
+      // per-shard write would make every input look empty.
+      std::vector<size_t> input_rows(S);
+      for (size_t s = 0; s < S; ++s) {
+        input_rows[s] = ShardInputRows(sst, s, i.src0);
+      }
+      MIRROR_RETURN_IF_ERROR(ExecShardLocal(sst, i, nullptr));
+      double merged = 0;
+      if (i.op == OpCode::kScalarFold) {
+        bool seeded = false;
+        for (size_t s = 0; s < S; ++s) {
+          if (input_rows[s] == 0) continue;
+          double part = sst.shard[s]->slot(i.dst).scalar;
+          merged = seeded ? ApplyFold(merged, part, i.fold_op) : part;
+          seeded = true;
+        }
+        if (!seeded) merged = FoldEmptyValue(i.fold_op);
+      } else {
+        for (size_t s = 0; s < S; ++s) {
+          merged += sst.shard[s]->slot(i.dst).scalar;
+        }
+      }
+      PutScalar(g, i.dst, merged);
+      sst.NoteWrite(i.dst, RegShape::kGlobal, nullptr);
+      continue;
+    }
+
+    // ---- Fan-in: everything else executes globally; sharded sources
+    // gather first.
+    for (int src : {i.src0, i.src1, i.src2}) {
+      if (src >= 0 && shape_of(src) == RegShape::kSharded) {
+        MIRROR_RETURN_IF_ERROR(GatherReg(sst, src));
+      }
+    }
+    MIRROR_RETURN_IF_ERROR(ExecInstr(g, i));
+    sst.NoteWrite(i.dst, RegShape::kGlobal, nullptr);
+  }
+  return base::Status::Ok();
+}
+
 base::Status RunParallel(RunState& st, const Program& program, const Dag& dag,
                          WorkerPool* pool) {
   const std::vector<Instr>& instrs = program.instrs();
@@ -733,40 +1101,84 @@ base::Result<RunResult> ExecutionEngine::Run(const Program& program,
   RunState st{catalog_, options_.use_candidates, options_.fuse_aggregates,
               options_.morsel_joins, MorselExec{}, &regs};
   st.mx.radix_partitions = options_.radix_partitions;
-  // Thread resolution: 0 = auto (one worker per hardware thread), backed
-  // off to 1 when the plan has neither DAG parallelism (width < 2) nor a
-  // morsel-eligible operator — on such plans the scheduler and pool are
-  // pure overhead (the 1-core regression of BENCH_retrieval.json).
+  st.mx.bloom_probes = options_.bloom_probes;
+
+  // Thread resolution: 0 = auto, one worker per hardware thread (the
+  // unsharded branch may clamp back to 1 below).
   int threads = options_.num_threads;
   if (threads <= 0) {
     threads =
         std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
   }
-  Dag dag;
-  bool scheduled = threads > 1 && program.instrs().size() >= 2;
-  if (scheduled) {
-    dag = BuildDag(program);
-    // Multiple writers of one register: not a data-flow program; run in
-    // program order, which is always correct.
-    scheduled = dag.ssa;
-  }
-  if (options_.num_threads <= 0 && threads > 1 &&
-      !(scheduled && DagWidth(dag) >= 2) &&
-      !HasMorselEligibleOp(program, options_)) {
-    threads = 1;
-    scheduled = false;
-  }
-  if (threads > 1) {
-    ctx->pool_.EnsureWorkers(threads);
-    if (options_.morsel_size > 0) {
+
+  // Shard-parallel path: the program fans out over the catalog's
+  // oid-range sharding (instruction-ordered scatter/gather; shard and
+  // morsel fan-out supply the parallelism instead of the DAG scheduler).
+  const ShardedCatalog* shard_layout =
+      (options_.num_shards > 1 && catalog_ != nullptr)
+          ? catalog_->Shards(options_.num_shards)
+          : nullptr;
+  if (shard_layout != nullptr) {
+    if (threads > 1) {
+      ctx->pool_.EnsureWorkers(threads);
       st.mx = MorselExec{&ctx->pool_, options_.morsel_size,
-                         options_.radix_partitions};
+                         options_.radix_partitions, options_.bloom_probes};
     }
-  }
-  if (scheduled) {
-    MIRROR_RETURN_IF_ERROR(RunParallel(st, program, dag, &ctx->pool_));
+    size_t num_regs = static_cast<size_t>(program.num_regs());
+    size_t S = shard_layout->num_shards();
+    std::vector<std::vector<RegValue>> shard_regs(
+        S, std::vector<RegValue>(num_regs));
+    ShardRunState sst;
+    sst.layout = shard_layout;
+    sst.num_shards = S;
+    sst.global = &st;
+    sst.shard.reserve(S);
+    for (size_t s = 0; s < S; ++s) {
+      sst.shard.emplace_back(new RunState{
+          &shard_layout->shard(s), options_.use_candidates,
+          options_.fuse_aggregates, options_.morsel_joins, st.mx,
+          &shard_regs[s]});
+    }
+    sst.shape.assign(num_regs, RegShape::kGlobal);
+    sst.domain.assign(num_regs, nullptr);
+    sst.load_name.assign(num_regs, std::string());
+    MIRROR_RETURN_IF_ERROR(RunSharded(sst, program));
+    if (program.result_reg() >= 0 &&
+        program.result_reg() < static_cast<int>(num_regs)) {
+      // Result delivery is a fan-in boundary.
+      MIRROR_RETURN_IF_ERROR(GatherReg(sst, program.result_reg()));
+    }
   } else {
-    MIRROR_RETURN_IF_ERROR(RunSequential(st, program));
+    // Auto thread counts back off to 1 when the plan has neither DAG
+    // parallelism (width < 2) nor a morsel-eligible operator — on such
+    // plans the scheduler and pool are pure overhead (the 1-core
+    // regression of BENCH_retrieval.json).
+    Dag dag;
+    bool scheduled = threads > 1 && program.instrs().size() >= 2;
+    if (scheduled) {
+      dag = BuildDag(program);
+      // Multiple writers of one register: not a data-flow program; run in
+      // program order, which is always correct.
+      scheduled = dag.ssa;
+    }
+    if (options_.num_threads <= 0 && threads > 1 &&
+        !(scheduled && DagWidth(dag) >= 2) &&
+        !HasMorselEligibleOp(program, options_)) {
+      threads = 1;
+      scheduled = false;
+    }
+    if (threads > 1) {
+      ctx->pool_.EnsureWorkers(threads);
+      if (options_.morsel_size > 0) {
+        st.mx = MorselExec{&ctx->pool_, options_.morsel_size,
+                           options_.radix_partitions, options_.bloom_probes};
+      }
+    }
+    if (scheduled) {
+      MIRROR_RETURN_IF_ERROR(RunParallel(st, program, dag, &ctx->pool_));
+    } else {
+      MIRROR_RETURN_IF_ERROR(RunSequential(st, program));
+    }
   }
 
   if (program.result_reg() < 0) {

@@ -59,6 +59,25 @@ struct ExecOptions {
   /// estimated L2 budget; an explicit power of two forces it (tests use
   /// this to exercise multi-partition clustering on small inputs).
   size_t radix_partitions = 0;
+  /// Shard-parallel execution: when > 1 (and the catalog is non-null),
+  /// the engine runs the program over the catalog's N-way oid-range
+  /// sharding (`Catalog::Shards`, built lazily on first use). Shard-local
+  /// instructions — the select family, semijoins against co-sharded or
+  /// replicated sides, joins probing a shared build table, per-head
+  /// aggregates, row-aligned maps — fan out one task per shard over the
+  /// session pool and leave per-shard fragments in place; fan-in
+  /// instructions (scalar folds, TopN, sorts, multiplex maps over
+  /// independently derived sides, cross-shard join build sides) gather
+  /// fragments order-preservingly first. Results are identical to the
+  /// unsharded engine (fragment heads live in disjoint ascending oid
+  /// ranges, so concatenation in shard order IS the global value). 0 and
+  /// 1 run unsharded; MirrorDb fills in its default shard count for 0
+  /// when the database was opened with LoadSharded.
+  size_t num_shards = 0;
+  /// When true, selective radix membership probes put a per-partition
+  /// Bloom filter in front of the bucket chains (see
+  /// MorselExec.bloom_probes; profiler counters bloom_builds/bloom_hits).
+  bool bloom_probes = true;
 };
 
 /// One register during execution: a materialized BAT, an unmaterialized
@@ -130,6 +149,14 @@ class ExecutionContext {
 /// select/semijoin/slice family). Single source of truth shared with the
 /// optimizer's candidate-chain diagnostics.
 bool IsCandidatePipelineOp(OpCode op);
+
+/// True for the unary opcodes whose output provably stays inside the
+/// input's shard fragment (rows subset or map 1:1, head oids preserved),
+/// so the shard engine runs them shard-locally without a gather. Shared
+/// with the optimizer's shard-fanout diagnostic; semijoins, joins, topN
+/// and scalar folds fan out too but under side conditions the engine
+/// checks at run time.
+bool IsShardLocalUnaryOp(OpCode op);
 
 /// Data-flow MIL executor: builds the SSA register dependency DAG of a
 /// Program and schedules independent instructions across a worker pool;

@@ -78,6 +78,22 @@ const char* OpCodeName(OpCode op) {
       return "scalar.count";
     case OpCode::kScalarBin:
       return "scalar.bin";
+    case OpCode::kScalarFold:
+      return "scalar.fold";
+  }
+  return "?";
+}
+
+const char* FoldOpName(FoldOp op) {
+  switch (op) {
+    case FoldOp::kMax:
+      return "max";
+    case FoldOp::kMin:
+      return "min";
+    case FoldOp::kProd:
+      return "prod";
+    case FoldOp::kPor:
+      return "por";
   }
   return "?";
 }
@@ -113,6 +129,9 @@ std::string Instr::ToString() const {
     case OpCode::kTopN:
     case OpCode::kMark:
       append(base::StrFormat("%lld", static_cast<long long>(n)));
+      break;
+    case OpCode::kScalarFold:
+      append(FoldOpName(fold_op));
       break;
     case OpCode::kSlice:
       append(base::StrFormat("%lld", static_cast<long long>(n)));
@@ -320,6 +339,10 @@ base::Result<RunResult> Executor::Run(const Program& program) const {
       case OpCode::kScalarCount:
         regs[static_cast<size_t>(i.dst)] =
             static_cast<double>(ScalarCount(bat_at(i.src0)));
+        break;
+      case OpCode::kScalarFold:
+        regs[static_cast<size_t>(i.dst)] =
+            ScalarFold(bat_at(i.src0), i.fold_op);
         break;
       case OpCode::kScalarBin:
         regs[static_cast<size_t>(i.dst)] = ApplyScalarBin(

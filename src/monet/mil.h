@@ -52,10 +52,14 @@ enum class OpCode {
   kScalarSum,          // dst(scalar) = ScalarSum(src0)
   kScalarCount,        // dst(scalar) = ScalarCount(src0)
   kScalarBin,          // dst(scalar) = src0 bin_op (src1 >= 0 ? src1 : imm0)
+  kScalarFold,         // dst(scalar) = ScalarFold(src0, fold_op)
 };
 
 /// Stable mnemonic ("join", "select.eq", ...).
 const char* OpCodeName(OpCode op);
+
+/// Stable mnemonic for a scalar fold combinator ("max", "por", ...).
+const char* FoldOpName(FoldOp op);
 
 /// One MIL instruction. Fields beyond `op`, `dst` and the `src*` registers
 /// are operand payloads whose meaning depends on the opcode (see OpCode
@@ -75,6 +79,7 @@ struct Instr {
   BinOp bin_op = BinOp::kAdd;
   UnOp un_op = UnOp::kLog;
   CmpOp cmp_op = CmpOp::kEq;
+  FoldOp fold_op = FoldOp::kMax;  // kScalarFold
   std::string name;              // kLoadNamed
   BatPtr const_bat;              // kConstBat
   BeliefParams belief;           // kBelief tuning

@@ -112,6 +112,16 @@ std::string KernelStats::ToString() const {
                            static_cast<unsigned long long>(radix_builds),
                            static_cast<unsigned long long>(radix_partitions));
   }
+  if (bloom_builds > 0) {
+    out += base::StrFormat(" bloom=%llu/%llu",
+                           static_cast<unsigned long long>(bloom_builds),
+                           static_cast<unsigned long long>(bloom_hits));
+  }
+  if (shard_fanouts > 0 || shard_fanins > 0) {
+    out += base::StrFormat(" shards=%llu/%llu",
+                           static_cast<unsigned long long>(shard_fanouts),
+                           static_cast<unsigned long long>(shard_fanins));
+  }
   return out;
 }
 
@@ -160,6 +170,26 @@ void TrackRadixBuild(uint64_t partitions) {
   KernelStats& s = GlobalKernelStats();
   ++s.radix_builds;
   s.radix_partitions += partitions;
+}
+
+void TrackBloomBuild() {
+  std::lock_guard<std::mutex> lock(StatsMutex());
+  ++GlobalKernelStats().bloom_builds;
+}
+
+void TrackBloomHits(uint64_t rejects) {
+  std::lock_guard<std::mutex> lock(StatsMutex());
+  GlobalKernelStats().bloom_hits += rejects;
+}
+
+void TrackShardFanout() {
+  std::lock_guard<std::mutex> lock(StatsMutex());
+  ++GlobalKernelStats().shard_fanouts;
+}
+
+void TrackShardFanin() {
+  std::lock_guard<std::mutex> lock(StatsMutex());
+  ++GlobalKernelStats().shard_fanins;
 }
 
 }  // namespace mirror::monet

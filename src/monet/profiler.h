@@ -61,6 +61,16 @@ struct KernelStats {
   /// built across them.
   uint64_t radix_builds = 0;
   uint64_t radix_partitions = 0;
+  /// Bloom-filtered membership probes: filters built in front of radix
+  /// member tables, and probe keys the filter rejected without touching
+  /// the bucket chains (the "filter hits").
+  uint64_t bloom_builds = 0;
+  uint64_t bloom_hits = 0;
+  /// Shard-parallel execution accounting: instructions fanned out across
+  /// shard-local fragments, and sharded registers gathered back into one
+  /// global value at fan-in boundaries.
+  uint64_t shard_fanouts = 0;
+  uint64_t shard_fanins = 0;
 
   /// Total operator invocations across all families.
   uint64_t TotalOps() const;
@@ -108,6 +118,19 @@ void TrackFusedAgg();
 /// Records one hash build side radix-clustered into `partitions` > 1
 /// cache-sized partitions (single-partition builds are not counted).
 void TrackRadixBuild(uint64_t partitions);
+
+/// Records one per-partition Bloom filter built over a membership table.
+void TrackBloomBuild();
+
+/// Records `rejects` probe keys short-circuited by a Bloom filter
+/// (accumulated per probe morsel, not per key).
+void TrackBloomHits(uint64_t rejects);
+
+/// Records one instruction executed shard-locally across shard fragments.
+void TrackShardFanout();
+
+/// Records one sharded register gathered into a global value (fan-in).
+void TrackShardFanin();
 
 /// Scoped wall-time attribution to one operator family. Place at the top
 /// of an operator body; destruction adds the elapsed time.

@@ -3,11 +3,13 @@
 // interpreter, the legacy sequential executor and the candidate-vector
 // ExecutionEngine — at 1 and 4 worker threads, with morsel splitting
 // forced on via a tiny morsel size, with fused aggregation switched
-// off, with the pre-radix legacy join, and with radix joins forced onto
-// multiple partitions — all produce identical results (a 7-way check):
-// the architecture's central theorem, probed far beyond the hand-written
-// cases. The getBL ranking patterns flatten to join-heavy MIL, so the
-// join modes run over genuine multi-join plans.
+// off, with the pre-radix legacy join, with radix joins forced onto
+// multiple partitions, and with the program fanned out over 2- and
+// 4-way oid-range shardings of the catalog — all produce identical
+// results (a 9-way check): the architecture's central theorem, probed
+// far beyond the hand-written cases. The getBL ranking patterns flatten
+// to join-heavy MIL, so the join and shard modes run over genuine
+// multi-join plans with both shard-local and broadcast build sides.
 
 #include <map>
 #include <set>
@@ -145,6 +147,7 @@ struct EngineMode {
   bool fuse_aggregates = true;
   bool morsel_joins = true;
   size_t radix_partitions = 0;
+  size_t num_shards = 0;
 };
 
 constexpr EngineMode kEngineModes[] = {
@@ -166,6 +169,13 @@ constexpr EngineMode kEngineModes[] = {
     // multi-partition cluster/build/probe pipeline runs even over the
     // few-hundred-row bases of these databases.
     {"engine-4-threads-radix-parts-8", true, 4, 257, true, true, 8},
+    // Shard-parallel scatter/gather over the catalog's oid-range
+    // sharding: 2 shards under a real pool with tiny morsels (shard and
+    // morsel fan-out nest), and 4 shards single-threaded (deterministic
+    // sequential shard execution, with several empty or tiny fragments
+    // on the smallest databases).
+    {"engine-4-threads-2-shards", true, 4, 257, true, true, 0, 2},
+    {"engine-1-thread-4-shards", true, 1, 64 * 1024, true, true, 0, 4},
 };
 
 std::map<Oid, double> RunFlat(const Database& db, const QueryContext& ctx,
@@ -195,7 +205,8 @@ std::map<Oid, double> RunFlat(const Database& db, const QueryContext& ctx,
                                 .morsel_size = mode.morsel_size,
                                 .fuse_aggregates = mode.fuse_aggregates,
                                 .morsel_joins = mode.morsel_joins,
-                                .radix_partitions = mode.radix_partitions});
+                                .radix_partitions = mode.radix_partitions,
+                                .num_shards = mode.num_shards});
     run = engine.Run(prog, session);
   } else {
     run = monet::mil::Executor(&db.catalog()).Run(prog);

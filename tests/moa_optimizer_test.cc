@@ -205,6 +205,98 @@ TEST(MilJoinFusionTest, SelectFedJoinInputsAreCounted) {
   OptimizerReport report;
   OptimizeMil(&p, &report);
   EXPECT_EQ(report.join_input_fusions, 1);
+  // Load → select → join(probe) are all shard-fanout-eligible.
+  EXPECT_EQ(report.shard_fanouts, 2);
+}
+
+TEST(MilFoldRewriteTest, ScalarMaxCollapsesToFoldAndPreservesResults) {
+  // The flattener spells scalar max/min as scalar.sum(topn(x, 1));
+  // OptimizeMil must rewrite the pair into one scalar.fold and DCE the
+  // orphaned topn, and the rewritten plan must still agree with the
+  // unoptimized one on both engines.
+  Database db;
+  BuildNumbers(&db, 500);
+  QueryContext ctx;
+  auto expr =
+      ParseExpr("max(map[THIS.x - THIS.y * 2](select[THIS.y < 9](N)))")
+          .TakeValue();
+  Flattener flattener(&db, &ctx, FlattenOptions{.optimize = true});
+  auto program = flattener.Compile(expr);
+  ASSERT_TRUE(program.ok());
+  monet::mil::Program prog = program.TakeValue();
+  auto count_op = [&](monet::mil::OpCode op) {
+    int n = 0;
+    for (const monet::mil::Instr& i : prog.instrs()) n += i.op == op ? 1 : 0;
+    return n;
+  };
+  ASSERT_EQ(count_op(monet::mil::OpCode::kTopN), 1);
+  ASSERT_EQ(count_op(monet::mil::OpCode::kScalarFold), 0);
+  auto baseline = monet::mil::Executor(db.catalog()).Run(prog);
+  ASSERT_TRUE(baseline.ok());
+
+  OptimizerReport report;
+  OptimizeMil(&prog, &report);
+  EXPECT_EQ(report.fold_rewrites, 1);
+  EXPECT_EQ(count_op(monet::mil::OpCode::kTopN), 0);       // DCE'd
+  EXPECT_EQ(count_op(monet::mil::OpCode::kScalarSum), 0);  // rewritten
+  EXPECT_EQ(count_op(monet::mil::OpCode::kScalarFold), 1);
+  // The fold chain stays shard-eligible end to end.
+  EXPECT_GT(report.shard_fanouts, 0);
+
+  auto seq = monet::mil::Executor(db.catalog()).Run(prog);
+  ASSERT_TRUE(seq.ok());
+  ASSERT_TRUE(seq.value().is_scalar);
+  EXPECT_DOUBLE_EQ(seq.value().scalar, baseline.value().scalar);
+  monet::mil::ExecutionEngine engine(db.catalog());
+  auto fused = engine.Run(prog);
+  ASSERT_TRUE(fused.ok());
+  EXPECT_DOUBLE_EQ(fused.value().scalar, baseline.value().scalar);
+}
+
+TEST(MilFoldRewriteTest, MultiUseAndDeeperTopNsAreLeftAlone) {
+  namespace mil = monet::mil;
+  mil::Program p;
+  auto emit = [&p](mil::Instr i) {
+    i.dst = p.NewReg();
+    return p.Emit(std::move(i));
+  };
+  mil::Instr load;
+  load.op = mil::OpCode::kLoadNamed;
+  load.name = "t.a";
+  int a = emit(std::move(load));
+  mil::Instr top;
+  top.op = mil::OpCode::kTopN;
+  top.src0 = a;
+  top.n = 5;  // not a scalar extremum
+  top.flag0 = true;
+  int top5 = emit(std::move(top));
+  mil::Instr sum;
+  sum.op = mil::OpCode::kScalarSum;
+  sum.src0 = top5;
+  p.set_result_reg(emit(std::move(sum)));
+  OptimizerReport report;
+  OptimizeMil(&p, &report);
+  EXPECT_EQ(report.fold_rewrites, 0);
+}
+
+TEST(ShardFanoutDiagnosticTest, CountsShardableChains) {
+  // select → semijoin → sum.per.head over loads: every link fans out;
+  // a sort (fan-in) breaks the chain, so ops above it don't count.
+  Database db;
+  BuildNumbers(&db, 100);
+  QueryContext ctx;
+  auto expr = ParseExpr(
+                  "map[THIS.x + 1](select[THIS.x > 5 and THIS.y < 4](N))")
+                  .TakeValue();
+  Flattener flattener(&db, &ctx, FlattenOptions{.optimize = true});
+  auto program = flattener.Compile(expr);
+  ASSERT_TRUE(program.ok());
+  monet::mil::Program prog = program.TakeValue();
+  OptimizerReport report;
+  OptimizeMil(&prog, &report);
+  // At minimum the two selections, the candidate-threaded semijoin and
+  // the map fan out shard-locally.
+  EXPECT_GE(report.shard_fanouts, 3);
 }
 
 }  // namespace
