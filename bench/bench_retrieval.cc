@@ -11,11 +11,16 @@
 
 #include <cstdio>
 #include <cstdint>
+#include <memory>
+#include <thread>
 
 #include "base/rng.h"
 #include "base/stopwatch.h"
 #include "base/str_util.h"
 #include "base/table_printer.h"
+#include "daemon/query_server.h"
+#include "daemon/wire.h"
+#include "daemon/wire_client.h"
 #include "ir/inference_network.h"
 #include "ir/synthetic_text.h"
 #include "mirror/mirror_db.h"
@@ -615,10 +620,171 @@ ShardComparison RunE3f(db::MirrorDb* database, int catalog_rows,
   return out;
 }
 
+// E4: multi-client throughput through the query-serving daemon. N
+// concurrent sessions — each its own wire connection, ExecutionContext,
+// plan cache — issue the E3-series retrieval plan (selection over Lib,
+// getBL joins, SumPerHead: the full select→join→SumPerHead pipeline
+// through the Moa layer) against ONE shared catalog, versus the same
+// total number of requests issued serially through one session. The
+// aggregate-throughput win comes from two server properties the serial
+// path cannot have: sessions execute genuinely concurrently (one thread
+// per connection), and identical in-flight requests coalesce onto one
+// leader execution + one marshalled result frame. A third timing runs
+// the concurrent clients with coalescing disabled, isolating the pure
+// concurrency contribution (≈1x on a 1-core host, scales with cores).
+struct ServeComparison {
+  int sessions = 4;
+  int requests_per_session = 8;
+  double serial1_ms = 0;
+  double concurrent4_ms = 0;
+  double concurrent4_nocoalesce_ms = 0;
+  uint64_t coalesced_requests = 0;
+  uint64_t frames_in = 0;
+  uint64_t frames_out = 0;
+  uint64_t bytes_out = 0;
+};
+
+ServeComparison RunE4(db::MirrorDb* database) {
+  namespace dmn = mirror::daemon;
+  ServeComparison out;
+  const int kSessions = out.sessions;
+  const int kPerSession = out.requests_per_session;
+  const int kTotal = kSessions * kPerSession;
+  std::printf(
+      "\nE4: multi-client serving throughput — %d concurrent sessions\n"
+      "issuing the select→join→SumPerHead retrieval plan over the wire\n"
+      "vs the same %d requests serially through one session.\n\n",
+      kSessions, kTotal);
+
+  const std::string query =
+      "map[sum(THIS)](map[getBL(THIS.doc, query, stats)]("
+      "select[THIS.year >= 1985 and THIS.year <= 2020 and "
+      "THIS.rating >= 10](Lib)));";
+  moa::QueryContext ctx;
+  ctx.BindTerms("query", {"sun", "wave", "dune", "reef"});
+
+  auto direct = database->Query(query, ctx);
+  MIRROR_CHECK(direct.ok()) << direct.status().ToString();
+  const monet::Bat& want = *direct.value().bat;
+  MIRROR_CHECK(!want.empty());
+
+  auto check_result = [&](const dmn::wire::ResultReply& result) {
+    MIRROR_CHECK(!result.is_scalar && result.bat != nullptr);
+    MIRROR_CHECK(result.bat->size() == want.size());
+    for (size_t i = 0; i < want.size(); i += 97) {
+      MIRROR_CHECK(result.bat->head().OidAt(i) == want.head().OidAt(i));
+      MIRROR_CHECK(result.bat->tail().NumAt(i) == want.tail().NumAt(i));
+    }
+  };
+
+  auto connect = [&](dmn::QueryServer* server, const char* name) {
+    auto [client_end, server_end] = dmn::wire::CreateChannelPair();
+    server->Serve(std::move(server_end));
+    auto client =
+        std::make_unique<dmn::wire::WireClient>(std::move(client_end));
+    auto hello = client->Hello(name);
+    MIRROR_CHECK(hello.ok()) << hello.status().ToString();
+    return client;
+  };
+
+  // Serial baseline: one session, kTotal requests back to back (plan
+  // cache warm after the first — warm it before timing, same as the
+  // concurrent paths).
+  auto time_serial = [&](dmn::QueryServer* server) {
+    auto client = connect(server, "serial");
+    check_result(client->Query(query, ctx).value());
+    double best = 1e100;
+    for (int rep = 0; rep < 3; ++rep) {
+      base::Stopwatch sw;
+      for (int r = 0; r < kTotal; ++r) {
+        auto result = client->Query(query, ctx);
+        MIRROR_CHECK(result.ok()) << result.status().ToString();
+      }
+      best = std::min(best, sw.ElapsedMillis());
+    }
+    client->Close();
+    return best;
+  };
+
+  auto time_concurrent = [&](dmn::QueryServer* server) {
+    std::vector<std::unique_ptr<dmn::wire::WireClient>> clients;
+    for (int s = 0; s < kSessions; ++s) {
+      clients.push_back(connect(server, "concurrent"));
+      check_result(clients.back()->Query(query, ctx).value());
+    }
+    double best = 1e100;
+    for (int rep = 0; rep < 3; ++rep) {
+      base::Stopwatch sw;
+      std::vector<std::thread> threads;
+      for (int s = 0; s < kSessions; ++s) {
+        threads.emplace_back([&, s] {
+          for (int r = 0; r < kPerSession; ++r) {
+            auto result = clients[s]->Query(query, ctx);
+            MIRROR_CHECK(result.ok()) << result.status().ToString();
+            check_result(result.value());
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      best = std::min(best, sw.ElapsedMillis());
+    }
+    for (auto& client : clients) client->Close();
+    return best;
+  };
+
+  {
+    dmn::QueryServer server(database);
+    out.serial1_ms = time_serial(&server);
+    server.Shutdown();
+  }
+  {
+    dmn::QueryServer::Options options;
+    options.coalesce_queries = false;
+    dmn::QueryServer server(database, options);
+    out.concurrent4_nocoalesce_ms = time_concurrent(&server);
+    server.Shutdown();
+  }
+  {
+    dmn::QueryServer server(database);
+    out.concurrent4_ms = time_concurrent(&server);
+    dmn::wire::ServerWireStats stats = server.stats();
+    out.coalesced_requests = stats.coalesced_requests;
+    out.frames_in = stats.frames_in;
+    out.frames_out = stats.frames_out;
+    out.bytes_out = stats.bytes_out;
+    server.Shutdown();
+    std::printf(
+        "wire accounting (coalescing run): %llu frames in, %llu frames "
+        "out,\n%llu bytes marshalled out, %llu of %d requests coalesced\n\n",
+        static_cast<unsigned long long>(out.frames_in),
+        static_cast<unsigned long long>(out.frames_out),
+        static_cast<unsigned long long>(out.bytes_out),
+        static_cast<unsigned long long>(out.coalesced_requests),
+        kSessions + 3 * kTotal);
+    MIRROR_CHECK(out.coalesced_requests > 0)
+        << "concurrent identical requests never shared an execution";
+  }
+
+  base::TablePrinter table(
+      {"path", base::StrFormat("ms for %d requests", kTotal), "vs serial"});
+  auto row = [&](const char* name, double ms) {
+    table.AddRow({name, base::StrFormat("%.3f", ms),
+                  base::StrFormat("%.2fx", out.serial1_ms / ms)});
+  };
+  row("1 session, serial", out.serial1_ms);
+  row("4 sessions, concurrent, no coalescing",
+      out.concurrent4_nocoalesce_ms);
+  row("4 sessions, concurrent + coalescing", out.concurrent4_ms);
+  table.Print();
+  std::printf("\n");
+  return out;
+}
+
 void WriteBenchJson(const EngineComparison& selection,
                     const EngineComparison& ranking,
                     const AggComparison& agg, const JoinComparison& join,
-                    const ShardComparison& shard) {
+                    const ShardComparison& shard,
+                    const ServeComparison& serve) {
   std::FILE* f = std::fopen("BENCH_retrieval.json", "w");
   if (f == nullptr) {
     std::printf("could not write BENCH_retrieval.json\n");
@@ -681,12 +847,33 @@ void WriteBenchJson(const EngineComparison& selection,
       "    \"materialize_calls_sharded\": %llu,\n"
       "    \"shard_fanouts\": %llu,\n"
       "    \"shard_fanins\": %llu\n"
-      "  }\n",
+      "  },\n",
       shard.num_shards, shard.oneshard4_ms, shard.sharded4_ms,
       shard.oneshard4_ms / shard.sharded4_ms,
       static_cast<unsigned long long>(shard.sharded_materialize_calls),
       static_cast<unsigned long long>(shard.shard_fanouts),
       static_cast<unsigned long long>(shard.shard_fanins));
+  std::fprintf(
+      f,
+      "  \"multi_client_serving_e4\": {\n"
+      "    \"sessions\": %d,\n"
+      "    \"requests_per_session\": %d,\n"
+      "    \"serial_1_session_ms\": %.4f,\n"
+      "    \"concurrent_4_sessions_ms\": %.4f,\n"
+      "    \"concurrent_4_sessions_nocoalesce_ms\": %.4f,\n"
+      "    \"speedup_concurrent4_vs_serial1\": %.3f,\n"
+      "    \"coalesced_requests\": %llu,\n"
+      "    \"wire_frames_in\": %llu,\n"
+      "    \"wire_frames_out\": %llu,\n"
+      "    \"wire_bytes_out\": %llu\n"
+      "  }\n",
+      serve.sessions, serve.requests_per_session, serve.serial1_ms,
+      serve.concurrent4_ms, serve.concurrent4_nocoalesce_ms,
+      serve.serial1_ms / serve.concurrent4_ms,
+      static_cast<unsigned long long>(serve.coalesced_requests),
+      static_cast<unsigned long long>(serve.frames_in),
+      static_cast<unsigned long long>(serve.frames_out),
+      static_cast<unsigned long long>(serve.bytes_out));
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote BENCH_retrieval.json\n");
@@ -781,6 +968,7 @@ int main() {
   AggComparison agg = RunE3d(&database);
   JoinComparison join = RunE3e(&database, kCatalogRows);
   ShardComparison shard = RunE3f(&database, kCatalogRows, /*num_shards=*/8);
-  WriteBenchJson(selection, ranking, agg, join, shard);
+  ServeComparison serve = RunE4(&database);
+  WriteBenchJson(selection, ranking, agg, join, shard, serve);
   return 0;
 }

@@ -91,4 +91,26 @@ awk -v s="${SHARD_SPEEDUP}" 'BEGIN { exit (s >= 1.5) ? 0 : 1 }' || {
   exit 1
 }
 
+echo "== multi-client serving gate (E4, 4 concurrent sessions vs 1 serial session) =="
+# Baseline is the same 32 requests issued serially through ONE session of
+# the query daemon (wire cost on both sides). Four concurrent sessions
+# must deliver >= 2x aggregate throughput: on multi-core hosts the
+# per-connection threads provide it outright, and on any host identical
+# in-flight requests coalesce onto one leader execution + one marshalled
+# result frame (bench_retrieval itself aborts if no request coalesced or
+# any wire result deviates from direct MirrorDb execution).
+E4_SPEEDUP=$(grep -m1 '"speedup_concurrent4_vs_serial1"' build/BENCH_retrieval.json \
+            | awk -F': ' '{gsub(/[,[:space:]]/, "", $2); print $2}')
+E4_COALESCED=$(grep -m1 '"coalesced_requests"' build/BENCH_retrieval.json \
+            | awk -F': ' '{gsub(/[,[:space:]]/, "", $2); print $2}')
+echo "4 concurrent sessions vs serial through one session: ${E4_SPEEDUP}x (coalesced requests: ${E4_COALESCED})"
+awk -v s="${E4_SPEEDUP}" 'BEGIN { exit (s >= 2.0) ? 0 : 1 }' || {
+  echo "FAIL: multi-client aggregate throughput ${E4_SPEEDUP}x is below the 2x floor"
+  exit 1
+}
+[ "${E4_COALESCED}" != "0" ] || {
+  echo "FAIL: concurrent identical requests never coalesced"
+  exit 1
+}
+
 echo "CI OK — artifacts: build/BENCH_bat_kernel.json build/BENCH_retrieval.json"

@@ -1,0 +1,236 @@
+// A client of the Mirror query-serving daemon, speaking the framed wire
+// protocol end to end: it starts a server over the in-process ByteChannel
+// transport (pass --tcp to go through a real loopback socket instead),
+// loads a small annotated library, and then either runs a scripted demo
+// session or — with --interactive — reads commands from stdin:
+//
+//   bind <name> <term[:weight]> [term[:weight] ...]   set query bindings
+//   query <moa query text>                            run a query
+//   set <key> <int>                                   session override
+//   stats                                             server statistics
+//   quit                                              close the session
+//
+// Example queries against the demo schema (set Lib):
+//   query count(select[THIS.year >= 1998](Lib));
+//   bind q sunset:2 beach
+//   query map[sum(THIS)](map[getBL(THIS.doc, q, stats)](Lib));
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "daemon/query_server.h"
+#include "daemon/wire.h"
+#include "daemon/wire_client.h"
+#include "mirror/mirror_db.h"
+
+namespace {
+
+using namespace mirror;  // NOLINT(build/namespaces)
+
+void LoadDemoDb(db::MirrorDb* database) {
+  MIRROR_CHECK(database
+                   ->Define("define Lib as SET<TUPLE<Atomic<URL>: u, "
+                            "Atomic<int>: year, CONTREP<Text>: doc>>;")
+                   .ok());
+  struct Doc {
+    const char* url;
+    int year;
+    const char* text;
+  };
+  const Doc docs[] = {
+      {"u0", 1996, "sunset over the beach"},
+      {"u1", 1997, "city streets at night"},
+      {"u2", 1998, "waves break on the sunny beach"},
+      {"u3", 1999, "red sunset behind the dunes"},
+      {"u4", 2000, "night market in the old city"},
+      {"u5", 2001, "sunny afternoon at the beach cafe"},
+  };
+  std::vector<moa::MoaValue> objects;
+  for (const Doc& d : docs) {
+    objects.push_back(moa::MoaValue::Tuple({moa::MoaValue::Str(d.url),
+                                            moa::MoaValue::Int(d.year),
+                                            moa::MoaValue::Str(d.text)}));
+  }
+  MIRROR_CHECK(database->Load("Lib", std::move(objects)).ok());
+}
+
+void PrintResult(const daemon::wire::ResultReply& result) {
+  if (result.is_scalar) {
+    std::printf("scalar: %s\n", result.scalar.ToString().c_str());
+    return;
+  }
+  std::printf("%zu rows\n%s", result.bat->size(),
+              result.bat->DebugString(12).c_str());
+}
+
+void PrintStats(const daemon::wire::StatsReply& stats) {
+  std::printf(
+      "server: frames in/out %llu/%llu, bytes in/out %llu/%llu, "
+      "requests %llu (coalesced %llu), errors %llu, sessions %llu "
+      "opened / %llu closed, load generation %llu\n",
+      static_cast<unsigned long long>(stats.server.frames_in),
+      static_cast<unsigned long long>(stats.server.frames_out),
+      static_cast<unsigned long long>(stats.server.bytes_in),
+      static_cast<unsigned long long>(stats.server.bytes_out),
+      static_cast<unsigned long long>(stats.server.requests),
+      static_cast<unsigned long long>(stats.server.coalesced_requests),
+      static_cast<unsigned long long>(stats.server.errors),
+      static_cast<unsigned long long>(stats.server.sessions_opened),
+      static_cast<unsigned long long>(stats.server.sessions_closed),
+      static_cast<unsigned long long>(stats.server.load_generation));
+  for (const auto& s : stats.sessions) {
+    std::printf(
+        "  session %llu (%s): %llu requests, %llu errors, plan cache "
+        "%llu entries (%llu/%llu hits), shards=%llu threads=%lld\n",
+        static_cast<unsigned long long>(s.session_id),
+        s.client_name.c_str(),
+        static_cast<unsigned long long>(s.requests),
+        static_cast<unsigned long long>(s.errors),
+        static_cast<unsigned long long>(s.plan_cache_size),
+        static_cast<unsigned long long>(s.plan_cache_hits),
+        static_cast<unsigned long long>(s.plan_cache_lookups),
+        static_cast<unsigned long long>(s.options.num_shards),
+        static_cast<long long>(s.options.num_threads));
+  }
+}
+
+/// Parses "term" or "term:weight".
+moa::WeightedTerm ParseTerm(const std::string& token) {
+  moa::WeightedTerm t;
+  size_t colon = token.rfind(':');
+  if (colon == std::string::npos) {
+    t.term = token;
+    return t;
+  }
+  t.term = token.substr(0, colon);
+  t.weight = std::atof(token.c_str() + colon + 1);
+  if (t.weight == 0) t.weight = 1.0;
+  return t;
+}
+
+int RunCommandLoop(daemon::wire::WireClient* client, std::istream& in,
+                   bool echo) {
+  moa::QueryContext bindings;
+  std::string line;
+  if (echo) std::printf("mirror> ");
+  while (std::getline(in, line)) {
+    if (echo && !in.eof()) std::fflush(stdout);
+    std::istringstream tokens(line);
+    std::string cmd;
+    tokens >> cmd;
+    if (cmd.empty()) {
+      if (echo) std::printf("mirror> ");
+      continue;
+    }
+    if (!echo) std::printf("mirror> %s\n", line.c_str());
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "bind") {
+      std::string name;
+      tokens >> name;
+      std::vector<moa::WeightedTerm> terms;
+      std::string token;
+      while (tokens >> token) terms.push_back(ParseTerm(token));
+      if (name.empty() || terms.empty()) {
+        std::printf("usage: bind <name> <term[:weight]> ...\n");
+      } else {
+        bindings.Bind(name, std::move(terms));
+        std::printf("bound \"%s\"\n", name.c_str());
+      }
+    } else if (cmd == "query") {
+      std::string text;
+      std::getline(tokens, text);
+      auto result = client->Query(text, bindings);
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+      } else {
+        PrintResult(result.value());
+      }
+    } else if (cmd == "set") {
+      std::string key;
+      long long value = 0;
+      tokens >> key >> value;
+      auto reply = client->Set({{key, value}});
+      if (!reply.ok()) {
+        std::printf("error: %s\n", reply.status().ToString().c_str());
+      } else {
+        std::printf(
+            "session options: shards=%llu threads=%lld morsel_joins=%d "
+            "fuse_aggregates=%d\n",
+            static_cast<unsigned long long>(reply.value().num_shards),
+            static_cast<long long>(reply.value().num_threads),
+            reply.value().morsel_joins ? 1 : 0,
+            reply.value().fuse_aggregates ? 1 : 0);
+      }
+    } else if (cmd == "stats") {
+      auto stats = client->Stats();
+      if (!stats.ok()) {
+        std::printf("error: %s\n", stats.status().ToString().c_str());
+      } else {
+        PrintStats(stats.value());
+      }
+    } else {
+      std::printf("unknown command \"%s\"\n", cmd.c_str());
+    }
+    if (echo) std::printf("mirror> ");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool interactive = false;
+  bool use_tcp = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--interactive" || arg == "-i") interactive = true;
+    if (arg == "--tcp") use_tcp = true;
+  }
+
+  db::MirrorDb database;
+  LoadDemoDb(&database);
+  daemon::QueryServer server(&database);
+
+  std::unique_ptr<daemon::wire::Transport> conn;
+  if (use_tcp) {
+    auto port = server.ListenTcp(0);
+    MIRROR_CHECK(port.ok()) << port.status().ToString();
+    std::printf("server listening on 127.0.0.1:%d\n", port.value());
+    auto tcp = daemon::wire::TcpConnect("127.0.0.1", port.value());
+    MIRROR_CHECK(tcp.ok()) << tcp.status().ToString();
+    conn = tcp.TakeValue();
+  } else {
+    auto [client_end, server_end] = daemon::wire::CreateChannelPair();
+    server.Serve(std::move(server_end));
+    conn = std::move(client_end);
+  }
+
+  daemon::wire::WireClient client(std::move(conn));
+  auto hello = client.Hello("query_client_example");
+  MIRROR_CHECK(hello.ok()) << hello.status().ToString();
+  std::printf("connected to %s (session %llu)\n",
+              hello.value().server_name.c_str(),
+              static_cast<unsigned long long>(hello.value().session_id));
+
+  int rc = 0;
+  if (interactive) {
+    rc = RunCommandLoop(&client, std::cin, /*echo=*/true);
+  } else {
+    std::istringstream script(
+        "query count(select[THIS.year >= 1998](Lib));\n"
+        "bind q sunset:2 beach\n"
+        "query map[sum(THIS)](map[getBL(THIS.doc, q, stats)](Lib));\n"
+        "query select[THIS.year >= 1997 and THIS.year <= 2000](Lib);\n"
+        "set num_threads 1\n"
+        "query count(select[THIS.year >= 1998](Lib));\n"
+        "stats\n"
+        "quit\n");
+    rc = RunCommandLoop(&client, script, /*echo=*/false);
+  }
+  client.Close();
+  server.Shutdown();
+  return rc;
+}

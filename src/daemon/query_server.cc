@@ -1,0 +1,532 @@
+#include "daemon/query_server.h"
+
+#include <chrono>
+
+#include "base/str_util.h"
+
+namespace mirror::daemon {
+
+namespace mil = monet::mil;
+
+// ---------------------------------------------------------------------------
+// ServerSession.
+
+base::Status ServerSession::ValidateOverride(const std::string& key,
+                                             int64_t value) {
+  if (key == "num_shards") {
+    if (value < 0 || value > (1 << 20)) {
+      return base::Status::InvalidArgument(
+          base::StrFormat("num_shards %lld out of range",
+                          static_cast<long long>(value)));
+    }
+  } else if (key == "num_threads") {
+    if (value < 0 || value > 1024) {
+      return base::Status::InvalidArgument(
+          base::StrFormat("num_threads %lld out of range",
+                          static_cast<long long>(value)));
+    }
+  } else if (key != "morsel_joins" && key != "fuse_aggregates") {
+    return base::Status::InvalidArgument(
+        base::StrFormat("unknown SET key \"%s\"", key.c_str()));
+  }
+  return base::Status::Ok();
+}
+
+base::Status ServerSession::ApplyOverride(const std::string& key,
+                                          int64_t value) {
+  base::Status valid = ValidateOverride(key, value);
+  if (!valid.ok()) return valid;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (key == "num_shards") {
+    options_.exec.num_shards = static_cast<size_t>(value);
+  } else if (key == "num_threads") {
+    options_.exec.num_threads = static_cast<int>(value);
+  } else if (key == "morsel_joins") {
+    options_.exec.morsel_joins = value != 0;
+  } else {
+    options_.exec.fuse_aggregates = value != 0;
+  }
+  return base::Status::Ok();
+}
+
+wire::SessionStatsEntry ServerSession::StatsEntry() const {
+  wire::SessionStatsEntry entry;
+  entry.session_id = id_;
+  entry.client_name = client_name_;
+  entry.requests = requests_.load(std::memory_order_relaxed);
+  entry.errors = errors_.load(std::memory_order_relaxed);
+  entry.plan_cache_size = exec_.plan_cache_size();
+  entry.plan_cache_hits = exec_.plan_cache_hits();
+  entry.plan_cache_lookups = exec_.plan_cache_lookups();
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.options.num_shards = options_.exec.num_shards;
+  entry.options.num_threads = options_.exec.num_threads;
+  entry.options.morsel_joins = options_.exec.morsel_joins;
+  entry.options.fuse_aggregates = options_.exec.fuse_aggregates;
+  return entry;
+}
+
+// ---------------------------------------------------------------------------
+// SessionManager.
+
+SessionManager::~SessionManager() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [id, session] : sessions_) {
+    db_->UnregisterSession(session->exec_context());
+  }
+  sessions_.clear();
+}
+
+std::shared_ptr<ServerSession> SessionManager::Open(
+    std::string client_name, const db::QueryOptions& base_options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = next_id_++;
+  auto session = std::make_shared<ServerSession>(id, std::move(client_name),
+                                                 base_options);
+  // Registration wires the session's plan cache into MirrorDb::Load
+  // invalidation for the whole session lifetime.
+  db_->RegisterSession(session->exec_context());
+  sessions_[id] = session;
+  return session;
+}
+
+void SessionManager::Close(uint64_t session_id) {
+  std::shared_ptr<ServerSession> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) return;
+    session = it->second;
+  }
+  // Unregister before dropping the manager entry so an observer seeing
+  // open_count() == 0 can rely on the database registration being gone.
+  db_->UnregisterSession(session->exec_context());
+  std::lock_guard<std::mutex> lock(mu_);
+  sessions_.erase(session_id);
+}
+
+std::vector<wire::SessionStatsEntry> SessionManager::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<wire::SessionStatsEntry> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) {
+    out.push_back(session->StatsEntry());
+  }
+  return out;
+}
+
+size_t SessionManager::open_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+// ---------------------------------------------------------------------------
+// QueryServer.
+
+QueryServer::QueryServer(const db::MirrorDb* db)
+    : QueryServer(db, Options()) {}
+
+QueryServer::QueryServer(const db::MirrorDb* db, Options options)
+    : db_(db), options_(std::move(options)), sessions_(db) {}
+
+QueryServer::~QueryServer() { Shutdown(); }
+
+void QueryServer::CountIn(size_t frame_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.frames_in;
+  stats_.bytes_in += frame_bytes;
+}
+
+void QueryServer::CountOut(wire::FrameType type, size_t frame_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.frames_out;
+  stats_.bytes_out += frame_bytes;
+  if (type == wire::FrameType::kError) ++stats_.errors;
+}
+
+wire::ServerWireStats QueryServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  wire::ServerWireStats out = stats_;
+  out.load_generation = db_->load_generation();
+  return out;
+}
+
+size_t QueryServer::active_connections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& conn : connections_) {
+    if (!conn->done.load(std::memory_order_acquire)) ++n;
+  }
+  return n;
+}
+
+void QueryServer::Serve(std::unique_ptr<wire::Transport> conn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_.load()) {
+    conn->Close();
+    return;
+  }
+  // Reap finished connections so a long-lived daemon doesn't keep one
+  // dead thread per connection ever served (their handlers have already
+  // returned; the joins are immediate).
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  auto connection = std::make_unique<Connection>();
+  connection->transport = std::move(conn);
+  Connection* raw = connection.get();
+  connection->thread = std::thread([this, raw] { HandleConnection(raw); });
+  connections_.push_back(std::move(connection));
+}
+
+base::Result<int> QueryServer::ListenTcp(int port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_.load()) {
+    return base::Status::IoError("server is shut down");
+  }
+  if (listener_ != nullptr) {
+    return base::Status::AlreadyExists("server is already listening");
+  }
+  auto listener = wire::TcpListen(port);
+  if (!listener.ok()) return listener.status();
+  listener_ = listener.TakeValue();
+  int bound = listener_->port();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return bound;
+}
+
+void QueryServer::AcceptLoop() {
+  for (;;) {
+    base::Result<std::unique_ptr<wire::Transport>> conn =
+        base::Status::Internal("no listener");
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (listener_ == nullptr || stopping_.load()) return;
+    }
+    // Accept blocks outside the lock; Shutdown() closes the listener to
+    // unblock it.
+    conn = listener_->Accept();
+    if (!conn.ok()) {
+      if (stopping_.load()) return;  // listener closed by Shutdown
+      // Transient accept failure (e.g. fd exhaustion under load): keep
+      // the daemon listening rather than silently stopping intake.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    Serve(conn.TakeValue());
+  }
+}
+
+void QueryServer::Shutdown(int64_t drain_millis) {
+  // Serialized end to end: a second caller (e.g. the destructor racing
+  // an explicit Shutdown) blocks here until the first has joined every
+  // thread, then returns without touching anything.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  if (stopping_.load()) return;
+  {
+    // stopping_ flips inside drain_mu_ so request admission (which
+    // checks it under the same mutex) cannot race the drain below.
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    stopping_.store(true);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (listener_ != nullptr) listener_->Close();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Drain: let in-flight requests finish and deliver their replies.
+  {
+    std::unique_lock<std::mutex> lock(drain_mu_);
+    drain_cv_.wait_for(lock, std::chrono::milliseconds(drain_millis),
+                       [&] { return busy_requests_ == 0; });
+  }
+  // Unblock every idle request loop; handlers exit on EOF. No new
+  // connections can appear (Serve refuses once stopping_ is set), so
+  // iterating without mu_ for the joins is safe.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& conn : connections_) conn->transport->Close();
+  }
+  for (auto& conn : connections_) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+std::pair<wire::FrameType, std::shared_ptr<const std::vector<uint8_t>>>
+QueryServer::ExecuteQuery(ServerSession* session,
+                          const wire::QueryRequest& request) {
+  auto result = db_->Query(request.text, request.bindings,
+                           session->options(), session->exec_context());
+  if (!result.ok()) {
+    session->CountError();
+    return {wire::FrameType::kError,
+            std::make_shared<const std::vector<uint8_t>>(
+                wire::EncodeError(result.status()))};
+  }
+  return {wire::FrameType::kResult,
+          std::make_shared<const std::vector<uint8_t>>(
+              wire::EncodeResultReply(result.value()))};
+}
+
+std::pair<wire::FrameType, std::shared_ptr<const std::vector<uint8_t>>>
+QueryServer::ServeQuery(ServerSession* session,
+                        const std::vector<uint8_t>& payload) {
+  auto request = wire::DecodeQueryRequest(payload);
+  if (!request.ok()) {
+    session->CountError();
+    return {wire::FrameType::kError,
+            std::make_shared<const std::vector<uint8_t>>(
+                wire::EncodeError(request.status()))};
+  }
+  session->CountRequest();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+  }
+  if (!options_.coalesce_queries) {
+    return ExecuteQuery(session, request.value());
+  }
+  // Coalescing key: the same normalization the session plan cache uses —
+  // whitespace-insensitive query text plus the exact bindings. The text
+  // is length-prefixed so no query spelling can collide with another
+  // (text, bindings) pair's rendering. Results are engine-config-
+  // invariant (the fuzz suite's core guarantee), so per-session SET
+  // differences don't enter the key.
+  std::string normalized =
+      mil::ExecutionContext::NormalizeText(request.value().text);
+  std::string key = base::StrFormat("%zu:", normalized.size());
+  key += normalized;
+  key += "|";
+  key += request.value().bindings.CacheKey();
+  std::shared_ptr<InFlightQuery> entry;
+  bool is_leader = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      entry = it->second;
+    } else {
+      entry = std::make_shared<InFlightQuery>();
+      inflight_[key] = entry;
+      is_leader = true;
+    }
+  }
+  if (!is_leader) {
+    std::pair<wire::FrameType, std::shared_ptr<const std::vector<uint8_t>>>
+        shared;
+    {
+      std::unique_lock<std::mutex> lock(entry->mu);
+      entry->cv.wait(lock, [&] { return entry->done; });
+      shared = {entry->reply_type, entry->payload};
+    }
+    // Only successful results are shared: a leader's failure may be an
+    // artifact of ITS session (a pathological SET, an allocation
+    // failure under its config), so a follower re-executes under its
+    // own options rather than inheriting another tenant's error.
+    if (shared.first != wire::FrameType::kResult) {
+      return ExecuteQuery(session, request.value());
+    }
+    {
+      std::lock_guard<std::mutex> slock(mu_);
+      ++stats_.coalesced_requests;
+    }
+    return shared;
+  }
+  // The leader MUST complete the entry and retire the key on every exit
+  // path — an exception escaping execution or marshalling (e.g.
+  // bad_alloc on a huge result) would otherwise leave followers (and
+  // all future identical queries) waiting on it forever.
+  struct Completer {
+    QueryServer* server;
+    const std::string& key;
+    const std::shared_ptr<InFlightQuery>& entry;
+    std::pair<wire::FrameType, std::shared_ptr<const std::vector<uint8_t>>>
+        reply = {wire::FrameType::kError,
+                 std::make_shared<const std::vector<uint8_t>>(
+                     wire::EncodeError(base::Status::Internal(
+                         "query leader aborted before completing")))};
+
+    ~Completer() {
+      {
+        std::lock_guard<std::mutex> lock(entry->mu);
+        entry->reply_type = reply.first;
+        entry->payload = reply.second;
+        entry->done = true;
+        entry->cv.notify_all();
+      }
+      std::lock_guard<std::mutex> lock(server->inflight_mu_);
+      server->inflight_.erase(key);
+    }
+  } completer{this, key, entry};
+  completer.reply = ExecuteQuery(session, request.value());
+  return completer.reply;
+}
+
+void QueryServer::HandleConnection(Connection* conn) {
+  wire::Transport* t = conn->transport.get();
+  std::shared_ptr<ServerSession> session;
+
+  auto send = [&](wire::FrameType type,
+                  const std::vector<uint8_t>& payload) -> bool {
+    base::Status s = wire::WriteFrame(t, type, payload);
+    if (s.ok()) {
+      CountOut(type, 5 + payload.size());
+      return true;
+    }
+    if (s.code() == base::StatusCode::kInvalidArgument) {
+      // Payload over the frame cap: nothing was written, the stream is
+      // still synchronized — the client must get an ERROR, not silence
+      // (a dropped reply would block it forever).
+      std::vector<uint8_t> err = wire::EncodeError(base::Status::OutOfRange(
+          base::StrFormat("reply of %zu bytes exceeds the frame limit; "
+                          "narrow the query",
+                          payload.size())));
+      if (wire::WriteFrame(t, wire::FrameType::kError, err).ok()) {
+        CountOut(wire::FrameType::kError, 5 + err.size());
+        return true;
+      }
+    }
+    return false;
+  };
+  auto send_error = [&](const base::Status& status) {
+    return send(wire::FrameType::kError, wire::EncodeError(status));
+  };
+
+  bool closing = false;
+  while (!closing) {
+    auto frame = wire::ReadFrame(t);
+    if (!frame.ok()) {
+      // NotFound is a clean peer close. A corrupted header (unknown type
+      // or oversized length) cannot be resynchronized: report and drop.
+      // Truncation (IoError) means the peer is already gone.
+      if (frame.status().code() == base::StatusCode::kParseError) {
+        send_error(frame.status());
+      }
+      break;
+    }
+    CountIn(5 + frame.value().payload.size());
+    // Admission and the busy count share one critical section with the
+    // drain predicate: once Shutdown() has observed busy_requests_ == 0
+    // under drain_mu_, no further request can slip in unseen.
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      if (!stopping_.load()) {
+        ++busy_requests_;
+        admitted = true;
+      }
+    }
+    if (!admitted) {
+      send_error(base::Status::IoError("server shutting down"));
+      break;
+    }
+    const std::vector<uint8_t>& payload = frame.value().payload;
+    switch (frame.value().type) {
+      case wire::FrameType::kHello: {
+        auto hello = wire::DecodeHelloRequest(payload);
+        if (!hello.ok()) {
+          send_error(hello.status());
+        } else if (hello.value().protocol_version != wire::kProtocolVersion) {
+          send_error(base::Status::InvalidArgument(base::StrFormat(
+              "protocol version %u not supported (server speaks %u)",
+              hello.value().protocol_version, wire::kProtocolVersion)));
+        } else if (session != nullptr) {
+          send_error(
+              base::Status::AlreadyExists("session already open"));
+        } else {
+          session = sessions_.Open(hello.value().client_name,
+                                   options_.query);
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++stats_.sessions_opened;
+          }
+          wire::HelloReply reply;
+          reply.session_id = session->id();
+          reply.server_name = options_.server_name;
+          send(wire::FrameType::kHelloOk, wire::EncodeHelloReply(reply));
+        }
+        break;
+      }
+      case wire::FrameType::kQuery: {
+        if (session == nullptr) {
+          send_error(base::Status::InvalidArgument(
+              "QUERY before HELLO: no session"));
+          break;
+        }
+        auto [type, reply_payload] = ServeQuery(session.get(), payload);
+        send(type, *reply_payload);
+        break;
+      }
+      case wire::FrameType::kSet: {
+        if (session == nullptr) {
+          send_error(base::Status::InvalidArgument(
+              "SET before HELLO: no session"));
+          break;
+        }
+        auto set = wire::DecodeSetRequest(payload);
+        base::Status applied = set.ok() ? base::Status::Ok() : set.status();
+        if (applied.ok()) {
+          // Validate everything before applying anything, so a bad key
+          // can't leave a half-applied override set.
+          for (const auto& [key, value] : set.value().options) {
+            applied = ServerSession::ValidateOverride(key, value);
+            if (!applied.ok()) break;
+          }
+        }
+        if (applied.ok()) {
+          for (const auto& [key, value] : set.value().options) {
+            applied = session->ApplyOverride(key, value);
+            if (!applied.ok()) break;  // unreachable after validation
+          }
+        }
+        if (!applied.ok()) {
+          send_error(applied);
+        } else {
+          wire::SessionStatsEntry entry = session->StatsEntry();
+          send(wire::FrameType::kSetOk,
+               wire::EncodeSetReply(entry.options));
+        }
+        break;
+      }
+      case wire::FrameType::kStats: {
+        wire::StatsReply reply;
+        reply.server = stats();
+        reply.sessions = sessions_.Snapshot();
+        send(wire::FrameType::kStatsResult, wire::EncodeStatsReply(reply));
+        break;
+      }
+      case wire::FrameType::kClose: {
+        send(wire::FrameType::kCloseOk, {});
+        closing = true;
+        break;
+      }
+      default:
+        // Reply frame types arriving at the server are a peer bug, but
+        // the stream is still framed: answer and keep serving.
+        send_error(base::Status::InvalidArgument(base::StrFormat(
+            "unexpected frame type 0x%02x on a server connection",
+            static_cast<unsigned>(frame.value().type))));
+        break;
+    }
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      --busy_requests_;
+      drain_cv_.notify_all();
+    }
+  }
+
+  if (session != nullptr) {
+    sessions_.Close(session->id());
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.sessions_closed;
+  }
+  t->Close();
+  conn->done.store(true, std::memory_order_release);
+}
+
+}  // namespace mirror::daemon

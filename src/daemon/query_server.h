@@ -1,0 +1,212 @@
+#ifndef MIRROR_DAEMON_QUERY_SERVER_H_
+#define MIRROR_DAEMON_QUERY_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "daemon/wire.h"
+#include "mirror/mirror_db.h"
+
+namespace mirror::daemon {
+
+/// One connected client's server-side state: the session-scoped
+/// ExecutionContext (plan cache + worker pool, registered with MirrorDb
+/// so Load invalidates it), the session's effective QueryOptions (the
+/// server's base options plus SET overrides), and request counters.
+///
+/// A session belongs to exactly one connection; its request loop is the
+/// only thread that executes queries on it. The mutex guards the fields
+/// the STATS command reads from other connections' threads.
+class ServerSession {
+ public:
+  ServerSession(uint64_t id, std::string client_name,
+                db::QueryOptions base_options)
+      : id_(id),
+        client_name_(std::move(client_name)),
+        options_(base_options) {}
+
+  uint64_t id() const { return id_; }
+  const std::string& client_name() const { return client_name_; }
+  monet::mil::ExecutionContext* exec_context() { return &exec_; }
+
+  /// The options the next query runs with (copied under the lock: the
+  /// owning connection may be applying a SET concurrently with STATS).
+  db::QueryOptions options() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return options_;
+  }
+
+  /// Checks a SET override without applying it: InvalidArgument for
+  /// unknown keys or out-of-range values.
+  static base::Status ValidateOverride(const std::string& key,
+                                       int64_t value);
+
+  /// Validates and applies one SET override.
+  base::Status ApplyOverride(const std::string& key, int64_t value);
+
+  void CountRequest() { requests_.fetch_add(1, std::memory_order_relaxed); }
+  void CountError() { errors_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// The session's STATS slice (options echo + counters + plan cache).
+  wire::SessionStatsEntry StatsEntry() const;
+
+ private:
+  const uint64_t id_;
+  const std::string client_name_;
+  mutable std::mutex mu_;
+  db::QueryOptions options_;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> errors_{0};
+  monet::mil::ExecutionContext exec_;
+};
+
+/// Owns the live sessions of a QueryServer: allocates ids, registers
+/// every session's ExecutionContext with the MirrorDb (Load invalidates
+/// all live plan caches), and snapshots per-session statistics. All
+/// methods are thread-safe; Session pointers stay valid while the
+/// shared_ptr is held even after Close().
+class SessionManager {
+ public:
+  explicit SessionManager(const db::MirrorDb* db) : db_(db) {}
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  std::shared_ptr<ServerSession> Open(std::string client_name,
+                                      const db::QueryOptions& base_options);
+
+  /// Unregisters from the database and drops the manager's reference.
+  void Close(uint64_t session_id);
+
+  std::vector<wire::SessionStatsEntry> Snapshot() const;
+
+  size_t open_count() const;
+
+ private:
+  const db::MirrorDb* db_;
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 1;
+  std::map<uint64_t, std::shared_ptr<ServerSession>> sessions_;
+};
+
+/// The query-serving daemon: a concurrent multi-client request loop over
+/// the framed wire protocol (daemon/wire.h), one thread and one
+/// ServerSession per connection, all sessions executing against one
+/// shared (optionally sharded) MirrorDb catalog.
+///
+/// Threading model: Serve() (or the TCP accept loop) spawns a handler
+/// thread per connection; within a connection requests are strictly
+/// sequential (the protocol is request/reply), so each session's
+/// ExecutionContext sees one query at a time while different sessions
+/// execute genuinely concurrently — the engine's worker pools are
+/// session-scoped. Identical queries (same normalized text + bindings)
+/// submitted by different sessions while one is already executing are
+/// coalesced: the first becomes the leader, followers wait and share the
+/// leader's marshalled result frame (results are engine-config-invariant,
+/// so a leader with different SET overrides still returns bit-identical
+/// bytes). Shutdown() stops intake, drains in-flight requests, then
+/// closes every connection and joins all threads.
+class QueryServer {
+ public:
+  struct Options {
+    std::string server_name = "mirrord";
+    /// Base QueryOptions every new session starts from; SET overrides
+    /// the exec knobs per session.
+    db::QueryOptions query;
+    /// Share one execution + one marshalled result frame between
+    /// identical in-flight QUERY requests from different sessions.
+    bool coalesce_queries = true;
+  };
+
+  explicit QueryServer(const db::MirrorDb* db);
+  QueryServer(const db::MirrorDb* db, Options options);
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Adopts a server-side transport endpoint (e.g. one half of
+  /// wire::CreateChannelPair()) and serves it on a new thread. No-op
+  /// (transport closed) after Shutdown().
+  void Serve(std::unique_ptr<wire::Transport> conn);
+
+  /// Starts a loopback TCP listener (port 0 = ephemeral) and an accept
+  /// loop serving every connection. Returns the bound port.
+  base::Result<int> ListenTcp(int port);
+
+  /// Stops intake, waits up to `drain_millis` for in-flight requests to
+  /// finish (their replies are still delivered), then closes all
+  /// connections and joins every thread. Idempotent.
+  void Shutdown(int64_t drain_millis = 10000);
+
+  wire::ServerWireStats stats() const;
+  std::vector<wire::SessionStatsEntry> session_stats() const {
+    return sessions_.Snapshot();
+  }
+  size_t open_session_count() const { return sessions_.open_count(); }
+  size_t active_connections() const;
+
+ private:
+  struct Connection {
+    std::unique_ptr<wire::Transport> transport;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  /// A leader-computed reply shared between coalesced twin requests.
+  struct InFlightQuery {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    wire::FrameType reply_type = wire::FrameType::kError;
+    std::shared_ptr<const std::vector<uint8_t>> payload;
+  };
+
+  void HandleConnection(Connection* conn);
+  void AcceptLoop();
+
+  /// Serves one QUERY payload, returning the reply frame (kResult or
+  /// kError) — through the coalescing map when enabled.
+  std::pair<wire::FrameType, std::shared_ptr<const std::vector<uint8_t>>>
+  ServeQuery(ServerSession* session, const std::vector<uint8_t>& payload);
+
+  /// Executes for real (no coalescing) and marshals the reply.
+  std::pair<wire::FrameType, std::shared_ptr<const std::vector<uint8_t>>>
+  ExecuteQuery(ServerSession* session, const wire::QueryRequest& request);
+
+  void CountIn(size_t frame_bytes);
+  void CountOut(wire::FrameType type, size_t frame_bytes);
+
+  const db::MirrorDb* db_;
+  Options options_;
+  SessionManager sessions_;
+
+  mutable std::mutex mu_;  // connections + listener + stats
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::unique_ptr<wire::TcpListener> listener_;
+  std::thread accept_thread_;
+  wire::ServerWireStats stats_;
+  std::atomic<bool> stopping_{false};
+  /// Serializes Shutdown() end to end (destructor vs explicit call).
+  std::mutex shutdown_mu_;
+
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  int64_t busy_requests_ = 0;
+
+  std::mutex inflight_mu_;
+  std::unordered_map<std::string, std::shared_ptr<InFlightQuery>> inflight_;
+};
+
+}  // namespace mirror::daemon
+
+#endif  // MIRROR_DAEMON_QUERY_SERVER_H_

@@ -1,0 +1,649 @@
+#include "daemon/wire.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+
+#include "base/str_util.h"
+#include "monet/bat_io.h"
+
+namespace mirror::daemon::wire {
+
+// ---------------------------------------------------------------------------
+// In-process byte channel.
+
+namespace {
+
+/// One direction of the duplex pair: a bounded-unbounded byte queue with
+/// writer-side close. Readers block until data or close.
+struct Pipe {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<uint8_t> bytes;
+  bool closed = false;
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu);
+    closed = true;
+    cv.notify_all();
+  }
+};
+
+class ChannelEndpoint : public Transport {
+ public:
+  ChannelEndpoint(std::shared_ptr<Pipe> in, std::shared_ptr<Pipe> out)
+      : in_(std::move(in)), out_(std::move(out)) {}
+
+  ~ChannelEndpoint() override { Close(); }
+
+  base::Result<size_t> Read(uint8_t* buf, size_t n) override {
+    if (n == 0) return size_t{0};
+    std::unique_lock<std::mutex> lock(in_->mu);
+    in_->cv.wait(lock, [&] { return !in_->bytes.empty() || in_->closed; });
+    if (in_->bytes.empty()) return size_t{0};  // closed: EOF
+    size_t take = std::min(n, in_->bytes.size());
+    std::copy_n(in_->bytes.begin(), take, buf);
+    in_->bytes.erase(in_->bytes.begin(),
+                     in_->bytes.begin() + static_cast<ptrdiff_t>(take));
+    return take;
+  }
+
+  base::Status Write(const uint8_t* buf, size_t n) override {
+    std::lock_guard<std::mutex> lock(out_->mu);
+    if (out_->closed) {
+      return base::Status::IoError("byte channel closed");
+    }
+    out_->bytes.insert(out_->bytes.end(), buf, buf + n);
+    out_->cv.notify_all();
+    return base::Status::Ok();
+  }
+
+  void Close() override {
+    // Closing an endpoint EOFs both directions: the peer's reads drain
+    // what was already written, then see EOF; our own blocked read wakes.
+    in_->Close();
+    out_->Close();
+  }
+
+ private:
+  std::shared_ptr<Pipe> in_;
+  std::shared_ptr<Pipe> out_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+CreateChannelPair() {
+  auto a_to_b = std::make_shared<Pipe>();
+  auto b_to_a = std::make_shared<Pipe>();
+  return {std::make_unique<ChannelEndpoint>(b_to_a, a_to_b),
+          std::make_unique<ChannelEndpoint>(a_to_b, b_to_a)};
+}
+
+// ---------------------------------------------------------------------------
+// POSIX TCP transport.
+
+namespace {
+
+class FdTransport : public Transport {
+ public:
+  explicit FdTransport(int fd) : fd_(fd) {}
+
+  // The fd stays open (though shut down) until destruction: Close() may
+  // race a Read() blocked in recv on another thread, and an early
+  // ::close would let the kernel reuse the fd number under that reader.
+  // The destructor runs only once no thread uses the transport.
+  ~FdTransport() override {
+    Close();
+    ::close(fd_);
+  }
+
+  base::Result<size_t> Read(uint8_t* buf, size_t n) override {
+    for (;;) {
+      ssize_t got = ::recv(fd_, buf, n, 0);
+      if (got >= 0) return static_cast<size_t>(got);
+      if (errno == EINTR) continue;
+      return base::Status::IoError(
+          base::StrFormat("recv failed: %s", std::strerror(errno)));
+    }
+  }
+
+  base::Status Write(const uint8_t* buf, size_t n) override {
+    size_t sent = 0;
+    while (sent < n) {
+      ssize_t w = ::send(fd_, buf + sent, n - sent, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return base::Status::IoError(
+            base::StrFormat("send failed: %s", std::strerror(errno)));
+      }
+      sent += static_cast<size_t>(w);
+    }
+    return base::Status::Ok();
+  }
+
+  void Close() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!shut_down_) {
+      shut_down_ = true;
+      ::shutdown(fd_, SHUT_RDWR);
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  const int fd_;
+  bool shut_down_ = false;
+};
+
+class PosixTcpListener : public TcpListener {
+ public:
+  PosixTcpListener(int fd, int port) : fd_(fd), port_(port) {}
+
+  // Same deferred-::close discipline as FdTransport: Accept() may be
+  // blocked on another thread when Close() runs.
+  ~PosixTcpListener() override {
+    Close();
+    ::close(fd_);
+  }
+
+  base::Result<std::unique_ptr<Transport>> Accept() override {
+    for (;;) {
+      int client = ::accept(fd_, nullptr, nullptr);
+      if (client >= 0) {
+        int one = 1;
+        ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        return std::unique_ptr<Transport>(new FdTransport(client));
+      }
+      // EINTR and a client that hung up between SYN and accept are not
+      // listener failures; only real errors (including our own Close's
+      // shutdown) surface.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return base::Status::IoError(
+          base::StrFormat("accept failed: %s", std::strerror(errno)));
+    }
+  }
+
+  void Close() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!shut_down_) {
+      shut_down_ = true;
+      ::shutdown(fd_, SHUT_RDWR);
+    }
+  }
+
+  int port() const override { return port_; }
+
+ private:
+  std::mutex mu_;
+  const int fd_;
+  bool shut_down_ = false;
+  int port_ = 0;
+};
+
+}  // namespace
+
+base::Result<std::unique_ptr<TcpListener>> TcpListen(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return base::Status::IoError(
+        base::StrFormat("socket failed: %s", std::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 64) < 0) {
+    base::Status err = base::Status::IoError(
+        base::StrFormat("bind/listen failed: %s", std::strerror(errno)));
+    ::close(fd);
+    return err;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    base::Status err = base::Status::IoError("getsockname failed");
+    ::close(fd);
+    return err;
+  }
+  return std::unique_ptr<TcpListener>(
+      new PosixTcpListener(fd, ntohs(addr.sin_port)));
+}
+
+base::Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
+                                                    int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return base::Status::IoError(
+        base::StrFormat("socket failed: %s", std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return base::Status::InvalidArgument(
+        base::StrFormat("not an IPv4 address: %s", host.c_str()));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    base::Status err = base::Status::IoError(
+        base::StrFormat("connect failed: %s", std::strerror(errno)));
+    ::close(fd);
+    return err;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Transport>(new FdTransport(fd));
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O.
+
+namespace {
+
+/// Reads exactly `n` bytes. `saw_any` reports whether at least one byte
+/// arrived before EOF, distinguishing a clean close from truncation.
+base::Status ReadExact(Transport* t, uint8_t* buf, size_t n,
+                       bool* saw_any) {
+  size_t got = 0;
+  while (got < n) {
+    auto r = t->Read(buf + got, n - got);
+    if (!r.ok()) return r.status();
+    if (r.value() == 0) {
+      return got == 0 && !*saw_any
+                 ? base::Status::NotFound("connection closed")
+                 : base::Status::IoError("truncated frame");
+    }
+    *saw_any = true;
+    got += r.value();
+  }
+  return base::Status::Ok();
+}
+
+bool IsKnownFrameType(uint8_t t) {
+  switch (static_cast<FrameType>(t)) {
+    case FrameType::kHello:
+    case FrameType::kQuery:
+    case FrameType::kSet:
+    case FrameType::kStats:
+    case FrameType::kClose:
+    case FrameType::kHelloOk:
+    case FrameType::kResult:
+    case FrameType::kSetOk:
+    case FrameType::kStatsResult:
+    case FrameType::kCloseOk:
+    case FrameType::kError:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+base::Status WriteFrame(Transport* t, FrameType type,
+                        const std::vector<uint8_t>& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return base::Status::InvalidArgument("frame payload too large");
+  }
+  uint8_t header[5];
+  header[0] = static_cast<uint8_t>(type);
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  std::memcpy(header + 1, &len, sizeof(len));
+  base::Status s = t->Write(header, sizeof(header));
+  if (!s.ok()) return s;
+  if (!payload.empty()) return t->Write(payload.data(), payload.size());
+  return base::Status::Ok();
+}
+
+base::Result<Frame> ReadFrame(Transport* t) {
+  uint8_t header[5];
+  bool saw_any = false;
+  base::Status s = ReadExact(t, header, sizeof(header), &saw_any);
+  if (!s.ok()) return s;
+  if (!IsKnownFrameType(header[0])) {
+    return base::Status::ParseError(
+        base::StrFormat("unknown frame type 0x%02x", header[0]));
+  }
+  uint32_t len = 0;
+  std::memcpy(&len, header + 1, sizeof(len));
+  if (len > kMaxFramePayload) {
+    return base::Status::ParseError(
+        base::StrFormat("frame payload of %u bytes exceeds the %u limit",
+                        len, kMaxFramePayload));
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(header[0]);
+  frame.payload.resize(len);
+  if (len > 0) {
+    s = ReadExact(t, frame.payload.data(), len, &saw_any);
+    if (!s.ok()) return s;
+  }
+  return frame;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive payload codec.
+
+namespace {
+
+class Writer {
+ public:
+  void U8(uint8_t v) { out_.push_back(v); }
+  void U32(uint32_t v) { Pod(v); }
+  void U64(uint64_t v) { Pod(v); }
+  void I64(int64_t v) { Pod(v); }
+  void F64(double v) { Pod(v); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(s.data());
+    out_.insert(out_.end(), p, p + s.size());
+  }
+
+  std::vector<uint8_t>* buffer() { return &out_; }
+  std::vector<uint8_t> Take() { return std::move(out_); }
+
+ private:
+  template <typename T>
+  void Pod(T v) {
+    const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+    out_.insert(out_.end(), p, p + sizeof(T));
+  }
+
+  std::vector<uint8_t> out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<uint8_t>& buf) : buf_(buf) {}
+
+  bool U8(uint8_t* v) { return Pod(v); }
+  bool U32(uint32_t* v) { return Pod(v); }
+  bool U64(uint64_t* v) { return Pod(v); }
+  bool I64(int64_t* v) { return Pod(v); }
+  bool F64(double* v) { return Pod(v); }
+  bool Str(std::string* v) {
+    uint32_t n = 0;
+    if (!U32(&n)) return false;
+    if (buf_.size() - pos_ < n) return false;
+    v->assign(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+  size_t* pos() { return &pos_; }
+  const std::vector<uint8_t>& buf() const { return buf_; }
+  size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  template <typename T>
+  bool Pod(T* v) {
+    if (buf_.size() - pos_ < sizeof(T) || pos_ > buf_.size()) return false;
+    std::memcpy(v, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  const std::vector<uint8_t>& buf_;
+  size_t pos_ = 0;
+};
+
+base::Status Malformed(const char* what) {
+  return base::Status::ParseError(
+      base::StrFormat("malformed %s payload", what));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Message codecs.
+
+std::vector<uint8_t> EncodeHelloRequest(const HelloRequest& m) {
+  Writer w;
+  w.U32(m.protocol_version);
+  w.Str(m.client_name);
+  return w.Take();
+}
+
+base::Result<HelloRequest> DecodeHelloRequest(const std::vector<uint8_t>& p) {
+  Reader r(p);
+  HelloRequest m;
+  if (!r.U32(&m.protocol_version) || !r.Str(&m.client_name)) {
+    return Malformed("HELLO");
+  }
+  return m;
+}
+
+std::vector<uint8_t> EncodeHelloReply(const HelloReply& m) {
+  Writer w;
+  w.U32(m.protocol_version);
+  w.U64(m.session_id);
+  w.Str(m.server_name);
+  return w.Take();
+}
+
+base::Result<HelloReply> DecodeHelloReply(const std::vector<uint8_t>& p) {
+  Reader r(p);
+  HelloReply m;
+  if (!r.U32(&m.protocol_version) || !r.U64(&m.session_id) ||
+      !r.Str(&m.server_name)) {
+    return Malformed("HELLO reply");
+  }
+  return m;
+}
+
+std::vector<uint8_t> EncodeQueryRequest(const QueryRequest& m) {
+  Writer w;
+  w.Str(m.text);
+  w.U32(static_cast<uint32_t>(m.bindings.bindings().size()));
+  for (const auto& [name, terms] : m.bindings.bindings()) {
+    w.Str(name);
+    w.U32(static_cast<uint32_t>(terms.size()));
+    for (const moa::WeightedTerm& t : terms) {
+      w.Str(t.term);
+      w.F64(t.weight);
+    }
+  }
+  return w.Take();
+}
+
+base::Result<QueryRequest> DecodeQueryRequest(const std::vector<uint8_t>& p) {
+  Reader r(p);
+  QueryRequest m;
+  uint32_t num_bindings = 0;
+  if (!r.Str(&m.text) || !r.U32(&num_bindings)) return Malformed("QUERY");
+  for (uint32_t b = 0; b < num_bindings; ++b) {
+    std::string name;
+    uint32_t num_terms = 0;
+    if (!r.Str(&name) || !r.U32(&num_terms)) return Malformed("QUERY");
+    std::vector<moa::WeightedTerm> terms;
+    // Reserve from the wire count only up to what the remaining payload
+    // could possibly hold (>= 12 bytes per term): a malicious count in a
+    // tiny frame must fail with ParseError below, not allocate gigabytes.
+    terms.reserve(std::min<size_t>(num_terms, r.remaining() / 12 + 1));
+    for (uint32_t i = 0; i < num_terms; ++i) {
+      moa::WeightedTerm t;
+      if (!r.Str(&t.term) || !r.F64(&t.weight)) return Malformed("QUERY");
+      terms.push_back(std::move(t));
+    }
+    m.bindings.Bind(name, std::move(terms));
+  }
+  return m;
+}
+
+std::vector<uint8_t> EncodeSetRequest(const SetRequest& m) {
+  Writer w;
+  w.U32(static_cast<uint32_t>(m.options.size()));
+  for (const auto& [key, value] : m.options) {
+    w.Str(key);
+    w.I64(value);
+  }
+  return w.Take();
+}
+
+base::Result<SetRequest> DecodeSetRequest(const std::vector<uint8_t>& p) {
+  Reader r(p);
+  SetRequest m;
+  uint32_t n = 0;
+  if (!r.U32(&n)) return Malformed("SET");
+  m.options.reserve(std::min<size_t>(n, r.remaining() / 12 + 1));
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string key;
+    int64_t value = 0;
+    if (!r.Str(&key) || !r.I64(&value)) return Malformed("SET");
+    m.options.emplace_back(std::move(key), value);
+  }
+  return m;
+}
+
+std::vector<uint8_t> EncodeSetReply(const SetReply& m) {
+  Writer w;
+  w.U64(m.num_shards);
+  w.I64(m.num_threads);
+  w.U8(m.morsel_joins ? 1 : 0);
+  w.U8(m.fuse_aggregates ? 1 : 0);
+  return w.Take();
+}
+
+base::Result<SetReply> DecodeSetReply(const std::vector<uint8_t>& p) {
+  Reader r(p);
+  SetReply m;
+  uint8_t morsel = 0;
+  uint8_t fuse = 0;
+  if (!r.U64(&m.num_shards) || !r.I64(&m.num_threads) || !r.U8(&morsel) ||
+      !r.U8(&fuse)) {
+    return Malformed("SET reply");
+  }
+  m.morsel_joins = morsel != 0;
+  m.fuse_aggregates = fuse != 0;
+  return m;
+}
+
+std::vector<uint8_t> EncodeResultReply(const moa::EvalOutput& out) {
+  Writer w;
+  w.U8(out.is_scalar ? 1 : 0);
+  if (out.is_scalar) {
+    monet::EncodeValue(out.scalar, w.buffer());
+  } else {
+    // An absent BAT (defensive; engines always set one) ships as an
+    // empty int table.
+    if (out.bat == nullptr) {
+      monet::EncodeBat(
+          monet::Bat::Empty(monet::ValueType::kVoid, monet::ValueType::kInt),
+          w.buffer());
+    } else {
+      monet::EncodeBat(*out.bat, w.buffer());
+    }
+  }
+  return w.Take();
+}
+
+base::Result<ResultReply> DecodeResultReply(const std::vector<uint8_t>& p) {
+  Reader r(p);
+  ResultReply m;
+  uint8_t is_scalar = 0;
+  if (!r.U8(&is_scalar)) return Malformed("RESULT");
+  m.is_scalar = is_scalar != 0;
+  if (m.is_scalar) {
+    auto v = monet::DecodeValue(r.buf(), r.pos());
+    if (!v.ok()) return v.status();
+    m.scalar = v.TakeValue();
+  } else {
+    auto bat = monet::DecodeBat(r.buf(), r.pos());
+    if (!bat.ok()) return bat.status();
+    m.bat = std::make_shared<const monet::Bat>(bat.TakeValue());
+  }
+  return m;
+}
+
+std::vector<uint8_t> EncodeError(const base::Status& status) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(status.code()));
+  w.Str(status.message());
+  return w.Take();
+}
+
+base::Status DecodeError(const std::vector<uint8_t>& p) {
+  Reader r(p);
+  uint8_t code = 0;
+  std::string message;
+  if (!r.U8(&code) || !r.Str(&message)) return Malformed("ERROR");
+  // An error frame must decode to an error: an out-of-range or OK code
+  // (corrupt or future peer) degrades to Internal rather than "success".
+  if (code == 0 || code > static_cast<uint8_t>(base::StatusCode::kIoError)) {
+    return base::Status::Internal(std::move(message));
+  }
+  return base::Status(static_cast<base::StatusCode>(code),
+                      std::move(message));
+}
+
+std::vector<uint8_t> EncodeStatsReply(const StatsReply& m) {
+  Writer w;
+  w.U64(m.server.frames_in);
+  w.U64(m.server.frames_out);
+  w.U64(m.server.bytes_in);
+  w.U64(m.server.bytes_out);
+  w.U64(m.server.requests);
+  w.U64(m.server.errors);
+  w.U64(m.server.coalesced_requests);
+  w.U64(m.server.sessions_opened);
+  w.U64(m.server.sessions_closed);
+  w.U64(m.server.load_generation);
+  w.U32(static_cast<uint32_t>(m.sessions.size()));
+  for (const SessionStatsEntry& s : m.sessions) {
+    w.U64(s.session_id);
+    w.Str(s.client_name);
+    w.U64(s.requests);
+    w.U64(s.errors);
+    w.U64(s.plan_cache_size);
+    w.U64(s.plan_cache_hits);
+    w.U64(s.plan_cache_lookups);
+    std::vector<uint8_t> options = EncodeSetReply(s.options);
+    w.buffer()->insert(w.buffer()->end(), options.begin(), options.end());
+  }
+  return w.Take();
+}
+
+base::Result<StatsReply> DecodeStatsReply(const std::vector<uint8_t>& p) {
+  Reader r(p);
+  StatsReply m;
+  uint32_t num_sessions = 0;
+  if (!r.U64(&m.server.frames_in) || !r.U64(&m.server.frames_out) ||
+      !r.U64(&m.server.bytes_in) || !r.U64(&m.server.bytes_out) ||
+      !r.U64(&m.server.requests) || !r.U64(&m.server.errors) ||
+      !r.U64(&m.server.coalesced_requests) ||
+      !r.U64(&m.server.sessions_opened) ||
+      !r.U64(&m.server.sessions_closed) ||
+      !r.U64(&m.server.load_generation) || !r.U32(&num_sessions)) {
+    return Malformed("STATS reply");
+  }
+  m.sessions.reserve(
+      std::min<size_t>(num_sessions, r.remaining() / 70 + 1));
+  for (uint32_t i = 0; i < num_sessions; ++i) {
+    SessionStatsEntry s;
+    uint8_t morsel = 0;
+    uint8_t fuse = 0;
+    if (!r.U64(&s.session_id) || !r.Str(&s.client_name) ||
+        !r.U64(&s.requests) || !r.U64(&s.errors) ||
+        !r.U64(&s.plan_cache_size) || !r.U64(&s.plan_cache_hits) ||
+        !r.U64(&s.plan_cache_lookups) || !r.U64(&s.options.num_shards) ||
+        !r.I64(&s.options.num_threads) || !r.U8(&morsel) || !r.U8(&fuse)) {
+      return Malformed("STATS reply");
+    }
+    s.options.morsel_joins = morsel != 0;
+    s.options.fuse_aggregates = fuse != 0;
+    m.sessions.push_back(std::move(s));
+  }
+  return m;
+}
+
+}  // namespace mirror::daemon::wire

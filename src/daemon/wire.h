@@ -1,0 +1,232 @@
+#ifndef MIRROR_DAEMON_WIRE_H_
+#define MIRROR_DAEMON_WIRE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "moa/naive_eval.h"
+#include "moa/query_context.h"
+
+namespace mirror::daemon::wire {
+
+// ---------------------------------------------------------------------------
+// Transport: a blocking, bidirectional byte stream. The query server and
+// the wire client are written against this interface only, so the same
+// request loop serves the deterministic in-process ByteChannel pair used
+// by tests and the POSIX TCP listener used by real deployments.
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Blocking read of up to `n` bytes into `buf`. Returns the number of
+  /// bytes read; 0 means the peer closed cleanly (EOF). Errors (reset,
+  /// local Close() during a blocked read) come back as a Status.
+  virtual base::Result<size_t> Read(uint8_t* buf, size_t n) = 0;
+
+  /// Writes all `n` bytes or fails.
+  virtual base::Status Write(const uint8_t* buf, size_t n) = 0;
+
+  /// Shuts the stream down in both directions. Safe to call from another
+  /// thread while a Read() blocks (the read unblocks with EOF), and safe
+  /// to call twice.
+  virtual void Close() = 0;
+};
+
+/// An in-process duplex pipe: two Transport endpoints connected back to
+/// back through a pair of byte queues. Deterministic (no sockets, no
+/// ports) — the transport under the daemon tests and benchmarks. Either
+/// endpoint may outlive the other; closing one side EOFs the peer.
+std::pair<std::unique_ptr<Transport>, std::unique_ptr<Transport>>
+CreateChannelPair();
+
+/// POSIX TCP client connection to `host:port`.
+base::Result<std::unique_ptr<Transport>> TcpConnect(const std::string& host,
+                                                    int port);
+
+/// POSIX TCP listening socket (loopback by default). Port 0 binds an
+/// ephemeral port; `port()` reports the bound one.
+class TcpListener {
+ public:
+  virtual ~TcpListener() = default;
+
+  /// Blocks until a client connects; Close() unblocks with an error.
+  virtual base::Result<std::unique_ptr<Transport>> Accept() = 0;
+
+  /// Stops listening; a blocked Accept() fails.
+  virtual void Close() = 0;
+
+  virtual int port() const = 0;
+};
+
+base::Result<std::unique_ptr<TcpListener>> TcpListen(int port);
+
+// ---------------------------------------------------------------------------
+// Frames. Every message on the wire is one length-prefixed frame:
+//
+//   +------+----------------+-----------------------+
+//   | type | payload length |   payload bytes       |
+//   | u8   | u32 LE         |   (length bytes)      |
+//   +------+----------------+-----------------------+
+//
+// Requests (client -> server): HELLO opens the session, QUERY runs one
+// Moa query, SET overrides per-session ExecOptions, STATS snapshots the
+// server counters, CLOSE ends the session. Replies (server -> client):
+// each request type has an ack/result frame; failures of any request
+// produce an ERROR frame carrying the Status, and the connection stays
+// usable (only transport-level corruption — an unreadable header or a
+// truncated payload — drops the connection).
+
+enum class FrameType : uint8_t {
+  // Requests.
+  kHello = 0x01,
+  kQuery = 0x02,
+  kSet = 0x03,
+  kStats = 0x04,
+  kClose = 0x05,
+  // Replies.
+  kHelloOk = 0x11,
+  kResult = 0x12,
+  kSetOk = 0x13,
+  kStatsResult = 0x14,
+  kCloseOk = 0x15,
+  kError = 0x1f,
+};
+
+/// Frames larger than this are rejected as malformed before any
+/// allocation happens (a corrupted length prefix must not look like a
+/// 4 GB request).
+constexpr uint32_t kMaxFramePayload = 1u << 28;  // 256 MiB
+
+/// Protocol revision, negotiated in HELLO.
+constexpr uint32_t kProtocolVersion = 1;
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<uint8_t> payload;
+};
+
+/// Writes one frame (header + payload) to the transport.
+base::Status WriteFrame(Transport* t, FrameType type,
+                        const std::vector<uint8_t>& payload);
+
+/// Reads one frame. Clean EOF before the first header byte returns
+/// NotFound (the request loop's normal end); EOF mid-frame returns
+/// IoError ("truncated frame"), an oversized or unknown-type header
+/// returns ParseError.
+base::Result<Frame> ReadFrame(Transport* t);
+
+// ---------------------------------------------------------------------------
+// Payload codecs. Primitive encodings: u8/u32/u64/i64 little-endian,
+// f64 as raw IEEE bits, strings as u32 length + bytes. Result tables use
+// monet/bat_io.h (representation-exact BAT marshalling).
+
+struct HelloRequest {
+  std::string client_name;
+  uint32_t protocol_version = kProtocolVersion;
+};
+
+struct HelloReply {
+  uint64_t session_id = 0;
+  std::string server_name;
+  uint32_t protocol_version = kProtocolVersion;
+};
+
+struct QueryRequest {
+  std::string text;              // Moa surface syntax
+  moa::QueryContext bindings;    // #wsum term bindings
+};
+
+/// SET: integer-valued per-session execution overrides, applied to the
+/// session's ExecOptions (booleans are 0/1). Known keys: "num_shards",
+/// "num_threads", "morsel_joins", "fuse_aggregates".
+struct SetRequest {
+  std::vector<std::pair<std::string, int64_t>> options;
+};
+
+/// SET ack echoes the session's effective overrides, so clients (and the
+/// isolation tests) can observe exactly what their session runs with.
+struct SetReply {
+  uint64_t num_shards = 0;  // 0 = inherit the database default
+  int64_t num_threads = 0;  // 0 = auto
+  bool morsel_joins = true;
+  bool fuse_aggregates = true;
+};
+
+/// A query result: a serialized result table (element oid -> value) or a
+/// scalar, exactly mirroring moa::EvalOutput.
+struct ResultReply {
+  bool is_scalar = false;
+  monet::Value scalar;
+  monet::BatPtr bat;  // set iff !is_scalar
+};
+
+/// Server-wide wire accounting (OrbStats-style: every frame in either
+/// direction is counted and its marshalled bytes accumulated).
+struct ServerWireStats {
+  uint64_t frames_in = 0;
+  uint64_t frames_out = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t requests = 0;            // QUERY frames served
+  uint64_t errors = 0;              // ERROR frames sent
+  uint64_t coalesced_requests = 0;  // served by joining an in-flight twin
+  uint64_t sessions_opened = 0;
+  uint64_t sessions_closed = 0;
+  uint64_t load_generation = 0;     // MirrorDb reloads observed
+};
+
+/// Per-session slice of the STATS reply.
+struct SessionStatsEntry {
+  uint64_t session_id = 0;
+  std::string client_name;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  uint64_t plan_cache_size = 0;
+  uint64_t plan_cache_hits = 0;
+  uint64_t plan_cache_lookups = 0;
+  SetReply options;  // the session's effective overrides
+};
+
+struct StatsReply {
+  ServerWireStats server;
+  std::vector<SessionStatsEntry> sessions;
+};
+
+// Encoders produce a frame payload; decoders parse one and fail with
+// ParseError on any malformation (short buffer, trailing garbage is
+// tolerated for forward compatibility).
+std::vector<uint8_t> EncodeHelloRequest(const HelloRequest& m);
+base::Result<HelloRequest> DecodeHelloRequest(const std::vector<uint8_t>& p);
+
+std::vector<uint8_t> EncodeHelloReply(const HelloReply& m);
+base::Result<HelloReply> DecodeHelloReply(const std::vector<uint8_t>& p);
+
+std::vector<uint8_t> EncodeQueryRequest(const QueryRequest& m);
+base::Result<QueryRequest> DecodeQueryRequest(const std::vector<uint8_t>& p);
+
+std::vector<uint8_t> EncodeSetRequest(const SetRequest& m);
+base::Result<SetRequest> DecodeSetRequest(const std::vector<uint8_t>& p);
+
+std::vector<uint8_t> EncodeSetReply(const SetReply& m);
+base::Result<SetReply> DecodeSetReply(const std::vector<uint8_t>& p);
+
+std::vector<uint8_t> EncodeResultReply(const moa::EvalOutput& out);
+base::Result<ResultReply> DecodeResultReply(const std::vector<uint8_t>& p);
+
+std::vector<uint8_t> EncodeError(const base::Status& status);
+/// Returns the carried (always non-OK) Status; an undecodable payload
+/// yields ParseError.
+base::Status DecodeError(const std::vector<uint8_t>& p);
+
+std::vector<uint8_t> EncodeStatsReply(const StatsReply& m);
+base::Result<StatsReply> DecodeStatsReply(const std::vector<uint8_t>& p);
+
+}  // namespace mirror::daemon::wire
+
+#endif  // MIRROR_DAEMON_WIRE_H_

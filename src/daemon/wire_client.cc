@@ -1,0 +1,75 @@
+#include "daemon/wire_client.h"
+
+#include "base/str_util.h"
+
+namespace mirror::daemon::wire {
+
+base::Result<Frame> WireClient::RoundTrip(
+    FrameType type, const std::vector<uint8_t>& payload,
+    FrameType expected_reply) {
+  if (conn_ == nullptr) {
+    return base::Status::IoError("client connection is closed");
+  }
+  base::Status s = WriteFrame(conn_.get(), type, payload);
+  if (!s.ok()) return s;
+  auto reply = ReadFrame(conn_.get());
+  if (!reply.ok()) return reply.status();
+  if (reply.value().type == FrameType::kError) {
+    return DecodeError(reply.value().payload);
+  }
+  if (reply.value().type != expected_reply) {
+    return base::Status::ParseError(base::StrFormat(
+        "unexpected reply frame type 0x%02x",
+        static_cast<unsigned>(reply.value().type)));
+  }
+  return reply;
+}
+
+base::Result<HelloReply> WireClient::Hello(const std::string& client_name) {
+  HelloRequest req;
+  req.client_name = client_name;
+  auto reply = RoundTrip(FrameType::kHello, EncodeHelloRequest(req),
+                         FrameType::kHelloOk);
+  if (!reply.ok()) return reply.status();
+  auto decoded = DecodeHelloReply(reply.value().payload);
+  if (decoded.ok()) session_id_ = decoded.value().session_id;
+  return decoded;
+}
+
+base::Result<ResultReply> WireClient::Query(
+    const std::string& text, const moa::QueryContext& bindings) {
+  QueryRequest req;
+  req.text = text;
+  req.bindings = bindings;
+  auto reply = RoundTrip(FrameType::kQuery, EncodeQueryRequest(req),
+                         FrameType::kResult);
+  if (!reply.ok()) return reply.status();
+  return DecodeResultReply(reply.value().payload);
+}
+
+base::Result<SetReply> WireClient::Set(
+    const std::vector<std::pair<std::string, int64_t>>& options) {
+  SetRequest req;
+  req.options = options;
+  auto reply =
+      RoundTrip(FrameType::kSet, EncodeSetRequest(req), FrameType::kSetOk);
+  if (!reply.ok()) return reply.status();
+  return DecodeSetReply(reply.value().payload);
+}
+
+base::Result<StatsReply> WireClient::Stats() {
+  auto reply = RoundTrip(FrameType::kStats, {}, FrameType::kStatsResult);
+  if (!reply.ok()) return reply.status();
+  return DecodeStatsReply(reply.value().payload);
+}
+
+base::Status WireClient::Close() {
+  auto reply = RoundTrip(FrameType::kClose, {}, FrameType::kCloseOk);
+  if (conn_ != nullptr) {
+    conn_->Close();
+    conn_.reset();
+  }
+  return reply.ok() ? base::Status::Ok() : reply.status();
+}
+
+}  // namespace mirror::daemon::wire

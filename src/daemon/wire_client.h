@@ -1,0 +1,64 @@
+#ifndef MIRROR_DAEMON_WIRE_CLIENT_H_
+#define MIRROR_DAEMON_WIRE_CLIENT_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "daemon/wire.h"
+
+namespace mirror::daemon::wire {
+
+/// A synchronous client of the query-serving daemon: one connection, one
+/// session, one request in flight at a time (the protocol is strictly
+/// request/reply per connection; open more clients for concurrency —
+/// that is exactly what the multi-client tests and the E4 bench do).
+///
+/// Every call sends one request frame and blocks for the matching reply.
+/// An ERROR reply surfaces as the carried Status; transport failures
+/// surface as IoError. The destructor closes the transport without the
+/// CLOSE handshake; call Close() for a clean goodbye.
+class WireClient {
+ public:
+  explicit WireClient(std::unique_ptr<Transport> conn)
+      : conn_(std::move(conn)) {}
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// Opens the session. Must be the first call.
+  base::Result<HelloReply> Hello(const std::string& client_name);
+
+  /// Runs one Moa query with the given bindings; returns the decoded
+  /// result table or scalar.
+  base::Result<ResultReply> Query(const std::string& text,
+                                  const moa::QueryContext& bindings);
+
+  /// Applies per-session execution overrides; returns the session's
+  /// effective overrides after the change.
+  base::Result<SetReply> Set(
+      const std::vector<std::pair<std::string, int64_t>>& options);
+
+  /// Snapshots server + per-session statistics.
+  base::Result<StatsReply> Stats();
+
+  /// Clean shutdown: CLOSE handshake, then transport close.
+  base::Status Close();
+
+  uint64_t session_id() const { return session_id_; }
+
+ private:
+  /// Sends `type` with `payload`, reads one reply frame, maps ERROR
+  /// replies to their Status, and checks the reply type.
+  base::Result<Frame> RoundTrip(FrameType type,
+                                const std::vector<uint8_t>& payload,
+                                FrameType expected_reply);
+
+  std::unique_ptr<Transport> conn_;
+  uint64_t session_id_ = 0;
+};
+
+}  // namespace mirror::daemon::wire
+
+#endif  // MIRROR_DAEMON_WIRE_CLIENT_H_

@@ -1,5 +1,7 @@
 #include "mirror/mirror_db.h"
 
+#include "base/str_util.h"
+
 namespace mirror::db {
 
 namespace mil = monet::mil;
@@ -13,7 +15,11 @@ std::string PlanKey(const std::string& query_text,
                     const moa::QueryContext& ctx,
                     const QueryOptions& options) {
   std::string key = options.optimize ? "plan:O1:" : "plan:O0:";
-  key += mil::ExecutionContext::NormalizeText(query_text);
+  // Length-prefix the text so no query spelling can make two different
+  // (text, bindings) pairs render to one key.
+  std::string normalized = mil::ExecutionContext::NormalizeText(query_text);
+  key += base::StrFormat("%zu:", normalized.size());
+  key += normalized;
   key += "|";
   key += ctx.CacheKey();
   return key;
@@ -25,6 +31,7 @@ base::Status MirrorDb::Load(const std::string& set_name,
                             std::vector<moa::MoaValue> objects) {
   base::Status status = logical_.Load(set_name, std::move(objects));
   if (!status.ok()) return status;
+  load_generation_.fetch_add(1, std::memory_order_relaxed);
   // New contents invalidate every compiled plan that names this database:
   // notify live sessions so their next query re-flattens.
   std::lock_guard<std::mutex> lock(sessions_mu_);

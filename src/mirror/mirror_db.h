@@ -1,6 +1,7 @@
 #ifndef MIRROR_MIRROR_MIRROR_DB_H_
 #define MIRROR_MIRROR_MIRROR_DB_H_
 
+#include <atomic>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -75,6 +76,13 @@ class MirrorDb {
   /// Shard count applied to queries that don't pin one (0 = unsharded).
   size_t default_shard_count() const { return default_shards_; }
 
+  /// Monotone counter of successful (Load/LoadSharded) reloads. The
+  /// query daemon reports it in STATS so clients can observe that a
+  /// reload invalidated every live session's plans.
+  uint64_t load_generation() const {
+    return load_generation_.load(std::memory_order_relaxed);
+  }
+
   /// Registers a live session for plan-cache invalidation on Load. The
   /// session must outlive the registration (unregister before destroying
   /// it). Registering the same session twice is a no-op.
@@ -126,6 +134,8 @@ class MirrorDb {
   /// Default shard count for queries that inherit (exec.num_shards == 0);
   /// set by LoadSharded, 0 means unsharded.
   size_t default_shards_ = 0;
+  /// Successful reload count (see load_generation()).
+  std::atomic<uint64_t> load_generation_{0};
   /// Sessions notified on Load. Guarded by sessions_mu_; mutable so
   /// sessions can attach to a const-held database (registration does not
   /// change logical contents).

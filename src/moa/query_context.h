@@ -36,6 +36,12 @@ class QueryContext {
     Bind(name, std::move(weighted));
   }
 
+  /// All bindings, name-ordered. Marshalling (daemon/wire.h) and
+  /// diagnostics iterate this; queries use Find().
+  const std::map<std::string, std::vector<WeightedTerm>>& bindings() const {
+    return bindings_;
+  }
+
   /// Looks up a binding, or nullptr.
   const std::vector<WeightedTerm>* Find(const std::string& name) const {
     auto it = bindings_.find(name);

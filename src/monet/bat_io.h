@@ -1,0 +1,49 @@
+#ifndef MIRROR_MONET_BAT_IO_H_
+#define MIRROR_MONET_BAT_IO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/status.h"
+#include "monet/bat.h"
+#include "monet/value.h"
+
+namespace mirror::monet {
+
+/// In-memory binary serialization of columns, BATs and boxed Values: the
+/// marshalling layer behind the daemon's result frames (daemon/wire.h).
+///
+/// The encoding is representation-exact, not merely value-preserving:
+/// void bases, oid/int/dbl payloads and string heaps round-trip without
+/// re-boxing (string columns ship the interned heap buffer plus the raw
+/// offset vector), so a decoded result table is bit-identical to the BAT
+/// the engine produced — the property the server's equivalence tests
+/// check against direct MirrorDb execution. Numeric payloads are copied
+/// as raw host-endian words, the same convention as the catalog's
+/// on-disk persistence (catalog.cc): this is a same-architecture wire,
+/// not an interchange format.
+
+/// Appends the encoding of `c` to `out`.
+void EncodeColumn(const Column& c, std::vector<uint8_t>* out);
+
+/// Decodes one column starting at `*pos`, advancing `*pos` past it.
+base::Result<Column> DecodeColumn(const std::vector<uint8_t>& buf,
+                                  size_t* pos);
+
+/// Appends the encoding of `bat` (head column, then tail column).
+void EncodeBat(const Bat& bat, std::vector<uint8_t>* out);
+
+/// Decodes one BAT starting at `*pos`, advancing `*pos` past it.
+base::Result<Bat> DecodeBat(const std::vector<uint8_t>& buf, size_t* pos);
+
+/// Appends the encoding of a boxed scalar (type tag + payload; doubles
+/// as raw IEEE bits so NaNs and signed zeros survive).
+void EncodeValue(const Value& v, std::vector<uint8_t>* out);
+
+/// Decodes one boxed scalar starting at `*pos`, advancing `*pos`.
+base::Result<Value> DecodeValue(const std::vector<uint8_t>& buf,
+                                size_t* pos);
+
+}  // namespace mirror::monet
+
+#endif  // MIRROR_MONET_BAT_IO_H_

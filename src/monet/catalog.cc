@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "base/str_util.h"
+#include "monet/bat_io.h"
 
 namespace mirror::monet {
 
@@ -13,110 +14,9 @@ namespace {
 
 constexpr char kMagic[8] = {'M', 'B', 'A', 'T', '0', '0', '1', '\n'};
 
-template <typename T>
-void WritePod(std::ofstream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-
-template <typename T>
-bool ReadPod(std::ifstream& in, T* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(T));
-  return in.good();
-}
-
-template <typename T>
-void WriteVec(std::ofstream& out, const std::vector<T>& v) {
-  WritePod<uint64_t>(out, v.size());
-  out.write(reinterpret_cast<const char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(T)));
-}
-
-template <typename T>
-bool ReadVec(std::ifstream& in, std::vector<T>* v) {
-  uint64_t n = 0;
-  if (!ReadPod(in, &n)) return false;
-  v->resize(n);
-  in.read(reinterpret_cast<char*>(v->data()),
-          static_cast<std::streamsize>(n * sizeof(T)));
-  return in.good() || (n == 0 && in.eof() == false) || in.gcount() == 0;
-}
-
-void WriteColumn(std::ofstream& out, const Column& c) {
-  WritePod<uint8_t>(out, static_cast<uint8_t>(c.type()));
-  WritePod<uint64_t>(out, c.size());
-  switch (c.type()) {
-    case ValueType::kVoid:
-      WritePod<uint64_t>(out, c.void_base());
-      break;
-    case ValueType::kOid:
-      WriteVec(out, c.oids());
-      break;
-    case ValueType::kInt:
-      WriteVec(out, c.ints());
-      break;
-    case ValueType::kDbl:
-      WriteVec(out, c.dbls());
-      break;
-    case ValueType::kStr: {
-      const std::string& buf = c.heap()->buffer();
-      WritePod<uint64_t>(out, buf.size());
-      out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
-      WriteVec(out, c.str_offsets());
-      break;
-    }
-  }
-}
-
-base::Result<Column> ReadColumn(std::ifstream& in) {
-  uint8_t type_byte = 0;
-  uint64_t n = 0;
-  if (!ReadPod(in, &type_byte) || !ReadPod(in, &n)) {
-    return base::Status::IoError("truncated column header");
-  }
-  switch (static_cast<ValueType>(type_byte)) {
-    case ValueType::kVoid: {
-      uint64_t base = 0;
-      if (!ReadPod(in, &base)) {
-        return base::Status::IoError("truncated void column");
-      }
-      return Column::MakeVoid(base, n);
-    }
-    case ValueType::kOid: {
-      std::vector<Oid> v;
-      if (!ReadVec(in, &v)) return base::Status::IoError("truncated oids");
-      return Column::MakeOids(std::move(v));
-    }
-    case ValueType::kInt: {
-      std::vector<int64_t> v;
-      if (!ReadVec(in, &v)) return base::Status::IoError("truncated ints");
-      return Column::MakeInts(std::move(v));
-    }
-    case ValueType::kDbl: {
-      std::vector<double> v;
-      if (!ReadVec(in, &v)) return base::Status::IoError("truncated dbls");
-      return Column::MakeDbls(std::move(v));
-    }
-    case ValueType::kStr: {
-      uint64_t buf_size = 0;
-      if (!ReadPod(in, &buf_size)) {
-        return base::Status::IoError("truncated str heap header");
-      }
-      std::string buf(buf_size, '\0');
-      in.read(buf.data(), static_cast<std::streamsize>(buf_size));
-      if (!in.good() && buf_size > 0) {
-        return base::Status::IoError("truncated str heap");
-      }
-      std::vector<uint32_t> offsets;
-      if (!ReadVec(in, &offsets)) {
-        return base::Status::IoError("truncated str offsets");
-      }
-      auto heap =
-          std::make_shared<StringHeap>(StringHeap::FromBuffer(std::move(buf)));
-      return Column::MakeStrsShared(std::move(heap), std::move(offsets));
-    }
-  }
-  return base::Status::IoError("unknown column type byte");
-}
+// The on-disk column layout IS the wire layout: both delegate to
+// monet/bat_io.h, so persistence and the daemon's result frames cannot
+// drift apart.
 
 }  // namespace
 
@@ -174,8 +74,10 @@ base::Status Catalog::SaveTo(const std::string& dir) const {
     std::ofstream out(dir + "/" + file, std::ios::binary);
     if (!out) return base::Status::IoError("cannot write " + file);
     out.write(kMagic, sizeof(kMagic));
-    WriteColumn(out, bat->head());
-    WriteColumn(out, bat->tail());
+    std::vector<uint8_t> blob;
+    EncodeBat(*bat, &blob);
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
     if (!out.good()) return base::Status::IoError("write failed: " + file);
   }
   return base::Status::Ok();
@@ -196,17 +98,24 @@ base::Status Catalog::LoadFrom(const std::string& dir) {
     std::string file = line.substr(tab + 1);
     std::ifstream in(dir + "/" + file, std::ios::binary);
     if (!in) return base::Status::IoError("cannot open " + file);
-    char magic[sizeof(kMagic)];
-    in.read(magic, sizeof(magic));
-    if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    std::error_code size_ec;
+    uintmax_t file_size =
+        std::filesystem::file_size(dir + "/" + file, size_ec);
+    if (size_ec) return base::Status::IoError("cannot stat " + file);
+    std::vector<uint8_t> blob(static_cast<size_t>(file_size));
+    in.read(reinterpret_cast<char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+    if (in.gcount() != static_cast<std::streamsize>(blob.size())) {
+      return base::Status::IoError("short read in " + file);
+    }
+    if (blob.size() < sizeof(kMagic) ||
+        std::memcmp(blob.data(), kMagic, sizeof(kMagic)) != 0) {
       return base::Status::ParseError("bad magic in " + file);
     }
-    auto head = ReadColumn(in);
-    if (!head.ok()) return head.status();
-    auto tail = ReadColumn(in);
-    if (!tail.ok()) return tail.status();
-    loaded.emplace(name, std::make_shared<const Bat>(
-                             Bat(head.TakeValue(), tail.TakeValue())));
+    size_t pos = sizeof(kMagic);
+    auto bat = DecodeBat(blob, &pos);
+    if (!bat.ok()) return bat.status();
+    loaded.emplace(name, std::make_shared<const Bat>(bat.TakeValue()));
   }
   bats_ = std::move(loaded);
   DropShardCache();

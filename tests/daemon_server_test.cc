@@ -1,0 +1,777 @@
+// Tests of the query-serving daemon: the framed wire protocol, the
+// session manager, and the concurrent multi-client request loop
+// (daemon/wire.h, daemon/query_server.h). The core property throughout:
+// a result that crossed the wire is bit-identical to direct MirrorDb
+// execution.
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "daemon/query_server.h"
+#include "daemon/wire.h"
+#include "daemon/wire_client.h"
+#include "mirror/mirror_db.h"
+#include "monet/bat_io.h"
+#include "monet/profiler.h"
+
+namespace mirror::daemon {
+namespace {
+
+namespace wire = mirror::daemon::wire;
+
+constexpr int kCatalogRows = 40000;
+constexpr int kLibDocs = 1500;
+
+constexpr const char* kWords[] = {"sun",  "sea",   "sky",  "rock", "tree",
+                                  "bird", "sand",  "wave", "moss", "dune",
+                                  "reef", "palm",  "surf", "cliff", "cloud"};
+
+/// Loads the shared workload: a 40k-row atomic catalog (selection/agg
+/// queries) and a small annotated library (ranking queries).
+void BuildDb(db::MirrorDb* database, uint64_t seed, int catalog_rows) {
+  base::Rng rng(seed);
+  ASSERT_TRUE(database
+                  ->Define("define Cat as SET<TUPLE<Atomic<URL>: u, "
+                           "Atomic<int>: year, Atomic<int>: rating, "
+                           "Atomic<int>: ref>>;")
+                  .ok());
+  std::vector<moa::MoaValue> rows;
+  rows.reserve(static_cast<size_t>(catalog_rows));
+  for (int i = 0; i < catalog_rows; ++i) {
+    rows.push_back(moa::MoaValue::Tuple(
+        {moa::MoaValue::Str("u" + std::to_string(i)),
+         moa::MoaValue::Int(rng.UniformInt(1970, 2025)),
+         moa::MoaValue::Int(rng.UniformInt(0, 1000)),
+         moa::MoaValue::Int(rng.UniformInt(0, catalog_rows - 1))}));
+  }
+  ASSERT_TRUE(database->Load("Cat", std::move(rows)).ok());
+
+  ASSERT_TRUE(database
+                  ->Define("define Lib as SET<TUPLE<Atomic<URL>: u, "
+                           "Atomic<int>: year, CONTREP<Text>: doc>>;")
+                  .ok());
+  std::vector<moa::MoaValue> docs;
+  docs.reserve(static_cast<size_t>(kLibDocs));
+  for (int i = 0; i < kLibDocs; ++i) {
+    std::vector<std::string> terms;
+    int len = 3 + static_cast<int>(rng.Uniform(10));
+    for (int t = 0; t < len; ++t) {
+      terms.push_back(kWords[rng.Uniform(std::size(kWords))]);
+    }
+    docs.push_back(moa::MoaValue::Tuple(
+        {moa::MoaValue::Str("d" + std::to_string(i)),
+         moa::MoaValue::Int(rng.UniformInt(1970, 2025)),
+         moa::MoaValue::ContRep(terms)}));
+  }
+  ASSERT_TRUE(database->Load("Lib", std::move(docs)).ok());
+}
+
+/// The shared read-only database. Tests that Load() into a database use
+/// their own instance.
+db::MirrorDb* SharedDb() {
+  static db::MirrorDb* database = [] {
+    auto* d = new db::MirrorDb();
+    BuildDb(d, /*seed=*/42, kCatalogRows);
+    return d;
+  }();
+  return database;
+}
+
+/// Bitwise double equality (not epsilon: the daemon must not perturb
+/// results, down to NaN payloads and signed zeros).
+bool SameBits(double a, double b) {
+  uint64_t ua = 0;
+  uint64_t ub = 0;
+  std::memcpy(&ua, &a, sizeof(double));
+  std::memcpy(&ub, &b, sizeof(double));
+  return ua == ub;
+}
+
+/// Bit-exact comparison of a wire result against direct execution.
+void ExpectResultIdentical(const wire::ResultReply& wire_result,
+                           const moa::EvalOutput& direct) {
+  ASSERT_EQ(wire_result.is_scalar, direct.is_scalar);
+  if (direct.is_scalar) {
+    ASSERT_EQ(wire_result.scalar.type(), direct.scalar.type());
+    if (direct.scalar.type() == monet::ValueType::kDbl) {
+      EXPECT_TRUE(SameBits(wire_result.scalar.d(), direct.scalar.d()));
+    } else {
+      EXPECT_TRUE(wire_result.scalar == direct.scalar);
+    }
+    return;
+  }
+  ASSERT_TRUE(wire_result.bat != nullptr);
+  ASSERT_TRUE(direct.bat != nullptr);
+  ASSERT_EQ(wire_result.bat->size(), direct.bat->size());
+  ASSERT_EQ(wire_result.bat->head().type(), direct.bat->head().type());
+  ASSERT_EQ(wire_result.bat->tail().type(), direct.bat->tail().type());
+  for (size_t i = 0; i < direct.bat->size(); ++i) {
+    auto [wh, wt] = wire_result.bat->Row(i);
+    auto [dh, dt] = direct.bat->Row(i);
+    ASSERT_TRUE(wh == dh) << "head mismatch at row " << i;
+    if (dt.type() == monet::ValueType::kDbl) {
+      ASSERT_TRUE(SameBits(wt.d(), dt.d()))
+          << "tail bits differ at row " << i;
+    } else {
+      ASSERT_TRUE(wt == dt) << "tail mismatch at row " << i;
+    }
+  }
+}
+
+/// Waits until `pred` holds or ~2 s elapse.
+template <typename Pred>
+bool EventuallyTrue(Pred pred) {
+  for (int i = 0; i < 2000; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec units.
+
+TEST(WireCodecTest, BatRoundTripIsRepresentationExact) {
+  std::vector<std::string> strs = {"cat", "dog", "cat", "", "zebra"};
+  monet::Bat bat(monet::Column::MakeVoid(100, 5),
+                 monet::Column::MakeStrs(strs));
+  std::vector<uint8_t> buf;
+  monet::EncodeBat(bat, &buf);
+  size_t pos = 0;
+  auto decoded = monet::DecodeBat(buf, &pos);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(pos, buf.size());
+  ASSERT_EQ(decoded.value().size(), bat.size());
+  EXPECT_TRUE(decoded.value().head().is_void());
+  EXPECT_EQ(decoded.value().head().void_base(), 100u);
+  for (size_t i = 0; i < bat.size(); ++i) {
+    EXPECT_EQ(decoded.value().tail().StrAt(i), strs[i]);
+    // Interning survives the wire: equal strings keep equal offsets.
+    EXPECT_EQ(decoded.value().tail().StrOffsetAt(i),
+              bat.tail().StrOffsetAt(i));
+  }
+}
+
+TEST(WireCodecTest, TruncatedBatFailsCleanly) {
+  monet::Bat bat = monet::Bat::DenseDbls({1.5, -2.25, 1e300}, 7);
+  std::vector<uint8_t> buf;
+  monet::EncodeBat(bat, &buf);
+  for (size_t cut = 0; cut < buf.size(); cut += 3) {
+    std::vector<uint8_t> trunc(buf.begin(),
+                               buf.begin() + static_cast<ptrdiff_t>(cut));
+    size_t pos = 0;
+    auto decoded = monet::DecodeBat(trunc, &pos);
+    EXPECT_FALSE(decoded.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(WireCodecTest, QueryRequestRoundTripsBindings) {
+  wire::QueryRequest req;
+  req.text = "map[sum(THIS)](map[getBL(THIS.doc, q, stats)](Lib));";
+  req.bindings.Bind("q", {{"sunset", 2.0}, {"beach", 0.5}});
+  req.bindings.BindTerms("r", {"wave"});
+  auto decoded = wire::DecodeQueryRequest(wire::EncodeQueryRequest(req));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().text, req.text);
+  EXPECT_EQ(decoded.value().bindings.CacheKey(), req.bindings.CacheKey());
+}
+
+TEST(WireCodecTest, ErrorFrameCarriesStatus) {
+  base::Status status = base::Status::ParseError("bad query near ';'");
+  base::Status decoded = wire::DecodeError(wire::EncodeError(status));
+  EXPECT_EQ(decoded.code(), status.code());
+  EXPECT_EQ(decoded.message(), status.message());
+}
+
+TEST(WireCodecTest, MalformedPayloadsAreParseErrors) {
+  std::vector<uint8_t> garbage = {0xde, 0xad};
+  EXPECT_FALSE(wire::DecodeQueryRequest(garbage).ok());
+  EXPECT_FALSE(wire::DecodeHelloRequest(garbage).ok());
+  EXPECT_FALSE(wire::DecodeStatsReply(garbage).ok());
+  EXPECT_FALSE(wire::DecodeResultReply(garbage).ok());
+}
+
+// ---------------------------------------------------------------------------
+// ByteChannel transport.
+
+TEST(ByteChannelTest, FramesCrossTheChannelAndCloseEofsPeer) {
+  auto [a, b] = wire::CreateChannelPair();
+  std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(wire::WriteFrame(a.get(), wire::FrameType::kQuery, payload)
+                  .ok());
+  auto frame = wire::ReadFrame(b.get());
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame.value().type, wire::FrameType::kQuery);
+  EXPECT_EQ(frame.value().payload, payload);
+
+  a->Close();
+  auto eof = wire::ReadFrame(b.get());
+  ASSERT_FALSE(eof.ok());
+  EXPECT_EQ(eof.status().code(), base::StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Server round trips.
+
+TEST(QueryServerTest, HelloQueryCloseRoundTrip) {
+  db::MirrorDb* database = SharedDb();
+  QueryServer server(database);
+  auto [client_end, server_end] = wire::CreateChannelPair();
+  server.Serve(std::move(server_end));
+
+  wire::WireClient client(std::move(client_end));
+  auto hello = client.Hello("roundtrip");
+  ASSERT_TRUE(hello.ok()) << hello.status().ToString();
+  EXPECT_GT(hello.value().session_id, 0u);
+  EXPECT_EQ(hello.value().server_name, "mirrord");
+  EXPECT_EQ(server.open_session_count(), 1u);
+  // The session's plan cache is wired into MirrorDb Load invalidation.
+  EXPECT_EQ(database->registered_session_count(), 1u);
+
+  const std::string query = "count(select[THIS.year >= 2000](Cat));";
+  moa::QueryContext ctx;
+  auto direct = database->Query(query, ctx);
+  ASSERT_TRUE(direct.ok());
+  auto result = client.Query(query, ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectResultIdentical(result.value(), direct.value());
+
+  ASSERT_TRUE(client.Close().ok());
+  EXPECT_TRUE(EventuallyTrue([&] { return server.open_session_count() == 0; }));
+  EXPECT_EQ(database->registered_session_count(), 0u);
+  server.Shutdown();
+}
+
+TEST(QueryServerTest, QueryBeforeHelloIsRejectedButConnectionSurvives) {
+  QueryServer server(SharedDb());
+  auto [client_end, server_end] = wire::CreateChannelPair();
+  server.Serve(std::move(server_end));
+
+  wire::WireClient client(std::move(client_end));
+  moa::QueryContext ctx;
+  auto premature = client.Query("count(Cat);", ctx);
+  ASSERT_FALSE(premature.ok());
+  EXPECT_EQ(premature.status().code(), base::StatusCode::kInvalidArgument);
+
+  // The same connection can still say HELLO and work.
+  ASSERT_TRUE(client.Hello("late").ok());
+  auto result = client.Query("count(select[THIS.rating >= 500](Cat));", ctx);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  server.Shutdown();
+}
+
+TEST(QueryServerTest, QueryErrorsComeBackAsErrorFramesAndSessionSurvives) {
+  QueryServer server(SharedDb());
+  auto [client_end, server_end] = wire::CreateChannelPair();
+  server.Serve(std::move(server_end));
+  wire::WireClient client(std::move(client_end));
+  ASSERT_TRUE(client.Hello("errors").ok());
+
+  moa::QueryContext ctx;
+  auto bad_parse = client.Query("select[THIS.year >>>](Cat);", ctx);
+  ASSERT_FALSE(bad_parse.ok());
+  auto bad_name = client.Query("count(NoSuchSet);", ctx);
+  ASSERT_FALSE(bad_name.ok());
+
+  auto good = client.Query("count(select[THIS.year >= 1990](Cat));", ctx);
+  EXPECT_TRUE(good.ok()) << good.status().ToString();
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats.value().sessions.size(), 1u);
+  EXPECT_EQ(stats.value().sessions[0].errors, 2u);
+  EXPECT_GE(stats.value().server.errors, 2u);
+  server.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: many sessions against one shared catalog.
+
+TEST(QueryServerTest, EightConcurrentSessionsAreBitIdenticalToDirect) {
+  db::MirrorDb* database = SharedDb();
+  QueryServer server(database);
+  constexpr int kSessions = 8;
+  constexpr int kRounds = 6;
+
+  // Per-session workload: distinct selection bounds, a map over the
+  // selection, and a ranking query with session-specific bindings — so
+  // concurrent sessions compile and execute genuinely different plans.
+  struct Workload {
+    std::vector<std::string> queries;
+    moa::QueryContext ctx;
+  };
+  std::vector<Workload> workloads(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    Workload& w = workloads[s];
+    int lo = 1975 + 3 * s;
+    int hi = 2010 + s;
+    w.queries.push_back("count(select[THIS.year >= " + std::to_string(lo) +
+                        " and THIS.year <= " + std::to_string(hi) +
+                        "](Cat));");
+    w.queries.push_back("map[THIS.rating * " + std::to_string(s + 2) +
+                        " + 1](select[THIS.year >= " + std::to_string(lo) +
+                        "](Cat));");
+    w.queries.push_back(
+        "map[sum(THIS)](map[getBL(THIS.doc, q, stats)](select[THIS.year >= " +
+        std::to_string(1970 + 5 * s) + "](Lib)));");
+    w.ctx.BindTerms("q", {kWords[s % std::size(kWords)],
+                          kWords[(s + 3) % std::size(kWords)]});
+  }
+
+  // Direct execution (no server) defines the expected bits.
+  std::vector<std::vector<moa::EvalOutput>> expected(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    for (const std::string& q : workloads[s].queries) {
+      auto direct = database->Query(q, workloads[s].ctx);
+      ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+      expected[s].push_back(direct.TakeValue());
+    }
+  }
+
+  std::vector<std::unique_ptr<wire::WireClient>> clients;
+  for (int s = 0; s < kSessions; ++s) {
+    auto [client_end, server_end] = wire::CreateChannelPair();
+    server.Serve(std::move(server_end));
+    clients.push_back(
+        std::make_unique<wire::WireClient>(std::move(client_end)));
+    ASSERT_TRUE(clients.back()->Hello("c" + std::to_string(s)).ok());
+  }
+  EXPECT_EQ(server.open_session_count(), static_cast<size_t>(kSessions));
+  EXPECT_EQ(database->registered_session_count(),
+            static_cast<size_t>(kSessions));
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kSessions; ++s) {
+    threads.emplace_back([&, s] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t qi = 0; qi < workloads[s].queries.size(); ++qi) {
+          auto result =
+              clients[s]->Query(workloads[s].queries[qi], workloads[s].ctx);
+          if (!result.ok()) {
+            ++failures;
+            return;
+          }
+          const moa::EvalOutput& want = expected[s][qi];
+          const wire::ResultReply& got = result.value();
+          if (got.is_scalar != want.is_scalar) {
+            ++failures;
+            return;
+          }
+          if (want.is_scalar) {
+            if (!SameBits(got.scalar.d(), want.scalar.d())) {
+              ++failures;
+              return;
+            }
+          } else {
+            if (got.bat->size() != want.bat->size()) {
+              ++failures;
+              return;
+            }
+            for (size_t i = 0; i < want.bat->size(); ++i) {
+              auto [gh, gt] = got.bat->Row(i);
+              auto [wh, wt] = want.bat->Row(i);
+              bool tails_equal = wt.type() == monet::ValueType::kDbl
+                                     ? SameBits(gt.d(), wt.d())
+                                     : gt == wt;
+              if (!(gh == wh) || !tails_equal) {
+                ++failures;
+                return;
+              }
+            }
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Repeated rounds hit each session's plan cache.
+  auto stats = clients[0]->Stats();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats.value().sessions.size(), static_cast<size_t>(kSessions));
+  for (const auto& entry : stats.value().sessions) {
+    EXPECT_GT(entry.plan_cache_hits, 0u) << "session " << entry.session_id;
+  }
+  for (auto& client : clients) client->Close().ok();
+  server.Shutdown();
+  EXPECT_EQ(database->registered_session_count(), 0u);
+}
+
+TEST(QueryServerTest, ConcurrentIdenticalQueriesCoalesce) {
+  db::MirrorDb* database = SharedDb();
+  QueryServer server(database);
+  constexpr int kClients = 4;
+  constexpr int kRounds = 12;
+  const std::string query =
+      "map[THIS.rating + 7](select[THIS.year >= 1980 and "
+      "THIS.year <= 2015](Cat));";
+  moa::QueryContext ctx;
+  auto direct = database->Query(query, ctx);
+  ASSERT_TRUE(direct.ok());
+
+  std::vector<std::unique_ptr<wire::WireClient>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    auto [client_end, server_end] = wire::CreateChannelPair();
+    server.Serve(std::move(server_end));
+    clients.push_back(
+        std::make_unique<wire::WireClient>(std::move(client_end)));
+    ASSERT_TRUE(clients.back()->Hello("co" + std::to_string(c)).ok());
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int r = 0; r < kRounds; ++r) {
+        auto result = clients[c]->Query(query, ctx);
+        if (!result.ok() ||
+            result.value().bat->size() != direct.value().bat->size()) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  wire::ServerWireStats stats = server.stats();
+  EXPECT_EQ(stats.requests, static_cast<uint64_t>(kClients * kRounds));
+  // With four clients hammering one identical query, some requests must
+  // have shared a leader's execution.
+  EXPECT_GT(stats.coalesced_requests, 0u);
+  server.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Malformed and truncated frames.
+
+TEST(QueryServerTest, MalformedPayloadGetsErrorFrameAndConnectionLives) {
+  QueryServer server(SharedDb());
+  auto [client_end, server_end] = wire::CreateChannelPair();
+  server.Serve(std::move(server_end));
+
+  // HELLO by hand so we can keep using the raw transport afterwards.
+  wire::HelloRequest hello;
+  hello.client_name = "raw";
+  ASSERT_TRUE(wire::WriteFrame(client_end.get(), wire::FrameType::kHello,
+                               wire::EncodeHelloRequest(hello))
+                  .ok());
+  auto hello_reply = wire::ReadFrame(client_end.get());
+  ASSERT_TRUE(hello_reply.ok());
+  ASSERT_EQ(hello_reply.value().type, wire::FrameType::kHelloOk);
+
+  // A QUERY frame whose payload is garbage: framing stays intact, so the
+  // server answers with ERROR and keeps serving.
+  ASSERT_TRUE(wire::WriteFrame(client_end.get(), wire::FrameType::kQuery,
+                               {0xff, 0x01, 0x02})
+                  .ok());
+  auto err = wire::ReadFrame(client_end.get());
+  ASSERT_TRUE(err.ok());
+  ASSERT_EQ(err.value().type, wire::FrameType::kError);
+  base::Status decoded_err = wire::DecodeError(err.value().payload);
+  EXPECT_EQ(decoded_err.code(), base::StatusCode::kParseError);
+
+  // The connection still serves valid requests.
+  wire::QueryRequest req;
+  req.text = "count(select[THIS.rating >= 100](Cat));";
+  ASSERT_TRUE(wire::WriteFrame(client_end.get(), wire::FrameType::kQuery,
+                               wire::EncodeQueryRequest(req))
+                  .ok());
+  auto result = wire::ReadFrame(client_end.get());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().type, wire::FrameType::kResult);
+  server.Shutdown();
+}
+
+TEST(QueryServerTest, UnknownFrameTypeIsReportedThenConnectionDrops) {
+  QueryServer server(SharedDb());
+  auto [client_end, server_end] = wire::CreateChannelPair();
+  server.Serve(std::move(server_end));
+
+  // An unknown type byte cannot be resynchronized: expect one ERROR
+  // frame, then EOF.
+  uint8_t bogus[5] = {0x7f, 0, 0, 0, 0};
+  ASSERT_TRUE(client_end->Write(bogus, sizeof(bogus)).ok());
+  auto err = wire::ReadFrame(client_end.get());
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err.value().type, wire::FrameType::kError);
+  auto eof = wire::ReadFrame(client_end.get());
+  ASSERT_FALSE(eof.ok());
+  EXPECT_EQ(eof.status().code(), base::StatusCode::kNotFound);
+
+  // The server itself is unharmed: a fresh connection works.
+  auto [c2, s2] = wire::CreateChannelPair();
+  server.Serve(std::move(s2));
+  wire::WireClient client(std::move(c2));
+  EXPECT_TRUE(client.Hello("after-bogus").ok());
+  server.Shutdown();
+}
+
+TEST(QueryServerTest, TruncatedFrameDropsConnectionServerSurvives) {
+  QueryServer server(SharedDb());
+  auto [client_end, server_end] = wire::CreateChannelPair();
+  server.Serve(std::move(server_end));
+
+  // Header promises 64 payload bytes; deliver 3 and hang up.
+  uint8_t header[5] = {static_cast<uint8_t>(wire::FrameType::kQuery), 64, 0,
+                       0, 0};
+  ASSERT_TRUE(client_end->Write(header, sizeof(header)).ok());
+  uint8_t partial[3] = {1, 2, 3};
+  ASSERT_TRUE(client_end->Write(partial, sizeof(partial)).ok());
+  client_end->Close();
+
+  EXPECT_TRUE(EventuallyTrue([&] { return server.active_connections() == 0; }));
+  // No half-open session left behind, and the server still serves.
+  EXPECT_EQ(server.open_session_count(), 0u);
+  auto [c2, s2] = wire::CreateChannelPair();
+  server.Serve(std::move(s2));
+  wire::WireClient client(std::move(c2));
+  EXPECT_TRUE(client.Hello("after-truncation").ok());
+  server.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Load invalidation.
+
+TEST(QueryServerTest, LoadInvalidatesEveryLiveSession) {
+  db::MirrorDb database;
+  BuildDb(&database, /*seed=*/7, /*catalog_rows=*/4000);
+  QueryServer server(&database);
+
+  std::vector<std::unique_ptr<wire::WireClient>> clients;
+  for (int c = 0; c < 2; ++c) {
+    auto [client_end, server_end] = wire::CreateChannelPair();
+    server.Serve(std::move(server_end));
+    clients.push_back(
+        std::make_unique<wire::WireClient>(std::move(client_end)));
+    ASSERT_TRUE(clients.back()->Hello("inv" + std::to_string(c)).ok());
+  }
+
+  const std::string query = "count(select[THIS.year >= 1970](Cat));";
+  moa::QueryContext ctx;
+  for (auto& client : clients) {
+    auto result = client->Query(query, ctx);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().scalar.AsDouble(), 4000.0);
+  }
+  auto stats = clients[0]->Stats();
+  ASSERT_TRUE(stats.ok());
+  uint64_t generation_before = stats.value().server.load_generation;
+  for (const auto& s : stats.value().sessions) {
+    EXPECT_EQ(s.plan_cache_size, 1u);
+  }
+
+  // Reload the catalog with half as many rows through the SAME MirrorDb
+  // the server fronts: every live session's plan cache must drop.
+  {
+    base::Rng rng(99);
+    std::vector<moa::MoaValue> rows;
+    for (int i = 0; i < 2000; ++i) {
+      rows.push_back(moa::MoaValue::Tuple(
+          {moa::MoaValue::Str("v" + std::to_string(i)),
+           moa::MoaValue::Int(rng.UniformInt(1970, 2025)),
+           moa::MoaValue::Int(rng.UniformInt(0, 1000)),
+           moa::MoaValue::Int(rng.UniformInt(0, 1999))}));
+    }
+    ASSERT_TRUE(database.Load("Cat", std::move(rows)).ok());
+  }
+
+  stats = clients[1]->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().server.load_generation, generation_before + 1);
+  for (const auto& s : stats.value().sessions) {
+    EXPECT_EQ(s.plan_cache_size, 0u) << "session " << s.session_id
+                                     << " kept a stale plan";
+  }
+  // Post-reload queries see the new contents (recompiled, not stale).
+  for (auto& client : clients) {
+    auto result = client->Query(query, ctx);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().scalar.AsDouble(), 2000.0);
+  }
+  server.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Per-session SET overrides.
+
+TEST(QueryServerTest, SetOverridesAreIsolatedPerSession) {
+  db::MirrorDb* database = SharedDb();
+  QueryServer server(database);
+
+  auto [ca, sa] = wire::CreateChannelPair();
+  auto [cb, sb] = wire::CreateChannelPair();
+  server.Serve(std::move(sa));
+  server.Serve(std::move(sb));
+  wire::WireClient a(std::move(ca));
+  wire::WireClient b(std::move(cb));
+  ASSERT_TRUE(a.Hello("tenant-a").ok());
+  ASSERT_TRUE(b.Hello("tenant-b").ok());
+
+  // Tenant A pins 2-way sharded execution with one thread; B stays on
+  // the defaults.
+  auto set_a = a.Set({{"num_shards", 2}, {"num_threads", 1}});
+  ASSERT_TRUE(set_a.ok()) << set_a.status().ToString();
+  EXPECT_EQ(set_a.value().num_shards, 2u);
+  EXPECT_EQ(set_a.value().num_threads, 1);
+
+  auto stats = b.Stats();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats.value().sessions.size(), 2u);
+  for (const auto& s : stats.value().sessions) {
+    if (s.client_name == "tenant-a") {
+      EXPECT_EQ(s.options.num_shards, 2u);
+      EXPECT_EQ(s.options.num_threads, 1);
+    } else {
+      EXPECT_EQ(s.options.num_shards, 0u);  // inherits the db default
+      EXPECT_EQ(s.options.num_threads, 0);  // auto
+    }
+  }
+
+  // A's queries genuinely fan out across shards; B's do not. Identical
+  // results either way.
+  const std::string query =
+      "map[THIS.rating * 3](select[THIS.year >= 1985 and "
+      "THIS.year <= 2010](Cat));";
+  moa::QueryContext ctx;
+  auto direct = database->Query(query, ctx);
+  ASSERT_TRUE(direct.ok());
+
+  monet::GlobalKernelStats().Reset();
+  auto result_a = a.Query(query, ctx);
+  ASSERT_TRUE(result_a.ok());
+  uint64_t fanouts_a = monet::GlobalKernelStats().shard_fanouts;
+  EXPECT_GT(fanouts_a, 0u) << "tenant-a's override never fanned out";
+
+  monet::GlobalKernelStats().Reset();
+  auto result_b = b.Query(query, ctx);
+  ASSERT_TRUE(result_b.ok());
+  EXPECT_EQ(monet::GlobalKernelStats().shard_fanouts, 0u)
+      << "tenant-b was dragged onto tenant-a's sharded path";
+
+  ExpectResultIdentical(result_a.value(), direct.value());
+  ExpectResultIdentical(result_b.value(), direct.value());
+
+  // Unknown keys and out-of-range values are rejected atomically: the
+  // valid prefix of the batch must not stick.
+  auto bad = a.Set({{"num_threads", 4}, {"warp_drive", 1}});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), base::StatusCode::kInvalidArgument);
+  auto echo = a.Set({{"morsel_joins", 1}});
+  ASSERT_TRUE(echo.ok());
+  EXPECT_EQ(echo.value().num_threads, 1) << "rejected SET partially applied";
+  server.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown.
+
+TEST(QueryServerTest, ShutdownDrainsInFlightRequests) {
+  db::MirrorDb* database = SharedDb();
+  auto server = std::make_unique<QueryServer>(database);
+  constexpr int kClients = 3;
+  std::vector<std::unique_ptr<wire::WireClient>> clients;
+  for (int c = 0; c < kClients; ++c) {
+    auto [client_end, server_end] = wire::CreateChannelPair();
+    server->Serve(std::move(server_end));
+    clients.push_back(
+        std::make_unique<wire::WireClient>(std::move(client_end)));
+    ASSERT_TRUE(clients.back()->Hello("sd" + std::to_string(c)).ok());
+  }
+
+  // Keep all clients issuing queries while the server shuts down. Every
+  // reply must be either a valid result or a clean transport/shutdown
+  // error — never a hang, a crash, or a corrupt frame.
+  std::atomic<int> ok_replies{0};
+  std::atomic<int> closed_replies{0};
+  std::atomic<int> bad_replies{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int r = 0; r < 200; ++r) {
+        auto result = clients[c]->Query(
+            "map[sum(THIS)](map[getBL(THIS.doc, q, stats)](Lib));",
+            [&] {
+              moa::QueryContext q;
+              q.BindTerms("q", {"sun", "wave"});
+              return q;
+            }());
+        if (result.ok()) {
+          ++ok_replies;
+        } else if (result.status().code() == base::StatusCode::kIoError ||
+                   result.status().code() == base::StatusCode::kNotFound) {
+          ++closed_replies;
+          return;  // server is gone — done
+        } else {
+          ++bad_replies;
+          return;
+        }
+      }
+    });
+  }
+  // Let the request storm get going, then pull the plug.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  server->Shutdown();
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_GT(ok_replies.load(), 0) << "no request ever completed";
+  EXPECT_EQ(bad_replies.load(), 0);
+  EXPECT_EQ(server->active_connections(), 0u);
+  EXPECT_EQ(database->registered_session_count(), 0u);
+  server.reset();  // double-shutdown via destructor must be safe
+}
+
+TEST(QueryServerTest, CloseHandshakeThenServeIsRefusedAfterShutdown) {
+  QueryServer server(SharedDb());
+  auto [client_end, server_end] = wire::CreateChannelPair();
+  server.Serve(std::move(server_end));
+  wire::WireClient client(std::move(client_end));
+  ASSERT_TRUE(client.Hello("bye").ok());
+  ASSERT_TRUE(client.Close().ok());
+  server.Shutdown();
+
+  // Connections offered after Shutdown are closed immediately.
+  auto [c2, s2] = wire::CreateChannelPair();
+  server.Serve(std::move(s2));
+  wire::WireClient late(std::move(c2));
+  EXPECT_FALSE(late.Hello("too-late").ok());
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport.
+
+TEST(QueryServerTest, TcpListenerServesTheSameProtocol) {
+  db::MirrorDb* database = SharedDb();
+  QueryServer server(database);
+  auto port = server.ListenTcp(0);
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  ASSERT_GT(port.value(), 0);
+
+  auto conn = wire::TcpConnect("127.0.0.1", port.value());
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  wire::WireClient client(conn.TakeValue());
+  ASSERT_TRUE(client.Hello("tcp-client").ok());
+
+  const std::string query =
+      "map[THIS.rating + 1](select[THIS.year >= 2005](Cat));";
+  moa::QueryContext ctx;
+  auto direct = database->Query(query, ctx);
+  ASSERT_TRUE(direct.ok());
+  auto result = client.Query(query, ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectResultIdentical(result.value(), direct.value());
+  ASSERT_TRUE(client.Close().ok());
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace mirror::daemon
