@@ -25,6 +25,7 @@
 #include "ir/synthetic_text.h"
 #include "mirror/mirror_db.h"
 #include "monet/profiler.h"
+#include "monet/zone_map.h"
 
 namespace {
 
@@ -780,11 +781,221 @@ ServeComparison RunE4(db::MirrorDb* database) {
   return out;
 }
 
+// E5: WAND-style top-k ranking with zone-map pruning. A batch of zipfian
+// single-term ranking plans (prob-aggregate feeding a descending topN)
+// over per-term belief columns whose noise amplitude varies per zone
+// block: once the shared threshold holds k scores, every block whose
+// zone-map upper bound cannot beat the k'th score is skipped whole, and
+// shards whose column-wide bound is behind the threshold are dropped
+// before their fragment plan even runs. The baseline is the identical
+// engine configuration with zone maps and top-k pruning switched off.
+// Every pruned ranking is checked bit-identical (rows AND order, stable
+// ties included) against the naive sequential executor — recall@k must
+// be exactly 1.0 or the bench aborts.
+struct RankingTopkComparison {
+  size_t rows = 0;
+  int terms = 0;
+  int queries = 0;
+  int64_t k = 10;
+  double unpruned_ms = 0;
+  double pruned_ms = 0;
+  double recall_at_k = 0;
+  uint64_t zone_blocks_skipped = 0;
+  uint64_t topk_morsels_pruned = 0;
+  uint64_t topk_shards_pruned = 0;
+};
+
+monet::mil::Program BuildRankingTopkPlan(const std::string& name, int64_t k) {
+  namespace mil = monet::mil;
+  mil::Program p;
+  auto emit = [&p](mil::Instr i) {
+    i.dst = p.NewReg();
+    return p.Emit(std::move(i));
+  };
+  mil::Instr load;
+  load.op = mil::OpCode::kLoadNamed;
+  load.name = name;
+  int scores = emit(std::move(load));
+  mil::Instr agg;
+  agg.op = mil::OpCode::kProdPerHead;
+  agg.src0 = scores;
+  int ranked = emit(std::move(agg));
+  mil::Instr top;
+  top.op = mil::OpCode::kTopN;
+  top.src0 = ranked;
+  top.n = k;
+  top.flag0 = true;  // descending: a ranking
+  p.set_result_reg(emit(std::move(top)));
+  return p;
+}
+
+RankingTopkComparison RunE5(db::MirrorDb* database, size_t num_shards) {
+  namespace mil = monet::mil;
+  RankingTopkComparison out;
+  out.rows = static_cast<size_t>(32) * monet::kZoneBlockRows;  // 262144
+  out.terms = 16;
+  out.queries = 48;
+  out.k = 10;
+  std::printf(
+      "\nE5: zipfian top-%lld ranking over %zu-row belief columns —\n"
+      "zone-map + WAND threshold pruning at 4 threads / %zu shards vs\n"
+      "the same engine with pruning off. Results are bit-checked against\n"
+      "the naive sequential executor (recall@k must be 1.0).\n\n",
+      static_cast<long long>(out.k), out.rows, num_shards);
+
+  // Per-term belief columns: background noise whose amplitude is drawn
+  // per zone block (so most blocks have a provably-losing upper bound)
+  // plus one contiguous high-belief region per term.
+  for (int t = 0; t < out.terms; ++t) {
+    base::Rng rng(1000 + static_cast<uint64_t>(t));
+    std::vector<double> scores(out.rows);
+    for (size_t b = 0; b < out.rows; b += monet::kZoneBlockRows) {
+      double amplitude = rng.UniformDouble(0.02, 0.25);
+      size_t end = std::min(out.rows, b + monet::kZoneBlockRows);
+      for (size_t i = b; i < end; ++i) {
+        scores[i] = amplitude * rng.UniformDouble(0.1, 1.0);
+      }
+    }
+    size_t spike_len = out.rows / 64;
+    size_t spike_start = rng.Uniform(out.rows - spike_len);
+    for (size_t i = spike_start; i < spike_start + spike_len; ++i) {
+      scores[i] = rng.UniformDouble(0.55, 0.95);
+    }
+    database->catalog()->Put("rank.bl_t" + std::to_string(t),
+                             monet::Bat::DenseDbls(std::move(scores)));
+  }
+  // The Put()s above dropped every derived cache; rebuild the shard
+  // layout and zone maps now so the timed runs measure execution.
+  const monet::ShardedCatalog* layout = database->catalog()->Shards(num_shards);
+  MIRROR_CHECK(layout != nullptr);
+  database->catalog()->EnsureZones();
+  for (size_t s = 0; s < layout->num_shards(); ++s) {
+    layout->shard(s).EnsureZones();
+  }
+
+  std::vector<mil::Program> plans;
+  plans.reserve(static_cast<size_t>(out.terms));
+  for (int t = 0; t < out.terms; ++t) {
+    plans.push_back(
+        BuildRankingTopkPlan("rank.bl_t" + std::to_string(t), out.k));
+  }
+  // Zipfian query stream: term t drawn with weight 1/(t+1).
+  std::vector<int> stream;
+  {
+    base::Rng rng(77);
+    double total = 0;
+    for (int t = 0; t < out.terms; ++t) total += 1.0 / (t + 1);
+    for (int q = 0; q < out.queries; ++q) {
+      double r = rng.UniformDouble(0.0, total);
+      int pick = 0;
+      for (int t = 0; t < out.terms; ++t) {
+        r -= 1.0 / (t + 1);
+        if (r <= 0) {
+          pick = t;
+          break;
+        }
+      }
+      stream.push_back(pick);
+    }
+  }
+
+  mil::ExecOptions pruned;
+  pruned.num_threads = 4;
+  pruned.num_shards = num_shards;
+  mil::ExecOptions unpruned = pruned;
+  unpruned.zone_maps = false;
+  unpruned.topk_prune = false;
+
+  auto run_once = [&](const mil::Program& plan, const mil::ExecOptions& options,
+                      mil::ExecutionContext* session) {
+    mil::ExecutionEngine engine(database->catalog(), options);
+    auto result = engine.Run(plan, session);
+    MIRROR_CHECK(result.ok()) << result.status().ToString();
+    return result.TakeValue();
+  };
+  auto time_batch = [&](const mil::ExecOptions& options) {
+    double best = 1e100;
+    for (int r = 0; r < 3; ++r) {
+      mil::ExecutionContext session;
+      base::Stopwatch sw;
+      for (int term : stream) {
+        auto result = run_once(plans[static_cast<size_t>(term)], options,
+                               &session);
+        MIRROR_CHECK(result.bat != nullptr &&
+                     result.bat->size() == static_cast<size_t>(out.k));
+      }
+      best = std::min(best, sw.ElapsedMillis());
+    }
+    return best;
+  };
+
+  // Recall gate: every term's pruned ranking must equal the naive
+  // sequential executor's bit for bit — rows, order, and stable ties.
+  {
+    size_t matched = 0;
+    size_t total = 0;
+    for (int t = 0; t < out.terms; ++t) {
+      const mil::Program& plan = plans[static_cast<size_t>(t)];
+      auto naive = mil::Executor(database->catalog()).Run(plan);
+      MIRROR_CHECK(naive.ok()) << naive.status().ToString();
+      mil::ExecutionContext session;
+      auto fast = run_once(plan, pruned, &session);
+      MIRROR_CHECK(naive.value().bat->size() == fast.bat->size());
+      for (size_t i = 0; i < fast.bat->size(); ++i) {
+        ++total;
+        if (naive.value().bat->head().OidAt(i) == fast.bat->head().OidAt(i) &&
+            naive.value().bat->tail().DblAt(i) == fast.bat->tail().DblAt(i)) {
+          ++matched;
+        }
+      }
+    }
+    out.recall_at_k = total == 0 ? 0.0 : static_cast<double>(matched) / total;
+    MIRROR_CHECK(out.recall_at_k == 1.0)
+        << "pruned ranking diverged from the naive executor";
+  }
+
+  out.unpruned_ms = time_batch(unpruned);
+  out.pruned_ms = time_batch(pruned);
+
+  // Profiler gate: the pruned batch must genuinely skip zone blocks.
+  {
+    monet::GlobalKernelStats().Reset();
+    mil::ExecutionContext session;
+    for (int term : stream) {
+      auto result = run_once(plans[static_cast<size_t>(term)], pruned,
+                             &session);
+      MIRROR_CHECK(result.bat != nullptr);
+    }
+    monet::KernelStats stats = monet::GlobalKernelStats();
+    out.zone_blocks_skipped = stats.zone_blocks_skipped;
+    out.topk_morsels_pruned = stats.topk_morsels_pruned;
+    out.topk_shards_pruned = stats.topk_shards_pruned;
+    std::printf("pruned-batch profiler: %s\n\n", stats.ToString().c_str());
+    MIRROR_CHECK(stats.zone_blocks_skipped > 0)
+        << "top-k batch never skipped a zone block";
+  }
+
+  base::TablePrinter table(
+      {"path", base::StrFormat("ms for %d queries", out.queries),
+       "vs unpruned"});
+  auto row = [&](const char* name, double ms) {
+    table.AddRow({name, base::StrFormat("%.3f", ms),
+                  base::StrFormat("%.2fx", out.unpruned_ms / ms)});
+  };
+  row("engine 4T, 8 shards, pruning off", out.unpruned_ms);
+  row("engine 4T, 8 shards, zone maps + WAND top-k", out.pruned_ms);
+  table.Print();
+  std::printf("recall@%lld vs naive executor: %.3f\n\n",
+              static_cast<long long>(out.k), out.recall_at_k);
+  return out;
+}
+
 void WriteBenchJson(const EngineComparison& selection,
                     const EngineComparison& ranking,
                     const AggComparison& agg, const JoinComparison& join,
                     const ShardComparison& shard,
-                    const ServeComparison& serve) {
+                    const ServeComparison& serve,
+                    const RankingTopkComparison& topk) {
   std::FILE* f = std::fopen("BENCH_retrieval.json", "w");
   if (f == nullptr) {
     std::printf("could not write BENCH_retrieval.json\n");
@@ -866,7 +1077,7 @@ void WriteBenchJson(const EngineComparison& selection,
       "    \"wire_frames_in\": %llu,\n"
       "    \"wire_frames_out\": %llu,\n"
       "    \"wire_bytes_out\": %llu\n"
-      "  }\n",
+      "  },\n",
       serve.sessions, serve.requests_per_session, serve.serial1_ms,
       serve.concurrent4_ms, serve.concurrent4_nocoalesce_ms,
       serve.serial1_ms / serve.concurrent4_ms,
@@ -874,6 +1085,27 @@ void WriteBenchJson(const EngineComparison& selection,
       static_cast<unsigned long long>(serve.frames_in),
       static_cast<unsigned long long>(serve.frames_out),
       static_cast<unsigned long long>(serve.bytes_out));
+  std::fprintf(
+      f,
+      "  \"ranking_topk_e5\": {\n"
+      "    \"rows\": %zu,\n"
+      "    \"terms\": %d,\n"
+      "    \"queries\": %d,\n"
+      "    \"k\": %lld,\n"
+      "    \"unpruned_4t_8shards_ms\": %.4f,\n"
+      "    \"pruned_4t_8shards_ms\": %.4f,\n"
+      "    \"speedup_pruned_vs_unpruned\": %.3f,\n"
+      "    \"recall_at_k\": %.4f,\n"
+      "    \"zone_blocks_skipped\": %llu,\n"
+      "    \"topk_morsels_pruned\": %llu,\n"
+      "    \"topk_shards_pruned\": %llu\n"
+      "  }\n",
+      topk.rows, topk.terms, topk.queries, static_cast<long long>(topk.k),
+      topk.unpruned_ms, topk.pruned_ms, topk.unpruned_ms / topk.pruned_ms,
+      topk.recall_at_k,
+      static_cast<unsigned long long>(topk.zone_blocks_skipped),
+      static_cast<unsigned long long>(topk.topk_morsels_pruned),
+      static_cast<unsigned long long>(topk.topk_shards_pruned));
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote BENCH_retrieval.json\n");
@@ -969,6 +1201,7 @@ int main() {
   JoinComparison join = RunE3e(&database, kCatalogRows);
   ShardComparison shard = RunE3f(&database, kCatalogRows, /*num_shards=*/8);
   ServeComparison serve = RunE4(&database);
-  WriteBenchJson(selection, ranking, agg, join, shard, serve);
+  RankingTopkComparison topk = RunE5(&database, /*num_shards=*/8);
+  WriteBenchJson(selection, ranking, agg, join, shard, serve, topk);
   return 0;
 }

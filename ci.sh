@@ -113,4 +113,31 @@ awk -v s="${E4_SPEEDUP}" 'BEGIN { exit (s >= 2.0) ? 0 : 1 }' || {
   exit 1
 }
 
+echo "== top-k pruning gate (E5, zipfian ranking, 262k-row belief columns) =="
+# Baseline is the identical engine configuration (4 threads, 8 shards)
+# with zone maps and top-k pruning switched off. The pruned batch must be
+# >= 2x and must have skipped at least one zone block — a zero skip count
+# would mean the WAND threshold never pruned and the speedup is noise.
+# bench_retrieval itself aborts unless every pruned ranking is
+# bit-identical to the naive sequential executor (recall@10 == 1.0).
+E5_SPEEDUP=$(grep -m1 '"speedup_pruned_vs_unpruned"' build/BENCH_retrieval.json \
+            | awk -F': ' '{gsub(/[,[:space:]]/, "", $2); print $2}')
+E5_SKIPS=$(grep -m1 '"zone_blocks_skipped"' build/BENCH_retrieval.json \
+            | awk -F': ' '{gsub(/[,[:space:]]/, "", $2); print $2}')
+E5_RECALL=$(grep -m1 '"recall_at_k"' build/BENCH_retrieval.json \
+            | awk -F': ' '{gsub(/[,[:space:]]/, "", $2); print $2}')
+echo "pruned top-k vs pruning off: ${E5_SPEEDUP}x (zone blocks skipped: ${E5_SKIPS}, recall@k: ${E5_RECALL})"
+awk -v s="${E5_SPEEDUP}" 'BEGIN { exit (s >= 2.0) ? 0 : 1 }' || {
+  echo "FAIL: top-k pruning speedup ${E5_SPEEDUP}x is below the 2x floor"
+  exit 1
+}
+[ "${E5_SKIPS}" != "0" ] || {
+  echo "FAIL: pruned ranking batch never skipped a zone block"
+  exit 1
+}
+awk -v r="${E5_RECALL}" 'BEGIN { exit (r == 1.0) ? 0 : 1 }' || {
+  echo "FAIL: pruned ranking recall@k ${E5_RECALL} != 1.0"
+  exit 1
+}
+
 echo "CI OK — artifacts: build/BENCH_bat_kernel.json build/BENCH_retrieval.json"

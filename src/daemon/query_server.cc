@@ -1,31 +1,47 @@
 #include "daemon/query_server.h"
 
 #include <chrono>
+#include <string_view>
 
 #include "base/str_util.h"
+#include "monet/profiler.h"
 
 namespace mirror::daemon {
 
 namespace mil = monet::mil;
+
+namespace {
+
+/// SET keys name ExecOptions fields; the canonical spelling may carry an
+/// "exec." prefix ("exec.zone_maps" == "zone_maps").
+std::string StripExecPrefix(const std::string& key) {
+  constexpr std::string_view kPrefix = "exec.";
+  if (key.rfind(kPrefix, 0) == 0) return key.substr(kPrefix.size());
+  return key;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // ServerSession.
 
 base::Status ServerSession::ValidateOverride(const std::string& key,
                                              int64_t value) {
-  if (key == "num_shards") {
+  std::string k = StripExecPrefix(key);
+  if (k == "num_shards") {
     if (value < 0 || value > (1 << 20)) {
       return base::Status::InvalidArgument(
           base::StrFormat("num_shards %lld out of range",
                           static_cast<long long>(value)));
     }
-  } else if (key == "num_threads") {
+  } else if (k == "num_threads") {
     if (value < 0 || value > 1024) {
       return base::Status::InvalidArgument(
           base::StrFormat("num_threads %lld out of range",
                           static_cast<long long>(value)));
     }
-  } else if (key != "morsel_joins" && key != "fuse_aggregates") {
+  } else if (k != "morsel_joins" && k != "fuse_aggregates" &&
+             k != "zone_maps" && k != "topk_prune") {
     return base::Status::InvalidArgument(
         base::StrFormat("unknown SET key \"%s\"", key.c_str()));
   }
@@ -36,13 +52,18 @@ base::Status ServerSession::ApplyOverride(const std::string& key,
                                           int64_t value) {
   base::Status valid = ValidateOverride(key, value);
   if (!valid.ok()) return valid;
+  std::string k = StripExecPrefix(key);
   std::lock_guard<std::mutex> lock(mu_);
-  if (key == "num_shards") {
+  if (k == "num_shards") {
     options_.exec.num_shards = static_cast<size_t>(value);
-  } else if (key == "num_threads") {
+  } else if (k == "num_threads") {
     options_.exec.num_threads = static_cast<int>(value);
-  } else if (key == "morsel_joins") {
+  } else if (k == "morsel_joins") {
     options_.exec.morsel_joins = value != 0;
+  } else if (k == "zone_maps") {
+    options_.exec.zone_maps = value != 0;
+  } else if (k == "topk_prune") {
+    options_.exec.topk_prune = value != 0;
   } else {
     options_.exec.fuse_aggregates = value != 0;
   }
@@ -63,6 +84,8 @@ wire::SessionStatsEntry ServerSession::StatsEntry() const {
   entry.options.num_threads = options_.exec.num_threads;
   entry.options.morsel_joins = options_.exec.morsel_joins;
   entry.options.fuse_aggregates = options_.exec.fuse_aggregates;
+  entry.options.zone_maps = options_.exec.zone_maps;
+  entry.options.topk_prune = options_.exec.topk_prune;
   return entry;
 }
 
@@ -145,9 +168,16 @@ void QueryServer::CountOut(wire::FrameType type, size_t frame_bytes) {
 }
 
 wire::ServerWireStats QueryServer::stats() const {
+  // Kernel counters are process-wide profiler state, snapshotted outside
+  // the server lock (the profiler has its own mutex).
+  monet::KernelStats kernels = monet::SnapshotKernelStats();
   std::lock_guard<std::mutex> lock(mu_);
   wire::ServerWireStats out = stats_;
   out.load_generation = db_->load_generation();
+  out.zone_blocks_skipped = kernels.zone_blocks_skipped;
+  out.topk_morsels_pruned = kernels.topk_morsels_pruned;
+  out.topk_shards_pruned = kernels.topk_shards_pruned;
+  out.probe_partitions = kernels.probe_partitions;
   return out;
 }
 

@@ -511,6 +511,8 @@ std::vector<uint8_t> EncodeSetReply(const SetReply& m) {
   w.I64(m.num_threads);
   w.U8(m.morsel_joins ? 1 : 0);
   w.U8(m.fuse_aggregates ? 1 : 0);
+  w.U8(m.zone_maps ? 1 : 0);
+  w.U8(m.topk_prune ? 1 : 0);
   return w.Take();
 }
 
@@ -519,12 +521,16 @@ base::Result<SetReply> DecodeSetReply(const std::vector<uint8_t>& p) {
   SetReply m;
   uint8_t morsel = 0;
   uint8_t fuse = 0;
+  uint8_t zones = 0;
+  uint8_t topk = 0;
   if (!r.U64(&m.num_shards) || !r.I64(&m.num_threads) || !r.U8(&morsel) ||
-      !r.U8(&fuse)) {
+      !r.U8(&fuse) || !r.U8(&zones) || !r.U8(&topk)) {
     return Malformed("SET reply");
   }
   m.morsel_joins = morsel != 0;
   m.fuse_aggregates = fuse != 0;
+  m.zone_maps = zones != 0;
+  m.topk_prune = topk != 0;
   return m;
 }
 
@@ -598,6 +604,10 @@ std::vector<uint8_t> EncodeStatsReply(const StatsReply& m) {
   w.U64(m.server.sessions_opened);
   w.U64(m.server.sessions_closed);
   w.U64(m.server.load_generation);
+  w.U64(m.server.zone_blocks_skipped);
+  w.U64(m.server.topk_morsels_pruned);
+  w.U64(m.server.topk_shards_pruned);
+  w.U64(m.server.probe_partitions);
   w.U32(static_cast<uint32_t>(m.sessions.size()));
   for (const SessionStatsEntry& s : m.sessions) {
     w.U64(s.session_id);
@@ -623,7 +633,11 @@ base::Result<StatsReply> DecodeStatsReply(const std::vector<uint8_t>& p) {
       !r.U64(&m.server.coalesced_requests) ||
       !r.U64(&m.server.sessions_opened) ||
       !r.U64(&m.server.sessions_closed) ||
-      !r.U64(&m.server.load_generation) || !r.U32(&num_sessions)) {
+      !r.U64(&m.server.load_generation) ||
+      !r.U64(&m.server.zone_blocks_skipped) ||
+      !r.U64(&m.server.topk_morsels_pruned) ||
+      !r.U64(&m.server.topk_shards_pruned) ||
+      !r.U64(&m.server.probe_partitions) || !r.U32(&num_sessions)) {
     return Malformed("STATS reply");
   }
   m.sessions.reserve(
@@ -632,15 +646,20 @@ base::Result<StatsReply> DecodeStatsReply(const std::vector<uint8_t>& p) {
     SessionStatsEntry s;
     uint8_t morsel = 0;
     uint8_t fuse = 0;
+    uint8_t zones = 0;
+    uint8_t topk = 0;
     if (!r.U64(&s.session_id) || !r.Str(&s.client_name) ||
         !r.U64(&s.requests) || !r.U64(&s.errors) ||
         !r.U64(&s.plan_cache_size) || !r.U64(&s.plan_cache_hits) ||
         !r.U64(&s.plan_cache_lookups) || !r.U64(&s.options.num_shards) ||
-        !r.I64(&s.options.num_threads) || !r.U8(&morsel) || !r.U8(&fuse)) {
+        !r.I64(&s.options.num_threads) || !r.U8(&morsel) || !r.U8(&fuse) ||
+        !r.U8(&zones) || !r.U8(&topk)) {
       return Malformed("STATS reply");
     }
     s.options.morsel_joins = morsel != 0;
     s.options.fuse_aggregates = fuse != 0;
+    s.options.zone_maps = zones != 0;
+    s.options.topk_prune = topk != 0;
     m.sessions.push_back(std::move(s));
   }
   return m;

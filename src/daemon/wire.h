@@ -144,7 +144,10 @@ struct QueryRequest {
 
 /// SET: integer-valued per-session execution overrides, applied to the
 /// session's ExecOptions (booleans are 0/1). Known keys: "num_shards",
-/// "num_threads", "morsel_joins", "fuse_aggregates".
+/// "num_threads", "morsel_joins", "fuse_aggregates", "zone_maps",
+/// "topk_prune"; each also accepts an "exec." prefix ("exec.zone_maps").
+/// A SET frame is validated as a whole before any key applies — one bad
+/// key leaves the session's options untouched.
 struct SetRequest {
   std::vector<std::pair<std::string, int64_t>> options;
 };
@@ -156,6 +159,8 @@ struct SetReply {
   int64_t num_threads = 0;  // 0 = auto
   bool morsel_joins = true;
   bool fuse_aggregates = true;
+  bool zone_maps = true;
+  bool topk_prune = true;
 };
 
 /// A query result: a serialized result table (element oid -> value) or a
@@ -179,6 +184,14 @@ struct ServerWireStats {
   uint64_t sessions_opened = 0;
   uint64_t sessions_closed = 0;
   uint64_t load_generation = 0;     // MirrorDb reloads observed
+  /// Process-wide pruning counters (monet profiler snapshot at STATS
+  /// time): zone-map blocks skipped by selects/pruned aggregates, morsels
+  /// and whole shards dropped by the top-k threshold, and probe-side
+  /// partitions formed for partition-wise join scheduling.
+  uint64_t zone_blocks_skipped = 0;
+  uint64_t topk_morsels_pruned = 0;
+  uint64_t topk_shards_pruned = 0;
+  uint64_t probe_partitions = 0;
 };
 
 /// Per-session slice of the STATS reply.

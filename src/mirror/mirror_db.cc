@@ -31,6 +31,10 @@ base::Status MirrorDb::Load(const std::string& set_name,
                             std::vector<moa::MoaValue> objects) {
   base::Status status = logical_.Load(set_name, std::move(objects));
   if (!status.ok()) return status;
+  // Warm the zone maps eagerly: Load dropped the stale statistics with
+  // the rest of the derived caches, and building them here (one scan per
+  // BAT) keeps the first pruned query out of the build cost.
+  logical_.catalog()->EnsureZones();
   load_generation_.fetch_add(1, std::memory_order_relaxed);
   // New contents invalidate every compiled plan that names this database:
   // notify live sessions so their next query re-flattens.
@@ -52,7 +56,14 @@ base::Status MirrorDb::LoadSharded(const std::string& set_name,
   }
   // Pre-build the layout so the first sharded query doesn't pay the
   // fragment slicing; the cache also rebuilds lazily after later Loads.
-  logical_.catalog()->Shards(num_shards);
+  const monet::ShardedCatalog* layout = logical_.catalog()->Shards(num_shards);
+  if (layout != nullptr) {
+    // Per-shard zone maps (whole-shard top-k pruning reads the fragment
+    // bounds) warm alongside the layout.
+    for (size_t s = 0; s < layout->num_shards(); ++s) {
+      layout->shard(s).EnsureZones();
+    }
+  }
   default_shards_ = num_shards;
   return status;
 }

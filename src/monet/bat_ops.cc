@@ -1,6 +1,7 @@
 #include "monet/bat_ops.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <memory>
@@ -221,6 +222,90 @@ int64_t BoundAsInt(const Value& v) {
 bool IsNumericOrOid(ValueType t) {
   return t == ValueType::kVoid || t == ValueType::kOid ||
          t == ValueType::kInt || t == ValueType::kDbl;
+}
+
+// --------------------------------------------------------------------------
+// Zone-map pruning for selections. A numeric predicate is summarized as a
+// double-space keep-interval; over dense sub-domains the per-block
+// [min, max] bounds classify whole blocks as dead (skipped without
+// reading a row), fully matching (positions appended wholesale), or
+// mixed (scanned by the unchanged position core). Positions produced are
+// identical to the unpruned scan.
+
+// The interval of tail values a selection keeps, in double space.
+struct ZoneInterval {
+  bool usable = false;
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  bool lo_inc = true;
+  bool hi_inc = true;
+  // Whether ZoneMatch::kAll may append a block unscanned. Only sound for
+  // predicates the kernel evaluates in double space (Cmp/Range): the
+  // exact int64 equality path must rescan, since two distinct ints can
+  // round to one double and zone bounds live in double space.
+  bool allow_all = false;
+};
+
+ZoneInterval EqZoneInterval(const Column& tail, const Value& v) {
+  ZoneInterval iv;
+  if (!IsNumericOrOid(tail.type()) || v.type() == ValueType::kStr) return iv;
+  if (tail.type() == ValueType::kDbl || v.type() == ValueType::kDbl) {
+    iv.lo = iv.hi = BoundAsDouble(v);
+  } else {
+    // The kernel compares exact int64s; widen the literal outward the
+    // same way the zone builder widens stored values, so the interval
+    // can never round away from a block that contains the value.
+    int64_t want = BoundAsInt(v);
+    iv.lo = DoubleLowerBound(want);
+    iv.hi = DoubleUpperBound(want);
+  }
+  iv.usable = true;
+  return iv;
+}
+
+ZoneInterval CmpZoneInterval(const Column& tail, CmpOp cmp, const Value& v) {
+  if (cmp == CmpOp::kEq) return EqZoneInterval(tail, v);
+  ZoneInterval iv;
+  if (cmp == CmpOp::kNeq) return iv;  // != excludes one point: no pruning
+  if (!IsNumericOrOid(tail.type()) || v.type() == ValueType::kStr) return iv;
+  double want = BoundAsDouble(v);
+  switch (cmp) {
+    case CmpOp::kLt:
+      iv.hi = want;
+      iv.hi_inc = false;
+      break;
+    case CmpOp::kLe:
+      iv.hi = want;
+      break;
+    case CmpOp::kGt:
+      iv.lo = want;
+      iv.lo_inc = false;
+      break;
+    case CmpOp::kGe:
+      iv.lo = want;
+      break;
+    default:
+      return iv;
+  }
+  iv.usable = true;
+  iv.allow_all = true;
+  return iv;
+}
+
+ZoneInterval RangeZoneInterval(const Column& tail, const Value& lo,
+                               const Value& hi, bool lo_inc, bool hi_inc) {
+  ZoneInterval iv;
+  if (!IsNumericOrOid(tail.type()) || lo.type() == ValueType::kStr ||
+      hi.type() == ValueType::kStr) {
+    return iv;
+  }
+  iv.lo = BoundAsDouble(lo);
+  iv.hi = BoundAsDouble(hi);
+  iv.lo_inc = lo_inc;
+  iv.hi_inc = hi_inc;
+  iv.usable = true;
+  iv.allow_all = true;
+  return iv;
 }
 
 }  // namespace
@@ -476,6 +561,76 @@ std::vector<uint32_t> SelectRangePositions(const Bat& b, const Value& lo,
       [](std::string_view) { return false; });
 }
 
+// Runs a selection position core with zone-map block pruning. Dense
+// sub-domains walk the blocks they cover: dead blocks are skipped
+// outright, fully-matching blocks (when the predicate interval allows)
+// append their positions wholesale, and only runs of mixed blocks reach
+// `pos_fn`. Sparse sub-domains and unusable predicates fall through to
+// the plain morselized core.
+template <typename PosFn>
+CandidateList ZonedMorselizedPositions(size_t n, const CandidateList* cands,
+                                       const MorselExec& mx,
+                                       const ZoneMap* zones,
+                                       const ZoneInterval& iv, PosFn pos_fn) {
+  if (!iv.usable || zones == nullptr || !zones->valid) {
+    return MorselizedPositions(n, cands, mx, pos_fn);
+  }
+  std::atomic<uint64_t> skipped{0};
+  auto zoned_fn = [&](const CandidateList* dom) -> std::vector<uint32_t> {
+    size_t first = 0;
+    size_t count = n;
+    if (dom != nullptr) {
+      if (!dom->is_dense()) return pos_fn(dom);
+      first = dom->first();
+      count = dom->size();
+    }
+    if (count == 0) return {};
+    size_t end = first + count;
+    size_t br = zones->block_rows;
+    std::vector<uint32_t> out;
+    size_t run_lo = 0;
+    bool in_run = false;
+    auto flush_run = [&](size_t run_hi) {
+      if (!in_run) return;
+      in_run = false;
+      CandidateList run = CandidateList::Dense(run_lo, run_hi - run_lo);
+      std::vector<uint32_t> part = pos_fn(&run);
+      out.insert(out.end(), part.begin(), part.end());
+    };
+    uint64_t dead = 0;
+    for (size_t blk = first / br; blk * br < end; ++blk) {
+      size_t blo = std::max(first, blk * br);
+      size_t bhi = std::min(end, (blk + 1) * br);
+      ZoneMatch match =
+          ClassifyZone(zones->block_min[blk], zones->block_max[blk], iv.lo,
+                       iv.lo_inc, iv.hi, iv.hi_inc);
+      if (match == ZoneMatch::kAll && !iv.allow_all) match = ZoneMatch::kSome;
+      if (match == ZoneMatch::kSome) {
+        if (!in_run) {
+          run_lo = blo;
+          in_run = true;
+        }
+        continue;
+      }
+      flush_run(blo);
+      if (match == ZoneMatch::kNone) {
+        ++dead;
+        continue;
+      }
+      for (size_t i = blo; i < bhi; ++i) {
+        out.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    flush_run(end);
+    if (dead > 0) skipped.fetch_add(dead, std::memory_order_relaxed);
+    return out;
+  };
+  CandidateList out = MorselizedPositions(n, cands, mx, zoned_fn);
+  uint64_t s = skipped.load(std::memory_order_relaxed);
+  if (s > 0) TrackZoneBlocksSkipped(s);
+  return out;
+}
+
 // Wraps a position core into the candidate form's tracking.
 CandidateList FinishCandidateSelect(KernelOp op, size_t domain,
                                     CandidateList out) {
@@ -517,13 +672,16 @@ Bat SelectRange(const Bat& b, const Value& lo, const Value& hi,
 }
 
 CandidateList SelectEqCand(const Bat& b, const Value& v,
-                           const CandidateList* cands, const MorselExec& mx) {
+                           const CandidateList* cands, const MorselExec& mx,
+                           const ZoneMap* zones) {
   KernelTimer timer(KernelOp::kSelect);
   return FinishCandidateSelect(
       KernelOp::kSelect, DomainSize(b.size(), cands),
-      MorselizedPositions(b.size(), cands, mx, [&](const CandidateList* dom) {
-        return SelectEqPositions(b, v, dom);
-      }));
+      ZonedMorselizedPositions(b.size(), cands, mx, zones,
+                               EqZoneInterval(b.tail(), v),
+                               [&](const CandidateList* dom) {
+                                 return SelectEqPositions(b, v, dom);
+                               }));
 }
 
 CandidateList SelectNeqCand(const Bat& b, const Value& v,
@@ -537,26 +695,32 @@ CandidateList SelectNeqCand(const Bat& b, const Value& v,
 }
 
 CandidateList SelectCmpCand(const Bat& b, CmpOp cmp, const Value& v,
-                            const CandidateList* cands, const MorselExec& mx) {
+                            const CandidateList* cands, const MorselExec& mx,
+                            const ZoneMap* zones) {
   KernelTimer timer(KernelOp::kSelect);
   return FinishCandidateSelect(
       KernelOp::kSelect, DomainSize(b.size(), cands),
-      MorselizedPositions(b.size(), cands, mx, [&](const CandidateList* dom) {
-        return SelectCmpPositions(b, cmp, v, dom);
-      }));
+      ZonedMorselizedPositions(b.size(), cands, mx, zones,
+                               CmpZoneInterval(b.tail(), cmp, v),
+                               [&](const CandidateList* dom) {
+                                 return SelectCmpPositions(b, cmp, v, dom);
+                               }));
 }
 
 CandidateList SelectRangeCand(const Bat& b, const Value& lo, const Value& hi,
                               bool lo_inclusive, bool hi_inclusive,
-                              const CandidateList* cands,
-                              const MorselExec& mx) {
+                              const CandidateList* cands, const MorselExec& mx,
+                              const ZoneMap* zones) {
   KernelTimer timer(KernelOp::kSelect);
   return FinishCandidateSelect(
       KernelOp::kSelect, DomainSize(b.size(), cands),
-      MorselizedPositions(b.size(), cands, mx, [&](const CandidateList* dom) {
-        return SelectRangePositions(b, lo, hi, lo_inclusive, hi_inclusive,
-                                    dom);
-      }));
+      ZonedMorselizedPositions(
+          b.size(), cands, mx, zones,
+          RangeZoneInterval(b.tail(), lo, hi, lo_inclusive, hi_inclusive),
+          [&](const CandidateList* dom) {
+            return SelectRangePositions(b, lo, hi, lo_inclusive, hi_inclusive,
+                                        dom);
+          }));
 }
 
 namespace {
@@ -887,6 +1051,127 @@ Bat ProbeJoin(const Bat& l, const CandidateList* lcands, const Bat& r,
   return AssembleJoin(l, r, std::move(lfrags), std::move(rfrags), mx);
 }
 
+/// Probe domains below this size keep the simple morselized probe: the
+/// extra clustering pass only pays off once the probe side is large
+/// enough that random partition hops dominate.
+constexpr size_t kPartitionWiseMinProbe = 4096;
+
+/// Partition-wise probe scheduling: the probe domain is radix-clustered
+/// with the build table's own partition function, then each (build
+/// partition, probe partition) pair probes as one task whose working set
+/// is a single cache-resident build partition plus a contiguous probe
+/// run — instead of every probe row hopping to a different partition of
+/// the whole table. Output rows are scattered back through per-row match
+/// counts and a prefix sum, so row order is exactly ProbeJoin's (probe
+/// order, duplicates in build order).
+template <typename K, typename KeyAtFn>
+Bat PartitionWiseProbeJoin(const Bat& l, const CandidateList* lcands,
+                           const Bat& r, const RadixTable<K>& t,
+                           KeyAtFn key_at, const MorselExec& mx) {
+  size_t m = DomainSize(l.size(), lcands);
+  size_t parts = t.part_mask + 1;
+  auto base_pos = [&](size_t j) -> size_t {
+    return lcands == nullptr ? j : lcands->PositionAt(j);
+  };
+  size_t morsels = mx.MorselsFor(m);
+  WorkerPool* pool = morsels <= 1 ? nullptr : mx.pool;
+  // (1) Cluster (key, domain index) by the build's partition bits, with
+  // the same stable 3-phase scatter the build side uses (domain indices
+  // stay ascending within each partition).
+  std::vector<K> keys(m);
+  std::vector<std::vector<uint32_t>> hist(morsels,
+                                          std::vector<uint32_t>(parts, 0));
+  ParallelForChunks(pool, m, morsels, [&](size_t j, size_t lo, size_t hi) {
+    std::vector<uint32_t>& h = hist[j];
+    for (size_t i = lo; i < hi; ++i) {
+      keys[i] = key_at(base_pos(i));
+      ++h[RadixHash(keys[i]) & t.part_mask];
+    }
+  });
+  std::vector<size_t> pbegin(parts + 1, 0);
+  size_t running = 0;
+  for (size_t p = 0; p < parts; ++p) {
+    pbegin[p] = running;
+    for (size_t j = 0; j < morsels; ++j) {
+      uint32_t count = hist[j][p];
+      hist[j][p] = static_cast<uint32_t>(running);
+      running += count;
+    }
+  }
+  pbegin[parts] = running;
+  std::vector<uint32_t> idx_cl(m);
+  std::vector<K> key_cl(m);
+  ParallelForChunks(pool, m, morsels, [&](size_t j, size_t lo, size_t hi) {
+    std::vector<uint32_t>& cursor = hist[j];
+    for (size_t i = lo; i < hi; ++i) {
+      uint32_t slot = cursor[RadixHash(keys[i]) & t.part_mask]++;
+      idx_cl[slot] = static_cast<uint32_t>(i);
+      key_cl[slot] = keys[i];
+    }
+  });
+  // (2) Probe partition pairs. Each task owns one probe partition: its
+  // matches buffer up in clustered order, and each probe row's match
+  // count lands in a slot owned by exactly this task (race-free).
+  std::vector<uint32_t> counts(m);
+  std::vector<std::vector<uint32_t>> pmatches(parts);
+  ParallelFor(parts <= 1 ? nullptr : mx.pool, parts, [&](size_t p) {
+    std::vector<uint32_t>& buf = pmatches[p];
+    buf.reserve(pbegin[p + 1] - pbegin[p]);
+    for (size_t s = pbegin[p]; s < pbegin[p + 1]; ++s) {
+      uint32_t matches = 0;
+      ForEachMatch(t, key_cl[s], [&](uint32_t rpos) {
+        buf.push_back(rpos);
+        ++matches;
+      });
+      counts[idx_cl[s]] = matches;
+    }
+  });
+  // (3) Exclusive prefix sum over per-row counts in domain order fixes
+  // each row's output range.
+  std::vector<size_t> offsets(m + 1, 0);
+  for (size_t i = 0; i < m; ++i) offsets[i + 1] = offsets[i] + counts[i];
+  size_t total = offsets[m];
+  // (4) Scatter each clustered row's matches to its domain-ordered
+  // range; within a row the buffered matches are already in build order.
+  std::vector<uint32_t> lpos(total);
+  std::vector<uint32_t> rpos(total);
+  ParallelFor(parts <= 1 ? nullptr : mx.pool, parts, [&](size_t p) {
+    const std::vector<uint32_t>& buf = pmatches[p];
+    size_t cursor = 0;
+    for (size_t s = pbegin[p]; s < pbegin[p + 1]; ++s) {
+      uint32_t i = idx_cl[s];
+      size_t off = offsets[i];
+      uint32_t bp = static_cast<uint32_t>(base_pos(i));
+      for (uint32_t c = 0; c < counts[i]; ++c) {
+        lpos[off + c] = bp;
+        rpos[off + c] = buf[cursor++];
+      }
+    }
+  });
+  TrackProbePartitions(parts);
+  if (morsels > 1) TrackMorselTasks(morsels);
+  size_t out_morsels = total == 0 ? 1 : mx.MorselsFor(total);
+  if (out_morsels <= 1) {
+    std::vector<std::vector<uint32_t>> lf(1);
+    std::vector<std::vector<uint32_t>> rf(1);
+    lf[0] = std::move(lpos);
+    rf[0] = std::move(rpos);
+    return AssembleJoin(l, r, std::move(lf), std::move(rf), mx);
+  }
+  size_t chunk = (total + out_morsels - 1) / out_morsels;
+  std::vector<std::vector<uint32_t>> lf(out_morsels);
+  std::vector<std::vector<uint32_t>> rf(out_morsels);
+  for (size_t j = 0; j < out_morsels; ++j) {
+    size_t lo = std::min(total, j * chunk);
+    size_t hi = std::min(total, lo + chunk);
+    lf[j].assign(lpos.begin() + static_cast<ptrdiff_t>(lo),
+                 lpos.begin() + static_cast<ptrdiff_t>(hi));
+    rf[j].assign(rpos.begin() + static_cast<ptrdiff_t>(lo),
+                 rpos.begin() + static_cast<ptrdiff_t>(hi));
+  }
+  return AssembleJoin(l, r, std::move(lf), std::move(rf), mx);
+}
+
 /// Positional fetch join: l.tail holds oids into r's dense void head.
 Bat FetchJoin(const Bat& l, const CandidateList* lcands, const Bat& r,
               const MorselExec& mx) {
@@ -1032,6 +1317,12 @@ Bat ProbePreparedJoin(const Bat& l, const CandidateList* lcands,
       case KeyMode::kI64:
       case KeyMode::kStrOffset: {
         std::shared_ptr<const RadixTable<int64_t>> t = im.I64Table();
+        if (t->part_mask > 0 &&
+            DomainSize(l.size(), lcands) >= kPartitionWiseMinProbe) {
+          return PartitionWiseProbeJoin(
+              l, lcands, r, *t,
+              [&](size_t bp) { return I64KeyAt(probe, bp); }, mx);
+        }
         return ProbeJoin(
             l, lcands, r,
             [&](size_t bp, auto emit) {
@@ -1041,6 +1332,12 @@ Bat ProbePreparedJoin(const Bat& l, const CandidateList* lcands,
       }
       case KeyMode::kF64: {
         std::shared_ptr<const RadixTable<double>> t = im.F64Table();
+        if (t->part_mask > 0 &&
+            DomainSize(l.size(), lcands) >= kPartitionWiseMinProbe) {
+          return PartitionWiseProbeJoin(
+              l, lcands, r, *t,
+              [&](size_t bp) { return F64KeyAt(probe, bp); }, mx);
+        }
         return ProbeJoin(
             l, lcands, r,
             [&](size_t bp, auto emit) {
@@ -1416,15 +1713,37 @@ void WithTailLess(const Column& tail, Fn fn) {
 }  // namespace
 
 Bat TopNByTailCand(const Bat& b, const CandidateList& cands, size_t n,
-                   bool descending, const MorselExec& mx) {
+                   bool descending, const MorselExec& mx,
+                   TopKThreshold* topk) {
   KernelTimer timer(KernelOp::kTopN);
   TrackFusedAgg();
   TrackCandidateOp();
-  size_t m = cands.size();
-  std::vector<uint32_t> pos(m);
-  for (size_t i = 0; i < m; ++i) {
+  size_t domain = cands.size();
+  std::vector<uint32_t> pos(domain);
+  for (size_t i = 0; i < domain; ++i) {
     pos[i] = static_cast<uint32_t>(cands.PositionAt(i));
   }
+  // WAND-style threshold coupling, wired for descending dbl-tail
+  // rankings. Prefilter: a candidate scoring strictly below the shared
+  // bound scores strictly below the plan's final k'th score, so it can
+  // never reach the merged top k — dropping it here cannot change the
+  // final result (boundary ties score == k'th and survive). The kept
+  // candidates preserve their relative order, so the position tie-break
+  // downstream is unchanged.
+  const Column& tail = b.tail();
+  const bool wand = topk != nullptr && topk->k() > 0 && descending &&
+                    tail.type() == ValueType::kDbl;
+  if (wand) {
+    double bound = topk->bound();
+    if (bound > -std::numeric_limits<double>::infinity()) {
+      size_t write = 0;
+      for (size_t i = 0; i < pos.size(); ++i) {
+        if (!(tail.DblAt(pos[i]) < bound)) pos[write++] = pos[i];
+      }
+      pos.resize(write);
+    }
+  }
+  size_t m = pos.size();
   WithTailLess(b.tail(), [&](auto less) {
     // (tail value, position) ordering: exactly the prefix a full stable
     // sort of the materialized view would produce (ties break toward the
@@ -1476,7 +1795,12 @@ Bat TopNByTailCand(const Bat& b, const CandidateList& cands, size_t n,
                       pos.begin() + static_cast<ptrdiff_t>(write), cmp);
     pos.resize(keep);
   });
-  TrackKernelOp(KernelOp::kTopN, m, pos.size());
+  // Deliberately no Offer here: the coupled aggregate already offered
+  // every row this call reads. Offering them a second time would put
+  // duplicate per-row scores in the threshold's heap and lift the bound
+  // above the plan's true k'th score — an unsound prune. The TopN is a
+  // pure threshold consumer.
+  TrackKernelOp(KernelOp::kTopN, domain, pos.size());
   return GatherBat(b, pos);
 }
 

@@ -8,6 +8,7 @@
 #include "monet/bat.h"
 #include "monet/candidate.h"
 #include "monet/worker_pool.h"
+#include "monet/zone_map.h"
 
 namespace mirror::monet {
 
@@ -108,20 +109,30 @@ Bat SelectCmp(const Bat& b, CmpOp cmp, const Value& v);
 // `Materialize(b, XCand(b, ..., cands))` == `X(Materialize(b, *cands), ...)`.
 // The trailing MorselExec splits large domains across the worker pool
 // (results are identical; see MorselExec).
+//
+// Eq/Cmp/Range additionally accept the tail column's zone map (`zones`,
+// nullable): over dense sub-domains, blocks whose [min, max] provably
+// fails the predicate are skipped without reading a row, and blocks that
+// provably satisfy it (Cmp/Range only — double-space predicates) append
+// their positions wholesale. Positions produced are identical either
+// way; skipped blocks count into KernelStats.zone_blocks_skipped.
 
 CandidateList SelectEqCand(const Bat& b, const Value& v,
                            const CandidateList* cands = nullptr,
-                           const MorselExec& mx = {});
+                           const MorselExec& mx = {},
+                           const ZoneMap* zones = nullptr);
 CandidateList SelectNeqCand(const Bat& b, const Value& v,
                             const CandidateList* cands = nullptr,
                             const MorselExec& mx = {});
 CandidateList SelectCmpCand(const Bat& b, CmpOp cmp, const Value& v,
                             const CandidateList* cands = nullptr,
-                            const MorselExec& mx = {});
+                            const MorselExec& mx = {},
+                            const ZoneMap* zones = nullptr);
 CandidateList SelectRangeCand(const Bat& b, const Value& lo, const Value& hi,
                               bool lo_inclusive, bool hi_inclusive,
                               const CandidateList* cands = nullptr,
-                              const MorselExec& mx = {});
+                              const MorselExec& mx = {},
+                              const ZoneMap* zones = nullptr);
 
 /// Positions of `l` (within `lcands`, or all rows) whose HEAD occurs among
 /// the heads of `r`. The membership hash set over `r` is built once and
@@ -249,8 +260,18 @@ Bat TopNByTail(const Bat& b, size_t n, bool descending = true);
 /// Fused top-n over a candidate view: equivalent to
 /// `TopNByTail(Materialize(b, cands), n, descending)` without the copy.
 /// Morsels compute per-morsel top-n prefixes that are merged at the end.
+///
+/// When a shared top-k threshold is supplied (descending, dbl tails —
+/// ranking plans), candidates scoring strictly below the current bound
+/// are prefiltered before the partial sorts; a pruned row scores
+/// strictly below the final k'th row, so the result (including tie
+/// order) is bit-identical. The TopN only consumes the threshold — the
+/// coupled aggregate is the sole offerer, because re-offering rows it
+/// already offered would double-count scores and lift the bound past
+/// the true k'th score.
 Bat TopNByTailCand(const Bat& b, const CandidateList& cands, size_t n,
-                   bool descending = true, const MorselExec& mx = {});
+                   bool descending = true, const MorselExec& mx = {},
+                   TopKThreshold* topk = nullptr);
 
 /// Keeps the first row for each distinct tail value.
 Bat UniqueTail(const Bat& b);

@@ -25,13 +25,13 @@ base::Status Catalog::Register(const std::string& name, Bat bat) {
     return base::Status::AlreadyExists("BAT already registered: " + name);
   }
   bats_.emplace(name, std::make_shared<const Bat>(std::move(bat)));
-  DropShardCache();
+  DropDerivedCaches();
   return base::Status::Ok();
 }
 
 void Catalog::Put(const std::string& name, Bat bat) {
   bats_[name] = std::make_shared<const Bat>(std::move(bat));
-  DropShardCache();
+  DropDerivedCaches();
 }
 
 base::Result<BatPtr> Catalog::Get(const std::string& name) const {
@@ -50,7 +50,7 @@ base::Status Catalog::Drop(const std::string& name) {
   if (bats_.erase(name) == 0) {
     return base::Status::NotFound("no BAT named: " + name);
   }
-  DropShardCache();
+  DropDerivedCaches();
   return base::Status::Ok();
 }
 
@@ -118,7 +118,7 @@ base::Status Catalog::LoadFrom(const std::string& dir) {
     loaded.emplace(name, std::make_shared<const Bat>(bat.TakeValue()));
   }
   bats_ = std::move(loaded);
-  DropShardCache();
+  DropDerivedCaches();
   return base::Status::Ok();
 }
 
@@ -217,9 +217,49 @@ const ShardedCatalog* Catalog::Shards(size_t n) const {
   return it->second.get();
 }
 
-void Catalog::DropShardCache() {
+void Catalog::DropDerivedCaches() {
   std::lock_guard<std::mutex> lock(shard_mu_);
   shard_cache_.clear();
+  zone_cache_.reset();
 }
+
+// ---------------------------------------------------------------------------
+// Zone-map statistics.
+
+const Catalog::ZoneCache* Catalog::EnsureZoneCache() const {
+  // Same build-then-publish discipline as Shards(): the O(data) stats
+  // scan happens unlocked; the first of any racing builders to publish
+  // wins.
+  {
+    std::lock_guard<std::mutex> lock(shard_mu_);
+    if (zone_cache_) return zone_cache_.get();
+  }
+
+  auto cache = std::make_unique<ZoneCache>();
+  for (const auto& [name, bat] : bats_) {
+    cache->by_name.emplace(name, BuildBatZones(*bat));
+  }
+  for (const auto& [name, bat] : bats_) {
+    cache->by_ptr.emplace(bat.get(), &cache->by_name.at(name));
+  }
+
+  std::lock_guard<std::mutex> lock(shard_mu_);
+  if (!zone_cache_) zone_cache_ = std::move(cache);
+  return zone_cache_.get();
+}
+
+const BatZones* Catalog::Zones(const std::string& name) const {
+  const ZoneCache* cache = EnsureZoneCache();
+  auto it = cache->by_name.find(name);
+  return it == cache->by_name.end() ? nullptr : &it->second;
+}
+
+const BatZones* Catalog::ZonesFor(const Bat* bat) const {
+  const ZoneCache* cache = EnsureZoneCache();
+  auto it = cache->by_ptr.find(bat);
+  return it == cache->by_ptr.end() ? nullptr : it->second;
+}
+
+void Catalog::EnsureZones() const { EnsureZoneCache(); }
 
 }  // namespace mirror::monet

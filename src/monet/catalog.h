@@ -9,6 +9,7 @@
 
 #include "base/status.h"
 #include "monet/bat.h"
+#include "monet/zone_map.h"
 
 namespace mirror::monet {
 
@@ -88,7 +89,7 @@ class Catalog {
   Catalog& operator=(Catalog&& other) noexcept {
     if (this != &other) {
       bats_ = std::move(other.bats_);
-      DropShardCache();
+      DropDerivedCaches();
     }
     return *this;
   }
@@ -127,14 +128,46 @@ class Catalog {
   /// against concurrent mutation — the same rule as Get().
   const ShardedCatalog* Shards(size_t n) const;
 
+  /// Zone-map statistics of a named BAT (min/max per block, head and
+  /// tail), built lazily for the whole catalog on first use and cached —
+  /// the same lifecycle as Shards(): any catalog mutation drops the
+  /// cached statistics together with the shard layouts, so stale bounds
+  /// can never prune against replaced data. nullptr when the name is
+  /// unknown. Thread-safe against concurrent readers, not against
+  /// concurrent mutation.
+  const BatZones* Zones(const std::string& name) const;
+
+  /// Zone maps keyed by BAT identity: resolves the statistics of a BAT
+  /// the engine holds by pointer (candidate-pipeline bases and bare-load
+  /// registers alias catalog entries directly). nullptr for any BAT not
+  /// registered here — derived intermediates prune nothing, by design.
+  const BatZones* ZonesFor(const Bat* bat) const;
+
+  /// Builds (and caches) zone maps for every registered BAT if they are
+  /// not already current. Called eagerly at load time so queries never
+  /// pay the scan.
+  void EnsureZones() const;
+
  private:
-  void DropShardCache();
+  /// Statistics derived from the catalog contents, all invalidated by
+  /// the same mutations: one lazily built immutable snapshot.
+  struct ZoneCache {
+    std::map<std::string, BatZones> by_name;
+    /// Keys are the registered BATs' addresses; values point into
+    /// by_name nodes (stable under std::map).
+    std::map<const Bat*, const BatZones*> by_ptr;
+  };
+
+  void DropDerivedCaches();
+  const ZoneCache* EnsureZoneCache() const;
 
   std::map<std::string, BatPtr> bats_;
-  /// Lazily built shard layouts, keyed by shard count; mutable so a
-  /// const-held catalog (the execution engines' view) can shard itself.
+  /// Lazily built derived caches (shard layouts keyed by shard count,
+  /// zone-map statistics), guarded by one mutex; mutable so a const-held
+  /// catalog (the execution engines' view) can build them.
   mutable std::mutex shard_mu_;
   mutable std::map<size_t, std::unique_ptr<ShardedCatalog>> shard_cache_;
+  mutable std::unique_ptr<const ZoneCache> zone_cache_;
 };
 
 }  // namespace mirror::monet

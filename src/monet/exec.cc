@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <condition_variable>
+#include <map>
 #include <thread>
 
 #include "monet/bat_ops.h"
@@ -110,6 +111,55 @@ bool IsShardLocalUnaryOp(OpCode op) {
 
 namespace {
 
+/// The WAND couplings of one Run(): each ranking pattern — a prob
+/// aggregate whose SOLE consumer is a descending kTopN — shares one
+/// rising top-k threshold between the aggregate (prunes + offers) and
+/// the TopN (prefilters + offers). Keyed by instruction identity, so the
+/// shard engine's re-execution of the same Instr per shard shares one
+/// threshold across every shard of the plan.
+struct TopKPlan {
+  std::map<const Instr*, std::shared_ptr<TopKThreshold>> by_instr;
+
+  TopKThreshold* For(const Instr& i) const {
+    auto it = by_instr.find(&i);
+    return it == by_instr.end() ? nullptr : it->second.get();
+  }
+};
+
+/// Detects the ranking patterns of `program`. The aggregate's output may
+/// legally omit provably-losing rows only when nothing but the TopN ever
+/// reads it, so the coupling requires the aggregate register to have
+/// exactly one writer and exactly one use (the TopN's src0), and the
+/// result register not to be the aggregate itself.
+TopKPlan BuildTopKPlan(const Program& program) {
+  TopKPlan plan;
+  std::map<int, int> uses;
+  std::map<int, int> writers;
+  std::map<int, const Instr*> producer;
+  for (const Instr& i : program.instrs()) {
+    for (int src : {i.src0, i.src1, i.src2}) {
+      if (src >= 0) ++uses[src];
+    }
+    ++writers[i.dst];
+    producer[i.dst] = &i;
+  }
+  ++uses[program.result_reg()];
+  for (const Instr& i : program.instrs()) {
+    if (i.op != OpCode::kTopN || !i.flag0 || i.n < 1 || i.src0 < 0) continue;
+    if (writers[i.src0] != 1 || uses[i.src0] != 1) continue;
+    const Instr* p = producer[i.src0];
+    if (p == nullptr ||
+        (p->op != OpCode::kProdPerHead && p->op != OpCode::kProbOrPerHead)) {
+      continue;
+    }
+    auto threshold =
+        std::make_shared<TopKThreshold>(static_cast<size_t>(i.n));
+    plan.by_instr.emplace(p, threshold);
+    plan.by_instr.emplace(&i, threshold);
+  }
+  return plan;
+}
+
 /// Shared state of one Run(): the borrowed register file plus the mutex
 /// guarding post-completion slot upgrades (candidate view -> materialized
 /// BAT). Producer-side slot writes need no lock: the scheduler's queue
@@ -120,12 +170,35 @@ struct RunState {
   bool use_candidates;
   bool fuse_aggregates;
   bool morsel_joins;
+  bool zone_maps;
+  bool topk_prune;
+  const TopKPlan* topk;
   MorselExec mx;
   std::vector<RegValue>* regs;
   std::mutex slot_mu;
 
   RegValue& slot(int reg) { return (*regs)[static_cast<size_t>(reg)]; }
 };
+
+/// The tail zone map of `bat` from the run's catalog cache, or null when
+/// zone pruning is off, the BAT is not a cached base BAT, or its tail
+/// carries no bounds. Intermediate results never hit the cache (pointer
+/// lookup), so pruning only ever consults load-time statistics.
+const ZoneMap* TailZonesFor(RunState& st, const Bat* bat) {
+  if (!st.zone_maps || st.catalog == nullptr || bat == nullptr) {
+    return nullptr;
+  }
+  const BatZones* z = st.catalog->ZonesFor(bat);
+  if (z == nullptr || !z->tail.valid) return nullptr;
+  return &z->tail;
+}
+
+/// The shared top-k threshold coupled to instruction `i`, or null when
+/// top-k pruning is off or `i` is not part of a ranking pattern.
+TopKThreshold* TopKFor(RunState& st, const Instr& i) {
+  if (!st.topk_prune || st.topk == nullptr) return nullptr;
+  return st.topk->For(i);
+}
 
 /// A register's materialized BAT; lazily collapses a candidate view into
 /// a BAT (shared by all later consumers of the register). The gather
@@ -267,15 +340,19 @@ void ExecFusedAgg(RunState& st, const Instr& i, const BatPtr& base,
       PutBat(st, i.dst, AvgPerHeadCand(*base, cands, st.mx));
       break;
     case OpCode::kProdPerHead:
-      PutBat(st, i.dst, ProdPerHeadCand(*base, cands, st.mx));
+      PutBat(st, i.dst,
+             ProdPerHeadCand(*base, cands, st.mx, TailZonesFor(st, base.get()),
+                             TopKFor(st, i)));
       break;
     case OpCode::kProbOrPerHead:
-      PutBat(st, i.dst, ProbOrPerHeadCand(*base, cands, st.mx));
+      PutBat(st, i.dst,
+             ProbOrPerHeadCand(*base, cands, st.mx,
+                               TailZonesFor(st, base.get()), TopKFor(st, i)));
       break;
     case OpCode::kTopN:
       PutBat(st, i.dst,
              TopNByTailCand(*base, cands, static_cast<size_t>(i.n), i.flag0,
-                            st.mx));
+                            st.mx, TopKFor(st, i)));
       break;
     case OpCode::kScalarSum:
       PutScalar(st, i.dst, ScalarSumCand(*base, cands, st.mx));
@@ -286,6 +363,64 @@ void ExecFusedAgg(RunState& st, const Instr& i, const BatPtr& base,
       break;
     case OpCode::kScalarFold:
       PutScalar(st, i.dst, ScalarFoldCand(*base, cands, i.fold_op, st.mx));
+      break;
+    default:
+      MIRROR_UNREACHABLE();
+  }
+}
+
+/// Materializing per-head aggregate dispatch. With zone maps on, an
+/// oid-headed base BAT's load-time head bounds feed the *PerHeadRanged
+/// dense-array forms (identical output, no hash fold); heads without
+/// cached bounds — intermediates, void heads — take the plain form.
+void ExecPerHeadAgg(RunState& st, const Instr& i, const BatPtr& b) {
+  const ZoneMap* hz = nullptr;
+  if (st.zone_maps && st.catalog != nullptr &&
+      b->head().type() == ValueType::kOid) {
+    const BatZones* z = st.catalog->ZonesFor(b.get());
+    if (z != nullptr && z->head.valid) hz = &z->head;
+  }
+  if (hz != nullptr) {
+    // Bounds widen outward on conversion, so the range always contains
+    // every head oid; the Ranged forms fall back themselves when the
+    // range is too sparse for a dense accumulator.
+    Oid lo = static_cast<Oid>(hz->min);
+    Oid hi = static_cast<Oid>(hz->max) + 1;
+    switch (i.op) {
+      case OpCode::kSumPerHead:
+        PutBat(st, i.dst, SumPerHeadRanged(*b, nullptr, lo, hi, st.mx));
+        return;
+      case OpCode::kCountPerHead:
+        PutBat(st, i.dst, CountPerHeadRanged(*b, nullptr, lo, hi, st.mx));
+        return;
+      case OpCode::kMaxPerHead:
+        PutBat(st, i.dst, MaxPerHeadRanged(*b, nullptr, lo, hi, st.mx));
+        return;
+      case OpCode::kMinPerHead:
+        PutBat(st, i.dst, MinPerHeadRanged(*b, nullptr, lo, hi, st.mx));
+        return;
+      case OpCode::kAvgPerHead:
+        PutBat(st, i.dst, AvgPerHeadRanged(*b, nullptr, lo, hi, st.mx));
+        return;
+      default:
+        break;
+    }
+  }
+  switch (i.op) {
+    case OpCode::kSumPerHead:
+      PutBat(st, i.dst, SumPerHead(*b, st.mx));
+      break;
+    case OpCode::kCountPerHead:
+      PutBat(st, i.dst, CountPerHead(*b, st.mx));
+      break;
+    case OpCode::kMaxPerHead:
+      PutBat(st, i.dst, MaxPerHead(*b, st.mx));
+      break;
+    case OpCode::kMinPerHead:
+      PutBat(st, i.dst, MinPerHead(*b, st.mx));
+      break;
+    case OpCode::kAvgPerHead:
+      PutBat(st, i.dst, AvgPerHead(*b, st.mx));
       break;
     default:
       MIRROR_UNREACHABLE();
@@ -305,7 +440,9 @@ base::Status ExecInstr(RunState& st, const Instr& i) {
     const CandidateList* domain = cands.get();
     switch (i.op) {
       case OpCode::kSelectEq:
-        PutCand(st, i.dst, base, SelectEqCand(*base, i.imm0, domain, st.mx));
+        PutCand(st, i.dst, base,
+                SelectEqCand(*base, i.imm0, domain, st.mx,
+                             TailZonesFor(st, base.get())));
         return base::Status::Ok();
       case OpCode::kSelectNeq:
         PutCand(st, i.dst, base,
@@ -313,12 +450,13 @@ base::Status ExecInstr(RunState& st, const Instr& i) {
         return base::Status::Ok();
       case OpCode::kSelectCmp:
         PutCand(st, i.dst, base,
-                SelectCmpCand(*base, i.cmp_op, i.imm0, domain, st.mx));
+                SelectCmpCand(*base, i.cmp_op, i.imm0, domain, st.mx,
+                              TailZonesFor(st, base.get())));
         return base::Status::Ok();
       case OpCode::kSelectRange:
         PutCand(st, i.dst, base,
                 SelectRangeCand(*base, i.imm0, i.imm1, i.flag0, i.flag1,
-                                domain, st.mx));
+                                domain, st.mx, TailZonesFor(st, base.get())));
         return base::Status::Ok();
       case OpCode::kSemiJoinHead:
       case OpCode::kAntiJoinHead: {
@@ -497,9 +635,21 @@ base::Status ExecInstr(RunState& st, const Instr& i) {
     case OpCode::kSortTail:
       PutBat(st, i.dst, SortByTail(b0, i.flag0));
       break;
-    case OpCode::kTopN:
-      PutBat(st, i.dst, TopNByTail(b0, static_cast<size_t>(i.n), i.flag0));
+    case OpCode::kTopN: {
+      // A threshold-coupled TopN prefilters against the shared bound and
+      // publishes its k'th score (the kernel handles a full domain just
+      // like a candidate one).
+      TopKThreshold* topk = TopKFor(st, i);
+      if (topk != nullptr) {
+        PutBat(st, i.dst,
+               TopNByTailCand(b0, CandidateList::All(b0.size()),
+                              static_cast<size_t>(i.n), i.flag0, st.mx,
+                              topk));
+      } else {
+        PutBat(st, i.dst, TopNByTail(b0, static_cast<size_t>(i.n), i.flag0));
+      }
       break;
+    }
     case OpCode::kScalarBin:
       MIRROR_UNREACHABLE();  // handled above (scalar sources)
       break;
@@ -520,25 +670,21 @@ base::Status ExecInstr(RunState& st, const Instr& i) {
       break;
     }
     case OpCode::kSumPerHead:
-      PutBat(st, i.dst, SumPerHead(b0, st.mx));
-      break;
     case OpCode::kCountPerHead:
-      PutBat(st, i.dst, CountPerHead(b0, st.mx));
-      break;
     case OpCode::kMaxPerHead:
-      PutBat(st, i.dst, MaxPerHead(b0, st.mx));
-      break;
     case OpCode::kMinPerHead:
-      PutBat(st, i.dst, MinPerHead(b0, st.mx));
-      break;
     case OpCode::kAvgPerHead:
-      PutBat(st, i.dst, AvgPerHead(b0, st.mx));
+      ExecPerHeadAgg(st, i, l.value());
       break;
     case OpCode::kProdPerHead:
-      PutBat(st, i.dst, ProdPerHead(b0, st.mx));
+      PutBat(st, i.dst,
+             ProdPerHead(b0, st.mx, TailZonesFor(st, l.value().get()),
+                         TopKFor(st, i)));
       break;
     case OpCode::kProbOrPerHead:
-      PutBat(st, i.dst, ProbOrPerHead(b0, st.mx));
+      PutBat(st, i.dst,
+             ProbOrPerHead(b0, st.mx, TailZonesFor(st, l.value().get()),
+                           TopKFor(st, i)));
       break;
     case OpCode::kCountPerTailValue:
       PutBat(st, i.dst, CountPerTailValue(b0));
@@ -933,6 +1079,35 @@ base::Status RunSharded(ShardRunState& sst, const Program& program) {
       continue;
     }
 
+    // ---- Whole-shard top-k pruning: a threshold-coupled prob aggregate
+    // whose fragment's tail upper bound (load-time zone map) is strictly
+    // below the shared bound cannot contribute a top-k row — the shard's
+    // aggregate (and its TopN downstream) collapses to an empty BAT
+    // without reading a row. The bound only rises after k scores exist,
+    // so not every shard can be pruned.
+    if ((i.op == OpCode::kProdPerHead || i.op == OpCode::kProbOrPerHead) &&
+        shape_of(i.src0) == RegShape::kSharded) {
+      TopKThreshold* topk = TopKFor(g, i);
+      if (topk != nullptr) {
+        MIRROR_RETURN_IF_ERROR(ExecShardFanout(
+            sst, i, domain_of(i.src0), [&](RunState& st, size_t) {
+              BatPtr base;
+              std::shared_ptr<const CandidateList> cands;
+              MIRROR_RETURN_IF_ERROR(CandInput(st, i.src0, &base, &cands));
+              const ZoneMap* z = TailZonesFor(st, base.get());
+              if (base->head().is_void() && z != nullptr &&
+                  z->max < topk->bound()) {
+                TrackTopkShardPruned();
+                PutBat(st, i.dst,
+                       Bat(Column::MakeOids({}), Column::MakeDbls({})));
+                return base::Status::Ok();
+              }
+              return ExecInstr(st, i);
+            }));
+        continue;
+      }
+    }
+
     // ---- Shard-local unary family.
     if (IsShardLocalUnaryOp(i.op) && shape_of(i.src0) == RegShape::kSharded) {
       MIRROR_RETURN_IF_ERROR(ExecShardLocal(sst, i, domain_of(i.src0)));
@@ -1098,8 +1273,20 @@ base::Result<RunResult> ExecutionEngine::Run(const Program& program,
     ~RegsReleaser() { regs->clear(); }
   } releaser{&regs};
 
-  RunState st{catalog_, options_.use_candidates, options_.fuse_aggregates,
-              options_.morsel_joins, MorselExec{}, &regs};
+  // Ranking patterns share one rising top-k threshold per plan run
+  // (fresh each Run: the bound is only monotone within one execution).
+  TopKPlan topk_plan;
+  if (options_.topk_prune) topk_plan = BuildTopKPlan(program);
+
+  RunState st{catalog_,
+              options_.use_candidates,
+              options_.fuse_aggregates,
+              options_.morsel_joins,
+              options_.zone_maps,
+              options_.topk_prune,
+              &topk_plan,
+              MorselExec{},
+              &regs};
   st.mx.radix_partitions = options_.radix_partitions;
   st.mx.bloom_probes = options_.bloom_probes;
 
@@ -1136,8 +1323,8 @@ base::Result<RunResult> ExecutionEngine::Run(const Program& program,
     for (size_t s = 0; s < S; ++s) {
       sst.shard.emplace_back(new RunState{
           &shard_layout->shard(s), options_.use_candidates,
-          options_.fuse_aggregates, options_.morsel_joins, st.mx,
-          &shard_regs[s]});
+          options_.fuse_aggregates, options_.morsel_joins, options_.zone_maps,
+          options_.topk_prune, &topk_plan, st.mx, &shard_regs[s]});
     }
     sst.shape.assign(num_regs, RegShape::kGlobal);
     sst.domain.assign(num_regs, nullptr);

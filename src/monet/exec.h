@@ -78,6 +78,19 @@ struct ExecOptions {
   /// Bloom filter in front of the bucket chains (see
   /// MorselExec.bloom_probes; profiler counters bloom_builds/bloom_hits).
   bool bloom_probes = true;
+  /// When true, catalog zone maps (per-block min/max, built at load time)
+  /// prune selections block-wise and bound dense per-head aggregation
+  /// ranges; results are identical (pruned blocks provably contain no
+  /// qualifying row). When false, every block is scanned — the baseline
+  /// for the pruning benchmarks.
+  bool zone_maps = true;
+  /// When true, ranking plans (prob-aggregate feeding a sole-consumer
+  /// descending topN) share a WAND-style rising top-k threshold: the
+  /// aggregate drops rows — and with zone maps, skips blocks, morsels and
+  /// whole shards — that provably cannot enter the final top k. The
+  /// ranked result stays bit-identical, including stable tie order. When
+  /// false, ranking plans run unpruned.
+  bool topk_prune = true;
 };
 
 /// One register during execution: a materialized BAT, an unmaterialized

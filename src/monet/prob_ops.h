@@ -4,6 +4,7 @@
 #include "monet/bat.h"
 #include "monet/bat_ops.h"
 #include "monet/candidate.h"
+#include "monet/zone_map.h"
 
 namespace mirror::monet {
 
@@ -41,10 +42,14 @@ Bat BeliefTfIdf(const Bat& tf, const Bat& df, const Bat& doclen,
 /// Large inputs split into morsels whose partial products are merged
 /// before finalization (multiplication is associative and commutative
 /// across groups, so the merge is a per-group product).
-Bat ProdPerHead(const Bat& b, const MorselExec& mx = {});
+Bat ProdPerHead(const Bat& b, const MorselExec& mx = {},
+                const ZoneMap* tail_zones = nullptr,
+                TopKThreshold* topk = nullptr);
 
 /// Per-head probabilistic OR: 1 - prod(1 - x).
-Bat ProbOrPerHead(const Bat& b, const MorselExec& mx = {});
+Bat ProbOrPerHead(const Bat& b, const MorselExec& mx = {},
+                  const ZoneMap* tail_zones = nullptr,
+                  TopKThreshold* topk = nullptr);
 
 // Candidate-aware fused forms (same pattern as SumPerHeadCand): each is
 // equivalent to the materializing form over `Materialize(b, cands)` but
@@ -52,11 +57,23 @@ Bat ProbOrPerHead(const Bat& b, const MorselExec& mx = {});
 // select→pand/por plans run with zero Materialize() calls. A void head
 // makes every group a singleton, where prod(x) and 1-prod(1-x) both
 // collapse to x itself — a direct (oid, value) construction.
+//
+// `topk` couples the singleton path to a ranking plan's shared top-k
+// threshold (WAND-style): rows whose score is strictly below the bound
+// are dropped before the downstream TopN ever reads them, and `tail_zones`
+// block upper bounds skip whole blocks and morsels without touching a
+// row. ONLY legal when the downstream TopN (descending, n == threshold k)
+// is this aggregate's sole consumer: the output then differs only in rows
+// that provably cannot reach the final top k.
 
 Bat ProdPerHeadCand(const Bat& b, const CandidateList& cands,
-                    const MorselExec& mx = {});
+                    const MorselExec& mx = {},
+                    const ZoneMap* tail_zones = nullptr,
+                    TopKThreshold* topk = nullptr);
 Bat ProbOrPerHeadCand(const Bat& b, const CandidateList& cands,
-                      const MorselExec& mx = {});
+                      const MorselExec& mx = {},
+                      const ZoneMap* tail_zones = nullptr,
+                      TopKThreshold* topk = nullptr);
 
 }  // namespace mirror::monet
 

@@ -122,6 +122,18 @@ std::string KernelStats::ToString() const {
                            static_cast<unsigned long long>(shard_fanouts),
                            static_cast<unsigned long long>(shard_fanins));
   }
+  if (zone_blocks_skipped > 0 || topk_morsels_pruned > 0 ||
+      topk_shards_pruned > 0) {
+    out += base::StrFormat(
+        " zoneskip=%llu topk=%llu/%llu",
+        static_cast<unsigned long long>(zone_blocks_skipped),
+        static_cast<unsigned long long>(topk_morsels_pruned),
+        static_cast<unsigned long long>(topk_shards_pruned));
+  }
+  if (probe_partitions > 0) {
+    out += base::StrFormat(" probeparts=%llu",
+                           static_cast<unsigned long long>(probe_partitions));
+  }
   return out;
 }
 
@@ -190,6 +202,31 @@ void TrackShardFanout() {
 void TrackShardFanin() {
   std::lock_guard<std::mutex> lock(StatsMutex());
   ++GlobalKernelStats().shard_fanins;
+}
+
+void TrackZoneBlocksSkipped(uint64_t blocks) {
+  std::lock_guard<std::mutex> lock(StatsMutex());
+  GlobalKernelStats().zone_blocks_skipped += blocks;
+}
+
+void TrackTopkMorselsPruned(uint64_t morsels) {
+  std::lock_guard<std::mutex> lock(StatsMutex());
+  GlobalKernelStats().topk_morsels_pruned += morsels;
+}
+
+void TrackTopkShardPruned() {
+  std::lock_guard<std::mutex> lock(StatsMutex());
+  ++GlobalKernelStats().topk_shards_pruned;
+}
+
+void TrackProbePartitions(uint64_t partitions) {
+  std::lock_guard<std::mutex> lock(StatsMutex());
+  GlobalKernelStats().probe_partitions += partitions;
+}
+
+KernelStats SnapshotKernelStats() {
+  std::lock_guard<std::mutex> lock(StatsMutex());
+  return GlobalKernelStats();
 }
 
 }  // namespace mirror::monet

@@ -71,6 +71,15 @@ struct KernelStats {
   /// global value at fan-in boundaries.
   uint64_t shard_fanouts = 0;
   uint64_t shard_fanins = 0;
+  /// Statistics-driven pruning accounting: zone-map blocks proven dead by
+  /// min/max bounds (selects and pruned aggregates), morsels and whole
+  /// shards skipped because their score upper bound fell below the shared
+  /// top-k threshold, and probe sides radix-clustered for partition-wise
+  /// join scheduling (total probe partitions across them).
+  uint64_t zone_blocks_skipped = 0;
+  uint64_t topk_morsels_pruned = 0;
+  uint64_t topk_shards_pruned = 0;
+  uint64_t probe_partitions = 0;
 
   /// Total operator invocations across all families.
   uint64_t TotalOps() const;
@@ -131,6 +140,23 @@ void TrackShardFanout();
 
 /// Records one sharded register gathered into a global value (fan-in).
 void TrackShardFanin();
+
+/// Records `blocks` zone-map blocks skipped by min/max pruning.
+void TrackZoneBlocksSkipped(uint64_t blocks);
+
+/// Records `morsels` aggregate morsels skipped by the top-k threshold.
+void TrackTopkMorselsPruned(uint64_t morsels);
+
+/// Records one whole shard pruned by the top-k threshold.
+void TrackTopkShardPruned();
+
+/// Records one probe side radix-clustered into `partitions` partitions
+/// for partition-wise join scheduling.
+void TrackProbePartitions(uint64_t partitions);
+
+/// Consistent copy of the process-wide counters (taken under the stats
+/// mutex — safe to call while kernels run).
+KernelStats SnapshotKernelStats();
 
 /// Scoped wall-time attribution to one operator family. Place at the top
 /// of an operator body; destruction adds the elapsed time.

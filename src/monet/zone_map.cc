@@ -1,0 +1,136 @@
+#include "monet/zone_map.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mirror::monet {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Whether an int64 converts to double without rounding.
+bool ExactAsDouble(int64_t v) {
+  constexpr int64_t kLimit = int64_t(1) << 53;
+  return v > -kLimit && v < kLimit;
+}
+
+}  // namespace
+
+double DoubleLowerBound(int64_t v) {
+  double d = static_cast<double>(v);
+  return ExactAsDouble(v) ? d : std::nextafter(d, -kInf);
+}
+
+double DoubleUpperBound(int64_t v) {
+  double d = static_cast<double>(v);
+  return ExactAsDouble(v) ? d : std::nextafter(d, kInf);
+}
+
+double ZoneMap::RangeMax(size_t lo, size_t hi) const {
+  if (lo >= hi || block_max.empty()) return -kInf;
+  size_t first = lo / block_rows;
+  size_t last = std::min((hi - 1) / block_rows, block_max.size() - 1);
+  double m = -kInf;
+  for (size_t b = first; b <= last; ++b) m = std::max(m, block_max[b]);
+  return m;
+}
+
+size_t ZoneMap::BlocksIn(size_t lo, size_t hi) const {
+  if (lo >= hi) return 0;
+  return (hi - 1) / block_rows - lo / block_rows + 1;
+}
+
+ZoneMap BuildZoneMap(const Column& c, size_t block_rows) {
+  ZoneMap z;
+  z.block_rows = block_rows == 0 ? kZoneBlockRows : block_rows;
+  size_t n = c.size();
+  if (n == 0) return z;
+  size_t blocks = (n + z.block_rows - 1) / z.block_rows;
+  z.block_min.assign(blocks, kInf);
+  z.block_max.assign(blocks, -kInf);
+  switch (c.type()) {
+    case ValueType::kVoid: {
+      // Dense oid sequence: bounds are arithmetic, no scan needed.
+      Oid base = c.void_base();
+      for (size_t b = 0; b < blocks; ++b) {
+        size_t lo = b * z.block_rows;
+        size_t hi = std::min(n, lo + z.block_rows);
+        z.block_min[b] = static_cast<double>(base + lo);
+        z.block_max[b] = static_cast<double>(base + hi - 1);
+      }
+      break;
+    }
+    case ValueType::kOid:
+    case ValueType::kInt: {
+      for (size_t i = 0; i < n; ++i) {
+        int64_t v = c.type() == ValueType::kOid
+                        ? static_cast<int64_t>(c.OidAt(i))
+                        : c.IntAt(i);
+        size_t b = i / z.block_rows;
+        z.block_min[b] = std::min(z.block_min[b], DoubleLowerBound(v));
+        z.block_max[b] = std::max(z.block_max[b], DoubleUpperBound(v));
+      }
+      break;
+    }
+    case ValueType::kDbl: {
+      for (size_t i = 0; i < n; ++i) {
+        double v = c.DblAt(i);
+        if (std::isnan(v)) return ZoneMap{};  // NaN defeats interval logic
+        size_t b = i / z.block_rows;
+        z.block_min[b] = std::min(z.block_min[b], v);
+        z.block_max[b] = std::max(z.block_max[b], v);
+      }
+      break;
+    }
+    case ValueType::kStr:
+      return z;  // strings carry no numeric bounds
+  }
+  z.min = kInf;
+  z.max = -kInf;
+  for (size_t b = 0; b < blocks; ++b) {
+    z.min = std::min(z.min, z.block_min[b]);
+    z.max = std::max(z.max, z.block_max[b]);
+  }
+  z.valid = true;
+  return z;
+}
+
+BatZones BuildBatZones(const Bat& b, size_t block_rows) {
+  BatZones zones;
+  zones.head = BuildZoneMap(b.head(), block_rows);
+  zones.tail = BuildZoneMap(b.tail(), block_rows);
+  return zones;
+}
+
+ZoneMatch ClassifyZone(double bmin, double bmax, double lo, bool lo_inc,
+                       double hi, bool hi_inc) {
+  if (bmax < lo || (bmax == lo && !lo_inc) || bmin > hi ||
+      (bmin == hi && !hi_inc)) {
+    return ZoneMatch::kNone;
+  }
+  bool above_lo = lo_inc ? bmin >= lo : bmin > lo;
+  bool below_hi = hi_inc ? bmax <= hi : bmax < hi;
+  return (above_lo && below_hi) ? ZoneMatch::kAll : ZoneMatch::kSome;
+}
+
+void TopKThreshold::Offer(const std::vector<double>& scores) {
+  if (k_ == 0 || scores.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (double s : scores) {
+    if (std::isnan(s)) continue;
+    if (heap_.size() < k_) {
+      heap_.push(s);
+    } else if (s > heap_.top()) {
+      heap_.pop();
+      heap_.push(s);
+    }
+  }
+  if (heap_.size() == k_) {
+    // heap_.top() only ever rises (pops happen only for a larger push),
+    // so the published bound is monotone.
+    bound_.store(heap_.top(), std::memory_order_relaxed);
+  }
+}
+
+}  // namespace mirror::monet

@@ -4,12 +4,15 @@
 // ExecutionEngine — at 1 and 4 worker threads, with morsel splitting
 // forced on via a tiny morsel size, with fused aggregation switched
 // off, with the pre-radix legacy join, with radix joins forced onto
-// multiple partitions, and with the program fanned out over 2- and
-// 4-way oid-range shardings of the catalog — all produce identical
-// results (a 9-way check): the architecture's central theorem, probed
-// far beyond the hand-written cases. The getBL ranking patterns flatten
+// multiple partitions, with the program fanned out over 2- and
+// 4-way oid-range shardings of the catalog, and with zone-map +
+// top-k pruning switched off — all produce identical results (a
+// 10-way check): the architecture's central theorem, probed far
+// beyond the hand-written cases. The getBL ranking patterns flatten
 // to join-heavy MIL, so the join and shard modes run over genuine
-// multi-join plans with both shard-local and broadcast build sides.
+// multi-join plans with both shard-local and broadcast build sides;
+// a coin flip wraps them in a truncated topN ranking so the WAND
+// pruning path is exercised against the naive top-k.
 
 #include <map>
 #include <set>
@@ -80,8 +83,13 @@ std::string RandomPredicate(base::Rng* rng) {
 
 // Random query: either a scalar map chain or a getBL ranking pattern
 // with a random combination operator, over an optionally selected /
-// semijoined set. max/pand/por only flatten unweighted queries.
-std::string RandomQuery(base::Rng* rng, bool weighted) {
+// semijoined set. max/pand/por only flatten unweighted queries. When the
+// ranking is wrapped in a truncating topN, `untruncated` receives the
+// inner query (the full ranking) — the oracle for row-identity checks;
+// it stays empty otherwise.
+std::string RandomQuery(base::Rng* rng, bool weighted,
+                        std::string* untruncated) {
+  untruncated->clear();
   std::string source = "S";
   if (rng->Uniform(2) == 0) {
     source = "select[" + RandomPredicate(rng) + "](" + source + ")";
@@ -96,9 +104,21 @@ std::string RandomQuery(base::Rng* rng, bool weighted) {
                                      "max", "pand", "por"};
     const char* agg = weighted ? weighted_safe[rng->Uniform(3)]
                                : unweighted_only[rng->Uniform(6)];
-    return base::StrFormat(
-        "map[%s(THIS)](map[getBL(THIS.doc, query, stats)](%s));", agg,
+    std::string ranked = base::StrFormat(
+        "map[%s(THIS)](map[getBL(THIS.doc, query, stats)](%s))", agg,
         source.c_str());
+    // Ranking plans: wrapping the scored set in a descending topN couples
+    // the WAND top-k threshold when the aggregate is a sole-consumer prob
+    // combinator (pand/por), so the pruned engines run against the naive
+    // oracle here. k spans under-, at- and over-sized results.
+    if (rng->Uniform(2) == 0) {
+      constexpr int64_t kTopKs[] = {1, 10, 257};
+      *untruncated = ranked + ";";
+      ranked = base::StrFormat("topN(%s, %lld)", ranked.c_str(),
+                               static_cast<long long>(
+                                   kTopKs[rng->Uniform(std::size(kTopKs))]));
+    }
+    return ranked + ";";
   }
   // Scalar arithmetic map (possibly composed).
   const char* bodies[] = {"THIS.a + THIS.b", "THIS.a * 2 + 1",
@@ -148,6 +168,8 @@ struct EngineMode {
   bool morsel_joins = true;
   size_t radix_partitions = 0;
   size_t num_shards = 0;
+  bool zone_maps = true;
+  bool topk_prune = true;
 };
 
 constexpr EngineMode kEngineModes[] = {
@@ -176,6 +198,14 @@ constexpr EngineMode kEngineModes[] = {
     // on the smallest databases).
     {"engine-4-threads-2-shards", true, 4, 257, true, true, 0, 2},
     {"engine-1-thread-4-shards", true, 1, 64 * 1024, true, true, 0, 4},
+    // Statistics pruning off: zone maps and the top-k threshold are the
+    // only difference from the default modes above, so any disagreement
+    // pins the blame on the pruning layer.
+    // (The default-flag modes above all run pruned — zone maps and the
+    // top-k threshold default on — including the sharded ones, where
+    // threshold offers race across shards.)
+    {"engine-4-threads-unpruned", true, 4, 257, true, true, 0, 0, false,
+     false},
 };
 
 std::map<Oid, double> RunFlat(const Database& db, const QueryContext& ctx,
@@ -206,7 +236,9 @@ std::map<Oid, double> RunFlat(const Database& db, const QueryContext& ctx,
                                 .fuse_aggregates = mode.fuse_aggregates,
                                 .morsel_joins = mode.morsel_joins,
                                 .radix_partitions = mode.radix_partitions,
-                                .num_shards = mode.num_shards});
+                                .num_shards = mode.num_shards,
+                                .zone_maps = mode.zone_maps,
+                                .topk_prune = mode.topk_prune});
     run = engine.Run(prog, session);
   } else {
     run = monet::mil::Executor(&db.catalog()).Run(prog);
@@ -256,11 +288,24 @@ TEST_P(FuzzEquivalenceTest, NaiveAndFlattenedAgreeOnRandomQueries) {
 
   monet::mil::ExecutionContext session;
   for (int q = 0; q < 12; ++q) {
-    std::string text = RandomQuery(&rng, weighted);
+    std::string untruncated;
+    std::string text = RandomQuery(&rng, weighted, &untruncated);
     SCOPED_TRACE(text);
     auto expr = ParseExpr(text);
     ASSERT_TRUE(expr.ok()) << expr.status().ToString();
     auto naive = RunNaive(db, ctx, expr.value());
+    // A truncating topN turns sub-epsilon score inversions at the k'th
+    // boundary into membership differences (engine scores differ from
+    // naive in last ulps), so ranked queries compare rank-by-rank scores
+    // plus row identity against the full untruncated naive ranking —
+    // the engine-vs-engine bit-identity (stable ties included) is pinned
+    // by the deterministic monet_zone_map_test cases instead.
+    std::map<Oid, double> naive_full;
+    if (!untruncated.empty()) {
+      auto full_expr = ParseExpr(untruncated);
+      ASSERT_TRUE(full_expr.ok()) << full_expr.status().ToString();
+      naive_full = RunNaive(db, ctx, full_expr.value());
+    }
     // Every engine mode, optimized and unoptimized, must agree with the
     // naive interpreter exactly (same result set, scores within epsilon).
     for (const EngineMode& mode : kEngineModes) {
@@ -268,10 +313,30 @@ TEST_P(FuzzEquivalenceTest, NaiveAndFlattenedAgreeOnRandomQueries) {
       for (bool optimize : {true, false}) {
         auto flat = RunFlat(db, ctx, expr.value(), optimize, mode, &session);
         ASSERT_EQ(naive.size(), flat.size()) << "optimize=" << optimize;
-        for (const auto& [oid, score] : naive) {
-          ASSERT_TRUE(flat.count(oid)) << "oid " << oid;
-          EXPECT_NEAR(flat.at(oid), score, 1e-9)
-              << "oid " << oid << " optimize=" << optimize;
+        if (untruncated.empty()) {
+          for (const auto& [oid, score] : naive) {
+            ASSERT_TRUE(flat.count(oid))
+                << "oid " << oid << " naive score " << score;
+            EXPECT_NEAR(flat.at(oid), score, 1e-9)
+                << "oid " << oid << " optimize=" << optimize;
+          }
+        } else {
+          // Row identity: every returned row exists and carries its own
+          // true score (no row can ride in on another's score).
+          for (const auto& [oid, score] : flat) {
+            ASSERT_TRUE(naive_full.count(oid)) << "oid " << oid;
+            EXPECT_NEAR(naive_full.at(oid), score, 1e-9) << "oid " << oid;
+          }
+          // Ranking identity: the k'th-ranked score agrees at every rank.
+          std::vector<double> want;
+          std::vector<double> got;
+          for (const auto& [oid, score] : naive) want.push_back(score);
+          for (const auto& [oid, score] : flat) got.push_back(score);
+          std::sort(want.rbegin(), want.rend());
+          std::sort(got.rbegin(), got.rend());
+          for (size_t i = 0; i < want.size(); ++i) {
+            EXPECT_NEAR(want[i], got[i], 1e-9) << "rank " << i;
+          }
         }
       }
     }
