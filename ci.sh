@@ -140,4 +140,27 @@ awk -v r="${E5_RECALL}" 'BEGIN { exit (r == 1.0) ? 0 : 1 }' || {
   exit 1
 }
 
+echo "== instant-recovery gate (E6, crash-kill + MM-DIRECT lazy restart) =="
+# bench_recovery populates a WAL-attached daemon over wire APPENDs,
+# SIGKILLs it mid-write-storm, and restarts it twice. It aborts itself
+# if the lazy restart answers differently from the full replay or the
+# first result never forced a query-driven fragment replay. The gates:
+# every acknowledged write survived the SIGKILL, and opening the port
+# before replay (lazy, on-demand fragment replay) reaches the first
+# result >= 3x faster than the classic full-replay restart.
+(cd build && ./bench_recovery)
+E6_LOST=$(grep -m1 '"lost_acked_writes"' build/BENCH_retrieval.json \
+            | awk -F': ' '{gsub(/[,[:space:]]/, "", $2); print $2}')
+E6_SPEEDUP=$(grep -m1 '"ttfr_speedup_lazy_vs_full"' build/BENCH_retrieval.json \
+            | awk -F': ' '{gsub(/[,[:space:]]/, "", $2); print $2}')
+echo "crash-kill: ${E6_LOST} acknowledged writes lost; lazy vs full-replay TTFR: ${E6_SPEEDUP}x"
+[ "${E6_LOST}" = "0" ] || {
+  echo "FAIL: crash-kill lost ${E6_LOST} acknowledged writes (want 0)"
+  exit 1
+}
+awk -v s="${E6_SPEEDUP}" 'BEGIN { exit (s >= 3.0) ? 0 : 1 }' || {
+  echo "FAIL: instant-recovery TTFR advantage ${E6_SPEEDUP}x is below the 3x floor"
+  exit 1
+}
+
 echo "CI OK — artifacts: build/BENCH_bat_kernel.json build/BENCH_retrieval.json"

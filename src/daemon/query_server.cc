@@ -40,6 +40,12 @@ base::Status ServerSession::ValidateOverride(const std::string& key,
           base::StrFormat("num_threads %lld out of range",
                           static_cast<long long>(value)));
     }
+  } else if (k == "query_deadline_ms") {
+    if (value < 0 || value > 86'400'000) {  // a day is plenty
+      return base::Status::InvalidArgument(
+          base::StrFormat("query_deadline_ms %lld out of range",
+                          static_cast<long long>(value)));
+    }
   } else if (k != "morsel_joins" && k != "fuse_aggregates" &&
              k != "zone_maps" && k != "topk_prune") {
     return base::Status::InvalidArgument(
@@ -64,6 +70,8 @@ base::Status ServerSession::ApplyOverride(const std::string& key,
     options_.exec.zone_maps = value != 0;
   } else if (k == "topk_prune") {
     options_.exec.topk_prune = value != 0;
+  } else if (k == "query_deadline_ms") {
+    options_.exec.query_deadline_ms = static_cast<uint64_t>(value);
   } else {
     options_.exec.fuse_aggregates = value != 0;
   }
@@ -86,6 +94,7 @@ wire::SessionStatsEntry ServerSession::StatsEntry() const {
   entry.options.fuse_aggregates = options_.exec.fuse_aggregates;
   entry.options.zone_maps = options_.exec.zone_maps;
   entry.options.topk_prune = options_.exec.topk_prune;
+  entry.options.query_deadline_ms = options_.exec.query_deadline_ms;
   return entry;
 }
 
@@ -152,6 +161,11 @@ QueryServer::QueryServer(const db::MirrorDb* db)
 QueryServer::QueryServer(const db::MirrorDb* db, Options options)
     : db_(db), options_(std::move(options)), sessions_(db) {}
 
+QueryServer::QueryServer(db::MirrorDb* db) : QueryServer(db, Options()) {}
+
+QueryServer::QueryServer(db::MirrorDb* db, Options options)
+    : db_(db), mutable_db_(db), options_(std::move(options)), sessions_(db) {}
+
 QueryServer::~QueryServer() { Shutdown(); }
 
 void QueryServer::CountIn(size_t frame_bytes) {
@@ -171,6 +185,7 @@ wire::ServerWireStats QueryServer::stats() const {
   // Kernel counters are process-wide profiler state, snapshotted outside
   // the server lock (the profiler has its own mutex).
   monet::KernelStats kernels = monet::SnapshotKernelStats();
+  db::RecoveryStats recovery = db_->recovery_stats();
   std::lock_guard<std::mutex> lock(mu_);
   wire::ServerWireStats out = stats_;
   out.load_generation = db_->load_generation();
@@ -178,6 +193,11 @@ wire::ServerWireStats QueryServer::stats() const {
   out.topk_morsels_pruned = kernels.topk_morsels_pruned;
   out.topk_shards_pruned = kernels.topk_shards_pruned;
   out.probe_partitions = kernels.probe_partitions;
+  out.wal_appends = recovery.wal_appends;
+  out.wal_replayed_records = recovery.wal_replayed_records;
+  out.wal_truncated_bytes = recovery.wal_truncated_bytes;
+  out.recovery_lazy_loads = recovery.recovery_lazy_loads;
+  out.recovery_pending = recovery.recovery_pending ? 1 : 0;
   return out;
 }
 
@@ -521,6 +541,67 @@ void QueryServer::HandleConnection(Connection* conn) {
           send(wire::FrameType::kSetOk,
                wire::EncodeSetReply(entry.options));
         }
+        break;
+      }
+      case wire::FrameType::kAppend: {
+        if (session == nullptr) {
+          send_error(base::Status::InvalidArgument(
+              "APPEND before HELLO: no session"));
+          break;
+        }
+        if (mutable_db_ == nullptr) {
+          send_error(base::Status::InvalidArgument(
+              "server is read-only: APPEND rejected"));
+          break;
+        }
+        auto request = wire::DecodeAppendRequest(payload);
+        if (!request.ok()) {
+          send_error(request.status());
+          break;
+        }
+        session->CountRequest();
+        wire::AppendRequest req = request.TakeValue();
+        auto ack = mutable_db_->Append(req.bat_name, std::move(req.values));
+        if (!ack.ok()) {
+          session->CountError();
+          send_error(ack.status());
+          break;
+        }
+        wire::AppendReply reply;
+        reply.lsn = ack.value().lsn;
+        reply.visible_rows = ack.value().visible_rows;
+        send(wire::FrameType::kAppendOk, wire::EncodeAppendReply(reply));
+        break;
+      }
+      case wire::FrameType::kDelete: {
+        if (session == nullptr) {
+          send_error(base::Status::InvalidArgument(
+              "DELETE before HELLO: no session"));
+          break;
+        }
+        if (mutable_db_ == nullptr) {
+          send_error(base::Status::InvalidArgument(
+              "server is read-only: DELETE rejected"));
+          break;
+        }
+        auto request = wire::DecodeDeleteRequest(payload);
+        if (!request.ok()) {
+          send_error(request.status());
+          break;
+        }
+        session->CountRequest();
+        wire::DeleteRequest req = request.TakeValue();
+        auto ack = mutable_db_->DeleteRows(req.bat_name, std::move(req.oids));
+        if (!ack.ok()) {
+          session->CountError();
+          send_error(ack.status());
+          break;
+        }
+        wire::DeleteReply reply;
+        reply.lsn = ack.value().lsn;
+        reply.visible_rows = ack.value().visible_rows;
+        reply.deleted = ack.value().deleted;
+        send(wire::FrameType::kDeleteOk, wire::EncodeDeleteReply(reply));
         break;
       }
       case wire::FrameType::kStats: {

@@ -127,8 +127,14 @@ class QueryServer {
     bool coalesce_queries = true;
   };
 
+  /// Read-only server: queries only, APPEND/DELETE frames are rejected
+  /// with an ERROR.
   explicit QueryServer(const db::MirrorDb* db);
   QueryServer(const db::MirrorDb* db, Options options);
+  /// Mutable server: additionally serves the durable APPEND/DELETE write
+  /// path (WAL-backed when the database has one attached).
+  explicit QueryServer(db::MirrorDb* db);
+  QueryServer(db::MirrorDb* db, Options options);
   ~QueryServer();
 
   QueryServer(const QueryServer&) = delete;
@@ -187,6 +193,9 @@ class QueryServer {
   void CountOut(wire::FrameType type, size_t frame_bytes);
 
   const db::MirrorDb* db_;
+  /// Non-null iff constructed with a mutable database; gates the
+  /// APPEND/DELETE write path.
+  db::MirrorDb* mutable_db_ = nullptr;
   Options options_;
   SessionManager sessions_;
 

@@ -277,11 +277,15 @@ bool IsKnownFrameType(uint8_t t) {
     case FrameType::kSet:
     case FrameType::kStats:
     case FrameType::kClose:
+    case FrameType::kAppend:
+    case FrameType::kDelete:
     case FrameType::kHelloOk:
     case FrameType::kResult:
     case FrameType::kSetOk:
     case FrameType::kStatsResult:
     case FrameType::kCloseOk:
+    case FrameType::kAppendOk:
+    case FrameType::kDeleteOk:
     case FrameType::kError:
       return true;
   }
@@ -513,6 +517,7 @@ std::vector<uint8_t> EncodeSetReply(const SetReply& m) {
   w.U8(m.fuse_aggregates ? 1 : 0);
   w.U8(m.zone_maps ? 1 : 0);
   w.U8(m.topk_prune ? 1 : 0);
+  w.U64(m.query_deadline_ms);
   return w.Take();
 }
 
@@ -524,13 +529,86 @@ base::Result<SetReply> DecodeSetReply(const std::vector<uint8_t>& p) {
   uint8_t zones = 0;
   uint8_t topk = 0;
   if (!r.U64(&m.num_shards) || !r.I64(&m.num_threads) || !r.U8(&morsel) ||
-      !r.U8(&fuse) || !r.U8(&zones) || !r.U8(&topk)) {
+      !r.U8(&fuse) || !r.U8(&zones) || !r.U8(&topk) ||
+      !r.U64(&m.query_deadline_ms)) {
     return Malformed("SET reply");
   }
   m.morsel_joins = morsel != 0;
   m.fuse_aggregates = fuse != 0;
   m.zone_maps = zones != 0;
   m.topk_prune = topk != 0;
+  return m;
+}
+
+std::vector<uint8_t> EncodeAppendRequest(const AppendRequest& m) {
+  Writer w;
+  w.Str(m.bat_name);
+  monet::EncodeColumn(m.values, w.buffer());
+  return w.Take();
+}
+
+base::Result<AppendRequest> DecodeAppendRequest(
+    const std::vector<uint8_t>& p) {
+  Reader r(p);
+  AppendRequest m;
+  if (!r.Str(&m.bat_name)) return Malformed("APPEND");
+  auto values = monet::DecodeColumn(r.buf(), r.pos());
+  if (!values.ok()) return values.status();
+  m.values = values.TakeValue();
+  return m;
+}
+
+std::vector<uint8_t> EncodeAppendReply(const AppendReply& m) {
+  Writer w;
+  w.U64(m.lsn);
+  w.U64(m.visible_rows);
+  return w.Take();
+}
+
+base::Result<AppendReply> DecodeAppendReply(const std::vector<uint8_t>& p) {
+  Reader r(p);
+  AppendReply m;
+  if (!r.U64(&m.lsn) || !r.U64(&m.visible_rows)) {
+    return Malformed("APPEND reply");
+  }
+  return m;
+}
+
+std::vector<uint8_t> EncodeDeleteRequest(const DeleteRequest& m) {
+  Writer w;
+  w.Str(m.bat_name);
+  monet::EncodeColumn(monet::Column::MakeOids(m.oids), w.buffer());
+  return w.Take();
+}
+
+base::Result<DeleteRequest> DecodeDeleteRequest(
+    const std::vector<uint8_t>& p) {
+  Reader r(p);
+  DeleteRequest m;
+  if (!r.Str(&m.bat_name)) return Malformed("DELETE");
+  auto oids = monet::DecodeColumn(r.buf(), r.pos());
+  if (!oids.ok()) return oids.status();
+  if (oids.value().type() != monet::ValueType::kOid) {
+    return Malformed("DELETE");
+  }
+  m.oids = oids.value().oids();
+  return m;
+}
+
+std::vector<uint8_t> EncodeDeleteReply(const DeleteReply& m) {
+  Writer w;
+  w.U64(m.lsn);
+  w.U64(m.visible_rows);
+  w.U64(m.deleted);
+  return w.Take();
+}
+
+base::Result<DeleteReply> DecodeDeleteReply(const std::vector<uint8_t>& p) {
+  Reader r(p);
+  DeleteReply m;
+  if (!r.U64(&m.lsn) || !r.U64(&m.visible_rows) || !r.U64(&m.deleted)) {
+    return Malformed("DELETE reply");
+  }
   return m;
 }
 
@@ -585,7 +663,8 @@ base::Status DecodeError(const std::vector<uint8_t>& p) {
   if (!r.U8(&code) || !r.Str(&message)) return Malformed("ERROR");
   // An error frame must decode to an error: an out-of-range or OK code
   // (corrupt or future peer) degrades to Internal rather than "success".
-  if (code == 0 || code > static_cast<uint8_t>(base::StatusCode::kIoError)) {
+  if (code == 0 ||
+      code > static_cast<uint8_t>(base::StatusCode::kDeadlineExceeded)) {
     return base::Status::Internal(std::move(message));
   }
   return base::Status(static_cast<base::StatusCode>(code),
@@ -608,6 +687,11 @@ std::vector<uint8_t> EncodeStatsReply(const StatsReply& m) {
   w.U64(m.server.topk_morsels_pruned);
   w.U64(m.server.topk_shards_pruned);
   w.U64(m.server.probe_partitions);
+  w.U64(m.server.wal_appends);
+  w.U64(m.server.wal_replayed_records);
+  w.U64(m.server.wal_truncated_bytes);
+  w.U64(m.server.recovery_lazy_loads);
+  w.U64(m.server.recovery_pending);
   w.U32(static_cast<uint32_t>(m.sessions.size()));
   for (const SessionStatsEntry& s : m.sessions) {
     w.U64(s.session_id);
@@ -637,7 +721,12 @@ base::Result<StatsReply> DecodeStatsReply(const std::vector<uint8_t>& p) {
       !r.U64(&m.server.zone_blocks_skipped) ||
       !r.U64(&m.server.topk_morsels_pruned) ||
       !r.U64(&m.server.topk_shards_pruned) ||
-      !r.U64(&m.server.probe_partitions) || !r.U32(&num_sessions)) {
+      !r.U64(&m.server.probe_partitions) ||
+      !r.U64(&m.server.wal_appends) ||
+      !r.U64(&m.server.wal_replayed_records) ||
+      !r.U64(&m.server.wal_truncated_bytes) ||
+      !r.U64(&m.server.recovery_lazy_loads) ||
+      !r.U64(&m.server.recovery_pending) || !r.U32(&num_sessions)) {
     return Malformed("STATS reply");
   }
   m.sessions.reserve(
@@ -653,7 +742,8 @@ base::Result<StatsReply> DecodeStatsReply(const std::vector<uint8_t>& p) {
         !r.U64(&s.plan_cache_size) || !r.U64(&s.plan_cache_hits) ||
         !r.U64(&s.plan_cache_lookups) || !r.U64(&s.options.num_shards) ||
         !r.I64(&s.options.num_threads) || !r.U8(&morsel) || !r.U8(&fuse) ||
-        !r.U8(&zones) || !r.U8(&topk)) {
+        !r.U8(&zones) || !r.U8(&topk) ||
+        !r.U64(&s.options.query_deadline_ms)) {
       return Malformed("STATS reply");
     }
     s.options.morsel_joins = morsel != 0;

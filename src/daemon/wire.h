@@ -11,6 +11,7 @@
 #include "base/status.h"
 #include "moa/naive_eval.h"
 #include "moa/query_context.h"
+#include "monet/column.h"
 
 namespace mirror::daemon::wire {
 
@@ -89,12 +90,16 @@ enum class FrameType : uint8_t {
   kSet = 0x03,
   kStats = 0x04,
   kClose = 0x05,
+  kAppend = 0x06,
+  kDelete = 0x07,
   // Replies.
   kHelloOk = 0x11,
   kResult = 0x12,
   kSetOk = 0x13,
   kStatsResult = 0x14,
   kCloseOk = 0x15,
+  kAppendOk = 0x16,
+  kDeleteOk = 0x17,
   kError = 0x1f,
 };
 
@@ -142,10 +147,36 @@ struct QueryRequest {
   moa::QueryContext bindings;    // #wsum term bindings
 };
 
+/// APPEND: durably appends typed values to one named BAT's insert tail.
+/// The server WALs and fsyncs the record before kAppendOk returns, so an
+/// acknowledged append survives any crash-kill.
+struct AppendRequest {
+  std::string bat_name;
+  monet::Column values = monet::Column::MakeVoid(0, 0);
+};
+
+struct AppendReply {
+  uint64_t lsn = 0;           // WAL position covering this write
+  uint64_t visible_rows = 0;  // BAT rows visible after the append
+};
+
+/// DELETE: durably marks rows (by oid) deleted in one named BAT.
+struct DeleteRequest {
+  std::string bat_name;
+  std::vector<monet::Oid> oids;
+};
+
+struct DeleteReply {
+  uint64_t lsn = 0;
+  uint64_t visible_rows = 0;
+  uint64_t deleted = 0;  // rows newly deleted (idempotent re-deletes: 0)
+};
+
 /// SET: integer-valued per-session execution overrides, applied to the
 /// session's ExecOptions (booleans are 0/1). Known keys: "num_shards",
 /// "num_threads", "morsel_joins", "fuse_aggregates", "zone_maps",
-/// "topk_prune"; each also accepts an "exec." prefix ("exec.zone_maps").
+/// "topk_prune", "query_deadline_ms" (0 = no deadline); each also
+/// accepts an "exec." prefix ("exec.zone_maps").
 /// A SET frame is validated as a whole before any key applies — one bad
 /// key leaves the session's options untouched.
 struct SetRequest {
@@ -161,6 +192,7 @@ struct SetReply {
   bool fuse_aggregates = true;
   bool zone_maps = true;
   bool topk_prune = true;
+  uint64_t query_deadline_ms = 0;  // 0 = no deadline
 };
 
 /// A query result: a serialized result table (element oid -> value) or a
@@ -192,6 +224,13 @@ struct ServerWireStats {
   uint64_t topk_morsels_pruned = 0;
   uint64_t topk_shards_pruned = 0;
   uint64_t probe_partitions = 0;
+  /// Durability and instant-recovery counters (MirrorDb::recovery_stats
+  /// snapshot at STATS time).
+  uint64_t wal_appends = 0;
+  uint64_t wal_replayed_records = 0;
+  uint64_t wal_truncated_bytes = 0;
+  uint64_t recovery_lazy_loads = 0;
+  uint64_t recovery_pending = 0;  // 1 while fragments still await recovery
 };
 
 /// Per-session slice of the STATS reply.
@@ -225,6 +264,18 @@ base::Result<QueryRequest> DecodeQueryRequest(const std::vector<uint8_t>& p);
 
 std::vector<uint8_t> EncodeSetRequest(const SetRequest& m);
 base::Result<SetRequest> DecodeSetRequest(const std::vector<uint8_t>& p);
+
+std::vector<uint8_t> EncodeAppendRequest(const AppendRequest& m);
+base::Result<AppendRequest> DecodeAppendRequest(const std::vector<uint8_t>& p);
+
+std::vector<uint8_t> EncodeAppendReply(const AppendReply& m);
+base::Result<AppendReply> DecodeAppendReply(const std::vector<uint8_t>& p);
+
+std::vector<uint8_t> EncodeDeleteRequest(const DeleteRequest& m);
+base::Result<DeleteRequest> DecodeDeleteRequest(const std::vector<uint8_t>& p);
+
+std::vector<uint8_t> EncodeDeleteReply(const DeleteReply& m);
+base::Result<DeleteReply> DecodeDeleteReply(const std::vector<uint8_t>& p);
 
 std::vector<uint8_t> EncodeSetReply(const SetReply& m);
 base::Result<SetReply> DecodeSetReply(const std::vector<uint8_t>& p);

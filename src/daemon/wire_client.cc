@@ -57,6 +57,28 @@ base::Result<SetReply> WireClient::Set(
   return DecodeSetReply(reply.value().payload);
 }
 
+base::Result<AppendReply> WireClient::Append(const std::string& bat_name,
+                                             monet::Column values) {
+  AppendRequest req;
+  req.bat_name = bat_name;
+  req.values = std::move(values);
+  auto reply = RoundTrip(FrameType::kAppend, EncodeAppendRequest(req),
+                         FrameType::kAppendOk);
+  if (!reply.ok()) return reply.status();
+  return DecodeAppendReply(reply.value().payload);
+}
+
+base::Result<DeleteReply> WireClient::Delete(const std::string& bat_name,
+                                             std::vector<monet::Oid> oids) {
+  DeleteRequest req;
+  req.bat_name = bat_name;
+  req.oids = std::move(oids);
+  auto reply = RoundTrip(FrameType::kDelete, EncodeDeleteRequest(req),
+                         FrameType::kDeleteOk);
+  if (!reply.ok()) return reply.status();
+  return DecodeDeleteReply(reply.value().payload);
+}
+
 base::Result<StatsReply> WireClient::Stats() {
   auto reply = RoundTrip(FrameType::kStats, {}, FrameType::kStatsResult);
   if (!reply.ok()) return reply.status();

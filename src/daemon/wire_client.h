@@ -40,6 +40,15 @@ class WireClient {
   base::Result<SetReply> Set(
       const std::vector<std::pair<std::string, int64_t>>& options);
 
+  /// Durably appends values to one named BAT (kAppendOk arrives only
+  /// after the server's WAL fsync).
+  base::Result<AppendReply> Append(const std::string& bat_name,
+                                   monet::Column values);
+
+  /// Durably marks rows deleted in one named BAT.
+  base::Result<DeleteReply> Delete(const std::string& bat_name,
+                                   std::vector<monet::Oid> oids);
+
   /// Snapshots server + per-session statistics.
   base::Result<StatsReply> Stats();
 

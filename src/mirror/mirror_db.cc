@@ -1,5 +1,9 @@
 #include "mirror/mirror_db.h"
 
+#include <chrono>
+#include <fstream>
+#include <thread>
+
 #include "base/str_util.h"
 
 namespace mirror::db {
@@ -26,6 +30,257 @@ std::string PlanKey(const std::string& query_text,
 }
 
 }  // namespace
+
+MirrorDb::~MirrorDb() { StopDrainThread(); }
+
+void MirrorDb::StopDrainThread() {
+  if (recovery_ == nullptr) return;
+  recovery_->stop.store(true, std::memory_order_relaxed);
+  if (recovery_->drain.joinable()) recovery_->drain.join();
+}
+
+// ---------------------------------------------------------------------------
+// Durable writes.
+
+base::Status MirrorDb::AttachWal(const std::string& wal_path,
+                                 monet::FaultInjector* fi) {
+  auto wal = monet::Wal::Open(wal_path, fi);
+  if (!wal.ok()) return wal.status();
+  wal_ = wal.TakeValue();
+  return base::Status::Ok();
+}
+
+base::Result<WriteAck> MirrorDb::Append(const std::string& bat_name,
+                                        monet::Column values) {
+  // A write against a fragment that hasn't been recovered yet must land
+  // on the recovered state, not an empty slot.
+  MIRROR_RETURN_IF_ERROR(EnsureRecovered({bat_name}));
+  uint64_t lsn = 0;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    // Stamp the append domain *before* applying, then apply *before*
+    // logging: the catalog's validation acts as the gate, so the log
+    // never holds a record that cannot replay. A crash between apply
+    // and fsync loses only unacknowledged writes.
+    auto domain = logical_.catalog()->AppendDomainRows(bat_name);
+    if (!domain.ok()) return domain.status();
+    if (wal_ != nullptr) {
+      MIRROR_RETURN_IF_ERROR(logical_.catalog()->Append(bat_name, values));
+      auto logged = wal_->Append(monet::kWalAppend, bat_name,
+                                 static_cast<uint64_t>(domain.value()), values);
+      if (!logged.ok()) return logged.status();
+      lsn = logged.value();
+    } else {
+      MIRROR_RETURN_IF_ERROR(
+          logical_.catalog()->Append(bat_name, std::move(values)));
+    }
+  }
+  // Group commit outside the writer lock: concurrent appends share one
+  // fsync. No ack until the record is durable.
+  if (wal_ != nullptr) MIRROR_RETURN_IF_ERROR(wal_->Sync(lsn));
+  WriteAck ack;
+  ack.lsn = lsn;
+  auto visible = logical_.catalog()->VisibleRows(bat_name);
+  if (visible.ok()) ack.visible_rows = static_cast<uint64_t>(visible.value());
+  return ack;
+}
+
+base::Result<WriteAck> MirrorDb::DeleteRows(const std::string& bat_name,
+                                            std::vector<monet::Oid> oids) {
+  MIRROR_RETURN_IF_ERROR(EnsureRecovered({bat_name}));
+  uint64_t lsn = 0;
+  uint64_t deleted = 0;
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    auto domain = logical_.catalog()->AppendDomainRows(bat_name);
+    if (!domain.ok()) return domain.status();
+    monet::Column payload = monet::Column::MakeOids(oids);
+    auto count = logical_.catalog()->DeleteRows(bat_name, std::move(oids));
+    if (!count.ok()) return count.status();
+    deleted = static_cast<uint64_t>(count.value());
+    if (wal_ != nullptr) {
+      auto logged = wal_->Append(monet::kWalDelete, bat_name,
+                                 static_cast<uint64_t>(domain.value()),
+                                 payload);
+      if (!logged.ok()) return logged.status();
+      lsn = logged.value();
+    }
+  }
+  if (wal_ != nullptr) MIRROR_RETURN_IF_ERROR(wal_->Sync(lsn));
+  WriteAck ack;
+  ack.lsn = lsn;
+  ack.deleted = deleted;
+  auto visible = logical_.catalog()->VisibleRows(bat_name);
+  if (visible.ok()) ack.visible_rows = static_cast<uint64_t>(visible.value());
+  return ack;
+}
+
+base::Status MirrorDb::Checkpoint(const std::string& dir) {
+  // The checkpoint must cover every fragment, so finish recovery first.
+  MIRROR_RETURN_IF_ERROR(DrainRecovery());
+  std::lock_guard<std::mutex> lock(write_mu_);
+  MIRROR_RETURN_IF_ERROR(logical_.SaveTo(dir));
+  if (wal_ != nullptr) MIRROR_RETURN_IF_ERROR(wal_->Reset());
+  return base::Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery.
+
+base::Status MirrorDb::Recover(const std::string& dir,
+                               const std::string& wal_path, RecoveryMode mode,
+                               bool background_drain,
+                               monet::FaultInjector* fi) {
+  StopDrainThread();
+  recovery_.reset();
+  auto wal = monet::Wal::Open(wal_path, fi);
+  if (!wal.ok()) return wal.status();
+  wal_ = wal.TakeValue();
+
+  if (mode == RecoveryMode::kFull) {
+    // The classic restart: everything — catalog, content indexes, the
+    // naive interpreter's materialized objects — is rebuilt before the
+    // first query can run, then the whole log replays. (Objects reflect
+    // the checkpoint; the flattened engine, the daemon's only mode,
+    // additionally sees the replayed log records.)
+    MIRROR_RETURN_IF_ERROR(logical_.LoadFrom(dir));
+    MIRROR_RETURN_IF_ERROR(wal_->ReplayAllInto(logical_.catalog()));
+    logical_.catalog()->EnsureZones();
+    return base::Status::Ok();
+  }
+
+  // kLazy: restore schemas only, recover fragments on first touch.
+  auto st = std::make_unique<RecoveryState>();
+  st->dir = dir;
+  st->db = &logical_;
+  std::ifstream manifest(dir + "/manifest.txt");
+  if (!manifest) {
+    return base::Status::IoError("cannot read manifest in " + dir);
+  }
+  std::string line;
+  while (std::getline(manifest, line)) {
+    if (line.empty()) continue;
+    size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return base::Status::ParseError("bad manifest line: " + line);
+    }
+    st->manifest.emplace(line.substr(0, tab), line.substr(tab + 1));
+  }
+  std::set<std::string> available;
+  for (const auto& [name, file] : st->manifest) available.insert(name);
+  MIRROR_RETURN_IF_ERROR(
+      logical_.RestoreSchemasLazy(dir, available, &st->eager_sets));
+  st->pending = available;
+  recovery_ = std::move(st);
+
+  // Sets with in-memory reconstructions (content indexes, nested sets)
+  // can't serve from bindings alone: recover their fragments eagerly and
+  // rebuild them before opening for queries.
+  for (const std::string& set_name : recovery_->eager_sets) {
+    for (const auto& [name, file] : recovery_->manifest) {
+      if (name == set_name || name.rfind(set_name + ".", 0) == 0) {
+        MIRROR_RETURN_IF_ERROR(RecoverFragment(name, /*query_driven=*/false));
+      }
+    }
+    MIRROR_RETURN_IF_ERROR(logical_.RestoreSetFromCatalog(set_name));
+  }
+
+  if (background_drain) {
+    RecoveryState* rec = recovery_.get();
+    rec->drain = std::thread([this, rec] {
+      while (!rec->stop.load(std::memory_order_relaxed)) {
+        // Foreground first: a query blocked on its fragment must not
+        // queue behind a long run of background replays.
+        while (rec->query_waiters.load(std::memory_order_relaxed) > 0 &&
+               !rec->stop.load(std::memory_order_relaxed)) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        std::string next;
+        {
+          std::lock_guard<std::mutex> lock(rec->mu);
+          if (rec->pending.empty()) break;
+          next = *rec->pending.begin();
+        }
+        if (!RecoverFragment(next, /*query_driven=*/false).ok()) break;
+      }
+    });
+  }
+  return base::Status::Ok();
+}
+
+base::Status MirrorDb::RecoverFragment(const std::string& name,
+                                       bool query_driven) const {
+  if (query_driven) {
+    recovery_->query_waiters.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(recovery_->mu);
+  if (query_driven) {
+    recovery_->query_waiters.fetch_sub(1, std::memory_order_relaxed);
+  }
+  if (recovery_->pending.find(name) == recovery_->pending.end()) {
+    return base::Status::Ok();  // already recovered (or never checkpointed)
+  }
+  auto it = recovery_->manifest.find(name);
+  if (it != recovery_->manifest.end()) {
+    MIRROR_RETURN_IF_ERROR(recovery_->db->catalog()->LoadBatFile(
+        recovery_->dir + "/" + it->second, name));
+  }
+  if (wal_ != nullptr) {
+    MIRROR_RETURN_IF_ERROR(
+        wal_->ReplayInto(recovery_->db->catalog(), name));
+  }
+  recovery_->pending.erase(name);
+  if (query_driven) {
+    recovery_->lazy_loads.fetch_add(1, std::memory_order_relaxed);
+  }
+  return base::Status::Ok();
+}
+
+base::Status MirrorDb::EnsureRecovered(
+    const std::vector<std::string>& names) const {
+  if (recovery_ == nullptr) return base::Status::Ok();
+  for (const std::string& name : names) {
+    MIRROR_RETURN_IF_ERROR(RecoverFragment(name, /*query_driven=*/true));
+  }
+  return base::Status::Ok();
+}
+
+bool MirrorDb::recovery_pending() const {
+  if (recovery_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(recovery_->mu);
+  return !recovery_->pending.empty();
+}
+
+base::Status MirrorDb::DrainRecovery() {
+  if (recovery_ == nullptr) return base::Status::Ok();
+  for (;;) {
+    std::string next;
+    {
+      std::lock_guard<std::mutex> lock(recovery_->mu);
+      if (recovery_->pending.empty()) break;
+      next = *recovery_->pending.begin();
+    }
+    MIRROR_RETURN_IF_ERROR(RecoverFragment(next, /*query_driven=*/false));
+  }
+  return base::Status::Ok();
+}
+
+RecoveryStats MirrorDb::recovery_stats() const {
+  RecoveryStats out;
+  if (wal_ != nullptr) {
+    monet::WalStats ws = wal_->stats();
+    out.wal_appends = ws.appends;
+    out.wal_replayed_records = ws.replayed_records;
+    out.wal_truncated_bytes = ws.truncated_bytes;
+  }
+  if (recovery_ != nullptr) {
+    out.recovery_lazy_loads =
+        recovery_->lazy_loads.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(recovery_->mu);
+    out.recovery_pending = !recovery_->pending.empty();
+  }
+  return out;
+}
 
 base::Status MirrorDb::Load(const std::string& set_name,
                             std::vector<moa::MoaValue> objects) {
@@ -118,6 +373,16 @@ base::Result<PreparedQuery> MirrorDb::Prepare(
 base::Result<moa::EvalOutput> MirrorDb::ExecuteProgram(
     const mil::Program& program, const QueryOptions& options,
     mil::ExecutionContext* session) const {
+  if (recovery_ != nullptr) {
+    // Instant recovery: force-load exactly the fragments this plan
+    // touches (checkpoint file + the WAL's per-BAT slice) before the
+    // engine runs; everything else keeps recovering in the background.
+    std::vector<std::string> names;
+    for (const mil::Instr& instr : program.instrs()) {
+      if (instr.op == mil::OpCode::kLoadNamed) names.push_back(instr.name);
+    }
+    MIRROR_RETURN_IF_ERROR(EnsureRecovered(names));
+  }
   base::Result<mil::RunResult> run = base::Status::Internal("unreachable");
   if (options.use_engine) {
     // num_shards == 0 inherits the database default (LoadSharded), so

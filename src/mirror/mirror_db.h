@@ -2,8 +2,12 @@
 #define MIRROR_MIRROR_MIRROR_DB_H_
 
 #include <atomic>
+#include <map>
+#include <memory>
 #include <mutex>
+#include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "moa/database.h"
@@ -14,6 +18,7 @@
 #include "moa/query_context.h"
 #include "monet/exec.h"
 #include "monet/mil.h"
+#include "monet/wal.h"
 
 namespace mirror::db {
 
@@ -32,6 +37,34 @@ struct QueryOptions {
   bool use_engine = true;
 };
 
+/// Acknowledgement of a durable write: the WAL position that covers it
+/// and the row counts after it was applied.
+struct WriteAck {
+  uint64_t lsn = 0;           // 0 when no WAL is attached
+  uint64_t visible_rows = 0;  // rows visible in the BAT after the write
+  uint64_t deleted = 0;       // rows newly deleted (DeleteRows only)
+};
+
+/// How Recover() brings a crashed database back.
+enum class RecoveryMode {
+  /// Restore everything before returning: full catalog load, object and
+  /// index reconstruction, complete WAL replay. The classic restart.
+  kFull,
+  /// MM-DIRECT-style instant recovery: restore only the schemas, open
+  /// for queries immediately, and load + WAL-replay each BAT on first
+  /// touch while a background thread drains the rest.
+  kLazy,
+};
+
+/// Durability counters surfaced through the daemon's STATS frame.
+struct RecoveryStats {
+  uint64_t wal_appends = 0;
+  uint64_t wal_replayed_records = 0;
+  uint64_t wal_truncated_bytes = 0;
+  uint64_t recovery_lazy_loads = 0;  // query-driven on-demand loads
+  bool recovery_pending = false;     // fragments still await recovery
+};
+
 /// A compiled query, for inspection (EXPLAIN) and repeated execution.
 struct PreparedQuery {
   moa::ExprPtr logical;           // after rewriting
@@ -47,6 +80,7 @@ struct PreparedQuery {
 class MirrorDb {
  public:
   MirrorDb() = default;
+  ~MirrorDb();
   MirrorDb(const MirrorDb&) = delete;
   MirrorDb& operator=(const MirrorDb&) = delete;
 
@@ -75,6 +109,65 @@ class MirrorDb {
 
   /// Shard count applied to queries that don't pin one (0 = unsharded).
   size_t default_shard_count() const { return default_shards_; }
+
+  // -- Durable writes (the daemon's APPEND/DELETE path). ----------------
+
+  /// Attaches (creating or recovering) a write-ahead log. Every
+  /// subsequent Append/DeleteRows is logged and fsynced before it is
+  /// acknowledged. `fi` (may be null, not owned) injects faults into log
+  /// writes for crash testing. Records already in the log are NOT
+  /// replayed here — use Recover() for that.
+  base::Status AttachWal(const std::string& wal_path,
+                         monet::FaultInjector* fi = nullptr);
+
+  /// Appends `values` to the named BAT's insert tail, WAL-first: the
+  /// record is written and group-commit fsynced before the ack returns,
+  /// so an acknowledged append survives any crash-kill. Compiled plans
+  /// stay valid (they bind BAT names, not contents); the naive
+  /// interpreter's materialized objects do NOT see catalog appends, so
+  /// wire writes pair with flattened execution only.
+  base::Result<WriteAck> Append(const std::string& bat_name,
+                                monet::Column values);
+
+  /// Marks rows deleted in the named BAT, WAL-first like Append.
+  base::Result<WriteAck> DeleteRows(const std::string& bat_name,
+                                    std::vector<monet::Oid> oids);
+
+  /// Checkpoints the database (atomic SaveTo of the visible snapshot)
+  /// and resets the WAL — the log only needs to cover writes since the
+  /// last checkpoint. Drains any pending recovery first so the
+  /// checkpoint is complete.
+  base::Status Checkpoint(const std::string& dir);
+
+  // -- Crash recovery. ---------------------------------------------------
+
+  /// Rebuilds the database from a checkpoint directory plus the WAL at
+  /// `wal_path` (the log is opened, its damaged tail truncated, and its
+  /// records indexed). kFull replays everything before returning; kLazy
+  /// returns as soon as schemas are restored, recovers each fragment on
+  /// first touch, and (when `background_drain`) starts a thread that
+  /// drains the remaining fragments. `fi` (may be null, not owned)
+  /// injects faults into subsequent WAL writes.
+  base::Status Recover(const std::string& dir, const std::string& wal_path,
+                       RecoveryMode mode, bool background_drain = true,
+                       monet::FaultInjector* fi = nullptr);
+
+  /// True while lazily recovered fragments remain.
+  bool recovery_pending() const;
+
+  /// Recovers every still-pending fragment now (blocking).
+  base::Status DrainRecovery();
+
+  /// Ensures the named BATs are recovered (checkpoint load + WAL slice
+  /// replay). No-op for names already live or without a pending
+  /// recovery. ExecuteProgram calls this with the plan's kLoadNamed
+  /// names; writes call it for their target.
+  base::Status EnsureRecovered(const std::vector<std::string>& names) const;
+
+  /// Durability + recovery counters (zeroed when no WAL is attached).
+  RecoveryStats recovery_stats() const;
+
+  const monet::Wal* wal() const { return wal_.get(); }
 
   /// Monotone counter of successful (Load/LoadSharded) reloads. The
   /// query daemon reports it in STATS so clients can observe that a
@@ -130,7 +223,37 @@ class MirrorDb {
   monet::Catalog* catalog() { return logical_.catalog(); }
 
  private:
+  /// Per-fragment recovery state for kLazy. `pending` drains to empty as
+  /// fragments are touched (or the background thread reaches them).
+  struct RecoveryState {
+    std::string dir;
+    /// Mutation targets captured at Recover() time, so const query paths
+    /// (ExecuteProgram) can complete recovery without shedding constness.
+    moa::Database* db = nullptr;
+    std::map<std::string, std::string> manifest;  // BAT name -> data file
+    std::set<std::string> pending;
+    std::vector<std::string> eager_sets;  // sets needing RestoreSetFromCatalog
+    std::atomic<uint64_t> lazy_loads{0};
+    /// Query-driven recoveries waiting on `mu`. The background drain
+    /// yields between fragments while this is non-zero, so a first
+    /// query never queues behind a long run of background replays.
+    std::atomic<int> query_waiters{0};
+    std::atomic<bool> stop{false};
+    std::thread drain;
+    mutable std::mutex mu;  // guards pending + catalog loads during recovery
+  };
+
+  /// Recovers one fragment under recovery_->mu (load + WAL slice).
+  base::Status RecoverFragment(const std::string& name, bool query_driven) const;
+
+  void StopDrainThread();
+
   moa::Database logical_;
+  std::unique_ptr<monet::Wal> wal_;
+  /// Serializes writers (domain stamp + WAL append + catalog apply must
+  /// agree); Sync happens outside it so group commit can batch.
+  mutable std::mutex write_mu_;
+  mutable std::unique_ptr<RecoveryState> recovery_;
   /// Default shard count for queries that inherit (exec.num_shards == 0);
   /// set by LoadSharded, 0 means unsharded.
   size_t default_shards_ = 0;

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -109,6 +110,26 @@ class Database {
   /// contents. Content indexes (and the materialized objects used by the
   /// naive interpreter) are reconstructed from the BAT layout.
   base::Status LoadFrom(const std::string& dir);
+
+  /// The instant-recovery schema restore: re-defines every set persisted
+  /// in `dir` (schema + cardinality) and derives field bindings purely
+  /// from the deterministic BAT name scheme against `available` (the
+  /// checkpoint manifest's names) — WITHOUT touching the catalog, which
+  /// stays empty until recovery loads fragments on demand. Sets whose
+  /// fields need reconstructed in-memory state (CONTREP content indexes,
+  /// nested sets) cannot bind lazily; their names are appended to
+  /// `needs_eager` and the caller completes them with
+  /// RestoreSetFromCatalog once their BATs are recovered. Lazily bound
+  /// sets carry no materialized objects, so only flattened execution is
+  /// valid on them (the daemon's only mode).
+  base::Status RestoreSchemasLazy(const std::string& dir,
+                                  const std::set<std::string>& available,
+                                  std::vector<std::string>* needs_eager);
+
+  /// Rebuilds one set's bindings, content indexes and materialized
+  /// objects from the already-populated catalog (the eager completion
+  /// for sets RestoreSchemasLazy reported in `needs_eager`).
+  base::Status RestoreSetFromCatalog(const std::string& set_name);
 
   monet::Catalog* catalog() { return &catalog_; }
   const monet::Catalog& catalog() const { return catalog_; }

@@ -3,6 +3,7 @@
 // vertically fragmented layout (the BATs are the single source of truth,
 // as in the original system).
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -21,22 +22,34 @@ base::Status Database::SaveTo(const std::string& dir) const {
   std::filesystem::create_directories(dir, ec);
   if (ec) return base::Status::IoError("cannot create dir: " + dir);
   MIRROR_RETURN_IF_ERROR(catalog_.SaveTo(dir));
-  std::ofstream schemas(dir + "/schemas.txt");
-  if (!schemas) return base::Status::IoError("cannot write schemas.txt");
-  for (const auto& [name, set] : sets_) {
-    schemas << name << '\t' << set.cardinality << '\t'
-            << set.type->ToString() << '\n';
+  // Same atomic publish protocol as the catalog manifest: write to a
+  // temp file, then rename over the old copy, so a crash mid-save never
+  // leaves a torn schemas.txt next to a valid manifest.
+  const std::string final_path = dir + "/schemas.txt";
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream schemas(tmp_path, std::ios::trunc);
+    if (!schemas) return base::Status::IoError("cannot write schemas.txt");
+    for (const auto& [name, set] : sets_) {
+      schemas << name << '\t' << set.cardinality << '\t'
+              << set.type->ToString() << '\n';
+    }
+    schemas.flush();
+    if (!schemas.good()) return base::Status::IoError("schema write failed");
   }
-  if (!schemas.good()) return base::Status::IoError("schema write failed");
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return base::Status::IoError("cannot publish schemas.txt");
+  }
   return base::Status::Ok();
 }
 
-base::Status Database::LoadFrom(const std::string& dir) {
-  monet::Catalog restored;
-  MIRROR_RETURN_IF_ERROR(restored.LoadFrom(dir));
+namespace {
+
+/// Parses `dir`/schemas.txt into name -> (cardinality, type) skeletons.
+base::Result<std::map<std::string, FlatSet>> ParseSchemas(
+    const std::string& dir) {
   std::ifstream schemas(dir + "/schemas.txt");
   if (!schemas) return base::Status::IoError("cannot read schemas.txt");
-
   std::map<std::string, FlatSet> sets;
   std::string line;
   while (std::getline(schemas, line)) {
@@ -53,6 +66,15 @@ base::Status Database::LoadFrom(const std::string& dir) {
     set.type = type.TakeValue();
     sets.emplace(set.name, std::move(set));
   }
+  return sets;
+}
+
+}  // namespace
+
+base::Status Database::LoadFrom(const std::string& dir) {
+  monet::Catalog restored;
+  MIRROR_RETURN_IF_ERROR(restored.LoadFrom(dir));
+  MIRROR_ASSIGN_OR_RETURN(auto sets, ParseSchemas(dir));
 
   // Commit the catalog, then rebuild each set's bindings from it.
   catalog_ = std::move(restored);
@@ -62,6 +84,82 @@ base::Status Database::LoadFrom(const std::string& dir) {
     sets_.emplace(name, std::move(set));
   }
   return base::Status::Ok();
+}
+
+namespace {
+
+/// Derives one field binding purely from the deterministic name scheme
+/// (no catalog, no data). Fields whose restore needs reconstructed
+/// in-memory state flip `*eager` instead of binding.
+base::Status BindFieldLazy(FieldBinding* binding, const std::string& prefix,
+                           const std::set<std::string>& available,
+                           bool* eager) {
+  switch (binding->type->kind()) {
+    case StructType::Kind::kAtomic: {
+      if (binding->type->base() == BaseType::kVector) {
+        binding->dim_bat_names.clear();
+        for (size_t d = 0;; ++d) {
+          std::string bat_name = base::StrFormat("%s.d%zu", prefix.c_str(), d);
+          if (available.find(bat_name) == available.end()) break;
+          binding->dim_bat_names.push_back(std::move(bat_name));
+        }
+        return base::Status::Ok();
+      }
+      if (available.find(prefix) == available.end()) {
+        return base::Status::NotFound("checkpointed BAT missing: " + prefix);
+      }
+      binding->bat_name = prefix;
+      return base::Status::Ok();
+    }
+    case StructType::Kind::kContRep:
+    case StructType::Kind::kSet:
+    case StructType::Kind::kList:
+      // Content indexes and nested-set groupings live in memory, not in
+      // the name scheme — the whole set restores eagerly once its BATs
+      // are recovered.
+      *eager = true;
+      return base::Status::Ok();
+    case StructType::Kind::kTuple:
+      return base::Status::Unimplemented("nested TUPLE fields");
+  }
+  return base::Status::Internal("unhandled field kind");
+}
+
+}  // namespace
+
+base::Status Database::RestoreSchemasLazy(
+    const std::string& dir, const std::set<std::string>& available,
+    std::vector<std::string>* needs_eager) {
+  MIRROR_ASSIGN_OR_RETURN(auto sets, ParseSchemas(dir));
+  sets_.clear();
+  for (auto& [name, set] : sets) {
+    bool eager = false;
+    const StructTypePtr elem = set.type->element();
+    set.fields.clear();
+    for (const StructType::Field& field : elem->fields()) {
+      FieldBinding binding;
+      binding.name = field.name;
+      binding.type = field.type;
+      MIRROR_RETURN_IF_ERROR(BindFieldLazy(&binding, name + "." + field.name,
+                                           available, &eager));
+      set.fields.push_back(std::move(binding));
+    }
+    if (eager) {
+      // Bindings stay incomplete until RestoreSetFromCatalog.
+      set.fields.clear();
+      needs_eager->push_back(name);
+    }
+    sets_.emplace(name, std::move(set));
+  }
+  return base::Status::Ok();
+}
+
+base::Status Database::RestoreSetFromCatalog(const std::string& set_name) {
+  auto it = sets_.find(set_name);
+  if (it == sets_.end()) {
+    return base::Status::NotFound("unknown set: " + set_name);
+  }
+  return RestoreSet(&it->second);
 }
 
 namespace {

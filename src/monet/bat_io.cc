@@ -1,5 +1,6 @@
 #include "monet/bat_io.h"
 
+#include <array>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -231,6 +232,35 @@ base::Result<Value> DecodeValue(const std::vector<uint8_t>& buf,
     default:
       return base::Status::ParseError("unknown value type tag");
   }
+}
+
+namespace {
+
+/// 256-entry lookup table for the reflected IEEE polynomial, built once.
+const uint32_t* Crc32Table() {
+  static const auto table = [] {
+    auto t = std::make_unique<std::array<uint32_t, 256>>();
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      (*t)[i] = c;
+    }
+    return t;
+  }();
+  return table->data();
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, size_t n) {
+  const uint32_t* table = Crc32Table();
+  uint32_t c = 0xffffffffu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
 }
 
 }  // namespace mirror::monet

@@ -44,6 +44,12 @@ void EncodeValue(const Value& v, std::vector<uint8_t>* out);
 base::Result<Value> DecodeValue(const std::vector<uint8_t>& buf,
                                 size_t* pos);
 
+/// CRC-32 (IEEE 802.3 polynomial, the zlib convention) of `n` bytes. The
+/// integrity check behind the write-ahead log's per-record framing
+/// (monet/wal.h): recovery accepts a record only if its stored CRC
+/// matches the recomputed one.
+uint32_t Crc32(const uint8_t* data, size_t n);
+
 }  // namespace mirror::monet
 
 #endif  // MIRROR_MONET_BAT_IO_H_

@@ -155,6 +155,10 @@ CandidateList MorselizedPositions(size_t n, const CandidateList* cands,
   std::vector<CandidateList> domains = SplitDomain(n, cands, morsels);
   std::vector<CandidateList> fragments(domains.size());
   ParallelFor(mx.pool, domains.size(), [&](size_t j) {
+    // Morsel-boundary deadline check: an expired query abandons its
+    // remaining morsels (the engine discards the partial kernel output
+    // and errors at the next instruction boundary).
+    if (mx.Expired()) return;
     fragments[j] = CandidateList::FromPositions(pos_fn(&domains[j]));
   });
   TrackMorselTasks(domains.size());

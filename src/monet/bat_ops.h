@@ -1,6 +1,7 @@
 #ifndef MIRROR_MONET_BAT_OPS_H_
 #define MIRROR_MONET_BAT_OPS_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -47,6 +48,18 @@ struct MorselExec {
   /// misses cost one cache line instead of a bucket-chain walk. Filter
   /// rejects are counted as KernelStats.bloom_hits.
   bool bloom_probes = true;
+  /// Cooperative query deadline (ExecOptions.query_deadline_ms): when
+  /// set, morsel drivers skip remaining morsels once the clock passes it
+  /// and the engine turns the abandoned (partial) kernel output into a
+  /// DeadlineExceeded error at the next instruction boundary — a long
+  /// query releases its session promptly instead of holding it forever.
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+
+  /// True once the deadline (if any) has passed.
+  bool Expired() const {
+    return has_deadline && std::chrono::steady_clock::now() >= deadline;
+  }
 
   /// Number of morsels a domain of `n` rows splits into (1 = run inline).
   size_t MorselsFor(size_t n) const {

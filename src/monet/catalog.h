@@ -1,9 +1,11 @@
 #ifndef MIRROR_MONET_CATALOG_H_
 #define MIRROR_MONET_CATALOG_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -78,17 +80,36 @@ class ShardedCatalog {
 /// The Moa flattener maps every atomic leaf of a logical schema to a named
 /// BAT here (e.g. `TraditionalImgLib.source`), and MIL programs address
 /// BATs by name. Supports binary persistence of the whole catalog.
+///
+/// Entries carry MonetDB-style delta layers: an immutable base BAT plus
+/// insert chunks (Append) and a delete set (DeleteRows). Readers always
+/// see a consistent *visible snapshot* — Get() returns the base pointer
+/// itself while no deltas exist (zero-copy), and a lazily merged BAT
+/// otherwise — so the read kernels never learn about mutation. Every
+/// mutation bumps `generation()`, invalidates the merged snapshots and
+/// drops the derived caches (shard layouts, zone maps), which rebuild
+/// against the new visible state on next use.
+///
+/// Thread safety: reads (Get/Contains/Names/Shards/Zones/SaveTo) may run
+/// concurrently with each other AND with mutations; mutations serialize
+/// against everything through an internal reader/writer lock. BatPtrs
+/// returned by Get() are immutable snapshots and stay valid forever.
+/// Raw pointers returned by Shards()/Zones()/ZonesFor() are only valid
+/// until the next mutation — engines that overlap mutations must pin the
+/// caches via SharedShards()/PinZones() instead.
 class Catalog {
  public:
   Catalog() = default;
   Catalog(const Catalog&) = delete;
   Catalog& operator=(const Catalog&) = delete;
   // Moves transfer the BATs but not the cached shard layouts (they are
-  // rebuilt on demand); the mutex member rules out defaulted moves.
+  // rebuilt on demand); the mutex members rule out defaulted moves.
   Catalog(Catalog&& other) noexcept : bats_(std::move(other.bats_)) {}
   Catalog& operator=(Catalog&& other) noexcept {
     if (this != &other) {
+      std::unique_lock<std::shared_mutex> lock(mu_);
       bats_ = std::move(other.bats_);
+      generation_.fetch_add(1, std::memory_order_release);
       DropDerivedCaches();
     }
     return *this;
@@ -97,11 +118,14 @@ class Catalog {
   /// Registers a new BAT under `name`; fails if the name is taken.
   base::Status Register(const std::string& name, Bat bat);
 
-  /// Registers or replaces.
+  /// Registers or replaces (replacing discards any delta layers).
   void Put(const std::string& name, Bat bat);
 
-  /// Looks up a BAT; the pointer remains valid until the entry is dropped
-  /// or replaced.
+  /// The visible snapshot of a named BAT: the registered base when no
+  /// deltas exist, otherwise base + insert chunks − delete set, merged
+  /// lazily once per generation. The returned BAT is immutable and the
+  /// pointer stays valid across later mutations (readers keep their
+  /// snapshot; new Get() calls see the new one).
   base::Result<BatPtr> Get(const std::string& name) const;
 
   bool Contains(const std::string& name) const;
@@ -111,36 +135,113 @@ class Catalog {
   /// All registered names, sorted.
   std::vector<std::string> Names() const;
 
-  size_t size() const { return bats_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return bats_.size();
+  }
 
-  /// Persists every BAT plus a manifest into `dir` (created if needed).
+  // -- Delta-layer mutation (the daemon's APPEND/DELETE write path). ----
+
+  /// Appends `values` as a new insert chunk of `name`. The entry must be
+  /// dense (void-headed, the flattener's layout) with a non-void tail of
+  /// the same type as `values`; the new rows continue the dense oid
+  /// sequence, so oids are never reused. O(1) — the merge into a visible
+  /// snapshot is deferred to the next Get().
+  base::Status Append(const std::string& name, Column values);
+
+  /// Marks oids of `name` as deleted; every oid must lie in the entry's
+  /// current oid domain (validated atomically — an out-of-domain oid
+  /// rejects the whole batch). Already-deleted oids are ignored, which
+  /// makes WAL replay of delete records idempotent. Returns how many oids
+  /// were newly deleted. A BAT with deletions materializes a non-void
+  /// head in its visible snapshot (and is replicated, not sharded).
+  base::Result<size_t> DeleteRows(const std::string& name,
+                                  const std::vector<Oid>& oids);
+
+  /// Monotone mutation counter: bumped by every Register/Put/Drop/
+  /// Append/DeleteRows/LoadFrom. Derived caches are stamped with it so a
+  /// racing builder can never publish statistics for replaced data.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// Rows in the append domain of `name`: base rows + inserted rows,
+  /// NOT excluding deletions (deleted oids stay allocated). This is the
+  /// oid the next appended row will take, and the idempotence stamp the
+  /// WAL stores with each append record.
+  base::Result<size_t> AppendDomainRows(const std::string& name) const;
+
+  /// Rows in the visible snapshot of `name` (append domain − deletions).
+  base::Result<size_t> VisibleRows(const std::string& name) const;
+
+  /// True when `name` currently carries insert chunks or deletions
+  /// (diagnostics/tests).
+  bool HasDeltas(const std::string& name) const;
+
+  // -- Persistence. -----------------------------------------------------
+
+  /// Persists every BAT's *visible snapshot* plus a manifest into `dir`
+  /// (created if needed). Atomic against crashes: data files are written
+  /// under a fresh epoch prefix and fsynced, then the manifest is
+  /// published with a single rename(), so a reader (or a restart) either
+  /// sees the complete previous catalog or the complete new one — never
+  /// a torn mix. Stale files from previous epochs are cleaned up best-
+  /// effort after publication.
   base::Status SaveTo(const std::string& dir) const;
 
   /// Loads a catalog persisted by SaveTo; replaces current contents.
   base::Status LoadFrom(const std::string& dir);
 
-  /// The n-way oid-range sharding of this catalog, built on first use and
-  /// cached (per shard count — a 2-way and a 4-way layout can coexist).
-  /// Returns nullptr for n < 2. Any mutation of the catalog
-  /// (Register/Put/Drop/LoadFrom) drops the cached layouts; pointers
-  /// obtained before a mutation must not be used after it. Thread-safe
-  /// against concurrent Shards() calls (engines sharing one catalog), not
-  /// against concurrent mutation — the same rule as Get().
+  /// Loads one checkpoint data file (as written by SaveTo) into the
+  /// catalog under `name`, replacing any existing entry — the on-demand
+  /// single-fragment load behind MM-DIRECT-style instant recovery.
+  base::Status LoadBatFile(const std::string& path, const std::string& name);
+
+  // -- Derived caches (shard layouts, zone maps). -----------------------
+
+  /// The n-way oid-range sharding of this catalog's visible snapshot,
+  /// built on first use and cached per shard count (a 2-way and a 4-way
+  /// layout can coexist). Returns nullptr for n < 2. Any mutation drops
+  /// the cached layouts; the returned shared_ptr keeps a layout alive
+  /// for callers that obtained it before a mutation (they compute a
+  /// stale-but-consistent answer only if they also hold the matching
+  /// stale BatPtrs — the engine pins both together at Run() start).
+  std::shared_ptr<const ShardedCatalog> SharedShards(size_t n) const;
+
+  /// SharedShards() without the pin: the raw pointer is valid until the
+  /// next mutation (single-writer phases, tests, benches).
   const ShardedCatalog* Shards(size_t n) const;
 
-  /// Zone-map statistics of a named BAT (min/max per block, head and
-  /// tail), built lazily for the whole catalog on first use and cached —
-  /// the same lifecycle as Shards(): any catalog mutation drops the
-  /// cached statistics together with the shard layouts, so stale bounds
-  /// can never prune against replaced data. nullptr when the name is
-  /// unknown. Thread-safe against concurrent readers, not against
-  /// concurrent mutation.
-  const BatZones* Zones(const std::string& name) const;
+  /// Zone-map statistics of every visible BAT, one immutable snapshot
+  /// per generation. ForBat resolves statistics of a BAT the engine
+  /// holds by pointer; lookups of BATs from another generation miss (by
+  /// design: stale bounds never prune fresh data, and vice versa).
+  struct ZoneCache {
+    std::map<std::string, BatZones> by_name;
+    /// Keys are the visible BATs' addresses; values point into by_name
+    /// nodes (stable under std::map).
+    std::map<const Bat*, const BatZones*> by_ptr;
 
-  /// Zone maps keyed by BAT identity: resolves the statistics of a BAT
-  /// the engine holds by pointer (candidate-pipeline bases and bare-load
-  /// registers alias catalog entries directly). nullptr for any BAT not
-  /// registered here — derived intermediates prune nothing, by design.
+    const BatZones* ForName(const std::string& name) const {
+      auto it = by_name.find(name);
+      return it == by_name.end() ? nullptr : &it->second;
+    }
+    const BatZones* ForBat(const Bat* bat) const {
+      auto it = by_ptr.find(bat);
+      return it == by_ptr.end() ? nullptr : it->second;
+    }
+  };
+  using ZoneSnapshot = std::shared_ptr<const ZoneCache>;
+
+  /// The current generation's zone-map snapshot, built on first use. The
+  /// engine pins one at Run() start so its raw BatZones pointers outlive
+  /// any concurrent mutation.
+  ZoneSnapshot PinZones() const;
+
+  /// Zone maps of a named BAT / of a BAT held by pointer, from the
+  /// current snapshot. nullptr when unknown. The raw pointer is valid
+  /// until the next mutation; concurrent-writer paths use PinZones().
+  const BatZones* Zones(const std::string& name) const;
   const BatZones* ZonesFor(const Bat* bat) const;
 
   /// Builds (and caches) zone maps for every registered BAT if they are
@@ -149,25 +250,41 @@ class Catalog {
   void EnsureZones() const;
 
  private:
-  /// Statistics derived from the catalog contents, all invalidated by
-  /// the same mutations: one lazily built immutable snapshot.
-  struct ZoneCache {
-    std::map<std::string, BatZones> by_name;
-    /// Keys are the registered BATs' addresses; values point into
-    /// by_name nodes (stable under std::map).
-    std::map<const Bat*, const BatZones*> by_ptr;
+  /// One named entry: immutable base + delta layers + the lazily merged
+  /// visible snapshot (cache only — rebuilt from base/ins/dels on
+  /// demand, guarded by shard_mu_ among readers).
+  struct Entry {
+    BatPtr base;
+    std::vector<Column> ins;  // insert chunks, appended in order
+    std::vector<Oid> dels;    // sorted, deduplicated
+    size_t ins_rows = 0;
+    mutable BatPtr merged;
+
+    bool has_deltas() const { return !ins.empty() || !dels.empty(); }
   };
 
-  void DropDerivedCaches();
-  const ZoneCache* EnsureZoneCache() const;
+  /// The visible snapshot of an entry; builds and caches the merged BAT
+  /// under shard_mu_. Caller holds mu_ (shared suffices).
+  BatPtr Visible(const Entry& e) const;
+  static Bat BuildMerged(const Entry& e);
 
-  std::map<std::string, BatPtr> bats_;
+  /// Reads and decodes one SaveTo data file (magic-prefixed EncodeBat).
+  static base::Result<Bat> ReadBatFile(const std::string& path);
+
+  void DropDerivedCaches() const;
+
+  std::map<std::string, Entry> bats_;
+  /// Guards bats_: shared for reads, exclusive for mutation. Lock order
+  /// is mu_ before shard_mu_ wherever both are held.
+  mutable std::shared_mutex mu_;
+  std::atomic<uint64_t> generation_{0};
   /// Lazily built derived caches (shard layouts keyed by shard count,
   /// zone-map statistics), guarded by one mutex; mutable so a const-held
   /// catalog (the execution engines' view) can build them.
   mutable std::mutex shard_mu_;
-  mutable std::map<size_t, std::unique_ptr<ShardedCatalog>> shard_cache_;
-  mutable std::unique_ptr<const ZoneCache> zone_cache_;
+  mutable std::map<size_t, std::shared_ptr<const ShardedCatalog>>
+      shard_cache_;
+  mutable ZoneSnapshot zone_cache_;
 };
 
 }  // namespace mirror::monet

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <condition_variable>
 #include <map>
 #include <thread>
@@ -176,19 +177,23 @@ struct RunState {
   MorselExec mx;
   std::vector<RegValue>* regs;
   std::mutex slot_mu;
+  /// Zone statistics pinned for the whole run: the catalog can mutate
+  /// (and drop its caches) while a query executes, so the run holds its
+  /// own reference instead of chasing the catalog's current snapshot.
+  Catalog::ZoneSnapshot zones;
 
   RegValue& slot(int reg) { return (*regs)[static_cast<size_t>(reg)]; }
 };
 
-/// The tail zone map of `bat` from the run's catalog cache, or null when
-/// zone pruning is off, the BAT is not a cached base BAT, or its tail
-/// carries no bounds. Intermediate results never hit the cache (pointer
-/// lookup), so pruning only ever consults load-time statistics.
+/// The tail zone map of `bat` from the run's pinned zone snapshot, or
+/// null when zone pruning is off, the BAT is not a cached base BAT, or
+/// its tail carries no bounds. Intermediate results never hit the cache
+/// (pointer lookup), so pruning only ever consults load-time statistics.
 const ZoneMap* TailZonesFor(RunState& st, const Bat* bat) {
-  if (!st.zone_maps || st.catalog == nullptr || bat == nullptr) {
+  if (!st.zone_maps || st.zones == nullptr || bat == nullptr) {
     return nullptr;
   }
-  const BatZones* z = st.catalog->ZonesFor(bat);
+  const BatZones* z = st.zones->ForBat(bat);
   if (z == nullptr || !z->tail.valid) return nullptr;
   return &z->tail;
 }
@@ -375,9 +380,9 @@ void ExecFusedAgg(RunState& st, const Instr& i, const BatPtr& base,
 /// cached bounds — intermediates, void heads — take the plain form.
 void ExecPerHeadAgg(RunState& st, const Instr& i, const BatPtr& b) {
   const ZoneMap* hz = nullptr;
-  if (st.zone_maps && st.catalog != nullptr &&
+  if (st.zone_maps && st.zones != nullptr &&
       b->head().type() == ValueType::kOid) {
-    const BatZones* z = st.catalog->ZonesFor(b.get());
+    const BatZones* z = st.zones->ForBat(b.get());
     if (z != nullptr && z->head.valid) hz = &z->head;
   }
   if (hz != nullptr) {
@@ -431,6 +436,12 @@ void ExecPerHeadAgg(RunState& st, const Instr& i, const BatPtr& b) {
 /// family produces candidate views; everything else is a pipeline breaker
 /// that materializes its inputs.
 base::Status ExecInstr(RunState& st, const Instr& i) {
+  // Instruction boundaries are the engine-level deadline checkpoints
+  // (morsel drivers check between morsels below the kernel layer); an
+  // expired query stops scheduling work and unwinds with a clean error.
+  if (st.mx.Expired()) {
+    return base::Status::DeadlineExceeded("query deadline exceeded");
+  }
   auto mat1 = [&]() { return MatInput(st, i.src1); };
 
   if (st.use_candidates && IsCandidatePipelineOp(i.op)) {
@@ -1289,6 +1300,23 @@ base::Result<RunResult> ExecutionEngine::Run(const Program& program,
               &regs};
   st.mx.radix_partitions = options_.radix_partitions;
   st.mx.bloom_probes = options_.bloom_probes;
+  if (options_.zone_maps && catalog_ != nullptr) {
+    // Pin this generation's statistics for the whole run: a concurrent
+    // writer may drop and rebuild the catalog's caches mid-query.
+    st.zones = catalog_->PinZones();
+  }
+  // The deadline is stamped once at entry; ArmDeadline re-applies it
+  // wherever the morsel resources are re-assigned below.
+  const auto deadline_at =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.query_deadline_ms);
+  auto arm_deadline = [&](MorselExec* mx) {
+    if (options_.query_deadline_ms > 0) {
+      mx->has_deadline = true;
+      mx->deadline = deadline_at;
+    }
+  };
+  arm_deadline(&st.mx);
 
   // Thread resolution: 0 = auto, one worker per hardware thread (the
   // unsharded branch may clamp back to 1 below).
@@ -1301,15 +1329,17 @@ base::Result<RunResult> ExecutionEngine::Run(const Program& program,
   // Shard-parallel path: the program fans out over the catalog's
   // oid-range sharding (instruction-ordered scatter/gather; shard and
   // morsel fan-out supply the parallelism instead of the DAG scheduler).
-  const ShardedCatalog* shard_layout =
+  std::shared_ptr<const ShardedCatalog> shard_pin =
       (options_.num_shards > 1 && catalog_ != nullptr)
-          ? catalog_->Shards(options_.num_shards)
+          ? catalog_->SharedShards(options_.num_shards)
           : nullptr;
+  const ShardedCatalog* shard_layout = shard_pin.get();
   if (shard_layout != nullptr) {
     if (threads > 1) {
       ctx->pool_.EnsureWorkers(threads);
       st.mx = MorselExec{&ctx->pool_, options_.morsel_size,
                          options_.radix_partitions, options_.bloom_probes};
+      arm_deadline(&st.mx);
     }
     size_t num_regs = static_cast<size_t>(program.num_regs());
     size_t S = shard_layout->num_shards();
@@ -1325,6 +1355,11 @@ base::Result<RunResult> ExecutionEngine::Run(const Program& program,
           &shard_layout->shard(s), options_.use_candidates,
           options_.fuse_aggregates, options_.morsel_joins, options_.zone_maps,
           options_.topk_prune, &topk_plan, st.mx, &shard_regs[s]});
+      if (options_.zone_maps) {
+        // Shard-local catalogs are immutable once built, but their zone
+        // caches follow the same pin-per-run rule as the base catalog's.
+        sst.shard.back()->zones = shard_layout->shard(s).PinZones();
+      }
     }
     sst.shape.assign(num_regs, RegShape::kGlobal);
     sst.domain.assign(num_regs, nullptr);
@@ -1359,6 +1394,7 @@ base::Result<RunResult> ExecutionEngine::Run(const Program& program,
       if (options_.morsel_size > 0) {
         st.mx = MorselExec{&ctx->pool_, options_.morsel_size,
                            options_.radix_partitions, options_.bloom_probes};
+        arm_deadline(&st.mx);
       }
     }
     if (scheduled) {
@@ -1368,6 +1404,11 @@ base::Result<RunResult> ExecutionEngine::Run(const Program& program,
     }
   }
 
+  // Kernels whose morsel drivers observed an expired deadline abandoned
+  // work (their output is partial); the run must not deliver it.
+  if (st.mx.Expired()) {
+    return base::Status::DeadlineExceeded("query deadline exceeded");
+  }
   if (program.result_reg() < 0) {
     return base::Status::Internal("program has no result register");
   }

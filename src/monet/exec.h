@@ -91,6 +91,13 @@ struct ExecOptions {
   /// ranked result stays bit-identical, including stable tie order. When
   /// false, ranking plans run unpruned.
   bool topk_prune = true;
+  /// Cooperative per-query deadline in milliseconds; 0 disables. The
+  /// engine stamps steady_clock::now() + deadline at Run() entry and
+  /// checks it at every instruction boundary (sequential, DAG and shard
+  /// schedulers) and inside the morsel drivers; an expired query returns
+  /// StatusCode::kDeadlineExceeded instead of a result. The daemon
+  /// exposes it as the per-session `SET exec.query_deadline_ms` knob.
+  uint64_t query_deadline_ms = 0;
 };
 
 /// One register during execution: a materialized BAT, an unmaterialized

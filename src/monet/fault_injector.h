@@ -1,0 +1,35 @@
+#ifndef MIRROR_MONET_FAULT_INJECTOR_H_
+#define MIRROR_MONET_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mirror::monet {
+
+/// Deterministic fault hook threaded through the durability-critical
+/// write paths (the WAL's record writes and fsyncs). Tests subclass it to
+/// inject exactly one failure shape — a torn record, a bit-flipped CRC, a
+/// truncated tail, a failing fsync — and then assert that recovery
+/// detects the damage, truncates to the last valid record and reports the
+/// drop. Production code passes nullptr and pays nothing.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Called with the fully serialized record about to be written. The
+  /// injector may corrupt `bytes` in place (CRC flips) and returns how
+  /// many of them to actually write: a value < bytes->size() simulates a
+  /// torn write / truncated tail at that byte boundary.
+  virtual size_t BeforeRecordWrite(std::vector<uint8_t>* bytes) {
+    return bytes->size();
+  }
+
+  /// Called before each fsync; returning false simulates a sync failure
+  /// (the write is not acknowledged and the caller reports an IO error).
+  virtual bool BeforeSync() { return true; }
+};
+
+}  // namespace mirror::monet
+
+#endif  // MIRROR_MONET_FAULT_INJECTOR_H_

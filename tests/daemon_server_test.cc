@@ -7,6 +7,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -767,6 +768,188 @@ TEST(QueryServerTest, TcpListenerServesTheSameProtocol) {
   auto direct = database->Query(query, ctx);
   ASSERT_TRUE(direct.ok());
   auto result = client.Query(query, ctx);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectResultIdentical(result.value(), direct.value());
+  ASSERT_TRUE(client.Close().ok());
+  server.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// The durable write path over the wire.
+
+TEST(QueryServerTest, AppendAndDeleteOverTheWire) {
+  db::MirrorDb database;
+  BuildDb(&database, /*seed=*/11, /*catalog_rows=*/2000);
+  QueryServer server(&database);  // mutable: writes allowed
+  auto [client_end, server_end] = wire::CreateChannelPair();
+  server.Serve(std::move(server_end));
+  wire::WireClient client(std::move(client_end));
+  ASSERT_TRUE(client.Hello("writer").ok());
+
+  // Appends are acknowledged with the post-write row count. No WAL is
+  // attached here, so lsn stays 0 (volatile write) — the daemon still
+  // applies the delta layers.
+  auto ack = client.Append("Cat.rating", monet::Column::MakeInts({7, 8, 9}));
+  ASSERT_TRUE(ack.ok()) << ack.status().ToString();
+  EXPECT_EQ(ack.value().visible_rows, 2003u);
+  EXPECT_EQ(ack.value().lsn, 0u);
+  EXPECT_EQ(database.catalog()->AppendDomainRows("Cat.rating").value(), 2003u);
+
+  auto del = client.Delete("Cat.rating", {2000, 2002});
+  ASSERT_TRUE(del.ok()) << del.status().ToString();
+  EXPECT_EQ(del.value().deleted, 2u);
+  EXPECT_EQ(del.value().visible_rows, 2001u);
+
+  // Invalid writes come back as clean ERROR frames; the session lives.
+  auto bad = client.Append("Cat.rating", monet::Column::MakeDbls({0.5}));
+  ASSERT_FALSE(bad.ok());
+  auto missing = client.Delete("NoSuch.bat", {0});
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), base::StatusCode::kNotFound);
+  auto again = client.Append("Cat.rating", monet::Column::MakeInts({1}));
+  ASSERT_TRUE(again.ok());
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats.value().server.errors, 2u);
+  ASSERT_TRUE(client.Close().ok());
+  server.Shutdown();
+}
+
+TEST(QueryServerTest, ReadOnlyServerRejectsWrites) {
+  QueryServer server(static_cast<const db::MirrorDb*>(SharedDb()));
+  auto [client_end, server_end] = wire::CreateChannelPair();
+  server.Serve(std::move(server_end));
+  wire::WireClient client(std::move(client_end));
+  ASSERT_TRUE(client.Hello("intruder").ok());
+
+  auto append = client.Append("Cat.rating", monet::Column::MakeInts({1}));
+  ASSERT_FALSE(append.ok());
+  EXPECT_EQ(append.status().code(), base::StatusCode::kInvalidArgument);
+  auto del = client.Delete("Cat.rating", {0});
+  ASSERT_FALSE(del.ok());
+  EXPECT_EQ(del.status().code(), base::StatusCode::kInvalidArgument);
+
+  // Nothing was mutated and the session still serves queries.
+  EXPECT_FALSE(SharedDb()->catalog()->HasDeltas("Cat.rating"));
+  moa::QueryContext ctx;
+  EXPECT_TRUE(client.Query("count(Cat);", ctx).ok());
+  ASSERT_TRUE(client.Close().ok());
+  server.Shutdown();
+}
+
+TEST(QueryServerTest, WalCountersSurfaceInStats) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("mirror_server_walstats_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  db::MirrorDb database;
+  BuildDb(&database, /*seed=*/13, /*catalog_rows=*/500);
+  ASSERT_TRUE(database.AttachWal(dir + "/wal.log").ok());
+  QueryServer server(&database);
+  auto [client_end, server_end] = wire::CreateChannelPair();
+  server.Serve(std::move(server_end));
+  wire::WireClient client(std::move(client_end));
+  ASSERT_TRUE(client.Hello("walstats").ok());
+
+  auto a1 = client.Append("Cat.rating", monet::Column::MakeInts({1, 2}));
+  ASSERT_TRUE(a1.ok());
+  EXPECT_GT(a1.value().lsn, 0u);  // WAL-backed acks carry real LSNs
+  auto a2 = client.Append("Cat.rating", monet::Column::MakeInts({3}));
+  ASSERT_TRUE(a2.ok());
+  EXPECT_GT(a2.value().lsn, a1.value().lsn);
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().server.wal_appends, 2u);
+  EXPECT_EQ(stats.value().server.wal_replayed_records, 0u);
+  EXPECT_EQ(stats.value().server.wal_truncated_bytes, 0u);
+  EXPECT_EQ(stats.value().server.recovery_lazy_loads, 0u);
+  EXPECT_EQ(stats.value().server.recovery_pending, 0u);
+  ASSERT_TRUE(client.Close().ok());
+  server.Shutdown();
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// The per-session query deadline.
+
+TEST(QueryServerTest, QueryDeadlineKnobValidatesAndEchoes) {
+  QueryServer server(SharedDb());
+  auto [client_end, server_end] = wire::CreateChannelPair();
+  server.Serve(std::move(server_end));
+  wire::WireClient client(std::move(client_end));
+  ASSERT_TRUE(client.Hello("deadline-echo").ok());
+
+  auto set = client.Set({{"query_deadline_ms", 5000}});
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  EXPECT_EQ(set.value().query_deadline_ms, 5000u);
+
+  // Out-of-range values reject the whole batch atomically.
+  auto bad = client.Set({{"query_deadline_ms", -1}});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), base::StatusCode::kInvalidArgument);
+  auto too_big = client.Set({{"num_threads", 2}, {"query_deadline_ms", 86'400'001}});
+  ASSERT_FALSE(too_big.ok());
+  auto echo = client.Set({{"morsel_joins", 1}});
+  ASSERT_TRUE(echo.ok());
+  EXPECT_EQ(echo.value().query_deadline_ms, 5000u);
+  EXPECT_EQ(echo.value().num_threads, 0) << "rejected SET partially applied";
+
+  // STATS echoes the knob per session.
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats.value().sessions.size(), 1u);
+  EXPECT_EQ(stats.value().sessions[0].options.query_deadline_ms, 5000u);
+
+  // A generous deadline does not perturb results.
+  const std::string query = "count(select[THIS.year >= 2000](Cat));";
+  moa::QueryContext ctx;
+  auto direct = SharedDb()->Query(query, ctx);
+  ASSERT_TRUE(direct.ok());
+  auto result = client.Query(query, ctx);
+  ASSERT_TRUE(result.ok());
+  ExpectResultIdentical(result.value(), direct.value());
+  ASSERT_TRUE(client.Close().ok());
+  server.Shutdown();
+}
+
+TEST(QueryServerTest, ExpiredDeadlineReturnsErrorFrameAndSessionSurvives) {
+  // A big enough catalog that a multi-instruction query reliably outlives
+  // a 1 ms deadline (the engine checks at instruction and morsel
+  // boundaries, so the first boundary after the stamp trips it).
+  db::MirrorDb database;
+  BuildDb(&database, /*seed=*/3, /*catalog_rows=*/1000000);
+  QueryServer server(&database);
+  auto [client_end, server_end] = wire::CreateChannelPair();
+  server.Serve(std::move(server_end));
+  wire::WireClient client(std::move(client_end));
+  ASSERT_TRUE(client.Hello("deadline").ok());
+  ASSERT_TRUE(client.Set({{"query_deadline_ms", 1}, {"num_threads", 1}}).ok());
+
+  const std::string heavy =
+      "map[THIS * 3 + 1](map[THIS * 2](map[THIS.rating + "
+      "7](select[THIS.year >= 1970](Cat))));";
+  moa::QueryContext ctx;
+  bool expired = false;
+  for (int attempt = 0; attempt < 50 && !expired; ++attempt) {
+    auto result = client.Query(heavy, ctx);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), base::StatusCode::kDeadlineExceeded)
+          << result.status().ToString();
+      expired = true;
+    }
+  }
+  EXPECT_TRUE(expired) << "1 ms deadline never tripped on a 1M-row query";
+
+  // The ERROR frame was clean: the same session serves after lifting the
+  // deadline, with an undisturbed result.
+  ASSERT_TRUE(client.Set({{"query_deadline_ms", 0}}).ok());
+  auto direct = database.Query(heavy, ctx);
+  ASSERT_TRUE(direct.ok());
+  auto result = client.Query(heavy, ctx);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ExpectResultIdentical(result.value(), direct.value());
   ASSERT_TRUE(client.Close().ok());

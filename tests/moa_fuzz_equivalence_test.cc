@@ -62,6 +62,77 @@ void BuildRandomDatabase(Database* db, base::Rng* rng) {
   ASSERT_TRUE(db->Load("S", std::move(objects)).ok());
 }
 
+// Rebuild most dense catalog BATs as a shorter base plus catalog-level
+// insert chunks with IDENTICAL visible contents.  The naive interpreter
+// evaluates over the materialized MOA objects and never sees the
+// catalog, so every engine mode must read straight through the delta
+// layers (merged views, shard layouts, zone maps rebuilt per
+// generation) and still agree bit-for-bit with the oracle.
+void IntroduceDeltaTails(Database* db, base::Rng* rng) {
+  monet::Catalog* catalog = db->catalog();
+  bool any = false;
+  for (const std::string& name : catalog->Names()) {
+    auto bat = catalog->Get(name);
+    ASSERT_TRUE(bat.ok()) << name;
+    const monet::Bat& full = *bat.value();
+    const size_t n = full.size();
+    if (!full.head().is_void() || full.head().void_base() != 0 || n < 2) {
+      continue;  // only dense oid-headed BATs support insert tails
+    }
+    if (rng->Uniform(4) == 0) continue;  // leave some BATs delta-free
+    // Re-Put a truncated base, then re-append the suffix as one or two
+    // insert chunks so multi-chunk tails get exercised too.
+    const size_t cut = 1 + rng->Uniform(n - 1);
+    std::vector<size_t> splits = {cut, n};
+    if (n - cut >= 2 && rng->Uniform(2) == 0) {
+      splits = {cut, cut + 1 + rng->Uniform(n - cut - 1), n};
+    }
+    auto slice = [&](size_t lo, size_t hi) -> monet::Column {
+      switch (full.tail().type()) {
+        case monet::ValueType::kInt: {
+          std::vector<int64_t> v;
+          for (size_t i = lo; i < hi; ++i) v.push_back(full.tail().IntAt(i));
+          return monet::Column::MakeInts(std::move(v));
+        }
+        case monet::ValueType::kDbl: {
+          std::vector<double> v;
+          for (size_t i = lo; i < hi; ++i) v.push_back(full.tail().DblAt(i));
+          return monet::Column::MakeDbls(std::move(v));
+        }
+        case monet::ValueType::kOid: {
+          std::vector<Oid> v;
+          for (size_t i = lo; i < hi; ++i) v.push_back(full.tail().OidAt(i));
+          return monet::Column::MakeOids(std::move(v));
+        }
+        case monet::ValueType::kStr: {
+          std::vector<std::string> v;
+          for (size_t i = lo; i < hi; ++i) {
+            v.emplace_back(full.tail().StrAt(i));
+          }
+          return monet::Column::MakeStrs(v);
+        }
+        default:
+          ADD_FAILURE() << "unexpected tail type for " << name;
+          return monet::Column::MakeVoid(0, 0);
+      }
+    };
+    catalog->Put(name, monet::Bat(monet::Column::MakeVoid(0, cut),
+                                  slice(0, cut)));
+    size_t lo = cut;
+    for (size_t hi : splits) {
+      if (hi <= lo) continue;
+      ASSERT_TRUE(catalog->Append(name, slice(lo, hi)).ok()) << name;
+      lo = hi;
+    }
+    ASSERT_TRUE(catalog->HasDeltas(name)) << name;
+    auto visible = catalog->VisibleRows(name);
+    ASSERT_TRUE(visible.ok()) << name;
+    ASSERT_EQ(visible.value(), n) << name;
+    any = true;
+  }
+  ASSERT_TRUE(any);
+}
+
 // Random predicate over the atomic fields.
 std::string RandomPredicate(base::Rng* rng) {
   auto clause = [&]() {
@@ -266,6 +337,7 @@ TEST_P(FuzzEquivalenceTest, NaiveAndFlattenedAgreeOnRandomQueries) {
   base::Rng rng(GetParam());
   Database db;
   BuildRandomDatabase(&db, &rng);
+  IntroduceDeltaTails(&db, &rng);
   QueryContext ctx;
   // Random query binding: 1-4 terms, some possibly unknown, random
   // weights on half the runs.

@@ -3,7 +3,9 @@
 // both engines produce identical answers on the restored instance.
 
 #include <filesystem>
+#include <fstream>
 #include <map>
+#include <set>
 
 #include <gtest/gtest.h>
 
@@ -185,6 +187,101 @@ TEST(PersistenceTest, NestedObjectsReconstructed) {
 TEST(PersistenceTest, LoadFromMissingDirectoryFails) {
   Database db;
   EXPECT_FALSE(db.LoadFrom("/nonexistent/mirror/db").ok());
+}
+
+TEST(PersistenceTest, StaleTempFilesNeverCorruptThePublishedSnapshot) {
+  std::string dir = TempDir("atomic");
+  Database original;
+  BuildRichDatabase(&original, 15, 17);
+  ASSERT_TRUE(original.SaveTo(dir).ok());
+
+  // Simulate a crash mid-save: torn temp files next to the published
+  // manifest and schemas. Neither load nor a subsequent save may trip
+  // over them.
+  {
+    std::ofstream torn1(dir + "/schemas.txt.tmp", std::ios::binary);
+    torn1 << "Lib\t99";  // truncated line
+    std::ofstream torn2(dir + "/manifest.txt.tmp", std::ios::binary);
+    torn2 << "\xde\xad\xbe";
+  }
+  Database restored;
+  ASSERT_TRUE(restored.LoadFrom(dir).ok());
+  EXPECT_EQ(restored.GetSet("Lib").value()->cardinality, 15u);
+
+  ASSERT_TRUE(original.SaveTo(dir).ok());
+  Database again;
+  ASSERT_TRUE(again.LoadFrom(dir).ok());
+  EXPECT_EQ(again.GetSet("Lib").value()->cardinality, 15u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PersistenceTest, RepeatedSavesKeepExactlyOneEpochOfDataFiles) {
+  std::string dir = TempDir("epochs");
+  Database original;
+  BuildRichDatabase(&original, 12, 19);
+  ASSERT_TRUE(original.SaveTo(dir).ok());
+  ASSERT_TRUE(original.SaveTo(dir).ok());
+  ASSERT_TRUE(original.SaveTo(dir).ok());
+
+  // Data files are epoch-prefixed (bat_e<epoch>_<idx>.bin) and stale
+  // epochs are cleaned after publish: only one epoch may remain.
+  std::set<std::string> epochs;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    std::string file = entry.path().filename().string();
+    if (file.rfind("bat_e", 0) != 0) continue;
+    epochs.insert(file.substr(0, file.find('_', 5)));
+  }
+  EXPECT_EQ(epochs.size(), 1u) << "stale epoch files were not cleaned";
+
+  Database restored;
+  ASSERT_TRUE(restored.LoadFrom(dir).ok());
+  EXPECT_EQ(restored.GetSet("Lib").value()->cardinality, 12u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PersistenceTest, SaveFoldsDeltaTailsAndRestoredCatalogIsClean) {
+  std::string dir = TempDir("deltasave");
+  Database original;
+  BuildRichDatabase(&original, 40, 23);
+
+  // Rewrite Lib.year as a short base plus catalog-level insert chunks
+  // with identical visible contents, then checkpoint through them.
+  monet::Catalog* catalog = original.catalog();
+  auto year = catalog->Get("Lib.year");
+  ASSERT_TRUE(year.ok());
+  std::vector<int64_t> values;
+  for (size_t i = 0; i < year.value()->size(); ++i) {
+    values.push_back(year.value()->tail().IntAt(i));
+  }
+  const size_t cut = values.size() / 3;
+  catalog->Put("Lib.year",
+               monet::Bat::DenseInts({values.begin(), values.begin() + cut}));
+  ASSERT_TRUE(catalog
+                  ->Append("Lib.year", monet::Column::MakeInts(
+                                           {values.begin() + cut, values.end()}))
+                  .ok());
+  ASSERT_TRUE(catalog->HasDeltas("Lib.year"));
+
+  QueryContext ctx;
+  ctx.BindTerms("query", {"tree", "bird"});
+  const std::string ranking =
+      "map[sum(THIS)](map[getBL(THIS.annotation, query, stats)]("
+      "select[THIS.year >= 1993](Lib)));";
+  auto expected = RunQuery(original, ctx, ranking, /*flattened=*/true);
+
+  ASSERT_TRUE(original.SaveTo(dir).ok());
+  Database restored;
+  ASSERT_TRUE(restored.LoadFrom(dir).ok());
+  // The checkpoint persisted the merged view: no delta layers survive.
+  EXPECT_FALSE(restored.catalog()->HasDeltas("Lib.year"));
+  auto flattened = RunQuery(restored, ctx, ranking, /*flattened=*/true);
+  auto naive = RunQuery(restored, ctx, ranking, /*flattened=*/false);
+  ASSERT_EQ(flattened.size(), expected.size());
+  for (const auto& [oid, score] : expected) {
+    EXPECT_NEAR(flattened.at(oid), score, 1e-12);
+    EXPECT_NEAR(naive.at(oid), score, 1e-9);
+  }
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
