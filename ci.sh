@@ -163,4 +163,53 @@ awk -v s="${E6_SPEEDUP}" 'BEGIN { exit (s >= 3.0) ? 0 : 1 }' || {
   exit 1
 }
 
+echo "== overload-goodput gate (E7, 64-client storm vs uncontended) =="
+# bench_overload runs an undersized daemon (3 workers, 8-deep queue)
+# twice: 16 healthy retrying clients alone, then the same 16 inside a
+# 64-client storm (malformed floods, mid-frame disconnects, session
+# churn). The gates: healthy goodput under the storm stays >= 70% of
+# uncontended, at least one request was shed with a typed kOverloaded
+# ERROR (admission control actually engaged), and the healthy p99 under
+# the storm stays bounded.
+(cd build && ./bench_overload)
+E7_RATIO=$(grep -m1 '"goodput_ratio"' build/BENCH_retrieval.json \
+            | awk -F': ' '{gsub(/[,[:space:]]/, "", $2); print $2}')
+E7_SHED=$(grep -m1 '"requests_shed"' build/BENCH_retrieval.json \
+            | awk -F': ' '{gsub(/[,[:space:]]/, "", $2); print $2}')
+E7_P99=$(grep -m1 '"storm_p99_ms"' build/BENCH_retrieval.json \
+            | awk -F': ' '{gsub(/[,[:space:]]/, "", $2); print $2}')
+echo "healthy goodput under storm: ${E7_RATIO} of uncontended (sheds: ${E7_SHED}, storm p99: ${E7_P99} ms)"
+awk -v r="${E7_RATIO}" 'BEGIN { exit (r >= 0.7) ? 0 : 1 }' || {
+  echo "FAIL: healthy goodput ratio ${E7_RATIO} under the storm is below the 0.7 floor"
+  exit 1
+}
+[ "${E7_SHED}" != "0" ] || {
+  echo "FAIL: the storm never tripped admission control (0 typed sheds)"
+  exit 1
+}
+awk -v p="${E7_P99}" 'BEGIN { exit (p <= 250.0) ? 0 : 1 }' || {
+  echo "FAIL: healthy p99 ${E7_P99} ms under the storm exceeds the 250 ms bound"
+  exit 1
+}
+
+echo "== TSan: daemon concurrency (event loop, worker pool, chaos storm) =="
+# The event-driven connection layer is lock-order sensitive (loop_mu_ ->
+# mu_, the quiesce gate, the coalescing map): run the three daemon test
+# binaries under ThreadSanitizer. Skipped with a notice when the
+# toolchain lacks libtsan.
+if echo 'int main(){return 0;}' | g++ -fsanitize=thread -x c++ - -o /tmp/tsan_probe 2>/dev/null; then
+  rm -f /tmp/tsan_probe
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+  cmake --build build-tsan -j"${JOBS}" \
+    --target daemon_server_test daemon_recovery_test daemon_chaos_test
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./daemon_server_test)
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./daemon_recovery_test)
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./daemon_chaos_test)
+else
+  echo "libtsan unavailable: skipping the TSan job"
+fi
+
 echo "CI OK — artifacts: build/BENCH_bat_kernel.json build/BENCH_retrieval.json"

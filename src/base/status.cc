@@ -26,6 +26,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -22,6 +22,8 @@ enum class StatusCode {
   kUnimplemented,
   kIoError,
   kDeadlineExceeded,
+  kOverloaded,
+  kResourceExhausted,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -75,6 +77,12 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   /// True iff this status represents success.

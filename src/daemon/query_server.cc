@@ -1,6 +1,12 @@
 #include "daemon/query_server.h"
 
+#include <poll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <string_view>
 
 #include "base/str_util.h"
@@ -46,6 +52,12 @@ base::Status ServerSession::ValidateOverride(const std::string& key,
           base::StrFormat("query_deadline_ms %lld out of range",
                           static_cast<long long>(value)));
     }
+  } else if (k == "memory_budget_bytes") {
+    if (value < 0) {
+      return base::Status::InvalidArgument(
+          base::StrFormat("memory_budget_bytes %lld out of range",
+                          static_cast<long long>(value)));
+    }
   } else if (k != "morsel_joins" && k != "fuse_aggregates" &&
              k != "zone_maps" && k != "topk_prune") {
     return base::Status::InvalidArgument(
@@ -72,6 +84,8 @@ base::Status ServerSession::ApplyOverride(const std::string& key,
     options_.exec.topk_prune = value != 0;
   } else if (k == "query_deadline_ms") {
     options_.exec.query_deadline_ms = static_cast<uint64_t>(value);
+  } else if (k == "memory_budget_bytes") {
+    options_.exec.memory_budget_bytes = static_cast<uint64_t>(value);
   } else {
     options_.exec.fuse_aggregates = value != 0;
   }
@@ -95,6 +109,7 @@ wire::SessionStatsEntry ServerSession::StatsEntry() const {
   entry.options.zone_maps = options_.exec.zone_maps;
   entry.options.topk_prune = options_.exec.topk_prune;
   entry.options.query_deadline_ms = options_.exec.query_deadline_ms;
+  entry.options.memory_budget_bytes = options_.exec.memory_budget_bytes;
   return entry;
 }
 
@@ -159,14 +174,25 @@ QueryServer::QueryServer(const db::MirrorDb* db)
     : QueryServer(db, Options()) {}
 
 QueryServer::QueryServer(const db::MirrorDb* db, Options options)
-    : db_(db), options_(std::move(options)), sessions_(db) {}
+    : db_(db), options_(std::move(options)), sessions_(db) {
+  chunk_bytes_ = std::max<size_t>(
+      4096, std::min(options_.result_chunk_bytes,
+                     std::max<size_t>(4096, options_.outbound_buffer_limit / 4)));
+}
 
 QueryServer::QueryServer(db::MirrorDb* db) : QueryServer(db, Options()) {}
 
 QueryServer::QueryServer(db::MirrorDb* db, Options options)
-    : db_(db), mutable_db_(db), options_(std::move(options)), sessions_(db) {}
+    : db_(db), mutable_db_(db), options_(std::move(options)), sessions_(db) {
+  chunk_bytes_ = std::max<size_t>(
+      4096, std::min(options_.result_chunk_bytes,
+                     std::max<size_t>(4096, options_.outbound_buffer_limit / 4)));
+}
 
-QueryServer::~QueryServer() { Shutdown(); }
+QueryServer::~QueryServer() {
+  Shutdown();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+}
 
 void QueryServer::CountIn(size_t frame_bytes) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -193,48 +219,86 @@ wire::ServerWireStats QueryServer::stats() const {
   out.topk_morsels_pruned = kernels.topk_morsels_pruned;
   out.topk_shards_pruned = kernels.topk_shards_pruned;
   out.probe_partitions = kernels.probe_partitions;
+  out.peak_query_bytes = kernels.peak_query_bytes;
   out.wal_appends = recovery.wal_appends;
   out.wal_replayed_records = recovery.wal_replayed_records;
   out.wal_truncated_bytes = recovery.wal_truncated_bytes;
   out.recovery_lazy_loads = recovery.recovery_lazy_loads;
   out.recovery_pending = recovery.recovery_pending ? 1 : 0;
+  out.requests_shed = requests_shed_.load(std::memory_order_relaxed);
+  out.queue_depth_high_water =
+      queue_depth_high_water_.load(std::memory_order_relaxed);
+  out.active_workers = active_workers_.load(std::memory_order_relaxed);
+  out.result_chunks_streamed =
+      result_chunks_streamed_.load(std::memory_order_relaxed);
+  out.slow_client_disconnects =
+      slow_client_disconnects_.load(std::memory_order_relaxed);
   return out;
 }
 
 size_t QueryServer::active_connections() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(loop_mu_);
   size_t n = 0;
-  for (const auto& conn : connections_) {
-    if (!conn->done.load(std::memory_order_acquire)) ++n;
+  for (const auto& [id, conn] : conns_) {
+    if (!conn->dead) ++n;
   }
   return n;
 }
 
+void QueryServer::EnsureStarted() {
+  std::lock_guard<std::mutex> lock(loop_mu_);
+  if (started_) return;
+  started_ = true;
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  int n = options_.worker_threads;
+  if (n <= 0) {
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    n = std::max(2, std::min(8, hw));
+  }
+  loop_thread_ = std::thread([this] { LoopMain(); });
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+void QueryServer::Wake() {
+  if (wake_fd_ < 0) return;
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t r = ::write(wake_fd_, &one, sizeof(one));
+}
+
 void QueryServer::Serve(std::unique_ptr<wire::Transport> conn) {
-  std::lock_guard<std::mutex> lock(mu_);
   if (stopping_.load()) {
     conn->Close();
     return;
   }
-  // Reap finished connections so a long-lived daemon doesn't keep one
-  // dead thread per connection ever served (their handlers have already
-  // returned; the joins are immediate).
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    if ((*it)->done.load(std::memory_order_acquire)) {
-      if ((*it)->thread.joinable()) (*it)->thread.join();
-      it = connections_.erase(it);
-    } else {
-      ++it;
-    }
+  EnsureStarted();
+  int fd = conn->PollFd();
+  if (fd < 0) {
+    // The readiness loop can only drive pollable transports; a custom
+    // blocking-only transport is refused rather than silently wedged.
+    conn->Close();
+    return;
   }
-  auto connection = std::make_unique<Connection>();
-  connection->transport = std::move(conn);
-  Connection* raw = connection.get();
-  connection->thread = std::thread([this, raw] { HandleConnection(raw); });
-  connections_.push_back(std::move(connection));
+  {
+    std::lock_guard<std::mutex> lock(loop_mu_);
+    if (stopping_.load() || loop_stop_) {
+      conn->Close();
+      return;
+    }
+    auto c = std::make_unique<Conn>();
+    c->id = next_conn_id_++;
+    c->fd = fd;
+    c->transport = std::move(conn);
+    c->last_write_progress = std::chrono::steady_clock::now();
+    conns_[c->id] = std::move(c);
+  }
+  Wake();
 }
 
 base::Result<int> QueryServer::ListenTcp(int port) {
+  EnsureStarted();
   std::lock_guard<std::mutex> lock(mu_);
   if (stopping_.load()) {
     return base::Status::IoError("server is shut down");
@@ -279,9 +343,9 @@ void QueryServer::Shutdown(int64_t drain_millis) {
   std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
   if (stopping_.load()) return;
   {
-    // stopping_ flips inside drain_mu_ so request admission (which
-    // checks it under the same mutex) cannot race the drain below.
-    std::lock_guard<std::mutex> lock(drain_mu_);
+    // stopping_ flips inside loop_mu_ so request admission (which checks
+    // it under the same mutex) cannot race the drain below.
+    std::lock_guard<std::mutex> lock(loop_mu_);
     stopping_.store(true);
   }
   {
@@ -289,49 +353,598 @@ void QueryServer::Shutdown(int64_t drain_millis) {
     if (listener_ != nullptr) listener_->Close();
   }
   if (accept_thread_.joinable()) accept_thread_.join();
-  // Drain: let in-flight requests finish and deliver their replies.
+  Wake();
+  // Drain: let admitted requests finish and their replies flush. The
+  // loop keeps running (it is what flushes) and notifies drain_cv_ once
+  // quiescent.
   {
-    std::unique_lock<std::mutex> lock(drain_mu_);
-    drain_cv_.wait_for(lock, std::chrono::milliseconds(drain_millis),
-                       [&] { return busy_requests_ == 0; });
+    std::unique_lock<std::mutex> lock(loop_mu_);
+    drain_cv_.wait_for(lock, std::chrono::milliseconds(drain_millis), [&] {
+      if (busy_requests_ != 0 || !queue_.empty()) return false;
+      for (const auto& [id, c] : conns_) {
+        if (!c->dead && (c->out_bytes > 0 || c->stream_payload != nullptr)) {
+          return false;
+        }
+      }
+      return true;
+    });
   }
-  // Unblock every idle request loop; handlers exit on EOF. No new
-  // connections can appear (Serve refuses once stopping_ is set), so
-  // iterating without mu_ for the joins is safe.
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (auto& conn : connections_) conn->transport->Close();
+    std::lock_guard<std::mutex> lock(loop_mu_);
+    workers_stop_ = true;
   }
-  for (auto& conn : connections_) {
-    if (conn->thread.joinable()) conn->thread.join();
+  queue_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(loop_mu_);
+    loop_stop_ = true;
+  }
+  Wake();
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+// ---------------------------------------------------------------------------
+// Event loop.
+
+void QueryServer::ReadIntoBufferLocked(Conn* c) {
+  if (c->dead || c->eof) return;
+  uint8_t tmp[64 * 1024];
+  size_t read_this_wake = 0;
+  for (;;) {
+    wire::IoResult r = c->transport->ReadSome(tmp, sizeof(tmp));
+    switch (r.status) {
+      case wire::IoStatus::kOk:
+        c->in_buf.insert(c->in_buf.end(), tmp, tmp + r.bytes);
+        read_this_wake += r.bytes;
+        // Fairness cap: a firehose peer must not monopolize the loop.
+        if (read_this_wake >= 256 * 1024) return;
+        break;
+      case wire::IoStatus::kWouldBlock:
+        return;
+      case wire::IoStatus::kEof:
+        c->eof = true;
+        return;
+      case wire::IoStatus::kError:
+        c->dead = true;
+        return;
+    }
   }
 }
 
-std::pair<wire::FrameType, std::shared_ptr<const std::vector<uint8_t>>>
-QueryServer::ExecuteQuery(ServerSession* session,
-                          const wire::QueryRequest& request) {
+void QueryServer::FlushOutboundLocked(Conn* c) {
+  if (c->dead) return;
+  while (c->out_bytes > 0) {
+    std::vector<uint8_t>& front = c->out.front();
+    size_t n = front.size() - c->out_front_off;
+    wire::IoResult r = c->transport->WriteSome(front.data() + c->out_front_off, n);
+    if (r.status != wire::IoStatus::kOk) {
+      if (r.status != wire::IoStatus::kWouldBlock) c->dead = true;
+      return;
+    }
+    if (r.bytes > 0) {
+      c->last_write_progress = std::chrono::steady_clock::now();
+    }
+    c->out_front_off += r.bytes;
+    c->out_bytes -= r.bytes;
+    if (c->out_front_off == front.size()) {
+      c->out.pop_front();
+      c->out_front_off = 0;
+    }
+    if (r.bytes < n) return;  // kernel buffer full; wait for POLLOUT
+  }
+}
+
+void QueryServer::EnqueueFrameLocked(Conn* c, wire::FrameType type,
+                                     const uint8_t* payload, size_t n) {
+  if (c->dead) return;
+  if (n > wire::kMaxFramePayload) {
+    // Unstreamed reply over the frame cap: nothing was written, the
+    // stream is still synchronized — the client must get an ERROR, not
+    // silence (a dropped reply would block it forever).
+    std::vector<uint8_t> err = wire::EncodeError(base::Status::OutOfRange(
+        base::StrFormat("reply of %zu bytes exceeds the frame limit; "
+                        "narrow the query",
+                        n)));
+    EnqueueFrameLocked(c, wire::FrameType::kError, err.data(), err.size());
+    return;
+  }
+  std::vector<uint8_t> frame;
+  frame.reserve(5 + n);
+  frame.push_back(static_cast<uint8_t>(type));
+  uint32_t len = static_cast<uint32_t>(n);
+  const uint8_t* lp = reinterpret_cast<const uint8_t*>(&len);
+  frame.insert(frame.end(), lp, lp + sizeof(len));
+  if (n > 0) frame.insert(frame.end(), payload, payload + n);
+  if (c->out.empty()) {
+    c->last_write_progress = std::chrono::steady_clock::now();
+  }
+  c->out_bytes += frame.size();
+  c->out.push_back(std::move(frame));
+  CountOut(type, 5 + n);
+  if (type == wire::FrameType::kResultChunk) {
+    result_chunks_streamed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (c->out_bytes > options_.outbound_buffer_limit) {
+    // Slow-client policy: the peer let replies pile past the cap, so the
+    // server sheds the connection instead of buffering without bound.
+    c->dead = true;
+    slow_client_disconnects_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void QueryServer::EnqueueErrorLocked(Conn* c, const base::Status& status) {
+  std::vector<uint8_t> payload = wire::EncodeError(status);
+  EnqueueFrameLocked(c, wire::FrameType::kError, payload.data(),
+                     payload.size());
+}
+
+void QueryServer::PumpStreamLocked(Conn* c) {
+  if (c->stream_payload == nullptr) return;
+  if (c->dead) {
+    c->stream_payload = nullptr;
+    c->busy = false;
+    return;
+  }
+  const std::vector<uint8_t>& body = *c->stream_payload;
+  // Refill only up to half the cap: the stream throttles itself to the
+  // client's drain rate instead of tripping the slow-client guillotine.
+  const size_t budget = std::max<size_t>(1, options_.outbound_buffer_limit / 2);
+  while (!c->dead && c->out_bytes < budget) {
+    size_t remaining = body.size() - c->stream_off;
+    if (remaining == 0) {
+      wire::ResultEnd end;
+      end.total_bytes = body.size();
+      end.chunks = c->stream_chunks;
+      std::vector<uint8_t> ep = wire::EncodeResultEnd(end);
+      EnqueueFrameLocked(c, wire::FrameType::kResultEnd, ep.data(), ep.size());
+      c->stream_payload = nullptr;
+      c->stream_off = 0;
+      c->stream_chunks = 0;
+      c->busy = false;  // reply fully enqueued; parsing may resume
+      return;
+    }
+    size_t take = std::min(remaining, chunk_bytes_);
+    EnqueueFrameLocked(c, wire::FrameType::kResultChunk,
+                       body.data() + c->stream_off, take);
+    c->stream_off += take;
+    ++c->stream_chunks;
+  }
+}
+
+void QueryServer::EnqueueReplyLocked(Conn* c, const Reply& reply) {
+  if (c->dead) {
+    c->busy = false;
+    return;
+  }
+  if (reply.type == wire::FrameType::kResult &&
+      reply.payload->size() > chunk_bytes_) {
+    // Stream: slice byte ranges out of the one encoded payload — never
+    // re-encode, so coalesced followers stay bit-identical.
+    c->stream_payload = reply.payload;
+    c->stream_off = 0;
+    c->stream_chunks = 0;
+    PumpStreamLocked(c);
+    return;
+  }
+  EnqueueFrameLocked(c, reply.type, reply.payload->data(),
+                     reply.payload->size());
+  c->busy = false;
+}
+
+bool QueryServer::HasCompleteFrame(const Conn* c) const {
+  if (c->in_buf.size() < 5) return false;
+  uint32_t len = 0;
+  std::memcpy(&len, c->in_buf.data() + 1, sizeof(len));
+  if (len > wire::kMaxFramePayload) return true;  // parse will reject it
+  return c->in_buf.size() >= size_t{5} + len;
+}
+
+void QueryServer::CloseConnLocked(Conn* c) {
+  if (c->session != nullptr) {
+    sessions_.Close(c->session->id());
+    c->session.reset();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.sessions_closed;
+  }
+  c->transport->Close();
+}
+
+void QueryServer::HandleInlineLocked(Conn* c, wire::FrameType type,
+                                     std::vector<uint8_t> payload) {
+  switch (type) {
+    case wire::FrameType::kHello: {
+      auto hello = wire::DecodeHelloRequest(payload);
+      if (!hello.ok()) {
+        EnqueueErrorLocked(c, hello.status());
+      } else if (hello.value().protocol_version != wire::kProtocolVersion) {
+        EnqueueErrorLocked(c, base::Status::InvalidArgument(base::StrFormat(
+            "protocol version %u not supported (server speaks %u)",
+            hello.value().protocol_version, wire::kProtocolVersion)));
+      } else if (c->session != nullptr) {
+        EnqueueErrorLocked(c,
+                           base::Status::AlreadyExists("session already open"));
+      } else {
+        c->session = sessions_.Open(hello.value().client_name, options_.query);
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.sessions_opened;
+        }
+        wire::HelloReply reply;
+        reply.session_id = c->session->id();
+        reply.server_name = options_.server_name;
+        std::vector<uint8_t> rp = wire::EncodeHelloReply(reply);
+        EnqueueFrameLocked(c, wire::FrameType::kHelloOk, rp.data(), rp.size());
+      }
+      break;
+    }
+    case wire::FrameType::kSet: {
+      if (c->session == nullptr) {
+        EnqueueErrorLocked(c, base::Status::InvalidArgument(
+                                  "SET before HELLO: no session"));
+        break;
+      }
+      auto set = wire::DecodeSetRequest(payload);
+      base::Status applied = set.ok() ? base::Status::Ok() : set.status();
+      if (applied.ok()) {
+        // Validate everything before applying anything, so a bad key
+        // can't leave a half-applied override set.
+        for (const auto& [key, value] : set.value().options) {
+          applied = ServerSession::ValidateOverride(key, value);
+          if (!applied.ok()) break;
+        }
+      }
+      if (applied.ok()) {
+        for (const auto& [key, value] : set.value().options) {
+          applied = c->session->ApplyOverride(key, value);
+          if (!applied.ok()) break;  // unreachable after validation
+        }
+      }
+      if (!applied.ok()) {
+        EnqueueErrorLocked(c, applied);
+      } else {
+        wire::SessionStatsEntry entry = c->session->StatsEntry();
+        std::vector<uint8_t> rp = wire::EncodeSetReply(entry.options);
+        EnqueueFrameLocked(c, wire::FrameType::kSetOk, rp.data(), rp.size());
+      }
+      break;
+    }
+    case wire::FrameType::kStats: {
+      wire::StatsReply reply;
+      reply.server = stats();
+      reply.sessions = sessions_.Snapshot();
+      std::vector<uint8_t> rp = wire::EncodeStatsReply(reply);
+      EnqueueFrameLocked(c, wire::FrameType::kStatsResult, rp.data(),
+                         rp.size());
+      break;
+    }
+    case wire::FrameType::kClose: {
+      EnqueueFrameLocked(c, wire::FrameType::kCloseOk, nullptr, 0);
+      c->close_after_flush = true;
+      break;
+    }
+    default:
+      // Reply frame types arriving at the server are a peer bug, but
+      // the stream is still framed: answer and keep serving.
+      EnqueueErrorLocked(c, base::Status::InvalidArgument(base::StrFormat(
+          "unexpected frame type 0x%02x on a server connection",
+          static_cast<unsigned>(type))));
+      break;
+  }
+}
+
+void QueryServer::ParseAndDispatchLocked(Conn* c) {
+  while (!c->busy && !c->dead && !c->close_after_flush) {
+    if (c->in_buf.size() < 5) return;
+    uint8_t type_byte = c->in_buf[0];
+    uint32_t len = 0;
+    std::memcpy(&len, c->in_buf.data() + 1, sizeof(len));
+    if (!wire::IsKnownFrameType(type_byte)) {
+      // A corrupted header cannot be resynchronized: report and drop.
+      EnqueueErrorLocked(c, base::Status::ParseError(base::StrFormat(
+          "unknown frame type 0x%02x", type_byte)));
+      c->close_after_flush = true;
+      return;
+    }
+    if (len > wire::kMaxFramePayload) {
+      // Oversized declared length: best-effort typed ERROR before the
+      // drop — the peer learns why instead of seeing a bare reset.
+      EnqueueErrorLocked(c, base::Status::ParseError(base::StrFormat(
+          "frame payload of %u bytes exceeds the %u limit", len,
+          wire::kMaxFramePayload)));
+      c->close_after_flush = true;
+      return;
+    }
+    if (c->in_buf.size() < size_t{5} + len) return;  // partial frame
+    auto type = static_cast<wire::FrameType>(type_byte);
+    std::vector<uint8_t> payload(c->in_buf.begin() + 5,
+                                 c->in_buf.begin() + 5 + len);
+    c->in_buf.erase(c->in_buf.begin(), c->in_buf.begin() + 5 + len);
+    CountIn(size_t{5} + len);
+    if (stopping_.load()) {
+      EnqueueErrorLocked(c, base::Status::IoError("server shutting down"));
+      c->close_after_flush = true;
+      return;
+    }
+    switch (type) {
+      case wire::FrameType::kQuery:
+      case wire::FrameType::kAppend:
+      case wire::FrameType::kDelete: {
+        const char* verb = type == wire::FrameType::kQuery    ? "QUERY"
+                           : type == wire::FrameType::kAppend ? "APPEND"
+                                                              : "DELETE";
+        if (c->session == nullptr) {
+          EnqueueErrorLocked(c, base::Status::InvalidArgument(base::StrFormat(
+              "%s before HELLO: no session", verb)));
+          break;
+        }
+        if (type != wire::FrameType::kQuery && mutable_db_ == nullptr) {
+          EnqueueErrorLocked(c, base::Status::InvalidArgument(base::StrFormat(
+              "server is read-only: %s rejected", verb)));
+          break;
+        }
+        if (queue_.size() >= options_.request_queue_limit) {
+          // Admission control: shed with a typed, retryable error. The
+          // connection is NOT marked busy — it keeps its place and may
+          // retry after the hint.
+          requests_shed_.fetch_add(1, std::memory_order_relaxed);
+          std::vector<uint8_t> err = wire::EncodeError(
+              base::Status::Overloaded("server overloaded: request queue is full"),
+              options_.retry_after_ms);
+          EnqueueFrameLocked(c, wire::FrameType::kError, err.data(),
+                             err.size());
+          break;
+        }
+        c->busy = true;
+        WorkItem item;
+        item.conn_id = c->id;
+        item.type = type;
+        item.payload = std::move(payload);
+        item.session = c->session;
+        queue_.push_back(std::move(item));
+        ++busy_requests_;
+        uint64_t depth = queue_.size();
+        if (depth > queue_depth_high_water_.load(std::memory_order_relaxed)) {
+          queue_depth_high_water_.store(depth, std::memory_order_relaxed);
+        }
+        queue_cv_.notify_one();
+        break;  // busy: the while condition stops further parsing
+      }
+      default:
+        HandleInlineLocked(c, type, std::move(payload));
+        break;
+    }
+  }
+}
+
+void QueryServer::LoopMain() {
+  std::vector<pollfd> pfds;
+  std::vector<uint64_t> ids;
+  for (;;) {
+    pfds.clear();
+    ids.clear();
+    {
+      std::lock_guard<std::mutex> lock(loop_mu_);
+      if (loop_stop_) break;
+      pfds.push_back(pollfd{wake_fd_, POLLIN, 0});
+      ids.push_back(0);
+      for (const auto& [id, cptr] : conns_) {
+        const Conn* c = cptr.get();
+        if (c->dead) continue;
+        short events = 0;
+        if (!c->busy && !c->close_after_flush && !c->eof) events |= POLLIN;
+        if (c->out_bytes > 0) events |= POLLOUT;
+        if (events == 0) continue;
+        pfds.push_back(pollfd{c->fd, events, 0});
+        ids.push_back(id);
+      }
+    }
+    ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 25);
+    if (pfds[0].revents & POLLIN) {
+      uint64_t drained = 0;
+      [[maybe_unused]] ssize_t r = ::read(wake_fd_, &drained, sizeof(drained));
+    }
+    std::lock_guard<std::mutex> lock(loop_mu_);
+    for (size_t i = 1; i < pfds.size(); ++i) {
+      auto it = conns_.find(ids[i]);
+      if (it == conns_.end()) continue;
+      Conn* c = it->second.get();
+      if (pfds[i].revents & POLLNVAL) {
+        c->dead = true;
+        continue;
+      }
+      if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+        ReadIntoBufferLocked(c);
+      }
+      if (pfds[i].revents & POLLOUT) FlushOutboundLocked(c);
+    }
+    auto now = std::chrono::steady_clock::now();
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      Conn* c = it->second.get();
+      if (!c->dead) {
+        PumpStreamLocked(c);
+        if (!c->busy) ParseAndDispatchLocked(c);
+        if (c->out_bytes > 0) FlushOutboundLocked(c);
+        if (!c->dead && c->out_bytes > 0 &&
+            now - c->last_write_progress >
+                std::chrono::milliseconds(options_.write_stall_timeout_ms)) {
+          // Write stalled past the timeout: slow-client disconnect.
+          c->dead = true;
+          slow_client_disconnects_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (!c->dead && !c->busy && c->close_after_flush &&
+            c->out_bytes == 0) {
+          c->dead = true;  // goodbye flushed; retire the connection
+        }
+        if (!c->dead && !c->busy && c->eof && c->out_bytes == 0 &&
+            c->stream_payload == nullptr && !HasCompleteFrame(c)) {
+          c->dead = true;  // peer gone, nothing pending in either direction
+        }
+      }
+      if (c->dead && !c->busy && c->stream_payload == nullptr) {
+        CloseConnLocked(c);
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (stopping_.load() && busy_requests_ == 0 && queue_.empty()) {
+      bool flushed = true;
+      for (const auto& [id, c] : conns_) {
+        if (!c->dead && (c->out_bytes > 0 || c->stream_payload != nullptr)) {
+          flushed = false;
+          break;
+        }
+      }
+      if (flushed) drain_cv_.notify_all();
+    }
+  }
+  // loop_stop_: final best-effort flush, then close everything.
+  std::lock_guard<std::mutex> lock(loop_mu_);
+  for (auto& [id, cptr] : conns_) {
+    Conn* c = cptr.get();
+    if (!c->dead) {
+      PumpStreamLocked(c);
+      FlushOutboundLocked(c);
+    }
+    CloseConnLocked(c);
+  }
+  conns_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool.
+
+void QueryServer::WorkerMain() {
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(loop_mu_);
+      queue_cv_.wait(lock, [&] { return workers_stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // workers_stop_ and nothing left
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      active_workers_.fetch_add(1, std::memory_order_relaxed);
+    }
+    Reply reply = ProcessItem(item);
+    {
+      std::lock_guard<std::mutex> lock(loop_mu_);
+      active_workers_.fetch_sub(1, std::memory_order_relaxed);
+      --busy_requests_;
+      auto it = conns_.find(item.conn_id);
+      if (it != conns_.end()) {
+        Conn* c = it->second.get();
+        EnqueueReplyLocked(c, reply);
+        FlushOutboundLocked(c);
+      }
+    }
+    drain_cv_.notify_all();
+    Wake();
+  }
+}
+
+QueryServer::Reply QueryServer::ProcessItem(const WorkItem& item) {
+  ServerSession* session = item.session.get();
+  auto error_reply = [](const base::Status& status) {
+    Reply r;
+    r.type = wire::FrameType::kError;
+    r.payload = std::make_shared<const std::vector<uint8_t>>(
+        wire::EncodeError(status));
+    return r;
+  };
+  switch (item.type) {
+    case wire::FrameType::kQuery:
+      return ServeQuery(session, item.payload);
+    case wire::FrameType::kAppend: {
+      auto request = wire::DecodeAppendRequest(item.payload);
+      if (!request.ok()) return error_reply(request.status());
+      session->CountRequest();
+      wire::AppendRequest req = request.TakeValue();
+      auto ack = mutable_db_->Append(req.bat_name, std::move(req.values));
+      if (!ack.ok()) {
+        session->CountError();
+        return error_reply(ack.status());
+      }
+      wire::AppendReply reply;
+      reply.lsn = ack.value().lsn;
+      reply.visible_rows = ack.value().visible_rows;
+      Reply r;
+      r.type = wire::FrameType::kAppendOk;
+      r.payload = std::make_shared<const std::vector<uint8_t>>(
+          wire::EncodeAppendReply(reply));
+      return r;
+    }
+    case wire::FrameType::kDelete: {
+      auto request = wire::DecodeDeleteRequest(item.payload);
+      if (!request.ok()) return error_reply(request.status());
+      session->CountRequest();
+      wire::DeleteRequest req = request.TakeValue();
+      auto ack = mutable_db_->DeleteRows(req.bat_name, std::move(req.oids));
+      if (!ack.ok()) {
+        session->CountError();
+        return error_reply(ack.status());
+      }
+      wire::DeleteReply reply;
+      reply.lsn = ack.value().lsn;
+      reply.visible_rows = ack.value().visible_rows;
+      reply.deleted = ack.value().deleted;
+      Reply r;
+      r.type = wire::FrameType::kDeleteOk;
+      r.payload = std::make_shared<const std::vector<uint8_t>>(
+          wire::EncodeDeleteReply(reply));
+      return r;
+    }
+    default:
+      return error_reply(base::Status::Internal("unqueueable frame type"));
+  }
+}
+
+QueryServer::Reply QueryServer::ExecuteQuery(ServerSession* session,
+                                             const wire::QueryRequest& request) {
   auto result = db_->Query(request.text, request.bindings,
                            session->options(), session->exec_context());
   if (!result.ok()) {
     session->CountError();
-    return {wire::FrameType::kError,
-            std::make_shared<const std::vector<uint8_t>>(
-                wire::EncodeError(result.status()))};
+    Reply r;
+    r.type = wire::FrameType::kError;
+    r.payload = std::make_shared<const std::vector<uint8_t>>(
+        wire::EncodeError(result.status()));
+    return r;
   }
-  return {wire::FrameType::kResult,
-          std::make_shared<const std::vector<uint8_t>>(
-              wire::EncodeResultReply(result.value()))};
+  auto payload = std::make_shared<const std::vector<uint8_t>>(
+      wire::EncodeResultReply(result.value()));
+  if (payload->size() > options_.max_result_bytes) {
+    // Result-size cap: a typed, retryable-by-narrowing failure instead
+    // of an unbounded stream.
+    session->CountError();
+    Reply r;
+    r.type = wire::FrameType::kError;
+    r.payload = std::make_shared<const std::vector<uint8_t>>(
+        wire::EncodeError(base::Status::ResourceExhausted(base::StrFormat(
+            "result of %zu bytes exceeds the %llu-byte result cap; "
+            "narrow the query",
+            payload->size(),
+            static_cast<unsigned long long>(options_.max_result_bytes)))));
+    return r;
+  }
+  Reply r;
+  r.type = wire::FrameType::kResult;
+  r.payload = std::move(payload);
+  return r;
 }
 
-std::pair<wire::FrameType, std::shared_ptr<const std::vector<uint8_t>>>
-QueryServer::ServeQuery(ServerSession* session,
-                        const std::vector<uint8_t>& payload) {
+QueryServer::Reply QueryServer::ServeQuery(ServerSession* session,
+                                           const std::vector<uint8_t>& payload) {
   auto request = wire::DecodeQueryRequest(payload);
   if (!request.ok()) {
     session->CountError();
-    return {wire::FrameType::kError,
-            std::make_shared<const std::vector<uint8_t>>(
-                wire::EncodeError(request.status()))};
+    Reply r;
+    r.type = wire::FrameType::kError;
+    r.payload = std::make_shared<const std::vector<uint8_t>>(
+        wire::EncodeError(request.status()));
+    return r;
   }
   session->CountRequest();
   {
@@ -367,18 +980,21 @@ QueryServer::ServeQuery(ServerSession* session,
     }
   }
   if (!is_leader) {
-    std::pair<wire::FrameType, std::shared_ptr<const std::vector<uint8_t>>>
-        shared;
+    // A follower's leader is, by construction, already executing on
+    // another worker (leadership is taken at execution time), so this
+    // wait always has a running thread to make progress — the fixed
+    // pool cannot deadlock on itself.
+    Reply shared;
     {
       std::unique_lock<std::mutex> lock(entry->mu);
       entry->cv.wait(lock, [&] { return entry->done; });
-      shared = {entry->reply_type, entry->payload};
+      shared = entry->reply;
     }
     // Only successful results are shared: a leader's failure may be an
     // artifact of ITS session (a pathological SET, an allocation
     // failure under its config), so a follower re-executes under its
     // own options rather than inheriting another tenant's error.
-    if (shared.first != wire::FrameType::kResult) {
+    if (shared.type != wire::FrameType::kResult) {
       return ExecuteQuery(session, request.value());
     }
     {
@@ -395,17 +1011,15 @@ QueryServer::ServeQuery(ServerSession* session,
     QueryServer* server;
     const std::string& key;
     const std::shared_ptr<InFlightQuery>& entry;
-    std::pair<wire::FrameType, std::shared_ptr<const std::vector<uint8_t>>>
-        reply = {wire::FrameType::kError,
-                 std::make_shared<const std::vector<uint8_t>>(
-                     wire::EncodeError(base::Status::Internal(
-                         "query leader aborted before completing")))};
+    Reply reply = {wire::FrameType::kError,
+                   std::make_shared<const std::vector<uint8_t>>(
+                       wire::EncodeError(base::Status::Internal(
+                           "query leader aborted before completing")))};
 
     ~Completer() {
       {
         std::lock_guard<std::mutex> lock(entry->mu);
-        entry->reply_type = reply.first;
-        entry->payload = reply.second;
+        entry->reply = reply;
         entry->done = true;
         entry->cv.notify_all();
       }
@@ -415,229 +1029,6 @@ QueryServer::ServeQuery(ServerSession* session,
   } completer{this, key, entry};
   completer.reply = ExecuteQuery(session, request.value());
   return completer.reply;
-}
-
-void QueryServer::HandleConnection(Connection* conn) {
-  wire::Transport* t = conn->transport.get();
-  std::shared_ptr<ServerSession> session;
-
-  auto send = [&](wire::FrameType type,
-                  const std::vector<uint8_t>& payload) -> bool {
-    base::Status s = wire::WriteFrame(t, type, payload);
-    if (s.ok()) {
-      CountOut(type, 5 + payload.size());
-      return true;
-    }
-    if (s.code() == base::StatusCode::kInvalidArgument) {
-      // Payload over the frame cap: nothing was written, the stream is
-      // still synchronized — the client must get an ERROR, not silence
-      // (a dropped reply would block it forever).
-      std::vector<uint8_t> err = wire::EncodeError(base::Status::OutOfRange(
-          base::StrFormat("reply of %zu bytes exceeds the frame limit; "
-                          "narrow the query",
-                          payload.size())));
-      if (wire::WriteFrame(t, wire::FrameType::kError, err).ok()) {
-        CountOut(wire::FrameType::kError, 5 + err.size());
-        return true;
-      }
-    }
-    return false;
-  };
-  auto send_error = [&](const base::Status& status) {
-    return send(wire::FrameType::kError, wire::EncodeError(status));
-  };
-
-  bool closing = false;
-  while (!closing) {
-    auto frame = wire::ReadFrame(t);
-    if (!frame.ok()) {
-      // NotFound is a clean peer close. A corrupted header (unknown type
-      // or oversized length) cannot be resynchronized: report and drop.
-      // Truncation (IoError) means the peer is already gone.
-      if (frame.status().code() == base::StatusCode::kParseError) {
-        send_error(frame.status());
-      }
-      break;
-    }
-    CountIn(5 + frame.value().payload.size());
-    // Admission and the busy count share one critical section with the
-    // drain predicate: once Shutdown() has observed busy_requests_ == 0
-    // under drain_mu_, no further request can slip in unseen.
-    bool admitted = false;
-    {
-      std::lock_guard<std::mutex> lock(drain_mu_);
-      if (!stopping_.load()) {
-        ++busy_requests_;
-        admitted = true;
-      }
-    }
-    if (!admitted) {
-      send_error(base::Status::IoError("server shutting down"));
-      break;
-    }
-    const std::vector<uint8_t>& payload = frame.value().payload;
-    switch (frame.value().type) {
-      case wire::FrameType::kHello: {
-        auto hello = wire::DecodeHelloRequest(payload);
-        if (!hello.ok()) {
-          send_error(hello.status());
-        } else if (hello.value().protocol_version != wire::kProtocolVersion) {
-          send_error(base::Status::InvalidArgument(base::StrFormat(
-              "protocol version %u not supported (server speaks %u)",
-              hello.value().protocol_version, wire::kProtocolVersion)));
-        } else if (session != nullptr) {
-          send_error(
-              base::Status::AlreadyExists("session already open"));
-        } else {
-          session = sessions_.Open(hello.value().client_name,
-                                   options_.query);
-          {
-            std::lock_guard<std::mutex> lock(mu_);
-            ++stats_.sessions_opened;
-          }
-          wire::HelloReply reply;
-          reply.session_id = session->id();
-          reply.server_name = options_.server_name;
-          send(wire::FrameType::kHelloOk, wire::EncodeHelloReply(reply));
-        }
-        break;
-      }
-      case wire::FrameType::kQuery: {
-        if (session == nullptr) {
-          send_error(base::Status::InvalidArgument(
-              "QUERY before HELLO: no session"));
-          break;
-        }
-        auto [type, reply_payload] = ServeQuery(session.get(), payload);
-        send(type, *reply_payload);
-        break;
-      }
-      case wire::FrameType::kSet: {
-        if (session == nullptr) {
-          send_error(base::Status::InvalidArgument(
-              "SET before HELLO: no session"));
-          break;
-        }
-        auto set = wire::DecodeSetRequest(payload);
-        base::Status applied = set.ok() ? base::Status::Ok() : set.status();
-        if (applied.ok()) {
-          // Validate everything before applying anything, so a bad key
-          // can't leave a half-applied override set.
-          for (const auto& [key, value] : set.value().options) {
-            applied = ServerSession::ValidateOverride(key, value);
-            if (!applied.ok()) break;
-          }
-        }
-        if (applied.ok()) {
-          for (const auto& [key, value] : set.value().options) {
-            applied = session->ApplyOverride(key, value);
-            if (!applied.ok()) break;  // unreachable after validation
-          }
-        }
-        if (!applied.ok()) {
-          send_error(applied);
-        } else {
-          wire::SessionStatsEntry entry = session->StatsEntry();
-          send(wire::FrameType::kSetOk,
-               wire::EncodeSetReply(entry.options));
-        }
-        break;
-      }
-      case wire::FrameType::kAppend: {
-        if (session == nullptr) {
-          send_error(base::Status::InvalidArgument(
-              "APPEND before HELLO: no session"));
-          break;
-        }
-        if (mutable_db_ == nullptr) {
-          send_error(base::Status::InvalidArgument(
-              "server is read-only: APPEND rejected"));
-          break;
-        }
-        auto request = wire::DecodeAppendRequest(payload);
-        if (!request.ok()) {
-          send_error(request.status());
-          break;
-        }
-        session->CountRequest();
-        wire::AppendRequest req = request.TakeValue();
-        auto ack = mutable_db_->Append(req.bat_name, std::move(req.values));
-        if (!ack.ok()) {
-          session->CountError();
-          send_error(ack.status());
-          break;
-        }
-        wire::AppendReply reply;
-        reply.lsn = ack.value().lsn;
-        reply.visible_rows = ack.value().visible_rows;
-        send(wire::FrameType::kAppendOk, wire::EncodeAppendReply(reply));
-        break;
-      }
-      case wire::FrameType::kDelete: {
-        if (session == nullptr) {
-          send_error(base::Status::InvalidArgument(
-              "DELETE before HELLO: no session"));
-          break;
-        }
-        if (mutable_db_ == nullptr) {
-          send_error(base::Status::InvalidArgument(
-              "server is read-only: DELETE rejected"));
-          break;
-        }
-        auto request = wire::DecodeDeleteRequest(payload);
-        if (!request.ok()) {
-          send_error(request.status());
-          break;
-        }
-        session->CountRequest();
-        wire::DeleteRequest req = request.TakeValue();
-        auto ack = mutable_db_->DeleteRows(req.bat_name, std::move(req.oids));
-        if (!ack.ok()) {
-          session->CountError();
-          send_error(ack.status());
-          break;
-        }
-        wire::DeleteReply reply;
-        reply.lsn = ack.value().lsn;
-        reply.visible_rows = ack.value().visible_rows;
-        reply.deleted = ack.value().deleted;
-        send(wire::FrameType::kDeleteOk, wire::EncodeDeleteReply(reply));
-        break;
-      }
-      case wire::FrameType::kStats: {
-        wire::StatsReply reply;
-        reply.server = stats();
-        reply.sessions = sessions_.Snapshot();
-        send(wire::FrameType::kStatsResult, wire::EncodeStatsReply(reply));
-        break;
-      }
-      case wire::FrameType::kClose: {
-        send(wire::FrameType::kCloseOk, {});
-        closing = true;
-        break;
-      }
-      default:
-        // Reply frame types arriving at the server are a peer bug, but
-        // the stream is still framed: answer and keep serving.
-        send_error(base::Status::InvalidArgument(base::StrFormat(
-            "unexpected frame type 0x%02x on a server connection",
-            static_cast<unsigned>(frame.value().type))));
-        break;
-    }
-    {
-      std::lock_guard<std::mutex> lock(drain_mu_);
-      --busy_requests_;
-      drain_cv_.notify_all();
-    }
-  }
-
-  if (session != nullptr) {
-    sessions_.Close(session->id());
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.sessions_closed;
-  }
-  t->Close();
-  conn->done.store(true, std::memory_order_release);
 }
 
 }  // namespace mirror::daemon

@@ -3,17 +3,21 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <mutex>
+#include <thread>
 
 #include "base/str_util.h"
 #include "monet/bat_io.h"
+#include "monet/fault_injector.h"
 
 namespace mirror::daemon::wire {
 
@@ -23,16 +27,42 @@ namespace mirror::daemon::wire {
 namespace {
 
 /// One direction of the duplex pair: a bounded-unbounded byte queue with
-/// writer-side close. Readers block until data or close.
+/// writer-side close. Readers block until data or close. An eventfd
+/// mirrors the "readable" condition (bytes pending or closed) so the
+/// server's poll loop can wait on channel endpoints exactly like sockets.
 struct Pipe {
   std::mutex mu;
   std::condition_variable cv;
   std::deque<uint8_t> bytes;
   bool closed = false;
+  int efd;
+  bool signaled = false;
+
+  Pipe() : efd(::eventfd(0, EFD_NONBLOCK)) {}
+  ~Pipe() {
+    if (efd >= 0) ::close(efd);
+  }
+
+  /// Reconciles the eventfd with the queue state. Call with `mu` held
+  /// after every mutation — the invariant is: efd readable iff
+  /// !bytes.empty() || closed.
+  void UpdateSignal() {
+    bool want = !bytes.empty() || closed;
+    if (want == signaled || efd < 0) return;
+    if (want) {
+      uint64_t one = 1;
+      [[maybe_unused]] ssize_t n = ::write(efd, &one, sizeof(one));
+    } else {
+      uint64_t drained = 0;
+      [[maybe_unused]] ssize_t n = ::read(efd, &drained, sizeof(drained));
+    }
+    signaled = want;
+  }
 
   void Close() {
     std::lock_guard<std::mutex> lock(mu);
     closed = true;
+    UpdateSignal();
     cv.notify_all();
   }
 };
@@ -53,6 +83,7 @@ class ChannelEndpoint : public Transport {
     std::copy_n(in_->bytes.begin(), take, buf);
     in_->bytes.erase(in_->bytes.begin(),
                      in_->bytes.begin() + static_cast<ptrdiff_t>(take));
+    in_->UpdateSignal();
     return take;
   }
 
@@ -62,8 +93,35 @@ class ChannelEndpoint : public Transport {
       return base::Status::IoError("byte channel closed");
     }
     out_->bytes.insert(out_->bytes.end(), buf, buf + n);
+    out_->UpdateSignal();
     out_->cv.notify_all();
     return base::Status::Ok();
+  }
+
+  int PollFd() const override { return in_->efd; }
+
+  IoResult ReadSome(uint8_t* buf, size_t n) override {
+    if (n == 0) return IoResult{IoStatus::kOk, 0};
+    std::lock_guard<std::mutex> lock(in_->mu);
+    if (in_->bytes.empty()) {
+      return in_->closed ? IoResult{IoStatus::kEof, 0}
+                         : IoResult{IoStatus::kWouldBlock, 0};
+    }
+    size_t take = std::min(n, in_->bytes.size());
+    std::copy_n(in_->bytes.begin(), take, buf);
+    in_->bytes.erase(in_->bytes.begin(),
+                     in_->bytes.begin() + static_cast<ptrdiff_t>(take));
+    in_->UpdateSignal();
+    return IoResult{IoStatus::kOk, take};
+  }
+
+  IoResult WriteSome(const uint8_t* buf, size_t n) override {
+    std::lock_guard<std::mutex> lock(out_->mu);
+    if (out_->closed) return IoResult{IoStatus::kError, 0};
+    out_->bytes.insert(out_->bytes.end(), buf, buf + n);
+    out_->UpdateSignal();
+    out_->cv.notify_all();
+    return IoResult{IoStatus::kOk, n};
   }
 
   void Close() override {
@@ -135,6 +193,33 @@ class FdTransport : public Transport {
     if (!shut_down_) {
       shut_down_ = true;
       ::shutdown(fd_, SHUT_RDWR);
+    }
+  }
+
+  int PollFd() const override { return fd_; }
+
+  IoResult ReadSome(uint8_t* buf, size_t n) override {
+    for (;;) {
+      ssize_t got = ::recv(fd_, buf, n, MSG_DONTWAIT);
+      if (got > 0) return IoResult{IoStatus::kOk, static_cast<size_t>(got)};
+      if (got == 0) return IoResult{IoStatus::kEof, 0};
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return IoResult{IoStatus::kWouldBlock, 0};
+      }
+      return IoResult{IoStatus::kError, 0};
+    }
+  }
+
+  IoResult WriteSome(const uint8_t* buf, size_t n) override {
+    for (;;) {
+      ssize_t w = ::send(fd_, buf, n, MSG_NOSIGNAL | MSG_DONTWAIT);
+      if (w >= 0) return IoResult{IoStatus::kOk, static_cast<size_t>(w)};
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return IoResult{IoStatus::kWouldBlock, 0};
+      }
+      return IoResult{IoStatus::kError, 0};
     }
   }
 
@@ -270,6 +355,8 @@ base::Status ReadExact(Transport* t, uint8_t* buf, size_t n,
   return base::Status::Ok();
 }
 
+}  // namespace
+
 bool IsKnownFrameType(uint8_t t) {
   switch (static_cast<FrameType>(t)) {
     case FrameType::kHello:
@@ -286,13 +373,13 @@ bool IsKnownFrameType(uint8_t t) {
     case FrameType::kCloseOk:
     case FrameType::kAppendOk:
     case FrameType::kDeleteOk:
+    case FrameType::kResultChunk:
+    case FrameType::kResultEnd:
     case FrameType::kError:
       return true;
   }
   return false;
 }
-
-}  // namespace
 
 base::Status WriteFrame(Transport* t, FrameType type,
                         const std::vector<uint8_t>& payload) {
@@ -518,6 +605,7 @@ std::vector<uint8_t> EncodeSetReply(const SetReply& m) {
   w.U8(m.zone_maps ? 1 : 0);
   w.U8(m.topk_prune ? 1 : 0);
   w.U64(m.query_deadline_ms);
+  w.U64(m.memory_budget_bytes);
   return w.Take();
 }
 
@@ -530,7 +618,7 @@ base::Result<SetReply> DecodeSetReply(const std::vector<uint8_t>& p) {
   uint8_t topk = 0;
   if (!r.U64(&m.num_shards) || !r.I64(&m.num_threads) || !r.U8(&morsel) ||
       !r.U8(&fuse) || !r.U8(&zones) || !r.U8(&topk) ||
-      !r.U64(&m.query_deadline_ms)) {
+      !r.U64(&m.query_deadline_ms) || !r.U64(&m.memory_budget_bytes)) {
     return Malformed("SET reply");
   }
   m.morsel_joins = morsel != 0;
@@ -649,6 +737,22 @@ base::Result<ResultReply> DecodeResultReply(const std::vector<uint8_t>& p) {
   return m;
 }
 
+std::vector<uint8_t> EncodeResultEnd(const ResultEnd& m) {
+  Writer w;
+  w.U64(m.total_bytes);
+  w.U32(m.chunks);
+  return w.Take();
+}
+
+base::Result<ResultEnd> DecodeResultEnd(const std::vector<uint8_t>& p) {
+  Reader r(p);
+  ResultEnd m;
+  if (!r.U64(&m.total_bytes) || !r.U32(&m.chunks)) {
+    return Malformed("RESULT_END");
+  }
+  return m;
+}
+
 std::vector<uint8_t> EncodeError(const base::Status& status) {
   Writer w;
   w.U8(static_cast<uint8_t>(status.code()));
@@ -656,15 +760,35 @@ std::vector<uint8_t> EncodeError(const base::Status& status) {
   return w.Take();
 }
 
+std::vector<uint8_t> EncodeError(const base::Status& status,
+                                 uint32_t retry_after_ms) {
+  Writer w;
+  w.U8(static_cast<uint8_t>(status.code()));
+  w.Str(status.message());
+  w.U32(retry_after_ms);
+  return w.Take();
+}
+
 base::Status DecodeError(const std::vector<uint8_t>& p) {
+  uint32_t ignored = 0;
+  return DecodeErrorDetail(p, &ignored);
+}
+
+base::Status DecodeErrorDetail(const std::vector<uint8_t>& p,
+                               uint32_t* retry_after_ms) {
+  *retry_after_ms = 0;
   Reader r(p);
   uint8_t code = 0;
   std::string message;
   if (!r.U8(&code) || !r.Str(&message)) return Malformed("ERROR");
+  // The retry-after hint is optional (and further trailing bytes are
+  // tolerated for forward compatibility).
+  uint32_t hint = 0;
+  if (r.U32(&hint)) *retry_after_ms = hint;
   // An error frame must decode to an error: an out-of-range or OK code
   // (corrupt or future peer) degrades to Internal rather than "success".
   if (code == 0 ||
-      code > static_cast<uint8_t>(base::StatusCode::kDeadlineExceeded)) {
+      code > static_cast<uint8_t>(base::StatusCode::kResourceExhausted)) {
     return base::Status::Internal(std::move(message));
   }
   return base::Status(static_cast<base::StatusCode>(code),
@@ -692,6 +816,12 @@ std::vector<uint8_t> EncodeStatsReply(const StatsReply& m) {
   w.U64(m.server.wal_truncated_bytes);
   w.U64(m.server.recovery_lazy_loads);
   w.U64(m.server.recovery_pending);
+  w.U64(m.server.requests_shed);
+  w.U64(m.server.queue_depth_high_water);
+  w.U64(m.server.active_workers);
+  w.U64(m.server.result_chunks_streamed);
+  w.U64(m.server.slow_client_disconnects);
+  w.U64(m.server.peak_query_bytes);
   w.U32(static_cast<uint32_t>(m.sessions.size()));
   for (const SessionStatsEntry& s : m.sessions) {
     w.U64(s.session_id);
@@ -726,7 +856,13 @@ base::Result<StatsReply> DecodeStatsReply(const std::vector<uint8_t>& p) {
       !r.U64(&m.server.wal_replayed_records) ||
       !r.U64(&m.server.wal_truncated_bytes) ||
       !r.U64(&m.server.recovery_lazy_loads) ||
-      !r.U64(&m.server.recovery_pending) || !r.U32(&num_sessions)) {
+      !r.U64(&m.server.recovery_pending) ||
+      !r.U64(&m.server.requests_shed) ||
+      !r.U64(&m.server.queue_depth_high_water) ||
+      !r.U64(&m.server.active_workers) ||
+      !r.U64(&m.server.result_chunks_streamed) ||
+      !r.U64(&m.server.slow_client_disconnects) ||
+      !r.U64(&m.server.peak_query_bytes) || !r.U32(&num_sessions)) {
     return Malformed("STATS reply");
   }
   m.sessions.reserve(
@@ -743,7 +879,8 @@ base::Result<StatsReply> DecodeStatsReply(const std::vector<uint8_t>& p) {
         !r.U64(&s.plan_cache_lookups) || !r.U64(&s.options.num_shards) ||
         !r.I64(&s.options.num_threads) || !r.U8(&morsel) || !r.U8(&fuse) ||
         !r.U8(&zones) || !r.U8(&topk) ||
-        !r.U64(&s.options.query_deadline_ms)) {
+        !r.U64(&s.options.query_deadline_ms) ||
+        !r.U64(&s.options.memory_budget_bytes)) {
       return Malformed("STATS reply");
     }
     s.options.morsel_joins = morsel != 0;
@@ -753,6 +890,81 @@ base::Result<StatsReply> DecodeStatsReply(const std::vector<uint8_t>& p) {
     m.sessions.push_back(std::move(s));
   }
   return m;
+}
+
+// ---------------------------------------------------------------------------
+// Chaos transport (client-side network fault injection).
+
+namespace {
+
+class ChaosTransport : public Transport {
+ public:
+  ChaosTransport(std::unique_ptr<Transport> inner,
+                 monet::NetFaultInjector* injector)
+      : inner_(std::move(inner)), injector_(injector) {}
+
+  base::Result<size_t> Read(uint8_t* buf, size_t n) override {
+    monet::NetFaultInjector::ReadFault f = injector_->BeforeRead(n);
+    if (f.delay_micros > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(f.delay_micros));
+    }
+    if (f.disconnect) {
+      inner_->Close();
+      return base::Status::IoError("chaos: disconnected before read");
+    }
+    return inner_->Read(buf, n);
+  }
+
+  base::Status Write(const uint8_t* buf, size_t n) override {
+    // Each iteration is one "kernel write": the injector caps how many
+    // bytes land, so a frame dribbles out in short writes (and can be
+    // cut dead mid-frame with disconnect_after).
+    size_t sent = 0;
+    while (sent < n) {
+      monet::NetFaultInjector::WriteFault f = injector_->BeforeWrite(n - sent);
+      if (f.delay_micros > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(f.delay_micros));
+      }
+      size_t take = std::min(n - sent, f.max_bytes);
+      if (take > 0) {
+        base::Status s = inner_->Write(buf + sent, take);
+        if (!s.ok()) return s;
+        sent += take;
+      }
+      if (f.disconnect_after) {
+        inner_->Close();
+        return base::Status::IoError("chaos: disconnected mid-write");
+      }
+      if (take == 0) {
+        return base::Status::IoError("chaos: write suppressed");
+      }
+    }
+    return base::Status::Ok();
+  }
+
+  void Close() override { inner_->Close(); }
+
+  int PollFd() const override { return inner_->PollFd(); }
+
+  IoResult ReadSome(uint8_t* buf, size_t n) override {
+    return inner_->ReadSome(buf, n);
+  }
+
+  IoResult WriteSome(const uint8_t* buf, size_t n) override {
+    return inner_->WriteSome(buf, n);
+  }
+
+ private:
+  std::unique_ptr<Transport> inner_;
+  monet::NetFaultInjector* injector_;
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> WrapChaos(std::unique_ptr<Transport> inner,
+                                     monet::NetFaultInjector* injector) {
+  return std::make_unique<ChaosTransport>(std::move(inner), injector);
 }
 
 }  // namespace mirror::daemon::wire

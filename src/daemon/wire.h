@@ -21,6 +21,19 @@ namespace mirror::daemon::wire {
 // request loop serves the deterministic in-process ByteChannel pair used
 // by tests and the POSIX TCP listener used by real deployments.
 
+/// Outcome of one non-blocking I/O attempt (ReadSome/WriteSome below).
+enum class IoStatus : uint8_t {
+  kOk = 0,      // made progress; `bytes` transferred
+  kWouldBlock,  // no progress possible right now; poll and retry
+  kEof,         // peer closed (reads only)
+  kError,       // stream broken; the connection is dead
+};
+
+struct IoResult {
+  IoStatus status = IoStatus::kError;
+  size_t bytes = 0;
+};
+
 class Transport {
  public:
   virtual ~Transport() = default;
@@ -37,6 +50,30 @@ class Transport {
   /// thread while a Read() blocks (the read unblocks with EOF), and safe
   /// to call twice.
   virtual void Close() = 0;
+
+  // Non-blocking extension, used by the server's readiness loop. A
+  // transport that supports it returns a pollable fd from PollFd();
+  // the default implementation (-1, kError) keeps third-party blocking
+  // transports source-compatible.
+
+  /// A file descriptor whose readability tracks pending inbound bytes
+  /// (and, for sockets, whose writability tracks outbound space). -1 if
+  /// the transport cannot be polled.
+  virtual int PollFd() const { return -1; }
+
+  /// Reads up to `n` bytes without blocking.
+  virtual IoResult ReadSome(uint8_t* buf, size_t n) {
+    (void)buf;
+    (void)n;
+    return IoResult{IoStatus::kError, 0};
+  }
+
+  /// Writes up to `n` bytes without blocking.
+  virtual IoResult WriteSome(const uint8_t* buf, size_t n) {
+    (void)buf;
+    (void)n;
+    return IoResult{IoStatus::kError, 0};
+  }
 };
 
 /// An in-process duplex pipe: two Transport endpoints connected back to
@@ -100,6 +137,12 @@ enum class FrameType : uint8_t {
   kCloseOk = 0x15,
   kAppendOk = 0x16,
   kDeleteOk = 0x17,
+  /// Streaming result delivery: a large result's encoded ResultReply
+  /// payload is sliced into kResultChunk frames (raw byte ranges, in
+  /// order) terminated by one kResultEnd frame carrying the total byte
+  /// count and chunk count. Small results still arrive as one kResult.
+  kResultChunk = 0x18,
+  kResultEnd = 0x19,
   kError = 0x1f,
 };
 
@@ -115,6 +158,11 @@ struct Frame {
   FrameType type = FrameType::kError;
   std::vector<uint8_t> payload;
 };
+
+/// True for type bytes that name a frame in the grammar above (the
+/// server's incremental parser rejects anything else before trusting the
+/// length field that follows).
+bool IsKnownFrameType(uint8_t t);
 
 /// Writes one frame (header + payload) to the transport.
 base::Status WriteFrame(Transport* t, FrameType type,
@@ -175,8 +223,9 @@ struct DeleteReply {
 /// SET: integer-valued per-session execution overrides, applied to the
 /// session's ExecOptions (booleans are 0/1). Known keys: "num_shards",
 /// "num_threads", "morsel_joins", "fuse_aggregates", "zone_maps",
-/// "topk_prune", "query_deadline_ms" (0 = no deadline); each also
-/// accepts an "exec." prefix ("exec.zone_maps").
+/// "topk_prune", "query_deadline_ms" (0 = no deadline),
+/// "memory_budget_bytes" (0 = no budget); each also accepts an "exec."
+/// prefix ("exec.zone_maps").
 /// A SET frame is validated as a whole before any key applies — one bad
 /// key leaves the session's options untouched.
 struct SetRequest {
@@ -192,7 +241,8 @@ struct SetReply {
   bool fuse_aggregates = true;
   bool zone_maps = true;
   bool topk_prune = true;
-  uint64_t query_deadline_ms = 0;  // 0 = no deadline
+  uint64_t query_deadline_ms = 0;     // 0 = no deadline
+  uint64_t memory_budget_bytes = 0;   // 0 = no per-query memory budget
 };
 
 /// A query result: a serialized result table (element oid -> value) or a
@@ -231,6 +281,13 @@ struct ServerWireStats {
   uint64_t wal_truncated_bytes = 0;
   uint64_t recovery_lazy_loads = 0;
   uint64_t recovery_pending = 0;  // 1 while fragments still await recovery
+  /// Overload-control counters (the event-driven serving core).
+  uint64_t requests_shed = 0;            // admissions refused (kOverloaded)
+  uint64_t queue_depth_high_water = 0;   // deepest the request queue got
+  uint64_t active_workers = 0;           // workers executing at STATS time
+  uint64_t result_chunks_streamed = 0;   // kResultChunk frames sent
+  uint64_t slow_client_disconnects = 0;  // dropped for stalled/full outbound
+  uint64_t peak_query_bytes = 0;         // largest single-query charge seen
 };
 
 /// Per-session slice of the STATS reply.
@@ -283,13 +340,47 @@ base::Result<SetReply> DecodeSetReply(const std::vector<uint8_t>& p);
 std::vector<uint8_t> EncodeResultReply(const moa::EvalOutput& out);
 base::Result<ResultReply> DecodeResultReply(const std::vector<uint8_t>& p);
 
+/// The final frame of a streamed result: byte/chunk totals the client
+/// checks after reassembling the kResultChunk slices.
+struct ResultEnd {
+  uint64_t total_bytes = 0;
+  uint32_t chunks = 0;
+};
+
+std::vector<uint8_t> EncodeResultEnd(const ResultEnd& m);
+base::Result<ResultEnd> DecodeResultEnd(const std::vector<uint8_t>& p);
+
 std::vector<uint8_t> EncodeError(const base::Status& status);
+/// ERROR with a retry-after hint (milliseconds), used by kOverloaded
+/// sheds. The hint rides as an optional trailing field: old decoders
+/// tolerate it as trailing garbage.
+std::vector<uint8_t> EncodeError(const base::Status& status,
+                                 uint32_t retry_after_ms);
 /// Returns the carried (always non-OK) Status; an undecodable payload
 /// yields ParseError.
 base::Status DecodeError(const std::vector<uint8_t>& p);
+/// Like DecodeError, additionally surfacing the retry-after hint
+/// (0 when the frame carries none).
+base::Status DecodeErrorDetail(const std::vector<uint8_t>& p,
+                               uint32_t* retry_after_ms);
 
 std::vector<uint8_t> EncodeStatsReply(const StatsReply& m);
 base::Result<StatsReply> DecodeStatsReply(const std::vector<uint8_t>& p);
+
+}  // namespace mirror::daemon::wire
+
+namespace mirror::monet {
+struct NetFaultInjector;  // monet/fault_injector.h
+}
+
+namespace mirror::daemon::wire {
+
+/// Wraps a transport with a client-side network fault injector (the
+/// chaos harness): the injector can truncate writes into short/partial
+/// sends, disconnect mid-frame, and delay reads to emulate a slow
+/// consumer. The injector must outlive the returned transport.
+std::unique_ptr<Transport> WrapChaos(std::unique_ptr<Transport> inner,
+                                     monet::NetFaultInjector* injector);
 
 }  // namespace mirror::daemon::wire
 

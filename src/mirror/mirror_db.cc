@@ -52,6 +52,10 @@ base::Status MirrorDb::AttachWal(const std::string& wal_path,
 
 base::Result<WriteAck> MirrorDb::Append(const std::string& bat_name,
                                         monet::Column values) {
+  // Writes hold the quiesce gate shared: they overlap with queries and
+  // each other (write_mu_ below orders them), but a Load in progress
+  // excludes them until the new contents are fully in place.
+  std::shared_lock<QuiesceGate> gate(gate_);
   // A write against a fragment that hasn't been recovered yet must land
   // on the recovered state, not an empty slot.
   MIRROR_RETURN_IF_ERROR(EnsureRecovered({bat_name}));
@@ -87,6 +91,7 @@ base::Result<WriteAck> MirrorDb::Append(const std::string& bat_name,
 
 base::Result<WriteAck> MirrorDb::DeleteRows(const std::string& bat_name,
                                             std::vector<monet::Oid> oids) {
+  std::shared_lock<QuiesceGate> gate(gate_);
   MIRROR_RETURN_IF_ERROR(EnsureRecovered({bat_name}));
   uint64_t lsn = 0;
   uint64_t deleted = 0;
@@ -284,6 +289,15 @@ RecoveryStats MirrorDb::recovery_stats() const {
 
 base::Status MirrorDb::Load(const std::string& set_name,
                             std::vector<moa::MoaValue> objects) {
+  // Quiesce: stop intake (the gate parks new shared acquirers as soon as
+  // this writer announces itself), drain in-flight queries and writes,
+  // swap, resume.
+  std::unique_lock<QuiesceGate> gate(gate_);
+  return LoadLocked(set_name, std::move(objects));
+}
+
+base::Status MirrorDb::LoadLocked(const std::string& set_name,
+                                  std::vector<moa::MoaValue> objects) {
   base::Status status = logical_.Load(set_name, std::move(objects));
   if (!status.ok()) return status;
   // Warm the zone maps eagerly: Load dropped the stale statistics with
@@ -303,7 +317,8 @@ base::Status MirrorDb::Load(const std::string& set_name,
 base::Status MirrorDb::LoadSharded(const std::string& set_name,
                                    std::vector<moa::MoaValue> objects,
                                    size_t num_shards) {
-  base::Status status = Load(set_name, std::move(objects));
+  std::unique_lock<QuiesceGate> gate(gate_);
+  base::Status status = LoadLocked(set_name, std::move(objects));
   if (!status.ok()) return status;
   if (num_shards < 2) {
     default_shards_ = 0;
@@ -350,6 +365,13 @@ size_t MirrorDb::registered_session_count() const {
 base::Result<PreparedQuery> MirrorDb::Prepare(
     const std::string& query_text, const moa::QueryContext& ctx,
     const QueryOptions& options, mil::ExecutionContext* session) const {
+  std::shared_lock<QuiesceGate> gate(gate_);
+  return PrepareLocked(query_text, ctx, options, session);
+}
+
+base::Result<PreparedQuery> MirrorDb::PrepareLocked(
+    const std::string& query_text, const moa::QueryContext& ctx,
+    const QueryOptions& options, mil::ExecutionContext* session) const {
   auto parsed = moa::ParseExpr(query_text);
   if (!parsed.ok()) return parsed.status();
   PreparedQuery prepared;
@@ -371,6 +393,13 @@ base::Result<PreparedQuery> MirrorDb::Prepare(
 }
 
 base::Result<moa::EvalOutput> MirrorDb::ExecuteProgram(
+    const mil::Program& program, const QueryOptions& options,
+    mil::ExecutionContext* session) const {
+  std::shared_lock<QuiesceGate> gate(gate_);
+  return ExecuteProgramLocked(program, options, session);
+}
+
+base::Result<moa::EvalOutput> MirrorDb::ExecuteProgramLocked(
     const mil::Program& program, const QueryOptions& options,
     mil::ExecutionContext* session) const {
   if (recovery_ != nullptr) {
@@ -409,12 +438,18 @@ base::Result<moa::EvalOutput> MirrorDb::ExecuteProgram(
 base::Result<moa::EvalOutput> MirrorDb::Execute(
     const PreparedQuery& prepared, const QueryOptions& options,
     mil::ExecutionContext* session) const {
-  return ExecuteProgram(prepared.program, options, session);
+  std::shared_lock<QuiesceGate> gate(gate_);
+  return ExecuteProgramLocked(prepared.program, options, session);
 }
 
 base::Result<moa::EvalOutput> MirrorDb::Query(
     const std::string& query_text, const moa::QueryContext& ctx,
     const QueryOptions& options, mil::ExecutionContext* session) const {
+  // One shared hold spans the whole pipeline (parse, plan, execute): a
+  // concurrent Load waits for the query to finish, and the query never
+  // sees a half-swapped catalog. The gate is NOT re-entrant, hence the
+  // *Locked bodies below instead of the public wrappers.
+  std::shared_lock<QuiesceGate> gate(gate_);
   if (!options.flattened) {
     auto parsed = moa::ParseExpr(query_text);
     if (!parsed.ok()) return parsed.status();
@@ -425,18 +460,18 @@ base::Result<moa::EvalOutput> MirrorDb::Query(
   if (session != nullptr) {
     key = PlanKey(query_text, ctx, options);
     if (std::shared_ptr<const mil::Program> plan = session->CachedPlan(key)) {
-      return ExecuteProgram(*plan, options, session);
+      return ExecuteProgramLocked(*plan, options, session);
     }
   }
   // Prepare without the session: Query caches the fully optimized plan
   // under its own key below, and letting the Flattener insert a second
   // "flat:" entry for the same query would only burn cache capacity.
-  auto prepared = Prepare(query_text, ctx, options, nullptr);
+  auto prepared = PrepareLocked(query_text, ctx, options, nullptr);
   if (!prepared.ok()) return prepared.status();
   if (session != nullptr) {
     session->CachePlan(key, prepared.value().program);
   }
-  return Execute(prepared.value(), options, session);
+  return ExecuteProgramLocked(prepared.value().program, options, session);
 }
 
 }  // namespace mirror::db

@@ -2,10 +2,12 @@
 #define MIRROR_MIRROR_MIRROR_DB_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -93,6 +95,12 @@ class MirrorDb {
   /// the previous contents are stale afterwards, so every registered
   /// session (see RegisterSession) is notified and drops its plan cache —
   /// callers no longer call InvalidatePlans() by hand.
+  ///
+  /// Load is a real quiesce barrier: it stops query/write intake at the
+  /// gate, waits for every in-flight query and durable write to drain,
+  /// swaps the contents, then resumes. Queries concurrent with a reload
+  /// therefore see either the entire old contents or the entire new
+  /// contents, never a torn mix.
   base::Status Load(const std::string& set_name,
                     std::vector<moa::MoaValue> objects);
 
@@ -223,6 +231,61 @@ class MirrorDb {
   monet::Catalog* catalog() { return logical_.catalog(); }
 
  private:
+  /// The quiesce barrier behind Load(): a writer-preferring shared/
+  /// exclusive gate. Queries and durable writes hold it shared (they may
+  /// overlap freely); Load holds it exclusive. Hand-rolled rather than
+  /// std::shared_mutex because glibc's rwlock is reader-preferring — a
+  /// steady query stream would starve the reload forever, while this
+  /// gate parks new readers as soon as a writer announces itself.
+  /// Member names follow the SharedLockable concept so std::shared_lock /
+  /// std::unique_lock drive it.
+  class QuiesceGate {
+   public:
+    void lock() {
+      std::unique_lock<std::mutex> l(mu_);
+      ++writers_waiting_;
+      cv_.wait(l, [&] { return readers_ == 0 && !writer_active_; });
+      --writers_waiting_;
+      writer_active_ = true;
+    }
+    void unlock() {
+      std::lock_guard<std::mutex> l(mu_);
+      writer_active_ = false;
+      cv_.notify_all();
+    }
+    void lock_shared() {
+      std::unique_lock<std::mutex> l(mu_);
+      cv_.wait(l, [&] { return writers_waiting_ == 0 && !writer_active_; });
+      ++readers_;
+    }
+    void unlock_shared() {
+      std::lock_guard<std::mutex> l(mu_);
+      if (--readers_ == 0) cv_.notify_all();
+    }
+
+   private:
+    std::mutex mu_;
+    std::condition_variable cv_;
+    int readers_ = 0;
+    int writers_waiting_ = 0;
+    bool writer_active_ = false;
+  };
+
+  /// Load body without the gate — shared by Load and LoadSharded so the
+  /// latter doesn't deadlock re-entering the exclusive side.
+  base::Status LoadLocked(const std::string& set_name,
+                          std::vector<moa::MoaValue> objects);
+
+  /// Prepare/ExecuteProgram bodies without the gate — Query holds the
+  /// shared side once for its whole pipeline and calls these, while the
+  /// public wrappers acquire it for external callers.
+  base::Result<PreparedQuery> PrepareLocked(
+      const std::string& query_text, const moa::QueryContext& ctx,
+      const QueryOptions& options, monet::mil::ExecutionContext* session) const;
+  base::Result<moa::EvalOutput> ExecuteProgramLocked(
+      const monet::mil::Program& program, const QueryOptions& options,
+      monet::mil::ExecutionContext* session) const;
+
   /// Per-fragment recovery state for kLazy. `pending` drains to empty as
   /// fragments are touched (or the background thread reaches them).
   struct RecoveryState {
@@ -249,6 +312,8 @@ class MirrorDb {
   void StopDrainThread();
 
   moa::Database logical_;
+  /// See QuiesceGate; mutable because const query paths hold it shared.
+  mutable QuiesceGate gate_;
   std::unique_ptr<monet::Wal> wal_;
   /// Serializes writers (domain stamp + WAL append + catalog apply must
   /// agree); Sync happens outside it so group commit can batch.

@@ -155,10 +155,10 @@ CandidateList MorselizedPositions(size_t n, const CandidateList* cands,
   std::vector<CandidateList> domains = SplitDomain(n, cands, morsels);
   std::vector<CandidateList> fragments(domains.size());
   ParallelFor(mx.pool, domains.size(), [&](size_t j) {
-    // Morsel-boundary deadline check: an expired query abandons its
-    // remaining morsels (the engine discards the partial kernel output
-    // and errors at the next instruction boundary).
-    if (mx.Expired()) return;
+    // Morsel-boundary abort check: an expired or over-budget query
+    // abandons its remaining morsels (the engine discards the partial
+    // kernel output and errors at the next instruction boundary).
+    if (mx.Aborted()) return;
     fragments[j] = CandidateList::FromPositions(pos_fn(&domains[j]));
   });
   TrackMorselTasks(domains.size());
@@ -736,17 +736,47 @@ Bat GatherFragment(const Bat& b, const CandidateList& cands) {
 
 }  // namespace
 
+namespace {
+
+uint64_t ApproxColumnBytes(const Column& c) {
+  switch (c.type()) {
+    case ValueType::kVoid:
+      return 0;
+    case ValueType::kStr:
+      return static_cast<uint64_t>(c.size()) * sizeof(uint32_t);
+    default:
+      return static_cast<uint64_t>(c.size()) * 8;
+  }
+}
+
+}  // namespace
+
+uint64_t ApproxBatBytes(const Bat& b) {
+  return ApproxColumnBytes(b.head()) + ApproxColumnBytes(b.tail());
+}
+
 Bat Materialize(const Bat& b, const CandidateList& cands,
                 const MorselExec& mx) {
   KernelTimer timer(KernelOp::kMaterialize);
   TrackKernelOp(KernelOp::kMaterialize, cands.size(), cands.size());
   TrackMaterialization(cands.size());
   size_t morsels = mx.MorselsFor(cands.size());
-  if (morsels <= 1) return GatherFragment(b, cands);
+  if (morsels <= 1) {
+    Bat out = GatherFragment(b, cands);
+    mx.Charge(ApproxBatBytes(out));
+    return out;
+  }
   size_t chunk = (cands.size() + morsels - 1) / morsels;
   std::vector<std::optional<Bat>> fragments(morsels);
   ParallelFor(mx.pool, morsels, [&](size_t j) {
+    if (mx.Aborted()) {
+      // Abandoned morsel: stand in an empty fragment so the merge below
+      // stays well-formed; the engine discards the partial result.
+      fragments[j].emplace(GatherFragment(b, cands.Sliced(0, 0)));
+      return;
+    }
     fragments[j].emplace(GatherFragment(b, cands.Sliced(j * chunk, chunk)));
+    mx.Charge(ApproxBatBytes(*fragments[j]));
   });
   TrackMorselTasks(morsels);
   std::vector<const Column*> heads;
@@ -870,6 +900,10 @@ RadixTable<K> BuildRadixTable(size_t n, const CandidateList* cands,
   t.part_begin.assign(parts + 1, 0);
   t.bucket_begin.assign(parts + 1, 0);
   if (m == 0) return t;
+  // An aborted query returns the empty-shaped table (all partition ranges
+  // zero) rather than building: probes find no matches and the engine
+  // errors at the next instruction boundary.
+  if (mx.Aborted()) return t;
   if (with_bloom) {
     // ~8 bits per key in the average partition (two probe bits => ~5%
     // false-positive rate), as one power-of-two word stride per
@@ -880,6 +914,8 @@ RadixTable<K> BuildRadixTable(size_t n, const CandidateList* cands,
   }
   t.keys.resize(m);
   t.pos.resize(m);
+  // keys + pos + next arrays; buckets are charged with them (same order).
+  mx.Charge(static_cast<uint64_t>(m) * (sizeof(K) + 2 * sizeof(uint32_t)));
   auto base_pos = [&](size_t j) -> size_t {
     return cands == nullptr ? j : cands->PositionAt(j);
   };
@@ -930,6 +966,9 @@ RadixTable<K> BuildRadixTable(size_t n, const CandidateList* cands,
   t.buckets.assign(btotal, kNoEntry);
   t.next.resize(m);
   ParallelFor(parts <= 1 ? nullptr : mx.pool, parts, [&](size_t p) {
+    // Partition-boundary abort check: a skipped partition keeps its
+    // buckets at kNoEntry (probes miss); the run errors before delivery.
+    if (mx.Aborted()) return;
     size_t bbase = t.bucket_begin[p];
     size_t bsize = t.bucket_begin[p + 1] - bbase;
     if (bsize == 0) return;
@@ -1119,6 +1158,9 @@ Bat PartitionWiseProbeJoin(const Bat& l, const CandidateList* lcands,
   std::vector<uint32_t> counts(m);
   std::vector<std::vector<uint32_t>> pmatches(parts);
   ParallelFor(parts <= 1 ? nullptr : mx.pool, parts, [&](size_t p) {
+    // Partition-boundary abort check: a skipped probe partition emits no
+    // matches; the partial join is discarded at the next boundary.
+    if (mx.Aborted()) return;
     std::vector<uint32_t>& buf = pmatches[p];
     buf.reserve(pbegin[p + 1] - pbegin[p]);
     for (size_t s = pbegin[p]; s < pbegin[p + 1]; ++s) {

@@ -1,6 +1,7 @@
 #ifndef MIRROR_MONET_BAT_OPS_H_
 #define MIRROR_MONET_BAT_OPS_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -55,11 +56,36 @@ struct MorselExec {
   /// query releases its session promptly instead of holding it forever.
   bool has_deadline = false;
   std::chrono::steady_clock::time_point deadline{};
+  /// Per-query memory accounting (ExecOptions.memory_budget_bytes): kernels
+  /// that materialize output (gathers, radix build arrays, register stores)
+  /// charge approximate bytes into `mem_used`; once the running total
+  /// passes `mem_budget` morsel drivers skip remaining work and the engine
+  /// turns the abandoned output into a ResourceExhausted error at the next
+  /// instruction boundary. A null `mem_used` disables accounting; a zero
+  /// budget with a non-null counter tracks peak usage without enforcing.
+  std::atomic<uint64_t>* mem_used = nullptr;
+  uint64_t mem_budget = 0;
 
   /// True once the deadline (if any) has passed.
   bool Expired() const {
     return has_deadline && std::chrono::steady_clock::now() >= deadline;
   }
+
+  /// Adds `bytes` of materialized output to the query's running total.
+  void Charge(uint64_t bytes) const {
+    if (mem_used != nullptr) {
+      mem_used->fetch_add(bytes, std::memory_order_relaxed);
+    }
+  }
+
+  /// True once charged bytes exceed the (non-zero) budget.
+  bool OverBudget() const {
+    return mem_used != nullptr && mem_budget > 0 &&
+           mem_used->load(std::memory_order_relaxed) > mem_budget;
+  }
+
+  /// True when the query should stop doing work (deadline or budget).
+  bool Aborted() const { return Expired() || OverBudget(); }
 
   /// Number of morsels a domain of `n` rows splits into (1 = run inline).
   size_t MorselsFor(size_t n) const {
@@ -171,6 +197,13 @@ CandidateList SemiJoinTailCand(const Bat& l, const Bat& r,
 /// BATs that are appended once at the end.
 Bat Materialize(const Bat& b, const CandidateList& cands,
                 const MorselExec& mx = {});
+
+/// Approximate resident bytes of a BAT's columns, used for per-query
+/// memory accounting (MorselExec::Charge). Fixed-width columns count
+/// 8 bytes per row; string columns count their 4-byte offset vectors only
+/// (the interned heap is shared with the base BAT and not re-copied by
+/// gathers). Void columns are free.
+uint64_t ApproxBatBytes(const Bat& b);
 
 // ---------------------------------------------------------------------------
 // Join family. Keys compare across compatible types (int/dbl inter-compare,

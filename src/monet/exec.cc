@@ -1,6 +1,7 @@
 #include "monet/exec.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <chrono>
 #include <condition_variable>
@@ -185,6 +186,15 @@ struct RunState {
   RegValue& slot(int reg) { return (*regs)[static_cast<size_t>(reg)]; }
 };
 
+/// The typed error of an aborted run: budget breaches win over deadline
+/// expiry (a query can hit both; the budget is the more actionable one).
+base::Status AbortedStatus(const MorselExec& mx) {
+  if (mx.OverBudget()) {
+    return base::Status::ResourceExhausted("query memory budget exceeded");
+  }
+  return base::Status::DeadlineExceeded("query deadline exceeded");
+}
+
 /// The tail zone map of `bat` from the run's pinned zone snapshot, or
 /// null when zone pruning is off, the BAT is not a cached base BAT, or
 /// its tail carries no bounds. Intermediate results never hit the cache
@@ -262,6 +272,10 @@ base::Status CandInput(RunState& st, int reg, BatPtr* base,
 }
 
 void PutBat(RunState& st, int dst, Bat bat) {
+  // Register stores of freshly materialized BATs are the engine's main
+  // allocation points; shared-pointer stores (PutBatPtr — base BATs,
+  // already-counted results) are references, not copies, and stay free.
+  st.mx.Charge(ApproxBatBytes(bat));
   RegValue& rv = st.slot(dst);
   rv.Clear();
   rv.bat = std::make_shared<const Bat>(std::move(bat));
@@ -276,6 +290,9 @@ void PutBatPtr(RunState& st, int dst, BatPtr bat) {
 }
 
 void PutCand(RunState& st, int dst, BatPtr base, CandidateList cands) {
+  if (!cands.is_dense()) {
+    st.mx.Charge(static_cast<uint64_t>(cands.size()) * sizeof(uint32_t));
+  }
   RegValue& rv = st.slot(dst);
   rv.Clear();
   rv.bat = std::move(base);
@@ -436,12 +453,11 @@ void ExecPerHeadAgg(RunState& st, const Instr& i, const BatPtr& b) {
 /// family produces candidate views; everything else is a pipeline breaker
 /// that materializes its inputs.
 base::Status ExecInstr(RunState& st, const Instr& i) {
-  // Instruction boundaries are the engine-level deadline checkpoints
+  // Instruction boundaries are the engine-level abort checkpoints
   // (morsel drivers check between morsels below the kernel layer); an
-  // expired query stops scheduling work and unwinds with a clean error.
-  if (st.mx.Expired()) {
-    return base::Status::DeadlineExceeded("query deadline exceeded");
-  }
+  // expired or over-budget query stops scheduling work and unwinds with
+  // a clean error.
+  if (st.mx.Aborted()) return AbortedStatus(st.mx);
   auto mat1 = [&]() { return MatInput(st, i.src1); };
 
   if (st.use_candidates && IsCandidatePipelineOp(i.op)) {
@@ -1305,18 +1321,28 @@ base::Result<RunResult> ExecutionEngine::Run(const Program& program,
     // writer may drop and rebuild the catalog's caches mid-query.
     st.zones = catalog_->PinZones();
   }
-  // The deadline is stamped once at entry; ArmDeadline re-applies it
-  // wherever the morsel resources are re-assigned below.
+  // The deadline is stamped once at entry and the memory counter lives
+  // for the whole run; `arm` re-applies both wherever the morsel
+  // resources are re-assigned below (always BEFORE shard RunStates copy
+  // st.mx, so every shard charges the same counter).
   const auto deadline_at =
       std::chrono::steady_clock::now() +
       std::chrono::milliseconds(options_.query_deadline_ms);
+  std::atomic<uint64_t> mem_used{0};
   auto arm_deadline = [&](MorselExec* mx) {
     if (options_.query_deadline_ms > 0) {
       mx->has_deadline = true;
       mx->deadline = deadline_at;
     }
+    mx->mem_used = &mem_used;
+    mx->mem_budget = options_.memory_budget_bytes;
   };
   arm_deadline(&st.mx);
+  // Publish this query's charged high-water mark on every exit path.
+  struct PeakTracker {
+    std::atomic<uint64_t>* used;
+    ~PeakTracker() { TrackPeakQueryBytes(used->load()); }
+  } peak_tracker{&mem_used};
 
   // Thread resolution: 0 = auto, one worker per hardware thread (the
   // unsharded branch may clamp back to 1 below).
@@ -1404,11 +1430,10 @@ base::Result<RunResult> ExecutionEngine::Run(const Program& program,
     }
   }
 
-  // Kernels whose morsel drivers observed an expired deadline abandoned
-  // work (their output is partial); the run must not deliver it.
-  if (st.mx.Expired()) {
-    return base::Status::DeadlineExceeded("query deadline exceeded");
-  }
+  // Kernels whose morsel drivers observed an expired deadline or a blown
+  // memory budget abandoned work (their output is partial); the run must
+  // not deliver it.
+  if (st.mx.Aborted()) return AbortedStatus(st.mx);
   if (program.result_reg() < 0) {
     return base::Status::Internal("program has no result register");
   }
@@ -1427,6 +1452,8 @@ base::Result<RunResult> ExecutionEngine::Run(const Program& program,
     // Result delivery is a pipeline breaker: collapse any candidate view.
     auto bat = MatInput(st, program.result_reg());
     if (!bat.ok()) return bat.status();
+    // The delivery gather itself can blow the budget (or deadline).
+    if (st.mx.Aborted()) return AbortedStatus(st.mx);
     out.bat = bat.value();
   }
   return out;

@@ -98,6 +98,15 @@ struct ExecOptions {
   /// StatusCode::kDeadlineExceeded instead of a result. The daemon
   /// exposes it as the per-session `SET exec.query_deadline_ms` knob.
   uint64_t query_deadline_ms = 0;
+  /// Per-query memory budget in bytes; 0 disables enforcement. The engine
+  /// threads an atomic byte counter through MorselExec: materializing
+  /// gathers, join build arrays and register stores charge approximate
+  /// output bytes, morsel drivers stop once the total passes the budget,
+  /// and the query returns StatusCode::kResourceExhausted at the next
+  /// instruction boundary (the session survives, like a deadline). The
+  /// daemon exposes it as `SET exec.memory_budget_bytes`. Peak usage per
+  /// query is tracked in KernelStats.peak_query_bytes either way.
+  uint64_t memory_budget_bytes = 0;
 };
 
 /// One register during execution: a materialized BAT, an unmaterialized

@@ -30,6 +30,48 @@ class FaultInjector {
   virtual bool BeforeSync() { return true; }
 };
 
+/// Network-side counterpart of FaultInjector: a deterministic hook the
+/// chaos transport wrapper (daemon/wire's WrapChaos) consults before each
+/// read and write. Tests subclass it to emulate hostile or degenerate
+/// peers — mid-frame disconnects, single-byte short writes, slow readers —
+/// against a live server. Thread-safety is the subclass's problem: one
+/// injector instance is typically owned by one client connection.
+struct NetFaultInjector {
+  virtual ~NetFaultInjector() = default;
+
+  /// Shapes one write attempt of `n` bytes.
+  struct WriteFault {
+    /// Write at most this many bytes now (SIZE_MAX = all of them). The
+    /// remainder is NOT retried by the wrapper: callers looping over
+    /// partial writes see genuine short-write behavior.
+    size_t max_bytes = SIZE_MAX;
+    /// After writing, hard-close the transport (mid-frame disconnect
+    /// when max_bytes cut the frame short).
+    bool disconnect_after = false;
+    /// Sleep this long before the write (slow producer).
+    uint64_t delay_micros = 0;
+  };
+
+  /// Shapes one read attempt.
+  struct ReadFault {
+    /// Sleep this long before the read (slow consumer: the server's
+    /// outbound buffer fills while the client dawdles).
+    uint64_t delay_micros = 0;
+    /// Hard-close the transport instead of reading.
+    bool disconnect = false;
+  };
+
+  virtual WriteFault BeforeWrite(size_t n) {
+    (void)n;
+    return WriteFault{};
+  }
+
+  virtual ReadFault BeforeRead(size_t n) {
+    (void)n;
+    return ReadFault{};
+  }
+};
+
 }  // namespace mirror::monet
 
 #endif  // MIRROR_MONET_FAULT_INJECTOR_H_

@@ -224,6 +224,12 @@ void TrackProbePartitions(uint64_t partitions) {
   GlobalKernelStats().probe_partitions += partitions;
 }
 
+void TrackPeakQueryBytes(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(StatsMutex());
+  KernelStats& s = GlobalKernelStats();
+  if (bytes > s.peak_query_bytes) s.peak_query_bytes = bytes;
+}
+
 KernelStats SnapshotKernelStats() {
   std::lock_guard<std::mutex> lock(StatsMutex());
   return GlobalKernelStats();

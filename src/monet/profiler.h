@@ -80,6 +80,9 @@ struct KernelStats {
   uint64_t topk_morsels_pruned = 0;
   uint64_t topk_shards_pruned = 0;
   uint64_t probe_partitions = 0;
+  /// High-water mark of any single query's approximate materialized bytes
+  /// (MorselExec memory accounting) since the last Reset.
+  uint64_t peak_query_bytes = 0;
 
   /// Total operator invocations across all families.
   uint64_t TotalOps() const;
@@ -153,6 +156,10 @@ void TrackTopkShardPruned();
 /// Records one probe side radix-clustered into `partitions` partitions
 /// for partition-wise join scheduling.
 void TrackProbePartitions(uint64_t partitions);
+
+/// Raises the peak per-query memory high-water mark to `bytes` if larger
+/// (called once per query with its final charged total).
+void TrackPeakQueryBytes(uint64_t bytes);
 
 /// Consistent copy of the process-wide counters (taken under the stats
 /// mutex — safe to call while kernels run).
