@@ -257,7 +257,11 @@ int main() {
   BuildDb(&database);
 
   // Deliberately undersized so admission control has something to do.
+  // Recycler off: the healthy mix repeats 40 distinct queries, and
+  // cached replays answered inline by the loop would drain the queue
+  // pressure this bench exists to create (E8 measures the cached path).
   daemon::QueryServer::Options opt;
+  opt.query.exec.recycle = false;
   opt.worker_threads = 3;
   opt.request_queue_limit = 8;
   opt.retry_after_ms = 2;

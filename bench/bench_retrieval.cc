@@ -733,20 +733,29 @@ ServeComparison RunE4(db::MirrorDb* database) {
     return best;
   };
 
+  // Recycler off in all three servers: E4 measures the concurrency and
+  // in-flight coalescing layers — with the result cache on, every
+  // repeat replays a cached reply and nothing ever coalesces (E8 /
+  // bench_recycler measures that path).
   {
-    dmn::QueryServer server(database);
+    dmn::QueryServer::Options options;
+    options.query.exec.recycle = false;
+    dmn::QueryServer server(database, options);
     out.serial1_ms = time_serial(&server);
     server.Shutdown();
   }
   {
     dmn::QueryServer::Options options;
+    options.query.exec.recycle = false;
     options.coalesce_queries = false;
     dmn::QueryServer server(database, options);
     out.concurrent4_nocoalesce_ms = time_concurrent(&server);
     server.Shutdown();
   }
   {
-    dmn::QueryServer server(database);
+    dmn::QueryServer::Options options;
+    options.query.exec.recycle = false;
+    dmn::QueryServer server(database, options);
     out.concurrent4_ms = time_concurrent(&server);
     dmn::wire::ServerWireStats stats = server.stats();
     out.coalesced_requests = stats.coalesced_requests;

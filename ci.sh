@@ -192,11 +192,48 @@ awk -v p="${E7_P99}" 'BEGIN { exit (p <= 250.0) ? 0 : 1 }' || {
   exit 1
 }
 
+echo "== result-reuse gate (E8, zipfian multi-tenant mix, recycler on vs off) =="
+# bench_recycler runs 8 tenants x 150 zipfian queries over a 64-query
+# pool against the daemon twice: recycler off (coalescing only, as the
+# server stood before this cache) and recycler on, cold. The gates: the
+# recycled phase is >= 3x faster, the result cache actually served hits,
+# the bytes held stay within the memory budget, and every distinct
+# query's reply agrees value-for-value across the phases.
+(cd build && ./bench_recycler)
+E8_SPEEDUP=$(grep -m1 '"speedup"' build/BENCH_retrieval.json \
+            | awk -F': ' '{gsub(/[,[:space:]]/, "", $2); print $2}')
+E8_HITS=$(grep -m1 '"result_cache_hits"' build/BENCH_retrieval.json \
+            | awk -F': ' '{gsub(/[,[:space:]]/, "", $2); print $2}')
+E8_HELD=$(grep -m1 '"bytes_held"' build/BENCH_retrieval.json \
+            | awk -F': ' '{gsub(/[,[:space:]]/, "", $2); print $2}')
+E8_BUDGET=$(grep -m1 '"budget_bytes"' build/BENCH_retrieval.json \
+            | awk -F': ' '{gsub(/[,[:space:]]/, "", $2); print $2}')
+E8_IDENTICAL=$(grep -m1 '"replies_identical"' build/BENCH_retrieval.json \
+            | awk -F': ' '{gsub(/[,[:space:]]/, "", $2); print $2}')
+echo "recycler on vs off: ${E8_SPEEDUP}x (hits: ${E8_HITS}, held: ${E8_HELD}/${E8_BUDGET} bytes, identical: ${E8_IDENTICAL})"
+awk -v s="${E8_SPEEDUP}" 'BEGIN { exit (s >= 3.0) ? 0 : 1 }' || {
+  echo "FAIL: result-reuse speedup ${E8_SPEEDUP}x is below the 3x floor"
+  exit 1
+}
+[ "${E8_HITS}" != "0" ] || {
+  echo "FAIL: the zipfian mix never hit the result cache"
+  exit 1
+}
+awk -v h="${E8_HELD}" -v b="${E8_BUDGET}" 'BEGIN { exit (h <= b) ? 0 : 1 }' || {
+  echo "FAIL: recycler holds ${E8_HELD} bytes, over its ${E8_BUDGET}-byte budget"
+  exit 1
+}
+[ "${E8_IDENTICAL}" = "1" ] || {
+  echo "FAIL: recycled replies deviated from the execute-every-time phase"
+  exit 1
+}
+
 echo "== TSan: daemon concurrency (event loop, worker pool, chaos storm) =="
 # The event-driven connection layer is lock-order sensitive (loop_mu_ ->
-# mu_, the quiesce gate, the coalescing map): run the three daemon test
-# binaries under ThreadSanitizer. Skipped with a notice when the
-# toolchain lacks libtsan.
+# mu_, the quiesce gate, the coalescing map) and the recycler fast path
+# reads the cache from the poll loop while workers insert and writers
+# fence: run the four daemon test binaries under ThreadSanitizer.
+# Skipped with a notice when the toolchain lacks libtsan.
 if echo 'int main(){return 0;}' | g++ -fsanitize=thread -x c++ - -o /tmp/tsan_probe 2>/dev/null; then
   rm -f /tmp/tsan_probe
   cmake -B build-tsan -S . \
@@ -204,10 +241,12 @@ if echo 'int main(){return 0;}' | g++ -fsanitize=thread -x c++ - -o /tmp/tsan_pr
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
   cmake --build build-tsan -j"${JOBS}" \
-    --target daemon_server_test daemon_recovery_test daemon_chaos_test
+    --target daemon_server_test daemon_recovery_test daemon_chaos_test \
+    daemon_recycler_test
   (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./daemon_server_test)
   (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./daemon_recovery_test)
   (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./daemon_chaos_test)
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./daemon_recycler_test)
 else
   echo "libtsan unavailable: skipping the TSan job"
 fi

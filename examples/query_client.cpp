@@ -81,6 +81,15 @@ void PrintStats(const daemon::wire::StatsReply& stats) {
       static_cast<unsigned long long>(stats.server.sessions_opened),
       static_cast<unsigned long long>(stats.server.sessions_closed),
       static_cast<unsigned long long>(stats.server.load_generation));
+  std::printf(
+      "recycler: result cache %llu/%llu hits/misses, candidate cache "
+      "%llu hits (%llu subsuming), %llu bytes held, %llu evictions\n",
+      static_cast<unsigned long long>(stats.server.result_cache_hits),
+      static_cast<unsigned long long>(stats.server.result_cache_misses),
+      static_cast<unsigned long long>(stats.server.candidate_cache_hits),
+      static_cast<unsigned long long>(stats.server.candidate_subsumption_hits),
+      static_cast<unsigned long long>(stats.server.recycler_bytes_held),
+      static_cast<unsigned long long>(stats.server.recycler_evictions));
   for (const auto& s : stats.sessions) {
     std::printf(
         "  session %llu (%s): %llu requests, %llu errors, plan cache "

@@ -26,6 +26,29 @@ std::string StripExecPrefix(const std::string& key) {
   return key;
 }
 
+/// The shared recycler/coalescing key of one query request: the same
+/// normalization the session plan cache uses — whitespace-insensitive
+/// query text plus the exact bindings. The text is length-prefixed so
+/// no query spelling can collide with another (text, bindings) pair's
+/// rendering. Results are engine-config-invariant (the fuzz suite's
+/// core guarantee), so per-session SET differences don't enter the key.
+std::string QueryCacheKey(const wire::QueryRequest& request) {
+  std::string normalized = mil::ExecutionContext::NormalizeText(request.text);
+  std::string key = base::StrFormat("%zu:", normalized.size());
+  key += normalized;
+  key += "|";
+  key += request.bindings.CacheKey();
+  return key;
+}
+
+/// Cached replies come from flattened engine executions; only hand
+/// them to sessions whose config would have produced the same bytes
+/// (true for every engine config by the equivalence guarantee, but the
+/// naive interpreter path is kept out of the cache on both ends).
+bool SessionUsesRecycler(const db::QueryOptions& options) {
+  return options.exec.recycle && options.flattened && options.use_engine;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -59,7 +82,7 @@ base::Status ServerSession::ValidateOverride(const std::string& key,
                           static_cast<long long>(value)));
     }
   } else if (k != "morsel_joins" && k != "fuse_aggregates" &&
-             k != "zone_maps" && k != "topk_prune") {
+             k != "zone_maps" && k != "topk_prune" && k != "recycle") {
     return base::Status::InvalidArgument(
         base::StrFormat("unknown SET key \"%s\"", key.c_str()));
   }
@@ -82,6 +105,8 @@ base::Status ServerSession::ApplyOverride(const std::string& key,
     options_.exec.zone_maps = value != 0;
   } else if (k == "topk_prune") {
     options_.exec.topk_prune = value != 0;
+  } else if (k == "recycle") {
+    options_.exec.recycle = value != 0;
   } else if (k == "query_deadline_ms") {
     options_.exec.query_deadline_ms = static_cast<uint64_t>(value);
   } else if (k == "memory_budget_bytes") {
@@ -110,6 +135,7 @@ wire::SessionStatsEntry ServerSession::StatsEntry() const {
   entry.options.topk_prune = options_.exec.topk_prune;
   entry.options.query_deadline_ms = options_.exec.query_deadline_ms;
   entry.options.memory_budget_bytes = options_.exec.memory_budget_bytes;
+  entry.options.recycle = options_.exec.recycle;
   return entry;
 }
 
@@ -212,6 +238,7 @@ wire::ServerWireStats QueryServer::stats() const {
   // the server lock (the profiler has its own mutex).
   monet::KernelStats kernels = monet::SnapshotKernelStats();
   db::RecoveryStats recovery = db_->recovery_stats();
+  monet::RecyclerStats recycler = db_->recycler()->stats();
   std::lock_guard<std::mutex> lock(mu_);
   wire::ServerWireStats out = stats_;
   out.load_generation = db_->load_generation();
@@ -233,6 +260,13 @@ wire::ServerWireStats QueryServer::stats() const {
       result_chunks_streamed_.load(std::memory_order_relaxed);
   out.slow_client_disconnects =
       slow_client_disconnects_.load(std::memory_order_relaxed);
+  out.result_cache_hits = recycler.result_hits;
+  out.result_cache_misses = recycler.result_misses;
+  out.recycler_admissions_rejected = recycler.admissions_rejected;
+  out.recycler_evictions = recycler.evictions;
+  out.recycler_bytes_held = recycler.bytes_held;
+  out.candidate_cache_hits = kernels.candidate_cache_hits;
+  out.candidate_subsumption_hits = kernels.candidate_subsumption_hits;
   return out;
 }
 
@@ -685,6 +719,33 @@ void QueryServer::ParseAndDispatchLocked(Conn* c) {
               "server is read-only: %s rejected", verb)));
           break;
         }
+        if (type == wire::FrameType::kQuery &&
+            SessionUsesRecycler(c->session->options())) {
+          // Recycler fast path: a query whose encoded RESULT is already
+          // cached for the current data version is answered inline by
+          // the poll loop — no queue slot, no worker wakeup. Misses
+          // (and undecodable requests) fall through to the normal
+          // queue, where the worker reports any decode error.
+          auto request = wire::DecodeQueryRequest(payload);
+          if (request.ok()) {
+            monet::Recycler* recycler = db_->recycler();
+            auto hit = recycler->LookupResult(recycler->generation(),
+                                              QueryCacheKey(request.value()));
+            if (hit != nullptr) {
+              c->session->CountRequest();
+              {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++stats_.requests;
+              }
+              Reply reply;
+              reply.type = wire::FrameType::kResult;
+              reply.payload = std::move(hit);
+              c->busy = true;
+              EnqueueReplyLocked(c, reply);
+              break;
+            }
+          }
+        }
         if (queue_.size() >= options_.request_queue_limit) {
           // Admission control: shed with a typed, retryable error. The
           // connection is NOT marked busy — it keeps its place and may
@@ -902,9 +963,17 @@ QueryServer::Reply QueryServer::ProcessItem(const WorkItem& item) {
 }
 
 QueryServer::Reply QueryServer::ExecuteQuery(ServerSession* session,
-                                             const wire::QueryRequest& request) {
-  auto result = db_->Query(request.text, request.bindings,
-                           session->options(), session->exec_context());
+                                             const wire::QueryRequest& request,
+                                             const std::string& cache_key) {
+  const db::QueryOptions opts = session->options();
+  monet::Recycler* recycler = db_->recycler();
+  // Captured BEFORE execution: a mutation racing this query advances
+  // the generation (twice, around its apply window), so the insert
+  // below is refused and no stale bytes are ever published.
+  const uint64_t generation = recycler->generation();
+  const auto exec_start = std::chrono::steady_clock::now();
+  auto result = db_->Query(request.text, request.bindings, opts,
+                           session->exec_context());
   if (!result.ok()) {
     session->CountError();
     Reply r;
@@ -929,6 +998,13 @@ QueryServer::Reply QueryServer::ExecuteQuery(ServerSession* session,
             static_cast<unsigned long long>(options_.max_result_bytes)))));
     return r;
   }
+  if (!cache_key.empty() && SessionUsesRecycler(opts)) {
+    const uint64_t micros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - exec_start)
+            .count());
+    recycler->InsertResult(generation, cache_key, payload, micros);
+  }
   Reply r;
   r.type = wire::FrameType::kResult;
   r.payload = std::move(payload);
@@ -951,21 +1027,22 @@ QueryServer::Reply QueryServer::ServeQuery(ServerSession* session,
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.requests;
   }
-  if (!options_.coalesce_queries) {
-    return ExecuteQuery(session, request.value());
+  const std::string key = QueryCacheKey(request.value());
+  // Worker-side recycler lookup: catches results that landed while
+  // this item waited in the queue (the poll loop already answered
+  // anything that was cached at dispatch time).
+  if (SessionUsesRecycler(session->options())) {
+    monet::Recycler* recycler = db_->recycler();
+    if (auto hit = recycler->LookupResult(recycler->generation(), key)) {
+      Reply r;
+      r.type = wire::FrameType::kResult;
+      r.payload = std::move(hit);
+      return r;
+    }
   }
-  // Coalescing key: the same normalization the session plan cache uses —
-  // whitespace-insensitive query text plus the exact bindings. The text
-  // is length-prefixed so no query spelling can collide with another
-  // (text, bindings) pair's rendering. Results are engine-config-
-  // invariant (the fuzz suite's core guarantee), so per-session SET
-  // differences don't enter the key.
-  std::string normalized =
-      mil::ExecutionContext::NormalizeText(request.value().text);
-  std::string key = base::StrFormat("%zu:", normalized.size());
-  key += normalized;
-  key += "|";
-  key += request.value().bindings.CacheKey();
+  if (!options_.coalesce_queries) {
+    return ExecuteQuery(session, request.value(), key);
+  }
   std::shared_ptr<InFlightQuery> entry;
   bool is_leader = false;
   {
@@ -995,7 +1072,7 @@ QueryServer::Reply QueryServer::ServeQuery(ServerSession* session,
     // failure under its config), so a follower re-executes under its
     // own options rather than inheriting another tenant's error.
     if (shared.type != wire::FrameType::kResult) {
-      return ExecuteQuery(session, request.value());
+      return ExecuteQuery(session, request.value(), key);
     }
     {
       std::lock_guard<std::mutex> slock(mu_);
@@ -1027,7 +1104,7 @@ QueryServer::Reply QueryServer::ServeQuery(ServerSession* session,
       server->inflight_.erase(key);
     }
   } completer{this, key, entry};
-  completer.reply = ExecuteQuery(session, request.value());
+  completer.reply = ExecuteQuery(session, request.value(), key);
   return completer.reply;
 }
 

@@ -284,13 +284,18 @@ class QueryServer {
   /// Executes one queued request on a worker thread (no locks held).
   Reply ProcessItem(const WorkItem& item);
 
-  /// Serves one QUERY payload — through the coalescing map when enabled.
+  /// Serves one QUERY payload — through the recycler's result cache
+  /// first, then the coalescing map when enabled.
   Reply ServeQuery(ServerSession* session,
                    const std::vector<uint8_t>& payload);
 
-  /// Executes for real (no coalescing) and marshals the reply.
+  /// Executes for real (no coalescing) and marshals the reply. A
+  /// successful RESULT is offered to the recycler under `cache_key`
+  /// (empty = don't cache) with the generation captured before
+  /// execution.
   Reply ExecuteQuery(ServerSession* session,
-                     const wire::QueryRequest& request);
+                     const wire::QueryRequest& request,
+                     const std::string& cache_key);
 
   void CountIn(size_t frame_bytes);
   void CountOut(wire::FrameType type, size_t frame_bytes);

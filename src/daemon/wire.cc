@@ -606,6 +606,7 @@ std::vector<uint8_t> EncodeSetReply(const SetReply& m) {
   w.U8(m.topk_prune ? 1 : 0);
   w.U64(m.query_deadline_ms);
   w.U64(m.memory_budget_bytes);
+  w.U8(m.recycle ? 1 : 0);
   return w.Take();
 }
 
@@ -616,15 +617,18 @@ base::Result<SetReply> DecodeSetReply(const std::vector<uint8_t>& p) {
   uint8_t fuse = 0;
   uint8_t zones = 0;
   uint8_t topk = 0;
+  uint8_t recycle = 0;
   if (!r.U64(&m.num_shards) || !r.I64(&m.num_threads) || !r.U8(&morsel) ||
       !r.U8(&fuse) || !r.U8(&zones) || !r.U8(&topk) ||
-      !r.U64(&m.query_deadline_ms) || !r.U64(&m.memory_budget_bytes)) {
+      !r.U64(&m.query_deadline_ms) || !r.U64(&m.memory_budget_bytes) ||
+      !r.U8(&recycle)) {
     return Malformed("SET reply");
   }
   m.morsel_joins = morsel != 0;
   m.fuse_aggregates = fuse != 0;
   m.zone_maps = zones != 0;
   m.topk_prune = topk != 0;
+  m.recycle = recycle != 0;
   return m;
 }
 
@@ -822,6 +826,13 @@ std::vector<uint8_t> EncodeStatsReply(const StatsReply& m) {
   w.U64(m.server.result_chunks_streamed);
   w.U64(m.server.slow_client_disconnects);
   w.U64(m.server.peak_query_bytes);
+  w.U64(m.server.result_cache_hits);
+  w.U64(m.server.result_cache_misses);
+  w.U64(m.server.recycler_admissions_rejected);
+  w.U64(m.server.recycler_evictions);
+  w.U64(m.server.recycler_bytes_held);
+  w.U64(m.server.candidate_cache_hits);
+  w.U64(m.server.candidate_subsumption_hits);
   w.U32(static_cast<uint32_t>(m.sessions.size()));
   for (const SessionStatsEntry& s : m.sessions) {
     w.U64(s.session_id);
@@ -862,7 +873,14 @@ base::Result<StatsReply> DecodeStatsReply(const std::vector<uint8_t>& p) {
       !r.U64(&m.server.active_workers) ||
       !r.U64(&m.server.result_chunks_streamed) ||
       !r.U64(&m.server.slow_client_disconnects) ||
-      !r.U64(&m.server.peak_query_bytes) || !r.U32(&num_sessions)) {
+      !r.U64(&m.server.peak_query_bytes) ||
+      !r.U64(&m.server.result_cache_hits) ||
+      !r.U64(&m.server.result_cache_misses) ||
+      !r.U64(&m.server.recycler_admissions_rejected) ||
+      !r.U64(&m.server.recycler_evictions) ||
+      !r.U64(&m.server.recycler_bytes_held) ||
+      !r.U64(&m.server.candidate_cache_hits) ||
+      !r.U64(&m.server.candidate_subsumption_hits) || !r.U32(&num_sessions)) {
     return Malformed("STATS reply");
   }
   m.sessions.reserve(
@@ -873,6 +891,7 @@ base::Result<StatsReply> DecodeStatsReply(const std::vector<uint8_t>& p) {
     uint8_t fuse = 0;
     uint8_t zones = 0;
     uint8_t topk = 0;
+    uint8_t recycle = 0;
     if (!r.U64(&s.session_id) || !r.Str(&s.client_name) ||
         !r.U64(&s.requests) || !r.U64(&s.errors) ||
         !r.U64(&s.plan_cache_size) || !r.U64(&s.plan_cache_hits) ||
@@ -880,13 +899,14 @@ base::Result<StatsReply> DecodeStatsReply(const std::vector<uint8_t>& p) {
         !r.I64(&s.options.num_threads) || !r.U8(&morsel) || !r.U8(&fuse) ||
         !r.U8(&zones) || !r.U8(&topk) ||
         !r.U64(&s.options.query_deadline_ms) ||
-        !r.U64(&s.options.memory_budget_bytes)) {
+        !r.U64(&s.options.memory_budget_bytes) || !r.U8(&recycle)) {
       return Malformed("STATS reply");
     }
     s.options.morsel_joins = morsel != 0;
     s.options.fuse_aggregates = fuse != 0;
     s.options.zone_maps = zones != 0;
     s.options.topk_prune = topk != 0;
+    s.options.recycle = recycle != 0;
     m.sessions.push_back(std::move(s));
   }
   return m;

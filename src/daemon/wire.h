@@ -223,9 +223,9 @@ struct DeleteReply {
 /// SET: integer-valued per-session execution overrides, applied to the
 /// session's ExecOptions (booleans are 0/1). Known keys: "num_shards",
 /// "num_threads", "morsel_joins", "fuse_aggregates", "zone_maps",
-/// "topk_prune", "query_deadline_ms" (0 = no deadline),
-/// "memory_budget_bytes" (0 = no budget); each also accepts an "exec."
-/// prefix ("exec.zone_maps").
+/// "topk_prune", "recycle" (cross-request result/candidate reuse),
+/// "query_deadline_ms" (0 = no deadline), "memory_budget_bytes" (0 = no
+/// budget); each also accepts an "exec." prefix ("exec.zone_maps").
 /// A SET frame is validated as a whole before any key applies — one bad
 /// key leaves the session's options untouched.
 struct SetRequest {
@@ -243,6 +243,7 @@ struct SetReply {
   bool topk_prune = true;
   uint64_t query_deadline_ms = 0;     // 0 = no deadline
   uint64_t memory_budget_bytes = 0;   // 0 = no per-query memory budget
+  bool recycle = true;                // cross-request result/candidate reuse
 };
 
 /// A query result: a serialized result table (element oid -> value) or a
@@ -288,6 +289,17 @@ struct ServerWireStats {
   uint64_t result_chunks_streamed = 0;   // kResultChunk frames sent
   uint64_t slow_client_disconnects = 0;  // dropped for stalled/full outbound
   uint64_t peak_query_bytes = 0;         // largest single-query charge seen
+  /// Recycler counters (MirrorDb recycler + profiler snapshot at STATS
+  /// time): encoded-result replays, misses, inserts refused by the
+  /// cost x frequency admission policy, entries displaced for room, the
+  /// bytes-held gauge, and candidate-list reuse (exact / subsuming).
+  uint64_t result_cache_hits = 0;
+  uint64_t result_cache_misses = 0;
+  uint64_t recycler_admissions_rejected = 0;
+  uint64_t recycler_evictions = 0;
+  uint64_t recycler_bytes_held = 0;
+  uint64_t candidate_cache_hits = 0;
+  uint64_t candidate_subsumption_hits = 0;
 };
 
 /// Per-session slice of the STATS reply.

@@ -62,6 +62,12 @@ base::Result<WriteAck> MirrorDb::Append(const std::string& bat_name,
   uint64_t lsn = 0;
   {
     std::lock_guard<std::mutex> lock(write_mu_);
+    // Double fence around the delta apply: the first drops every cached
+    // entry computed against the old contents (and stops in-flight
+    // executions from inserting), the second fences out executions that
+    // straddled the apply window and may have read a mix of old and new
+    // rows. No interleaving can publish or serve a stale entry.
+    recycler_.Fence();
     // Stamp the append domain *before* applying, then apply *before*
     // logging: the catalog's validation acts as the gate, so the log
     // never holds a record that cannot replay. A crash between apply
@@ -78,6 +84,8 @@ base::Result<WriteAck> MirrorDb::Append(const std::string& bat_name,
       MIRROR_RETURN_IF_ERROR(
           logical_.catalog()->Append(bat_name, std::move(values)));
     }
+    recycler_.Fence();
+    load_generation_.fetch_add(1, std::memory_order_relaxed);
   }
   // Group commit outside the writer lock: concurrent appends share one
   // fsync. No ack until the record is durable.
@@ -97,6 +105,7 @@ base::Result<WriteAck> MirrorDb::DeleteRows(const std::string& bat_name,
   uint64_t deleted = 0;
   {
     std::lock_guard<std::mutex> lock(write_mu_);
+    recycler_.Fence();  // see Append: double fence around the apply
     auto domain = logical_.catalog()->AppendDomainRows(bat_name);
     if (!domain.ok()) return domain.status();
     monet::Column payload = monet::Column::MakeOids(oids);
@@ -110,6 +119,8 @@ base::Result<WriteAck> MirrorDb::DeleteRows(const std::string& bat_name,
       if (!logged.ok()) return logged.status();
       lsn = logged.value();
     }
+    recycler_.Fence();
+    load_generation_.fetch_add(1, std::memory_order_relaxed);
   }
   if (wal_ != nullptr) MIRROR_RETURN_IF_ERROR(wal_->Sync(lsn));
   WriteAck ack;
@@ -124,8 +135,13 @@ base::Status MirrorDb::Checkpoint(const std::string& dir) {
   // The checkpoint must cover every fragment, so finish recovery first.
   MIRROR_RETURN_IF_ERROR(DrainRecovery());
   std::lock_guard<std::mutex> lock(write_mu_);
+  // Visible contents don't change, but the recovery drain above may have
+  // replayed fragments mid-query; fencing keeps the invariant simple:
+  // every mutation path advances the recycler generation.
+  recycler_.Fence();
   MIRROR_RETURN_IF_ERROR(logical_.SaveTo(dir));
   if (wal_ != nullptr) MIRROR_RETURN_IF_ERROR(wal_->Reset());
+  recycler_.Fence();
   return base::Status::Ok();
 }
 
@@ -138,6 +154,10 @@ base::Status MirrorDb::Recover(const std::string& dir,
                                monet::FaultInjector* fi) {
   StopDrainThread();
   recovery_.reset();
+  // Entries from the pre-crash (or pre-Recover) contents must not
+  // survive into the recovered database.
+  recycler_.Fence();
+  load_generation_.fetch_add(1, std::memory_order_relaxed);
   auto wal = monet::Wal::Open(wal_path, fi);
   if (!wal.ok()) return wal.status();
   wal_ = wal.TakeValue();
@@ -298,12 +318,14 @@ base::Status MirrorDb::Load(const std::string& set_name,
 
 base::Status MirrorDb::LoadLocked(const std::string& set_name,
                                   std::vector<moa::MoaValue> objects) {
+  recycler_.Fence();  // see Append: double fence around the apply
   base::Status status = logical_.Load(set_name, std::move(objects));
   if (!status.ok()) return status;
   // Warm the zone maps eagerly: Load dropped the stale statistics with
   // the rest of the derived caches, and building them here (one scan per
   // BAT) keeps the first pruned query out of the build cost.
   logical_.catalog()->EnsureZones();
+  recycler_.Fence();
   load_generation_.fetch_add(1, std::memory_order_relaxed);
   // New contents invalidate every compiled plan that names this database:
   // notify live sessions so their next query re-flattens.
@@ -419,6 +441,14 @@ base::Result<moa::EvalOutput> MirrorDb::ExecuteProgramLocked(
     // an explicit 1 pins the unsharded engine.
     mil::ExecOptions exec = options.exec;
     if (exec.num_shards == 0) exec.num_shards = default_shards_;
+    if (exec.recycle) {
+      // Arm the server-wide recycler, capturing the generation BEFORE
+      // the engine reads any catalog state: a mutation landing after
+      // this point advances the generation twice (double fence), so
+      // whatever this execution computes is refused on insert.
+      exec.recycler = &recycler_;
+      exec.recycler_generation = recycler_.generation();
+    }
     mil::ExecutionEngine engine(&logical_.catalog(), exec);
     run = engine.Run(program, session);
   } else {

@@ -20,6 +20,7 @@
 #include "moa/query_context.h"
 #include "monet/exec.h"
 #include "monet/mil.h"
+#include "monet/recycler.h"
 #include "monet/wal.h"
 
 namespace mirror::db {
@@ -230,6 +231,12 @@ class MirrorDb {
   const moa::Database& logical() const { return logical_; }
   monet::Catalog* catalog() { return logical_.catalog(); }
 
+  /// The server-wide recycler shared by every session of this database.
+  /// Queries with `exec.recycle` arm it automatically (unsharded engine
+  /// path); every mutation path fences it around the catalog apply, so
+  /// entries never outlive the data version they were computed against.
+  monet::Recycler* recycler() const { return &recycler_; }
+
  private:
   /// The quiesce barrier behind Load(): a writer-preferring shared/
   /// exclusive gate. Queries and durable writes hold it shared (they may
@@ -324,6 +331,9 @@ class MirrorDb {
   size_t default_shards_ = 0;
   /// Successful reload count (see load_generation()).
   std::atomic<uint64_t> load_generation_{0};
+  /// Cross-request result + candidate cache (see recycler()); mutable
+  /// because const query paths look up and insert.
+  mutable monet::Recycler recycler_;
   /// Sessions notified on Load. Guarded by sessions_mu_; mutable so
   /// sessions can attach to a const-held database (registration does not
   /// change logical contents).

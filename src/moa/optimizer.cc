@@ -6,6 +6,7 @@
 
 #include "base/str_util.h"
 #include "monet/exec.h"
+#include "monet/recycler.h"
 
 namespace mirror::moa {
 
@@ -379,6 +380,34 @@ int CountJoinInputFusions(const mil::Program& program) {
   return fusions;
 }
 
+/// Counts selects the recycler can key: their input register's sole
+/// writer is a kLoadNamed and the predicate normalizes to an interval in
+/// double space (the same SelectPredicate::FromInstr the engine uses, so
+/// the diagnostic and the runtime agree on eligibility).
+int CountRecycleEligibleSelects(const mil::Program& program) {
+  const size_t num_regs = static_cast<size_t>(program.num_regs());
+  std::vector<int> writers(num_regs, 0);
+  std::vector<std::string> load_name(num_regs);
+  for (const mil::Instr& i : program.instrs()) {
+    if (i.dst >= 0 && i.dst < static_cast<int>(num_regs)) {
+      ++writers[static_cast<size_t>(i.dst)];
+      load_name[static_cast<size_t>(i.dst)] =
+          i.op == mil::OpCode::kLoadNamed ? i.name : std::string();
+    }
+  }
+  int eligible = 0;
+  for (const mil::Instr& i : program.instrs()) {
+    if (i.src0 < 0 || i.src0 >= static_cast<int>(num_regs)) continue;
+    const size_t src = static_cast<size_t>(i.src0);
+    if (writers[src] != 1 || load_name[src].empty()) continue;
+    monet::SelectPredicate pred;
+    if (monet::SelectPredicate::FromInstr(i, load_name[src], &pred)) {
+      ++eligible;
+    }
+  }
+  return eligible;
+}
+
 }  // namespace
 
 void OptimizeMil(mil::Program* program, OptimizerReport* report) {
@@ -425,6 +454,7 @@ void OptimizeMil(mil::Program* program, OptimizerReport* report) {
     report->candidate_chain_links += CountCandidateChainLinks(rewritten);
     report->join_input_fusions += CountJoinInputFusions(rewritten);
     report->shard_fanouts += CountShardFanouts(rewritten);
+    report->recycle_eligible_selects += CountRecycleEligibleSelects(rewritten);
   }
   *program = std::move(rewritten);
 }

@@ -34,6 +34,11 @@ struct OptimizerReport {
   /// shard-preserving instruction set (diagnostic; the engine makes the
   /// final call per register at run time).
   int shard_fanouts = 0;
+  /// Selects over base BATs whose predicate normalizes to a recycler
+  /// interval (SelectPredicate::FromInstr): candidates for exact-match
+  /// replay or subsumption seeding when the recycler is armed
+  /// (diagnostic; the engine decides per execution).
+  int recycle_eligible_selects = 0;
   size_t cse_removed = 0;
   size_t dce_removed = 0;
 };

@@ -11,6 +11,7 @@
 #include "monet/bat_ops.h"
 #include "monet/prob_ops.h"
 #include "monet/profiler.h"
+#include "monet/recycler.h"
 
 namespace mirror::monet::mil {
 
@@ -182,6 +183,14 @@ struct RunState {
   /// (and drop its caches) while a query executes, so the run holds its
   /// own reference instead of chasing the catalog's current snapshot.
   Catalog::ZoneSnapshot zones;
+  /// Recycler wiring (armed on the unsharded path only — shard-local
+  /// candidate positions don't compose across layouts): the server-wide
+  /// cache, the generation this execution captured at query start, and
+  /// the base-BAT load name per register (empty unless the register's
+  /// sole writer is a kLoadNamed).
+  Recycler* recycler = nullptr;
+  uint64_t recycler_gen = 0;
+  const std::vector<std::string>* load_names = nullptr;
 
   RegValue& slot(int reg) { return (*regs)[static_cast<size_t>(reg)]; }
 };
@@ -297,6 +306,17 @@ void PutCand(RunState& st, int dst, BatPtr base, CandidateList cands) {
   rv.Clear();
   rv.bat = std::move(base);
   rv.cands = std::make_shared<const CandidateList>(std::move(cands));
+  rv.written = true;
+}
+
+void PutCandPtr(RunState& st, int dst, BatPtr base,
+                std::shared_ptr<const CandidateList> cands) {
+  // Shared cached lists are references into the recycler's budget, not
+  // fresh allocations of this query — no memory charge.
+  RegValue& rv = st.slot(dst);
+  rv.Clear();
+  rv.bat = std::move(base);
+  rv.cands = std::move(cands);
   rv.written = true;
 }
 
@@ -449,6 +469,76 @@ void ExecPerHeadAgg(RunState& st, const Instr& i, const BatPtr& b) {
   }
 }
 
+/// Recycler integration for interval selects over base BATs: an exact
+/// predicate hit replays the cached candidate list; a *subsuming* cached
+/// predicate seeds the kernel as its pre-filter domain (identical output
+/// — every qualifying row lies inside the wider interval); a miss runs
+/// the kernel and publishes its list. Returns true when it wrote the
+/// destination register; false defers to the normal select path
+/// (recycler unarmed, an upstream candidate domain already narrows the
+/// scan, or the predicate doesn't normalize).
+bool TryRecycledSelect(RunState& st, const Instr& i, const BatPtr& base,
+                       const CandidateList* domain) {
+  if (st.recycler == nullptr || domain != nullptr ||
+      st.load_names == nullptr) {
+    return false;
+  }
+  if (i.src0 < 0 ||
+      i.src0 >= static_cast<int>(st.load_names->size())) {
+    return false;
+  }
+  const std::string& name = (*st.load_names)[static_cast<size_t>(i.src0)];
+  if (name.empty()) return false;
+  SelectPredicate pred;
+  if (!SelectPredicate::FromInstr(i, name, &pred)) return false;
+  bool subsumed = false;
+  std::shared_ptr<const CandidateList> cached =
+      st.recycler->LookupCandidates(st.recycler_gen, pred, &subsumed);
+  if (cached != nullptr && !subsumed) {
+    // Exact replay: no scan at all.
+    TrackKernelOp(KernelOp::kSelect, 0, cached->size());
+    TrackCandidateOp();
+    TrackCandidateCacheHit();
+    PutCandPtr(st, i.dst, base, std::move(cached));
+    return true;
+  }
+  const CandidateList* seed = cached.get();
+  const auto start = std::chrono::steady_clock::now();
+  CandidateList out;
+  switch (i.op) {
+    case OpCode::kSelectEq:
+      out = SelectEqCand(*base, i.imm0, seed, st.mx,
+                         TailZonesFor(st, base.get()));
+      break;
+    case OpCode::kSelectCmp:
+      out = SelectCmpCand(*base, i.cmp_op, i.imm0, seed, st.mx,
+                          TailZonesFor(st, base.get()));
+      break;
+    case OpCode::kSelectRange:
+      out = SelectRangeCand(*base, i.imm0, i.imm1, i.flag0, i.flag1, seed,
+                            st.mx, TailZonesFor(st, base.get()));
+      break;
+    default:
+      return false;
+  }
+  const uint64_t micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  if (subsumed) TrackCandidateSubsumptionHit();
+  if (!out.is_dense()) {
+    st.mx.Charge(static_cast<uint64_t>(out.size()) * sizeof(uint32_t));
+  }
+  auto list = std::make_shared<const CandidateList>(std::move(out));
+  // An aborted kernel (deadline/budget) may have stopped mid-scan; its
+  // partial list must never be published.
+  if (!st.mx.Aborted()) {
+    st.recycler->InsertCandidates(st.recycler_gen, pred, list, micros);
+  }
+  PutCandPtr(st, i.dst, base, std::move(list));
+  return true;
+}
+
 /// Executes one instruction against the register file. The selection
 /// family produces candidate views; everything else is a pipeline breaker
 /// that materializes its inputs.
@@ -467,6 +557,7 @@ base::Status ExecInstr(RunState& st, const Instr& i) {
     const CandidateList* domain = cands.get();
     switch (i.op) {
       case OpCode::kSelectEq:
+        if (TryRecycledSelect(st, i, base, domain)) return base::Status::Ok();
         PutCand(st, i.dst, base,
                 SelectEqCand(*base, i.imm0, domain, st.mx,
                              TailZonesFor(st, base.get())));
@@ -476,11 +567,13 @@ base::Status ExecInstr(RunState& st, const Instr& i) {
                 SelectNeqCand(*base, i.imm0, domain, st.mx));
         return base::Status::Ok();
       case OpCode::kSelectCmp:
+        if (TryRecycledSelect(st, i, base, domain)) return base::Status::Ok();
         PutCand(st, i.dst, base,
                 SelectCmpCand(*base, i.cmp_op, i.imm0, domain, st.mx,
                               TailZonesFor(st, base.get())));
         return base::Status::Ok();
       case OpCode::kSelectRange:
+        if (TryRecycledSelect(st, i, base, domain)) return base::Status::Ok();
         PutCand(st, i.dst, base,
                 SelectRangeCand(*base, i.imm0, i.imm1, i.flag0, i.flag1,
                                 domain, st.mx, TailZonesFor(st, base.get())));
@@ -1352,6 +1445,9 @@ base::Result<RunResult> ExecutionEngine::Run(const Program& program,
         std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
   }
 
+  // Outlives the branch below: st.load_names points into it.
+  std::vector<std::string> reg_load_names;
+
   // Shard-parallel path: the program fans out over the catalog's
   // oid-range sharding (instruction-ordered scatter/gather; shard and
   // morsel fan-out supply the parallelism instead of the DAG scheduler).
@@ -1397,6 +1493,31 @@ base::Result<RunResult> ExecutionEngine::Run(const Program& program,
       MIRROR_RETURN_IF_ERROR(GatherReg(sst, program.result_reg()));
     }
   } else {
+    // Arm the recycler (unsharded only): map each register to the name
+    // of its sole kLoadNamed writer, so selects over base BATs can key
+    // predicate cache entries. Multi-writer registers (non-SSA programs)
+    // stay unmapped and bypass the cache.
+    if (options_.recycle && options_.recycler != nullptr &&
+        options_.use_candidates) {
+      const size_t num_regs = static_cast<size_t>(program.num_regs());
+      reg_load_names.assign(num_regs, std::string());
+      std::vector<int> writers(num_regs, 0);
+      for (const Instr& ins : program.instrs()) {
+        if (ins.dst >= 0 && ins.dst < static_cast<int>(num_regs)) {
+          ++writers[static_cast<size_t>(ins.dst)];
+        }
+      }
+      for (const Instr& ins : program.instrs()) {
+        if (ins.op == OpCode::kLoadNamed && ins.dst >= 0 &&
+            ins.dst < static_cast<int>(num_regs) &&
+            writers[static_cast<size_t>(ins.dst)] == 1) {
+          reg_load_names[static_cast<size_t>(ins.dst)] = ins.name;
+        }
+      }
+      st.recycler = options_.recycler;
+      st.recycler_gen = options_.recycler_generation;
+      st.load_names = &reg_load_names;
+    }
     // Auto thread counts back off to 1 when the plan has neither DAG
     // parallelism (width < 2) nor a morsel-eligible operator — on such
     // plans the scheduler and pool are pure overhead (the 1-core

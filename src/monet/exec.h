@@ -15,6 +15,10 @@
 #include "monet/mil.h"
 #include "monet/worker_pool.h"
 
+namespace mirror::monet {
+class Recycler;  // monet/recycler.h
+}  // namespace mirror::monet
+
 namespace mirror::monet::mil {
 
 /// Tuning knobs of the vectorized execution engine. Defaults adapt to
@@ -107,6 +111,20 @@ struct ExecOptions {
   /// daemon exposes it as `SET exec.memory_budget_bytes`. Peak usage per
   /// query is tracked in KernelStats.peak_query_bytes either way.
   uint64_t memory_budget_bytes = 0;
+  /// When true AND `recycler` is set, base-BAT selects with normalizable
+  /// interval predicates consult the server-wide recycler: an exact match
+  /// replays the cached candidate list, a subsuming cached predicate seeds
+  /// the select as a pre-filter domain, and misses publish their list for
+  /// future queries. The daemon exposes it as `SET exec.recycle`; results
+  /// stay bit-identical either way.
+  bool recycle = true;
+  /// The server-wide recycler, owned by MirrorDb; null runs without one
+  /// (direct engine users, the sharded path — shard-local candidate
+  /// positions don't compose across layouts).
+  Recycler* recycler = nullptr;
+  /// Recycler generation captured at query start (before any catalog
+  /// reads); lookups and inserts carrying a stale generation are refused.
+  uint64_t recycler_generation = 0;
 };
 
 /// One register during execution: a materialized BAT, an unmaterialized

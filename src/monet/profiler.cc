@@ -134,6 +134,12 @@ std::string KernelStats::ToString() const {
     out += base::StrFormat(" probeparts=%llu",
                            static_cast<unsigned long long>(probe_partitions));
   }
+  if (candidate_cache_hits > 0 || candidate_subsumption_hits > 0) {
+    out += base::StrFormat(
+        " recycled=%llu/%llu",
+        static_cast<unsigned long long>(candidate_cache_hits),
+        static_cast<unsigned long long>(candidate_subsumption_hits));
+  }
   return out;
 }
 
@@ -228,6 +234,21 @@ void TrackPeakQueryBytes(uint64_t bytes) {
   std::lock_guard<std::mutex> lock(StatsMutex());
   KernelStats& s = GlobalKernelStats();
   if (bytes > s.peak_query_bytes) s.peak_query_bytes = bytes;
+}
+
+void TrackCandidateCacheHit() {
+  std::lock_guard<std::mutex> lock(StatsMutex());
+  ++GlobalKernelStats().candidate_cache_hits;
+}
+
+void TrackCandidateSubsumptionHit() {
+  std::lock_guard<std::mutex> lock(StatsMutex());
+  ++GlobalKernelStats().candidate_subsumption_hits;
+}
+
+void TrackRecyclerBytesHeld(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(StatsMutex());
+  GlobalKernelStats().recycler_bytes_held = bytes;
 }
 
 KernelStats SnapshotKernelStats() {

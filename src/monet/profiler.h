@@ -83,6 +83,13 @@ struct KernelStats {
   /// High-water mark of any single query's approximate materialized bytes
   /// (MorselExec memory accounting) since the last Reset.
   uint64_t peak_query_bytes = 0;
+  /// Recycler accounting: selects answered from a cached candidate list
+  /// (exact predicate match), selects seeded by a cached *subsuming*
+  /// predicate's list as a pre-filter domain, and the gauge of bytes the
+  /// recycler currently holds (set, not accumulated).
+  uint64_t candidate_cache_hits = 0;
+  uint64_t candidate_subsumption_hits = 0;
+  uint64_t recycler_bytes_held = 0;
 
   /// Total operator invocations across all families.
   uint64_t TotalOps() const;
@@ -160,6 +167,15 @@ void TrackProbePartitions(uint64_t partitions);
 /// Raises the peak per-query memory high-water mark to `bytes` if larger
 /// (called once per query with its final charged total).
 void TrackPeakQueryBytes(uint64_t bytes);
+
+/// Records one select answered entirely from a recycled candidate list.
+void TrackCandidateCacheHit();
+
+/// Records one select seeded by a subsuming cached predicate's list.
+void TrackCandidateSubsumptionHit();
+
+/// Sets the recycler bytes-held gauge (absolute value, not a delta).
+void TrackRecyclerBytesHeld(uint64_t bytes);
 
 /// Consistent copy of the process-wide counters (taken under the stats
 /// mutex — safe to call while kernels run).

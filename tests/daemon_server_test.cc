@@ -298,7 +298,12 @@ TEST(QueryServerTest, QueryErrorsComeBackAsErrorFramesAndSessionSurvives) {
 
 TEST(QueryServerTest, EightConcurrentSessionsAreBitIdenticalToDirect) {
   db::MirrorDb* database = SharedDb();
-  QueryServer server(database);
+  // Recycler off: this test pins the plan-cache layer underneath it —
+  // result-cache replays would satisfy repeats without ever re-hitting
+  // a session's compiled plan (daemon_recycler_test covers that path).
+  QueryServer::Options options;
+  options.query.exec.recycle = false;
+  QueryServer server(database, options);
   constexpr int kSessions = 8;
   constexpr int kRounds = 6;
 
@@ -410,7 +415,12 @@ TEST(QueryServerTest, EightConcurrentSessionsAreBitIdenticalToDirect) {
 
 TEST(QueryServerTest, ConcurrentIdenticalQueriesCoalesce) {
   db::MirrorDb* database = SharedDb();
-  QueryServer server(database);
+  // Recycler off: once the first execution lands in the result cache,
+  // later identical queries replay it without ever coalescing — this
+  // test pins the in-flight sharing layer the recycler sits above.
+  QueryServer::Options options;
+  options.query.exec.recycle = false;
+  QueryServer server(database, options);
   constexpr int kClients = 4;
   constexpr int kRounds = 12;
   const std::string query =
@@ -546,7 +556,12 @@ TEST(QueryServerTest, TruncatedFrameDropsConnectionServerSurvives) {
 TEST(QueryServerTest, LoadInvalidatesEveryLiveSession) {
   db::MirrorDb database;
   BuildDb(&database, /*seed=*/7, /*catalog_rows=*/4000);
-  QueryServer server(&database);
+  // Recycler off: every session must COMPILE the query (plan_cache_size
+  // below), not replay another session's cached reply. The recycler's
+  // own Load invalidation is covered by daemon_recycler_test.
+  QueryServer::Options options;
+  options.query.exec.recycle = false;
+  QueryServer server(&database, options);
 
   std::vector<std::unique_ptr<wire::WireClient>> clients;
   for (int c = 0; c < 2; ++c) {
@@ -607,7 +622,13 @@ TEST(QueryServerTest, LoadInvalidatesEveryLiveSession) {
 
 TEST(QueryServerTest, SetOverridesAreIsolatedPerSession) {
   db::MirrorDb* database = SharedDb();
-  QueryServer server(database);
+  // Recycler off: the fan-out probes below need each tenant's query to
+  // actually EXECUTE under that tenant's options — a cached replay from
+  // a previous run against the shared db would show zero kernel work
+  // (daemon_recycler_test covers the cached path).
+  QueryServer::Options options;
+  options.query.exec.recycle = false;
+  QueryServer server(database, options);
 
   auto [ca, sa] = wire::CreateChannelPair();
   auto [cb, sb] = wire::CreateChannelPair();

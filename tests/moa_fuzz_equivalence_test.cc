@@ -5,10 +5,12 @@
 // forced on via a tiny morsel size, with fused aggregation switched
 // off, with the pre-radix legacy join, with radix joins forced onto
 // multiple partitions, with the program fanned out over 2- and
-// 4-way oid-range shardings of the catalog, and with zone-map +
-// top-k pruning switched off — all produce identical results (a
-// 10-way check): the architecture's central theorem, probed far
-// beyond the hand-written cases. The getBL ranking patterns flatten
+// 4-way oid-range shardings of the catalog, with zone-map +
+// top-k pruning switched off, and with the recycler's candidate cache
+// on (every query re-run hot, interleaved with catalog mutations that
+// fence it) — all produce identical results (an 11-way check): the
+// architecture's central theorem, probed far beyond the hand-written
+// cases. The getBL ranking patterns flatten
 // to join-heavy MIL, so the join and shard modes run over genuine
 // multi-join plans with both shard-local and broadcast build sides;
 // a coin flip wraps them in a truncated topN ranking so the WAND
@@ -28,6 +30,7 @@
 #include "monet/bat_ops.h"
 #include "monet/exec.h"
 #include "monet/mil.h"
+#include "monet/recycler.h"
 
 namespace mirror::moa {
 namespace {
@@ -241,6 +244,8 @@ struct EngineMode {
   size_t num_shards = 0;
   bool zone_maps = true;
   bool topk_prune = true;
+  /// Consult/populate a test-scoped Recycler for select candidates.
+  bool recycle = false;
 };
 
 constexpr EngineMode kEngineModes[] = {
@@ -277,12 +282,20 @@ constexpr EngineMode kEngineModes[] = {
     // threshold offers race across shards.)
     {"engine-4-threads-unpruned", true, 4, 257, true, true, 0, 0, false,
      false},
+    // The recycler's candidate cache on, with tiny morsels: selects
+    // replay or get seeded from previously cached candidate lists (the
+    // main loop runs this mode hot — every query twice — and fences the
+    // recycler around the mid-run catalog mutation).
+    {"engine-4-threads-recycler", true, 4, 257, true, true, 0, 0, true,
+     true, true},
 };
 
 std::map<Oid, double> RunFlat(const Database& db, const QueryContext& ctx,
                               const ExprPtr& expr, bool optimize,
                               const EngineMode& mode,
-                              monet::mil::ExecutionContext* session) {
+                              monet::mil::ExecutionContext* session,
+                              monet::Recycler* recycler = nullptr,
+                              int* eligible_selects = nullptr) {
   ExprPtr logical = expr;
   OptimizerReport report;
   if (optimize) logical = RewriteLogical(logical, &report);
@@ -296,6 +309,9 @@ std::map<Oid, double> RunFlat(const Database& db, const QueryContext& ctx,
   }
   monet::mil::Program prog = program.TakeValue();
   if (optimize) OptimizeMil(&prog, &report);
+  if (optimize && eligible_selects != nullptr) {
+    *eligible_selects += report.recycle_eligible_selects;
+  }
   base::Result<monet::mil::RunResult> run =
       base::Status::Internal("unreachable");
   if (mode.use_engine) {
@@ -309,7 +325,13 @@ std::map<Oid, double> RunFlat(const Database& db, const QueryContext& ctx,
                                 .radix_partitions = mode.radix_partitions,
                                 .num_shards = mode.num_shards,
                                 .zone_maps = mode.zone_maps,
-                                .topk_prune = mode.topk_prune});
+                                .topk_prune = mode.topk_prune,
+                                .recycle = mode.recycle,
+                                .recycler = mode.recycle ? recycler : nullptr,
+                                .recycler_generation =
+                                    (mode.recycle && recycler != nullptr)
+                                        ? recycler->generation()
+                                        : 0});
     run = engine.Run(prog, session);
   } else {
     run = monet::mil::Executor(&db.catalog()).Run(prog);
@@ -359,7 +381,20 @@ TEST_P(FuzzEquivalenceTest, NaiveAndFlattenedAgreeOnRandomQueries) {
   ctx.Bind("query", binding);
 
   monet::mil::ExecutionContext session;
+  // One recycler shared by the whole seed: entries cached by query q are
+  // live for query q+1, exactly as the server-wide instance behaves.
+  monet::Recycler recycler;
+  int eligible_selects = 0;
   for (int q = 0; q < 12; ++q) {
+    if (q == 6) {
+      // Mid-run catalog mutation: delta tails grow under the cached
+      // candidate lists. The MirrorDb write path fences the recycler
+      // around every mutation; this test holds the same contract, and
+      // the remaining 6 queries prove the fence suffices — the hot
+      // re-runs below would otherwise replay stale positions.
+      IntroduceDeltaTails(&db, &rng);
+      recycler.Fence();
+    }
     std::string untruncated;
     std::string text = RandomQuery(&rng, weighted, &untruncated);
     SCOPED_TRACE(text);
@@ -383,7 +418,21 @@ TEST_P(FuzzEquivalenceTest, NaiveAndFlattenedAgreeOnRandomQueries) {
     for (const EngineMode& mode : kEngineModes) {
       SCOPED_TRACE(mode.label);
       for (bool optimize : {true, false}) {
-        auto flat = RunFlat(db, ctx, expr.value(), optimize, mode, &session);
+        auto flat = RunFlat(db, ctx, expr.value(), optimize, mode, &session,
+                            &recycler, &eligible_selects);
+        if (mode.recycle) {
+          // Hot re-run: the second execution replays / is seeded by the
+          // candidate lists the first one just published, and must be
+          // EXACTLY the first result — same rows, same score bits.
+          auto hot = RunFlat(db, ctx, expr.value(), optimize, mode,
+                             &session, &recycler);
+          ASSERT_EQ(flat.size(), hot.size()) << "optimize=" << optimize;
+          for (const auto& [oid, score] : flat) {
+            ASSERT_TRUE(hot.count(oid)) << "oid " << oid;
+            ASSERT_EQ(hot.at(oid), score)
+                << "recycled run diverged at oid " << oid;
+          }
+        }
         ASSERT_EQ(naive.size(), flat.size()) << "optimize=" << optimize;
         if (untruncated.empty()) {
           for (const auto& [oid, score] : naive) {
@@ -416,6 +465,13 @@ TEST_P(FuzzEquivalenceTest, NaiveAndFlattenedAgreeOnRandomQueries) {
   // The session's flatten-level plan cache must have been exercised: the
   // three modes compile the same (expr, bindings) pairs.
   EXPECT_GT(session.plan_cache_hits(), 0u);
+  // And whenever the optimizer reported recyclable selects, the hot
+  // re-runs above must actually have reused cached candidate lists.
+  if (eligible_selects > 0) {
+    monet::RecyclerStats rs = recycler.stats();
+    EXPECT_GT(rs.candidate_hits + rs.candidate_subsumption_hits, 0u)
+        << eligible_selects << " recycle-eligible selects never hit";
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalenceTest,

@@ -1,0 +1,357 @@
+// The recycler's contracts in isolation: predicate normalization must
+// refuse anything whose double-space interval is unsound (kSelectNeq,
+// strings, int64 literals past 2^53, non-finite doubles), subsumption
+// must respect inclusivity at shared endpoints, generation fencing must
+// make both stale lookups and stale inserts impossible, and the
+// cost x frequency admission policy must hold bytes under the budget
+// while keeping hot entries over cold ones — including across a fence,
+// which drops entries but not popularity.
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "monet/bat_ops.h"
+#include "monet/candidate.h"
+#include "monet/mil.h"
+#include "monet/recycler.h"
+#include "monet/value.h"
+
+namespace mirror::monet {
+namespace {
+
+namespace mil = monet::mil;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+mil::Instr SelectEq(Value v) {
+  mil::Instr i;
+  i.op = mil::OpCode::kSelectEq;
+  i.imm0 = std::move(v);
+  return i;
+}
+
+mil::Instr SelectCmp(CmpOp op, Value v) {
+  mil::Instr i;
+  i.op = mil::OpCode::kSelectCmp;
+  i.cmp_op = op;
+  i.imm0 = std::move(v);
+  return i;
+}
+
+mil::Instr SelectRange(Value lo, Value hi, bool lo_incl, bool hi_incl) {
+  mil::Instr i;
+  i.op = mil::OpCode::kSelectRange;
+  i.imm0 = std::move(lo);
+  i.imm1 = std::move(hi);
+  i.flag0 = lo_incl;
+  i.flag1 = hi_incl;
+  return i;
+}
+
+SelectPredicate Pred(const std::string& bat, double lo, double hi,
+                     bool lo_incl = true, bool hi_incl = true) {
+  SelectPredicate p;
+  p.bat = bat;
+  p.lo = lo;
+  p.hi = hi;
+  p.lo_incl = lo_incl;
+  p.hi_incl = hi_incl;
+  return p;
+}
+
+std::shared_ptr<const std::vector<uint8_t>> Payload(size_t n, uint8_t fill) {
+  return std::make_shared<const std::vector<uint8_t>>(n, fill);
+}
+
+std::shared_ptr<const CandidateList> Cands(std::vector<uint32_t> positions) {
+  return std::make_shared<const CandidateList>(
+      CandidateList::FromPositions(std::move(positions)));
+}
+
+// -- Predicate normalization. ------------------------------------------------
+
+TEST(SelectPredicateTest, NormalizesEveryIntervalShape) {
+  SelectPredicate p;
+  ASSERT_TRUE(SelectPredicate::FromInstr(SelectEq(Value::MakeInt(7)), "age", &p));
+  EXPECT_EQ(p.bat, "age");
+  EXPECT_EQ(p.lo, 7.0);
+  EXPECT_EQ(p.hi, 7.0);
+  EXPECT_TRUE(p.lo_incl);
+  EXPECT_TRUE(p.hi_incl);
+
+  ASSERT_TRUE(SelectPredicate::FromInstr(SelectCmp(CmpOp::kLt, Value::MakeDbl(2.5)),
+                                         "score", &p));
+  EXPECT_EQ(p.lo, -kInf);
+  EXPECT_EQ(p.hi, 2.5);
+  EXPECT_FALSE(p.hi_incl);
+
+  ASSERT_TRUE(SelectPredicate::FromInstr(SelectCmp(CmpOp::kLe, Value::MakeInt(9)),
+                                         "score", &p));
+  EXPECT_EQ(p.hi, 9.0);
+  EXPECT_TRUE(p.hi_incl);
+
+  ASSERT_TRUE(SelectPredicate::FromInstr(SelectCmp(CmpOp::kGt, Value::MakeInt(30)),
+                                         "age", &p));
+  EXPECT_EQ(p.lo, 30.0);
+  EXPECT_FALSE(p.lo_incl);
+  EXPECT_EQ(p.hi, kInf);
+
+  ASSERT_TRUE(SelectPredicate::FromInstr(SelectCmp(CmpOp::kGe, Value::MakeInt(30)),
+                                         "age", &p));
+  EXPECT_TRUE(p.lo_incl);
+
+  ASSERT_TRUE(SelectPredicate::FromInstr(
+      SelectRange(Value::MakeInt(10), Value::MakeInt(20), true, false), "age", &p));
+  EXPECT_EQ(p.lo, 10.0);
+  EXPECT_EQ(p.hi, 20.0);
+  EXPECT_TRUE(p.lo_incl);
+  EXPECT_FALSE(p.hi_incl);
+}
+
+TEST(SelectPredicateTest, RefusesUnsoundShapes) {
+  SelectPredicate p;
+  // Not-equal is not an interval.
+  EXPECT_FALSE(SelectPredicate::FromInstr(
+      SelectCmp(CmpOp::kNeq, Value::MakeInt(5)), "age", &p));
+  // Strings are compared in string space, not double space.
+  EXPECT_FALSE(
+      SelectPredicate::FromInstr(SelectEq(Value::MakeStr("bob")), "name", &p));
+  // An int64 past 2^53 does not round-trip through double: two distinct
+  // literals could collapse onto one interval key.
+  const int64_t big = (int64_t{1} << 53) + 1;
+  EXPECT_FALSE(SelectPredicate::FromInstr(SelectEq(Value::MakeInt(big)), "id", &p));
+  // The exact power of two itself is fine.
+  EXPECT_TRUE(SelectPredicate::FromInstr(
+      SelectEq(Value::MakeInt(int64_t{1} << 53)), "id", &p));
+  // Non-finite double bounds are refused.
+  EXPECT_FALSE(SelectPredicate::FromInstr(
+      SelectEq(Value::MakeDbl(std::numeric_limits<double>::quiet_NaN())), "x",
+      &p));
+  EXPECT_FALSE(
+      SelectPredicate::FromInstr(SelectEq(Value::MakeDbl(kInf)), "x", &p));
+}
+
+TEST(SelectPredicateTest, SubsumptionRespectsInclusivity) {
+  // Strict containment.
+  EXPECT_TRUE(Pred("a", 40, kInf).SubsumedBy(Pred("a", 30, kInf)));
+  EXPECT_FALSE(Pred("a", 30, kInf).SubsumedBy(Pred("a", 40, kInf)));
+  // Same interval subsumes itself.
+  EXPECT_TRUE(Pred("a", 10, 20).SubsumedBy(Pred("a", 10, 20)));
+  // Equal endpoint: inclusive narrow end needs an inclusive wide end.
+  EXPECT_FALSE(
+      Pred("a", 10, 20, true, true).SubsumedBy(Pred("a", 10, 20, false, true)));
+  EXPECT_TRUE(
+      Pred("a", 10, 20, false, true).SubsumedBy(Pred("a", 10, 20, true, true)));
+  EXPECT_FALSE(
+      Pred("a", 10, 20, true, true).SubsumedBy(Pred("a", 10, 20, true, false)));
+  EXPECT_TRUE(
+      Pred("a", 10, 20, true, false).SubsumedBy(Pred("a", 10, 20, true, true)));
+  // Different base BATs never subsume.
+  EXPECT_FALSE(Pred("a", 40, 50).SubsumedBy(Pred("b", 0, 100)));
+}
+
+TEST(SelectPredicateTest, IntervalKeySeparatesInclusivity) {
+  EXPECT_NE(Pred("a", 10, 20, true, true).IntervalKey(),
+            Pred("a", 10, 20, false, true).IntervalKey());
+  EXPECT_NE(Pred("a", 10, 20, true, true).IntervalKey(),
+            Pred("a", 10, 20, true, false).IntervalKey());
+  EXPECT_EQ(Pred("a", 10, 20).IntervalKey(), Pred("b", 10, 20).IntervalKey())
+      << "bat name is bucketed separately, not part of the interval key";
+}
+
+// -- Result section. ---------------------------------------------------------
+
+TEST(RecyclerTest, ResultRoundTripIsBitIdentical) {
+  Recycler r;
+  const uint64_t gen = r.generation();
+  auto payload = Payload(1000, 0xAB);
+  r.InsertResult(gen, "q1", payload, 500);
+  auto hit = r.LookupResult(gen, "q1");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), payload.get()) << "the very same bytes, not a copy";
+  EXPECT_EQ(r.LookupResult(gen, "q2"), nullptr);
+  RecyclerStats s = r.stats();
+  EXPECT_EQ(s.result_hits, 1u);
+  EXPECT_EQ(s.result_misses, 1u);
+  EXPECT_EQ(s.result_entries, 1u);
+  EXPECT_GT(s.bytes_held, 1000u);
+}
+
+TEST(RecyclerTest, StaleGenerationNeitherServesNorAdmits) {
+  Recycler r;
+  const uint64_t old_gen = r.generation();
+  r.InsertResult(old_gen, "q1", Payload(100, 1), 10);
+  r.Fence();
+  // The entry is gone and the old generation can do nothing.
+  EXPECT_EQ(r.LookupResult(old_gen, "q1"), nullptr);
+  EXPECT_EQ(r.LookupResult(r.generation(), "q1"), nullptr);
+  r.InsertResult(old_gen, "q2", Payload(100, 2), 10);
+  EXPECT_EQ(r.LookupResult(r.generation(), "q2"), nullptr)
+      << "an execution that started before the fence must not publish";
+  EXPECT_EQ(r.stats().result_entries, 0u);
+  EXPECT_EQ(r.stats().bytes_held, 0u);
+  EXPECT_GE(r.stats().invalidations, 1u);
+}
+
+TEST(RecyclerTest, FenceAdvancesGenerationTwicePerMutation) {
+  Recycler r;
+  const uint64_t g0 = r.generation();
+  // The mutation protocol fences before and after the apply window.
+  const uint64_t g1 = r.Fence();
+  const uint64_t g2 = r.Fence();
+  EXPECT_EQ(g1, g0 + 1);
+  EXPECT_EQ(g2, g0 + 2);
+  EXPECT_EQ(r.generation(), g2);
+}
+
+TEST(RecyclerTest, BudgetIsAHardCeiling) {
+  Recycler r(/*budget_bytes=*/4096);
+  const uint64_t gen = r.generation();
+  for (int i = 0; i < 50; ++i) {
+    r.InsertResult(gen, "q" + std::to_string(i), Payload(300, uint8_t(i)), 10);
+    EXPECT_LE(r.stats().bytes_held, 4096u);
+  }
+  RecyclerStats s = r.stats();
+  EXPECT_LE(s.bytes_held, 4096u);
+  EXPECT_GT(s.evictions + s.admissions_rejected, 0u)
+      << "50 x ~428-byte entries cannot all fit in 4096 bytes";
+}
+
+TEST(RecyclerTest, HotEntriesDisplaceColdOnesButNotViceVersa) {
+  Recycler r(/*budget_bytes=*/1200);
+  const uint64_t gen = r.generation();
+  // Make "hot" popular before it is ever admitted (misses count).
+  for (int i = 0; i < 10; ++i) r.LookupResult(gen, "hot");
+  // Two cold entries fill the budget (each ~431 bytes).
+  r.InsertResult(gen, "cold1", Payload(300, 1), 10);
+  r.InsertResult(gen, "cold2", Payload(300, 2), 10);
+  ASSERT_EQ(r.stats().result_entries, 2u);
+  // The hot entry displaces a cold one.
+  r.InsertResult(gen, "hot", Payload(300, 3), 10);
+  EXPECT_NE(r.LookupResult(gen, "hot"), nullptr);
+  EXPECT_GE(r.stats().evictions, 1u);
+  // A fresh cold entry cannot displace the hot one: the remaining cold
+  // entry and the newcomer tie, and ties do not evict.
+  const uint64_t rejected_before = r.stats().admissions_rejected;
+  r.InsertResult(gen, "cold3", Payload(300, 4), 10);
+  EXPECT_NE(r.LookupResult(gen, "hot"), nullptr);
+  EXPECT_GT(r.stats().admissions_rejected, rejected_before);
+}
+
+TEST(RecyclerTest, PopularitySurvivesTheFence) {
+  Recycler r(/*budget_bytes=*/1200);
+  uint64_t gen = r.generation();
+  for (int i = 0; i < 10; ++i) r.LookupResult(gen, "hot");
+  gen = r.Fence();
+  // After the fence the cache is empty but "hot" is still hot: admitted
+  // entries carry the surviving frequency, so it displaces cold ones.
+  r.InsertResult(gen, "cold1", Payload(300, 1), 10);
+  r.InsertResult(gen, "cold2", Payload(300, 2), 10);
+  r.InsertResult(gen, "hot", Payload(300, 3), 10);
+  EXPECT_NE(r.LookupResult(gen, "hot"), nullptr);
+  EXPECT_GE(r.stats().evictions, 1u);
+}
+
+TEST(RecyclerTest, ShrinkingTheBudgetEvictsDownToFit) {
+  Recycler r;
+  const uint64_t gen = r.generation();
+  for (int i = 0; i < 8; ++i) {
+    r.InsertResult(gen, "q" + std::to_string(i), Payload(1000, uint8_t(i)),
+                   10);
+  }
+  ASSERT_EQ(r.stats().result_entries, 8u);
+  r.set_budget_bytes(2500);
+  EXPECT_LE(r.stats().bytes_held, 2500u);
+  EXPECT_LT(r.stats().result_entries, 8u);
+  EXPECT_EQ(r.budget_bytes(), 2500u);
+}
+
+TEST(RecyclerTest, DuplicateInsertKeepsTheIncumbent) {
+  Recycler r;
+  const uint64_t gen = r.generation();
+  auto first = Payload(100, 1);
+  r.InsertResult(gen, "q", first, 10);
+  r.InsertResult(gen, "q", Payload(100, 2), 10);
+  auto hit = r.LookupResult(gen, "q");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), first.get());
+}
+
+// -- Candidate section. ------------------------------------------------------
+
+TEST(RecyclerTest, CandidateExactMatchReplays) {
+  Recycler r;
+  const uint64_t gen = r.generation();
+  auto list = Cands({1, 5, 9});
+  r.InsertCandidates(gen, Pred("age", 30, kInf, false, true), list, 100);
+  bool subsumed = true;
+  auto hit =
+      r.LookupCandidates(gen, Pred("age", 30, kInf, false, true), &subsumed);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), list.get());
+  EXPECT_FALSE(subsumed);
+  RecyclerStats s = r.stats();
+  EXPECT_EQ(s.candidate_hits, 1u);
+  EXPECT_EQ(s.candidate_entries, 1u);
+}
+
+TEST(RecyclerTest, SubsumptionServesTheSmallestSuperset) {
+  Recycler r;
+  const uint64_t gen = r.generation();
+  auto wide = Cands({1, 2, 3, 4, 5, 6, 7, 8});
+  auto tight = Cands({4, 5, 6});
+  r.InsertCandidates(gen, Pred("age", 0, kInf), wide, 100);
+  r.InsertCandidates(gen, Pred("age", 30, 60), tight, 100);
+  bool subsumed = false;
+  // [40, 50] is contained in both; the smaller list wins.
+  auto hit = r.LookupCandidates(gen, Pred("age", 40, 50), &subsumed);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(subsumed);
+  EXPECT_EQ(hit.get(), tight.get());
+  EXPECT_EQ(r.stats().candidate_subsumption_hits, 1u);
+  // A predicate contained in neither misses.
+  subsumed = true;
+  EXPECT_EQ(r.LookupCandidates(gen, Pred("other", 40, 50), &subsumed),
+            nullptr);
+  EXPECT_FALSE(subsumed);
+}
+
+TEST(RecyclerTest, SubsumptionHonorsInclusivityAtTheEdge) {
+  Recycler r;
+  const uint64_t gen = r.generation();
+  // Cached: age > 30 (exclusive lower bound).
+  r.InsertCandidates(gen, Pred("age", 30, kInf, false, true), Cands({1, 2}),
+                     100);
+  bool subsumed = false;
+  // age >= 30 includes 30 itself, which the cached list may lack.
+  EXPECT_EQ(r.LookupCandidates(gen, Pred("age", 30, kInf, true, true),
+                               &subsumed),
+            nullptr);
+  // age > 40 is strictly inside.
+  EXPECT_NE(r.LookupCandidates(gen, Pred("age", 40, kInf, false, true),
+                               &subsumed),
+            nullptr);
+  EXPECT_TRUE(subsumed);
+}
+
+TEST(RecyclerTest, FenceDropsCandidatesToo) {
+  Recycler r;
+  const uint64_t gen = r.generation();
+  r.InsertCandidates(gen, Pred("age", 0, 10), Cands({1}), 100);
+  r.Fence();
+  bool subsumed = false;
+  EXPECT_EQ(r.LookupCandidates(r.generation(), Pred("age", 0, 10), &subsumed),
+            nullptr);
+  EXPECT_EQ(r.stats().candidate_entries, 0u);
+  r.InsertCandidates(gen, Pred("age", 0, 10), Cands({1}), 100);
+  EXPECT_EQ(r.stats().candidate_entries, 0u)
+      << "stale-generation candidate insert must be refused";
+}
+
+}  // namespace
+}  // namespace mirror::monet
