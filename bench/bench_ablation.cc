@@ -151,13 +151,13 @@ StageResult MeasureStages(const db::MirrorDb& database,
   }
   StageResult out{prog.instrs().size(), 0, 1e100};
   for (int r = 0; r < 3; ++r) {
-    monet::GlobalKernelStats().Reset();
+    monet::ResetKernelStats();
     base::Stopwatch sw;
     auto run =
         monet::mil::Executor(&database.logical().catalog()).Run(prog);
     MIRROR_CHECK(run.ok()) << run.status().ToString();
     out.ms = std::min(out.ms, sw.ElapsedMillis());
-    out.tuples = monet::GlobalKernelStats().tuples_in;
+    out.tuples = monet::SnapshotKernelStats().tuples_in;
   }
   return out;
 }

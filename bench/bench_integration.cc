@@ -52,12 +52,12 @@ Measurement MeasureQuery(const MirrorDb& db, const moa::QueryContext& ctx,
                          const std::string& query) {
   Measurement m;
   for (int r = 0; r < 3; ++r) {
-    monet::GlobalKernelStats().Reset();
+    monet::ResetKernelStats();
     base::Stopwatch sw;
     auto result = db.Query(query, ctx);
     MIRROR_CHECK(result.ok()) << result.status().ToString();
     m.ms = std::min(m.ms, sw.ElapsedMillis());
-    m.tuples = monet::GlobalKernelStats().tuples_in;
+    m.tuples = monet::SnapshotKernelStats().tuples_in;
   }
   return m;
 }

@@ -54,13 +54,13 @@ Measurement Measure(const MirrorDb& db, const moa::QueryContext& ctx,
   options.optimize = optimize;
   Measurement m{1e100, 0, 0};
   for (int r = 0; r < 3; ++r) {
-    monet::GlobalKernelStats().Reset();
+    monet::ResetKernelStats();
     base::Stopwatch sw;
     auto result = db.Query(query, ctx, options);
     MIRROR_CHECK(result.ok()) << result.status().ToString();
     m.ms = std::min(m.ms, sw.ElapsedMillis());
-    m.ops = monet::GlobalKernelStats().TotalOps();
-    m.tuples = monet::GlobalKernelStats().tuples_in;
+    m.ops = monet::SnapshotKernelStats().TotalOps();
+    m.tuples = monet::SnapshotKernelStats().tuples_in;
   }
   return m;
 }

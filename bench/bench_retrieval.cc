@@ -25,6 +25,7 @@
 #include "ir/synthetic_text.h"
 #include "mirror/mirror_db.h"
 #include "monet/profiler.h"
+#include "monet/trace.h"
 #include "monet/zone_map.h"
 
 namespace {
@@ -261,10 +262,10 @@ AggComparison RunE3d(db::MirrorDb* database) {
   // Profiler gate: the fused run performs zero Materialize() calls.
   {
     mil::ExecutionContext session;
-    monet::GlobalKernelStats().Reset();
+    monet::ResetKernelStats();
     auto result = run_once(fused4, &session);
     MIRROR_CHECK(result.bat != nullptr);
-    monet::KernelStats stats = monet::GlobalKernelStats();
+    monet::KernelStats stats = monet::SnapshotKernelStats();
     out.fused_materialize_calls = stats.materializations;
     out.fused_agg_ops = stats.fused_agg_ops;
     std::printf("fused-run profiler: %s\n\n", stats.ToString().c_str());
@@ -426,10 +427,10 @@ JoinComparison RunE3e(db::MirrorDb* database, int catalog_rows) {
   // genuinely partitions its build sides.
   {
     mil::ExecutionContext session;
-    monet::GlobalKernelStats().Reset();
+    monet::ResetKernelStats();
     auto result = run_once(radix4, &session);
     MIRROR_CHECK(result.bat != nullptr);
-    monet::KernelStats stats = monet::GlobalKernelStats();
+    monet::KernelStats stats = monet::SnapshotKernelStats();
     out.radix_materialize_calls = stats.materializations;
     out.radix_partitions = stats.radix_partitions;
     std::printf("radix-run profiler: %s\n\n", stats.ToString().c_str());
@@ -595,10 +596,10 @@ ShardComparison RunE3f(db::MirrorDb* database, int catalog_rows,
   // Profiler gate: genuinely fanned out, zero Materialize() calls.
   {
     mil::ExecutionContext session;
-    monet::GlobalKernelStats().Reset();
+    monet::ResetKernelStats();
     auto result = run_once(sharded4, &session);
     MIRROR_CHECK(result.bat != nullptr);
-    monet::KernelStats stats = monet::GlobalKernelStats();
+    monet::KernelStats stats = monet::SnapshotKernelStats();
     out.sharded_materialize_calls = stats.materializations;
     out.shard_fanouts = stats.shard_fanouts;
     out.shard_fanins = stats.shard_fanins;
@@ -968,14 +969,14 @@ RankingTopkComparison RunE5(db::MirrorDb* database, size_t num_shards) {
 
   // Profiler gate: the pruned batch must genuinely skip zone blocks.
   {
-    monet::GlobalKernelStats().Reset();
+    monet::ResetKernelStats();
     mil::ExecutionContext session;
     for (int term : stream) {
       auto result = run_once(plans[static_cast<size_t>(term)], pruned,
                              &session);
       MIRROR_CHECK(result.bat != nullptr);
     }
-    monet::KernelStats stats = monet::GlobalKernelStats();
+    monet::KernelStats stats = monet::SnapshotKernelStats();
     out.zone_blocks_skipped = stats.zone_blocks_skipped;
     out.topk_morsels_pruned = stats.topk_morsels_pruned;
     out.topk_shards_pruned = stats.topk_shards_pruned;
@@ -999,12 +1000,80 @@ RankingTopkComparison RunE5(db::MirrorDb* database, size_t num_shards) {
   return out;
 }
 
+// E6: the observability tax. With the knob off, per-instruction tracing
+// must cost exactly one untaken branch — the two "off" runs bracket the
+// "on" run so clock drift penalizes both directions, and their A/A ratio
+// doubles as the noise floor for the CI gate. With the knob on, every
+// span recording is a thread-local append: the traced run must stay
+// within a few percent of untraced.
+struct TraceOverheadComparison {
+  double off_a_ms = 0;   // knob off, first pass
+  double on_ms = 0;      // knob on, thread-local span recording
+  double off_b_ms = 0;   // knob off again (A/A noise floor vs off_a)
+  uint64_t spans = 0;    // spans the traced pass recorded per query
+};
+
+TraceOverheadComparison RunE9(const db::MirrorDb& database) {
+  TraceOverheadComparison out;
+  std::printf(
+      "\nE9: tracing overhead on the E3c ranking plan (engine 4T).\n\n");
+  moa::QueryContext ctx;
+  ctx.BindTerms("query", {"sun", "wave", "dune"});
+  const std::string query =
+      "map[sum(THIS)](map[getBL(THIS.doc, query, stats)]("
+      "select[THIS.year >= 1990 and THIS.year <= 2015 and "
+      "THIS.rating >= 20](Lib)));";
+  db::QueryOptions off;
+  off.exec.num_threads = 4;
+  db::QueryOptions on = off;
+  monet::QueryTrace trace;
+  on.exec.trace = true;
+  on.exec.trace_sink = &trace;
+
+  // One warm-up populates the plan cache; the timed samples interleave
+  // off-A / on / off-B round-robin (min-of-21 each) so clock drift and
+  // scheduler noise land on all three passes equally — the off A/A
+  // ratio then measures only the knob, not the weather.
+  monet::mil::ExecutionContext session;
+  auto warm = database.Query(query, ctx, off, &session);
+  MIRROR_CHECK(warm.ok()) << warm.status().ToString();
+  auto time_one = [&](const db::QueryOptions& options) {
+    base::Stopwatch sw;
+    auto result = database.Query(query, ctx, options, &session);
+    MIRROR_CHECK(result.ok()) << result.status().ToString();
+    return sw.ElapsedMillis();
+  };
+  out.off_a_ms = out.on_ms = out.off_b_ms = 1e100;
+  for (int r = 0; r < 21; ++r) {
+    out.off_a_ms = std::min(out.off_a_ms, time_one(off));
+    out.on_ms = std::min(out.on_ms, time_one(on));
+    out.off_b_ms = std::min(out.off_b_ms, time_one(off));
+  }
+  out.spans = trace.span_count();
+  MIRROR_CHECK(out.spans > 0) << "traced pass recorded no spans";
+
+  const double off_min = std::min(out.off_a_ms, out.off_b_ms);
+  base::TablePrinter table({"path", "ms", "vs off"});
+  auto row = [&](const char* name, double ms) {
+    table.AddRow({name, base::StrFormat("%.3f", ms),
+                  base::StrFormat("%.3fx", ms / off_min)});
+  };
+  row("trace off (pass A)", out.off_a_ms);
+  row("trace on", out.on_ms);
+  row("trace off (pass B)", out.off_b_ms);
+  table.Print();
+  std::printf("%llu spans per traced query\n",
+              static_cast<unsigned long long>(out.spans));
+  return out;
+}
+
 void WriteBenchJson(const EngineComparison& selection,
                     const EngineComparison& ranking,
                     const AggComparison& agg, const JoinComparison& join,
                     const ShardComparison& shard,
                     const ServeComparison& serve,
-                    const RankingTopkComparison& topk) {
+                    const RankingTopkComparison& topk,
+                    const TraceOverheadComparison& tover) {
   std::FILE* f = std::fopen("BENCH_retrieval.json", "w");
   if (f == nullptr) {
     std::printf("could not write BENCH_retrieval.json\n");
@@ -1108,13 +1177,31 @@ void WriteBenchJson(const EngineComparison& selection,
       "    \"zone_blocks_skipped\": %llu,\n"
       "    \"topk_morsels_pruned\": %llu,\n"
       "    \"topk_shards_pruned\": %llu\n"
-      "  }\n",
+      "  },\n",
       topk.rows, topk.terms, topk.queries, static_cast<long long>(topk.k),
       topk.unpruned_ms, topk.pruned_ms, topk.unpruned_ms / topk.pruned_ms,
       topk.recall_at_k,
       static_cast<unsigned long long>(topk.zone_blocks_skipped),
       static_cast<unsigned long long>(topk.topk_morsels_pruned),
       static_cast<unsigned long long>(topk.topk_shards_pruned));
+  // ci.sh gates both ratios: trace_off_aa_ratio is the noise floor
+  // (knob-off must be indistinguishable from knob-off), traced_vs_off
+  // bounds the cost of recording every span.
+  const double off_min = std::min(tover.off_a_ms, tover.off_b_ms);
+  const double off_max = std::max(tover.off_a_ms, tover.off_b_ms);
+  std::fprintf(
+      f,
+      "  \"trace_overhead_e9\": {\n"
+      "    \"trace_off_a_ms\": %.4f,\n"
+      "    \"trace_off_b_ms\": %.4f,\n"
+      "    \"trace_on_ms\": %.4f,\n"
+      "    \"spans_per_query\": %llu,\n"
+      "    \"trace_off_aa_ratio\": %.4f,\n"
+      "    \"traced_vs_off\": %.4f\n"
+      "  }\n",
+      tover.off_a_ms, tover.off_b_ms, tover.on_ms,
+      static_cast<unsigned long long>(tover.spans), off_max / off_min,
+      tover.on_ms / off_min);
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote BENCH_retrieval.json\n");
@@ -1211,6 +1298,7 @@ int main() {
   ShardComparison shard = RunE3f(&database, kCatalogRows, /*num_shards=*/8);
   ServeComparison serve = RunE4(&database);
   RankingTopkComparison topk = RunE5(&database, /*num_shards=*/8);
-  WriteBenchJson(selection, ranking, agg, join, shard, serve, topk);
+  TraceOverheadComparison tover = RunE9(database);
+  WriteBenchJson(selection, ranking, agg, join, shard, serve, topk, tover);
   return 0;
 }

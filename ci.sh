@@ -228,6 +228,32 @@ awk -v h="${E8_HELD}" -v b="${E8_BUDGET}" 'BEGIN { exit (h <= b) ? 0 : 1 }' || {
   exit 1
 }
 
+echo "== trace-overhead gate (E9, exec.trace on/off on the E3c ranking plan) =="
+# bench_retrieval times the warmed 4-thread ranking plan three times:
+# trace off, trace on, trace off again (min-of-9 each). The gates: the
+# two knob-off passes agree within 2% (the knob must cost one untaken
+# branch — this A/A ratio is also the noise floor of the measurement),
+# and the traced pass stays within 15% of the faster untraced pass.
+E9_AA=$(grep -m1 '"trace_off_aa_ratio"' build/BENCH_retrieval.json \
+            | awk -F': ' '{gsub(/[,[:space:]]/, "", $2); print $2}')
+E9_ON=$(grep -m1 '"traced_vs_off"' build/BENCH_retrieval.json \
+            | awk -F': ' '{gsub(/[,[:space:]]/, "", $2); print $2}')
+E9_SPANS=$(grep -m1 '"spans_per_query"' build/BENCH_retrieval.json \
+            | awk -F': ' '{gsub(/[,[:space:]]/, "", $2); print $2}')
+echo "trace off A/A: ${E9_AA}x, traced vs off: ${E9_ON}x (${E9_SPANS} spans/query)"
+awk -v r="${E9_AA}" 'BEGIN { exit (r <= 1.02) ? 0 : 1 }' || {
+  echo "FAIL: knob-off A/A ratio ${E9_AA}x exceeds the 1.02 bound"
+  exit 1
+}
+awk -v r="${E9_ON}" 'BEGIN { exit (r <= 1.15) ? 0 : 1 }' || {
+  echo "FAIL: traced run is ${E9_ON}x the untraced run (bound: 1.15x)"
+  exit 1
+}
+[ "${E9_SPANS}" != "0" ] || {
+  echo "FAIL: the traced pass recorded no spans"
+  exit 1
+}
+
 echo "== TSan: daemon concurrency (event loop, worker pool, chaos storm) =="
 # The event-driven connection layer is lock-order sensitive (loop_mu_ ->
 # mu_, the quiesce gate, the coalescing map) and the recycler fast path
@@ -242,11 +268,13 @@ if echo 'int main(){return 0;}' | g++ -fsanitize=thread -x c++ - -o /tmp/tsan_pr
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
   cmake --build build-tsan -j"${JOBS}" \
     --target daemon_server_test daemon_recovery_test daemon_chaos_test \
-    daemon_recycler_test
+    daemon_recycler_test daemon_observability_test monet_trace_test
   (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./daemon_server_test)
   (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./daemon_recovery_test)
   (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./daemon_chaos_test)
   (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./daemon_recycler_test)
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./daemon_observability_test)
+  (cd build-tsan && TSAN_OPTIONS="halt_on_error=1" ./monet_trace_test)
 else
   echo "libtsan unavailable: skipping the TSan job"
 fi

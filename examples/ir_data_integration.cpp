@@ -57,11 +57,11 @@ int main() {
               prepared.value().program.instrs().size(),
               prepared.value().program.ToString().c_str());
 
-  monet::GlobalKernelStats().Reset();
+  monet::ResetKernelStats();
   auto result = database.Execute(prepared.value());
   MIRROR_CHECK(result.ok()) << result.status().ToString();
   std::printf("Kernel work: %s\n\n",
-              monet::GlobalKernelStats().ToString().c_str());
+              monet::SnapshotKernelStats().ToString().c_str());
 
   const monet::Bat& top = *result.value().bat;
   std::printf("Top %zu matches (survey collection, 1995+):\n", top.size());
@@ -74,10 +74,10 @@ int main() {
   // The same query without the optimizer: more kernel work, same answer.
   db::QueryOptions naive;
   naive.optimize = false;
-  monet::GlobalKernelStats().Reset();
+  monet::ResetKernelStats();
   auto unopt = database.Query(query, ctx, naive);
   MIRROR_CHECK(unopt.ok()) << unopt.status().ToString();
   std::printf("\nWithout algebraic optimization: %s\n",
-              monet::GlobalKernelStats().ToString().c_str());
+              monet::SnapshotKernelStats().ToString().c_str());
   return 0;
 }

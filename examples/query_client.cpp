@@ -7,7 +7,8 @@
 //   bind <name> <term[:weight]> [term[:weight] ...]   set query bindings
 //   query <moa query text>                            run a query
 //   set <key> <int>                                   session override
-//   stats                                             server statistics
+//   stats [reset]                                     server statistics
+//   trace                                             last traced query
 //   quit                                              close the session
 //
 // Example queries against the demo schema (set Lib):
@@ -66,30 +67,65 @@ void PrintResult(const daemon::wire::ResultReply& result) {
               result.bat->DebugString(12).c_str());
 }
 
-void PrintStats(const daemon::wire::StatsReply& stats) {
+/// One latency line: count, p50/p90/p99 and max of the end-to-end stage.
+void PrintLatencyLine(const char* label,
+                      const daemon::wire::RequestClassLatency& lat) {
+  if (lat.total.count == 0) return;  // class never saw a request
   std::printf(
-      "server: frames in/out %llu/%llu, bytes in/out %llu/%llu, "
-      "requests %llu (coalesced %llu), errors %llu, sessions %llu "
-      "opened / %llu closed, load generation %llu\n",
-      static_cast<unsigned long long>(stats.server.frames_in),
-      static_cast<unsigned long long>(stats.server.frames_out),
-      static_cast<unsigned long long>(stats.server.bytes_in),
-      static_cast<unsigned long long>(stats.server.bytes_out),
-      static_cast<unsigned long long>(stats.server.requests),
-      static_cast<unsigned long long>(stats.server.coalesced_requests),
-      static_cast<unsigned long long>(stats.server.errors),
-      static_cast<unsigned long long>(stats.server.sessions_opened),
-      static_cast<unsigned long long>(stats.server.sessions_closed),
-      static_cast<unsigned long long>(stats.server.load_generation));
+      "  %-7s %llu requests, total p50/p90/p99 %llu/%llu/%llu us "
+      "(max %llu), exec p99 %llu us, queue p99 %llu us\n",
+      label, static_cast<unsigned long long>(lat.total.count),
+      static_cast<unsigned long long>(lat.total.p50_micros),
+      static_cast<unsigned long long>(lat.total.p90_micros),
+      static_cast<unsigned long long>(lat.total.p99_micros),
+      static_cast<unsigned long long>(lat.total.max_micros),
+      static_cast<unsigned long long>(lat.exec.p99_micros),
+      static_cast<unsigned long long>(lat.queue_wait.p99_micros));
+}
+
+/// Server statistics grouped by subsystem, in a stable order: kernel,
+/// serving, durability, recycler, latency, then per-session lines.
+void PrintStats(const daemon::wire::StatsReply& stats) {
+  const auto& s = stats.server;
+  auto u = [](uint64_t v) { return static_cast<unsigned long long>(v); };
+  std::printf(
+      "kernel: zone blocks skipped %llu, top-k pruned %llu morsels / "
+      "%llu shards, probe partitions %llu\n",
+      u(s.zone_blocks_skipped), u(s.topk_morsels_pruned),
+      u(s.topk_shards_pruned), u(s.probe_partitions));
+  std::printf(
+      "serving: requests %llu (coalesced %llu, shed %llu), errors %llu, "
+      "frames in/out %llu/%llu, bytes in/out %llu/%llu, sessions %llu "
+      "opened / %llu closed, queue high-water %llu, chunks streamed %llu\n",
+      u(s.requests), u(s.coalesced_requests), u(s.requests_shed),
+      u(s.errors), u(s.frames_in), u(s.frames_out), u(s.bytes_in),
+      u(s.bytes_out), u(s.sessions_opened), u(s.sessions_closed),
+      u(s.queue_depth_high_water), u(s.result_chunks_streamed));
+  std::printf(
+      "durability: WAL appends %llu, replayed %llu, truncated %llu bytes, "
+      "lazy loads %llu, recovery pending %llu, load generation %llu\n",
+      u(s.wal_appends), u(s.wal_replayed_records), u(s.wal_truncated_bytes),
+      u(s.recovery_lazy_loads), u(s.recovery_pending), u(s.load_generation));
   std::printf(
       "recycler: result cache %llu/%llu hits/misses, candidate cache "
       "%llu hits (%llu subsuming), %llu bytes held, %llu evictions\n",
-      static_cast<unsigned long long>(stats.server.result_cache_hits),
-      static_cast<unsigned long long>(stats.server.result_cache_misses),
-      static_cast<unsigned long long>(stats.server.candidate_cache_hits),
-      static_cast<unsigned long long>(stats.server.candidate_subsumption_hits),
-      static_cast<unsigned long long>(stats.server.recycler_bytes_held),
-      static_cast<unsigned long long>(stats.server.recycler_evictions));
+      u(s.result_cache_hits), u(s.result_cache_misses),
+      u(s.candidate_cache_hits), u(s.candidate_subsumption_hits),
+      u(s.recycler_bytes_held), u(s.recycler_evictions));
+  std::printf("latency:\n");
+  PrintLatencyLine("query", s.latency_query);
+  PrintLatencyLine("append", s.latency_append);
+  PrintLatencyLine("delete", s.latency_delete);
+  if (s.latency_query.total.count == 0 &&
+      s.latency_append.total.count == 0 &&
+      s.latency_delete.total.count == 0) {
+    std::printf("  (no requests recorded)\n");
+  }
+  for (const auto& e : s.slow_queries) {
+    std::printf("  slow: session %llu, %llu us total (%llu exec): %s\n",
+                u(e.session_id), u(e.total_micros), u(e.exec_micros),
+                e.query.c_str());
+  }
   for (const auto& s : stats.sessions) {
     std::printf(
         "  session %llu (%s): %llu requests, %llu errors, plan cache "
@@ -103,6 +139,48 @@ void PrintStats(const daemon::wire::StatsReply& stats) {
         static_cast<unsigned long long>(s.plan_cache_lookups),
         static_cast<unsigned long long>(s.options.num_shards),
         static_cast<long long>(s.options.num_threads));
+  }
+}
+
+/// The session's last traced query (run `set exec.trace 1` first), one
+/// line per span, capped so a big trace stays readable — export the
+/// full thing with the trace_perfetto example.
+void PrintTrace(const daemon::wire::TraceReply& trace) {
+  if (trace.rows == 0) {
+    std::printf("no trace recorded: run `set exec.trace 1`, then a query\n");
+    return;
+  }
+  auto col = [&trace](const char* name) -> const monet::Bat* {
+    for (size_t i = 0; i < trace.names.size(); ++i) {
+      if (trace.names[i] == name) return &trace.cols[i];
+    }
+    return nullptr;
+  };
+  const monet::Bat* opcode = col("opcode");
+  const monet::Bat* shard = col("shard");
+  const monet::Bat* thread = col("thread");
+  const monet::Bat* dur = col("dur_ns");
+  const monet::Bat* tuples_out = col("tuples_out");
+  if (opcode == nullptr || shard == nullptr || thread == nullptr ||
+      dur == nullptr || tuples_out == nullptr) {
+    std::printf("trace is missing expected columns\n");
+    return;
+  }
+  std::printf("trace of query #%llu: %llu spans\n",
+              static_cast<unsigned long long>(trace.query_seq),
+              static_cast<unsigned long long>(trace.rows));
+  constexpr uint64_t kMaxLines = 40;
+  for (uint64_t i = 0; i < trace.rows && i < kMaxLines; ++i) {
+    std::printf("  %-18s shard=%-3lld thread=%-2lld %8.1f us  out=%lld\n",
+                std::string(opcode->tail().StrAt(i)).c_str(),
+                static_cast<long long>(shard->tail().IntAt(i)),
+                static_cast<long long>(thread->tail().IntAt(i)),
+                static_cast<double>(dur->tail().IntAt(i)) / 1000.0,
+                static_cast<long long>(tuples_out->tail().IntAt(i)));
+  }
+  if (trace.rows > kMaxLines) {
+    std::printf("  ... %llu more spans (see examples/trace_perfetto)\n",
+                static_cast<unsigned long long>(trace.rows - kMaxLines));
   }
 }
 
@@ -174,11 +252,21 @@ int RunCommandLoop(daemon::wire::WireClient* client, std::istream& in,
             reply.value().fuse_aggregates ? 1 : 0);
       }
     } else if (cmd == "stats") {
-      auto stats = client->Stats();
+      std::string arg;
+      tokens >> arg;
+      auto stats = client->Stats(/*reset=*/arg == "reset");
       if (!stats.ok()) {
         std::printf("error: %s\n", stats.status().ToString().c_str());
       } else {
         PrintStats(stats.value());
+        if (arg == "reset") std::printf("(histograms and counters reset)\n");
+      }
+    } else if (cmd == "trace") {
+      auto trace = client->Trace();
+      if (!trace.ok()) {
+        std::printf("error: %s\n", trace.status().ToString().c_str());
+      } else {
+        PrintTrace(trace.value());
       }
     } else {
       std::printf("unknown command \"%s\"\n", cmd.c_str());
@@ -235,6 +323,11 @@ int main(int argc, char** argv) {
         "query select[THIS.year >= 1997 and THIS.year <= 2000](Lib);\n"
         "set num_threads 1\n"
         "query count(select[THIS.year >= 1998](Lib));\n"
+        // A fresh query text: a repeat would be served from the result
+        // cache without executing, and an unexecuted query has no trace.
+        "set exec.trace 1\n"
+        "query count(select[THIS.year >= 1996](Lib));\n"
+        "trace\n"
         "stats\n"
         "quit\n");
     rc = RunCommandLoop(&client, script, /*echo=*/false);

@@ -1,0 +1,195 @@
+// Exports a Mirror query trace to Chrome trace-event JSON, viewable in
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+//
+// The program starts an in-process server over a demo library, enables
+// per-query tracing on its session (`SET exec.trace 1`), runs one
+// sharded ranking query, fetches the trace as a BAT table over the
+// TRACE frame, and writes one complete ("ph":"X") trace event per span:
+// shards become Perfetto process lanes (pid), engine worker threads
+// become tracks (tid), and the kernel counters ride along in "args".
+//
+//   trace_perfetto [out.json]        default output: mirror_trace.json
+//
+// Open the file in the Perfetto UI to see the MIL instruction timeline
+// per shard, with morsel spans nested under the kernels that ran them.
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/str_util.h"
+#include "daemon/query_server.h"
+#include "daemon/wire.h"
+#include "daemon/wire_client.h"
+#include "mirror/mirror_db.h"
+
+namespace {
+
+using namespace mirror;  // NOLINT(build/namespaces)
+
+constexpr const char* kWords[] = {"sunset", "beach", "city",  "night",
+                                  "waves",  "dunes", "market", "cafe",
+                                  "red",    "old",   "sunny",  "street"};
+
+/// A library big enough that the sharded scatter/gather engine has real
+/// work in every lane (tiny inputs trace as a single hairline span).
+void LoadDemoDb(db::MirrorDb* database) {
+  MIRROR_CHECK(database
+                   ->Define("define Lib as SET<TUPLE<Atomic<URL>: u, "
+                            "Atomic<int>: year, CONTREP<Text>: doc>>;")
+                   .ok());
+  std::vector<moa::MoaValue> objects;
+  uint32_t state = 0x9e3779b9;
+  auto next = [&state](uint32_t n) {
+    state ^= state << 13;
+    state ^= state >> 17;
+    state ^= state << 5;
+    return state % n;
+  };
+  for (int i = 0; i < 20000; ++i) {
+    std::vector<std::string> terms;
+    const uint32_t len = 4 + next(8);
+    for (uint32_t t = 0; t < len; ++t) {
+      terms.push_back(kWords[next(std::size(kWords))]);
+    }
+    objects.push_back(moa::MoaValue::Tuple(
+        {moa::MoaValue::Str("u" + std::to_string(i)),
+         moa::MoaValue::Int(1990 + static_cast<int>(next(36))),
+         moa::MoaValue::ContRep(terms)}));
+  }
+  MIRROR_CHECK(database->Load("Lib", std::move(objects)).ok());
+}
+
+/// Finds a trace column by name; null when the server is older than the
+/// column (the schema grows by appending, so absent ≠ malformed).
+const monet::Bat* Col(const daemon::wire::TraceReply& t,
+                      const std::string& name) {
+  for (size_t i = 0; i < t.names.size(); ++i) {
+    if (t.names[i] == name) return &t.cols[i];
+  }
+  return nullptr;
+}
+
+void JsonEscapeInto(std::string_view s, std::string* out) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // opcodes are ASCII
+    out->push_back(c);
+  }
+}
+
+/// Renders the trace table as Chrome trace-event JSON. Spans map to
+/// complete events; shard lanes get process_name metadata so Perfetto
+/// labels them "global" / "shard N" instead of bare pids.
+std::string ToChromeTraceJson(const daemon::wire::TraceReply& t) {
+  const monet::Bat* instr = Col(t, "instr");
+  const monet::Bat* opcode = Col(t, "opcode");
+  const monet::Bat* kind = Col(t, "kind");
+  const monet::Bat* shard = Col(t, "shard");
+  const monet::Bat* thread = Col(t, "thread");
+  const monet::Bat* start = Col(t, "start_ns");
+  const monet::Bat* dur = Col(t, "dur_ns");
+  const monet::Bat* tuples_in = Col(t, "tuples_in");
+  const monet::Bat* tuples_out = Col(t, "tuples_out");
+  MIRROR_CHECK(instr && opcode && kind && shard && thread && start && dur);
+
+  std::string out = "{\"traceEvents\":[\n";
+  // Lane naming: pid 0 is the global (unsharded) lane, pid N+1 is shard N.
+  std::vector<int64_t> lanes_seen;
+  auto lane = [](int64_t sh) { return sh + 1; };
+  for (size_t i = 0; i < t.rows; ++i) {
+    const int64_t sh = shard->tail().IntAt(i);
+    bool seen = false;
+    for (int64_t s : lanes_seen) seen = seen || s == sh;
+    if (!seen) lanes_seen.push_back(sh);
+
+    const bool morsel = kind->tail().IntAt(i) != 0;
+    std::string name;
+    JsonEscapeInto(opcode->tail().StrAt(i), &name);
+    if (morsel) name += " [morsel]";
+    out += base::StrFormat(
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+        "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%lld,\"tid\":%lld,\"args\":{",
+        name.c_str(), morsel ? "morsel" : "mil",
+        static_cast<double>(start->tail().IntAt(i)) / 1000.0,
+        static_cast<double>(dur->tail().IntAt(i)) / 1000.0,
+        static_cast<long long>(lane(sh)),
+        static_cast<long long>(thread->tail().IntAt(i)));
+    out += base::StrFormat("\"instr\":%lld",
+                           static_cast<long long>(instr->tail().IntAt(i)));
+    if (tuples_in != nullptr && tuples_out != nullptr) {
+      out += base::StrFormat(
+          ",\"tuples_in\":%lld,\"tuples_out\":%lld",
+          static_cast<long long>(tuples_in->tail().IntAt(i)),
+          static_cast<long long>(tuples_out->tail().IntAt(i)));
+    }
+    out += "}},\n";
+  }
+  for (int64_t sh : lanes_seen) {
+    out += base::StrFormat(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%lld,\"tid\":0,"
+        "\"args\":{\"name\":\"%s\"}},\n",
+        static_cast<long long>(lane(sh)),
+        sh < 0 ? "global"
+               : base::StrFormat("shard %lld", static_cast<long long>(sh))
+                     .c_str());
+  }
+  // Trailing comma is legal per the trace-event spec, but Perfetto's
+  // strict JSON path is happier without it.
+  if (out.size() >= 2 && out[out.size() - 2] == ',') {
+    out.erase(out.size() - 2, 1);
+  }
+  out += base::StrFormat("],\"displayTimeUnit\":\"ns\",\"otherData\":"
+                         "{\"query_seq\":%llu}}\n",
+                         static_cast<unsigned long long>(t.query_seq));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "mirror_trace.json";
+
+  db::MirrorDb database;
+  LoadDemoDb(&database);
+  daemon::QueryServer server(&database);
+  auto [client_end, server_end] = daemon::wire::CreateChannelPair();
+  server.Serve(std::move(server_end));
+
+  daemon::wire::WireClient client(std::move(client_end));
+  auto hello = client.Hello("trace_perfetto");
+  MIRROR_CHECK(hello.ok()) << hello.status().ToString();
+
+  auto set = client.Set({{"exec.trace", 1}, {"num_shards", 4},
+                         {"num_threads", 4}});
+  MIRROR_CHECK(set.ok()) << set.status().ToString();
+
+  moa::QueryContext bindings;
+  bindings.Bind("q", {{"sunset", 2.0}, {"beach", 1.0}, {"dunes", 0.5}});
+  const std::string query =
+      "map[sum(THIS)](map[getBL(THIS.doc, q, stats)](Lib));";
+  auto result = client.Query(query, bindings);
+  MIRROR_CHECK(result.ok()) << result.status().ToString();
+  std::printf("ran: %s\n", query.c_str());
+
+  auto trace = client.Trace();
+  MIRROR_CHECK(trace.ok()) << trace.status().ToString();
+  MIRROR_CHECK(trace.value().rows > 0) << "no spans: was exec.trace set?";
+  std::printf("trace: %llu spans, %zu columns (query_seq %llu)\n",
+              static_cast<unsigned long long>(trace.value().rows),
+              trace.value().names.size(),
+              static_cast<unsigned long long>(trace.value().query_seq));
+
+  const std::string json = ToChromeTraceJson(trace.value());
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  MIRROR_CHECK(f != nullptr) << "cannot open " << out_path;
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s — open it at https://ui.perfetto.dev\n",
+              out_path.c_str());
+
+  client.Close();
+  server.Shutdown();
+  return 0;
+}

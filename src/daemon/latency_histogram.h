@@ -1,0 +1,85 @@
+#ifndef MIRROR_DAEMON_LATENCY_HISTOGRAM_H_
+#define MIRROR_DAEMON_LATENCY_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "daemon/wire.h"
+
+namespace mirror::daemon {
+
+/// A lock-free, fixed-layout latency histogram: 64 log-spaced buckets
+/// (the wire layout of wire::HistogramSummary — bounds come from
+/// wire::HistogramBucketBound, ~sqrt(2) apart from 1 us to ~36 min plus
+/// an overflow bucket). Record() is a handful of relaxed atomic adds, so
+/// the serving hot path never takes a lock for latency accounting; the
+/// percentiles in a Snapshot() are interpolated from the bucket counts
+/// at read time. Reset() is read-and-clear racy-by-design: concurrent
+/// Record()s land in either the old or the new epoch, never lost twice.
+class LatencyHistogram {
+ public:
+  void Record(uint64_t micros) {
+    buckets_[wire::HistogramBucketIndex(micros)].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+    uint64_t prev = max_micros_.load(std::memory_order_relaxed);
+    while (prev < micros && !max_micros_.compare_exchange_weak(
+                                prev, micros, std::memory_order_relaxed)) {
+    }
+  }
+
+  wire::HistogramSummary Snapshot() const {
+    wire::HistogramSummary h;
+    h.count = count_.load(std::memory_order_relaxed);
+    h.sum_micros = sum_micros_.load(std::memory_order_relaxed);
+    h.max_micros = max_micros_.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < wire::kHistogramBuckets; ++i) {
+      h.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    h.p50_micros = wire::HistogramPercentile(h, 0.50);
+    h.p90_micros = wire::HistogramPercentile(h, 0.90);
+    h.p99_micros = wire::HistogramPercentile(h, 0.99);
+    return h;
+  }
+
+  void Reset() {
+    count_.store(0, std::memory_order_relaxed);
+    sum_micros_.store(0, std::memory_order_relaxed);
+    max_micros_.store(0, std::memory_order_relaxed);
+    for (size_t i = 0; i < wire::kHistogramBuckets; ++i) {
+      buckets_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[wire::kHistogramBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_micros_{0};
+  std::atomic<uint64_t> max_micros_{0};
+};
+
+/// The queue-wait / execution / end-to-end triple for one request class.
+struct ClassLatency {
+  LatencyHistogram queue_wait;
+  LatencyHistogram exec;
+  LatencyHistogram total;
+
+  wire::RequestClassLatency Snapshot() const {
+    wire::RequestClassLatency c;
+    c.queue_wait = queue_wait.Snapshot();
+    c.exec = exec.Snapshot();
+    c.total = total.Snapshot();
+    return c;
+  }
+
+  void Reset() {
+    queue_wait.Reset();
+    exec.Reset();
+    total.Reset();
+  }
+};
+
+}  // namespace mirror::daemon
+
+#endif  // MIRROR_DAEMON_LATENCY_HISTOGRAM_H_

@@ -82,7 +82,8 @@ base::Status ServerSession::ValidateOverride(const std::string& key,
                           static_cast<long long>(value)));
     }
   } else if (k != "morsel_joins" && k != "fuse_aggregates" &&
-             k != "zone_maps" && k != "topk_prune" && k != "recycle") {
+             k != "zone_maps" && k != "topk_prune" && k != "recycle" &&
+             k != "trace") {
     return base::Status::InvalidArgument(
         base::StrFormat("unknown SET key \"%s\"", key.c_str()));
   }
@@ -107,6 +108,8 @@ base::Status ServerSession::ApplyOverride(const std::string& key,
     options_.exec.topk_prune = value != 0;
   } else if (k == "recycle") {
     options_.exec.recycle = value != 0;
+  } else if (k == "trace") {
+    options_.exec.trace = value != 0;
   } else if (k == "query_deadline_ms") {
     options_.exec.query_deadline_ms = static_cast<uint64_t>(value);
   } else if (k == "memory_budget_bytes") {
@@ -136,7 +139,18 @@ wire::SessionStatsEntry ServerSession::StatsEntry() const {
   entry.options.query_deadline_ms = options_.exec.query_deadline_ms;
   entry.options.memory_budget_bytes = options_.exec.memory_budget_bytes;
   entry.options.recycle = options_.exec.recycle;
+  entry.options.trace = options_.exec.trace;
   return entry;
+}
+
+void ServerSession::StoreTrace(std::shared_ptr<const wire::TraceReply> trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  last_trace_ = std::move(trace);
+}
+
+std::shared_ptr<const wire::TraceReply> ServerSession::LastTrace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_trace_;
 }
 
 // ---------------------------------------------------------------------------
@@ -267,7 +281,33 @@ wire::ServerWireStats QueryServer::stats() const {
   out.recycler_bytes_held = recycler.bytes_held;
   out.candidate_cache_hits = kernels.candidate_cache_hits;
   out.candidate_subsumption_hits = kernels.candidate_subsumption_hits;
+  out.latency_query = latency_query_.Snapshot();
+  out.latency_append = latency_append_.Snapshot();
+  out.latency_delete = latency_delete_.Snapshot();
+  {
+    std::lock_guard<std::mutex> slock(slow_mu_);
+    out.slow_queries.assign(slow_queries_.begin(), slow_queries_.end());
+  }
   return out;
+}
+
+ClassLatency* QueryServer::LatencyFor(wire::FrameType type) {
+  switch (type) {
+    case wire::FrameType::kAppend:
+      return &latency_append_;
+    case wire::FrameType::kDelete:
+      return &latency_delete_;
+    default:
+      return &latency_query_;
+  }
+}
+
+void QueryServer::RecordSlowQuery(wire::SlowQueryEntry entry) {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  slow_queries_.push_back(std::move(entry));
+  while (slow_queries_.size() > std::max<size_t>(1, options_.slow_query_ring)) {
+    slow_queries_.pop_front();
+  }
 }
 
 size_t QueryServer::active_connections() const {
@@ -646,11 +686,53 @@ void QueryServer::HandleInlineLocked(Conn* c, wire::FrameType type,
       break;
     }
     case wire::FrameType::kStats: {
+      auto req = wire::DecodeStatsRequest(payload);
+      if (!req.ok()) {
+        EnqueueErrorLocked(c, req.status());
+        break;
+      }
       wire::StatsReply reply;
       reply.server = stats();
       reply.sessions = sessions_.Snapshot();
+      if (req.value().reset) {
+        // Read-and-clear: the reply above carries the pre-reset numbers;
+        // the latency histograms, the slow-query ring and the
+        // process-wide kernel counters start a fresh epoch here. Wire
+        // frame/byte counters are monotonic by design and stay.
+        latency_query_.Reset();
+        latency_append_.Reset();
+        latency_delete_.Reset();
+        {
+          std::lock_guard<std::mutex> slock(slow_mu_);
+          slow_queries_.clear();
+        }
+        monet::ResetKernelStats();
+      }
       std::vector<uint8_t> rp = wire::EncodeStatsReply(reply);
       EnqueueFrameLocked(c, wire::FrameType::kStatsResult, rp.data(),
+                         rp.size());
+      break;
+    }
+    case wire::FrameType::kTrace: {
+      if (c->session == nullptr) {
+        EnqueueErrorLocked(c, base::Status::InvalidArgument(
+                                  "TRACE before HELLO: no session"));
+        break;
+      }
+      std::shared_ptr<const wire::TraceReply> last = c->session->LastTrace();
+      std::vector<uint8_t> rp;
+      if (last != nullptr) {
+        rp = wire::EncodeTraceReply(*last);
+      } else {
+        // Nothing traced yet: full schema, zero rows, so clients can
+        // print headers without special-casing.
+        monet::TraceTable empty = monet::TraceToBats({});
+        wire::TraceReply reply;
+        reply.names = std::move(empty.names);
+        reply.cols = std::move(empty.cols);
+        rp = wire::EncodeTraceReply(reply);
+      }
+      EnqueueFrameLocked(c, wire::FrameType::kTraceResult, rp.data(),
                          rp.size());
       break;
     }
@@ -719,6 +801,7 @@ void QueryServer::ParseAndDispatchLocked(Conn* c) {
               "server is read-only: %s rejected", verb)));
           break;
         }
+        const auto admit = std::chrono::steady_clock::now();
         if (type == wire::FrameType::kQuery &&
             SessionUsesRecycler(c->session->options())) {
           // Recycler fast path: a query whose encoded RESULT is already
@@ -737,6 +820,15 @@ void QueryServer::ParseAndDispatchLocked(Conn* c) {
                 std::lock_guard<std::mutex> lock(mu_);
                 ++stats_.requests;
               }
+              // The cache hit never queued: zero queue wait, and the
+              // lookup itself is the whole service time.
+              const uint64_t micros = static_cast<uint64_t>(
+                  std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - admit)
+                      .count());
+              latency_query_.queue_wait.Record(0);
+              latency_query_.exec.Record(micros);
+              latency_query_.total.Record(micros);
               Reply reply;
               reply.type = wire::FrameType::kResult;
               reply.payload = std::move(hit);
@@ -764,6 +856,7 @@ void QueryServer::ParseAndDispatchLocked(Conn* c) {
         item.type = type;
         item.payload = std::move(payload);
         item.session = c->session;
+        item.admit = admit;
         queue_.push_back(std::move(item));
         ++busy_requests_;
         uint64_t depth = queue_.size();
@@ -889,7 +982,19 @@ void QueryServer::WorkerMain() {
       queue_.pop_front();
       active_workers_.fetch_add(1, std::memory_order_relaxed);
     }
+    ClassLatency* lat = LatencyFor(item.type);
+    const auto dequeued = std::chrono::steady_clock::now();
+    auto micros_between = [](std::chrono::steady_clock::time_point a,
+                             std::chrono::steady_clock::time_point b) {
+      return static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(b - a)
+              .count());
+    };
+    lat->queue_wait.Record(micros_between(item.admit, dequeued));
     Reply reply = ProcessItem(item);
+    const auto done = std::chrono::steady_clock::now();
+    lat->exec.Record(micros_between(dequeued, done));
+    lat->total.Record(micros_between(item.admit, done));
     {
       std::lock_guard<std::mutex> lock(loop_mu_);
       active_workers_.fetch_sub(1, std::memory_order_relaxed);
@@ -917,7 +1022,7 @@ QueryServer::Reply QueryServer::ProcessItem(const WorkItem& item) {
   };
   switch (item.type) {
     case wire::FrameType::kQuery:
-      return ServeQuery(session, item.payload);
+      return ServeQuery(session, item.payload, item.admit);
     case wire::FrameType::kAppend: {
       auto request = wire::DecodeAppendRequest(item.payload);
       if (!request.ok()) return error_reply(request.status());
@@ -962,18 +1067,77 @@ QueryServer::Reply QueryServer::ProcessItem(const WorkItem& item) {
   }
 }
 
-QueryServer::Reply QueryServer::ExecuteQuery(ServerSession* session,
-                                             const wire::QueryRequest& request,
-                                             const std::string& cache_key) {
-  const db::QueryOptions opts = session->options();
+QueryServer::Reply QueryServer::ExecuteQuery(
+    ServerSession* session, const wire::QueryRequest& request,
+    const std::string& cache_key,
+    std::chrono::steady_clock::time_point admit) {
+  db::QueryOptions opts = session->options();
+  // Arm the per-session trace sink on the worker's local options copy:
+  // the knob and the sink pointer ride ExecOptions untouched through
+  // MirrorDb into the engine, which Clear()s the sink at Run() entry.
+  if (opts.exec.trace) opts.exec.trace_sink = session->trace_sink();
   monet::Recycler* recycler = db_->recycler();
   // Captured BEFORE execution: a mutation racing this query advances
   // the generation (twice, around its apply window), so the insert
   // below is refused and no stale bytes are ever published.
   const uint64_t generation = recycler->generation();
+  const monet::TraceCounterSnapshot kernels_before =
+      options_.slow_query_ms > 0 ? monet::SnapshotTraceCounters()
+                                 : monet::TraceCounterSnapshot{};
   const auto exec_start = std::chrono::steady_clock::now();
   auto result = db_->Query(request.text, request.bindings, opts,
                            session->exec_context());
+  const auto exec_end = std::chrono::steady_clock::now();
+  if (opts.exec.trace && opts.exec.trace_sink != nullptr) {
+    // Publish the merged span table as this session's TRACE reply. The
+    // request ordinal doubles as the trace's sequence number, so a
+    // client can tell a fresh trace from a re-fetch.
+    monet::TraceTable table =
+        monet::TraceToBats(opts.exec.trace_sink->Merge());
+    auto reply = std::make_shared<wire::TraceReply>();
+    reply->query_seq = session->StatsEntry().requests;
+    reply->rows = table.rows;
+    reply->names = std::move(table.names);
+    reply->cols = std::move(table.cols);
+    session->StoreTrace(std::move(reply));
+  }
+  if (options_.slow_query_ms > 0) {
+    const uint64_t total_micros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(exec_end -
+                                                              admit)
+            .count());
+    if (total_micros >= options_.slow_query_ms * 1000) {
+      const monet::TraceCounterSnapshot after =
+          monet::SnapshotTraceCounters();
+      wire::SlowQueryEntry entry;
+      entry.session_id = session->id();
+      entry.total_micros = total_micros;
+      entry.exec_micros = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(exec_end -
+                                                                exec_start)
+              .count());
+      entry.query = mil::ExecutionContext::NormalizeText(request.text);
+      entry.bindings_key = request.bindings.CacheKey();
+      // Process-wide counter deltas over the execution window: exact
+      // when the query ran alone, an attribution hint under concurrency.
+      entry.counters = base::StrFormat(
+          "tuples_in=%llu tuples_out=%llu morsels=%llu zone_skips=%llu "
+          "topk_prunes=%llu bloom_hits=%llu",
+          static_cast<unsigned long long>(after.tuples_in -
+                                          kernels_before.tuples_in),
+          static_cast<unsigned long long>(after.tuples_out -
+                                          kernels_before.tuples_out),
+          static_cast<unsigned long long>(after.morsel_tasks -
+                                          kernels_before.morsel_tasks),
+          static_cast<unsigned long long>(after.zone_blocks_skipped -
+                                          kernels_before.zone_blocks_skipped),
+          static_cast<unsigned long long>(after.topk_pruned -
+                                          kernels_before.topk_pruned),
+          static_cast<unsigned long long>(after.bloom_hits -
+                                          kernels_before.bloom_hits));
+      RecordSlowQuery(std::move(entry));
+    }
+  }
   if (!result.ok()) {
     session->CountError();
     Reply r;
@@ -1011,8 +1175,9 @@ QueryServer::Reply QueryServer::ExecuteQuery(ServerSession* session,
   return r;
 }
 
-QueryServer::Reply QueryServer::ServeQuery(ServerSession* session,
-                                           const std::vector<uint8_t>& payload) {
+QueryServer::Reply QueryServer::ServeQuery(
+    ServerSession* session, const std::vector<uint8_t>& payload,
+    std::chrono::steady_clock::time_point admit) {
   auto request = wire::DecodeQueryRequest(payload);
   if (!request.ok()) {
     session->CountError();
@@ -1041,7 +1206,7 @@ QueryServer::Reply QueryServer::ServeQuery(ServerSession* session,
     }
   }
   if (!options_.coalesce_queries) {
-    return ExecuteQuery(session, request.value(), key);
+    return ExecuteQuery(session, request.value(), key, admit);
   }
   std::shared_ptr<InFlightQuery> entry;
   bool is_leader = false;
@@ -1072,7 +1237,7 @@ QueryServer::Reply QueryServer::ServeQuery(ServerSession* session,
     // failure under its config), so a follower re-executes under its
     // own options rather than inheriting another tenant's error.
     if (shared.type != wire::FrameType::kResult) {
-      return ExecuteQuery(session, request.value(), key);
+      return ExecuteQuery(session, request.value(), key, admit);
     }
     {
       std::lock_guard<std::mutex> slock(mu_);
@@ -1104,7 +1269,7 @@ QueryServer::Reply QueryServer::ServeQuery(ServerSession* session,
       server->inflight_.erase(key);
     }
   } completer{this, key, entry};
-  completer.reply = ExecuteQuery(session, request.value(), key);
+  completer.reply = ExecuteQuery(session, request.value(), key, admit);
   return completer.reply;
 }
 

@@ -14,8 +14,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "daemon/latency_histogram.h"
 #include "daemon/wire.h"
 #include "mirror/mirror_db.h"
+#include "monet/trace.h"
 
 namespace mirror::daemon {
 
@@ -61,6 +63,17 @@ class ServerSession {
   /// The session's STATS slice (options echo + counters + plan cache).
   wire::SessionStatsEntry StatsEntry() const;
 
+  /// The per-session span sink handed to the engine while exec.trace is
+  /// on. Safe without a lock during execution: the protocol is strict
+  /// request/reply, so one query at a time runs on a session.
+  monet::QueryTrace* trace_sink() { return &trace_; }
+
+  /// Publishes / fetches the marshalled trace table of the session's
+  /// most recent traced query (the TRACE frame's reply). The worker
+  /// publishes, the poll loop fetches — hence the shared_ptr handoff.
+  void StoreTrace(std::shared_ptr<const wire::TraceReply> trace);
+  std::shared_ptr<const wire::TraceReply> LastTrace() const;
+
  private:
   const uint64_t id_;
   const std::string client_name_;
@@ -69,6 +82,8 @@ class ServerSession {
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> errors_{0};
   monet::mil::ExecutionContext exec_;
+  monet::QueryTrace trace_;
+  std::shared_ptr<const wire::TraceReply> last_trace_;  // guarded by mu_
 };
 
 /// Owns the live sessions of a QueryServer: allocates ids, registers
@@ -169,6 +184,14 @@ class QueryServer {
     uint64_t max_result_bytes = 1ull << 30;
     /// Retry-after hint (milliseconds) carried on kOverloaded sheds.
     uint32_t retry_after_ms = 25;
+    /// Queries whose end-to-end time (admission to result ready) exceeds
+    /// this many milliseconds land in the slow-query ring (normalized
+    /// text, bindings key, kernel-counter deltas), drained over STATS.
+    /// 0 disables the log entirely.
+    uint64_t slow_query_ms = 0;
+    /// Capacity of the slow-query ring; the oldest entry is evicted
+    /// once it fills (newest-last order in the STATS reply).
+    size_t slow_query_ring = 32;
   };
 
   /// Read-only server: queries only, APPEND/DELETE frames are rejected
@@ -241,6 +264,9 @@ class QueryServer {
     wire::FrameType type = wire::FrameType::kError;
     std::vector<uint8_t> payload;
     std::shared_ptr<ServerSession> session;
+    /// Admission time: queue-wait ends at worker dequeue, end-to-end
+    /// latency at result-ready (both land in the class histograms).
+    std::chrono::steady_clock::time_point admit{};
   };
 
   /// A marshalled reply: the frame type plus its encoded payload. kResult
@@ -287,15 +313,25 @@ class QueryServer {
   /// Serves one QUERY payload — through the recycler's result cache
   /// first, then the coalescing map when enabled.
   Reply ServeQuery(ServerSession* session,
-                   const std::vector<uint8_t>& payload);
+                   const std::vector<uint8_t>& payload,
+                   std::chrono::steady_clock::time_point admit);
 
   /// Executes for real (no coalescing) and marshals the reply. A
   /// successful RESULT is offered to the recycler under `cache_key`
   /// (empty = don't cache) with the generation captured before
-  /// execution.
+  /// execution. `admit` is the request's admission time (slow-query
+  /// threshold checks run against admission-to-result-ready).
   Reply ExecuteQuery(ServerSession* session,
                      const wire::QueryRequest& request,
-                     const std::string& cache_key);
+                     const std::string& cache_key,
+                     std::chrono::steady_clock::time_point admit);
+
+  /// The latency-histogram triple for one queued frame type.
+  ClassLatency* LatencyFor(wire::FrameType type);
+
+  /// Appends one slow-query entry, evicting the oldest past the ring
+  /// capacity.
+  void RecordSlowQuery(wire::SlowQueryEntry entry);
 
   void CountIn(size_t frame_bytes);
   void CountOut(wire::FrameType type, size_t frame_bytes);
@@ -343,6 +379,17 @@ class QueryServer {
   std::atomic<uint64_t> active_workers_{0};
   std::atomic<uint64_t> result_chunks_streamed_{0};
   std::atomic<uint64_t> slow_client_disconnects_{0};
+
+  /// Server-side latency accounting: one queue-wait/exec/total triple
+  /// per request class. Record() is lock-free (relaxed atomics), so the
+  /// worker hot path never serializes on latency bookkeeping.
+  ClassLatency latency_query_;
+  ClassLatency latency_append_;
+  ClassLatency latency_delete_;
+
+  /// Slow-query ring (Options::slow_query_ms threshold), newest last.
+  mutable std::mutex slow_mu_;
+  std::deque<wire::SlowQueryEntry> slow_queries_;
 
   std::mutex inflight_mu_;
   std::unordered_map<std::string, std::shared_ptr<InFlightQuery>> inflight_;

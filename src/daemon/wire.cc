@@ -366,6 +366,7 @@ bool IsKnownFrameType(uint8_t t) {
     case FrameType::kClose:
     case FrameType::kAppend:
     case FrameType::kDelete:
+    case FrameType::kTrace:
     case FrameType::kHelloOk:
     case FrameType::kResult:
     case FrameType::kSetOk:
@@ -375,6 +376,7 @@ bool IsKnownFrameType(uint8_t t) {
     case FrameType::kDeleteOk:
     case FrameType::kResultChunk:
     case FrameType::kResultEnd:
+    case FrameType::kTraceResult:
     case FrameType::kError:
       return true;
   }
@@ -607,6 +609,7 @@ std::vector<uint8_t> EncodeSetReply(const SetReply& m) {
   w.U64(m.query_deadline_ms);
   w.U64(m.memory_budget_bytes);
   w.U8(m.recycle ? 1 : 0);
+  w.U8(m.trace ? 1 : 0);
   return w.Take();
 }
 
@@ -618,10 +621,11 @@ base::Result<SetReply> DecodeSetReply(const std::vector<uint8_t>& p) {
   uint8_t zones = 0;
   uint8_t topk = 0;
   uint8_t recycle = 0;
+  uint8_t trace = 0;
   if (!r.U64(&m.num_shards) || !r.I64(&m.num_threads) || !r.U8(&morsel) ||
       !r.U8(&fuse) || !r.U8(&zones) || !r.U8(&topk) ||
       !r.U64(&m.query_deadline_ms) || !r.U64(&m.memory_budget_bytes) ||
-      !r.U8(&recycle)) {
+      !r.U8(&recycle) || !r.U8(&trace)) {
     return Malformed("SET reply");
   }
   m.morsel_joins = morsel != 0;
@@ -629,6 +633,7 @@ base::Result<SetReply> DecodeSetReply(const std::vector<uint8_t>& p) {
   m.zone_maps = zones != 0;
   m.topk_prune = topk != 0;
   m.recycle = recycle != 0;
+  m.trace = trace != 0;
   return m;
 }
 
@@ -799,6 +804,43 @@ base::Status DecodeErrorDetail(const std::vector<uint8_t>& p,
                       std::move(message));
 }
 
+namespace {
+
+void WriteHistogram(Writer* w, const HistogramSummary& h) {
+  w->U64(h.count);
+  w->U64(h.sum_micros);
+  w->U64(h.max_micros);
+  w->U64(h.p50_micros);
+  w->U64(h.p90_micros);
+  w->U64(h.p99_micros);
+  for (size_t i = 0; i < kHistogramBuckets; ++i) w->U64(h.buckets[i]);
+}
+
+bool ReadHistogram(Reader* r, HistogramSummary* h) {
+  if (!r->U64(&h->count) || !r->U64(&h->sum_micros) ||
+      !r->U64(&h->max_micros) || !r->U64(&h->p50_micros) ||
+      !r->U64(&h->p90_micros) || !r->U64(&h->p99_micros)) {
+    return false;
+  }
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    if (!r->U64(&h->buckets[i])) return false;
+  }
+  return true;
+}
+
+void WriteClassLatency(Writer* w, const RequestClassLatency& c) {
+  WriteHistogram(w, c.queue_wait);
+  WriteHistogram(w, c.exec);
+  WriteHistogram(w, c.total);
+}
+
+bool ReadClassLatency(Reader* r, RequestClassLatency* c) {
+  return ReadHistogram(r, &c->queue_wait) && ReadHistogram(r, &c->exec) &&
+         ReadHistogram(r, &c->total);
+}
+
+}  // namespace
+
 std::vector<uint8_t> EncodeStatsReply(const StatsReply& m) {
   Writer w;
   w.U64(m.server.frames_in);
@@ -845,7 +887,72 @@ std::vector<uint8_t> EncodeStatsReply(const StatsReply& m) {
     std::vector<uint8_t> options = EncodeSetReply(s.options);
     w.buffer()->insert(w.buffer()->end(), options.begin(), options.end());
   }
+  WriteClassLatency(&w, m.server.latency_query);
+  WriteClassLatency(&w, m.server.latency_append);
+  WriteClassLatency(&w, m.server.latency_delete);
+  w.U32(static_cast<uint32_t>(m.server.slow_queries.size()));
+  for (const SlowQueryEntry& e : m.server.slow_queries) {
+    w.U64(e.session_id);
+    w.U64(e.total_micros);
+    w.U64(e.exec_micros);
+    w.Str(e.query);
+    w.Str(e.bindings_key);
+    w.Str(e.counters);
+  }
   return w.Take();
+}
+
+std::vector<uint8_t> EncodeStatsRequest(const StatsRequest& m) {
+  Writer w;
+  w.U8(m.reset ? 1 : 0);
+  return w.Take();
+}
+
+base::Result<StatsRequest> DecodeStatsRequest(const std::vector<uint8_t>& p) {
+  StatsRequest m;
+  // Pre-reset clients send STATS with no payload at all.
+  if (p.empty()) return m;
+  Reader r(p);
+  uint8_t reset = 0;
+  if (!r.U8(&reset)) return Malformed("STATS");
+  m.reset = reset != 0;
+  return m;
+}
+
+std::vector<uint8_t> EncodeTraceReply(const TraceReply& m) {
+  Writer w;
+  w.U64(m.query_seq);
+  w.U64(m.rows);
+  w.U32(static_cast<uint32_t>(m.names.size()));
+  for (const std::string& name : m.names) w.Str(name);
+  w.U32(static_cast<uint32_t>(m.cols.size()));
+  for (const monet::Bat& col : m.cols) monet::EncodeBat(col, w.buffer());
+  return w.Take();
+}
+
+base::Result<TraceReply> DecodeTraceReply(const std::vector<uint8_t>& p) {
+  Reader r(p);
+  TraceReply m;
+  uint32_t num_names = 0;
+  if (!r.U64(&m.query_seq) || !r.U64(&m.rows) || !r.U32(&num_names)) {
+    return Malformed("TRACE reply");
+  }
+  m.names.reserve(std::min<size_t>(num_names, r.remaining() / 4 + 1));
+  for (uint32_t i = 0; i < num_names; ++i) {
+    std::string name;
+    if (!r.Str(&name)) return Malformed("TRACE reply");
+    m.names.push_back(std::move(name));
+  }
+  uint32_t num_cols = 0;
+  if (!r.U32(&num_cols)) return Malformed("TRACE reply");
+  if (num_cols != m.names.size()) return Malformed("TRACE reply");
+  m.cols.reserve(num_cols);
+  for (uint32_t i = 0; i < num_cols; ++i) {
+    auto col = monet::DecodeBat(r.buf(), r.pos());
+    if (!col.ok()) return col.status();
+    m.cols.push_back(col.TakeValue());
+  }
+  return m;
 }
 
 base::Result<StatsReply> DecodeStatsReply(const std::vector<uint8_t>& p) {
@@ -892,6 +999,7 @@ base::Result<StatsReply> DecodeStatsReply(const std::vector<uint8_t>& p) {
     uint8_t zones = 0;
     uint8_t topk = 0;
     uint8_t recycle = 0;
+    uint8_t trace = 0;
     if (!r.U64(&s.session_id) || !r.Str(&s.client_name) ||
         !r.U64(&s.requests) || !r.U64(&s.errors) ||
         !r.U64(&s.plan_cache_size) || !r.U64(&s.plan_cache_hits) ||
@@ -899,7 +1007,8 @@ base::Result<StatsReply> DecodeStatsReply(const std::vector<uint8_t>& p) {
         !r.I64(&s.options.num_threads) || !r.U8(&morsel) || !r.U8(&fuse) ||
         !r.U8(&zones) || !r.U8(&topk) ||
         !r.U64(&s.options.query_deadline_ms) ||
-        !r.U64(&s.options.memory_budget_bytes) || !r.U8(&recycle)) {
+        !r.U64(&s.options.memory_budget_bytes) || !r.U8(&recycle) ||
+        !r.U8(&trace)) {
       return Malformed("STATS reply");
     }
     s.options.morsel_joins = morsel != 0;
@@ -907,9 +1016,147 @@ base::Result<StatsReply> DecodeStatsReply(const std::vector<uint8_t>& p) {
     s.options.zone_maps = zones != 0;
     s.options.topk_prune = topk != 0;
     s.options.recycle = recycle != 0;
+    s.options.trace = trace != 0;
     m.sessions.push_back(std::move(s));
   }
+  // Latency histograms and the slow-query ring ride after the session
+  // entries; a payload from a pre-histogram server simply ends here and
+  // leaves the defaults (all-zero histograms, empty ring).
+  if (r.remaining() == 0) return m;
+  if (!ReadClassLatency(&r, &m.server.latency_query) ||
+      !ReadClassLatency(&r, &m.server.latency_append) ||
+      !ReadClassLatency(&r, &m.server.latency_delete)) {
+    return Malformed("STATS reply");
+  }
+  uint32_t num_slow = 0;
+  if (!r.U32(&num_slow)) return Malformed("STATS reply");
+  m.server.slow_queries.reserve(
+      std::min<size_t>(num_slow, r.remaining() / 36 + 1));
+  for (uint32_t i = 0; i < num_slow; ++i) {
+    SlowQueryEntry e;
+    if (!r.U64(&e.session_id) || !r.U64(&e.total_micros) ||
+        !r.U64(&e.exec_micros) || !r.Str(&e.query) ||
+        !r.Str(&e.bindings_key) || !r.Str(&e.counters)) {
+      return Malformed("STATS reply");
+    }
+    m.server.slow_queries.push_back(std::move(e));
+  }
   return m;
+}
+
+// ---------------------------------------------------------------------------
+// Latency-histogram bucket layout and rendering. The bounds are part of
+// the wire format (bucket counts travel raw in HistogramSummary), so the
+// layout lives here rather than in the server.
+
+uint64_t HistogramBucketBound(size_t i) {
+  // 0, 1, then alternating x2 / x1.5 steps (~sqrt(2) per bucket):
+  // 2, 3, 4, 6, 8, 12, 16, 24, ... up to 2^31 us (~36 min) at bucket
+  // 62; bucket 63 is the overflow catch-all.
+  if (i == 0) return 0;
+  if (i == 1) return 1;
+  if (i >= kHistogramBuckets - 1) return UINT64_MAX;
+  size_t k = i / 2;  // i = 2k or 2k+1, k >= 1
+  return (i % 2 == 0) ? (uint64_t{1} << k) : (uint64_t{3} << (k - 1));
+}
+
+size_t HistogramBucketIndex(uint64_t micros) {
+  for (size_t i = 0; i < kHistogramBuckets - 1; ++i) {
+    if (micros <= HistogramBucketBound(i)) return i;
+  }
+  return kHistogramBuckets - 1;
+}
+
+uint64_t HistogramPercentile(const HistogramSummary& h, double q) {
+  if (h.count == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  double rank = q * static_cast<double>(h.count);
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    uint64_t c = h.buckets[i];
+    if (c == 0) continue;
+    if (static_cast<double>(cum) + static_cast<double>(c) >= rank) {
+      uint64_t hi = HistogramBucketBound(i);
+      // The overflow bucket has no finite upper bound: the tracked
+      // maximum is the best available estimate.
+      if (hi == UINT64_MAX) return h.max_micros;
+      uint64_t lo = i == 0 ? 0 : HistogramBucketBound(i - 1);
+      double frac = (rank - static_cast<double>(cum)) /
+                    static_cast<double>(c);
+      uint64_t v =
+          lo + static_cast<uint64_t>(static_cast<double>(hi - lo) * frac);
+      if (h.max_micros > 0) v = std::min(v, h.max_micros);
+      return v;
+    }
+    cum += c;
+  }
+  return h.max_micros;
+}
+
+namespace {
+
+void RenderHistogramText(const char* cls, const char* stage,
+                         const HistogramSummary& h, std::string* out) {
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    cum += h.buckets[i];
+    if (h.buckets[i] == 0 && i + 1 < kHistogramBuckets) continue;
+    uint64_t bound = HistogramBucketBound(i);
+    if (i + 1 == kHistogramBuckets) {
+      out->append(base::StrFormat(
+          "mirror_request_latency_microseconds_bucket"
+          "{class=\"%s\",stage=\"%s\",le=\"+Inf\"} %llu\n",
+          cls, stage, static_cast<unsigned long long>(cum)));
+    } else {
+      out->append(base::StrFormat(
+          "mirror_request_latency_microseconds_bucket"
+          "{class=\"%s\",stage=\"%s\",le=\"%llu\"} %llu\n",
+          cls, stage, static_cast<unsigned long long>(bound),
+          static_cast<unsigned long long>(cum)));
+    }
+  }
+  out->append(base::StrFormat(
+      "mirror_request_latency_microseconds_sum{class=\"%s\",stage=\"%s\"} "
+      "%llu\n",
+      cls, stage, static_cast<unsigned long long>(h.sum_micros)));
+  out->append(base::StrFormat(
+      "mirror_request_latency_microseconds_count{class=\"%s\",stage=\"%s\"} "
+      "%llu\n",
+      cls, stage, static_cast<unsigned long long>(h.count)));
+}
+
+void RenderClassText(const char* cls, const RequestClassLatency& c,
+                     std::string* out) {
+  RenderHistogramText(cls, "queue_wait", c.queue_wait, out);
+  RenderHistogramText(cls, "exec", c.exec, out);
+  RenderHistogramText(cls, "total", c.total, out);
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(const StatsReply& m) {
+  std::string out;
+  auto counter = [&out](const char* name, uint64_t v) {
+    out.append(base::StrFormat("# TYPE %s counter\n%s %llu\n", name, name,
+                               static_cast<unsigned long long>(v)));
+  };
+  counter("mirror_requests_total", m.server.requests);
+  counter("mirror_errors_total", m.server.errors);
+  counter("mirror_requests_shed_total", m.server.requests_shed);
+  counter("mirror_coalesced_requests_total", m.server.coalesced_requests);
+  counter("mirror_sessions_opened_total", m.server.sessions_opened);
+  counter("mirror_frames_in_total", m.server.frames_in);
+  counter("mirror_frames_out_total", m.server.frames_out);
+  counter("mirror_bytes_in_total", m.server.bytes_in);
+  counter("mirror_bytes_out_total", m.server.bytes_out);
+  counter("mirror_zone_blocks_skipped_total", m.server.zone_blocks_skipped);
+  counter("mirror_result_cache_hits_total", m.server.result_cache_hits);
+  out.append(
+      "# TYPE mirror_request_latency_microseconds histogram\n");
+  RenderClassText("query", m.server.latency_query, &out);
+  RenderClassText("append", m.server.latency_append, &out);
+  RenderClassText("delete", m.server.latency_delete, &out);
+  return out;
 }
 
 // ---------------------------------------------------------------------------

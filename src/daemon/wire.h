@@ -11,6 +11,7 @@
 #include "base/status.h"
 #include "moa/naive_eval.h"
 #include "moa/query_context.h"
+#include "monet/bat.h"
 #include "monet/column.h"
 
 namespace mirror::daemon::wire {
@@ -129,6 +130,10 @@ enum class FrameType : uint8_t {
   kClose = 0x05,
   kAppend = 0x06,
   kDelete = 0x07,
+  /// TRACE fetches the session's last traced query as a BAT table (one
+  /// span per executed MIL instruction / morsel; see monet/trace.h).
+  /// Empty unless the session ran a query with `SET exec.trace 1`.
+  kTrace = 0x08,
   // Replies.
   kHelloOk = 0x11,
   kResult = 0x12,
@@ -143,6 +148,7 @@ enum class FrameType : uint8_t {
   /// count and chunk count. Small results still arrive as one kResult.
   kResultChunk = 0x18,
   kResultEnd = 0x19,
+  kTraceResult = 0x1a,
   kError = 0x1f,
 };
 
@@ -224,6 +230,7 @@ struct DeleteReply {
 /// session's ExecOptions (booleans are 0/1). Known keys: "num_shards",
 /// "num_threads", "morsel_joins", "fuse_aggregates", "zone_maps",
 /// "topk_prune", "recycle" (cross-request result/candidate reuse),
+/// "trace" (per-query instruction tracing; fetch with TRACE),
 /// "query_deadline_ms" (0 = no deadline), "memory_budget_bytes" (0 = no
 /// budget); each also accepts an "exec." prefix ("exec.zone_maps").
 /// A SET frame is validated as a whole before any key applies — one bad
@@ -244,6 +251,7 @@ struct SetReply {
   uint64_t query_deadline_ms = 0;     // 0 = no deadline
   uint64_t memory_budget_bytes = 0;   // 0 = no per-query memory budget
   bool recycle = true;                // cross-request result/candidate reuse
+  bool trace = false;                 // per-query MIL instruction tracing
 };
 
 /// A query result: a serialized result table (element oid -> value) or a
@@ -252,6 +260,75 @@ struct ResultReply {
   bool is_scalar = false;
   monet::Value scalar;
   monet::BatPtr bat;  // set iff !is_scalar
+};
+
+/// TRACE reply: the session's last traced query as a table of aligned
+/// void-headed BATs (the columns of monet::TraceToBats, one row per
+/// recorded span). `query_seq` is the session's request ordinal of the
+/// traced query, so a client polling TRACE can tell a fresh trace from a
+/// re-fetch. An untraced session gets rows == 0 with the full schema.
+struct TraceReply {
+  uint64_t query_seq = 0;
+  uint64_t rows = 0;
+  std::vector<std::string> names;  // column names, schema order
+  std::vector<monet::Bat> cols;    // aligned with `names`
+};
+
+/// STATS request options. An empty kStats payload (every pre-existing
+/// client) decodes as `reset == false`; the reset form zeroes the
+/// server's latency histograms, the slow-query ring and the process-wide
+/// kernel counters AFTER snapshotting, so the reply carries the
+/// pre-reset numbers (read-and-clear).
+struct StatsRequest {
+  bool reset = false;
+};
+
+/// One fixed-layout latency histogram: 64 buckets with upper bounds (in
+/// microseconds) growing by alternating x2 / x1.5 steps (~sqrt(2) per
+/// bucket: 0, 1, 2, 3, 4, 6, 8, 12, ... — see HistogramBucketBound),
+/// bucket 63 catching everything beyond. Percentiles are computed from
+/// the buckets by linear interpolation, server-side at snapshot time.
+struct HistogramSummary {
+  uint64_t count = 0;
+  uint64_t sum_micros = 0;
+  uint64_t max_micros = 0;
+  uint64_t p50_micros = 0;
+  uint64_t p90_micros = 0;
+  uint64_t p99_micros = 0;
+  uint64_t buckets[64] = {};
+};
+
+/// Number of buckets in every wire histogram.
+constexpr size_t kHistogramBuckets = 64;
+
+/// Upper bound (inclusive, microseconds) of histogram bucket `i`;
+/// UINT64_MAX for the overflow bucket 63.
+uint64_t HistogramBucketBound(size_t i);
+
+/// The smallest bucket index whose bound holds `micros` (the bucket
+/// LatencyHistogram::Record increments).
+size_t HistogramBucketIndex(uint64_t micros);
+
+/// Quantile `q` in [0,1] from the bucket counts, linearly interpolated
+/// within the winning bucket; 0 when the histogram is empty.
+uint64_t HistogramPercentile(const HistogramSummary& h, double q);
+
+/// Queue-wait / execution / end-to-end latency for one request class.
+struct RequestClassLatency {
+  HistogramSummary queue_wait;  // admission -> worker dequeue
+  HistogramSummary exec;        // worker dequeue -> result ready
+  HistogramSummary total;       // admission -> result ready
+};
+
+/// One slow-query log entry (queries over the server's slow_query_ms
+/// threshold, newest-last ring of Options::slow_query_ring entries).
+struct SlowQueryEntry {
+  uint64_t session_id = 0;
+  uint64_t total_micros = 0;  // admission -> result ready
+  uint64_t exec_micros = 0;   // engine execution only
+  std::string query;          // normalized query text
+  std::string bindings_key;   // canonical binding fingerprint
+  std::string counters;       // kernel-counter delta summary
 };
 
 /// Server-wide wire accounting (OrbStats-style: every frame in either
@@ -300,6 +377,14 @@ struct ServerWireStats {
   uint64_t recycler_bytes_held = 0;
   uint64_t candidate_cache_hits = 0;
   uint64_t candidate_subsumption_hits = 0;
+  /// Server-side latency histograms per request class (queries, appends,
+  /// deletes), and the slow-query ring (empty unless the server runs
+  /// with slow_query_ms > 0). Encoded after the per-session entries so
+  /// pre-histogram decoders see them as tolerated trailing bytes.
+  RequestClassLatency latency_query;
+  RequestClassLatency latency_append;
+  RequestClassLatency latency_delete;
+  std::vector<SlowQueryEntry> slow_queries;
 };
 
 /// Per-session slice of the STATS reply.
@@ -376,8 +461,20 @@ base::Status DecodeError(const std::vector<uint8_t>& p);
 base::Status DecodeErrorDetail(const std::vector<uint8_t>& p,
                                uint32_t* retry_after_ms);
 
+std::vector<uint8_t> EncodeStatsRequest(const StatsRequest& m);
+/// An empty payload (pre-reset clients) decodes as reset == false.
+base::Result<StatsRequest> DecodeStatsRequest(const std::vector<uint8_t>& p);
+
 std::vector<uint8_t> EncodeStatsReply(const StatsReply& m);
 base::Result<StatsReply> DecodeStatsReply(const std::vector<uint8_t>& p);
+
+std::vector<uint8_t> EncodeTraceReply(const TraceReply& m);
+base::Result<TraceReply> DecodeTraceReply(const std::vector<uint8_t>& p);
+
+/// Renders a STATS snapshot as Prometheus text-exposition lines
+/// (counters plus one `*_latency_microseconds` histogram per request
+/// class, cumulative `le` buckets in seconds-free microsecond bounds).
+std::string RenderPrometheusText(const StatsReply& m);
 
 }  // namespace mirror::daemon::wire
 

@@ -136,10 +136,23 @@ base::Result<DeleteReply> WireClient::Delete(const std::string& bat_name,
   return DecodeDeleteReply(reply.value().payload);
 }
 
-base::Result<StatsReply> WireClient::Stats() {
-  auto reply = RoundTrip(FrameType::kStats, {}, FrameType::kStatsResult);
+base::Result<StatsReply> WireClient::Stats(bool reset) {
+  StatsRequest req;
+  req.reset = reset;
+  // A plain snapshot keeps the empty-payload form every server version
+  // understands; only the reset variant needs the flag byte.
+  auto reply = RoundTrip(FrameType::kStats,
+                         reset ? EncodeStatsRequest(req)
+                               : std::vector<uint8_t>{},
+                         FrameType::kStatsResult);
   if (!reply.ok()) return reply.status();
   return DecodeStatsReply(reply.value().payload);
+}
+
+base::Result<TraceReply> WireClient::Trace() {
+  auto reply = RoundTrip(FrameType::kTrace, {}, FrameType::kTraceResult);
+  if (!reply.ok()) return reply.status();
+  return DecodeTraceReply(reply.value().payload);
 }
 
 base::Status WireClient::Close() {

@@ -53,8 +53,15 @@ class WireClient {
   base::Result<DeleteReply> Delete(const std::string& bat_name,
                                    std::vector<monet::Oid> oids);
 
-  /// Snapshots server + per-session statistics.
-  base::Result<StatsReply> Stats();
+  /// Snapshots server + per-session statistics. With `reset`, the
+  /// server zeroes its latency histograms, slow-query ring and kernel
+  /// counters after the snapshot (the reply carries pre-reset numbers).
+  base::Result<StatsReply> Stats(bool reset = false);
+
+  /// Fetches the session's last traced query as a BAT table (run a
+  /// query with `SET exec.trace 1` first; see monet/trace.h for the
+  /// column schema). rows == 0 when nothing was traced yet.
+  base::Result<TraceReply> Trace();
 
   /// Clean shutdown: CLOSE handshake, then transport close.
   base::Status Close();

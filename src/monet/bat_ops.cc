@@ -12,6 +12,7 @@
 
 #include "monet/cache_info.h"
 #include "monet/profiler.h"
+#include "monet/trace.h"
 
 namespace mirror::monet {
 
@@ -122,6 +123,41 @@ size_t DomainSize(size_t n, const CandidateList* cands) {
 }
 
 // --------------------------------------------------------------------------
+// Traced morsel dispatch: ParallelFor / ParallelForChunks veneers that
+// record one kMorsel span per task when the query is traced (mx.trace
+// set). `label` must point at static storage — spans keep the pointer.
+
+template <typename Fn>
+void MorselFor(const MorselExec& mx, const char* label, WorkerPool* pool,
+               size_t tasks, Fn fn) {
+  if (mx.trace == nullptr) {
+    ParallelFor(pool, tasks, fn);
+    return;
+  }
+  ParallelFor(pool, tasks, [&](size_t j) {
+    TraceSpanRecorder span(mx.trace, kTraceNoInstr, label, mx.trace_shard,
+                           TraceSpanKind::kMorsel);
+    fn(j);
+  });
+}
+
+template <typename Fn>
+void MorselForChunks(const MorselExec& mx, const char* label,
+                     WorkerPool* pool, size_t total, size_t chunks, Fn fn) {
+  if (mx.trace == nullptr) {
+    ParallelForChunks(pool, total, chunks, fn);
+    return;
+  }
+  ParallelForChunks(pool, total, chunks,
+                    [&](size_t j, size_t lo, size_t hi) {
+                      TraceSpanRecorder span(mx.trace, kTraceNoInstr, label,
+                                             mx.trace_shard,
+                                             TraceSpanKind::kMorsel);
+                      fn(j, lo, hi);
+                    });
+}
+
+// --------------------------------------------------------------------------
 // Morsel splitting. A kernel's domain (all n rows, or the candidate list)
 // is cut into contiguous sub-domains in candidate order; because every
 // sub-domain covers a later slice than its predecessor, per-morsel results
@@ -154,7 +190,7 @@ CandidateList MorselizedPositions(size_t n, const CandidateList* cands,
   if (morsels <= 1) return CandidateList::FromPositions(pos_fn(cands));
   std::vector<CandidateList> domains = SplitDomain(n, cands, morsels);
   std::vector<CandidateList> fragments(domains.size());
-  ParallelFor(mx.pool, domains.size(), [&](size_t j) {
+  MorselFor(mx, "scan.morsel", mx.pool, domains.size(), [&](size_t j) {
     // Morsel-boundary abort check: an expired or over-budget query
     // abandons its remaining morsels (the engine discards the partial
     // kernel output and errors at the next instruction boundary).
@@ -768,7 +804,7 @@ Bat Materialize(const Bat& b, const CandidateList& cands,
   }
   size_t chunk = (cands.size() + morsels - 1) / morsels;
   std::vector<std::optional<Bat>> fragments(morsels);
-  ParallelFor(mx.pool, morsels, [&](size_t j) {
+  MorselFor(mx, "materialize.morsel", mx.pool, morsels, [&](size_t j) {
     if (mx.Aborted()) {
       // Abandoned morsel: stand in an empty fragment so the merge below
       // stays well-formed; the engine discards the partial result.
@@ -924,12 +960,13 @@ RadixTable<K> BuildRadixTable(size_t n, const CandidateList* cands,
   // (1a) per-(morsel, partition) histograms.
   std::vector<std::vector<uint32_t>> hist(morsels,
                                           std::vector<uint32_t>(parts, 0));
-  ParallelForChunks(pool, m, morsels, [&](size_t j, size_t lo, size_t hi) {
-    std::vector<uint32_t>& h = hist[j];
-    for (size_t i = lo; i < hi; ++i) {
-      ++h[RadixHash(key_at(base_pos(i))) & t.part_mask];
-    }
-  });
+  MorselForChunks(mx, "radix.cluster.morsel", pool, m, morsels,
+                  [&](size_t j, size_t lo, size_t hi) {
+                    std::vector<uint32_t>& h = hist[j];
+                    for (size_t i = lo; i < hi; ++i) {
+                      ++h[RadixHash(key_at(base_pos(i))) & t.part_mask];
+                    }
+                  });
   // (1b) partition-major, morsel-minor exclusive prefix sums turn the
   // histograms into scatter cursors; this ordering makes the scatter
   // stable (morsel j's rows precede morsel j+1's within each partition).
@@ -944,16 +981,17 @@ RadixTable<K> BuildRadixTable(size_t n, const CandidateList* cands,
   }
   t.part_begin[parts] = running;
   // (1c) scatter (morsels write disjoint cursor ranges).
-  ParallelForChunks(pool, m, morsels, [&](size_t j, size_t lo, size_t hi) {
-    std::vector<uint32_t>& cursor = hist[j];
-    for (size_t i = lo; i < hi; ++i) {
-      size_t bp = base_pos(i);
-      K key = key_at(bp);
-      uint32_t slot = cursor[RadixHash(key) & t.part_mask]++;
-      t.keys[slot] = key;
-      t.pos[slot] = static_cast<uint32_t>(bp);
-    }
-  });
+  MorselForChunks(mx, "radix.cluster.morsel", pool, m, morsels,
+                  [&](size_t j, size_t lo, size_t hi) {
+                    std::vector<uint32_t>& cursor = hist[j];
+                    for (size_t i = lo; i < hi; ++i) {
+                      size_t bp = base_pos(i);
+                      K key = key_at(bp);
+                      uint32_t slot = cursor[RadixHash(key) & t.part_mask]++;
+                      t.keys[slot] = key;
+                      t.pos[slot] = static_cast<uint32_t>(bp);
+                    }
+                  });
   // (2) per-partition bucket arrays; chains are threaded back-to-front so
   // walking a chain visits ascending clustered rows (= build order).
   size_t btotal = 0;
@@ -965,7 +1003,8 @@ RadixTable<K> BuildRadixTable(size_t n, const CandidateList* cands,
   t.bucket_begin[parts] = btotal;
   t.buckets.assign(btotal, kNoEntry);
   t.next.resize(m);
-  ParallelFor(parts <= 1 ? nullptr : mx.pool, parts, [&](size_t p) {
+  MorselFor(mx, "radix.build.part", parts <= 1 ? nullptr : mx.pool, parts,
+            [&](size_t p) {
     // Partition-boundary abort check: a skipped partition keeps its
     // buckets at kNoEntry (probes miss); the run errors before delivery.
     if (mx.Aborted()) return;
@@ -1050,7 +1089,7 @@ Bat AssembleJoin(const Bat& l, const Bat& r,
     return Bat(l.head().Gather(lfrags[0]), r.tail().Gather(rfrags[0]));
   }
   std::vector<std::optional<Bat>> parts(lfrags.size());
-  ParallelFor(mx.pool, lfrags.size(), [&](size_t j) {
+  MorselFor(mx, "join.gather.morsel", mx.pool, lfrags.size(), [&](size_t j) {
     parts[j].emplace(l.head().Gather(lfrags[j]), r.tail().Gather(rfrags[j]));
   });
   std::vector<const Column*> heads;
@@ -1075,8 +1114,8 @@ Bat ProbeJoin(const Bat& l, const CandidateList* lcands, const Bat& r,
   size_t morsels = mx.MorselsFor(m);
   std::vector<std::vector<uint32_t>> lfrags(morsels);
   std::vector<std::vector<uint32_t>> rfrags(morsels);
-  ParallelForChunks(
-      morsels <= 1 ? nullptr : mx.pool, m, morsels,
+  MorselForChunks(
+      mx, "join.probe.morsel", morsels <= 1 ? nullptr : mx.pool, m, morsels,
       [&](size_t j, size_t lo, size_t hi) {
         std::vector<uint32_t>& lp = lfrags[j];
         std::vector<uint32_t>& rp = rfrags[j];
@@ -1124,13 +1163,14 @@ Bat PartitionWiseProbeJoin(const Bat& l, const CandidateList* lcands,
   std::vector<K> keys(m);
   std::vector<std::vector<uint32_t>> hist(morsels,
                                           std::vector<uint32_t>(parts, 0));
-  ParallelForChunks(pool, m, morsels, [&](size_t j, size_t lo, size_t hi) {
-    std::vector<uint32_t>& h = hist[j];
-    for (size_t i = lo; i < hi; ++i) {
-      keys[i] = key_at(base_pos(i));
-      ++h[RadixHash(keys[i]) & t.part_mask];
-    }
-  });
+  MorselForChunks(mx, "join.cluster.morsel", pool, m, morsels,
+                  [&](size_t j, size_t lo, size_t hi) {
+                    std::vector<uint32_t>& h = hist[j];
+                    for (size_t i = lo; i < hi; ++i) {
+                      keys[i] = key_at(base_pos(i));
+                      ++h[RadixHash(keys[i]) & t.part_mask];
+                    }
+                  });
   std::vector<size_t> pbegin(parts + 1, 0);
   size_t running = 0;
   for (size_t p = 0; p < parts; ++p) {
@@ -1144,20 +1184,23 @@ Bat PartitionWiseProbeJoin(const Bat& l, const CandidateList* lcands,
   pbegin[parts] = running;
   std::vector<uint32_t> idx_cl(m);
   std::vector<K> key_cl(m);
-  ParallelForChunks(pool, m, morsels, [&](size_t j, size_t lo, size_t hi) {
-    std::vector<uint32_t>& cursor = hist[j];
-    for (size_t i = lo; i < hi; ++i) {
-      uint32_t slot = cursor[RadixHash(keys[i]) & t.part_mask]++;
-      idx_cl[slot] = static_cast<uint32_t>(i);
-      key_cl[slot] = keys[i];
-    }
-  });
+  MorselForChunks(mx, "join.cluster.morsel", pool, m, morsels,
+                  [&](size_t j, size_t lo, size_t hi) {
+                    std::vector<uint32_t>& cursor = hist[j];
+                    for (size_t i = lo; i < hi; ++i) {
+                      uint32_t slot =
+                          cursor[RadixHash(keys[i]) & t.part_mask]++;
+                      idx_cl[slot] = static_cast<uint32_t>(i);
+                      key_cl[slot] = keys[i];
+                    }
+                  });
   // (2) Probe partition pairs. Each task owns one probe partition: its
   // matches buffer up in clustered order, and each probe row's match
   // count lands in a slot owned by exactly this task (race-free).
   std::vector<uint32_t> counts(m);
   std::vector<std::vector<uint32_t>> pmatches(parts);
-  ParallelFor(parts <= 1 ? nullptr : mx.pool, parts, [&](size_t p) {
+  MorselFor(mx, "join.probe.part", parts <= 1 ? nullptr : mx.pool, parts,
+            [&](size_t p) {
     // Partition-boundary abort check: a skipped probe partition emits no
     // matches; the partial join is discarded at the next boundary.
     if (mx.Aborted()) return;
@@ -1181,7 +1224,8 @@ Bat PartitionWiseProbeJoin(const Bat& l, const CandidateList* lcands,
   // range; within a row the buffered matches are already in build order.
   std::vector<uint32_t> lpos(total);
   std::vector<uint32_t> rpos(total);
-  ParallelFor(parts <= 1 ? nullptr : mx.pool, parts, [&](size_t p) {
+  MorselFor(mx, "join.scatter.part", parts <= 1 ? nullptr : mx.pool, parts,
+            [&](size_t p) {
     const std::vector<uint32_t>& buf = pmatches[p];
     size_t cursor = 0;
     for (size_t s = pbegin[p]; s < pbegin[p + 1]; ++s) {
@@ -1818,7 +1862,7 @@ Bat TopNByTailCand(const Bat& b, const CandidateList& cands, size_t n,
     // selection over the surviving <= morsels*n entries.
     size_t chunk = (m + morsels - 1) / morsels;
     std::vector<size_t> keeps(morsels);
-    ParallelFor(mx.pool, morsels, [&](size_t j) {
+    MorselFor(mx, "topn.morsel", mx.pool, morsels, [&](size_t j) {
       size_t lo = j * chunk;
       size_t hi = std::min(m, lo + chunk);
       size_t keep = std::min(n, hi - lo);
@@ -1998,8 +2042,8 @@ Bat SingletonGroupAgg(const Bat& b, const CandidateList* cands, AggKind kind,
   if (kind != AggKind::kCount) vals.resize(m);
   size_t morsels = mx.MorselsFor(m);
   size_t chunk = (m + morsels - 1) / std::max<size_t>(morsels, 1);
-  ParallelFor(morsels <= 1 ? nullptr : mx.pool, std::max<size_t>(morsels, 1),
-              [&](size_t j) {
+  MorselFor(mx, "agg.morsel", morsels <= 1 ? nullptr : mx.pool,
+            std::max<size_t>(morsels, 1), [&](size_t j) {
                 size_t lo = j * chunk;
                 size_t hi = std::min(m, lo + chunk);
                 for (size_t i = lo; i < hi; ++i) {
@@ -2047,7 +2091,7 @@ Bat AggregatePerHeadImpl(const Bat& b, const CandidateList* cands,
   } else {
     std::vector<CandidateList> domains = SplitDomain(b.size(), cands, morsels);
     std::vector<GroupMap> partials(domains.size());
-    ParallelFor(mx.pool, domains.size(), [&](size_t j) {
+    MorselFor(mx, "agg.morsel", mx.pool, domains.size(), [&](size_t j) {
       AccumulateDomain(b, &domains[j], kind, &partials[j]);
     });
     TrackMorselTasks(domains.size());
@@ -2276,7 +2320,7 @@ double ScalarSumCand(const Bat& b, const CandidateList& cands,
   }
   size_t chunk = (m + morsels - 1) / morsels;
   std::vector<double> partial(morsels, 0.0);
-  ParallelFor(mx.pool, morsels, [&](size_t j) {
+  MorselFor(mx, "agg.morsel", mx.pool, morsels, [&](size_t j) {
     size_t lo = j * chunk;
     size_t hi = std::min(m, lo + chunk);
     double sum = 0;
@@ -2351,7 +2395,7 @@ double ScalarFoldCand(const Bat& b, const CandidateList& cands, FoldOp op,
   size_t chunk = (m + morsels - 1) / morsels;
   std::vector<double> partial(morsels, 0.0);
   std::vector<char> nonempty(morsels, 0);
-  ParallelFor(mx.pool, morsels, [&](size_t j) {
+  MorselFor(mx, "agg.morsel", mx.pool, morsels, [&](size_t j) {
     size_t lo = j * chunk;
     size_t hi = std::min(m, lo + chunk);
     if (lo >= hi) return;

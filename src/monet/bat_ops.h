@@ -14,6 +14,8 @@
 
 namespace mirror::monet {
 
+class QueryTrace;  // monet/trace.h
+
 using BatPtr = std::shared_ptr<const Bat>;  // also declared in catalog.h
 
 // The Monet-style column-at-a-time operator set. Every operator is a free
@@ -65,6 +67,13 @@ struct MorselExec {
   /// budget with a non-null counter tracks peak usage without enforcing.
   std::atomic<uint64_t>* mem_used = nullptr;
   uint64_t mem_budget = 0;
+  /// Per-query tracing (ExecOptions.trace): when set, the morsel drivers
+  /// record one kMorsel span per dispatched task into the sink, tagged
+  /// with `trace_shard` (the shard whose RunState carries this MorselExec;
+  /// -1 when running unsharded/global). Null — the default — records
+  /// nothing.
+  QueryTrace* trace = nullptr;
+  int32_t trace_shard = -1;
 
   /// True once the deadline (if any) has passed.
   bool Expired() const {

@@ -12,6 +12,7 @@
 #include "monet/prob_ops.h"
 #include "monet/profiler.h"
 #include "monet/recycler.h"
+#include "monet/trace.h"
 
 namespace mirror::monet::mil {
 
@@ -191,6 +192,15 @@ struct RunState {
   Recycler* recycler = nullptr;
   uint64_t recycler_gen = 0;
   const std::vector<std::string>* load_names = nullptr;
+  /// Tracing (armed by ExecOptions.trace + trace_sink): the span sink,
+  /// the shard this state executes against (-1 = global), and the
+  /// program's instruction array base for index recovery. Per-shard
+  /// RunStates keep `trace` null — ExecShardFanout records the per-shard
+  /// spans itself, so shard-local ExecInstr calls stay silent and every
+  /// (instruction, shard) pair yields exactly one span.
+  QueryTrace* trace = nullptr;
+  int32_t trace_shard = -1;
+  const Instr* trace_base = nullptr;
 
   RegValue& slot(int reg) { return (*regs)[static_cast<size_t>(reg)]; }
 };
@@ -548,6 +558,11 @@ base::Status ExecInstr(RunState& st, const Instr& i) {
   // expired or over-budget query stops scheduling work and unwinds with
   // a clean error.
   if (st.mx.Aborted()) return AbortedStatus(st.mx);
+  TraceSpanRecorder trace_span(
+      st.trace,
+      st.trace == nullptr ? kTraceNoInstr
+                          : static_cast<uint32_t>(&i - st.trace_base),
+      OpCodeName(i.op), st.trace_shard);
   auto mat1 = [&]() { return MatInput(st, i.src1); };
 
   if (st.use_candidates && IsCandidatePipelineOp(i.op)) {
@@ -1106,7 +1121,16 @@ base::Status ExecShardFanout(
   BroadcastGlobalSources(sst, i);
   size_t S = sst.num_shards;
   std::vector<base::Status> errs(S, base::Status::Ok());
+  // Span attribution for sharded work happens here, not inside the
+  // shard-local ExecInstr (those RunStates keep trace null): one span per
+  // (instruction, shard), stamped by whichever pool thread ran the shard.
+  QueryTrace* trace = sst.global->trace;
+  const uint32_t instr_idx =
+      trace == nullptr ? kTraceNoInstr
+                       : static_cast<uint32_t>(&i - sst.global->trace_base);
   ParallelFor(sst.global->mx.pool, S, [&](size_t s) {
+    TraceSpanRecorder span(trace, instr_idx, OpCodeName(i.op),
+                           static_cast<int32_t>(s));
     errs[s] = per_shard(*sst.shard[s], s);
   });
   for (const base::Status& e : errs) {
@@ -1414,6 +1438,17 @@ base::Result<RunResult> ExecutionEngine::Run(const Program& program,
     // writer may drop and rebuild the catalog's caches mid-query.
     st.zones = catalog_->PinZones();
   }
+  // Tracing: the sink is cleared (fresh epoch) at entry, the instruction
+  // base enables index recovery by pointer arithmetic, and the sink rides
+  // MorselExec into the kernels so morsel drivers can record their tasks.
+  QueryTrace* trace_sink =
+      (options_.trace && options_.trace_sink != nullptr) ? options_.trace_sink
+                                                         : nullptr;
+  if (trace_sink != nullptr) {
+    trace_sink->Clear();
+    st.trace = trace_sink;
+    st.trace_base = program.instrs().data();
+  }
   // The deadline is stamped once at entry and the memory counter lives
   // for the whole run; `arm` re-applies both wherever the morsel
   // resources are re-assigned below (always BEFORE shard RunStates copy
@@ -1429,6 +1464,7 @@ base::Result<RunResult> ExecutionEngine::Run(const Program& program,
     }
     mx->mem_used = &mem_used;
     mx->mem_budget = options_.memory_budget_bytes;
+    mx->trace = trace_sink;
   };
   arm_deadline(&st.mx);
   // Publish this query's charged high-water mark on every exit path.
@@ -1477,6 +1513,10 @@ base::Result<RunResult> ExecutionEngine::Run(const Program& program,
           &shard_layout->shard(s), options_.use_candidates,
           options_.fuse_aggregates, options_.morsel_joins, options_.zone_maps,
           options_.topk_prune, &topk_plan, st.mx, &shard_regs[s]});
+      // Shard states record no instruction spans themselves (trace stays
+      // null; ExecShardFanout attributes per shard), but their morsel
+      // drivers tag morsel spans with the owning shard.
+      sst.shard.back()->mx.trace_shard = static_cast<int32_t>(s);
       if (options_.zone_maps) {
         // Shard-local catalogs are immutable once built, but their zone
         // caches follow the same pin-per-run rule as the base catalog's.

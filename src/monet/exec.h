@@ -16,7 +16,8 @@
 #include "monet/worker_pool.h"
 
 namespace mirror::monet {
-class Recycler;  // monet/recycler.h
+class Recycler;    // monet/recycler.h
+class QueryTrace;  // monet/trace.h
 }  // namespace mirror::monet
 
 namespace mirror::monet::mil {
@@ -125,6 +126,16 @@ struct ExecOptions {
   /// Recycler generation captured at query start (before any catalog
   /// reads); lookups and inserts carrying a stale generation are refused.
   uint64_t recycler_generation = 0;
+  /// When true AND `trace_sink` is set, the engine Clear()s the sink at
+  /// Run() entry and records one span per executed MIL instruction (per
+  /// shard when sharded) plus per-morsel spans from the parallel kernel
+  /// drivers; the caller merges the sink after Run() returns (see
+  /// monet/trace.h). The daemon exposes it as `SET exec.trace`. With the
+  /// knob off, execution pays one null-pointer branch per instruction.
+  bool trace = false;
+  /// The per-query span sink, owned by the caller (the daemon keeps one
+  /// per session); null disables tracing regardless of `trace`.
+  QueryTrace* trace_sink = nullptr;
 };
 
 /// One register during execution: a materialized BAT, an unmaterialized

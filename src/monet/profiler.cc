@@ -1,6 +1,6 @@
 #include "monet/profiler.h"
 
-#include <mutex>
+#include <atomic>
 
 #include "base/str_util.h"
 
@@ -8,13 +8,64 @@ namespace mirror::monet {
 
 namespace {
 
-/// Serializes all mutations of the global counters: operators run
-/// concurrently on the ExecutionEngine's worker pool. One uncontended
-/// lock per operator invocation (not per tuple) is noise next to the
-/// column scans the operators perform.
-std::mutex& StatsMutex() {
-  static std::mutex mu;
-  return mu;
+constexpr int kNumOps = static_cast<int>(KernelOp::kNumOps);
+
+/// Stripe count: a power of two comfortably above the worker-pool sizes
+/// the engine runs (hardware threads), so concurrent kernels land on
+/// distinct cache lines with high probability.
+constexpr uint32_t kStripes = 16;
+
+/// One accumulator stripe. alignas(64) keeps stripes on distinct cache
+/// lines; every field is a relaxed atomic because the only invariant the
+/// counters carry is "eventually sums to the true total" — cross-counter
+/// consistency was never promised (the old mutex merely serialized the
+/// adds, not the readers' view of unrelated counters).
+struct alignas(64) StatsStripe {
+  std::atomic<uint64_t> op_count[kNumOps];
+  std::atomic<uint64_t> wall_nanos[kNumOps];
+  std::atomic<uint64_t> tuples_in;
+  std::atomic<uint64_t> tuples_out;
+  std::atomic<uint64_t> candidate_ops;
+  std::atomic<uint64_t> materializations;
+  std::atomic<uint64_t> materialized_tuples;
+  std::atomic<uint64_t> morsel_tasks;
+  std::atomic<uint64_t> fused_agg_ops;
+  std::atomic<uint64_t> radix_builds;
+  std::atomic<uint64_t> radix_partitions;
+  std::atomic<uint64_t> bloom_builds;
+  std::atomic<uint64_t> bloom_hits;
+  std::atomic<uint64_t> shard_fanouts;
+  std::atomic<uint64_t> shard_fanins;
+  std::atomic<uint64_t> zone_blocks_skipped;
+  std::atomic<uint64_t> topk_morsels_pruned;
+  std::atomic<uint64_t> topk_shards_pruned;
+  std::atomic<uint64_t> probe_partitions;
+  std::atomic<uint64_t> candidate_cache_hits;
+  std::atomic<uint64_t> candidate_subsumption_hits;
+};
+
+StatsStripe g_stripes[kStripes];
+
+/// Gauges and high-water marks live outside the stripes: a max and a
+/// "set, not add" cannot be folded from per-stripe partials.
+std::atomic<uint64_t> g_peak_query_bytes{0};
+std::atomic<uint64_t> g_recycler_bytes_held{0};
+
+/// The calling thread's stripe, assigned round-robin on first use and
+/// cached in a thread_local for the thread's lifetime.
+StatsStripe& LocalStripe() {
+  static std::atomic<uint32_t> next{0};
+  thread_local StatsStripe* stripe =
+      &g_stripes[next.fetch_add(1, std::memory_order_relaxed) % kStripes];
+  return *stripe;
+}
+
+inline void Add(std::atomic<uint64_t>& c, uint64_t v) {
+  c.fetch_add(v, std::memory_order_relaxed);
+}
+
+inline uint64_t Ld(const std::atomic<uint64_t>& c) {
+  return c.load(std::memory_order_relaxed);
 }
 
 }  // namespace
@@ -65,7 +116,7 @@ const char* KernelOpName(KernelOp op) {
 
 uint64_t KernelStats::TotalOps() const {
   uint64_t total = 0;
-  for (int i = 0; i < static_cast<int>(KernelOp::kNumOps); ++i) {
+  for (int i = 0; i < kNumOps; ++i) {
     total += op_count[i];
   }
   return total;
@@ -73,7 +124,7 @@ uint64_t KernelStats::TotalOps() const {
 
 uint64_t KernelStats::TotalWallNanos() const {
   uint64_t total = 0;
-  for (int i = 0; i < static_cast<int>(KernelOp::kNumOps); ++i) {
+  for (int i = 0; i < kNumOps; ++i) {
     total += wall_nanos[i];
   }
   return total;
@@ -85,7 +136,7 @@ std::string KernelStats::ToString() const {
   std::string out =
       base::StrFormat("ops=%llu (", static_cast<unsigned long long>(TotalOps()));
   bool first = true;
-  for (int i = 0; i < static_cast<int>(KernelOp::kNumOps); ++i) {
+  for (int i = 0; i < kNumOps; ++i) {
     if (op_count[i] == 0) continue;
     if (!first) out += " ";
     first = false;
@@ -143,117 +194,152 @@ std::string KernelStats::ToString() const {
   return out;
 }
 
-KernelStats& GlobalKernelStats() {
-  static KernelStats stats;
-  return stats;
-}
-
 void TrackKernelOp(KernelOp op, uint64_t tuples_in, uint64_t tuples_out) {
-  std::lock_guard<std::mutex> lock(StatsMutex());
-  KernelStats& s = GlobalKernelStats();
-  ++s.op_count[static_cast<int>(op)];
-  s.tuples_in += tuples_in;
-  s.tuples_out += tuples_out;
+  StatsStripe& s = LocalStripe();
+  Add(s.op_count[static_cast<int>(op)], 1);
+  Add(s.tuples_in, tuples_in);
+  Add(s.tuples_out, tuples_out);
 }
 
 void TrackKernelTime(KernelOp op, uint64_t nanos) {
-  std::lock_guard<std::mutex> lock(StatsMutex());
-  GlobalKernelStats().wall_nanos[static_cast<int>(op)] += nanos;
+  Add(LocalStripe().wall_nanos[static_cast<int>(op)], nanos);
 }
 
-void TrackCandidateOp() {
-  std::lock_guard<std::mutex> lock(StatsMutex());
-  ++GlobalKernelStats().candidate_ops;
-}
+void TrackCandidateOp() { Add(LocalStripe().candidate_ops, 1); }
 
 void TrackMaterialization(uint64_t tuples) {
-  std::lock_guard<std::mutex> lock(StatsMutex());
-  KernelStats& s = GlobalKernelStats();
-  ++s.materializations;
-  s.materialized_tuples += tuples;
+  StatsStripe& s = LocalStripe();
+  Add(s.materializations, 1);
+  Add(s.materialized_tuples, tuples);
 }
 
 void TrackMorselTasks(uint64_t tasks) {
-  std::lock_guard<std::mutex> lock(StatsMutex());
-  GlobalKernelStats().morsel_tasks += tasks;
+  Add(LocalStripe().morsel_tasks, tasks);
 }
 
-void TrackFusedAgg() {
-  std::lock_guard<std::mutex> lock(StatsMutex());
-  ++GlobalKernelStats().fused_agg_ops;
-}
+void TrackFusedAgg() { Add(LocalStripe().fused_agg_ops, 1); }
 
 void TrackRadixBuild(uint64_t partitions) {
-  std::lock_guard<std::mutex> lock(StatsMutex());
-  KernelStats& s = GlobalKernelStats();
-  ++s.radix_builds;
-  s.radix_partitions += partitions;
+  StatsStripe& s = LocalStripe();
+  Add(s.radix_builds, 1);
+  Add(s.radix_partitions, partitions);
 }
 
-void TrackBloomBuild() {
-  std::lock_guard<std::mutex> lock(StatsMutex());
-  ++GlobalKernelStats().bloom_builds;
-}
+void TrackBloomBuild() { Add(LocalStripe().bloom_builds, 1); }
 
 void TrackBloomHits(uint64_t rejects) {
-  std::lock_guard<std::mutex> lock(StatsMutex());
-  GlobalKernelStats().bloom_hits += rejects;
+  Add(LocalStripe().bloom_hits, rejects);
 }
 
-void TrackShardFanout() {
-  std::lock_guard<std::mutex> lock(StatsMutex());
-  ++GlobalKernelStats().shard_fanouts;
-}
+void TrackShardFanout() { Add(LocalStripe().shard_fanouts, 1); }
 
-void TrackShardFanin() {
-  std::lock_guard<std::mutex> lock(StatsMutex());
-  ++GlobalKernelStats().shard_fanins;
-}
+void TrackShardFanin() { Add(LocalStripe().shard_fanins, 1); }
 
 void TrackZoneBlocksSkipped(uint64_t blocks) {
-  std::lock_guard<std::mutex> lock(StatsMutex());
-  GlobalKernelStats().zone_blocks_skipped += blocks;
+  Add(LocalStripe().zone_blocks_skipped, blocks);
 }
 
 void TrackTopkMorselsPruned(uint64_t morsels) {
-  std::lock_guard<std::mutex> lock(StatsMutex());
-  GlobalKernelStats().topk_morsels_pruned += morsels;
+  Add(LocalStripe().topk_morsels_pruned, morsels);
 }
 
-void TrackTopkShardPruned() {
-  std::lock_guard<std::mutex> lock(StatsMutex());
-  ++GlobalKernelStats().topk_shards_pruned;
-}
+void TrackTopkShardPruned() { Add(LocalStripe().topk_shards_pruned, 1); }
 
 void TrackProbePartitions(uint64_t partitions) {
-  std::lock_guard<std::mutex> lock(StatsMutex());
-  GlobalKernelStats().probe_partitions += partitions;
+  Add(LocalStripe().probe_partitions, partitions);
 }
 
 void TrackPeakQueryBytes(uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(StatsMutex());
-  KernelStats& s = GlobalKernelStats();
-  if (bytes > s.peak_query_bytes) s.peak_query_bytes = bytes;
+  uint64_t seen = g_peak_query_bytes.load(std::memory_order_relaxed);
+  while (bytes > seen &&
+         !g_peak_query_bytes.compare_exchange_weak(
+             seen, bytes, std::memory_order_relaxed)) {
+  }
 }
 
-void TrackCandidateCacheHit() {
-  std::lock_guard<std::mutex> lock(StatsMutex());
-  ++GlobalKernelStats().candidate_cache_hits;
-}
+void TrackCandidateCacheHit() { Add(LocalStripe().candidate_cache_hits, 1); }
 
 void TrackCandidateSubsumptionHit() {
-  std::lock_guard<std::mutex> lock(StatsMutex());
-  ++GlobalKernelStats().candidate_subsumption_hits;
+  Add(LocalStripe().candidate_subsumption_hits, 1);
 }
 
 void TrackRecyclerBytesHeld(uint64_t bytes) {
-  std::lock_guard<std::mutex> lock(StatsMutex());
-  GlobalKernelStats().recycler_bytes_held = bytes;
+  g_recycler_bytes_held.store(bytes, std::memory_order_relaxed);
 }
 
 KernelStats SnapshotKernelStats() {
-  std::lock_guard<std::mutex> lock(StatsMutex());
-  return GlobalKernelStats();
+  KernelStats out;
+  for (const StatsStripe& s : g_stripes) {
+    for (int i = 0; i < kNumOps; ++i) {
+      out.op_count[i] += Ld(s.op_count[i]);
+      out.wall_nanos[i] += Ld(s.wall_nanos[i]);
+    }
+    out.tuples_in += Ld(s.tuples_in);
+    out.tuples_out += Ld(s.tuples_out);
+    out.candidate_ops += Ld(s.candidate_ops);
+    out.materializations += Ld(s.materializations);
+    out.materialized_tuples += Ld(s.materialized_tuples);
+    out.morsel_tasks += Ld(s.morsel_tasks);
+    out.fused_agg_ops += Ld(s.fused_agg_ops);
+    out.radix_builds += Ld(s.radix_builds);
+    out.radix_partitions += Ld(s.radix_partitions);
+    out.bloom_builds += Ld(s.bloom_builds);
+    out.bloom_hits += Ld(s.bloom_hits);
+    out.shard_fanouts += Ld(s.shard_fanouts);
+    out.shard_fanins += Ld(s.shard_fanins);
+    out.zone_blocks_skipped += Ld(s.zone_blocks_skipped);
+    out.topk_morsels_pruned += Ld(s.topk_morsels_pruned);
+    out.topk_shards_pruned += Ld(s.topk_shards_pruned);
+    out.probe_partitions += Ld(s.probe_partitions);
+    out.candidate_cache_hits += Ld(s.candidate_cache_hits);
+    out.candidate_subsumption_hits += Ld(s.candidate_subsumption_hits);
+  }
+  out.peak_query_bytes = Ld(g_peak_query_bytes);
+  out.recycler_bytes_held = Ld(g_recycler_bytes_held);
+  return out;
+}
+
+TraceCounterSnapshot SnapshotTraceCounters() {
+  TraceCounterSnapshot out;
+  for (const StatsStripe& s : g_stripes) {
+    out.tuples_in += Ld(s.tuples_in);
+    out.tuples_out += Ld(s.tuples_out);
+    out.morsel_tasks += Ld(s.morsel_tasks);
+    out.zone_blocks_skipped += Ld(s.zone_blocks_skipped);
+    out.topk_pruned += Ld(s.topk_morsels_pruned) + Ld(s.topk_shards_pruned);
+    out.bloom_hits += Ld(s.bloom_hits);
+  }
+  return out;
+}
+
+void ResetKernelStats() {
+  for (StatsStripe& s : g_stripes) {
+    for (int i = 0; i < kNumOps; ++i) {
+      s.op_count[i].store(0, std::memory_order_relaxed);
+      s.wall_nanos[i].store(0, std::memory_order_relaxed);
+    }
+    s.tuples_in.store(0, std::memory_order_relaxed);
+    s.tuples_out.store(0, std::memory_order_relaxed);
+    s.candidate_ops.store(0, std::memory_order_relaxed);
+    s.materializations.store(0, std::memory_order_relaxed);
+    s.materialized_tuples.store(0, std::memory_order_relaxed);
+    s.morsel_tasks.store(0, std::memory_order_relaxed);
+    s.fused_agg_ops.store(0, std::memory_order_relaxed);
+    s.radix_builds.store(0, std::memory_order_relaxed);
+    s.radix_partitions.store(0, std::memory_order_relaxed);
+    s.bloom_builds.store(0, std::memory_order_relaxed);
+    s.bloom_hits.store(0, std::memory_order_relaxed);
+    s.shard_fanouts.store(0, std::memory_order_relaxed);
+    s.shard_fanins.store(0, std::memory_order_relaxed);
+    s.zone_blocks_skipped.store(0, std::memory_order_relaxed);
+    s.topk_morsels_pruned.store(0, std::memory_order_relaxed);
+    s.topk_shards_pruned.store(0, std::memory_order_relaxed);
+    s.probe_partitions.store(0, std::memory_order_relaxed);
+    s.candidate_cache_hits.store(0, std::memory_order_relaxed);
+    s.candidate_subsumption_hits.store(0, std::memory_order_relaxed);
+  }
+  g_peak_query_bytes.store(0, std::memory_order_relaxed);
+  g_recycler_bytes_held.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace mirror::monet

@@ -105,11 +105,21 @@ struct KernelStats {
   std::string ToString() const;
 };
 
-/// Process-wide kernel counters. Mutations go through the Track* functions
-/// below, which serialize under an internal mutex: kernel operators run
-/// concurrently on the ExecutionEngine's worker pool. Reading a copy while
-/// a query runs yields a consistent-enough snapshot for reporting.
-KernelStats& GlobalKernelStats();
+/// Mutations of the process-wide counters go through the Track* functions
+/// below. The counters are sharded into cache-line-sized stripes of
+/// relaxed atomics, each recording thread bound to one stripe: a Track*
+/// call is a handful of uncontended relaxed adds, never a lock — kernel
+/// operators run concurrently on the ExecutionEngine's worker pool and
+/// the old single stats mutex was the one global serialization point left
+/// on the hot path. SnapshotKernelStats() folds the stripes into one
+/// KernelStats value; reading while a query runs yields a
+/// consistent-enough snapshot for reporting.
+
+/// Zeroes every process-wide counter (stripes, peak gauge, recycler
+/// gauge). Counts tracked concurrently with the reset may survive it;
+/// callers quiesce their own kernels first, exactly as with the old
+/// mutex-guarded Reset.
+void ResetKernelStats();
 
 /// Records one operator execution with its input/output cardinalities.
 void TrackKernelOp(KernelOp op, uint64_t tuples_in, uint64_t tuples_out);
@@ -177,9 +187,23 @@ void TrackCandidateSubsumptionHit();
 /// Sets the recycler bytes-held gauge (absolute value, not a delta).
 void TrackRecyclerBytesHeld(uint64_t bytes);
 
-/// Consistent copy of the process-wide counters (taken under the stats
-/// mutex — safe to call while kernels run).
+/// Copy of the process-wide counters (stripes folded with relaxed loads —
+/// safe to call while kernels run).
 KernelStats SnapshotKernelStats();
+
+/// The counter subset the query tracer (monet/trace.h) deltas around each
+/// instruction span. Folding six fields across the stripes is cheap
+/// enough to do per span; a full SnapshotKernelStats per span would not
+/// be.
+struct TraceCounterSnapshot {
+  uint64_t tuples_in = 0;
+  uint64_t tuples_out = 0;
+  uint64_t morsel_tasks = 0;
+  uint64_t zone_blocks_skipped = 0;
+  uint64_t topk_pruned = 0;  // morsels + whole shards
+  uint64_t bloom_hits = 0;
+};
+TraceCounterSnapshot SnapshotTraceCounters();
 
 /// Scoped wall-time attribution to one operator family. Place at the top
 /// of an operator body; destruction adds the elapsed time.

@@ -668,16 +668,16 @@ TEST(QueryServerTest, SetOverridesAreIsolatedPerSession) {
   auto direct = database->Query(query, ctx);
   ASSERT_TRUE(direct.ok());
 
-  monet::GlobalKernelStats().Reset();
+  monet::ResetKernelStats();
   auto result_a = a.Query(query, ctx);
   ASSERT_TRUE(result_a.ok());
-  uint64_t fanouts_a = monet::GlobalKernelStats().shard_fanouts;
+  uint64_t fanouts_a = monet::SnapshotKernelStats().shard_fanouts;
   EXPECT_GT(fanouts_a, 0u) << "tenant-a's override never fanned out";
 
-  monet::GlobalKernelStats().Reset();
+  monet::ResetKernelStats();
   auto result_b = b.Query(query, ctx);
   ASSERT_TRUE(result_b.ok());
-  EXPECT_EQ(monet::GlobalKernelStats().shard_fanouts, 0u)
+  EXPECT_EQ(monet::SnapshotKernelStats().shard_fanouts, 0u)
       << "tenant-b was dragged onto tenant-a's sharded path";
 
   ExpectResultIdentical(result_a.value(), direct.value());

@@ -91,10 +91,10 @@ std::map<Oid, double> RunFlattened(const Database& db, const QueryContext& ctx,
   EXPECT_TRUE(program.ok()) << program.status().ToString();
   monet::mil::Program prog = program.TakeValue();
   if (optimize) OptimizeMil(&prog, &report);
-  monet::GlobalKernelStats().Reset();
+  monet::ResetKernelStats();
   auto run = monet::mil::Executor(&db.catalog()).Run(prog);
   EXPECT_TRUE(run.ok()) << run.status().ToString();
-  *stats_out = monet::GlobalKernelStats();
+  *stats_out = monet::SnapshotKernelStats();
   std::map<Oid, double> out;
   const monet::Bat& bat = *run.value().bat;
   for (size_t i = 0; i < bat.size(); ++i) {

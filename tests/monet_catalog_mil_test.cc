@@ -257,21 +257,21 @@ TEST(ExecutionEngineTest, CandidatePipelineMatchesSequentialExecutor) {
 TEST(ExecutionEngineTest, CandidatePipelineAvoidsIntermediateCopies) {
   Catalog catalog = MakeCatalog(3000, 12);
   mil::Program prog = SelectionPipelineProgram();
-  GlobalKernelStats().Reset();
+  ResetKernelStats();
   mil::ExecutionEngine engine(&catalog, mil::ExecOptions{.num_threads = 1,
                                                          .use_candidates = true});
   ASSERT_TRUE(engine.Run(prog).ok());
-  KernelStats with_cands = GlobalKernelStats();
+  KernelStats with_cands = SnapshotKernelStats();
   // The whole select->select->semijoin->slice chain materializes exactly
   // once, at result delivery.
   EXPECT_EQ(with_cands.materializations, 1u);
   EXPECT_GE(with_cands.candidate_ops, 4u);
 
-  GlobalKernelStats().Reset();
+  ResetKernelStats();
   mil::ExecutionEngine eager(&catalog, mil::ExecOptions{.num_threads = 1,
                                                         .use_candidates = false});
   ASSERT_TRUE(eager.Run(prog).ok());
-  KernelStats without_cands = GlobalKernelStats();
+  KernelStats without_cands = SnapshotKernelStats();
   EXPECT_EQ(without_cands.materializations, 0u);
   // Late materialization copies strictly fewer tuples: only the final
   // result, vs. every intermediate the eager path gathers.

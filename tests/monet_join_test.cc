@@ -237,15 +237,15 @@ TEST(BloomProbeTest, SelectiveMembershipProbesFilterMisses) {
   MorselExec unfiltered;
   unfiltered.bloom_probes = false;
 
-  GlobalKernelStats().Reset();
+  ResetKernelStats();
   CandidateList with_bloom = SemiJoinHeadCand(l, r, nullptr, filtered);
-  KernelStats stats = GlobalKernelStats();
+  KernelStats stats = SnapshotKernelStats();
   EXPECT_GE(stats.bloom_builds, 1u);
   EXPECT_GT(stats.bloom_hits, 0u);
 
-  GlobalKernelStats().Reset();
+  ResetKernelStats();
   CandidateList without = SemiJoinHeadCand(l, r, nullptr, unfiltered);
-  EXPECT_EQ(GlobalKernelStats().bloom_builds, 0u);
+  EXPECT_EQ(SnapshotKernelStats().bloom_builds, 0u);
 
   // The filter may only skip work, never change the answer — for the
   // keep side and the anti side alike.
@@ -266,9 +266,9 @@ TEST(BloomProbeTest, UnselectiveProbesSkipTheFilter) {
   for (size_t i = 0; i < 2000; ++i) members.push_back(static_cast<int64_t>(i));
   Bat l = Bat::DenseInts({5, 10, 4000});
   Bat r(Column::MakeInts(members), Column::MakeInts(members));
-  GlobalKernelStats().Reset();
+  ResetKernelStats();
   CandidateList kept = SemiJoinTailCand(l, r);
-  EXPECT_EQ(GlobalKernelStats().bloom_builds, 0u);
+  EXPECT_EQ(SnapshotKernelStats().bloom_builds, 0u);
   EXPECT_EQ(kept.size(), 2u);
 }
 
@@ -293,7 +293,7 @@ TEST(PreparedJoinTest, SharedBuildServesManyProbesOnce) {
   for (size_t i = 0; i < 900; ++i) probes.push_back(rng.UniformInt(0, 500));
   Bat l = Bat::DenseInts(probes);
   WarmJoinBuild(*build, l.tail());
-  GlobalKernelStats().Reset();
+  ResetKernelStats();
   for (size_t lo = 0; lo < 900; lo += 300) {
     CandidateList slice = CandidateList::Dense(lo, 300);
     ExpectBatsEqual(JoinCand(l, &slice, *r, nullptr, mx),
@@ -308,7 +308,7 @@ TEST(PreparedJoinTest, SharedBuildServesManyProbesOnce) {
 }
 
 TEST(JoinKernelTest, RadixBuildsAreTrackedForPartitionedJoins) {
-  GlobalKernelStats().Reset();
+  ResetKernelStats();
   std::vector<int64_t> keys;
   for (size_t i = 0; i < 2000; ++i) keys.push_back(static_cast<int64_t>(i));
   Bat l = Bat::DenseInts(keys);
@@ -316,7 +316,7 @@ TEST(JoinKernelTest, RadixBuildsAreTrackedForPartitionedJoins) {
   MorselExec mx{nullptr, 0, /*radix_partitions=*/16};
   Bat j = Join(l, r, mx);
   EXPECT_EQ(j.size(), 2000u);
-  KernelStats stats = GlobalKernelStats();
+  KernelStats stats = SnapshotKernelStats();
   EXPECT_GE(stats.radix_builds, 1u);
   EXPECT_GE(stats.radix_partitions, 16u);
 }
@@ -469,10 +469,10 @@ TEST(EngineJoinTest, SelectJoinAggPlanFusesWithZeroMaterializations) {
   legacy.num_threads = 1;
   legacy.morsel_joins = false;
 
-  GlobalKernelStats().Reset();
+  ResetKernelStats();
   auto fused = mil::ExecutionEngine(&catalog, radix).Run(p, &session);
   ASSERT_TRUE(fused.ok()) << fused.status().ToString();
-  KernelStats stats = GlobalKernelStats();
+  KernelStats stats = SnapshotKernelStats();
   EXPECT_EQ(stats.materializations, 0u)
       << "select→join→agg plan still materializes";
   EXPECT_GE(stats.radix_builds, 1u);

@@ -240,10 +240,10 @@ TEST(FusedAggTest, EngineSelectAggPlanFusesWithZeroMaterializations) {
                                    .use_candidates = true,
                                    .morsel_size = 128,
                                    .fuse_aggregates = true});
-    GlobalKernelStats().Reset();
+    ResetKernelStats();
     auto run = engine.Run(p, &session);
     ASSERT_TRUE(run.ok()) << run.status().ToString();
-    KernelStats stats = GlobalKernelStats();
+    KernelStats stats = SnapshotKernelStats();
     EXPECT_EQ(stats.materializations, 0u) << "threads=" << threads;
     EXPECT_GT(stats.fused_agg_ops, 0u) << "threads=" << threads;
     if (threads > 1) EXPECT_GT(stats.morsel_tasks, 0u);

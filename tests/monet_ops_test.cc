@@ -447,11 +447,11 @@ INSTANTIATE_TEST_SUITE_P(
     });
 
 TEST(ProfilerTest, OpsAreCounted) {
-  GlobalKernelStats().Reset();
+  ResetKernelStats();
   Bat b = Bat::DenseInts({1, 2, 3});
   SelectEq(b, Value::MakeInt(2));
   Reverse(b);
-  KernelStats& stats = GlobalKernelStats();
+  KernelStats stats = SnapshotKernelStats();
   EXPECT_EQ(stats.op_count[static_cast<int>(KernelOp::kSelect)], 1u);
   EXPECT_EQ(stats.op_count[static_cast<int>(KernelOp::kReverse)], 1u);
   EXPECT_GE(stats.TotalOps(), 2u);
@@ -459,11 +459,11 @@ TEST(ProfilerTest, OpsAreCounted) {
 }
 
 TEST(ProfilerTest, CandidateAndMaterializationCountersTrack) {
-  GlobalKernelStats().Reset();
+  ResetKernelStats();
   Bat b = Bat::DenseInts({1, 2, 3, 4, 5});
   CandidateList c = SelectCmpCand(b, CmpOp::kGt, Value::MakeInt(2));
   Materialize(b, c);
-  KernelStats& stats = GlobalKernelStats();
+  KernelStats stats = SnapshotKernelStats();
   EXPECT_EQ(stats.candidate_ops, 1u);
   EXPECT_EQ(stats.materializations, 1u);
   EXPECT_EQ(stats.materialized_tuples, 3u);

@@ -52,9 +52,9 @@ KernelStats ExpectShardedMatches(const Catalog& catalog,
   sharded.num_shards = num_shards;
   auto base = mil::ExecutionEngine(&catalog, plain).Run(program);
   EXPECT_TRUE(base.ok()) << what << ": " << base.status().ToString();
-  GlobalKernelStats().Reset();
+  ResetKernelStats();
   auto shard = mil::ExecutionEngine(&catalog, sharded).Run(program);
-  KernelStats stats = GlobalKernelStats();
+  KernelStats stats = SnapshotKernelStats();
   EXPECT_TRUE(shard.ok()) << what << ": " << shard.status().ToString();
   if (!base.ok() || !shard.ok()) return stats;
   EXPECT_EQ(base.value().is_scalar, shard.value().is_scalar) << what;
@@ -620,9 +620,9 @@ TEST(MirrorDbShardingTest, LoadShardedAppliesDefaultShardCount) {
   };
   for (const char* query : queries) {
     SCOPED_TRACE(query);
-    GlobalKernelStats().Reset();
+    ResetKernelStats();
     auto sharded = database.Query(query, ctx);  // default options: inherit
-    KernelStats stats = GlobalKernelStats();
+    KernelStats stats = SnapshotKernelStats();
     auto unsharded = plain.Query(query, ctx);
     ASSERT_TRUE(sharded.ok()) << sharded.status().ToString();
     ASSERT_TRUE(unsharded.ok()) << unsharded.status().ToString();
@@ -639,9 +639,9 @@ TEST(MirrorDbShardingTest, LoadShardedAppliesDefaultShardCount) {
   // An explicit num_shards = 1 pins the unsharded engine.
   db::QueryOptions pinned;
   pinned.exec.num_shards = 1;
-  GlobalKernelStats().Reset();
+  ResetKernelStats();
   ASSERT_TRUE(database.Query(queries[0], ctx, pinned).ok());
-  EXPECT_EQ(GlobalKernelStats().shard_fanouts, 0u);
+  EXPECT_EQ(SnapshotKernelStats().shard_fanouts, 0u);
 }
 
 }  // namespace

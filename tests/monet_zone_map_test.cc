@@ -183,9 +183,9 @@ TEST(ZonePruneTest, ZonedSelectsMatchUnzonedAndSkipBlocks) {
     mil::ExecOptions unzoned = zoned;
     unzoned.zone_maps = false;
 
-    GlobalKernelStats().Reset();
+    ResetKernelStats();
     auto with = mil::ExecutionEngine(&catalog, zoned).Run(p);
-    KernelStats stats = GlobalKernelStats();
+    KernelStats stats = SnapshotKernelStats();
     auto without = mil::ExecutionEngine(&catalog, unzoned).Run(p);
     ASSERT_TRUE(with.ok()) << with.status().ToString();
     ASSERT_TRUE(without.ok()) << without.status().ToString();
@@ -291,17 +291,17 @@ TEST(TopKPruneTest, SequentialScanSkipsBlocksBehindTheThreshold) {
   mil::ExecOptions opts;
   opts.num_threads = 1;
   opts.num_shards = 1;
-  GlobalKernelStats().Reset();
+  ResetKernelStats();
   auto pruned = mil::ExecutionEngine(&catalog, opts).Run(p);
   ASSERT_TRUE(pruned.ok());
-  KernelStats stats = GlobalKernelStats();
+  KernelStats stats = SnapshotKernelStats();
   EXPECT_GE(stats.zone_blocks_skipped, 3u);
-  GlobalKernelStats().Reset();
+  ResetKernelStats();
   mil::ExecOptions off = opts;
   off.topk_prune = false;
   auto unpruned = mil::ExecutionEngine(&catalog, off).Run(p);
   ASSERT_TRUE(unpruned.ok());
-  EXPECT_EQ(GlobalKernelStats().zone_blocks_skipped, 0u);
+  EXPECT_EQ(SnapshotKernelStats().zone_blocks_skipped, 0u);
   ExpectBatsEqual(*unpruned.value().bat, *pruned.value().bat, "prune knob");
 }
 
@@ -320,10 +320,10 @@ TEST(TopKPruneTest, WholeShardsPruneWhenTheirBoundsCannotWin) {
   mil::ExecOptions opts;
   opts.num_threads = 1;
   opts.num_shards = 4;
-  GlobalKernelStats().Reset();
+  ResetKernelStats();
   auto pruned = mil::ExecutionEngine(&catalog, opts).Run(p);
   ASSERT_TRUE(pruned.ok());
-  EXPECT_EQ(GlobalKernelStats().topk_shards_pruned, 3u);
+  EXPECT_EQ(SnapshotKernelStats().topk_shards_pruned, 3u);
   auto naive = mil::Executor(&catalog).Run(p);
   ASSERT_TRUE(naive.ok());
   ExpectBatsEqual(*naive.value().bat, *pruned.value().bat, "shard prune");
@@ -422,9 +422,9 @@ TEST(PartitionWiseJoinTest, MatchesLegacyJoinAndCountsProbePartitions) {
   WorkerPool pool;
   pool.EnsureWorkers(4);
   MorselExec mx{&pool, /*morsel_size=*/512, /*radix_partitions=*/8};
-  GlobalKernelStats().Reset();
+  ResetKernelStats();
   Bat radix = Join(l, r, mx);
-  KernelStats stats = GlobalKernelStats();
+  KernelStats stats = SnapshotKernelStats();
   ExpectBatsEqual(JoinLegacy(l, r), radix, "partition-wise probe join");
   EXPECT_GE(stats.probe_partitions, 8u)
       << "a 6000-row probe side over 8 partitions must radix-cluster";
